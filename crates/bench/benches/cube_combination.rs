@@ -1,0 +1,71 @@
+//! Benchmarks of the combination framework on a paper-sized similarity
+//! cube (5 matchers × 80 × 145 — the largest task, 4<->5): aggregation,
+//! direction+selection, and combined similarity.
+
+use coma_core::{
+    Aggregation, CombinedSim, DirectedCandidates, Direction, Selection, SimCube, SimMatrix,
+};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn synthetic_cube(k: usize, m: usize, n: usize) -> SimCube {
+    let mut cube = SimCube::new();
+    for s in 0..k {
+        let mut mat = SimMatrix::new(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                // Deterministic pseudo-similarities with realistic sparsity.
+                let h = (i * 31 + j * 17 + s * 7) % 100;
+                if h < 25 {
+                    mat.set(i, j, h as f64 / 100.0 + 0.3);
+                }
+            }
+        }
+        cube.push(format!("m{s}"), mat);
+    }
+    cube
+}
+
+fn bench_combination(c: &mut Criterion) {
+    let cube = synthetic_cube(5, 80, 145);
+    let mut group = c.benchmark_group("cube_combination");
+    group.sample_size(30);
+
+    group.bench_function("aggregate_average", |b| {
+        b.iter(|| black_box(Aggregation::Average.aggregate(black_box(&cube))))
+    });
+    group.bench_function("aggregate_max", |b| {
+        b.iter(|| black_box(Aggregation::Max.aggregate(black_box(&cube))))
+    });
+
+    let matrix = Aggregation::Average.aggregate(&cube);
+    let selection = Selection::delta(0.02).with_threshold(0.5);
+    group.bench_function("select_both_thr_delta", |b| {
+        b.iter(|| {
+            black_box(DirectedCandidates::select(
+                black_box(&matrix),
+                Direction::Both,
+                &selection,
+            ))
+        })
+    });
+    group.bench_function("select_maxn1", |b| {
+        b.iter(|| {
+            black_box(DirectedCandidates::select(
+                black_box(&matrix),
+                Direction::Both,
+                &Selection::max_n(1),
+            ))
+        })
+    });
+    let candidates = DirectedCandidates::select(&matrix, Direction::Both, &selection);
+    group.bench_function("combined_sim_average", |b| {
+        b.iter(|| black_box(CombinedSim::Average.compute(black_box(&candidates), 80, 145)))
+    });
+    group.bench_function("stable_marriage", |b| {
+        b.iter(|| black_box(coma_core::stable_marriage(black_box(&matrix), 0.5)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_combination);
+criterion_main!(benches);

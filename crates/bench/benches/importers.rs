@@ -1,0 +1,37 @@
+//! Benchmarks of the schema import substrates: XSD (the largest corpus
+//! schema) and SQL DDL.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+const DDL: &str = r#"
+CREATE TABLE PO1.ShipTo (
+    poNo INT,
+    custNo INT REFERENCES PO1.Customer,
+    shipToStreet VARCHAR(200), shipToCity VARCHAR(200), shipToZip VARCHAR(20),
+    PRIMARY KEY (poNo));
+CREATE TABLE PO1.Customer (
+    custNo INT, custName VARCHAR(200), custStreet VARCHAR(200),
+    custCity VARCHAR(200), custZip VARCHAR(20), PRIMARY KEY (custNo));
+CREATE TABLE PO1.OrderItem (
+    itemNo INT, poNo INT REFERENCES PO1.ShipTo, partNo VARCHAR(40),
+    quantity DECIMAL(10,2), unitPrice DECIMAL(12,4), PRIMARY KEY (itemNo));
+"#;
+
+fn bench_importers(c: &mut Criterion) {
+    let apertum = coma_eval::corpus::xsd_source(4);
+    let mut group = c.benchmark_group("importers");
+    group.bench_function("import_xsd_apertum", |b| {
+        b.iter(|| black_box(coma_xml::import_xsd(black_box(apertum), "Apertum").unwrap()))
+    });
+    group.bench_function("import_ddl_po1", |b| {
+        b.iter(|| black_box(coma_sql::import_ddl(black_box(DDL), "PO1").unwrap()))
+    });
+    let schema = coma_xml::import_xsd(apertum, "Apertum").unwrap();
+    group.bench_function("path_unfolding_apertum", |b| {
+        b.iter(|| black_box(coma_graph::PathSet::new(black_box(&schema)).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_importers);
+criterion_main!(benches);

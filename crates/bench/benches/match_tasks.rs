@@ -1,0 +1,52 @@
+//! End-to-end match benchmarks: full matcher execution on the corpus'
+//! hardest task (Paragon <-> Apertum, 80 × 145 paths) and the per-series
+//! re-combination cost that dominates the 12,312-series sweep.
+
+use coma_core::{CombinedSim, MatchContext, MatcherLibrary};
+use coma_eval::experiment::grid::SeriesSpec;
+use coma_eval::experiment::Harness;
+use coma_eval::Corpus;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_matchers_on_hardest_task(c: &mut Criterion) {
+    let corpus = Corpus::load();
+    let (i, j) = (3, 4); // Paragon <-> Apertum
+    let library = MatcherLibrary::standard();
+    let mut group = c.benchmark_group("matchers_4x5");
+    group.sample_size(10);
+    for name in ["Name", "NamePath", "TypeName", "Children", "Leaves"] {
+        let matcher = library.get(name).expect("standard matcher");
+        group.bench_function(name, |b| {
+            let ctx = MatchContext::new(
+                corpus.schema(i),
+                corpus.schema(j),
+                corpus.path_set(i),
+                corpus.path_set(j),
+                corpus.aux(),
+            );
+            b.iter(|| black_box(matcher.compute(black_box(&ctx))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_series_evaluation(c: &mut Criterion) {
+    let harness = Harness::new();
+    let spec = SeriesSpec {
+        matchers: coma_eval::experiment::HYBRIDS.iter().map(|m| m.to_string()).collect(),
+        aggregation: coma_core::Aggregation::Average,
+        direction: coma_core::Direction::Both,
+        selection: coma_core::Selection::delta(0.02).with_threshold(0.5),
+        combined_sim: CombinedSim::Average,
+        reuse: false,
+    };
+    let mut group = c.benchmark_group("sweep");
+    group.sample_size(20);
+    group.bench_function("series_all_10_tasks", |b| {
+        b.iter(|| black_box(harness.evaluate(black_box(&spec))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matchers_on_hardest_task, bench_series_evaluation);
+criterion_main!(benches);

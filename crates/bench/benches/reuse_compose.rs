@@ -1,0 +1,50 @@
+//! Benchmarks of the reuse path: the MatchCompose natural join and the
+//! repository pivot search that the Schema matcher performs.
+
+use coma_core::{match_compose, ComposeCombine};
+use coma_repo::{Mapping, MappingKind, Repository};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn synthetic_mapping(src: &str, tgt: &str, n: usize) -> Mapping {
+    let mut m = Mapping::new(src, tgt, MappingKind::Manual);
+    for k in 0..n {
+        m.push(
+            format!("{src}.block{}.field{k}", k % 7),
+            format!("{tgt}.area{}.attr{k}", k % 5),
+            0.5 + (k % 50) as f64 / 100.0,
+        );
+    }
+    m
+}
+
+fn bench_compose(c: &mut Criterion) {
+    let m1 = synthetic_mapping("S1", "S2", 1000);
+    // m2 joins on S2 names, so rebuild it with matching sources.
+    let mut m2 = Mapping::new("S2", "S3", MappingKind::Manual);
+    for corr in &m1.correspondences {
+        m2.push(corr.target.clone(), corr.target.replace("attr", "col"), 0.8);
+    }
+    let mut group = c.benchmark_group("reuse");
+    group.bench_function("match_compose_1000", |b| {
+        b.iter(|| {
+            black_box(match_compose(
+                black_box(&m1),
+                black_box(&m2),
+                ComposeCombine::Average,
+            ))
+        })
+    });
+
+    let mut repo = Repository::new();
+    for pivot in 0..20 {
+        repo.put_mapping(synthetic_mapping("S1", &format!("P{pivot}"), 100));
+        repo.put_mapping(synthetic_mapping(&format!("P{pivot}"), "S2", 100));
+    }
+    group.bench_function("pivot_pairs_20_pivots", |b| {
+        b.iter(|| black_box(repo.pivot_pairs(black_box("S1"), black_box("S2"), |_| true)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compose);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Microbenchmarks of the approximate string matching substrate — the
+//! innermost loops of every name-based matcher.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+const PAIRS: [(&str, &str); 6] = [
+    ("shipToCity", "DeliverTo"),
+    ("custStreet", "streetAddress"),
+    ("poNo", "purchaseOrderNumber"),
+    ("quantityOrdered", "qty"),
+    ("unitOfMeasureCode", "uom"),
+    ("POShipTo", "PurchaseOrderDeliverTo"),
+];
+
+fn bench_string_matchers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("string_matchers");
+    group.bench_function("trigram", |b| {
+        b.iter(|| {
+            for (x, y) in PAIRS {
+                black_box(coma_strings::trigram_similarity(black_box(x), black_box(y)));
+            }
+        })
+    });
+    group.bench_function("edit_distance", |b| {
+        b.iter(|| {
+            for (x, y) in PAIRS {
+                black_box(coma_strings::edit_distance_similarity(black_box(x), black_box(y)));
+            }
+        })
+    });
+    group.bench_function("affix", |b| {
+        b.iter(|| {
+            for (x, y) in PAIRS {
+                black_box(coma_strings::affix_similarity(black_box(x), black_box(y)));
+            }
+        })
+    });
+    group.bench_function("soundex", |b| {
+        b.iter(|| {
+            for (x, y) in PAIRS {
+                black_box(coma_strings::soundex_similarity(black_box(x), black_box(y)));
+            }
+        })
+    });
+    group.bench_function("tokenize", |b| {
+        b.iter(|| {
+            for (x, y) in PAIRS {
+                black_box(coma_strings::tokenize(black_box(x)));
+                black_box(coma_strings::tokenize(black_box(y)));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_string_matchers);
+criterion_main!(benches);

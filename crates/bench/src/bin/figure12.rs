@@ -1,0 +1,73 @@
+//! Regenerates Figure 12 of the paper: the quality of the best matcher
+//! combinations — `All+SchemaM`, `SchemaM+<hybrid>`, `All`, and the
+//! `NamePath+<hybrid>` pairs — sorted by average Overall.
+
+use coma_eval::experiment::report::{best_per_matcher, fmt_quality, render_table};
+use coma_eval::experiment::{no_reuse_series, reuse_series, Harness};
+
+/// The combinations Figure 12 reports, with the paper's approximate
+/// (precision, recall, overall) read off the chart.
+const PAPER: [(&str, f64, f64, f64); 11] = [
+    ("All+SchemaM", 0.93, 0.89, 0.82),
+    ("SchemaM+NamePath", 0.95, 0.84, 0.80),
+    ("SchemaM+Name", 0.94, 0.83, 0.78),
+    ("SchemaM+TypeName", 0.94, 0.82, 0.77),
+    ("SchemaM+Leaves", 0.93, 0.82, 0.76),
+    ("SchemaM+Children", 0.93, 0.81, 0.75),
+    ("All", 0.86, 0.86, 0.73),
+    ("NamePath+Leaves", 0.89, 0.75, 0.65),
+    ("NamePath+TypeName", 0.88, 0.73, 0.62),
+    ("NamePath+Children", 0.88, 0.72, 0.61),
+    ("NamePath+Name", 0.85, 0.70, 0.57),
+];
+
+fn main() {
+    eprintln!("building harness…");
+    let harness = Harness::new();
+    let combos: Vec<_> = no_reuse_series()
+        .into_iter()
+        .chain(reuse_series())
+        .filter(|s| s.matchers.len() > 1)
+        .collect();
+    eprintln!("running {} combination series…", combos.len());
+    let results = harness.run(&combos);
+    let best = best_per_matcher(&results);
+
+    println!("Figure 12 — quality of best matcher combinations\n");
+    let mut rows: Vec<(f64, Vec<String>)> = Vec::new();
+    for (label, result) in &best {
+        // Figure 12 reports SchemaM-based and NamePath-based pairs plus All;
+        // print everything, the comparison table below carries the paper's
+        // selection.
+        let mut row = vec![label.clone()];
+        row.extend(fmt_quality(&result.average));
+        row.push(result.spec.label());
+        rows.push((result.average.overall, row));
+    }
+    rows.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("no NaN"));
+    let table: Vec<Vec<String>> = rows.into_iter().map(|r| r.1).collect();
+    println!(
+        "{}",
+        render_table(
+            &["Combination", "avg Precision", "avg Recall", "avg Overall", "best strategy"],
+            &table
+        )
+    );
+
+    println!("Paper (Figure 12), for comparison:");
+    let paper_rows: Vec<Vec<String>> = PAPER
+        .iter()
+        .map(|(m, p, r, o)| {
+            vec![m.to_string(), format!("{p:.2}"), format!("{r:.2}"), format!("{o:.2}")]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["Combination", "avg Precision", "avg Recall", "avg Overall"],
+            &paper_rows
+        )
+    );
+    println!("Expected shape: reuse combinations > All > NamePath pairs; Leaves");
+    println!("pairs beat Children pairs; combinations beat all single matchers.");
+}

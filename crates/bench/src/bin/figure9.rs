@@ -1,0 +1,45 @@
+//! Regenerates Figure 9 of the paper: the distribution of all 8,208
+//! no-reuse series over average-Overall ranges. "Most series have negative
+//! average Overall, indicating poor matchers and/or combination
+//! strategies."
+
+use coma_eval::experiment::report::{bin_labels, histogram};
+use coma_eval::experiment::{no_reuse_series, Harness};
+
+fn main() {
+    eprintln!("building harness (cubes for 10 tasks)…");
+    let harness = Harness::new();
+    let series = no_reuse_series();
+    eprintln!("running {} no-reuse series…", series.len());
+    let results = harness.run(&series);
+
+    let bins = histogram(&results);
+    println!("Figure 9 — distribution of series in different Overall ranges");
+    println!("(#All Series = {}, paper: 8208)\n", results.len());
+    let max = bins.iter().copied().max().unwrap_or(1).max(1);
+    for (label, count) in bin_labels().iter().zip(bins) {
+        let bar = "#".repeat(count * 60 / max);
+        println!("{label:>8} | {count:5} {bar}");
+    }
+
+    let negative = bins[0];
+    let best = results
+        .iter()
+        .max_by(|a, b| a.average.overall.partial_cmp(&b.average.overall).expect("no NaN"))
+        .expect("nonempty");
+    let worst = results
+        .iter()
+        .min_by(|a, b| a.average.overall.partial_cmp(&b.average.overall).expect("no NaN"))
+        .expect("nonempty");
+    println!("\nseries with negative average Overall: {negative}");
+    println!(
+        "best series:  {}  avg Overall {:.2} (paper best: 0.73)",
+        best.spec.label(),
+        best.average.overall
+    );
+    println!(
+        "worst series: {}  avg Overall {:.2} (paper worst: -88.0)",
+        worst.spec.label(),
+        worst.average.overall
+    );
+}

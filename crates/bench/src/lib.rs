@@ -1,0 +1,5 @@
+//! Shared helpers for the COMA benchmark and experiment binaries.
+//!
+//! The binaries in `src/bin/` regenerate the tables and figures of the
+//! paper's evaluation (Section 7); the Criterion benches in `benches/`
+//! measure the performance of the substrates and the match pipeline.

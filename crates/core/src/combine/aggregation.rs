@@ -1,0 +1,177 @@
+use crate::cube::{SimCube, SimMatrix};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Step 1 of the combination scheme: aggregating the matcher-specific
+/// similarity values of the cube into one combined value per element pair
+/// (paper, Section 6.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Aggregation {
+    /// The maximal similarity of any matcher — optimistic; matchers
+    /// "can maximally complement each other".
+    Max,
+    /// The minimal similarity of any matcher — pessimistic.
+    Min,
+    /// The unweighted mean — "a special case of Weighted \[that\] considers
+    /// them equally important".
+    Average,
+    /// A weighted sum; weights "should correspond to the expected
+    /// importance of the matchers". Weights are normalized to sum 1; the
+    /// vector length must equal the number of cube slices.
+    Weighted(Vec<f64>),
+}
+
+impl Aggregation {
+    /// Aggregates the cube into a single similarity matrix.
+    ///
+    /// # Panics
+    /// Panics if the cube is empty, or if a `Weighted` vector's length does
+    /// not match the slice count.
+    pub fn aggregate(&self, cube: &SimCube) -> SimMatrix {
+        assert!(!cube.is_empty(), "cannot aggregate an empty cube");
+        let (m, n, k) = (cube.rows(), cube.cols(), cube.len());
+        let mut out = SimMatrix::new(m, n);
+        match self {
+            Aggregation::Max => {
+                for i in 0..m {
+                    for j in 0..n {
+                        let v = (0..k)
+                            .map(|s| cube.slice(s).get(i, j))
+                            .fold(0.0_f64, f64::max);
+                        out.set(i, j, v);
+                    }
+                }
+            }
+            Aggregation::Min => {
+                for i in 0..m {
+                    for j in 0..n {
+                        let v = (0..k)
+                            .map(|s| cube.slice(s).get(i, j))
+                            .fold(1.0_f64, f64::min);
+                        out.set(i, j, v);
+                    }
+                }
+            }
+            Aggregation::Average => {
+                for i in 0..m {
+                    for j in 0..n {
+                        let sum: f64 = (0..k).map(|s| cube.slice(s).get(i, j)).sum();
+                        out.set(i, j, sum / k as f64);
+                    }
+                }
+            }
+            Aggregation::Weighted(weights) => {
+                assert_eq!(
+                    weights.len(),
+                    k,
+                    "Weighted aggregation needs one weight per matcher slice"
+                );
+                let total: f64 = weights.iter().sum();
+                assert!(total > 0.0, "weights must not sum to zero");
+                for i in 0..m {
+                    for j in 0..n {
+                        let v: f64 = (0..k)
+                            .map(|s| cube.slice(s).get(i, j) * weights[s])
+                            .sum::<f64>()
+                            / total;
+                        out.set(i, j, v);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Aggregation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Aggregation::Max => f.write_str("Max"),
+            Aggregation::Min => f.write_str("Min"),
+            Aggregation::Average => f.write_str("Average"),
+            Aggregation::Weighted(w) => {
+                write!(f, "Weighted(")?;
+                for (i, x) in w.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cube() -> SimCube {
+        let mut a = SimMatrix::new(1, 2);
+        a.set(0, 0, 0.8);
+        a.set(0, 1, 0.2);
+        let mut b = SimMatrix::new(1, 2);
+        b.set(0, 0, 0.4);
+        b.set(0, 1, 0.6);
+        let mut c = SimCube::new();
+        c.push("A", a);
+        c.push("B", b);
+        c
+    }
+
+    #[test]
+    fn max_min_average() {
+        let c = cube();
+        assert_eq!(Aggregation::Max.aggregate(&c).get(0, 0), 0.8);
+        assert_eq!(Aggregation::Min.aggregate(&c).get(0, 0), 0.4);
+        assert!((Aggregation::Average.aggregate(&c).get(0, 1) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_uses_normalized_weights() {
+        let c = cube();
+        // TypeName's default: 0.7 name + 0.3 datatype (Table 4).
+        let m = Aggregation::Weighted(vec![0.7, 0.3]).aggregate(&c);
+        assert!((m.get(0, 0) - (0.7 * 0.8 + 0.3 * 0.4)).abs() < 1e-12);
+        // Non-normalized weights give the same result after normalization.
+        let m2 = Aggregation::Weighted(vec![7.0, 3.0]).aggregate(&c);
+        assert!((m.get(0, 0) - m2.get(0, 0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_2_average_of_table_1() {
+        // Table 1 → Table 2 of the paper: TypeName and NamePath values for
+        // three pairs, Average aggregation.
+        let pairs = [(0.65, 0.78, 0.72), (0.3, 0.73, 0.52), (0.80, 0.53, 0.67)];
+        for (tn, np, expect) in pairs {
+            let mut s1 = SimMatrix::new(1, 1);
+            s1.set(0, 0, tn);
+            let mut s2 = SimMatrix::new(1, 1);
+            s2.set(0, 0, np);
+            let mut c = SimCube::new();
+            c.push("TypeName", s1);
+            c.push("NamePath", s2);
+            let got = Aggregation::Average.aggregate(&c).get(0, 0);
+            assert!((got - expect).abs() < 0.0051, "{got} vs {expect}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty cube")]
+    fn empty_cube_panics() {
+        Aggregation::Average.aggregate(&SimCube::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per matcher")]
+    fn wrong_weight_count_panics() {
+        Aggregation::Weighted(vec![1.0]).aggregate(&cube());
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(Aggregation::Max.to_string(), "Max");
+        assert_eq!(Aggregation::Weighted(vec![0.7, 0.3]).to_string(), "Weighted(0.7,0.3)");
+    }
+}

@@ -1,0 +1,153 @@
+use super::selection::DirectedCandidates;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Step 3: computation of a single combined similarity for two element sets
+/// from their directional match candidates (paper, Section 6.3, Figure 7).
+///
+/// Used by hybrid matchers (token sets, child sets, leaf sets) and for the
+/// schema similarity of complete match results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CombinedSim {
+    /// "The average similarity is determined by dividing the sum of the
+    /// similarity values of all match candidates of both sets S1 and S2 by
+    /// the total number of set elements, |S1|+|S2|."
+    Average,
+    /// "The ratio of the number of elements which can be matched over the
+    /// total number of set elements" — the Dice coefficient; more
+    /// optimistic because individual similarities do not matter.
+    Dice,
+}
+
+impl CombinedSim {
+    /// Computes the combined similarity from directional candidates over
+    /// sets of `m` source and `n` target elements.
+    ///
+    /// Both directional lists contribute (Figure 7 sums three candidates
+    /// from S1→S2 and three from S2→S1 over |S1|+|S2| = 7). For a
+    /// directional selection where only one side was computed, the present
+    /// side simply contributes alone.
+    pub fn compute(self, candidates: &DirectedCandidates, m: usize, n: usize) -> f64 {
+        if m + n == 0 {
+            return 1.0;
+        }
+        match self {
+            CombinedSim::Average => {
+                let mut sum = 0.0;
+                if let Some(ft) = &candidates.for_targets {
+                    sum += ft.iter().flatten().map(|&(_, s)| s).sum::<f64>();
+                }
+                if let Some(fs) = &candidates.for_sources {
+                    sum += fs.iter().flatten().map(|&(_, s)| s).sum::<f64>();
+                }
+                (sum / (m + n) as f64).clamp(0.0, 1.0)
+            }
+            CombinedSim::Dice => {
+                let mut matched_sources: BTreeSet<usize> = BTreeSet::new();
+                let mut matched_targets: BTreeSet<usize> = BTreeSet::new();
+                if let Some(ft) = &candidates.for_targets {
+                    for (j, cands) in ft.iter().enumerate() {
+                        if !cands.is_empty() {
+                            matched_targets.insert(j);
+                        }
+                        for &(i, _) in cands {
+                            matched_sources.insert(i);
+                        }
+                    }
+                }
+                if let Some(fs) = &candidates.for_sources {
+                    for (i, cands) in fs.iter().enumerate() {
+                        if !cands.is_empty() {
+                            matched_sources.insert(i);
+                        }
+                        for &(j, _) in cands {
+                            matched_targets.insert(j);
+                        }
+                    }
+                }
+                ((matched_sources.len() + matched_targets.len()) as f64 / (m + n) as f64)
+                    .clamp(0.0, 1.0)
+            }
+        }
+    }
+}
+
+impl fmt::Display for CombinedSim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CombinedSim::Average => f.write_str("Average"),
+            CombinedSim::Dice => f.write_str("Dice"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combine::{Direction, Selection};
+    use crate::cube::SimMatrix;
+
+    /// Figure 7 of the paper: S1 = {s11..s14}, S2 = {s21..s23};
+    /// S1→S2 candidates: (s13,s21,1.0), (s12,s22,0.8), (s11,s23,0.8);
+    /// S2→S1 the mirror image. Average = 5.2/7 ≈ 0.74, Dice = 6/7 ≈ 0.86.
+    fn figure7() -> DirectedCandidates {
+        // 4 sources × 3 targets; build the matrix realizing those matches.
+        let mut m = SimMatrix::new(4, 3);
+        m.set(2, 0, 1.0); // s13 ↔ s21
+        m.set(1, 1, 0.8); // s12 ↔ s22
+        m.set(0, 2, 0.8); // s11 ↔ s23
+        DirectedCandidates::select(&m, Direction::Both, &Selection::max_n(1))
+    }
+
+    #[test]
+    fn figure_7_average() {
+        let got = CombinedSim::Average.compute(&figure7(), 4, 3);
+        assert!((got - 5.2 / 7.0).abs() < 1e-9, "{got}");
+    }
+
+    #[test]
+    fn figure_7_dice() {
+        let got = CombinedSim::Dice.compute(&figure7(), 4, 3);
+        assert!((got - 6.0 / 7.0).abs() < 1e-9, "{got}");
+    }
+
+    #[test]
+    fn dice_is_at_least_average() {
+        // "Dice returns a higher similarity value than Average and thus is
+        // more optimistic."
+        let c = figure7();
+        assert!(CombinedSim::Dice.compute(&c, 4, 3) >= CombinedSim::Average.compute(&c, 4, 3));
+    }
+
+    #[test]
+    fn all_similarities_one_makes_them_equal() {
+        // Footnote 1: with all element similarities 1.0, Average and Dice
+        // yield the same schema similarity.
+        let mut m = SimMatrix::new(2, 2);
+        m.set(0, 0, 1.0);
+        m.set(1, 1, 1.0);
+        let c = DirectedCandidates::select(&m, Direction::Both, &Selection::max_n(1));
+        let avg = CombinedSim::Average.compute(&c, 2, 2);
+        let dice = CombinedSim::Dice.compute(&c, 2, 2);
+        assert_eq!(avg, dice);
+        assert_eq!(avg, 1.0);
+    }
+
+    #[test]
+    fn empty_sets_are_fully_similar() {
+        let c = DirectedCandidates {
+            for_targets: Some(Vec::new()),
+            for_sources: Some(Vec::new()),
+        };
+        assert_eq!(CombinedSim::Average.compute(&c, 0, 0), 1.0);
+    }
+
+    #[test]
+    fn no_matches_gives_zero() {
+        let m = SimMatrix::new(2, 2);
+        let c = DirectedCandidates::select(&m, Direction::Both, &Selection::max_n(1));
+        assert_eq!(CombinedSim::Average.compute(&c, 2, 2), 0.0);
+        assert_eq!(CombinedSim::Dice.compute(&c, 2, 2), 0.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Stable-marriage match candidate selection — the alternative the paper
+//! names as future work ("we also want to experiment with more
+//! comprehensive strategies for match candidate selection, such as the
+//! stable marriage approach", Section 7.5). Provided as an extension and
+//! exercised by the selection ablation benchmark.
+
+use crate::cube::SimMatrix;
+
+/// Computes a stable matching between source and target elements under the
+/// preference order given by the similarity matrix, dropping pairs with
+/// similarity not exceeding `threshold`.
+///
+/// A matching is *stable* when no unmatched pair prefers each other over
+/// their assigned partners. With similarities as symmetric preferences this
+/// greedy algorithm (repeatedly matching the globally best remaining pair)
+/// yields the unique stable matching for distinct similarities.
+pub fn stable_marriage(matrix: &SimMatrix, threshold: f64) -> Vec<(usize, usize, f64)> {
+    let mut cells: Vec<(usize, usize, f64)> = matrix
+        .nonzero()
+        .filter(|&(_, _, v)| v > threshold)
+        .collect();
+    // Deterministic order: similarity descending, then indices.
+    cells.sort_by(|a, b| {
+        b.2.partial_cmp(&a.2)
+            .expect("similarities are never NaN")
+            .then((a.0, a.1).cmp(&(b.0, b.1)))
+    });
+    let mut source_taken = vec![false; matrix.rows()];
+    let mut target_taken = vec![false; matrix.cols()];
+    let mut out = Vec::new();
+    for (i, j, v) in cells {
+        if !source_taken[i] && !target_taken[j] {
+            source_taken[i] = true;
+            target_taken[j] = true;
+            out.push((i, j, v));
+        }
+    }
+    out.sort_by_key(|a| (a.0, a.1));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_globally_best_pairs() {
+        let mut m = SimMatrix::new(2, 2);
+        m.set(0, 0, 0.9);
+        m.set(0, 1, 0.8);
+        m.set(1, 0, 0.85);
+        m.set(1, 1, 0.1);
+        // Greedy: (0,0,0.9) then (1,1,0.1) — but 0.1 ≤ threshold 0.5 → only
+        // one pair.
+        let pairs = stable_marriage(&m, 0.5);
+        assert_eq!(pairs, vec![(0, 0, 0.9)]);
+    }
+
+    #[test]
+    fn produces_a_one_to_one_matching() {
+        let mut m = SimMatrix::new(3, 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                m.set(i, j, 0.5 + 0.05 * (i * 3 + j) as f64);
+            }
+        }
+        let pairs = stable_marriage(&m, 0.0);
+        assert_eq!(pairs.len(), 3);
+        let mut sources: Vec<_> = pairs.iter().map(|p| p.0).collect();
+        sources.dedup();
+        assert_eq!(sources.len(), 3);
+    }
+
+    #[test]
+    fn stability_no_blocking_pair() {
+        let mut m = SimMatrix::new(3, 4);
+        let vals = [
+            [0.9, 0.2, 0.4, 0.0],
+            [0.8, 0.7, 0.1, 0.3],
+            [0.85, 0.6, 0.65, 0.2],
+        ];
+        for (i, row) in vals.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                m.set(i, j, v);
+            }
+        }
+        let pairs = stable_marriage(&m, 0.0);
+        let partner_sim_of_source = |i: usize| {
+            pairs.iter().find(|p| p.0 == i).map_or(0.0, |p| p.2)
+        };
+        let partner_sim_of_target = |j: usize| {
+            pairs.iter().find(|p| p.1 == j).map_or(0.0, |p| p.2)
+        };
+        for i in 0..3 {
+            for j in 0..4 {
+                let v = m.get(i, j);
+                // A blocking pair would beat both current partners.
+                assert!(
+                    !(v > partner_sim_of_source(i) && v > partner_sim_of_target(j)),
+                    "blocking pair at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_matrix_matches_nothing() {
+        let m = SimMatrix::new(3, 3);
+        assert!(stable_marriage(&m, 0.0).is_empty());
+    }
+}

@@ -1,0 +1,333 @@
+use crate::cube::SimMatrix;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Step 2a: match direction (paper, Section 6.2).
+///
+/// Given schemas S1 (source, `m` elements) and S2 (target, `n` elements),
+/// the *smaller* and *larger* roles are assigned by comparing `m` and `n`
+/// (ties treat the target as the smaller schema, matching the paper's
+/// `|S2| ≤ |S1|` convention).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Match the larger schema against the smaller target: candidates from
+    /// the larger schema are ranked and selected with respect to each
+    /// element of the smaller schema.
+    LargeSmall,
+    /// The opposite: rank the smaller schema's elements for each element of
+    /// the larger schema.
+    SmallLarge,
+    /// Use both directions and accept a pair only if it is selected in
+    /// both — the undirectional approach.
+    Both,
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Direction::LargeSmall => f.write_str("LargeSmall"),
+            Direction::SmallLarge => f.write_str("SmallLarge"),
+            Direction::Both => f.write_str("Both"),
+        }
+    }
+}
+
+/// Step 2b: match candidate selection per ranked element (paper,
+/// Section 6.2). The three base criteria can be combined; the paper
+/// evaluates `MaxN`, `MaxDelta` and `Threshold` alone and `Threshold`
+/// compounded with the other two (e.g. `Thr(0.5)+Delta(0.02)`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Selection {
+    /// Keep at most the best `n` candidates.
+    pub max_n: Option<usize>,
+    /// Keep candidates whose similarity is within a *relative* tolerance
+    /// `d` of the best candidate (`sim ≥ best·(1−d)`).
+    pub delta: Option<f64>,
+    /// Keep candidates with `sim > t` — strictly exceeding, per the paper's
+    /// "showing a similarity exceeding a given threshold value t".
+    pub threshold: Option<f64>,
+}
+
+impl Selection {
+    /// `MaxN(n)`: the `n` elements with maximal similarity.
+    pub fn max_n(n: usize) -> Selection {
+        Selection {
+            max_n: Some(n),
+            delta: None,
+            threshold: None,
+        }
+    }
+
+    /// `MaxDelta(d)` with a relative tolerance (the paper's evaluation uses
+    /// relative deltas of 1–10%).
+    pub fn delta(d: f64) -> Selection {
+        Selection {
+            max_n: None,
+            delta: Some(d),
+            threshold: None,
+        }
+    }
+
+    /// `Threshold(t)`: every candidate exceeding `t`.
+    pub fn threshold(t: f64) -> Selection {
+        Selection {
+            max_n: None,
+            delta: None,
+            threshold: Some(t),
+        }
+    }
+
+    /// Compounds this selection with a threshold (e.g.
+    /// `Selection::max_n(1).with_threshold(0.5)`).
+    pub fn with_threshold(mut self, t: f64) -> Selection {
+        self.threshold = Some(t);
+        self
+    }
+
+    /// Selects from `ranked`, a descending-sorted list of
+    /// `(candidate index, similarity)`.
+    fn apply(&self, ranked: &[(usize, f64)]) -> Vec<(usize, f64)> {
+        let mut out: Vec<(usize, f64)> = ranked.to_vec();
+        if let Some(t) = self.threshold {
+            out.retain(|&(_, s)| s > t);
+        }
+        if let Some(d) = self.delta {
+            if let Some(&(_, best)) = out.first() {
+                let cutoff = best * (1.0 - d);
+                out.retain(|&(_, s)| s >= cutoff);
+            }
+        }
+        if let Some(n) = self.max_n {
+            out.truncate(n);
+        }
+        // Zero-similarity candidates are never match candidates.
+        out.retain(|&(_, s)| s > 0.0);
+        out
+    }
+}
+
+impl fmt::Display for Selection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts = Vec::new();
+        if let Some(t) = self.threshold {
+            parts.push(format!("Thr({t})"));
+        }
+        if let Some(n) = self.max_n {
+            parts.push(format!("MaxN({n})"));
+        }
+        if let Some(d) = self.delta {
+            parts.push(format!("Delta({d})"));
+        }
+        if parts.is_empty() {
+            parts.push("All".to_string());
+        }
+        f.write_str(&parts.join("+"))
+    }
+}
+
+/// The outcome of direction + selection: the two directional candidate
+/// lists over matrix indices. `source_to_target[j]` holds the selected
+/// source candidates for target `j`; `target_to_source[i]` the selected
+/// target candidates for source `i`. A `None` list means that direction was
+/// not computed (directional matching).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DirectedCandidates {
+    /// For each target element: selected `(source index, sim)` candidates.
+    pub for_targets: Option<Vec<Vec<(usize, f64)>>>,
+    /// For each source element: selected `(target index, sim)` candidates.
+    pub for_sources: Option<Vec<Vec<(usize, f64)>>>,
+}
+
+impl DirectedCandidates {
+    /// Runs direction + selection on an aggregated similarity matrix.
+    pub fn select(matrix: &SimMatrix, direction: Direction, selection: &Selection) -> DirectedCandidates {
+        let m = matrix.rows();
+        let n = matrix.cols();
+        // The paper's convention: S2 (target) is the smaller schema when
+        // |S2| ≤ |S1|. LargeSmall then ranks source candidates per target.
+        let target_is_smaller = n <= m;
+        let want_for_targets = match direction {
+            Direction::Both => true,
+            Direction::LargeSmall => target_is_smaller,
+            Direction::SmallLarge => !target_is_smaller,
+        };
+        let want_for_sources = match direction {
+            Direction::Both => true,
+            Direction::LargeSmall => !target_is_smaller,
+            Direction::SmallLarge => target_is_smaller,
+        };
+
+        let for_targets = want_for_targets.then(|| {
+            (0..n)
+                .map(|j| {
+                    let mut ranked: Vec<(usize, f64)> =
+                        (0..m).map(|i| (i, matrix.get(i, j))).collect();
+                    sort_desc(&mut ranked);
+                    selection.apply(&ranked)
+                })
+                .collect()
+        });
+        let for_sources = want_for_sources.then(|| {
+            (0..m)
+                .map(|i| {
+                    let mut ranked: Vec<(usize, f64)> =
+                        (0..n).map(|j| (j, matrix.get(i, j))).collect();
+                    sort_desc(&mut ranked);
+                    selection.apply(&ranked)
+                })
+                .collect()
+        });
+        DirectedCandidates {
+            for_targets,
+            for_sources,
+        }
+    }
+
+    /// Flattens the directional candidates into the final set of
+    /// `(source, target, sim)` pairs. With both directions present, a pair
+    /// must be selected in **both** to survive (the paper's `Both`
+    /// semantics); otherwise the single computed direction decides.
+    pub fn pairs(&self) -> Vec<(usize, usize, f64)> {
+        match (&self.for_targets, &self.for_sources) {
+            (Some(ft), Some(fs)) => {
+                let mut out = Vec::new();
+                for (j, cands) in ft.iter().enumerate() {
+                    for &(i, sim) in cands {
+                        if fs[i].iter().any(|&(jj, _)| jj == j) {
+                            out.push((i, j, sim));
+                        }
+                    }
+                }
+                out.sort_by_key(|a| (a.0, a.1));
+                out
+            }
+            (Some(ft), None) => {
+                let mut out: Vec<(usize, usize, f64)> = ft
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(j, cands)| cands.iter().map(move |&(i, s)| (i, j, s)))
+                    .collect();
+                out.sort_by_key(|a| (a.0, a.1));
+                out
+            }
+            (None, Some(fs)) => {
+                let mut out: Vec<(usize, usize, f64)> = fs
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(i, cands)| cands.iter().map(move |&(j, s)| (i, j, s)))
+                    .collect();
+                out.sort_by_key(|a| (a.0, a.1));
+                out
+            }
+            (None, None) => Vec::new(),
+        }
+    }
+}
+
+/// Descending by similarity; ties resolve by ascending index so results are
+/// deterministic.
+fn sort_desc(ranked: &mut [(usize, f64)]) {
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 2 of the paper: combined sims of three PO1 elements against
+    /// PO2.DeliverTo.Address.City — 0.72, 0.67, 0.52 — and Max1 selection
+    /// choosing shipToCity.
+    fn table2() -> SimMatrix {
+        let mut m = SimMatrix::new(3, 1);
+        m.set(0, 0, 0.72); // PO1.ShipTo.shipToCity
+        m.set(1, 0, 0.67); // PO1.Customer.custCity
+        m.set(2, 0, 0.52); // PO1.ShipTo.shipToStreet
+        m
+    }
+
+    #[test]
+    fn max1_selects_the_paper_candidate() {
+        let dc = DirectedCandidates::select(&table2(), Direction::LargeSmall, &Selection::max_n(1));
+        let pairs = dc.pairs();
+        assert_eq!(pairs, vec![(0, 0, 0.72)]);
+    }
+
+    #[test]
+    fn threshold_is_strictly_exceeding() {
+        let dc = DirectedCandidates::select(
+            &table2(),
+            Direction::LargeSmall,
+            &Selection::threshold(0.67),
+        );
+        // 0.67 does not exceed 0.67.
+        assert_eq!(dc.pairs(), vec![(0, 0, 0.72)]);
+    }
+
+    #[test]
+    fn delta_keeps_near_best_candidates() {
+        let dc = DirectedCandidates::select(
+            &table2(),
+            Direction::LargeSmall,
+            &Selection::delta(0.1),
+        );
+        // cutoff = 0.72·0.9 = 0.648 → keeps 0.72 and 0.67.
+        assert_eq!(dc.pairs().len(), 2);
+    }
+
+    #[test]
+    fn compound_threshold_delta() {
+        let sel = Selection::delta(0.1).with_threshold(0.7);
+        let dc = DirectedCandidates::select(&table2(), Direction::LargeSmall, &sel);
+        assert_eq!(dc.pairs(), vec![(0, 0, 0.72)]);
+        assert_eq!(sel.to_string(), "Thr(0.7)+Delta(0.1)");
+    }
+
+    #[test]
+    fn both_requires_mutual_selection() {
+        // Section 3's example: shipToCity prefers City, and City prefers
+        // shipToCity — but custCity's best is also City while City's best
+        // is shipToCity, so custCity↔City is dropped under Both/Max1.
+        let mut m = SimMatrix::new(2, 2);
+        m.set(0, 0, 0.72); // shipToCity ↔ City
+        m.set(1, 0, 0.67); // custCity   ↔ City
+        m.set(0, 1, 0.40); // shipToCity ↔ Street
+        m.set(1, 1, 0.10);
+        let dc = DirectedCandidates::select(&m, Direction::Both, &Selection::max_n(1));
+        assert_eq!(dc.pairs(), vec![(0, 0, 0.72)]);
+    }
+
+    #[test]
+    fn directional_modes_pick_the_right_perspective() {
+        // m = 3 sources > n = 1 target → target is smaller.
+        let m = table2();
+        let ls = DirectedCandidates::select(&m, Direction::LargeSmall, &Selection::max_n(1));
+        assert!(ls.for_targets.is_some() && ls.for_sources.is_none());
+        let sl = DirectedCandidates::select(&m, Direction::SmallLarge, &Selection::max_n(1));
+        assert!(sl.for_targets.is_none() && sl.for_sources.is_some());
+        // SmallLarge: each of the 3 sources picks its best target → 3 pairs.
+        assert_eq!(sl.pairs().len(), 3);
+    }
+
+    #[test]
+    fn zero_similarities_are_never_selected() {
+        let m = SimMatrix::new(2, 2);
+        let dc = DirectedCandidates::select(&m, Direction::Both, &Selection::max_n(4));
+        assert!(dc.pairs().is_empty());
+    }
+
+    #[test]
+    fn ties_resolve_deterministically() {
+        let mut m = SimMatrix::new(2, 1);
+        m.set(0, 0, 0.5);
+        m.set(1, 0, 0.5);
+        let dc = DirectedCandidates::select(&m, Direction::LargeSmall, &Selection::max_n(1));
+        assert_eq!(dc.pairs(), vec![(0, 0, 0.5)]);
+    }
+
+    #[test]
+    fn selection_labels() {
+        assert_eq!(Selection::max_n(1).to_string(), "MaxN(1)");
+        assert_eq!(Selection::delta(0.02).with_threshold(0.5).to_string(), "Thr(0.5)+Delta(0.02)");
+        assert_eq!(Selection::threshold(0.8).to_string(), "Thr(0.8)");
+    }
+}

@@ -1,0 +1,229 @@
+use serde::{Deserialize, Serialize};
+
+/// A dense `m × n` similarity matrix between `m` source elements and `n`
+/// target elements. Values live in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimMatrix {
+    m: usize,
+    n: usize,
+    values: Vec<f64>,
+}
+
+impl SimMatrix {
+    /// A zero-filled `m × n` matrix.
+    pub fn new(m: usize, n: usize) -> SimMatrix {
+        SimMatrix {
+            m,
+            n,
+            values: vec![0.0; m * n],
+        }
+    }
+
+    /// Number of source elements (rows).
+    pub fn rows(&self) -> usize {
+        self.m
+    }
+
+    /// Number of target elements (columns).
+    pub fn cols(&self) -> usize {
+        self.n
+    }
+
+    /// The value at (source `i`, target `j`).
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.values[i * self.n + j]
+    }
+
+    /// Sets the value at (source `i`, target `j`), clamped to `[0, 1]`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, value: f64) {
+        self.values[i * self.n + j] = value.clamp(0.0, 1.0);
+    }
+
+    /// Row `i` as a slice (similarities of source `i` to every target).
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.values[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Raw values in row-major order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The transposed matrix (targets become sources).
+    pub fn transposed(&self) -> SimMatrix {
+        let mut t = SimMatrix::new(self.n, self.m);
+        for i in 0..self.m {
+            for j in 0..self.n {
+                t.values[j * self.m + i] = self.get(i, j);
+            }
+        }
+        t
+    }
+
+    /// Iterates over `(i, j, value)` of all cells with `value > 0`.
+    pub fn nonzero(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        (0..self.m).flat_map(move |i| {
+            (0..self.n).filter_map(move |j| {
+                let v = self.get(i, j);
+                (v > 0.0).then_some((i, j, v))
+            })
+        })
+    }
+}
+
+/// The similarity cube: one [`SimMatrix`] slice per executed matcher
+/// (paper, Section 3: "The result of the matcher execution phase with k
+/// matchers, m S1 elements and n S2 elements is a k × m × n cube").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimCube {
+    matcher_names: Vec<String>,
+    slices: Vec<SimMatrix>,
+}
+
+impl SimCube {
+    /// An empty cube (no matcher slices yet).
+    pub fn new() -> SimCube {
+        SimCube {
+            matcher_names: Vec::new(),
+            slices: Vec::new(),
+        }
+    }
+
+    /// Adds a matcher's result slice. Panics if dimensions differ from the
+    /// slices already present.
+    pub fn push(&mut self, matcher_name: impl Into<String>, slice: SimMatrix) {
+        if let Some(first) = self.slices.first() {
+            assert_eq!(
+                (first.rows(), first.cols()),
+                (slice.rows(), slice.cols()),
+                "all cube slices must have identical dimensions"
+            );
+        }
+        self.matcher_names.push(matcher_name.into());
+        self.slices.push(slice);
+    }
+
+    /// Number of matcher slices (`k`).
+    pub fn len(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Whether the cube has no slices.
+    pub fn is_empty(&self) -> bool {
+        self.slices.is_empty()
+    }
+
+    /// Matcher names in slice order.
+    pub fn matcher_names(&self) -> &[String] {
+        &self.matcher_names
+    }
+
+    /// The slice of matcher `k`.
+    pub fn slice(&self, k: usize) -> &SimMatrix {
+        &self.slices[k]
+    }
+
+    /// The slice for a matcher name.
+    pub fn slice_named(&self, name: &str) -> Option<&SimMatrix> {
+        self.matcher_names
+            .iter()
+            .position(|n| n == name)
+            .map(|k| &self.slices[k])
+    }
+
+    /// Source dimension (`m`); 0 for an empty cube.
+    pub fn rows(&self) -> usize {
+        self.slices.first().map_or(0, SimMatrix::rows)
+    }
+
+    /// Target dimension (`n`); 0 for an empty cube.
+    pub fn cols(&self) -> usize {
+        self.slices.first().map_or(0, SimMatrix::cols)
+    }
+
+    /// A sub-cube containing only the named slices, in the given order.
+    /// Unknown names are skipped.
+    pub fn select(&self, names: &[&str]) -> SimCube {
+        let mut out = SimCube::new();
+        for &name in names {
+            if let Some(k) = self.matcher_names.iter().position(|n| n == name) {
+                out.push(name, self.slices[k].clone());
+            }
+        }
+        out
+    }
+}
+
+impl Default for SimCube {
+    fn default() -> Self {
+        SimCube::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(m: usize, n: usize, f: impl Fn(usize, usize) -> f64) -> SimMatrix {
+        let mut mat = SimMatrix::new(m, n);
+        for i in 0..m {
+            for j in 0..n {
+                mat.set(i, j, f(i, j));
+            }
+        }
+        mat
+    }
+
+    #[test]
+    fn matrix_get_set_clamp() {
+        let mut m = SimMatrix::new(2, 3);
+        m.set(0, 0, 0.5);
+        m.set(1, 2, 7.0);
+        m.set(0, 1, -1.0);
+        assert_eq!(m.get(0, 0), 0.5);
+        assert_eq!(m.get(1, 2), 1.0);
+        assert_eq!(m.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn transpose_roundtrips() {
+        let m = matrix(2, 3, |i, j| (i * 3 + j) as f64 / 10.0);
+        let t = m.transposed();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.get(2, 1), m.get(1, 2));
+        assert_eq!(t.transposed(), m);
+    }
+
+    #[test]
+    fn nonzero_iterates_sparse_cells() {
+        let mut m = SimMatrix::new(2, 2);
+        m.set(0, 1, 0.3);
+        m.set(1, 0, 0.7);
+        let cells: Vec<_> = m.nonzero().collect();
+        assert_eq!(cells, vec![(0, 1, 0.3), (1, 0, 0.7)]);
+    }
+
+    #[test]
+    fn cube_push_and_lookup() {
+        let mut cube = SimCube::new();
+        cube.push("Name", matrix(2, 2, |_, _| 0.5));
+        cube.push("TypeName", matrix(2, 2, |i, j| if i == j { 1.0 } else { 0.0 }));
+        assert_eq!(cube.len(), 2);
+        assert_eq!(cube.rows(), 2);
+        assert_eq!(cube.slice_named("TypeName").unwrap().get(0, 0), 1.0);
+        assert!(cube.slice_named("nope").is_none());
+        let sub = cube.select(&["TypeName"]);
+        assert_eq!(sub.len(), 1);
+        assert_eq!(sub.matcher_names(), &["TypeName".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical dimensions")]
+    fn cube_rejects_mismatched_slices() {
+        let mut cube = SimCube::new();
+        cube.push("a", SimMatrix::new(2, 2));
+        cube.push("b", SimMatrix::new(3, 2));
+    }
+}

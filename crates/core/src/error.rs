@@ -1,0 +1,32 @@
+use std::fmt;
+
+/// Convenience result alias for COMA core operations.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Errors from match processing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A strategy named a matcher that is not in the library.
+    UnknownMatcher(String),
+    /// Building the path unfolding of an input schema failed.
+    Graph(coma_graph::GraphError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownMatcher(name) => {
+                write!(f, "matcher `{name}` is not registered in the library")
+            }
+            CoreError::Graph(e) => write!(f, "schema preparation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<coma_graph::GraphError> for CoreError {
+    fn from(e: coma_graph::GraphError) -> CoreError {
+        CoreError::Graph(e)
+    }
+}

@@ -1,0 +1,109 @@
+//! User feedback (match/mismatch assertions) and its pinning semantics.
+
+use crate::cube::SimMatrix;
+use crate::matchers::context::MatchContext;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// User-provided match and mismatch assertions, keyed by dotted full path
+/// names.
+///
+/// "COMA supports user interaction by a so-called UserFeedback matcher to
+/// capture match and mismatch information provided by the user […]. This
+/// matcher ensures that approved matches (and mismatches) are assigned the
+/// maximal (and minimal) similarity and that these values remain unaffected
+/// by the other matchers during the matcher execution step" (Section 3).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Feedback {
+    matches: HashSet<(String, String)>,
+    mismatches: HashSet<(String, String)>,
+}
+
+impl Feedback {
+    /// Empty feedback.
+    pub fn new() -> Feedback {
+        Feedback::default()
+    }
+
+    /// Asserts that two elements match. Removes any conflicting mismatch.
+    pub fn add_match(&mut self, source: impl Into<String>, target: impl Into<String>) {
+        let key = (source.into(), target.into());
+        self.mismatches.remove(&key);
+        self.matches.insert(key);
+    }
+
+    /// Asserts that two elements do not match. Removes any conflicting
+    /// match.
+    pub fn add_mismatch(&mut self, source: impl Into<String>, target: impl Into<String>) {
+        let key = (source.into(), target.into());
+        self.matches.remove(&key);
+        self.mismatches.insert(key);
+    }
+
+    /// Whether the pair was approved.
+    pub fn is_match(&self, source: &str, target: &str) -> bool {
+        self.matches
+            .contains(&(source.to_string(), target.to_string()))
+    }
+
+    /// Whether the pair was rejected.
+    pub fn is_mismatch(&self, source: &str, target: &str) -> bool {
+        self.mismatches
+            .contains(&(source.to_string(), target.to_string()))
+    }
+
+    /// Whether any feedback is present.
+    pub fn is_empty(&self) -> bool {
+        self.matches.is_empty() && self.mismatches.is_empty()
+    }
+
+    /// Number of (mis)match assertions.
+    pub fn len(&self) -> usize {
+        self.matches.len() + self.mismatches.len()
+    }
+
+    /// Pins the feedback into an aggregated similarity matrix: approved
+    /// pairs become 1.0, rejected pairs 0.0, everything else is untouched.
+    /// This is the "remain unaffected by the other matchers" guarantee.
+    pub fn pin(&self, matrix: &mut SimMatrix, ctx: &MatchContext<'_>) {
+        if self.is_empty() {
+            return;
+        }
+        for i in 0..matrix.rows() {
+            let src = ctx.source_full_name(i);
+            for j in 0..matrix.cols() {
+                let tgt = ctx.target_full_name(j);
+                if self.matches.contains(&(src.clone(), tgt.clone())) {
+                    matrix.set(i, j, 1.0);
+                } else if self.mismatches.contains(&(src.clone(), tgt)) {
+                    matrix.set(i, j, 0.0);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn match_and_mismatch_are_mutually_exclusive() {
+        let mut f = Feedback::new();
+        f.add_match("a", "b");
+        assert!(f.is_match("a", "b"));
+        f.add_mismatch("a", "b");
+        assert!(!f.is_match("a", "b"));
+        assert!(f.is_mismatch("a", "b"));
+        f.add_match("a", "b");
+        assert!(!f.is_mismatch("a", "b"));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn empty_feedback_reports_empty() {
+        let f = Feedback::new();
+        assert!(f.is_empty());
+        assert!(!f.is_match("x", "y"));
+    }
+}

@@ -1,0 +1,314 @@
+//! The hybrid element-level matchers of Section 4.2: `Name`, `NamePath`
+//! and `TypeName`. (The hybrid structural matchers `Children` and `Leaves`
+//! live in [`super::structural`].)
+
+use crate::cube::SimMatrix;
+use crate::matchers::context::MatchContext;
+use crate::matchers::name_engine::NameEngine;
+use crate::matchers::Matcher;
+use std::collections::HashMap;
+
+/// The hybrid `Name` matcher: tokenization, abbreviation expansion and a
+/// combination of simple matchers over the token sets (Table 4 defaults:
+/// Trigram + Synonym, Max aggregation, Both/Max1, Average).
+#[derive(Debug, Clone, Default)]
+pub struct NameMatcher {
+    /// The token-set engine (constituents + combination strategy).
+    pub engine: NameEngine,
+}
+
+impl NameMatcher {
+    /// `Name` with the paper's default engine.
+    pub fn new() -> NameMatcher {
+        NameMatcher::default()
+    }
+
+    /// `Name` with a custom engine.
+    pub fn with_engine(engine: NameEngine) -> NameMatcher {
+        NameMatcher { engine }
+    }
+}
+
+impl Matcher for NameMatcher {
+    fn name(&self) -> &str {
+        "Name"
+    }
+
+    fn compute(&self, ctx: &MatchContext<'_>) -> SimMatrix {
+        let mut out = SimMatrix::new(ctx.rows(), ctx.cols());
+        let mut cache = HashMap::new();
+        for i in 0..ctx.rows() {
+            let a = ctx.source_name(i);
+            for j in 0..ctx.cols() {
+                let b = ctx.target_name(j);
+                out.set(i, j, self.engine.similarity_cached(a, b, ctx.aux, &mut cache));
+            }
+        }
+        out
+    }
+}
+
+/// The hybrid `NamePath` matcher: concatenates all element names along the
+/// path into a long name and applies `Name` to it. "Considering the
+/// complete name path of an element provides additional tokens […] it is
+/// possible to distinguish between different contexts of the same element,
+/// e.g. ShipTo.Street and BillTo.Street" (Section 4.2).
+#[derive(Debug, Clone, Default)]
+pub struct NamePathMatcher {
+    /// The token-set engine applied to the concatenated path names.
+    pub engine: NameEngine,
+}
+
+impl NamePathMatcher {
+    /// `NamePath` with the paper's default engine.
+    pub fn new() -> NamePathMatcher {
+        NamePathMatcher::default()
+    }
+
+    /// `NamePath` with a custom engine.
+    pub fn with_engine(engine: NameEngine) -> NamePathMatcher {
+        NamePathMatcher { engine }
+    }
+}
+
+impl Matcher for NamePathMatcher {
+    fn name(&self) -> &str {
+        "NamePath"
+    }
+
+    fn compute(&self, ctx: &MatchContext<'_>) -> SimMatrix {
+        // Pre-compute the token set of every path's long name once.
+        let src_tokens: Vec<Vec<String>> = (0..ctx.rows())
+            .map(|i| {
+                let long = ctx.source_paths.join_names(ctx.source, ctx.source_elem(i), " ");
+                self.engine.token_set(&long, ctx.aux)
+            })
+            .collect();
+        let tgt_tokens: Vec<Vec<String>> = (0..ctx.cols())
+            .map(|j| {
+                let long = ctx.target_paths.join_names(ctx.target, ctx.target_elem(j), " ");
+                self.engine.token_set(&long, ctx.aux)
+            })
+            .collect();
+        let mut out = SimMatrix::new(ctx.rows(), ctx.cols());
+        for (i, t1) in src_tokens.iter().enumerate() {
+            for (j, t2) in tgt_tokens.iter().enumerate() {
+                out.set(i, j, self.engine.token_set_similarity(t1, t2, ctx.aux));
+            }
+        }
+        out
+    }
+}
+
+/// The hybrid `TypeName` matcher: a weighted combination of `DataType` and
+/// `Name` similarity. "The default weights of the name and data type
+/// similarity, 0.7 and 0.3, respectively, permit to match attributes with
+/// similar names but different data types" (Section 6.4, Table 4).
+#[derive(Debug, Clone)]
+pub struct TypeNameMatcher {
+    /// The name engine used for the `Name` constituent.
+    pub engine: NameEngine,
+    /// Weight of the name similarity (default 0.7).
+    pub name_weight: f64,
+    /// Weight of the data-type similarity (default 0.3).
+    pub type_weight: f64,
+}
+
+impl TypeNameMatcher {
+    /// `TypeName` with the paper's defaults.
+    pub fn new() -> TypeNameMatcher {
+        TypeNameMatcher::default()
+    }
+
+    /// `TypeName` with custom weights (normalized internally).
+    pub fn with_weights(name_weight: f64, type_weight: f64) -> TypeNameMatcher {
+        assert!(name_weight >= 0.0 && type_weight >= 0.0 && name_weight + type_weight > 0.0);
+        TypeNameMatcher {
+            engine: NameEngine::paper_default(),
+            name_weight,
+            type_weight,
+        }
+    }
+}
+
+impl Default for TypeNameMatcher {
+    fn default() -> Self {
+        TypeNameMatcher {
+            engine: NameEngine::paper_default(),
+            name_weight: 0.7,
+            type_weight: 0.3,
+        }
+    }
+}
+
+impl Matcher for TypeNameMatcher {
+    fn name(&self) -> &str {
+        "TypeName"
+    }
+
+    fn compute(&self, ctx: &MatchContext<'_>) -> SimMatrix {
+        let total = self.name_weight + self.type_weight;
+        let mut out = SimMatrix::new(ctx.rows(), ctx.cols());
+        let mut cache = HashMap::new();
+        for i in 0..ctx.rows() {
+            let a_name = ctx.source_name(i);
+            let a_type = ctx
+                .source
+                .node(ctx.source_paths.node_of(ctx.source_elem(i)))
+                .datatype;
+            for j in 0..ctx.cols() {
+                let b_name = ctx.target_name(j);
+                let b_type = ctx
+                    .target
+                    .node(ctx.target_paths.node_of(ctx.target_elem(j)))
+                    .datatype;
+                let name_sim = self
+                    .engine
+                    .similarity_cached(a_name, b_name, ctx.aux, &mut cache);
+                let type_sim = ctx.aux.type_compat.similarity_opt(a_type, b_type);
+                out.set(
+                    i,
+                    j,
+                    (self.name_weight * name_sim + self.type_weight * type_sim) / total,
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matchers::context::Auxiliary;
+    use crate::matchers::synonym::SynonymTable;
+    use coma_graph::{PathSet, Schema};
+
+    fn po1() -> Schema {
+        coma_sql::import_ddl(
+            "CREATE TABLE PO1.ShipTo (poNo INT, shipToStreet VARCHAR(200), shipToCity VARCHAR(200));
+             CREATE TABLE PO1.Customer (custNo INT, custCity VARCHAR(200));",
+            "PO1",
+        )
+        .unwrap()
+    }
+
+    fn po2() -> Schema {
+        coma_xml::import_xsd(
+            r#"<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="PO2">
+    <xsd:sequence>
+      <xsd:element name="DeliverTo" type="Address"/>
+      <xsd:element name="BillTo" type="Address"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:complexType name="Address">
+    <xsd:sequence>
+      <xsd:element name="Street" type="xsd:string"/>
+      <xsd:element name="City" type="xsd:string"/>
+      <xsd:element name="Zip" type="xsd:decimal"/>
+    </xsd:sequence>
+  </xsd:complexType>
+</xsd:schema>"#,
+            "PO2",
+        )
+        .unwrap()
+    }
+
+    fn aux() -> Auxiliary {
+        let mut a = Auxiliary::standard();
+        a.synonyms = SynonymTable::purchase_order();
+        a
+    }
+
+    fn sim_of(
+        matcher: &dyn Matcher,
+        s1: &Schema,
+        s2: &Schema,
+        aux: &Auxiliary,
+        src: &str,
+        tgt: &str,
+    ) -> f64 {
+        let p1 = PathSet::new(s1).unwrap();
+        let p2 = PathSet::new(s2).unwrap();
+        let ctx = MatchContext::new(s1, s2, &p1, &p2, aux);
+        let m = matcher.compute(&ctx);
+        let i = p1.find_by_full_name(s1, src).unwrap().index();
+        let j = p2.find_by_full_name(s2, tgt).unwrap().index();
+        m.get(i, j)
+    }
+
+    /// The Table 1 scenario: TypeName and NamePath similarities of three
+    /// PO1 elements against PO2.DeliverTo.Address.City. We reproduce the
+    /// *ordering* structure, not the exact decimals (the paper's matcher
+    /// internals differ in unspecified details).
+    #[test]
+    fn table_1_orderings_hold() {
+        let (s1, s2, aux) = (po1(), po2(), aux());
+        let tn = TypeNameMatcher::new();
+        let np = NamePathMatcher::new();
+        let city = "PO2.DeliverTo.Address.City";
+
+        // TypeName: custCity > shipToCity > shipToStreet (Table 1).
+        let tn_ship_city = sim_of(&tn, &s1, &s2, &aux, "PO1.ShipTo.shipToCity", city);
+        let tn_cust_city = sim_of(&tn, &s1, &s2, &aux, "PO1.Customer.custCity", city);
+        let tn_ship_street = sim_of(&tn, &s1, &s2, &aux, "PO1.ShipTo.shipToStreet", city);
+        assert!(tn_cust_city > tn_ship_street, "{tn_cust_city} vs {tn_ship_street}");
+        assert!(tn_ship_city > tn_ship_street, "{tn_ship_city} vs {tn_ship_street}");
+
+        // NamePath: shipToCity > shipToStreet > custCity (Table 1): the
+        // path context (ShipTo ≈ DeliverTo via synonym) outweighs.
+        let np_ship_city = sim_of(&np, &s1, &s2, &aux, "PO1.ShipTo.shipToCity", city);
+        let np_ship_street = sim_of(&np, &s1, &s2, &aux, "PO1.ShipTo.shipToStreet", city);
+        let np_cust_city = sim_of(&np, &s1, &s2, &aux, "PO1.Customer.custCity", city);
+        assert!(np_ship_city > np_ship_street, "{np_ship_city} vs {np_ship_street}");
+        assert!(np_ship_city > np_cust_city, "{np_ship_city} vs {np_cust_city}");
+    }
+
+    #[test]
+    fn namepath_distinguishes_contexts_of_shared_elements() {
+        // ShipTo.Street should be closer to DeliverTo.Address.Street than
+        // to BillTo.Address.Street.
+        let (s1, s2, aux) = (po1(), po2(), aux());
+        let np = NamePathMatcher::new();
+        let deliver = sim_of(&np, &s1, &s2, &aux, "PO1.ShipTo.shipToStreet", "PO2.DeliverTo.Address.Street");
+        let bill = sim_of(&np, &s1, &s2, &aux, "PO1.ShipTo.shipToStreet", "PO2.BillTo.Address.Street");
+        assert!(deliver > bill, "{deliver} vs {bill}");
+    }
+
+    #[test]
+    fn name_matcher_ignores_context() {
+        // Name sees only the last element name, so the two City paths are
+        // indistinguishable — the instability Section 7.3 reports.
+        let (s1, s2, aux) = (po1(), po2(), aux());
+        let nm = NameMatcher::new();
+        let a = sim_of(&nm, &s1, &s2, &aux, "PO1.ShipTo.shipToCity", "PO2.DeliverTo.Address.City");
+        let b = sim_of(&nm, &s1, &s2, &aux, "PO1.ShipTo.shipToCity", "PO2.BillTo.Address.City");
+        assert_eq!(a, b);
+        assert!(a > 0.4);
+    }
+
+    #[test]
+    fn typename_prefers_compatible_datatypes_on_name_ties() {
+        // Section 6.4: "When several attributes exhibit about the same name
+        // similarity, candidates with higher data type compatibility are
+        // preferred."
+        let s1 = coma_sql::import_ddl("CREATE TABLE T.a (amount DECIMAL(10,2));", "S1").unwrap();
+        let s2 = coma_sql::import_ddl(
+            "CREATE TABLE T.b (amount DECIMAL(12,2), amounts VARCHAR(99));",
+            "S2",
+        )
+        .unwrap();
+        let aux = Auxiliary::standard();
+        let tn = TypeNameMatcher::new();
+        let same_type = sim_of(&tn, &s1, &s2, &aux, "S1.a.amount", "S2.b.amount");
+        let diff_type = sim_of(&tn, &s1, &s2, &aux, "S1.a.amount", "S2.b.amounts");
+        assert!(same_type > diff_type, "{same_type} vs {diff_type}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn typename_rejects_zero_weights() {
+        let _ = TypeNameMatcher::with_weights(0.0, 0.0);
+    }
+}

@@ -1,0 +1,302 @@
+//! Instance-level matching — the extension the paper names as future work
+//! (Section 7.5: "we see potential for improvement by adding further
+//! matchers, e.g. those exploiting instance-level data"). LSD/GLUE-style
+//! learners are out of scope; this matcher follows the non-learning
+//! instance techniques of the survey the paper builds on: value-overlap
+//! and value-pattern statistics.
+
+use crate::cube::SimMatrix;
+use crate::matchers::context::MatchContext;
+use crate::matchers::Matcher;
+use coma_strings::dice_coefficient;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, HashMap};
+
+/// Sample instance values per schema element, keyed by (schema name,
+/// dotted path name). Part of [`Auxiliary`](crate::Auxiliary).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct InstanceStore {
+    values: HashMap<(String, String), Vec<String>>,
+}
+
+impl InstanceStore {
+    /// An empty store.
+    pub fn new() -> InstanceStore {
+        InstanceStore::default()
+    }
+
+    /// Adds sample values for one element (appends to existing samples).
+    pub fn add_values<S: Into<String>>(
+        &mut self,
+        schema: &str,
+        path: &str,
+        values: impl IntoIterator<Item = S>,
+    ) {
+        self.values
+            .entry((schema.to_string(), path.to_string()))
+            .or_default()
+            .extend(values.into_iter().map(Into::into));
+    }
+
+    /// The samples of one element, if any were registered.
+    pub fn values(&self, schema: &str, path: &str) -> Option<&[String]> {
+        self.values
+            .get(&(schema.to_string(), path.to_string()))
+            .map(Vec::as_slice)
+    }
+
+    /// Number of elements with samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the store holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Statistical profile of an element's sample values: the "constraint-based
+/// instance characterization" of the survey (value lengths, character
+/// classes, numeric share).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ValueProfile {
+    avg_len: f64,
+    numeric_ratio: f64,
+    alpha_ratio: f64,
+    digit_char_ratio: f64,
+}
+
+impl ValueProfile {
+    fn of(values: &[String]) -> ValueProfile {
+        assert!(!values.is_empty());
+        let n = values.len() as f64;
+        let avg_len = values.iter().map(|v| v.chars().count() as f64).sum::<f64>() / n;
+        let numeric = values
+            .iter()
+            .filter(|v| v.trim().parse::<f64>().is_ok())
+            .count() as f64;
+        let (mut alpha, mut digit, mut total) = (0f64, 0f64, 0f64);
+        for v in values {
+            for c in v.chars() {
+                total += 1.0;
+                if c.is_alphabetic() {
+                    alpha += 1.0;
+                }
+                if c.is_ascii_digit() {
+                    digit += 1.0;
+                }
+            }
+        }
+        let total = total.max(1.0);
+        ValueProfile {
+            avg_len,
+            numeric_ratio: numeric / n,
+            alpha_ratio: alpha / total,
+            digit_char_ratio: digit / total,
+        }
+    }
+
+    /// Similarity of two profiles in `[0, 1]`.
+    fn similarity(&self, other: &ValueProfile) -> f64 {
+        let len_sim = 1.0
+            - (self.avg_len - other.avg_len).abs() / self.avg_len.max(other.avg_len).max(1.0);
+        let num_sim = 1.0 - (self.numeric_ratio - other.numeric_ratio).abs();
+        let alpha_sim = 1.0 - (self.alpha_ratio - other.alpha_ratio).abs();
+        let digit_sim = 1.0 - (self.digit_char_ratio - other.digit_char_ratio).abs();
+        ((len_sim + num_sim + alpha_sim + digit_sim) / 4.0).clamp(0.0, 1.0)
+    }
+}
+
+/// The `Instance` matcher: similarity of elements from their sample values.
+///
+/// `sim = overlap_weight · Dice(value sets) + profile_weight · profile
+/// similarity`; pairs where either element lacks samples score 0, so the
+/// matcher composes safely with schema-level matchers under `Max`
+/// aggregation (complementing them exactly where data is available).
+#[derive(Debug, Clone)]
+pub struct InstanceMatcher {
+    /// Weight of the normalized value-set overlap (default 0.6).
+    pub overlap_weight: f64,
+    /// Weight of the statistical profile similarity (default 0.4).
+    pub profile_weight: f64,
+}
+
+impl InstanceMatcher {
+    /// The default configuration.
+    pub fn new() -> InstanceMatcher {
+        InstanceMatcher {
+            overlap_weight: 0.6,
+            profile_weight: 0.4,
+        }
+    }
+}
+
+impl Default for InstanceMatcher {
+    fn default() -> Self {
+        InstanceMatcher::new()
+    }
+}
+
+fn normalized_set(values: &[String]) -> BTreeSet<String> {
+    values
+        .iter()
+        .map(|v| v.trim().to_lowercase())
+        .filter(|v| !v.is_empty())
+        .collect()
+}
+
+impl Matcher for InstanceMatcher {
+    fn name(&self) -> &str {
+        "Instance"
+    }
+
+    fn compute(&self, ctx: &MatchContext<'_>) -> SimMatrix {
+        let mut out = SimMatrix::new(ctx.rows(), ctx.cols());
+        let store = &ctx.aux.instances;
+        if store.is_empty() {
+            return out;
+        }
+        let src_name = ctx.source.name();
+        let tgt_name = ctx.target.name();
+        // Pre-resolve samples per element.
+        let src: Vec<Option<(BTreeSet<String>, ValueProfile)>> = (0..ctx.rows())
+            .map(|i| {
+                store
+                    .values(src_name, &ctx.source_full_name(i))
+                    .filter(|v| !v.is_empty())
+                    .map(|v| (normalized_set(v), ValueProfile::of(v)))
+            })
+            .collect();
+        let tgt: Vec<Option<(BTreeSet<String>, ValueProfile)>> = (0..ctx.cols())
+            .map(|j| {
+                store
+                    .values(tgt_name, &ctx.target_full_name(j))
+                    .filter(|v| !v.is_empty())
+                    .map(|v| (normalized_set(v), ValueProfile::of(v)))
+            })
+            .collect();
+        let total = self.overlap_weight + self.profile_weight;
+        for (i, s) in src.iter().enumerate() {
+            let Some((s_set, s_prof)) = s else { continue };
+            for (j, t) in tgt.iter().enumerate() {
+                let Some((t_set, t_prof)) = t else { continue };
+                let overlap = dice_coefficient(s_set, t_set);
+                let profile = s_prof.similarity(t_prof);
+                out.set(
+                    i,
+                    j,
+                    (self.overlap_weight * overlap + self.profile_weight * profile) / total,
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matchers::context::Auxiliary;
+    use coma_graph::{DataType, Node, PathSet, Schema, SchemaBuilder};
+
+    fn schema(name: &str, leaves: &[&str]) -> Schema {
+        let mut b = SchemaBuilder::new(name);
+        let root = b.add_node(Node::new(name));
+        for leaf in leaves {
+            let n = b.add_node(Node::new(*leaf).with_datatype(DataType::Text));
+            b.add_child(root, n).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn compute(aux: &Auxiliary, s1: &Schema, s2: &Schema) -> (SimMatrix, PathSet, PathSet) {
+        let p1 = PathSet::new(s1).unwrap();
+        let p2 = PathSet::new(s2).unwrap();
+        let ctx = MatchContext::new(s1, s2, &p1, &p2, aux);
+        (InstanceMatcher::new().compute(&ctx), p1, p2)
+    }
+
+    #[test]
+    fn overlapping_values_match_despite_opaque_names() {
+        // Column f1 and colA share country values; names are useless.
+        let s1 = schema("A", &["f1", "f2"]);
+        let s2 = schema("B", &["colA", "colB"]);
+        let mut aux = Auxiliary::standard();
+        aux.instances
+            .add_values("A", "A.f1", ["Germany", "France", "Italy"]);
+        aux.instances
+            .add_values("A", "A.f2", ["12.99", "7.50", "120.00"]);
+        aux.instances
+            .add_values("B", "B.colA", ["germany", "france", "Spain"]);
+        aux.instances.add_values("B", "B.colB", ["9.99", "15.00"]);
+        let (m, p1, p2) = compute(&aux, &s1, &s2);
+        let cell = |a: &str, b: &str| {
+            m.get(
+                p1.find_by_full_name(&s1, a).unwrap().index(),
+                p2.find_by_full_name(&s2, b).unwrap().index(),
+            )
+        };
+        assert!(cell("A.f1", "B.colA") > 0.6, "{}", cell("A.f1", "B.colA"));
+        // Prices share no values but have matching numeric profiles.
+        assert!(cell("A.f2", "B.colB") > cell("A.f2", "B.colA"));
+        // The country/price cross pairs stay low.
+        assert!(cell("A.f1", "B.colB") < 0.5);
+    }
+
+    #[test]
+    fn missing_samples_score_zero() {
+        let s1 = schema("A", &["x"]);
+        let s2 = schema("B", &["y"]);
+        let mut aux = Auxiliary::standard();
+        aux.instances.add_values("A", "A.x", ["v1"]);
+        // B.y has no samples.
+        let (m, p1, p2) = compute(&aux, &s1, &s2);
+        let i = p1.find_by_full_name(&s1, "A.x").unwrap().index();
+        let j = p2.find_by_full_name(&s2, "B.y").unwrap().index();
+        assert_eq!(m.get(i, j), 0.0);
+    }
+
+    #[test]
+    fn empty_store_yields_zero_matrix() {
+        let s1 = schema("A", &["x"]);
+        let s2 = schema("B", &["y"]);
+        let aux = Auxiliary::standard();
+        let (m, _, _) = compute(&aux, &s1, &s2);
+        assert!(m.values().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn value_normalization_ignores_case_and_space() {
+        let s1 = schema("A", &["x"]);
+        let s2 = schema("B", &["y"]);
+        let mut aux = Auxiliary::standard();
+        aux.instances.add_values("A", "A.x", [" EUR ", "usd"]);
+        aux.instances.add_values("B", "B.y", ["eur", "USD"]);
+        let (m, p1, p2) = compute(&aux, &s1, &s2);
+        let i = p1.find_by_full_name(&s1, "A.x").unwrap().index();
+        let j = p2.find_by_full_name(&s2, "B.y").unwrap().index();
+        assert!(m.get(i, j) > 0.9, "{}", m.get(i, j));
+    }
+
+    #[test]
+    fn profile_similarity_is_bounded_and_reflexive() {
+        let values: Vec<String> = ["abc", "defg", "12x"].iter().map(|s| s.to_string()).collect();
+        let p = ValueProfile::of(&values);
+        assert!((p.similarity(&p) - 1.0).abs() < 1e-12);
+        let other = ValueProfile::of(&["1".to_string()]);
+        let sim = p.similarity(&other);
+        assert!((0.0..=1.0).contains(&sim));
+    }
+
+    #[test]
+    fn store_accumulates_and_reports() {
+        let mut store = InstanceStore::new();
+        assert!(store.is_empty());
+        store.add_values("S", "S.a", ["1"]);
+        store.add_values("S", "S.a", ["2"]);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.values("S", "S.a").unwrap().len(), 2);
+        assert!(store.values("S", "S.b").is_none());
+    }
+}

@@ -1,0 +1,144 @@
+//! The matcher library (paper, Section 4, Table 3): simple, hybrid and
+//! reuse-oriented matchers behind a single [`Matcher`] trait, organized in
+//! an extensible [`MatcherLibrary`].
+
+pub mod context;
+pub mod datatype;
+pub mod feedback;
+pub mod hybrid;
+pub mod instances;
+pub mod name_engine;
+pub mod simple;
+pub mod structural;
+pub mod synonym;
+
+use crate::cube::SimMatrix;
+pub use context::{Auxiliary, MatchContext};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A matcher: computes an `m × n` similarity matrix for the elements
+/// (paths) of a match task. "Each matcher determines an intermediate match
+/// result consisting of a similarity value between 0 and 1 for each
+/// combination of S1 and S2 schema elements" (Section 3).
+pub trait Matcher: Send + Sync {
+    /// The matcher's library name (e.g. `Trigram`, `NamePath`, `SchemaM`).
+    fn name(&self) -> &str;
+
+    /// Computes the similarity matrix for the given match task.
+    fn compute(&self, ctx: &MatchContext<'_>) -> SimMatrix;
+}
+
+/// The extensible matcher library: "New match algorithms can be included
+/// in the library and used in combination with other matchers" (Section 1).
+///
+/// Matchers are shared (`Arc`) so a library clone is cheap and usable
+/// across threads during experiment sweeps.
+#[derive(Clone, Default)]
+pub struct MatcherLibrary {
+    matchers: BTreeMap<String, Arc<dyn Matcher>>,
+}
+
+impl MatcherLibrary {
+    /// An empty library.
+    pub fn new() -> MatcherLibrary {
+        MatcherLibrary::default()
+    }
+
+    /// The standard library with every matcher of Table 3 under its paper
+    /// name, plus the two Schema-matcher variants of the evaluation
+    /// (`SchemaM`, `SchemaA`) and the `Fragment` reuse matcher.
+    pub fn standard() -> MatcherLibrary {
+        use crate::reuse::{FragmentMatcher, SchemaMatcher};
+        let mut lib = MatcherLibrary::new();
+        // Simple matchers.
+        lib.register(Arc::new(simple::SimpleNameMatcher::affix()));
+        lib.register(Arc::new(simple::SimpleNameMatcher::ngram(2)));
+        lib.register(Arc::new(simple::SimpleNameMatcher::ngram(3)));
+        lib.register(Arc::new(simple::SimpleNameMatcher::edit_distance()));
+        lib.register(Arc::new(simple::SimpleNameMatcher::soundex()));
+        lib.register(Arc::new(simple::SimpleNameMatcher::synonym()));
+        lib.register(Arc::new(simple::DataTypeMatcher));
+        lib.register(Arc::new(simple::UserFeedbackMatcher));
+        // Hybrid matchers.
+        lib.register(Arc::new(hybrid::NameMatcher::new()));
+        lib.register(Arc::new(hybrid::NamePathMatcher::new()));
+        lib.register(Arc::new(hybrid::TypeNameMatcher::new()));
+        lib.register(Arc::new(structural::ChildrenMatcher::new()));
+        lib.register(Arc::new(structural::LeavesMatcher::new()));
+        // Instance-level matcher (extension; zero without sample data).
+        lib.register(Arc::new(instances::InstanceMatcher::new()));
+        // Reuse-oriented matchers.
+        lib.register(Arc::new(SchemaMatcher::manual()));
+        lib.register(Arc::new(SchemaMatcher::automatic()));
+        lib.register(Arc::new(FragmentMatcher::new()));
+        lib
+    }
+
+    /// Registers (or replaces) a matcher under its own name.
+    pub fn register(&mut self, matcher: Arc<dyn Matcher>) {
+        self.matchers.insert(matcher.name().to_string(), matcher);
+    }
+
+    /// Looks up a matcher by name.
+    pub fn get(&self, name: &str) -> Option<Arc<dyn Matcher>> {
+        self.matchers.get(name).cloned()
+    }
+
+    /// All registered names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.matchers.keys().map(String::as_str).collect()
+    }
+
+    /// Number of registered matchers.
+    pub fn len(&self) -> usize {
+        self.matchers.len()
+    }
+
+    /// Whether the library is empty.
+    pub fn is_empty(&self) -> bool {
+        self.matchers.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_library_has_the_table_3_matchers() {
+        let lib = MatcherLibrary::standard();
+        for name in [
+            "Affix",
+            "Digram",
+            "Trigram",
+            "EditDistance",
+            "Soundex",
+            "Synonym",
+            "DataType",
+            "UserFeedback",
+            "Name",
+            "NamePath",
+            "TypeName",
+            "Children",
+            "Leaves",
+            "SchemaM",
+            "SchemaA",
+            "Fragment",
+            "Instance",
+        ] {
+            assert!(lib.get(name).is_some(), "missing matcher {name}");
+        }
+        assert_eq!(lib.len(), 17);
+    }
+
+    #[test]
+    fn registration_replaces_by_name() {
+        let mut lib = MatcherLibrary::new();
+        lib.register(Arc::new(simple::DataTypeMatcher));
+        lib.register(Arc::new(simple::DataTypeMatcher));
+        assert_eq!(lib.len(), 1);
+        assert!(lib.get("DataType").is_some());
+        assert!(lib.get("nope").is_none());
+    }
+}

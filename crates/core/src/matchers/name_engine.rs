@@ -1,0 +1,236 @@
+//! The token-set similarity engine behind the hybrid name matchers.
+
+use crate::combine::{Aggregation, CombinedSim, DirectedCandidates, Direction, Selection};
+use crate::cube::{SimCube, SimMatrix};
+use crate::matchers::context::Auxiliary;
+use coma_strings::{
+    affix_similarity, edit_distance_similarity, ngram_similarity, soundex_similarity, tokenize,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A token-level simple matcher usable inside the hybrid `Name` matcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TokenMatcher {
+    /// Common prefix/suffix similarity.
+    Affix,
+    /// n-gram similarity with the given n (Digram = 2, Trigram = 3).
+    NGram(usize),
+    /// Levenshtein similarity.
+    EditDistance,
+    /// Phonetic similarity via Soundex.
+    Soundex,
+    /// Dictionary lookup in the synonym table.
+    Synonym,
+}
+
+impl TokenMatcher {
+    /// Similarity of two tokens under this matcher.
+    pub fn similarity(self, a: &str, b: &str, aux: &Auxiliary) -> f64 {
+        match self {
+            TokenMatcher::Affix => affix_similarity(a, b),
+            TokenMatcher::NGram(n) => ngram_similarity(a, b, n),
+            TokenMatcher::EditDistance => edit_distance_similarity(a, b),
+            TokenMatcher::Soundex => soundex_similarity(a, b),
+            TokenMatcher::Synonym => aux.synonyms.similarity(a, b),
+        }
+    }
+}
+
+impl fmt::Display for TokenMatcher {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenMatcher::Affix => f.write_str("Affix"),
+            TokenMatcher::NGram(2) => f.write_str("Digram"),
+            TokenMatcher::NGram(3) => f.write_str("Trigram"),
+            TokenMatcher::NGram(n) => write!(f, "{n}-gram"),
+            TokenMatcher::EditDistance => f.write_str("EditDistance"),
+            TokenMatcher::Soundex => f.write_str("Soundex"),
+            TokenMatcher::Synonym => f.write_str("Synonym"),
+        }
+    }
+}
+
+/// The token-set similarity engine shared by the hybrid `Name` and
+/// `NamePath` matchers (paper, Sections 4.2 and 6.4).
+///
+/// A name is tokenized and abbreviation-expanded into a token set; multiple
+/// token matchers produce a token-level similarity cube that is combined
+/// with the usual three steps. The paper's default (Table 4):
+/// constituents `Trigram` + `Synonym`, aggregation `Max`, direction `Both`
+/// with selection `Max1`, combined similarity `Average`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NameEngine {
+    /// Token-level constituent matchers.
+    pub token_matchers: Vec<TokenMatcher>,
+    /// Step 1 over the token cube.
+    pub aggregation: Aggregation,
+    /// Step 2a over the token matrix (the paper presupposes `Both`).
+    pub direction: Direction,
+    /// Step 2b over the token matrix.
+    pub selection: Selection,
+    /// Step 3: combined similarity over the token sets.
+    pub combined: CombinedSim,
+}
+
+impl NameEngine {
+    /// The paper's default configuration (Table 4, row `Name`).
+    pub fn paper_default() -> NameEngine {
+        NameEngine {
+            token_matchers: vec![TokenMatcher::NGram(3), TokenMatcher::Synonym],
+            aggregation: Aggregation::Max,
+            direction: Direction::Both,
+            selection: Selection::max_n(1),
+            combined: CombinedSim::Average,
+        }
+    }
+
+    /// Tokenizes and abbreviation-expands a name into its token set
+    /// (duplicates removed, first occurrence order kept).
+    pub fn token_set(&self, name: &str, aux: &Auxiliary) -> Vec<String> {
+        let expanded = aux.abbreviations.expand(&tokenize(name));
+        let mut seen = Vec::with_capacity(expanded.len());
+        for t in expanded {
+            if !seen.contains(&t) {
+                seen.push(t);
+            }
+        }
+        seen
+    }
+
+    /// Combined similarity of two pre-computed token sets.
+    pub fn token_set_similarity(&self, t1: &[String], t2: &[String], aux: &Auxiliary) -> f64 {
+        if t1.is_empty() && t2.is_empty() {
+            return 1.0;
+        }
+        if t1.is_empty() || t2.is_empty() {
+            return 0.0;
+        }
+        if t1 == t2 {
+            return 1.0;
+        }
+        let mut cube = SimCube::new();
+        for tm in &self.token_matchers {
+            let mut m = SimMatrix::new(t1.len(), t2.len());
+            for (i, a) in t1.iter().enumerate() {
+                for (j, b) in t2.iter().enumerate() {
+                    m.set(i, j, tm.similarity(a, b, aux));
+                }
+            }
+            cube.push(tm.to_string(), m);
+        }
+        let matrix = self.aggregation.aggregate(&cube);
+        let candidates = DirectedCandidates::select(&matrix, self.direction, &self.selection);
+        self.combined.compute(&candidates, t1.len(), t2.len())
+    }
+
+    /// Name-level similarity (tokenize + expand + combine).
+    pub fn similarity(&self, a: &str, b: &str, aux: &Auxiliary) -> f64 {
+        let t1 = self.token_set(a, aux);
+        let t2 = self.token_set(b, aux);
+        self.token_set_similarity(&t1, &t2, aux)
+    }
+
+    /// Memoizing variant for matrix computations where names repeat
+    /// (shared fragments yield many paths with identical names).
+    pub fn similarity_cached(
+        &self,
+        a: &str,
+        b: &str,
+        aux: &Auxiliary,
+        cache: &mut HashMap<(String, String), f64>,
+    ) -> f64 {
+        let key = (a.to_string(), b.to_string());
+        if let Some(&v) = cache.get(&key) {
+            return v;
+        }
+        let v = self.similarity(a, b, aux);
+        cache.insert(key, v);
+        v
+    }
+}
+
+impl Default for NameEngine {
+    fn default() -> Self {
+        NameEngine::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matchers::synonym::SynonymTable;
+
+    fn aux() -> Auxiliary {
+        let mut a = Auxiliary::standard();
+        a.synonyms = SynonymTable::purchase_order();
+        a
+    }
+
+    #[test]
+    fn identical_names_score_1() {
+        let e = NameEngine::paper_default();
+        assert_eq!(e.similarity("shipToCity", "shipToCity", &aux()), 1.0);
+    }
+
+    #[test]
+    fn ship_to_matches_deliver_to_via_synonym() {
+        // Section 6.4's motivating case: Trigram finds nothing for
+        // Ship/Deliver, Synonym does; Max aggregation lets it through.
+        let e = NameEngine::paper_default();
+        let sim = e.similarity("ShipTo", "DeliverTo", &aux());
+        assert!(sim > 0.9, "ShipTo vs DeliverTo: {sim}");
+        // Without the synonym table the similarity collapses.
+        let plain = Auxiliary::standard();
+        let sim_plain = e.similarity("ShipTo", "DeliverTo", &plain);
+        assert!(sim_plain < 0.6, "without synonyms: {sim_plain}");
+    }
+
+    #[test]
+    fn po_expansion_helps() {
+        // PO → Purchase Order (abbreviation expansion, Section 4.2).
+        let e = NameEngine::paper_default();
+        let sim = e.similarity("POShipTo", "PurchaseOrderShipTo", &aux());
+        assert!(sim > 0.95, "{sim}");
+    }
+
+    #[test]
+    fn partial_token_overlap_scores_between_0_and_1() {
+        let e = NameEngine::paper_default();
+        let sim = e.similarity("shipToCity", "custCity", &aux());
+        assert!(sim > 0.2 && sim < 0.8, "{sim}");
+    }
+
+    #[test]
+    fn unrelated_names_score_low() {
+        let e = NameEngine::paper_default();
+        let sim = e.similarity("poNo", "street", &aux());
+        assert!(sim < 0.3, "{sim}");
+    }
+
+    #[test]
+    fn token_sets_dedup_and_expand() {
+        let e = NameEngine::paper_default();
+        let toks = e.token_set("shipToShipDate", &aux());
+        assert_eq!(toks, vec!["ship", "to", "date"]);
+    }
+
+    #[test]
+    fn cached_similarity_is_consistent() {
+        let e = NameEngine::paper_default();
+        let a = aux();
+        let mut cache = HashMap::new();
+        let s1 = e.similarity_cached("ShipTo", "DeliverTo", &a, &mut cache);
+        let s2 = e.similarity_cached("ShipTo", "DeliverTo", &a, &mut cache);
+        assert_eq!(s1, s2);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn empty_name_conventions() {
+        let e = NameEngine::paper_default();
+        assert_eq!(e.similarity("", "", &aux()), 1.0);
+        assert_eq!(e.similarity("", "x", &aux()), 0.0);
+    }
+}

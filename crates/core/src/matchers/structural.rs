@@ -1,0 +1,353 @@
+//! The hybrid structural matchers of Section 4.2: `Children` and `Leaves`.
+//! Both derive the similarity of inner elements from the similarity of
+//! element sets below them, computed by a configurable **leaf matcher**
+//! (default `TypeName`, Table 4) and combined with steps 2+3 of the
+//! combination scheme (`Both`/`Max1`, `Average`).
+
+use crate::combine::{CombinedSim, DirectedCandidates, Direction, Selection};
+use crate::cube::SimMatrix;
+use crate::matchers::context::MatchContext;
+use crate::matchers::hybrid::TypeNameMatcher;
+use crate::matchers::Matcher;
+use coma_graph::PathId;
+use std::sync::Arc;
+
+/// Shared configuration of the two structural matchers.
+#[derive(Clone)]
+struct StructuralConfig {
+    leaf_matcher: Arc<dyn Matcher>,
+    direction: Direction,
+    selection: Selection,
+    combined: CombinedSim,
+}
+
+impl StructuralConfig {
+    fn paper_default() -> StructuralConfig {
+        StructuralConfig {
+            leaf_matcher: Arc::new(TypeNameMatcher::new()),
+            direction: Direction::Both,
+            selection: Selection::max_n(1),
+            combined: CombinedSim::Average,
+        }
+    }
+
+    /// Combined similarity of two element sets given the full pairwise
+    /// similarity table `sims` (indexed by path index).
+    fn set_similarity(&self, set1: &[PathId], set2: &[PathId], sims: &SimMatrix) -> f64 {
+        if set1.is_empty() && set2.is_empty() {
+            return 1.0;
+        }
+        if set1.is_empty() || set2.is_empty() {
+            return 0.0;
+        }
+        let mut sub = SimMatrix::new(set1.len(), set2.len());
+        for (a, p) in set1.iter().enumerate() {
+            for (b, q) in set2.iter().enumerate() {
+                sub.set(a, b, sims.get(p.index(), q.index()));
+            }
+        }
+        let candidates = DirectedCandidates::select(&sub, self.direction, &self.selection);
+        self.combined.compute(&candidates, set1.len(), set2.len())
+    }
+}
+
+/// The `Children` matcher: "determines the similarity between two inner
+/// elements based on the combined similarity between their child elements,
+/// which in turn can be both inner and leaf elements. The similarity
+/// between the inner elements needs to be recursively computed from the
+/// similarity between their respective children" (Section 4.2).
+///
+/// Pairs where either element is a leaf fall back to the leaf matcher
+/// (the paper leaves mixed pairs unspecified; the fallback keeps `Children`
+/// consistent with its leaf matcher on leaf-level pairs).
+pub struct ChildrenMatcher {
+    config: StructuralConfig,
+}
+
+impl ChildrenMatcher {
+    /// `Children` with the paper's defaults (leaf matcher `TypeName`).
+    pub fn new() -> ChildrenMatcher {
+        ChildrenMatcher {
+            config: StructuralConfig::paper_default(),
+        }
+    }
+
+    /// `Children` with a custom leaf matcher.
+    pub fn with_leaf_matcher(leaf_matcher: Arc<dyn Matcher>) -> ChildrenMatcher {
+        ChildrenMatcher {
+            config: StructuralConfig {
+                leaf_matcher,
+                ..StructuralConfig::paper_default()
+            },
+        }
+    }
+
+    /// Overrides the step-3 combined-similarity strategy (Average/Dice).
+    pub fn with_combined(mut self, combined: CombinedSim) -> ChildrenMatcher {
+        self.config.combined = combined;
+        self
+    }
+
+    /// Overrides the step-2 selection strategy.
+    pub fn with_selection(mut self, selection: Selection) -> ChildrenMatcher {
+        self.config.selection = selection;
+        self
+    }
+}
+
+impl Default for ChildrenMatcher {
+    fn default() -> Self {
+        ChildrenMatcher::new()
+    }
+}
+
+impl Matcher for ChildrenMatcher {
+    fn name(&self) -> &str {
+        "Children"
+    }
+
+    fn compute(&self, ctx: &MatchContext<'_>) -> SimMatrix {
+        let leaf_sims = self.config.leaf_matcher.compute(ctx);
+        let mut out = leaf_sims.clone();
+
+        // Bottom-up: process source paths in order of increasing subtree
+        // height so children similarities exist before their parents'.
+        let src_by_height = paths_by_height(ctx, true);
+        let tgt_inner: Vec<PathId> = ctx.target_paths.inner_paths();
+        for &p in &src_by_height {
+            if ctx.source_paths.is_leaf(p) {
+                continue;
+            }
+            let c1 = ctx.source_paths.children(p).to_vec();
+            for &q in &tgt_inner {
+                let c2 = ctx.target_paths.children(q);
+                let sim = self.config.set_similarity(&c1, c2, &out);
+                out.set(p.index(), q.index(), sim);
+            }
+            // Inner × leaf pairs keep the leaf matcher's value (fallback).
+        }
+        out
+    }
+}
+
+/// The `Leaves` matcher: "only considers the leaf elements to estimate the
+/// similarity between two inner elements. This strategy aims at more
+/// stable similarity in cases of structural conflicts" (Section 4.2) —
+/// e.g. it can identify ShipTo ↔ DeliverTo even though the address leaves
+/// sit one level deeper in PO2.
+pub struct LeavesMatcher {
+    config: StructuralConfig,
+}
+
+impl LeavesMatcher {
+    /// `Leaves` with the paper's defaults (leaf matcher `TypeName`).
+    pub fn new() -> LeavesMatcher {
+        LeavesMatcher {
+            config: StructuralConfig::paper_default(),
+        }
+    }
+
+    /// `Leaves` with a custom leaf matcher.
+    pub fn with_leaf_matcher(leaf_matcher: Arc<dyn Matcher>) -> LeavesMatcher {
+        LeavesMatcher {
+            config: StructuralConfig {
+                leaf_matcher,
+                ..StructuralConfig::paper_default()
+            },
+        }
+    }
+
+    /// Overrides the step-3 combined-similarity strategy (Average/Dice).
+    pub fn with_combined(mut self, combined: CombinedSim) -> LeavesMatcher {
+        self.config.combined = combined;
+        self
+    }
+
+    /// Overrides the step-2 selection strategy.
+    pub fn with_selection(mut self, selection: Selection) -> LeavesMatcher {
+        self.config.selection = selection;
+        self
+    }
+}
+
+impl Default for LeavesMatcher {
+    fn default() -> Self {
+        LeavesMatcher::new()
+    }
+}
+
+impl Matcher for LeavesMatcher {
+    fn name(&self) -> &str {
+        "Leaves"
+    }
+
+    fn compute(&self, ctx: &MatchContext<'_>) -> SimMatrix {
+        let leaf_sims = self.config.leaf_matcher.compute(ctx);
+        let mut out = SimMatrix::new(ctx.rows(), ctx.cols());
+        // A leaf's leaf-set is itself, so every pair is handled uniformly:
+        // sim(p, q) = combined similarity of leaves_under(p) × leaves_under(q).
+        let src_leaves: Vec<Vec<PathId>> = ctx
+            .source_paths
+            .iter()
+            .map(|p| ctx.source_paths.leaves_under(p))
+            .collect();
+        let tgt_leaves: Vec<Vec<PathId>> = ctx
+            .target_paths
+            .iter()
+            .map(|q| ctx.target_paths.leaves_under(q))
+            .collect();
+        for (i, l1) in src_leaves.iter().enumerate() {
+            for (j, l2) in tgt_leaves.iter().enumerate() {
+                out.set(i, j, self.config.set_similarity(l1, l2, &leaf_sims));
+            }
+        }
+        out
+    }
+}
+
+/// All paths of one side ordered by increasing subtree height (leaves
+/// first, root last).
+fn paths_by_height(ctx: &MatchContext<'_>, source: bool) -> Vec<PathId> {
+    let ps = if source { ctx.source_paths } else { ctx.target_paths };
+    let mut height = vec![0usize; ps.len()];
+    // DFS preorder guarantees children appear after parents, so a reverse
+    // sweep computes heights in one pass.
+    for p in ps.iter().collect::<Vec<_>>().into_iter().rev() {
+        let h = ps
+            .children(p)
+            .iter()
+            .map(|c| height[c.index()] + 1)
+            .max()
+            .unwrap_or(0);
+        height[p.index()] = h;
+    }
+    let mut order: Vec<PathId> = ps.iter().collect();
+    order.sort_by_key(|p| height[p.index()]);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matchers::context::Auxiliary;
+    use crate::matchers::synonym::SynonymTable;
+    use coma_graph::{PathSet, Schema};
+
+    fn po1() -> Schema {
+        coma_sql::import_ddl(
+            "CREATE TABLE PO1.ShipTo (
+                 shipToStreet VARCHAR(200), shipToCity VARCHAR(200), shipToZip VARCHAR(20));
+             CREATE TABLE PO1.Customer (custNo INT, custName VARCHAR(200));",
+            "PO1",
+        )
+        .unwrap()
+    }
+
+    fn po2() -> Schema {
+        coma_xml::import_xsd(
+            r#"<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="PO2">
+    <xsd:sequence>
+      <xsd:element name="DeliverTo" type="Address"/>
+      <xsd:element name="BillTo" type="Address"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:complexType name="Address">
+    <xsd:sequence>
+      <xsd:element name="Street" type="xsd:string"/>
+      <xsd:element name="City" type="xsd:string"/>
+      <xsd:element name="Zip" type="xsd:decimal"/>
+    </xsd:sequence>
+  </xsd:complexType>
+</xsd:schema>"#,
+            "PO2",
+        )
+        .unwrap()
+    }
+
+    fn aux() -> Auxiliary {
+        let mut a = Auxiliary::standard();
+        a.synonyms = SynonymTable::purchase_order();
+        a
+    }
+
+    fn run(matcher: &dyn Matcher, s1: &Schema, s2: &Schema, aux: &Auxiliary) -> (SimMatrix, PathSet, PathSet) {
+        let p1 = PathSet::new(s1).unwrap();
+        let p2 = PathSet::new(s2).unwrap();
+        let ctx = MatchContext::new(s1, s2, &p1, &p2, aux);
+        (matcher.compute(&ctx), p1, p2)
+    }
+
+    fn cell(s1: &Schema, s2: &Schema, m: &SimMatrix, p1: &PathSet, p2: &PathSet, a: &str, b: &str) -> f64 {
+        let i = p1.find_by_full_name(s1, a).unwrap().index();
+        let j = p2.find_by_full_name(s2, b).unwrap().index();
+        m.get(i, j)
+    }
+
+    /// Section 4.2's key contrast: "Children will therefore only find a
+    /// correspondence between ShipTo and Address, while Leaves can also
+    /// identify a correspondence between ShipTo and DeliverTo."
+    #[test]
+    fn leaves_bridges_the_structural_conflict_children_cannot() {
+        let (s1, s2, aux) = (po1(), po2(), aux());
+
+        let (ch, p1, p2) = run(&ChildrenMatcher::new(), &s1, &s2, &aux);
+        let ch_address = cell(&s1, &s2, &ch, &p1, &p2, "PO1.ShipTo", "PO2.DeliverTo.Address");
+        let ch_deliver = cell(&s1, &s2, &ch, &p1, &p2, "PO1.ShipTo", "PO2.DeliverTo");
+        assert!(
+            ch_address > ch_deliver,
+            "Children: Address {ch_address} vs DeliverTo {ch_deliver}"
+        );
+
+        let (lv, p1, p2) = run(&LeavesMatcher::new(), &s1, &s2, &aux);
+        let lv_deliver = cell(&s1, &s2, &lv, &p1, &p2, "PO1.ShipTo", "PO2.DeliverTo");
+        let lv_address = cell(&s1, &s2, &lv, &p1, &p2, "PO1.ShipTo", "PO2.DeliverTo.Address");
+        // Leaves sees identical leaf sets for DeliverTo and its Address.
+        assert!(
+            (lv_deliver - lv_address).abs() < 1e-12,
+            "Leaves: DeliverTo {lv_deliver} vs Address {lv_address}"
+        );
+        assert!(lv_deliver > 0.5, "Leaves ShipTo↔DeliverTo: {lv_deliver}");
+        assert!(lv_deliver > ch_deliver);
+    }
+
+    #[test]
+    fn leaf_pairs_fall_back_to_the_leaf_matcher() {
+        let (s1, s2, aux) = (po1(), po2(), aux());
+        let tn = TypeNameMatcher::new();
+        let (tn_m, p1, p2) = run(&tn, &s1, &s2, &aux);
+        let (ch, _, _) = run(&ChildrenMatcher::new(), &s1, &s2, &aux);
+        let (lv, _, _) = run(&LeavesMatcher::new(), &s1, &s2, &aux);
+        let pairs = [
+            ("PO1.ShipTo.shipToCity", "PO2.DeliverTo.Address.City"),
+            ("PO1.Customer.custName", "PO2.BillTo.Address.Zip"),
+        ];
+        for (a, b) in pairs {
+            let want = cell(&s1, &s2, &tn_m, &p1, &p2, a, b);
+            assert!((cell(&s1, &s2, &ch, &p1, &p2, a, b) - want).abs() < 1e-12);
+            assert!((cell(&s1, &s2, &lv, &p1, &p2, a, b) - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn children_scores_matching_child_sets_high() {
+        let (s1, s2, aux) = (po1(), po2(), aux());
+        let (ch, p1, p2) = run(&ChildrenMatcher::new(), &s1, &s2, &aux);
+        // ShipTo's children (street, city, zip) match Address's children.
+        let sim = cell(&s1, &s2, &ch, &p1, &p2, "PO1.ShipTo", "PO2.DeliverTo.Address");
+        assert!(sim > 0.5, "{sim}");
+        // Customer's children (custNo, custName) match Address poorly.
+        let bad = cell(&s1, &s2, &ch, &p1, &p2, "PO1.Customer", "PO2.DeliverTo.Address");
+        assert!(bad < sim, "{bad} vs {sim}");
+    }
+
+    #[test]
+    fn roots_get_a_defined_similarity() {
+        let (s1, s2, aux) = (po1(), po2(), aux());
+        for matcher in [&ChildrenMatcher::new() as &dyn Matcher, &LeavesMatcher::new()] {
+            let (m, _, _) = run(matcher, &s1, &s2, &aux);
+            let root_sim = m.get(0, 0);
+            assert!((0.0..=1.0).contains(&root_sim));
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! The terminological dictionary of the `Synonym` matcher.
+
+use coma_strings::normalize_token;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A terminological dictionary for the `Synonym` matcher.
+///
+/// "This matcher estimates the similarity between element names by looking
+/// up the terminological relationships in a specified dictionary.
+/// Currently, it simply uses relationship-specific similarity values, e.g.,
+/// 1.0 for a synonymy and 0.8 for a hypernymy relationship" (Section 4.1).
+///
+/// Lookups are symmetric and keyed on normalized tokens (lower-case,
+/// alphanumeric only).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SynonymTable {
+    entries: HashMap<(String, String), f64>,
+}
+
+/// Similarity assigned to synonym pairs.
+pub const SYNONYM_SIM: f64 = 1.0;
+/// Similarity assigned to hypernym pairs.
+pub const HYPERNYM_SIM: f64 = 0.8;
+
+impl SynonymTable {
+    /// An empty dictionary.
+    pub fn new() -> SynonymTable {
+        SynonymTable::default()
+    }
+
+    /// The dictionary used by the paper's evaluation (Section 7.1):
+    /// "a synonym file with […] domain-specific synonyms, such as
+    /// (ship, deliver), (bill, invoice)", extended with the obvious
+    /// purchase-order vocabulary of the corpus.
+    pub fn purchase_order() -> SynonymTable {
+        let mut t = SynonymTable::new();
+        for (a, b) in [
+            ("ship", "deliver"),
+            ("bill", "invoice"),
+            ("customer", "buyer"),
+            ("vendor", "supplier"),
+            ("vendor", "seller"),
+            ("supplier", "seller"),
+            ("street", "road"),
+            ("zip", "postcode"),
+            ("zip", "postalcode"),
+            ("postcode", "postalcode"),
+            ("phone", "telephone"),
+            ("item", "line"),
+            ("article", "product"),
+            ("price", "cost"),
+            ("total", "sum"),
+            ("company", "organization"),
+        ] {
+            t.add_synonym(a, b);
+        }
+        for (sub, sup) in [
+            ("city", "location"),
+            ("state", "region"),
+            ("province", "region"),
+            ("county", "region"),
+            ("fax", "telephone"),
+        ] {
+            t.add_hypernym(sub, sup);
+        }
+        t
+    }
+
+    /// Registers a synonym pair (similarity 1.0).
+    pub fn add_synonym(&mut self, a: &str, b: &str) {
+        self.add_with_similarity(a, b, SYNONYM_SIM);
+    }
+
+    /// Registers a hypernym pair (similarity 0.8).
+    pub fn add_hypernym(&mut self, sub: &str, sup: &str) {
+        self.add_with_similarity(sub, sup, HYPERNYM_SIM);
+    }
+
+    /// Registers a pair with an explicit relationship similarity.
+    pub fn add_with_similarity(&mut self, a: &str, b: &str, sim: f64) {
+        let key = Self::key(a, b);
+        self.entries.insert(key, sim.clamp(0.0, 1.0));
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The dictionary similarity of two tokens: 1.0 for equal normalized
+    /// tokens, the relationship similarity for known pairs, else 0.
+    pub fn similarity(&self, a: &str, b: &str) -> f64 {
+        let (na, nb) = (normalize_token(a), normalize_token(b));
+        if na == nb && !na.is_empty() {
+            return 1.0;
+        }
+        self.entries
+            .get(&Self::ordered(na, nb))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    fn key(a: &str, b: &str) -> (String, String) {
+        Self::ordered(normalize_token(a), normalize_token(b))
+    }
+
+    fn ordered(a: String, b: String) -> (String, String) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ship_deliver_is_a_synonym() {
+        // Section 6.4: "a semantic matcher such as Synonym can detect the
+        // synonymy [of Ship and Deliver] and assign a high similarity".
+        let t = SynonymTable::purchase_order();
+        assert_eq!(t.similarity("Ship", "Deliver"), 1.0);
+        assert_eq!(t.similarity("deliver", "ship"), 1.0);
+    }
+
+    #[test]
+    fn hypernyms_score_08() {
+        let t = SynonymTable::purchase_order();
+        assert_eq!(t.similarity("city", "location"), HYPERNYM_SIM);
+    }
+
+    #[test]
+    fn equal_tokens_score_1_without_entries() {
+        let t = SynonymTable::new();
+        assert_eq!(t.similarity("City", "city"), 1.0);
+        assert_eq!(t.similarity("city", "town"), 0.0);
+    }
+
+    #[test]
+    fn lookup_is_symmetric_and_normalized() {
+        let mut t = SynonymTable::new();
+        t.add_synonym("Bill-To", "invoice");
+        assert_eq!(t.similarity("billto", "Invoice"), 1.0);
+        assert_eq!(t.similarity("Invoice", "billto"), 1.0);
+    }
+
+    #[test]
+    fn explicit_similarity_is_clamped() {
+        let mut t = SynonymTable::new();
+        t.add_with_similarity("a", "b", 3.0);
+        assert_eq!(t.similarity("a", "b"), 1.0);
+    }
+
+    #[test]
+    fn empty_tokens_never_match() {
+        let t = SynonymTable::new();
+        assert_eq!(t.similarity("", ""), 0.0);
+        assert_eq!(t.similarity("--", "--"), 0.0);
+    }
+}

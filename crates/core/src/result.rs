@@ -1,0 +1,75 @@
+use crate::matchers::context::MatchContext;
+use coma_graph::PathId;
+use coma_repo::{Mapping, MappingKind};
+use serde::{Deserialize, Serialize};
+
+/// One proposed correspondence of a match result.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MatchCandidate {
+    /// Source element (path in S1).
+    pub source: PathId,
+    /// Target element (path in S2).
+    pub target: PathId,
+    /// Combined similarity in `[0, 1]`.
+    pub similarity: f64,
+}
+
+/// The result of a match operation: "a set of mapping elements specifying
+/// the matching schema elements together with a similarity value"
+/// (Section 3), plus the optional schema similarity of step 3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatchResult {
+    /// Name of the source schema S1.
+    pub source_schema: String,
+    /// Name of the target schema S2.
+    pub target_schema: String,
+    /// The proposed correspondences, sorted by (source, target).
+    pub candidates: Vec<MatchCandidate>,
+    /// Number of S1 elements (`m`) — needed for schema similarity.
+    pub source_size: usize,
+    /// Number of S2 elements (`n`).
+    pub target_size: usize,
+    /// The combined schema similarity, when computed.
+    pub schema_similarity: Option<f64>,
+}
+
+impl MatchResult {
+    /// Number of correspondences.
+    pub fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Whether the result proposes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+
+    /// Whether the pair is proposed.
+    pub fn contains(&self, source: PathId, target: PathId) -> bool {
+        self.candidates
+            .iter()
+            .any(|c| c.source == source && c.target == target)
+    }
+
+    /// The similarity of a proposed pair, if present.
+    pub fn similarity_of(&self, source: PathId, target: PathId) -> Option<f64> {
+        self.candidates
+            .iter()
+            .find(|c| c.source == source && c.target == target)
+            .map(|c| c.similarity)
+    }
+
+    /// Converts the result into the repository's relational representation
+    /// (full-name keyed), ready for storage and later reuse.
+    pub fn to_mapping(&self, ctx: &MatchContext<'_>, kind: MappingKind) -> Mapping {
+        let mut mapping = Mapping::new(&self.source_schema, &self.target_schema, kind);
+        for c in &self.candidates {
+            mapping.push(
+                ctx.source_paths.full_name(ctx.source, c.source),
+                ctx.target_paths.full_name(ctx.target, c.target),
+                c.similarity,
+            );
+        }
+        mapping
+    }
+}

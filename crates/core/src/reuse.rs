@@ -1,0 +1,432 @@
+//! Reuse of previous match results (paper, Section 5): the
+//! [`match_compose`] operation and the reuse-oriented matchers
+//! [`SchemaMatcher`] (`SchemaM` / `SchemaA`) and [`FragmentMatcher`].
+
+use crate::combine::Aggregation;
+use crate::cube::{SimCube, SimMatrix};
+use crate::matchers::context::MatchContext;
+use crate::matchers::Matcher;
+use coma_repo::{Mapping, MappingKind};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// How the two similarities of a transitive chain `a↔b↔c` are combined by
+/// MatchCompose. The paper (Section 5.1) argues that the common
+/// multiplication approach "may lead to rapidly degrading similarity
+/// values" (0.5·0.7 = 0.35) and prefers Average (→ 0.6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ComposeCombine {
+    /// `(s1 + s2) / 2` — the paper's choice.
+    Average,
+    /// `s1 · s2` — the information-retrieval tradition; degrades quickly.
+    Multiply,
+    /// `min(s1, s2)` — pessimistic.
+    Min,
+    /// `max(s1, s2)` — optimistic.
+    Max,
+}
+
+impl ComposeCombine {
+    /// Applies the combination to a pair of similarities.
+    pub fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            ComposeCombine::Average => (a + b) / 2.0,
+            ComposeCombine::Multiply => a * b,
+            ComposeCombine::Min => a.min(b),
+            ComposeCombine::Max => a.max(b),
+        }
+    }
+}
+
+/// The MatchCompose operation: derives `match: S1↔S3` from
+/// `match1: S1↔S2` and `match2: S2↔S3` by a natural join on the shared S2
+/// elements (Section 5.1, Figure 3).
+pub fn match_compose(m1: &Mapping, m2: &Mapping, combine: ComposeCombine) -> Mapping {
+    m1.compose(m2, |a, b| combine.apply(a, b))
+}
+
+/// The `Schema` reuse matcher (Section 5.2, Figure 5): searches the
+/// repository for pivot schemas `S` with stored results `S1↔S` and `S↔S2`,
+/// MatchComposes each pair, and aggregates the composed results into one
+/// similarity matrix (one slice per composed mapping; missing pairs count
+/// as similarity 0, so pairs found via many pivots dominate — this is what
+/// "compensates the problem of false n:m matches" in Section 7.3).
+pub struct SchemaMatcher {
+    name: String,
+    /// Restricts which stored mappings qualify (`None` = all).
+    pub kind_filter: Option<MappingKind>,
+    /// Transitive-similarity combination (default Average).
+    pub compose: ComposeCombine,
+    /// Aggregation across multiple composed results (default Average).
+    pub aggregation: Aggregation,
+}
+
+impl SchemaMatcher {
+    /// `SchemaM`: reuses manually confirmed match results.
+    pub fn manual() -> SchemaMatcher {
+        SchemaMatcher {
+            name: "SchemaM".into(),
+            kind_filter: Some(MappingKind::Manual),
+            compose: ComposeCombine::Average,
+            aggregation: Aggregation::Average,
+        }
+    }
+
+    /// `SchemaA`: reuses automatically derived match results.
+    pub fn automatic() -> SchemaMatcher {
+        SchemaMatcher {
+            name: "SchemaA".into(),
+            kind_filter: Some(MappingKind::Automatic),
+            compose: ComposeCombine::Average,
+            aggregation: Aggregation::Average,
+        }
+    }
+
+    /// A custom variant.
+    pub fn with_name(name: impl Into<String>, kind_filter: Option<MappingKind>) -> SchemaMatcher {
+        SchemaMatcher {
+            name: name.into(),
+            kind_filter,
+            compose: ComposeCombine::Average,
+            aggregation: Aggregation::Average,
+        }
+    }
+
+    /// Converts a (full-name keyed) mapping into a matrix for this task.
+    /// Correspondences naming unknown paths are ignored.
+    fn mapping_to_matrix(
+        mapping: &Mapping,
+        src_index: &HashMap<String, usize>,
+        tgt_index: &HashMap<String, usize>,
+        rows: usize,
+        cols: usize,
+    ) -> SimMatrix {
+        let mut m = SimMatrix::new(rows, cols);
+        for c in &mapping.correspondences {
+            if let (Some(&i), Some(&j)) = (src_index.get(&c.source), tgt_index.get(&c.target)) {
+                // Keep the best value if duplicates appear.
+                if c.similarity > m.get(i, j) {
+                    m.set(i, j, c.similarity);
+                }
+            }
+        }
+        m
+    }
+}
+
+impl Matcher for SchemaMatcher {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn compute(&self, ctx: &MatchContext<'_>) -> SimMatrix {
+        let (rows, cols) = (ctx.rows(), ctx.cols());
+        let Some(repo) = ctx.repository else {
+            return SimMatrix::new(rows, cols);
+        };
+        let pairs = repo.pivot_pairs(ctx.source.name(), ctx.target.name(), |m| {
+            self.kind_filter.is_none_or(|k| m.kind == k)
+        });
+        if pairs.is_empty() {
+            return SimMatrix::new(rows, cols);
+        }
+        let src_index: HashMap<String, usize> =
+            (0..rows).map(|i| (ctx.source_full_name(i), i)).collect();
+        let tgt_index: HashMap<String, usize> =
+            (0..cols).map(|j| (ctx.target_full_name(j), j)).collect();
+
+        let mut cube = SimCube::new();
+        for (k, (first, second)) in pairs.iter().enumerate() {
+            let composed = match_compose(first, second, self.compose);
+            let slice =
+                Self::mapping_to_matrix(&composed, &src_index, &tgt_index, rows, cols);
+            cube.push(format!("compose-{k}"), slice);
+        }
+        self.aggregation.aggregate(&cube)
+    }
+}
+
+/// The `Fragment` reuse matcher. The paper names it ("the other, Fragment,
+/// operates on schema fragments", Section 5) without details; this is our
+/// reconstruction, documented in DESIGN.md:
+///
+/// Every stored correspondence also witnesses correspondences between the
+/// **path suffixes** of its two elements (`…ShipTo.Address.City ↔
+/// …DeliverTo.Address.City` witnesses `Address.City ↔ Address.City` and
+/// `City ↔ City`). The matcher harvests all suffix pairs up to
+/// [`FragmentMatcher::max_suffix`] from qualifying stored mappings —
+/// including mappings of *other* schema pairs — and applies the dictionary
+/// to the task's paths, preferring the longest matching suffix.
+pub struct FragmentMatcher {
+    /// Restricts which stored mappings qualify (`None` = all).
+    pub kind_filter: Option<MappingKind>,
+    /// Maximum suffix length harvested (in path steps).
+    pub max_suffix: usize,
+}
+
+impl FragmentMatcher {
+    /// Fragment matcher over all stored mappings, suffixes up to 3 steps.
+    pub fn new() -> FragmentMatcher {
+        FragmentMatcher {
+            kind_filter: None,
+            max_suffix: 3,
+        }
+    }
+}
+
+impl Default for FragmentMatcher {
+    fn default() -> Self {
+        FragmentMatcher::new()
+    }
+}
+
+fn suffix(path: &str, k: usize) -> Option<String> {
+    let parts: Vec<&str> = path.split('.').collect();
+    if parts.len() < k || k == 0 {
+        return None;
+    }
+    Some(parts[parts.len() - k..].join("."))
+}
+
+impl Matcher for FragmentMatcher {
+    fn name(&self) -> &str {
+        "Fragment"
+    }
+
+    fn compute(&self, ctx: &MatchContext<'_>) -> SimMatrix {
+        let (rows, cols) = (ctx.rows(), ctx.cols());
+        let mut out = SimMatrix::new(rows, cols);
+        let Some(repo) = ctx.repository else {
+            return out;
+        };
+        let (src_name, tgt_name) = (ctx.source.name(), ctx.target.name());
+
+        // Harvest the suffix dictionary, keeping the best similarity per
+        // suffix pair. Mappings involving the task pair itself are skipped —
+        // those are direct results, not reuse.
+        let mut dict: Vec<HashMap<(String, String), f64>> =
+            vec![HashMap::new(); self.max_suffix + 1];
+        for m in repo.mappings() {
+            if m.relates(src_name, tgt_name) {
+                continue;
+            }
+            if let Some(k) = self.kind_filter {
+                if m.kind != k {
+                    continue;
+                }
+            }
+            for c in &m.correspondences {
+                for (k, level) in dict.iter_mut().enumerate().skip(1) {
+                    if let (Some(a), Some(b)) = (suffix(&c.source, k), suffix(&c.target, k)) {
+                        let e = level.entry((a.clone(), b.clone())).or_insert(0.0);
+                        *e = e.max(c.similarity);
+                        // Suffix pairs witness both orientations.
+                        let e2 = level.entry((b, a)).or_insert(0.0);
+                        *e2 = e2.max(c.similarity);
+                    }
+                }
+            }
+        }
+        if dict.iter().all(HashMap::is_empty) {
+            return out;
+        }
+
+        let src_names: Vec<String> = (0..rows).map(|i| ctx.source_full_name(i)).collect();
+        let tgt_names: Vec<String> = (0..cols).map(|j| ctx.target_full_name(j)).collect();
+        for (i, a) in src_names.iter().enumerate() {
+            for (j, b) in tgt_names.iter().enumerate() {
+                // Longest matching suffix wins.
+                for k in (1..=self.max_suffix).rev() {
+                    let (Some(sa), Some(sb)) = (suffix(a, k), suffix(b, k)) else {
+                        continue;
+                    };
+                    if let Some(&sim) = dict[k].get(&(sa, sb)) {
+                        out.set(i, j, sim);
+                        break;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matchers::context::Auxiliary;
+    use coma_graph::{DataType, Node, PathSet, Schema, SchemaBuilder};
+    use coma_repo::Repository;
+
+    fn contact_schema(name: &str, leaves: &[&str]) -> Schema {
+        let mut b = SchemaBuilder::new(name);
+        let root = b.add_node(Node::new(name));
+        let contact = b.add_node(Node::new("Contact"));
+        b.add_child(root, contact).unwrap();
+        for leaf in leaves {
+            let n = b.add_node(Node::new(*leaf).with_datatype(DataType::Text));
+            b.add_child(contact, n).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    /// Figure 3: PO1 {Name, Email, company}, PO2 {name, e-mail, company},
+    /// PO3 {firstName, lastName, email, company}.
+    fn figure3_repo() -> Repository {
+        let mut repo = Repository::new();
+        let mut m1 = Mapping::new("PO1", "PO2", MappingKind::Manual);
+        m1.push("PO1.Contact.Email", "PO2.Contact.e-mail", 1.0);
+        m1.push("PO1.Contact.Name", "PO2.Contact.name", 1.0);
+        repo.put_mapping(m1);
+        let mut m2 = Mapping::new("PO2", "PO3", MappingKind::Manual);
+        m2.push("PO2.Contact.e-mail", "PO3.Contact.email", 1.0);
+        m2.push("PO2.Contact.name", "PO3.Contact.firstName", 0.8);
+        m2.push("PO2.Contact.name", "PO3.Contact.lastName", 0.8);
+        repo.put_mapping(m2);
+        repo
+    }
+
+    #[test]
+    fn schema_matcher_reproduces_figure_3() {
+        let s1 = contact_schema("PO1", &["Name", "Email", "company"]);
+        let s3 = contact_schema("PO3", &["firstName", "lastName", "email", "company"]);
+        let p1 = PathSet::new(&s1).unwrap();
+        let p3 = PathSet::new(&s3).unwrap();
+        let aux = Auxiliary::standard();
+        let repo = figure3_repo();
+        let ctx = MatchContext::new(&s1, &s3, &p1, &p3, &aux).with_repository(&repo);
+        let m = SchemaMatcher::manual().compute(&ctx);
+
+        let cell = |a: &str, b: &str| {
+            let i = p1.find_by_full_name(&s1, a).unwrap().index();
+            let j = p3.find_by_full_name(&s3, b).unwrap().index();
+            m.get(i, j)
+        };
+        // Email ↔ email composes to (1+1)/2 = 1.0.
+        assert_eq!(cell("PO1.Contact.Email", "PO3.Contact.email"), 1.0);
+        // Name ↔ firstName: (1+0.8)/2 = 0.9.
+        assert!((cell("PO1.Contact.Name", "PO3.Contact.firstName") - 0.9).abs() < 1e-12);
+        // company has no counterpart in PO2 → missed (Figure 3's caveat).
+        assert_eq!(cell("PO1.Contact.company", "PO3.Contact.company"), 0.0);
+    }
+
+    #[test]
+    fn schema_matcher_respects_kind_filter() {
+        let s1 = contact_schema("PO1", &["Name"]);
+        let s3 = contact_schema("PO3", &["firstName"]);
+        let p1 = PathSet::new(&s1).unwrap();
+        let p3 = PathSet::new(&s3).unwrap();
+        let aux = Auxiliary::standard();
+        let repo = figure3_repo(); // all mappings are Manual
+        let ctx = MatchContext::new(&s1, &s3, &p1, &p3, &aux).with_repository(&repo);
+        let m = SchemaMatcher::automatic().compute(&ctx);
+        assert!(m.values().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn schema_matcher_without_repository_is_zero() {
+        let s1 = contact_schema("PO1", &["Name"]);
+        let s3 = contact_schema("PO3", &["firstName"]);
+        let p1 = PathSet::new(&s1).unwrap();
+        let p3 = PathSet::new(&s3).unwrap();
+        let aux = Auxiliary::standard();
+        let ctx = MatchContext::new(&s1, &s3, &p1, &p3, &aux);
+        let m = SchemaMatcher::manual().compute(&ctx);
+        assert!(m.values().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn averaging_multiple_pivots_dampens_spurious_matches() {
+        // Two pivots; only one witnesses a (spurious) correspondence, both
+        // witness the true one → true 1.0, spurious 0.5·value.
+        let s1 = contact_schema("A", &["email", "fax"]);
+        let s2 = contact_schema("B", &["email", "phone"]);
+        let mut repo = Repository::new();
+        for pivot in ["P", "Q"] {
+            let mut m1 = Mapping::new("A", pivot, MappingKind::Manual);
+            m1.push("A.Contact.email", format!("{pivot}.Contact.email"), 1.0);
+            if pivot == "P" {
+                m1.push("A.Contact.fax", format!("{pivot}.Contact.phone"), 1.0);
+            }
+            repo.put_mapping(m1);
+            let mut m2 = Mapping::new(pivot, "B", MappingKind::Manual);
+            m2.push(format!("{pivot}.Contact.email"), "B.Contact.email", 1.0);
+            if pivot == "P" {
+                m2.push(format!("{pivot}.Contact.phone"), "B.Contact.phone", 1.0);
+            }
+            repo.put_mapping(m2);
+        }
+        let p1 = PathSet::new(&s1).unwrap();
+        let p2 = PathSet::new(&s2).unwrap();
+        let aux = Auxiliary::standard();
+        let ctx = MatchContext::new(&s1, &s2, &p1, &p2, &aux).with_repository(&repo);
+        let m = SchemaMatcher::manual().compute(&ctx);
+        let cell = |a: &str, b: &str| {
+            let i = p1.find_by_full_name(&s1, a).unwrap().index();
+            let j = p2.find_by_full_name(&s2, b).unwrap().index();
+            m.get(i, j)
+        };
+        assert_eq!(cell("A.Contact.email", "B.Contact.email"), 1.0);
+        assert_eq!(cell("A.Contact.fax", "B.Contact.phone"), 0.5);
+    }
+
+    #[test]
+    fn compose_combine_variants() {
+        assert_eq!(ComposeCombine::Average.apply(0.5, 0.7), 0.6);
+        assert!((ComposeCombine::Multiply.apply(0.5, 0.7) - 0.35).abs() < 1e-12);
+        assert_eq!(ComposeCombine::Min.apply(0.5, 0.7), 0.5);
+        assert_eq!(ComposeCombine::Max.apply(0.5, 0.7), 0.7);
+    }
+
+    #[test]
+    fn fragment_matcher_transfers_suffix_correspondences() {
+        // A↔B never matched; but C↔D contains Address.City ↔ Address.City
+        // tails that transfer.
+        let mut sb = SchemaBuilder::new("A");
+        let root = sb.add_node(Node::new("A"));
+        let ship = sb.add_node(Node::new("ShipTo"));
+        let city = sb.add_node(Node::new("City").with_datatype(DataType::Text));
+        sb.add_child(root, ship).unwrap();
+        sb.add_child(ship, city).unwrap();
+        let s1 = sb.build().unwrap();
+
+        let mut sb = SchemaBuilder::new("B");
+        let root = sb.add_node(Node::new("B"));
+        let deliver = sb.add_node(Node::new("DeliverTo"));
+        let city = sb.add_node(Node::new("City").with_datatype(DataType::Text));
+        sb.add_child(root, deliver).unwrap();
+        sb.add_child(deliver, city).unwrap();
+        let s2 = sb.build().unwrap();
+
+        let mut repo = Repository::new();
+        let mut m = Mapping::new("C", "D", MappingKind::Manual);
+        m.push("C.Order.ShipTo.City", "D.Header.DeliverTo.City", 0.9);
+        repo.put_mapping(m);
+
+        let p1 = PathSet::new(&s1).unwrap();
+        let p2 = PathSet::new(&s2).unwrap();
+        let aux = Auxiliary::standard();
+        let ctx = MatchContext::new(&s1, &s2, &p1, &p2, &aux).with_repository(&repo);
+        let out = FragmentMatcher::new().compute(&ctx);
+        let i = p1.find_by_full_name(&s1, "A.ShipTo.City").unwrap().index();
+        let j = p2.find_by_full_name(&s2, "B.DeliverTo.City").unwrap().index();
+        // Suffix "ShipTo.City" ↔ "DeliverTo.City" (k=2) transfers 0.9.
+        assert_eq!(out.get(i, j), 0.9);
+    }
+
+    #[test]
+    fn fragment_matcher_ignores_direct_mappings() {
+        let s1 = contact_schema("A", &["email"]);
+        let s2 = contact_schema("B", &["email"]);
+        let mut repo = Repository::new();
+        let mut m = Mapping::new("A", "B", MappingKind::Manual);
+        m.push("A.Contact.email", "B.Contact.email", 1.0);
+        repo.put_mapping(m);
+        let p1 = PathSet::new(&s1).unwrap();
+        let p2 = PathSet::new(&s2).unwrap();
+        let aux = Auxiliary::standard();
+        let ctx = MatchContext::new(&s1, &s2, &p1, &p2, &aux).with_repository(&repo);
+        let out = FragmentMatcher::new().compute(&ctx);
+        assert!(out.values().iter().all(|&v| v == 0.0));
+    }
+}

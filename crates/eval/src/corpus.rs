@@ -1,0 +1,383 @@
+//! The evaluation corpus: five purchase-order XML schemas in the styles of
+//! the paper's biztalk.org test set (CIDX, Excel, Noris, Paragon, Apertum),
+//! crafted to match Table 5's statistics exactly, plus the concept
+//! annotations from which the gold standards ("manually determined real
+//! matches", Section 7.1) are derived.
+//!
+//! Each schema ships with a sidecar `.concepts` file assigning every node
+//! name a domain concept (or `-` for transparent structural nodes). The
+//! **concept sequence** of a path is the sequence of concepts of its nodes
+//! with transparent nodes skipped; the gold standard of a task `i↔j` is the
+//! set of path pairs with equal concept sequences (paths ending at a
+//! transparent node have no correspondence). This reproduces a consistent
+//! human gold standard, including the context-sensitive resolution of
+//! shared fragments (`ShipTo.Address.city` matches only the ship-to city).
+
+use coma_core::Auxiliary;
+use coma_graph::{PathId, PathSet, Schema, SchemaStats};
+use coma_repo::{Mapping, MappingKind};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// The five schema names, in the paper's order (referred to as 1…5).
+pub const SCHEMA_NAMES: [&str; 5] = ["CIDX", "Excel", "Noris", "Paragon", "Apertum"];
+
+/// The ten match tasks: all unordered pairs, ordered as `(source, target)`
+/// with source index < target index (0-based).
+pub const TASKS: [(usize, usize); 10] = [
+    (0, 1),
+    (0, 2),
+    (0, 3),
+    (0, 4),
+    (1, 2),
+    (1, 3),
+    (1, 4),
+    (2, 3),
+    (2, 4),
+    (3, 4),
+];
+
+/// A task label in the paper's notation, e.g. `1<->3`.
+pub fn task_label(task: (usize, usize)) -> String {
+    format!("{}<->{}", task.0 + 1, task.1 + 1)
+}
+
+const ASSETS: [(&str, &str, &str); 5] = [
+    (
+        "CIDX",
+        include_str!("../assets/cidx.xsd"),
+        include_str!("../assets/cidx.concepts"),
+    ),
+    (
+        "Excel",
+        include_str!("../assets/excel.xsd"),
+        include_str!("../assets/excel.concepts"),
+    ),
+    (
+        "Noris",
+        include_str!("../assets/noris.xsd"),
+        include_str!("../assets/noris.concepts"),
+    ),
+    (
+        "Paragon",
+        include_str!("../assets/paragon.xsd"),
+        include_str!("../assets/paragon.concepts"),
+    ),
+    (
+        "Apertum",
+        include_str!("../assets/apertum.xsd"),
+        include_str!("../assets/apertum.concepts"),
+    ),
+];
+
+/// The raw XSD source of schema `i` (for importer benchmarks and tools).
+pub fn xsd_source(i: usize) -> &'static str {
+    ASSETS[i].1
+}
+
+/// The loaded corpus: schemas, path unfoldings, concept annotations and
+/// the auxiliary information used uniformly in all experiments.
+pub struct Corpus {
+    schemas: Vec<Schema>,
+    path_sets: Vec<PathSet>,
+    concepts: Vec<HashMap<String, String>>,
+    aux: Auxiliary,
+}
+
+impl Corpus {
+    /// Loads and validates the embedded corpus.
+    ///
+    /// # Panics
+    /// Panics if an asset is malformed — the corpus is embedded, so this
+    /// indicates a build-time defect, covered by tests.
+    pub fn load() -> Corpus {
+        let mut schemas = Vec::with_capacity(5);
+        let mut path_sets = Vec::with_capacity(5);
+        let mut concepts = Vec::with_capacity(5);
+        for (name, xsd, concept_src) in ASSETS {
+            let schema = coma_xml::import_xsd(xsd, name)
+                .unwrap_or_else(|e| panic!("corpus schema {name} is invalid: {e}"));
+            let paths = PathSet::new(&schema)
+                .unwrap_or_else(|e| panic!("corpus schema {name} paths: {e}"));
+            let map = parse_concepts(concept_src)
+                .unwrap_or_else(|e| panic!("corpus concepts {name}: {e}"));
+            // Every node must be annotated.
+            for (_, node) in schema.iter() {
+                assert!(
+                    map.contains_key(&node.name),
+                    "corpus schema {name}: node `{}` has no concept annotation",
+                    node.name
+                );
+            }
+            schemas.push(schema);
+            path_sets.push(paths);
+            concepts.push(map);
+        }
+
+        let mut aux = Auxiliary::standard();
+        aux.synonyms = coma_core::matchers::synonym::SynonymTable::purchase_order();
+        Corpus {
+            schemas,
+            path_sets,
+            concepts,
+            aux,
+        }
+    }
+
+    /// The schema with 0-based index `i` (paper schema `i+1`).
+    pub fn schema(&self, i: usize) -> &Schema {
+        &self.schemas[i]
+    }
+
+    /// The path unfolding of schema `i`.
+    pub fn path_set(&self, i: usize) -> &PathSet {
+        &self.path_sets[i]
+    }
+
+    /// The auxiliary information (synonyms, abbreviations, type table)
+    /// used uniformly in all experiments (Section 7.1).
+    pub fn aux(&self) -> &Auxiliary {
+        &self.aux
+    }
+
+    /// Table 5 statistics of schema `i`.
+    pub fn stats(&self, i: usize) -> SchemaStats {
+        SchemaStats::compute(&self.schemas[i], &self.path_sets[i])
+    }
+
+    /// The concept sequence of a path: concepts of its nodes, transparent
+    /// nodes skipped. `None` when the path ends at a transparent node
+    /// (such paths carry no gold correspondence).
+    pub fn concept_seq(&self, i: usize, path: PathId) -> Option<Vec<&str>> {
+        let schema = &self.schemas[i];
+        let concepts = &self.concepts[i];
+        let nodes = self.path_sets[i].nodes(path);
+        let mut seq = Vec::with_capacity(nodes.len());
+        for node in &nodes {
+            let concept = concepts[&schema.node(*node).name].as_str();
+            if concept != "-" {
+                seq.push(concept);
+            }
+        }
+        let last = &schema.node(*nodes.last().expect("paths are non-empty")).name;
+        if concepts[last] == "-" {
+            None
+        } else {
+            Some(seq)
+        }
+    }
+
+    /// The gold standard for task `(i, j)` as `(source, target)` pairs of
+    /// `PathId`s.
+    pub fn gold_paths(&self, i: usize, j: usize) -> Vec<(PathId, PathId)> {
+        let mut by_seq: BTreeMap<Vec<&str>, PathId> = BTreeMap::new();
+        for p in self.path_sets[i].iter() {
+            if let Some(seq) = self.concept_seq(i, p) {
+                let prev = by_seq.insert(seq, p);
+                assert!(
+                    prev.is_none(),
+                    "corpus schema {}: ambiguous concept sequence for path {}",
+                    SCHEMA_NAMES[i],
+                    self.path_sets[i].full_name(&self.schemas[i], p)
+                );
+            }
+        }
+        let mut gold = Vec::new();
+        for q in self.path_sets[j].iter() {
+            if let Some(seq) = self.concept_seq(j, q) {
+                if let Some(&p) = by_seq.get(&seq) {
+                    gold.push((p, q));
+                }
+            }
+        }
+        gold.sort();
+        gold
+    }
+
+    /// The gold standard as full-name pairs (for quality metrics).
+    pub fn gold_names(&self, i: usize, j: usize) -> BTreeSet<(String, String)> {
+        self.gold_paths(i, j)
+            .into_iter()
+            .map(|(p, q)| {
+                (
+                    self.path_sets[i].full_name(&self.schemas[i], p),
+                    self.path_sets[j].full_name(&self.schemas[j], q),
+                )
+            })
+            .collect()
+    }
+
+    /// The gold standard as a repository mapping with all similarities 1.0
+    /// (footnote 1 of the paper: manually derived match results set all
+    /// element similarities to 1.0).
+    pub fn gold_mapping(&self, i: usize, j: usize) -> Mapping {
+        let mut m = Mapping::new(SCHEMA_NAMES[i], SCHEMA_NAMES[j], MappingKind::Manual);
+        for (s, t) in self.gold_names(i, j) {
+            m.push(s, t, 1.0);
+        }
+        m
+    }
+
+    /// Schema similarity of a task per the paper's Figure 8: the Dice
+    /// ratio `#matched paths / #all paths` (both sides counted).
+    pub fn schema_similarity(&self, i: usize, j: usize) -> f64 {
+        let matches = self.gold_paths(i, j).len();
+        let total = self.path_sets[i].len() + self.path_sets[j].len();
+        2.0 * matches as f64 / total as f64
+    }
+}
+
+/// Parses a `.concepts` sidecar: `name = concept` lines, `#` comments.
+fn parse_concepts(src: &str) -> Result<HashMap<String, String>, String> {
+    let mut map = HashMap::new();
+    for (no, line) in src.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name, concept) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {}: expected `name = concept`", no + 1))?;
+        let (name, concept) = (name.trim(), concept.trim());
+        if name.is_empty() || concept.is_empty() {
+            return Err(format!("line {}: empty name or concept", no + 1));
+        }
+        if let Some(old) = map.insert(name.to_string(), concept.to_string()) {
+            if old != concept {
+                return Err(format!(
+                    "line {}: conflicting concepts for `{name}`: `{old}` vs `{concept}`",
+                    no + 1
+                ));
+            }
+        }
+    }
+    Ok(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_loads_and_is_fully_annotated() {
+        let c = Corpus::load();
+        assert_eq!(c.schema(0).name(), "CIDX");
+        assert_eq!(c.schema(4).name(), "Apertum");
+    }
+
+    /// The central corpus invariant: our synthesized schemas reproduce
+    /// Table 5 of the paper exactly.
+    #[test]
+    fn table_5_statistics_match_the_paper() {
+        let c = Corpus::load();
+        let expected = [
+            // (max_depth, nodes, paths, inner_nodes, inner_paths, leaves, leaf_paths)
+            (4, 40, 40, 7, 7, 33, 33),     // 1 CIDX
+            (4, 35, 54, 9, 12, 26, 42),    // 2 Excel
+            (4, 46, 65, 8, 11, 38, 54),    // 3 Noris
+            (6, 74, 80, 11, 12, 63, 68),   // 4 Paragon
+            (5, 80, 145, 23, 29, 57, 116), // 5 Apertum
+        ];
+        for (i, (depth, nodes, paths, inner_n, inner_p, leaf_n, leaf_p)) in
+            expected.into_iter().enumerate()
+        {
+            let st = c.stats(i);
+            assert_eq!(
+                (
+                    st.max_depth,
+                    st.nodes,
+                    st.paths,
+                    st.inner_nodes,
+                    st.inner_paths,
+                    st.leaf_nodes,
+                    st.leaf_paths
+                ),
+                (depth, nodes, paths, inner_n, inner_p, leaf_n, leaf_p),
+                "schema {} ({}) deviates from Table 5: {}",
+                i + 1,
+                SCHEMA_NAMES[i],
+                st
+            );
+        }
+    }
+
+    #[test]
+    fn concept_sequences_are_unique_per_schema() {
+        let c = Corpus::load();
+        for (i, name) in SCHEMA_NAMES.iter().enumerate() {
+            let mut seen = BTreeSet::new();
+            for p in c.path_set(i).iter() {
+                if let Some(seq) = c.concept_seq(i, p) {
+                    assert!(
+                        seen.insert(seq.clone()),
+                        "schema {} has a duplicate concept sequence {:?}",
+                        name,
+                        seq
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gold_standards_are_one_to_one() {
+        let c = Corpus::load();
+        for (i, j) in TASKS {
+            let gold = c.gold_paths(i, j);
+            let sources: BTreeSet<_> = gold.iter().map(|g| g.0).collect();
+            let targets: BTreeSet<_> = gold.iter().map(|g| g.1).collect();
+            assert_eq!(sources.len(), gold.len(), "task {} not 1:1", task_label((i, j)));
+            assert_eq!(targets.len(), gold.len(), "task {} not 1:1", task_label((i, j)));
+            assert!(!gold.is_empty());
+        }
+    }
+
+    #[test]
+    fn ship_to_city_matches_across_contexts() {
+        // The Section 3 motif: the ship-to city corresponds across
+        // structural variants, and only in the ship-to context.
+        let c = Corpus::load();
+        let gold = c.gold_names(0, 1); // CIDX ↔ Excel
+        assert!(gold.contains(&(
+            "PurchaseOrder.ShipTo.Address.city".to_string(),
+            "POrder.ShipTo.Address.city".to_string()
+        )));
+        assert!(!gold.contains(&(
+            "PurchaseOrder.ShipTo.Address.city".to_string(),
+            "POrder.BillTo.Address.city".to_string()
+        )));
+        // Roots always correspond.
+        assert!(gold.contains(&("PurchaseOrder".to_string(), "POrder".to_string())));
+    }
+
+    #[test]
+    fn schema_similarity_is_moderate() {
+        // Figure 8: "This similarity is mostly around 0.5, showing that the
+        // schemas are much different even though they are from the same
+        // domain."
+        let c = Corpus::load();
+        for (i, j) in TASKS {
+            let sim = c.schema_similarity(i, j);
+            assert!(
+                (0.15..0.85).contains(&sim),
+                "task {} similarity {sim} out of plausible range",
+                task_label((i, j))
+            );
+        }
+    }
+
+    #[test]
+    fn gold_mapping_has_unit_similarities() {
+        let c = Corpus::load();
+        let m = c.gold_mapping(0, 1);
+        assert!(m.correspondences.iter().all(|x| x.similarity == 1.0));
+        assert_eq!(m.kind, MappingKind::Manual);
+    }
+
+    #[test]
+    fn concept_parser_rejects_garbage() {
+        assert!(parse_concepts("no equals sign").is_err());
+        assert!(parse_concepts("a = ").is_err());
+        assert!(parse_concepts("a = x\na = y").is_err());
+        assert!(parse_concepts("# comment\na = x\na = x").is_ok());
+    }
+}

@@ -1,0 +1,270 @@
+//! The strategy grid of Table 6: every matcher (combination) × aggregation
+//! × direction × selection × combined-similarity variant the paper's
+//! evaluation swept — 8,208 no-reuse plus 4,104 reuse series, 12,312 in
+//! total.
+
+use coma_core::{Aggregation, CombinedSim, Direction, Selection};
+use serde::{Deserialize, Serialize};
+
+/// The five single hybrid matchers of the no-reuse evaluation.
+pub const HYBRIDS: [&str; 5] = ["Name", "NamePath", "TypeName", "Children", "Leaves"];
+
+/// The two reuse matcher variants.
+pub const REUSE: [&str; 2] = ["SchemaM", "SchemaA"];
+
+/// One evaluation series: a matcher set and a complete strategy choice,
+/// run over all ten match tasks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesSpec {
+    /// Matcher names (cube slices) combined in this series.
+    pub matchers: Vec<String>,
+    /// Aggregation over the matcher slices.
+    pub aggregation: Aggregation,
+    /// Match direction.
+    pub direction: Direction,
+    /// Candidate selection.
+    pub selection: Selection,
+    /// The step-3 strategy used *inside* the hybrid matchers (decides
+    /// which cube variant the series reads).
+    pub combined_sim: CombinedSim,
+    /// Whether the series involves a reuse matcher.
+    pub reuse: bool,
+}
+
+impl SeriesSpec {
+    /// A display label like `All+SchemaM` or `NamePath+Leaves`.
+    pub fn matcher_label(&self) -> String {
+        let hybrid_count = self
+            .matchers
+            .iter()
+            .filter(|m| HYBRIDS.contains(&m.as_str()))
+            .count();
+        let mut parts: Vec<String> = Vec::new();
+        if hybrid_count == HYBRIDS.len() {
+            parts.push("All".to_string());
+            parts.extend(
+                self.matchers
+                    .iter()
+                    .filter(|m| !HYBRIDS.contains(&m.as_str()))
+                    .cloned(),
+            );
+        } else {
+            parts.extend(self.matchers.iter().cloned());
+        }
+        parts.join("+")
+    }
+
+    /// A full label including the strategy tuple.
+    pub fn label(&self) -> String {
+        format!(
+            "{} [{}/{}/{}/{}]",
+            self.matcher_label(),
+            self.aggregation,
+            self.direction,
+            self.selection,
+            self.combined_sim
+        )
+    }
+}
+
+/// The 36 selection strategies of Table 6: `MaxN(1–4)`, `Delta(0.01–0.1)`,
+/// `Thr(0.3–1.0)`, `Thr(0.5)+MaxN(1–4)`, `Thr(0.5)+Delta(0.01–0.1)`.
+pub fn selections() -> Vec<Selection> {
+    let mut out = Vec::with_capacity(36);
+    for n in 1..=4 {
+        out.push(Selection::max_n(n));
+    }
+    for d in 1..=10 {
+        out.push(Selection::delta(d as f64 / 100.0));
+    }
+    for t in 3..=10 {
+        out.push(Selection::threshold(t as f64 / 10.0));
+    }
+    for n in 1..=4 {
+        out.push(Selection::max_n(n).with_threshold(0.5));
+    }
+    for d in 1..=10 {
+        out.push(Selection::delta(d as f64 / 100.0).with_threshold(0.5));
+    }
+    out
+}
+
+/// The three aggregation strategies the study considers (Weighted was
+/// excluded: "we did not want to make any assumption about the importance
+/// of the individual matchers", Section 7.1).
+pub fn aggregations() -> Vec<Aggregation> {
+    vec![Aggregation::Max, Aggregation::Average, Aggregation::Min]
+}
+
+/// The three directions.
+pub fn directions() -> Vec<Direction> {
+    vec![Direction::LargeSmall, Direction::SmallLarge, Direction::Both]
+}
+
+/// The 16 no-reuse matcher sets: 5 singles, all 10 pair-wise combinations,
+/// and `All`.
+pub fn no_reuse_matcher_sets() -> Vec<Vec<String>> {
+    let mut out: Vec<Vec<String>> = HYBRIDS.iter().map(|m| vec![m.to_string()]).collect();
+    for (a, first) in HYBRIDS.iter().enumerate() {
+        for second in &HYBRIDS[a + 1..] {
+            out.push(vec![first.to_string(), second.to_string()]);
+        }
+    }
+    out.push(HYBRIDS.iter().map(|m| m.to_string()).collect());
+    out
+}
+
+/// The 14 reuse matcher sets: `SchemaM`/`SchemaA` alone, their pair-wise
+/// combinations with the 5 hybrids, and `All+SchemaM` / `All+SchemaA`.
+pub fn reuse_matcher_sets() -> Vec<Vec<String>> {
+    let mut out: Vec<Vec<String>> = REUSE.iter().map(|m| vec![m.to_string()]).collect();
+    for schema in REUSE {
+        for hybrid in HYBRIDS {
+            out.push(vec![schema.to_string(), hybrid.to_string()]);
+        }
+    }
+    for schema in REUSE {
+        let mut set: Vec<String> = HYBRIDS.iter().map(|m| m.to_string()).collect();
+        set.push(schema.to_string());
+        out.push(set);
+    }
+    out
+}
+
+/// Every no-reuse series (8,208): single matchers skip the aggregation
+/// dimension (one slice aggregates identically under any strategy —
+/// `Average` is used as the canonical representative).
+pub fn no_reuse_series() -> Vec<SeriesSpec> {
+    let mut out = Vec::with_capacity(8208);
+    for matchers in no_reuse_matcher_sets() {
+        let aggs = if matchers.len() == 1 {
+            vec![Aggregation::Average]
+        } else {
+            aggregations()
+        };
+        for aggregation in &aggs {
+            for direction in directions() {
+                for selection in selections() {
+                    for combined_sim in [CombinedSim::Average, CombinedSim::Dice] {
+                        out.push(SeriesSpec {
+                            matchers: matchers.clone(),
+                            aggregation: aggregation.clone(),
+                            direction,
+                            selection: selection.clone(),
+                            combined_sim,
+                            reuse: false,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Every reuse series (4,104): single reuse matchers skip aggregation and
+/// combined-similarity; combinations fix combined similarity to `Average`
+/// (Table 6 lists only Average in the reuse CombSim column).
+pub fn reuse_series() -> Vec<SeriesSpec> {
+    let mut out = Vec::with_capacity(4104);
+    for matchers in reuse_matcher_sets() {
+        let aggs = if matchers.len() == 1 {
+            vec![Aggregation::Average]
+        } else {
+            aggregations()
+        };
+        for aggregation in &aggs {
+            for direction in directions() {
+                for selection in selections() {
+                    out.push(SeriesSpec {
+                        matchers: matchers.clone(),
+                        aggregation: aggregation.clone(),
+                        direction,
+                        selection: selection.clone(),
+                        combined_sim: CombinedSim::Average,
+                        reuse: true,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// All 12,312 series of the study.
+pub fn all_series() -> Vec<SeriesSpec> {
+    let mut out = no_reuse_series();
+    out.extend(reuse_series());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selection_grid_has_36_strategies() {
+        let sels = selections();
+        assert_eq!(sels.len(), 36);
+        // All distinct.
+        for (i, a) in sels.iter().enumerate() {
+            for b in &sels[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn matcher_sets_match_table_6() {
+        assert_eq!(no_reuse_matcher_sets().len(), 16);
+        assert_eq!(reuse_matcher_sets().len(), 14);
+    }
+
+    /// The paper's series arithmetic: 8,208 no-reuse (Figure 9's
+    /// "#All Series = 8208"), 4,104 reuse, 12,312 total (Section 7.1).
+    #[test]
+    fn series_counts_match_the_paper() {
+        let no_reuse = no_reuse_series();
+        let reuse = reuse_series();
+        assert_eq!(no_reuse.len(), 8208);
+        assert_eq!(reuse.len(), 4104);
+        assert_eq!(all_series().len(), 12_312);
+    }
+
+    /// Figure 10's per-strategy series counts: 2,376 per aggregation
+    /// strategy (combinations only), 2,736 per direction, 228 per
+    /// selection strategy.
+    #[test]
+    fn figure_10_denominators() {
+        let series = no_reuse_series();
+        let max_count = series
+            .iter()
+            .filter(|s| s.aggregation == Aggregation::Max)
+            .count();
+        assert_eq!(max_count, 2376);
+        let both_count = series
+            .iter()
+            .filter(|s| s.direction == Direction::Both)
+            .count();
+        assert_eq!(both_count, 2736);
+        let sel = Selection::delta(0.02).with_threshold(0.5);
+        let sel_count = series.iter().filter(|s| s.selection == sel).count();
+        assert_eq!(sel_count, 228);
+    }
+
+    #[test]
+    fn labels_are_readable() {
+        let series = all_series();
+        let all_schema_m = series
+            .iter()
+            .find(|s| s.matchers.len() == 6 && s.matchers.contains(&"SchemaM".to_string()))
+            .unwrap();
+        assert_eq!(all_schema_m.matcher_label(), "All+SchemaM");
+        let pair = series
+            .iter()
+            .find(|s| s.matchers == vec!["Name".to_string(), "NamePath".to_string()])
+            .unwrap();
+        assert_eq!(pair.matcher_label(), "Name+NamePath");
+        assert!(pair.label().contains('['));
+    }
+}

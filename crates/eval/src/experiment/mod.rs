@@ -1,0 +1,13 @@
+//! The experiment harness reproducing the paper's evaluation (Section 7):
+//! the Table 6 strategy [`grid`], the cube-caching sweep [`runner`], and
+//! the [`report`] helpers that shape results into the paper's figures.
+
+pub mod grid;
+pub mod report;
+pub mod runner;
+
+pub use grid::{
+    aggregations, all_series, directions, no_reuse_matcher_sets, no_reuse_series,
+    reuse_matcher_sets, reuse_series, selections, SeriesSpec, HYBRIDS, REUSE,
+};
+pub use runner::{Harness, SeriesResult, TaskData};

@@ -1,0 +1,145 @@
+//! Reporting helpers for the figure/table binaries: Overall-range
+//! histograms (Figures 9 and 10), best-per-matcher extraction (Figures 11
+//! and 12) and plain-text table rendering.
+
+use crate::experiment::runner::SeriesResult;
+use std::collections::BTreeMap;
+
+/// Number of Overall bins: one for negative values ("Min–0.0") plus ten
+/// `[0.0,0.1) … [0.9,1.0]` ranges.
+pub const BIN_COUNT: usize = 11;
+
+/// The bin index of an average-Overall value.
+pub fn overall_bin(overall: f64) -> usize {
+    if overall < 0.0 {
+        0
+    } else {
+        // 1.0 lands in the last bin.
+        1 + ((overall * 10.0).floor() as usize).min(9)
+    }
+}
+
+/// Human-readable bin labels, lowest first.
+pub fn bin_labels() -> Vec<String> {
+    let mut labels = vec!["Min-0.0".to_string()];
+    for i in 0..10 {
+        labels.push(format!("{:.1}-{:.1}", i as f64 / 10.0, (i + 1) as f64 / 10.0));
+    }
+    labels
+}
+
+/// Histogram of series counts per Overall bin (Figure 9).
+pub fn histogram(results: &[SeriesResult]) -> [usize; BIN_COUNT] {
+    let mut bins = [0usize; BIN_COUNT];
+    for r in results {
+        bins[overall_bin(r.average.overall)] += 1;
+    }
+    bins
+}
+
+/// Per-group histograms: the share of each group's series in every Overall
+/// bin (Figure 10). The key function labels each series with its strategy
+/// group (e.g. the aggregation name).
+pub fn grouped_histogram(
+    results: &[SeriesResult],
+    key: impl Fn(&SeriesResult) -> String,
+) -> BTreeMap<String, [usize; BIN_COUNT]> {
+    let mut out: BTreeMap<String, [usize; BIN_COUNT]> = BTreeMap::new();
+    for r in results {
+        let bins = out.entry(key(r)).or_insert([0; BIN_COUNT]);
+        bins[overall_bin(r.average.overall)] += 1;
+    }
+    out
+}
+
+/// The best series (highest average Overall) per matcher label.
+pub fn best_per_matcher(results: &[SeriesResult]) -> BTreeMap<String, SeriesResult> {
+    let mut out: BTreeMap<String, SeriesResult> = BTreeMap::new();
+    for r in results {
+        let label = r.spec.matcher_label();
+        match out.get(&label) {
+            Some(best) if best.average.overall >= r.average.overall => {}
+            _ => {
+                out.insert(label, r.clone());
+            }
+        }
+    }
+    out
+}
+
+/// Renders a fixed-width text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        for w in &widths {
+            out.push('+');
+            out.push_str(&"-".repeat(w + 2));
+        }
+        out.push_str("+\n");
+    };
+    sep(&mut out);
+    for (i, h) in headers.iter().enumerate() {
+        out.push_str(&format!("| {:<width$} ", h, width = widths[i]));
+    }
+    out.push_str("|\n");
+    sep(&mut out);
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            out.push_str(&format!("| {:<width$} ", cell, width = widths[i]));
+        }
+        out.push_str("|\n");
+    }
+    sep(&mut out);
+    out
+}
+
+/// Formats a quality triple the way the paper's charts label them.
+pub fn fmt_quality(q: &crate::metrics::AverageQuality) -> Vec<String> {
+    vec![
+        format!("{:.3}", q.precision),
+        format!("{:.3}", q.recall),
+        format!("{:.3}", q.overall),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_cover_the_range() {
+        assert_eq!(overall_bin(-5.0), 0);
+        assert_eq!(overall_bin(-0.0001), 0);
+        assert_eq!(overall_bin(0.0), 1);
+        assert_eq!(overall_bin(0.05), 1);
+        assert_eq!(overall_bin(0.1), 2);
+        assert_eq!(overall_bin(0.73), 8);
+        assert_eq!(overall_bin(0.99), 10);
+        assert_eq!(overall_bin(1.0), 10);
+        assert_eq!(bin_labels().len(), BIN_COUNT);
+        assert_eq!(bin_labels()[0], "Min-0.0");
+        assert_eq!(bin_labels()[8], "0.7-0.8");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["Matcher", "Overall"],
+            &[
+                vec!["NamePath".into(), "0.45".into()],
+                vec!["All".into(), "0.73".into()],
+            ],
+        );
+        assert!(t.contains("| Matcher  | Overall |"));
+        assert!(t.contains("| NamePath | 0.45    |"));
+        assert!(t.starts_with('+'));
+    }
+}

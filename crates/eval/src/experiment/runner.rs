@@ -1,0 +1,403 @@
+//! The sweep runner: computes each matcher's similarity cube once per task
+//! (the paper stores cubes in the repository for exactly this purpose) and
+//! then re-runs only the combination step for every series.
+
+use crate::corpus::{Corpus, TASKS};
+use crate::experiment::grid::SeriesSpec;
+use crate::metrics::{AverageQuality, MatchQuality};
+use coma_core::matchers::hybrid::{NameMatcher, NamePathMatcher, TypeNameMatcher};
+use coma_core::matchers::name_engine::NameEngine;
+use coma_core::matchers::structural::{ChildrenMatcher, LeavesMatcher};
+use coma_core::{
+    combine_cube_with_feedback, CombinationStrategy, CombinedSim, MatchContext, MatchResult,
+    Matcher, SchemaMatcher, SimCube,
+};
+use coma_repo::{MappingKind, Repository};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Pre-computed data of one match task.
+pub struct TaskData {
+    /// 0-based index of the source schema.
+    pub source: usize,
+    /// 0-based index of the target schema.
+    pub target: usize,
+    /// Gold standard as (source path index, target path index) pairs.
+    pub gold: BTreeSet<(usize, usize)>,
+    /// Cube with the Average-internal hybrid slices plus the reuse slices
+    /// (`Name`, `NamePath`, `TypeName`, `Children`, `Leaves`, `SchemaM`,
+    /// `SchemaA`, `Fragment`).
+    pub cube_avg: SimCube,
+    /// Cube with the Dice-internal hybrid slices.
+    pub cube_dice: SimCube,
+}
+
+/// The result of one series: per-task qualities and their averages.
+#[derive(Debug, Clone)]
+pub struct SeriesResult {
+    /// The evaluated series.
+    pub spec: SeriesSpec,
+    /// Quality per task, in [`TASKS`] order.
+    pub per_task: Vec<MatchQuality>,
+    /// Measures averaged over the ten tasks.
+    pub average: AverageQuality,
+}
+
+/// The evaluation harness: corpus + repository + per-task cubes.
+pub struct Harness {
+    corpus: Corpus,
+    repository: Repository,
+    tasks: Vec<TaskData>,
+    /// The default match operation's result per task (used for `SchemaA`
+    /// reuse and reported by the examples).
+    default_results: Vec<MatchResult>,
+}
+
+/// Builds the five hybrid matchers with the given internal step-3 strategy.
+fn hybrid_matchers(combined: CombinedSim) -> Vec<(&'static str, Arc<dyn Matcher>)> {
+    let engine = NameEngine {
+        combined,
+        ..NameEngine::paper_default()
+    };
+    let type_name = TypeNameMatcher {
+        engine: engine.clone(),
+        name_weight: 0.7,
+        type_weight: 0.3,
+    };
+    vec![
+        ("Name", Arc::new(NameMatcher::with_engine(engine.clone())) as Arc<dyn Matcher>),
+        ("NamePath", Arc::new(NamePathMatcher::with_engine(engine.clone()))),
+        ("TypeName", Arc::new(type_name.clone())),
+        (
+            "Children",
+            Arc::new(
+                ChildrenMatcher::with_leaf_matcher(Arc::new(type_name.clone()))
+                    .with_combined(combined),
+            ),
+        ),
+        (
+            "Leaves",
+            Arc::new(
+                LeavesMatcher::with_leaf_matcher(Arc::new(type_name)).with_combined(combined),
+            ),
+        ),
+    ]
+}
+
+impl Harness {
+    /// Loads the corpus, stores the manual gold standards, runs the default
+    /// operation to obtain the automatic results for `SchemaA`, and
+    /// pre-computes every matcher cube.
+    pub fn new() -> Harness {
+        let corpus = Corpus::load();
+
+        // Phase 1: hybrid slices (no repository needed), both variants.
+        let avg_set = hybrid_matchers(CombinedSim::Average);
+        let dice_set = hybrid_matchers(CombinedSim::Dice);
+        let mut hybrid_cubes: Vec<(SimCube, SimCube)> = Vec::with_capacity(TASKS.len());
+        for &(i, j) in &TASKS {
+            let ctx = MatchContext::new(
+                corpus.schema(i),
+                corpus.schema(j),
+                corpus.path_set(i),
+                corpus.path_set(j),
+                corpus.aux(),
+            );
+            let mut cube_avg = SimCube::new();
+            for (name, m) in &avg_set {
+                cube_avg.push(*name, m.compute(&ctx));
+            }
+            let mut cube_dice = SimCube::new();
+            for (name, m) in &dice_set {
+                cube_dice.push(*name, m.compute(&ctx));
+            }
+            hybrid_cubes.push((cube_avg, cube_dice));
+        }
+
+        // Phase 2: repository with manual gold + automatic default results.
+        let mut repository = Repository::new();
+        for &(i, j) in &TASKS {
+            repository.put_mapping(corpus.gold_mapping(i, j));
+        }
+        let default_combination = CombinationStrategy::paper_default();
+        let mut default_results = Vec::with_capacity(TASKS.len());
+        for (t, &(i, j)) in TASKS.iter().enumerate() {
+            let ctx = MatchContext::new(
+                corpus.schema(i),
+                corpus.schema(j),
+                corpus.path_set(i),
+                corpus.path_set(j),
+                corpus.aux(),
+            );
+            let result = combine_cube_with_feedback(
+                &hybrid_cubes[t].0,
+                &ctx,
+                &default_combination,
+                &coma_core::matchers::feedback::Feedback::new(),
+            );
+            repository.put_mapping(result.to_mapping(&ctx, MappingKind::Automatic));
+            default_results.push(result);
+        }
+
+        // Phase 3: reuse slices against the populated repository.
+        let schema_m = SchemaMatcher::manual();
+        let schema_a = SchemaMatcher::automatic();
+        let fragment = coma_core::FragmentMatcher::new();
+        let mut tasks = Vec::with_capacity(TASKS.len());
+        for (t, &(i, j)) in TASKS.iter().enumerate() {
+            let ctx = MatchContext::new(
+                corpus.schema(i),
+                corpus.schema(j),
+                corpus.path_set(i),
+                corpus.path_set(j),
+                corpus.aux(),
+            )
+            .with_repository(&repository);
+            let (mut cube_avg, cube_dice) = hybrid_cubes[t].clone();
+            cube_avg.push("SchemaM", schema_m.compute(&ctx));
+            cube_avg.push("SchemaA", schema_a.compute(&ctx));
+            cube_avg.push("Fragment", fragment.compute(&ctx));
+            let gold = corpus
+                .gold_paths(i, j)
+                .into_iter()
+                .map(|(p, q)| (p.index(), q.index()))
+                .collect();
+            tasks.push(TaskData {
+                source: i,
+                target: j,
+                gold,
+                cube_avg,
+                cube_dice,
+            });
+        }
+
+        Harness {
+            corpus,
+            repository,
+            tasks,
+            default_results,
+        }
+    }
+
+    /// The corpus.
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    /// The repository (gold + automatic default mappings).
+    pub fn repository(&self) -> &Repository {
+        &self.repository
+    }
+
+    /// Pre-computed task data, in [`TASKS`] order.
+    pub fn tasks(&self) -> &[TaskData] {
+        &self.tasks
+    }
+
+    /// The default operation's match result per task.
+    pub fn default_results(&self) -> &[MatchResult] {
+        &self.default_results
+    }
+
+    /// Runs one series on one task, returning the quality and the match
+    /// result.
+    pub fn evaluate_on_task(&self, spec: &SeriesSpec, task: usize) -> (MatchQuality, MatchResult) {
+        let data = &self.tasks[task];
+        let cube = match spec.combined_sim {
+            CombinedSim::Average => &data.cube_avg,
+            CombinedSim::Dice => &data.cube_dice,
+        };
+        let names: Vec<&str> = spec.matchers.iter().map(String::as_str).collect();
+        let sub = cube.select(&names);
+        assert_eq!(
+            sub.len(),
+            spec.matchers.len(),
+            "series {} references a slice missing from the {} cube",
+            spec.label(),
+            spec.combined_sim
+        );
+        let ctx = MatchContext::new(
+            self.corpus.schema(data.source),
+            self.corpus.schema(data.target),
+            self.corpus.path_set(data.source),
+            self.corpus.path_set(data.target),
+            self.corpus.aux(),
+        );
+        let combination = CombinationStrategy {
+            aggregation: spec.aggregation.clone(),
+            direction: spec.direction,
+            selection: spec.selection.clone(),
+            combined_sim: spec.combined_sim,
+        };
+        let result = combine_cube_with_feedback(
+            &sub,
+            &ctx,
+            &combination,
+            &coma_core::matchers::feedback::Feedback::new(),
+        );
+        let tp = result
+            .candidates
+            .iter()
+            .filter(|c| data.gold.contains(&(c.source.index(), c.target.index())))
+            .count();
+        let quality = MatchQuality {
+            true_positives: tp,
+            false_positives: result.candidates.len() - tp,
+            false_negatives: data.gold.len() - tp,
+        };
+        (quality, result)
+    }
+
+    /// Runs one series over all ten tasks.
+    pub fn evaluate(&self, spec: &SeriesSpec) -> SeriesResult {
+        let per_task: Vec<MatchQuality> = (0..self.tasks.len())
+            .map(|t| self.evaluate_on_task(spec, t).0)
+            .collect();
+        let average = AverageQuality::of(&per_task);
+        SeriesResult {
+            spec: spec.clone(),
+            per_task,
+            average,
+        }
+    }
+
+    /// Runs many series in parallel (crossbeam-scoped threads).
+    pub fn run(&self, specs: &[SeriesSpec]) -> Vec<SeriesResult> {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(specs.len().max(1));
+        if threads <= 1 || specs.len() < 32 {
+            return specs.iter().map(|s| self.evaluate(s)).collect();
+        }
+        let chunk = specs.len().div_ceil(threads);
+        let mut out: Vec<Option<SeriesResult>> = vec![None; specs.len()];
+        crossbeam::thread::scope(|scope| {
+            for (slot, work) in out.chunks_mut(chunk).zip(specs.chunks(chunk)) {
+                scope.spawn(move |_| {
+                    for (o, spec) in slot.iter_mut().zip(work) {
+                        *o = Some(self.evaluate(spec));
+                    }
+                });
+            }
+        })
+        .expect("sweep worker panicked");
+        out.into_iter().map(|r| r.expect("all slots filled")).collect()
+    }
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Harness::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coma_core::{Aggregation, Direction, Selection};
+
+    fn spec(matchers: &[&str], reuse: bool) -> SeriesSpec {
+        SeriesSpec {
+            matchers: matchers.iter().map(|m| m.to_string()).collect(),
+            aggregation: Aggregation::Average,
+            direction: Direction::Both,
+            selection: Selection::delta(0.02).with_threshold(0.5),
+            combined_sim: CombinedSim::Average,
+            reuse,
+        }
+    }
+
+    // Harness construction computes 100+ matcher executions; the tests
+    // below share one instance to keep `cargo test` fast.
+    fn harness() -> &'static Harness {
+        use std::sync::OnceLock;
+        static H: OnceLock<Harness> = OnceLock::new();
+        H.get_or_init(Harness::new)
+    }
+
+    #[test]
+    fn default_all_combination_beats_single_name() {
+        let h = harness();
+        let all = h.evaluate(&spec(&["Name", "NamePath", "TypeName", "Children", "Leaves"], false));
+        let name = h.evaluate(&spec(&["Name"], false));
+        assert!(
+            all.average.overall > name.average.overall,
+            "All {:?} vs Name {:?}",
+            all.average,
+            name.average
+        );
+        assert!(all.average.overall > 0.0);
+    }
+
+    #[test]
+    fn schema_m_reuse_is_strong() {
+        let h = harness();
+        let m = h.evaluate(&spec(&["SchemaM"], true));
+        assert!(
+            m.average.overall > 0.3,
+            "SchemaM too weak: {:?}",
+            m.average
+        );
+        // Reusing manual results beats reusing automatic ones.
+        let a = h.evaluate(&spec(&["SchemaA"], true));
+        assert!(
+            m.average.overall >= a.average.overall,
+            "SchemaM {:?} vs SchemaA {:?}",
+            m.average,
+            a.average
+        );
+    }
+
+    #[test]
+    fn per_task_and_average_are_consistent() {
+        let h = harness();
+        let r = h.evaluate(&spec(&["NamePath"], false));
+        assert_eq!(r.per_task.len(), 10);
+        let mean: f64 =
+            r.per_task.iter().map(MatchQuality::overall).sum::<f64>() / r.per_task.len() as f64;
+        assert!((mean - r.average.overall).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dice_cube_is_used_for_dice_series() {
+        let h = harness();
+        let mut s = spec(&["Leaves"], false);
+        s.combined_sim = CombinedSim::Dice;
+        let dice = h.evaluate(&s);
+        s.combined_sim = CombinedSim::Average;
+        let avg = h.evaluate(&s);
+        // They must at least be computed from different slices.
+        assert_ne!(dice.per_task, avg.per_task);
+    }
+
+    #[test]
+    fn parallel_run_matches_serial() {
+        let h = harness();
+        let specs = vec![
+            spec(&["Name"], false),
+            spec(&["TypeName"], false),
+            spec(&["NamePath", "Leaves"], false),
+        ];
+        let serial: Vec<SeriesResult> = specs.iter().map(|s| h.evaluate(s)).collect();
+        let parallel = h.run(&specs);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.per_task, b.per_task);
+        }
+    }
+
+    #[test]
+    fn repository_holds_manual_and_automatic_mappings() {
+        let h = harness();
+        assert_eq!(h.repository().mappings().len(), 20);
+        let manual = h
+            .repository()
+            .mappings()
+            .iter()
+            .filter(|m| m.kind == MappingKind::Manual)
+            .count();
+        assert_eq!(manual, 10);
+        assert_eq!(h.default_results().len(), 10);
+        assert_eq!(h.corpus().schema(0).name(), crate::SCHEMA_NAMES[0]);
+    }
+}

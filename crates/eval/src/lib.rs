@@ -1,0 +1,16 @@
+//! # coma-eval — the COMA evaluation framework
+//!
+//! Reproduces the paper's comprehensive evaluation (Section 7): quality
+//! metrics, the five-schema purchase-order corpus with gold standards, and
+//! the exhaustive experiment harness sweeping 12,312 series of matchers ×
+//! combination strategies (Table 6) to regenerate Figures 8–13.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod corpus;
+pub mod experiment;
+pub mod metrics;
+
+pub use corpus::{task_label, Corpus, SCHEMA_NAMES, TASKS};
+pub use metrics::{AverageQuality, MatchQuality};

@@ -1,0 +1,211 @@
+//! Match quality measures (paper, Section 7.1): Precision, Recall and
+//! Overall, computed against manually determined real matches.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// The confusion counts of one match experiment: the real matches `R`, the
+/// proposal `P`, true positives `I = P∩R`, false positives `F = P\I` and
+/// false negatives `M = R\I`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MatchQuality {
+    /// `|I|` — correctly identified matches.
+    pub true_positives: usize,
+    /// `|F|` — wrongly proposed matches.
+    pub false_positives: usize,
+    /// `|M|` — missed real matches.
+    pub false_negatives: usize,
+}
+
+impl MatchQuality {
+    /// Compares a proposal against the gold standard.
+    pub fn compare(
+        gold: &BTreeSet<(String, String)>,
+        proposed: &BTreeSet<(String, String)>,
+    ) -> MatchQuality {
+        let true_positives = proposed.intersection(gold).count();
+        MatchQuality {
+            true_positives,
+            false_positives: proposed.len() - true_positives,
+            false_negatives: gold.len() - true_positives,
+        }
+    }
+
+    /// `Precision = |I| / |P|` — "estimates the reliability of the match
+    /// predictions". An empty proposal scores 1 by convention (nothing
+    /// wrong was proposed).
+    pub fn precision(&self) -> f64 {
+        let p = self.true_positives + self.false_positives;
+        if p == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / p as f64
+        }
+    }
+
+    /// `Recall = |I| / |R|` — "specifies the share of real matches that is
+    /// found". An empty gold standard scores 1 by convention.
+    pub fn recall(&self) -> f64 {
+        let r = self.true_positives + self.false_negatives;
+        if r == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / r as f64
+        }
+    }
+
+    /// `Overall = 1 − (F+M)/|R| = Recall · (2 − 1/Precision)` — the
+    /// combined measure of [Melnik et al., ICDE 2002] the paper adopts,
+    /// accounting for the post-match effort of removing false and adding
+    /// missed matches. Negative when Precision < 0.5 ("the post-match
+    /// effort … higher than the gain").
+    pub fn overall(&self) -> f64 {
+        let r = self.true_positives + self.false_negatives;
+        if r == 0 {
+            // No real matches: any false positive makes the operation harmful.
+            return if self.false_positives == 0 { 1.0 } else { f64::NEG_INFINITY };
+        }
+        1.0 - (self.false_positives + self.false_negatives) as f64 / r as f64
+    }
+
+    /// The harmonic F-measure (not used by the paper; provided for
+    /// comparison with later matching literature).
+    pub fn f_measure(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Averaged quality over a series of experiments — the paper's "average
+/// Precision", "average Overall" etc. (Section 7.1: "The quality measures
+/// were first determined for single experiments and then averaged over all
+/// experiments in each series").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AverageQuality {
+    /// Mean precision.
+    pub precision: f64,
+    /// Mean recall.
+    pub recall: f64,
+    /// Mean overall.
+    pub overall: f64,
+    /// Mean F-measure.
+    pub f_measure: f64,
+}
+
+impl AverageQuality {
+    /// Averages the per-experiment measures.
+    pub fn of(qualities: &[MatchQuality]) -> AverageQuality {
+        assert!(!qualities.is_empty(), "cannot average zero experiments");
+        let n = qualities.len() as f64;
+        AverageQuality {
+            precision: qualities.iter().map(MatchQuality::precision).sum::<f64>() / n,
+            recall: qualities.iter().map(MatchQuality::recall).sum::<f64>() / n,
+            overall: qualities.iter().map(MatchQuality::overall).sum::<f64>() / n,
+            f_measure: qualities.iter().map(MatchQuality::f_measure).sum::<f64>() / n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs(items: &[(&str, &str)]) -> BTreeSet<(String, String)> {
+        items
+            .iter()
+            .map(|(a, b)| (a.to_string(), b.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn perfect_match_scores_1_everywhere() {
+        let gold = pairs(&[("a", "x"), ("b", "y")]);
+        let q = MatchQuality::compare(&gold, &gold.clone());
+        assert_eq!(q.precision(), 1.0);
+        assert_eq!(q.recall(), 1.0);
+        assert_eq!(q.overall(), 1.0);
+        assert_eq!(q.f_measure(), 1.0);
+    }
+
+    #[test]
+    fn overall_equals_identity_formula() {
+        // Overall = Recall·(2 − 1/Precision).
+        let gold = pairs(&[("a", "x"), ("b", "y"), ("c", "z")]);
+        let proposed = pairs(&[("a", "x"), ("b", "wrong"), ("d", "w")]);
+        let q = MatchQuality::compare(&gold, &proposed);
+        assert_eq!(q.true_positives, 1);
+        assert_eq!(q.false_positives, 2);
+        assert_eq!(q.false_negatives, 2);
+        let via_formula = q.recall() * (2.0 - 1.0 / q.precision());
+        assert!((q.overall() - via_formula).abs() < 1e-12);
+        assert!((q.overall() - (1.0 - 4.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overall_is_negative_when_precision_below_half() {
+        let gold = pairs(&[("a", "x")]);
+        let proposed = pairs(&[("a", "x"), ("b", "1"), ("c", "2"), ("d", "3")]);
+        let q = MatchQuality::compare(&gold, &proposed);
+        assert!(q.precision() < 0.5);
+        assert!(q.overall() < 0.0);
+    }
+
+    #[test]
+    fn overall_never_exceeds_precision_or_recall() {
+        // "In all other cases, Overall is smaller than both Precision and
+        // Recall."
+        let gold = pairs(&[("a", "x"), ("b", "y"), ("c", "z")]);
+        for proposed in [
+            pairs(&[("a", "x")]),
+            pairs(&[("a", "x"), ("q", "q")]),
+            pairs(&[("a", "x"), ("b", "y"), ("q", "q"), ("r", "r")]),
+        ] {
+            let q = MatchQuality::compare(&gold, &proposed);
+            assert!(q.overall() <= q.precision() + 1e-12);
+            assert!(q.overall() <= q.recall() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_conventions() {
+        let empty = BTreeSet::new();
+        let q = MatchQuality::compare(&empty, &empty);
+        assert_eq!(q.precision(), 1.0);
+        assert_eq!(q.recall(), 1.0);
+        assert_eq!(q.overall(), 1.0);
+        let gold = pairs(&[("a", "x")]);
+        let q2 = MatchQuality::compare(&gold, &empty);
+        assert_eq!(q2.precision(), 1.0);
+        assert_eq!(q2.recall(), 0.0);
+        assert_eq!(q2.overall(), 0.0);
+    }
+
+    #[test]
+    fn averaging_is_measure_wise() {
+        let a = MatchQuality {
+            true_positives: 1,
+            false_positives: 0,
+            false_negatives: 0,
+        };
+        let b = MatchQuality {
+            true_positives: 0,
+            false_positives: 0,
+            false_negatives: 1,
+        };
+        let avg = AverageQuality::of(&[a, b]);
+        assert_eq!(avg.precision, 1.0);
+        assert_eq!(avg.recall, 0.5);
+        assert_eq!(avg.overall, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero experiments")]
+    fn averaging_nothing_panics() {
+        let _ = AverageQuality::of(&[]);
+    }
+}

@@ -1,0 +1,300 @@
+use crate::{GraphError, Node, NodeId, Reference, Result, Schema};
+
+/// Incremental constructor for [`Schema`] graphs.
+///
+/// The builder enforces COMA's representation invariants when
+/// [`build`](SchemaBuilder::build) is called:
+///
+/// * containment links form a DAG (no cycles),
+/// * exactly one root exists (a node without containment parents),
+/// * every node is reachable from the root,
+/// * no duplicate containment edge between the same pair.
+///
+/// ```
+/// use coma_graph::{Node, SchemaBuilder, DataType};
+///
+/// let mut b = SchemaBuilder::new("PO2");
+/// let root = b.add_node(Node::new("PO2"));
+/// let deliver = b.add_node(Node::new("DeliverTo"));
+/// let address = b.add_node(Node::new("Address"));
+/// let city = b.add_node(Node::new("City").with_datatype(DataType::Text));
+/// b.add_child(root, deliver).unwrap();
+/// b.add_child(deliver, address).unwrap();
+/// b.add_child(address, city).unwrap();
+/// let schema = b.build().unwrap();
+/// assert_eq!(schema.node_count(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SchemaBuilder {
+    name: String,
+    nodes: Vec<Node>,
+    edges: Vec<(NodeId, NodeId)>,
+    references: Vec<Reference>,
+}
+
+impl SchemaBuilder {
+    /// Starts a new schema with the given name.
+    pub fn new(name: impl Into<String>) -> SchemaBuilder {
+        SchemaBuilder {
+            name: name.into(),
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            references: Vec::new(),
+        }
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self, node: Node) -> NodeId {
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(node);
+        id
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Read access to an already-added node (e.g. to check its name).
+    pub fn node(&self, id: NodeId) -> Option<&Node> {
+        self.nodes.get(id.index())
+    }
+
+    /// Adds a containment edge `parent → child`.
+    ///
+    /// Errors on foreign ids, self-containment, or a duplicate edge. Cycle
+    /// detection across multiple edges happens in [`build`](Self::build).
+    pub fn add_child(&mut self, parent: NodeId, child: NodeId) -> Result<()> {
+        self.check(parent)?;
+        self.check(child)?;
+        if parent == child {
+            return Err(GraphError::CycleDetected {
+                edge: self.edge_name(parent, child),
+            });
+        }
+        if self.edges.contains(&(parent, child)) {
+            return Err(GraphError::DuplicateEdge {
+                edge: self.edge_name(parent, child),
+            });
+        }
+        self.edges.push((parent, child));
+        Ok(())
+    }
+
+    /// Adds a referential link `from → to` with an optional label.
+    pub fn add_reference(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        label: Option<String>,
+    ) -> Result<()> {
+        self.check(from)?;
+        self.check(to)?;
+        self.references.push(Reference { from, to, label });
+        Ok(())
+    }
+
+    /// Validates the invariants and produces the immutable [`Schema`].
+    pub fn build(self) -> Result<Schema> {
+        let n = self.nodes.len();
+        let mut children: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let mut parents: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for &(p, c) in &self.edges {
+            children[p.index()].push(c);
+            parents[c.index()].push(p);
+        }
+
+        // Single root: exactly one node without containment parents.
+        let roots: Vec<NodeId> = (0..n)
+            .map(NodeId::from_index)
+            .filter(|id| parents[id.index()].is_empty())
+            .collect();
+        let root = match roots.as_slice() {
+            [] => return Err(GraphError::NoRoot),
+            [r] => *r,
+            many => {
+                return Err(GraphError::MultipleRoots {
+                    roots: many
+                        .iter()
+                        .map(|id| self.nodes[id.index()].name.clone())
+                        .collect(),
+                })
+            }
+        };
+
+        // Acyclicity via Kahn's algorithm.
+        let mut indegree: Vec<usize> = parents.iter().map(Vec::len).collect();
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut visited = 0usize;
+        while let Some(i) = queue.pop() {
+            visited += 1;
+            for c in &children[i] {
+                indegree[c.index()] -= 1;
+                if indegree[c.index()] == 0 {
+                    queue.push(c.index());
+                }
+            }
+        }
+        if visited != n {
+            // Some node kept a nonzero indegree: it sits on a cycle.
+            let on_cycle = (0..n)
+                .find(|&i| indegree[i] > 0)
+                .map(|i| self.nodes[i].name.clone())
+                .unwrap_or_default();
+            return Err(GraphError::CycleDetected {
+                edge: format!("involving node `{on_cycle}`"),
+            });
+        }
+
+        // Reachability: with a DAG and a single parentless node, every node
+        // is reachable from that node iff the graph is connected from it.
+        // (A parentless node is reachable only from itself, so any
+        // unreachable node would imply a second root or a cycle — both
+        // already excluded. Kept as a debug assertion.)
+        #[cfg(debug_assertions)]
+        {
+            let mut seen = vec![false; n];
+            let mut stack = vec![root];
+            seen[root.index()] = true;
+            while let Some(id) = stack.pop() {
+                for &c in &children[id.index()] {
+                    if !seen[c.index()] {
+                        seen[c.index()] = true;
+                        stack.push(c);
+                    }
+                }
+            }
+            debug_assert!(seen.iter().all(|&s| s), "all nodes reachable from root");
+        }
+
+        Ok(Schema {
+            name: self.name,
+            nodes: self.nodes,
+            children,
+            parents,
+            references: self.references,
+            root,
+        })
+    }
+
+    fn check(&self, id: NodeId) -> Result<()> {
+        if id.index() < self.nodes.len() {
+            Ok(())
+        } else {
+            Err(GraphError::InvalidNode { index: id.index() })
+        }
+    }
+
+    fn edge_name(&self, p: NodeId, c: NodeId) -> String {
+        format!(
+            "{} -> {}",
+            self.nodes[p.index()].name,
+            self.nodes[c.index()].name
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(name: &str) -> Node {
+        Node::new(name)
+    }
+
+    #[test]
+    fn builds_simple_tree() {
+        let mut b = SchemaBuilder::new("S");
+        let r = b.add_node(node("r"));
+        let a = b.add_node(node("a"));
+        b.add_child(r, a).unwrap();
+        let s = b.build().unwrap();
+        assert_eq!(s.root(), r);
+        assert_eq!(s.children(r), &[a]);
+        assert_eq!(s.parents(a), &[r]);
+    }
+
+    #[test]
+    fn rejects_self_containment() {
+        let mut b = SchemaBuilder::new("S");
+        let r = b.add_node(node("r"));
+        assert!(matches!(
+            b.add_child(r, r),
+            Err(GraphError::CycleDetected { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_edge() {
+        let mut b = SchemaBuilder::new("S");
+        let r = b.add_node(node("r"));
+        let a = b.add_node(node("a"));
+        b.add_child(r, a).unwrap();
+        assert!(matches!(
+            b.add_child(r, a),
+            Err(GraphError::DuplicateEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let mut b = SchemaBuilder::new("S");
+        let r = b.add_node(node("r"));
+        let a = b.add_node(node("a"));
+        let c = b.add_node(node("c"));
+        b.add_child(r, a).unwrap();
+        b.add_child(a, c).unwrap();
+        b.add_child(c, a).unwrap();
+        assert!(matches!(b.build(), Err(GraphError::CycleDetected { .. })));
+    }
+
+    #[test]
+    fn rejects_multiple_roots() {
+        let mut b = SchemaBuilder::new("S");
+        b.add_node(node("r1"));
+        b.add_node(node("r2"));
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, GraphError::MultipleRoots { .. }));
+    }
+
+    #[test]
+    fn rejects_empty_schema() {
+        let b = SchemaBuilder::new("S");
+        assert_eq!(b.build().unwrap_err(), GraphError::NoRoot);
+    }
+
+    #[test]
+    fn rejects_foreign_node_id() {
+        let mut other = SchemaBuilder::new("other");
+        let _ = other.add_node(node("x"));
+        let foreign = {
+            let mut b2 = SchemaBuilder::new("b2");
+            let a = b2.add_node(node("a"));
+            let _ = b2.add_node(node("b"));
+            let _ = b2.add_node(node("c"));
+            let c = b2.add_node(node("d"));
+            b2.add_child(a, c).unwrap();
+            c
+        };
+        // `foreign` has index 3, `other` has 1 node.
+        assert!(matches!(
+            other.add_child(foreign, foreign),
+            Err(GraphError::InvalidNode { .. })
+        ));
+    }
+
+    #[test]
+    fn shared_fragment_allows_multiple_parents() {
+        let mut b = SchemaBuilder::new("PO2");
+        let root = b.add_node(node("PO2"));
+        let deliver = b.add_node(node("DeliverTo"));
+        let bill = b.add_node(node("BillTo"));
+        let address = b.add_node(node("Address"));
+        b.add_child(root, deliver).unwrap();
+        b.add_child(root, bill).unwrap();
+        b.add_child(deliver, address).unwrap();
+        b.add_child(bill, address).unwrap();
+        let s = b.build().unwrap();
+        assert_eq!(s.parents(address).len(), 2);
+    }
+}

@@ -1,0 +1,194 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Generic data types shared by all schema importers.
+///
+/// COMA's `DataType` matcher "uses a synonym table specifying the degree of
+/// compatibility between a set of predefined generic data types, to which
+/// data types of schema elements are mapped" (paper, Section 4.1). The
+/// importers (`coma-xml`, `coma-sql`) map concrete type names — `xsd:decimal`,
+/// `VARCHAR(200)` — onto this enum; the compatibility table itself lives with
+/// the matcher so it stays configurable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum DataType {
+    /// Character data of any length (`VARCHAR`, `xsd:string`, …).
+    Text,
+    /// Whole numbers (`INT`, `xsd:integer`, `xsd:long`, …).
+    Integer,
+    /// Exact decimal numbers (`DECIMAL`, `NUMERIC`, `xsd:decimal`).
+    Decimal,
+    /// Binary floating point (`FLOAT`, `REAL`, `xsd:double`).
+    Float,
+    /// Truth values (`BOOLEAN`, `xsd:boolean`).
+    Boolean,
+    /// Calendar dates (`DATE`, `xsd:date`).
+    Date,
+    /// Time of day (`TIME`, `xsd:time`).
+    Time,
+    /// Combined date and time (`TIMESTAMP`, `xsd:dateTime`).
+    DateTime,
+    /// Time spans (`INTERVAL`, `xsd:duration`).
+    Duration,
+    /// Raw bytes (`BLOB`, `xsd:base64Binary`).
+    Binary,
+    /// Uniform resource identifiers (`xsd:anyURI`).
+    Uri,
+    /// Document-unique identifiers (`xsd:ID`).
+    Id,
+    /// References to identifiers (`xsd:IDREF`).
+    IdRef,
+    /// Unconstrained / unknown type (`xsd:anyType`, unparsed SQL types).
+    Any,
+}
+
+impl DataType {
+    /// All generic types, in a stable order (useful for compatibility
+    /// tables and exhaustive tests).
+    pub const ALL: [DataType; 14] = [
+        DataType::Text,
+        DataType::Integer,
+        DataType::Decimal,
+        DataType::Float,
+        DataType::Boolean,
+        DataType::Date,
+        DataType::Time,
+        DataType::DateTime,
+        DataType::Duration,
+        DataType::Binary,
+        DataType::Uri,
+        DataType::Id,
+        DataType::IdRef,
+        DataType::Any,
+    ];
+
+    /// Maps an XML Schema built-in type name (with or without the `xsd:`
+    /// prefix) onto a generic type. Unknown names map to [`DataType::Any`].
+    pub fn from_xsd(name: &str) -> DataType {
+        let local = name.rsplit(':').next().unwrap_or(name);
+        match local {
+            "string" | "normalizedString" | "token" | "language" | "Name" | "NCName"
+            | "NMTOKEN" | "QName" => DataType::Text,
+            "integer" | "int" | "long" | "short" | "byte" | "nonNegativeInteger"
+            | "positiveInteger" | "nonPositiveInteger" | "negativeInteger" | "unsignedLong"
+            | "unsignedInt" | "unsignedShort" | "unsignedByte" => DataType::Integer,
+            "decimal" => DataType::Decimal,
+            "float" | "double" => DataType::Float,
+            "boolean" => DataType::Boolean,
+            "date" | "gYear" | "gYearMonth" | "gMonth" | "gMonthDay" | "gDay" => DataType::Date,
+            "time" => DataType::Time,
+            "dateTime" => DataType::DateTime,
+            "duration" => DataType::Duration,
+            "base64Binary" | "hexBinary" => DataType::Binary,
+            "anyURI" => DataType::Uri,
+            "ID" => DataType::Id,
+            "IDREF" | "IDREFS" | "ENTITY" | "ENTITIES" => DataType::IdRef,
+            _ => DataType::Any,
+        }
+    }
+
+    /// Maps a SQL type name (the identifier before any `(length)` suffix)
+    /// onto a generic type. Unknown names map to [`DataType::Any`].
+    pub fn from_sql(name: &str) -> DataType {
+        let base = name
+            .split(|c: char| c == '(' || c.is_whitespace())
+            .next()
+            .unwrap_or(name)
+            .to_ascii_uppercase();
+        match base.as_str() {
+            "CHAR" | "VARCHAR" | "CHARACTER" | "TEXT" | "CLOB" | "NCHAR" | "NVARCHAR"
+            | "STRING" => DataType::Text,
+            "INT" | "INTEGER" | "SMALLINT" | "BIGINT" | "TINYINT" | "SERIAL" => DataType::Integer,
+            "DECIMAL" | "NUMERIC" | "NUMBER" | "MONEY" => DataType::Decimal,
+            "FLOAT" | "REAL" | "DOUBLE" => DataType::Float,
+            "BOOLEAN" | "BOOL" | "BIT" => DataType::Boolean,
+            "DATE" => DataType::Date,
+            "TIME" => DataType::Time,
+            "TIMESTAMP" | "DATETIME" => DataType::DateTime,
+            "INTERVAL" => DataType::Duration,
+            "BLOB" | "BINARY" | "VARBINARY" | "BYTEA" => DataType::Binary,
+            _ => DataType::Any,
+        }
+    }
+
+    /// Returns `true` for types holding numbers of any representation.
+    pub fn is_numeric(self) -> bool {
+        matches!(
+            self,
+            DataType::Integer | DataType::Decimal | DataType::Float
+        )
+    }
+
+    /// Returns `true` for types holding temporal values.
+    pub fn is_temporal(self) -> bool {
+        matches!(
+            self,
+            DataType::Date | DataType::Time | DataType::DateTime | DataType::Duration
+        )
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            DataType::Text => "text",
+            DataType::Integer => "integer",
+            DataType::Decimal => "decimal",
+            DataType::Float => "float",
+            DataType::Boolean => "boolean",
+            DataType::Date => "date",
+            DataType::Time => "time",
+            DataType::DateTime => "dateTime",
+            DataType::Duration => "duration",
+            DataType::Binary => "binary",
+            DataType::Uri => "uri",
+            DataType::Id => "id",
+            DataType::IdRef => "idref",
+            DataType::Any => "any",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xsd_builtins_map_to_generic_types() {
+        assert_eq!(DataType::from_xsd("xsd:string"), DataType::Text);
+        assert_eq!(DataType::from_xsd("string"), DataType::Text);
+        assert_eq!(DataType::from_xsd("xs:decimal"), DataType::Decimal);
+        assert_eq!(DataType::from_xsd("xsd:int"), DataType::Integer);
+        assert_eq!(DataType::from_xsd("xsd:dateTime"), DataType::DateTime);
+        assert_eq!(DataType::from_xsd("xsd:anyURI"), DataType::Uri);
+        assert_eq!(DataType::from_xsd("myCustomType"), DataType::Any);
+    }
+
+    #[test]
+    fn sql_types_map_to_generic_types() {
+        assert_eq!(DataType::from_sql("VARCHAR(200)"), DataType::Text);
+        assert_eq!(DataType::from_sql("varchar"), DataType::Text);
+        assert_eq!(DataType::from_sql("INT"), DataType::Integer);
+        assert_eq!(DataType::from_sql("DECIMAL(10,2)"), DataType::Decimal);
+        assert_eq!(DataType::from_sql("TIMESTAMP"), DataType::DateTime);
+        assert_eq!(DataType::from_sql("GEOMETRY"), DataType::Any);
+    }
+
+    #[test]
+    fn numeric_and_temporal_predicates() {
+        assert!(DataType::Integer.is_numeric());
+        assert!(DataType::Decimal.is_numeric());
+        assert!(!DataType::Text.is_numeric());
+        assert!(DataType::Date.is_temporal());
+        assert!(!DataType::Binary.is_temporal());
+    }
+
+    #[test]
+    fn all_contains_every_display_name_once() {
+        let mut names: Vec<String> = DataType::ALL.iter().map(|t| t.to_string()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), DataType::ALL.len());
+    }
+}

@@ -1,0 +1,70 @@
+//! Graphviz DOT export of schema graphs, mirroring Figure 1b of the paper
+//! (solid containment links, dashed referential links).
+
+use crate::Schema;
+use std::fmt::Write as _;
+
+/// Renders `schema` as a Graphviz `digraph`. Inner nodes are boxes, leaves
+/// are ellipses; containment links are solid, references dashed.
+pub fn to_dot(schema: &Schema) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(schema.name()));
+    let _ = writeln!(out, "  rankdir=TB;");
+    for (id, node) in schema.iter() {
+        let shape = if schema.is_leaf(id) { "ellipse" } else { "box" };
+        let mut label = escape(&node.name);
+        if let Some(dt) = node.datatype {
+            let _ = write!(label, "\\n{dt}");
+        }
+        let _ = writeln!(out, "  {} [label=\"{}\", shape={}];", id, label, shape);
+    }
+    for id in schema.node_ids() {
+        for &c in schema.children(id) {
+            let _ = writeln!(out, "  {id} -> {c};");
+        }
+    }
+    for r in schema.references() {
+        let label = r
+            .label
+            .as_deref()
+            .map(|l| format!(" [style=dashed, label=\"{}\"]", escape(l)))
+            .unwrap_or_else(|| " [style=dashed]".to_string());
+        let _ = writeln!(out, "  {} -> {}{};", r.from, r.to, label);
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DataType, Node, SchemaBuilder};
+
+    #[test]
+    fn dot_output_contains_nodes_edges_and_reference() {
+        let mut b = SchemaBuilder::new("S");
+        let r = b.add_node(Node::new("Order"));
+        let c = b.add_node(Node::new("custNo").with_datatype(DataType::Integer));
+        b.add_child(r, c).unwrap();
+        b.add_reference(c, r, Some("fk".into())).unwrap();
+        let s = b.build().unwrap();
+        let dot = to_dot(&s);
+        assert!(dot.contains("digraph \"S\""));
+        assert!(dot.contains("label=\"Order\", shape=box"));
+        assert!(dot.contains("label=\"custNo\\ninteger\", shape=ellipse"));
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.contains("style=dashed"));
+    }
+
+    #[test]
+    fn dot_escapes_quotes() {
+        let mut b = SchemaBuilder::new("has \"quotes\"");
+        b.add_node(Node::new("x"));
+        let s = b.build().unwrap();
+        assert!(to_dot(&s).contains("has \\\"quotes\\\""));
+    }
+}

@@ -1,0 +1,63 @@
+use std::fmt;
+
+/// Convenience result alias for graph operations.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+/// Errors raised while building or traversing a schema graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// A containment edge would introduce a cycle, violating the rooted-DAG
+    /// invariant of COMA's internal representation.
+    CycleDetected {
+        /// Human-readable description of the offending edge.
+        edge: String,
+    },
+    /// A node id did not belong to the schema it was used with.
+    InvalidNode {
+        /// The raw index of the invalid node id.
+        index: usize,
+    },
+    /// The schema has no root: every node has an incoming containment edge.
+    NoRoot,
+    /// The schema has more than one root; COMA schemas are single-rooted.
+    MultipleRoots {
+        /// Names of the candidate roots found.
+        roots: Vec<String>,
+    },
+    /// Unfolding the DAG into paths exceeded the configured limit. DAG
+    /// sharing can blow up exponentially; the limit keeps imports safe.
+    TooManyPaths {
+        /// The configured path limit that was exceeded.
+        limit: usize,
+    },
+    /// A duplicate containment edge between the same parent and child.
+    DuplicateEdge {
+        /// Human-readable description of the offending edge.
+        edge: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::CycleDetected { edge } => {
+                write!(f, "containment edge {edge} would create a cycle")
+            }
+            GraphError::InvalidNode { index } => {
+                write!(f, "node id {index} does not belong to this schema")
+            }
+            GraphError::NoRoot => write!(f, "schema has no root node"),
+            GraphError::MultipleRoots { roots } => {
+                write!(f, "schema has multiple roots: {}", roots.join(", "))
+            }
+            GraphError::TooManyPaths { limit } => {
+                write!(f, "path unfolding exceeded the limit of {limit} paths")
+            }
+            GraphError::DuplicateEdge { edge } => {
+                write!(f, "duplicate containment edge {edge}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

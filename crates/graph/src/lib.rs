@@ -1,0 +1,43 @@
+//! # coma-graph — schema graph substrate for COMA
+//!
+//! COMA (Do & Rahm, VLDB 2002) represents every schema — relational,
+//! XML, or otherwise — as a **rooted directed acyclic graph**: schema
+//! elements are nodes, and directed links of different types (containment,
+//! referential) connect them (paper, Section 3, Figure 1).
+//!
+//! Match algorithms do not operate on nodes directly but on **paths**:
+//! sequences of nodes following containment links from the root. A shared
+//! fragment (e.g. an `Address` type used by both `DeliverTo` and `BillTo`)
+//! is a single node reachable via multiple paths, and every path gets its
+//! own match candidates.
+//!
+//! This crate provides:
+//!
+//! * [`Schema`] — the graph itself, built through [`SchemaBuilder`] with
+//!   cycle detection,
+//! * [`DataType`] — the generic data-type system shared by all importers,
+//! * [`PathSet`] — the path unfolding of a schema with parent/child/leaf
+//!   navigation used by structural matchers,
+//! * [`SchemaStats`] — the per-schema statistics reported in Table 5 of the
+//!   paper (max depth, node and path counts split by inner/leaf),
+//! * [`dot`] — Graphviz export for debugging and documentation.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod builder;
+mod datatype;
+pub mod dot;
+mod error;
+mod node;
+mod path;
+mod schema;
+mod stats;
+
+pub use builder::SchemaBuilder;
+pub use datatype::DataType;
+pub use error::{GraphError, Result};
+pub use node::{Node, NodeId, NodeKind};
+pub use path::{Path, PathId, PathSet, DEFAULT_PATH_LIMIT};
+pub use schema::{LinkKind, Reference, Schema};
+pub use stats::SchemaStats;

@@ -1,0 +1,110 @@
+use crate::DataType;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node within one [`Schema`](crate::Schema).
+///
+/// Node ids are dense indices into the schema's node arena; they are only
+/// meaningful together with the schema that created them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Raw index of this node in its schema's arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    pub(crate) fn from_index(index: usize) -> NodeId {
+        NodeId(u32::try_from(index).expect("schema larger than u32::MAX nodes"))
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Classification of a node by its containment children.
+///
+/// The paper distinguishes **inner** elements (with children) from **leaf**
+/// elements (Table 5 reports both separately; the `Children` and `Leaves`
+/// matchers treat them differently).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// Node with at least one containment child.
+    Inner,
+    /// Node without containment children.
+    Leaf,
+}
+
+/// A schema element: relational table or column, XML element, attribute or
+/// named complex type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Node {
+    /// Element name as written in the source schema (e.g. `shipToCity`).
+    pub name: String,
+    /// Generic data type, for typed leaves; `None` for untyped/inner nodes.
+    pub datatype: Option<DataType>,
+    /// The original type name from the source schema (e.g. `VARCHAR(200)`,
+    /// `xsd:decimal`, or the name of a complex type). Kept for diagnostics
+    /// and for user-defined matchers that want the raw spelling.
+    pub type_name: Option<String>,
+    /// Optional documentation/annotation text imported from the source.
+    pub annotation: Option<String>,
+}
+
+impl Node {
+    /// Creates a new node with the given name and no type information.
+    pub fn new(name: impl Into<String>) -> Node {
+        Node {
+            name: name.into(),
+            datatype: None,
+            type_name: None,
+            annotation: None,
+        }
+    }
+
+    /// Builder-style setter for the generic data type.
+    pub fn with_datatype(mut self, datatype: DataType) -> Node {
+        self.datatype = Some(datatype);
+        self
+    }
+
+    /// Builder-style setter for the original type name.
+    pub fn with_type_name(mut self, type_name: impl Into<String>) -> Node {
+        self.type_name = Some(type_name.into());
+        self
+    }
+
+    /// Builder-style setter for the annotation text.
+    pub fn with_annotation(mut self, annotation: impl Into<String>) -> Node {
+        self.annotation = Some(annotation.into());
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_builders_set_fields() {
+        let n = Node::new("custCity")
+            .with_datatype(DataType::Text)
+            .with_type_name("VARCHAR(200)")
+            .with_annotation("city of the customer");
+        assert_eq!(n.name, "custCity");
+        assert_eq!(n.datatype, Some(DataType::Text));
+        assert_eq!(n.type_name.as_deref(), Some("VARCHAR(200)"));
+        assert_eq!(n.annotation.as_deref(), Some("city of the customer"));
+    }
+
+    #[test]
+    fn node_id_roundtrips_index() {
+        let id = NodeId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.to_string(), "n42");
+    }
+}

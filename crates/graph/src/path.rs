@@ -1,0 +1,339 @@
+use crate::{GraphError, NodeId, Result, Schema};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a path within one [`PathSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PathId(pub(crate) u32);
+
+impl PathId {
+    /// Raw index of this path in its path set.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    pub(crate) fn from_index(index: usize) -> PathId {
+        PathId(u32::try_from(index).expect("path set larger than u32::MAX"))
+    }
+}
+
+impl fmt::Display for PathId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// One root-to-node path in the containment unfolding of a schema.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Path {
+    /// The node this path ends at.
+    pub node: NodeId,
+    /// The path one containment step shorter, `None` for the root path.
+    pub parent: Option<PathId>,
+    /// Number of nodes on the path (root path has depth 1).
+    pub depth: u32,
+}
+
+/// The complete path unfolding of a schema.
+///
+/// COMA matches **paths**, not nodes: "We represent schema elements by their
+/// paths […]. Shared schema fragments or elements, such as Address in PO2,
+/// will result in multiple paths for which we can independently determine
+/// match candidates" (paper, Section 3).
+///
+/// Although the schema is a DAG, its unfolding is a tree, so every path has
+/// a unique parent. The unfolding is produced in deterministic DFS preorder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathSet {
+    paths: Vec<Path>,
+    children: Vec<Vec<PathId>>,
+    /// Paths ending at each node, indexed by node arena index.
+    node_paths: Vec<Vec<PathId>>,
+}
+
+/// Default cap on the number of paths produced by unfolding. DAG sharing
+/// can explode exponentially; real schemas stay far below this.
+pub const DEFAULT_PATH_LIMIT: usize = 1 << 20;
+
+impl PathSet {
+    /// Unfolds `schema` with the [`DEFAULT_PATH_LIMIT`].
+    pub fn new(schema: &Schema) -> Result<PathSet> {
+        PathSet::with_limit(schema, DEFAULT_PATH_LIMIT)
+    }
+
+    /// Unfolds `schema`, failing with [`GraphError::TooManyPaths`] if more
+    /// than `limit` paths would be produced.
+    pub fn with_limit(schema: &Schema, limit: usize) -> Result<PathSet> {
+        let mut paths: Vec<Path> = Vec::with_capacity(schema.node_count());
+        let mut children: Vec<Vec<PathId>> = Vec::with_capacity(schema.node_count());
+        let mut node_paths: Vec<Vec<PathId>> = vec![Vec::new(); schema.node_count()];
+
+        // DFS preorder. The stack holds (node, parent path).
+        let root = schema.root();
+        let mut stack: Vec<(NodeId, Option<PathId>)> = vec![(root, None)];
+        while let Some((node, parent)) = stack.pop() {
+            if paths.len() >= limit {
+                return Err(GraphError::TooManyPaths { limit });
+            }
+            let id = PathId::from_index(paths.len());
+            let depth = parent.map_or(1, |p| paths[p.index()].depth + 1);
+            paths.push(Path {
+                node,
+                parent,
+                depth,
+            });
+            children.push(Vec::new());
+            if let Some(p) = parent {
+                children[p.index()].push(id);
+            }
+            node_paths[node.index()].push(id);
+            // Push children in reverse so they pop in source order.
+            for &c in schema.children(node).iter().rev() {
+                stack.push((c, Some(id)));
+            }
+        }
+
+        Ok(PathSet {
+            paths,
+            children,
+            node_paths,
+        })
+    }
+
+    /// Number of paths.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Whether the unfolding is empty (never true for a built schema).
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// Iterates over all path ids in DFS preorder.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = PathId> + '_ {
+        (0..self.paths.len()).map(PathId::from_index)
+    }
+
+    /// The root path (always index 0).
+    pub fn root(&self) -> PathId {
+        PathId(0)
+    }
+
+    /// The path record for `id`.
+    pub fn path(&self, id: PathId) -> &Path {
+        &self.paths[id.index()]
+    }
+
+    /// The node a path ends at.
+    pub fn node_of(&self, id: PathId) -> NodeId {
+        self.paths[id.index()].node
+    }
+
+    /// The parent path (one containment step shorter).
+    pub fn parent(&self, id: PathId) -> Option<PathId> {
+        self.paths[id.index()].parent
+    }
+
+    /// Child paths of `id`, in source order.
+    pub fn children(&self, id: PathId) -> &[PathId] {
+        &self.children[id.index()]
+    }
+
+    /// Number of nodes on the path (root = 1).
+    pub fn depth(&self, id: PathId) -> usize {
+        self.paths[id.index()].depth as usize
+    }
+
+    /// Whether the path ends at a leaf node.
+    pub fn is_leaf(&self, id: PathId) -> bool {
+        self.children[id.index()].is_empty()
+    }
+
+    /// All paths ending at `node` (several when the node is shared).
+    pub fn paths_of_node(&self, node: NodeId) -> &[PathId] {
+        &self.node_paths[node.index()]
+    }
+
+    /// The node sequence of the path, root first.
+    pub fn nodes(&self, id: PathId) -> Vec<NodeId> {
+        let mut seq = Vec::with_capacity(self.depth(id));
+        let mut cur = Some(id);
+        while let Some(p) = cur {
+            seq.push(self.paths[p.index()].node);
+            cur = self.paths[p.index()].parent;
+        }
+        seq.reverse();
+        seq
+    }
+
+    /// The name of the node the path ends at.
+    pub fn name<'s>(&self, schema: &'s Schema, id: PathId) -> &'s str {
+        &schema.node(self.node_of(id)).name
+    }
+
+    /// The dotted full name of the path, e.g. `PO2.DeliverTo.Address.City`.
+    pub fn full_name(&self, schema: &Schema, id: PathId) -> String {
+        self.join_names(schema, id, ".")
+    }
+
+    /// The full name with a custom separator.
+    pub fn join_names(&self, schema: &Schema, id: PathId, sep: &str) -> String {
+        let nodes = self.nodes(id);
+        let mut out = String::new();
+        for (i, n) in nodes.iter().enumerate() {
+            if i > 0 {
+                out.push_str(sep);
+            }
+            out.push_str(&schema.node(*n).name);
+        }
+        out
+    }
+
+    /// All leaf paths in the subtree rooted at `id` (including `id` itself
+    /// when it is a leaf), in DFS preorder.
+    pub fn leaves_under(&self, id: PathId) -> Vec<PathId> {
+        let mut out = Vec::new();
+        let mut stack = vec![id];
+        while let Some(p) = stack.pop() {
+            if self.is_leaf(p) {
+                out.push(p);
+            } else {
+                for &c in self.children[p.index()].iter().rev() {
+                    stack.push(c);
+                }
+            }
+        }
+        out
+    }
+
+    /// All inner (non-leaf) path ids, in DFS preorder.
+    pub fn inner_paths(&self) -> Vec<PathId> {
+        self.iter().filter(|&p| !self.is_leaf(p)).collect()
+    }
+
+    /// All leaf path ids, in DFS preorder.
+    pub fn leaf_paths(&self) -> Vec<PathId> {
+        self.iter().filter(|&p| self.is_leaf(p)).collect()
+    }
+
+    /// Looks up a path by its dotted full name. Linear scan — intended for
+    /// tests, examples and gold-standard loading, not hot paths.
+    pub fn find_by_full_name(&self, schema: &Schema, full_name: &str) -> Option<PathId> {
+        self.iter()
+            .find(|&p| self.full_name(schema, p) == full_name)
+    }
+
+    /// Maximum depth over all paths — the "max depth" column of Table 5.
+    pub fn max_depth(&self) -> usize {
+        self.paths.iter().map(|p| p.depth as usize).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Node, SchemaBuilder};
+
+    /// Builds the PO2 schema of Figure 1: DeliverTo and BillTo share the
+    /// Address fragment with leaves Street, City, Zip.
+    fn po2() -> Schema {
+        let mut b = SchemaBuilder::new("PO2");
+        let root = b.add_node(Node::new("PO2"));
+        let deliver = b.add_node(Node::new("DeliverTo"));
+        let bill = b.add_node(Node::new("BillTo"));
+        let address = b.add_node(Node::new("Address"));
+        let street = b.add_node(Node::new("Street"));
+        let city = b.add_node(Node::new("City"));
+        let zip = b.add_node(Node::new("Zip"));
+        b.add_child(root, deliver).unwrap();
+        b.add_child(root, bill).unwrap();
+        b.add_child(deliver, address).unwrap();
+        b.add_child(bill, address).unwrap();
+        b.add_child(address, street).unwrap();
+        b.add_child(address, city).unwrap();
+        b.add_child(address, zip).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn po2_unfolds_to_eleven_paths() {
+        // 7 nodes; the shared Address subtree doubles: PO2, DeliverTo,
+        // BillTo, 2×Address, 2×(Street, City, Zip) = 11 paths.
+        let s = po2();
+        let ps = PathSet::new(&s).unwrap();
+        assert_eq!(s.node_count(), 7);
+        assert_eq!(ps.len(), 11);
+        assert_eq!(ps.max_depth(), 4);
+    }
+
+    #[test]
+    fn full_names_match_paper_notation() {
+        let s = po2();
+        let ps = PathSet::new(&s).unwrap();
+        let names: Vec<String> = ps.iter().map(|p| ps.full_name(&s, p)).collect();
+        assert!(names.contains(&"PO2.DeliverTo.Address.City".to_string()));
+        assert!(names.contains(&"PO2.BillTo.Address.City".to_string()));
+        assert_eq!(names[0], "PO2");
+    }
+
+    #[test]
+    fn find_by_full_name_distinguishes_contexts() {
+        let s = po2();
+        let ps = PathSet::new(&s).unwrap();
+        let a = ps.find_by_full_name(&s, "PO2.DeliverTo.Address.City").unwrap();
+        let b = ps.find_by_full_name(&s, "PO2.BillTo.Address.City").unwrap();
+        assert_ne!(a, b);
+        assert_eq!(ps.node_of(a), ps.node_of(b)); // same shared node
+    }
+
+    #[test]
+    fn children_and_parent_are_consistent() {
+        let s = po2();
+        let ps = PathSet::new(&s).unwrap();
+        for p in ps.iter() {
+            for &c in ps.children(p) {
+                assert_eq!(ps.parent(c), Some(p));
+                assert_eq!(ps.depth(c), ps.depth(p) + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn leaves_under_root_are_all_leaf_paths() {
+        let s = po2();
+        let ps = PathSet::new(&s).unwrap();
+        assert_eq!(ps.leaves_under(ps.root()), ps.leaf_paths());
+        assert_eq!(ps.leaf_paths().len(), 6);
+        assert_eq!(ps.inner_paths().len(), 5); // PO2, DeliverTo, BillTo, 2×Address
+    }
+
+    #[test]
+    fn path_limit_is_enforced() {
+        let s = po2();
+        let err = PathSet::with_limit(&s, 5).unwrap_err();
+        assert_eq!(err, GraphError::TooManyPaths { limit: 5 });
+    }
+
+    #[test]
+    fn paths_of_node_lists_every_context() {
+        let s = po2();
+        let ps = PathSet::new(&s).unwrap();
+        let address = s
+            .node_ids()
+            .find(|&id| s.node(id).name == "Address")
+            .unwrap();
+        assert_eq!(ps.paths_of_node(address).len(), 2);
+    }
+
+    #[test]
+    fn nodes_returns_root_first_sequence() {
+        let s = po2();
+        let ps = PathSet::new(&s).unwrap();
+        let city = ps.find_by_full_name(&s, "PO2.DeliverTo.Address.City").unwrap();
+        let seq = ps.nodes(city);
+        assert_eq!(seq.len(), 4);
+        assert_eq!(s.node(seq[0]).name, "PO2");
+        assert_eq!(s.node(seq[3]).name, "City");
+    }
+}

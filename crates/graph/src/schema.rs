@@ -1,0 +1,207 @@
+use crate::{GraphError, Node, NodeId, NodeKind, Result};
+use serde::{Deserialize, Serialize};
+
+/// The type of a directed link between schema elements.
+///
+/// The paper (Section 3): "Schema elements are represented by graph nodes
+/// connected by directed links of different types, e.g. for containment and
+/// referential relationships."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkKind {
+    /// Parent contains child (table→column, element→sub-element).
+    Containment,
+    /// Referential link (foreign key, IDREF).
+    Reference,
+}
+
+/// A referential link between two nodes, e.g. a foreign key column pointing
+/// at the table it references.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Reference {
+    /// Source of the reference (e.g. the foreign-key column).
+    pub from: NodeId,
+    /// Target of the reference (e.g. the referenced table).
+    pub to: NodeId,
+    /// Optional label (e.g. the constraint name).
+    pub label: Option<String>,
+}
+
+/// A schema in COMA's internal representation: a single-rooted directed
+/// acyclic graph of named nodes with containment and referential links.
+///
+/// Schemas are immutable once built (via [`SchemaBuilder`](crate::SchemaBuilder)),
+/// which lets the matcher layer cache path unfoldings and similarity cubes
+/// safely.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schema {
+    pub(crate) name: String,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) children: Vec<Vec<NodeId>>,
+    pub(crate) parents: Vec<Vec<NodeId>>,
+    pub(crate) references: Vec<Reference>,
+    pub(crate) root: NodeId,
+}
+
+impl Schema {
+    /// The schema's name (e.g. `PO1`, `CIDX`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nodes in the graph.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The unique root node.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Looks up a node, panicking on a foreign id (use
+    /// [`Schema::try_node`] for fallible access).
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Fallible node lookup.
+    pub fn try_node(&self, id: NodeId) -> Result<&Node> {
+        self.nodes
+            .get(id.index())
+            .ok_or(GraphError::InvalidNode { index: id.index() })
+    }
+
+    /// Containment children of `id`, in source order.
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.children[id.index()]
+    }
+
+    /// Containment parents of `id` (more than one for shared fragments).
+    pub fn parents(&self, id: NodeId) -> &[NodeId] {
+        &self.parents[id.index()]
+    }
+
+    /// All referential links.
+    pub fn references(&self) -> &[Reference] {
+        &self.references
+    }
+
+    /// Whether `id` is a leaf (no containment children).
+    pub fn is_leaf(&self, id: NodeId) -> bool {
+        self.children[id.index()].is_empty()
+    }
+
+    /// Classification of `id` by its containment children.
+    pub fn kind(&self, id: NodeId) -> NodeKind {
+        if self.is_leaf(id) {
+            NodeKind::Leaf
+        } else {
+            NodeKind::Inner
+        }
+    }
+
+    /// Iterates over all node ids in arena order.
+    pub fn node_ids(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId::from_index)
+    }
+
+    /// Iterates over `(id, node)` pairs in arena order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (NodeId, &Node)> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId::from_index(i), n))
+    }
+
+    /// Nodes in a topological order of the containment DAG (parents before
+    /// children). The order is deterministic: ties resolve by arena index.
+    pub fn topological_order(&self) -> Vec<NodeId> {
+        let n = self.nodes.len();
+        let mut indegree: Vec<usize> = vec![0; n];
+        for kids in &self.children {
+            for k in kids {
+                indegree[k.index()] += 1;
+            }
+        }
+        // A sorted frontier keeps the order deterministic.
+        let mut frontier: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(i) = frontier.pop() {
+            order.push(NodeId::from_index(i));
+            for k in &self.children[i] {
+                indegree[k.index()] -= 1;
+                if indegree[k.index()] == 0 {
+                    // Insert keeping the frontier sorted descending so pop()
+                    // yields the smallest index first.
+                    let pos = frontier
+                        .binary_search_by(|probe| k.index().cmp(probe))
+                        .unwrap_or_else(|e| e);
+                    frontier.insert(pos, k.index());
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), n, "schema invariant: containment is acyclic");
+        order
+    }
+
+    /// Depth of every node: length of the *shortest* containment chain from
+    /// the root (root = 1). Nodes unreachable from the root have depth 0
+    /// (builders reject those, so this only matters for hand-rolled data).
+    pub fn node_depths(&self) -> Vec<usize> {
+        let mut depth = vec![0usize; self.nodes.len()];
+        let mut queue = std::collections::VecDeque::new();
+        depth[self.root.index()] = 1;
+        queue.push_back(self.root);
+        while let Some(id) = queue.pop_front() {
+            for &c in self.children(id) {
+                if depth[c.index()] == 0 {
+                    depth[c.index()] = depth[id.index()] + 1;
+                    queue.push_back(c);
+                }
+            }
+        }
+        depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Node, SchemaBuilder};
+
+    #[test]
+    fn topological_order_puts_parents_first() {
+        let mut b = SchemaBuilder::new("S");
+        let root = b.add_node(Node::new("root"));
+        let a = b.add_node(Node::new("a"));
+        let shared = b.add_node(Node::new("shared"));
+        let b2 = b.add_node(Node::new("b"));
+        b.add_child(root, a).unwrap();
+        b.add_child(root, b2).unwrap();
+        b.add_child(a, shared).unwrap();
+        b.add_child(b2, shared).unwrap();
+        let s = b.build().unwrap();
+        let order = s.topological_order();
+        let pos = |id| order.iter().position(|&x| x == id).unwrap();
+        assert!(pos(root) < pos(a));
+        assert!(pos(a) < pos(shared));
+        assert!(pos(b2) < pos(shared));
+        assert_eq!(order.len(), 4);
+    }
+
+    #[test]
+    fn node_depths_use_shortest_chain() {
+        let mut b = SchemaBuilder::new("S");
+        let root = b.add_node(Node::new("root"));
+        let a = b.add_node(Node::new("a"));
+        let deep = b.add_node(Node::new("deep"));
+        let shared = b.add_node(Node::new("shared"));
+        b.add_child(root, a).unwrap();
+        b.add_child(a, deep).unwrap();
+        b.add_child(deep, shared).unwrap();
+        b.add_child(root, shared).unwrap();
+        let s = b.build().unwrap();
+        let d = s.node_depths();
+        assert_eq!(d[root.index()], 1);
+        assert_eq!(d[shared.index()], 2); // via root, not via deep
+    }
+}

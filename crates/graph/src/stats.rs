@@ -1,0 +1,99 @@
+use crate::{PathSet, Schema};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Per-schema statistics as reported in Table 5 of the paper: maximum path
+/// depth plus node and path counts, split into inner and leaf elements.
+///
+/// "Except for schema 1, the number of paths is different from the number of
+/// nodes, indicating the use of shared fragments in the schemas."
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SchemaStats {
+    /// Longest root-to-node path, counting the root as depth 1.
+    pub max_depth: usize,
+    /// Total number of graph nodes.
+    pub nodes: usize,
+    /// Total number of paths in the unfolding.
+    pub paths: usize,
+    /// Nodes with containment children.
+    pub inner_nodes: usize,
+    /// Paths ending at inner nodes.
+    pub inner_paths: usize,
+    /// Nodes without containment children.
+    pub leaf_nodes: usize,
+    /// Paths ending at leaf nodes.
+    pub leaf_paths: usize,
+}
+
+impl SchemaStats {
+    /// Computes the statistics for a schema and its unfolding.
+    pub fn compute(schema: &Schema, paths: &PathSet) -> SchemaStats {
+        let leaf_nodes = schema.node_ids().filter(|&id| schema.is_leaf(id)).count();
+        let leaf_paths = paths.iter().filter(|&p| paths.is_leaf(p)).count();
+        SchemaStats {
+            max_depth: paths.max_depth(),
+            nodes: schema.node_count(),
+            paths: paths.len(),
+            inner_nodes: schema.node_count() - leaf_nodes,
+            inner_paths: paths.len() - leaf_paths,
+            leaf_nodes,
+            leaf_paths,
+        }
+    }
+}
+
+impl fmt::Display for SchemaStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "depth {} | nodes/paths {}/{} | inner {}/{} | leaf {}/{}",
+            self.max_depth,
+            self.nodes,
+            self.paths,
+            self.inner_nodes,
+            self.inner_paths,
+            self.leaf_nodes,
+            self.leaf_paths
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Node, PathSet, SchemaBuilder};
+
+    #[test]
+    fn stats_for_figure1_po2() {
+        let mut b = SchemaBuilder::new("PO2");
+        let root = b.add_node(Node::new("PO2"));
+        let deliver = b.add_node(Node::new("DeliverTo"));
+        let bill = b.add_node(Node::new("BillTo"));
+        let address = b.add_node(Node::new("Address"));
+        let street = b.add_node(Node::new("Street"));
+        let city = b.add_node(Node::new("City"));
+        let zip = b.add_node(Node::new("Zip"));
+        b.add_child(root, deliver).unwrap();
+        b.add_child(root, bill).unwrap();
+        b.add_child(deliver, address).unwrap();
+        b.add_child(bill, address).unwrap();
+        b.add_child(address, street).unwrap();
+        b.add_child(address, city).unwrap();
+        b.add_child(address, zip).unwrap();
+        let s = b.build().unwrap();
+        let ps = PathSet::new(&s).unwrap();
+        let st = SchemaStats::compute(&s, &ps);
+        assert_eq!(
+            st,
+            SchemaStats {
+                max_depth: 4,
+                nodes: 7,
+                paths: 11,
+                inner_nodes: 4,
+                inner_paths: 5,
+                leaf_nodes: 3,
+                leaf_paths: 6,
+            }
+        );
+    }
+}

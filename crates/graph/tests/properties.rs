@@ -1,0 +1,152 @@
+//! Property-based tests for the graph substrate: random trees and DAGs must
+//! satisfy the unfolding invariants COMA's matchers rely on.
+
+use coma_graph::{Node, NodeId, PathSet, Schema, SchemaBuilder, SchemaStats};
+use proptest::prelude::*;
+
+/// Strategy: a random tree with `n` nodes. Node i>0 gets a parent < i,
+/// guaranteeing acyclicity and a single root (node 0).
+fn arb_tree(max_nodes: usize) -> impl Strategy<Value = Schema> {
+    (1..=max_nodes).prop_flat_map(|n| {
+        proptest::collection::vec(0usize..n.max(1), n.saturating_sub(1)).prop_map(
+            move |parents| {
+                let mut b = SchemaBuilder::new("T");
+                let ids: Vec<NodeId> = (0..n).map(|i| b.add_node(Node::new(format!("n{i}")))).collect();
+                for (i, &p) in parents.iter().enumerate() {
+                    let child = i + 1;
+                    let parent = p % child; // parent index strictly below child
+                    b.add_child(ids[parent], ids[child]).unwrap();
+                }
+                b.build().unwrap()
+            },
+        )
+    })
+}
+
+/// Strategy: a random DAG: node i>0 gets 1..=3 distinct parents < i.
+fn arb_dag(max_nodes: usize) -> impl Strategy<Value = Schema> {
+    (2..=max_nodes)
+        .prop_flat_map(|n| {
+            let parent_lists = (1..n)
+                .map(|i| proptest::collection::btree_set(0usize..i, 1..=3.min(i)))
+                .collect::<Vec<_>>();
+            (Just(n), parent_lists)
+        })
+        .prop_map(|(n, parent_lists)| {
+            let mut b = SchemaBuilder::new("D");
+            let ids: Vec<NodeId> = (0..n).map(|i| b.add_node(Node::new(format!("n{i}")))).collect();
+            for (i, parents) in parent_lists.into_iter().enumerate() {
+                let child = i + 1;
+                for p in parents {
+                    b.add_child(ids[p], ids[child]).unwrap();
+                }
+            }
+            b.build().unwrap()
+        })
+}
+
+/// Independent path count: product-sum recursion over the DAG.
+fn count_paths_recursive(s: &Schema, node: NodeId, memo: &mut Vec<Option<u64>>) -> u64 {
+    if let Some(c) = memo[node.index()] {
+        return c;
+    }
+    // Paths ending at `node` = number of root-to-node walks; but easier to
+    // count all paths in the unfolding: 1 (for this node's own path per
+    // incoming walk) + sum over children. We instead count the subtree size
+    // of the unfolding rooted at `node`.
+    let mut total = 1u64;
+    for &c in s.children(node) {
+        total += count_paths_recursive(s, c, memo);
+    }
+    memo[node.index()] = Some(total);
+    total
+}
+
+proptest! {
+    #[test]
+    fn tree_unfolding_has_one_path_per_node(s in arb_tree(40)) {
+        let ps = PathSet::new(&s).unwrap();
+        prop_assert_eq!(ps.len(), s.node_count());
+        for p in ps.iter() {
+            prop_assert_eq!(ps.paths_of_node(ps.node_of(p)).len(), 1);
+        }
+    }
+
+    #[test]
+    fn dag_unfolding_matches_recursive_count(s in arb_dag(16)) {
+        let mut memo = vec![None; s.node_count()];
+        let expected = count_paths_recursive(&s, s.root(), &mut memo);
+        match PathSet::with_limit(&s, 1 << 16) {
+            Ok(ps) => prop_assert_eq!(ps.len() as u64, expected),
+            Err(_) => prop_assert!(expected > (1 << 16)),
+        }
+    }
+
+    #[test]
+    fn parent_chains_terminate_at_root(s in arb_dag(14)) {
+        let ps = PathSet::new(&s).unwrap();
+        for p in ps.iter() {
+            let mut cur = p;
+            let mut steps = 0;
+            while let Some(parent) = ps.parent(cur) {
+                cur = parent;
+                steps += 1;
+                prop_assert!(steps <= ps.len());
+            }
+            prop_assert_eq!(cur, ps.root());
+            prop_assert_eq!(ps.depth(p), ps.nodes(p).len());
+        }
+    }
+
+    #[test]
+    fn stats_components_sum(s in arb_dag(14)) {
+        let ps = PathSet::new(&s).unwrap();
+        let st = SchemaStats::compute(&s, &ps);
+        prop_assert_eq!(st.inner_nodes + st.leaf_nodes, st.nodes);
+        prop_assert_eq!(st.inner_paths + st.leaf_paths, st.paths);
+        prop_assert!(st.max_depth >= 1);
+        prop_assert!(st.paths >= st.nodes);
+    }
+
+    #[test]
+    fn leaves_under_partition_by_child(s in arb_dag(14)) {
+        let ps = PathSet::new(&s).unwrap();
+        for p in ps.iter() {
+            if !ps.is_leaf(p) {
+                let mut via_children: Vec<_> = ps
+                    .children(p)
+                    .iter()
+                    .flat_map(|&c| ps.leaves_under(c))
+                    .collect();
+                via_children.sort();
+                let mut direct = ps.leaves_under(p);
+                direct.sort();
+                prop_assert_eq!(via_children, direct);
+            }
+        }
+    }
+
+    #[test]
+    fn full_names_are_unique_in_trees(s in arb_tree(30)) {
+        let ps = PathSet::new(&s).unwrap();
+        let mut names: Vec<String> = ps.iter().map(|p| ps.full_name(&s, p)).collect();
+        names.sort();
+        let before = names.len();
+        names.dedup();
+        prop_assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn topological_order_respects_all_edges(s in arb_dag(16)) {
+        let order = s.topological_order();
+        let mut pos = vec![0usize; s.node_count()];
+        for (i, id) in order.iter().enumerate() {
+            pos[id.index()] = i;
+        }
+        for id in s.node_ids() {
+            for &c in s.children(id) {
+                prop_assert!(pos[id.index()] < pos[c.index()]);
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+use serde::{Deserialize, Serialize};
+
+/// A persisted similarity cube: the `k × m × n` block of similarity values
+/// one matcher execution phase produces for a match task (paper, Section 3:
+/// "The result of the matcher execution phase with k matchers, m S1
+/// elements and n S2 elements is a k x m x n cube of similarity values,
+/// which is stored in the repository for later combination and selection
+/// steps").
+///
+/// The repository stores cubes in a schema-independent form: paths are
+/// dotted full names, values are a dense row-major array
+/// (`values[(k·m + i)·n + j]`). The matcher layer converts to and from its
+/// in-memory cube type.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoredCube {
+    /// Name of the source schema.
+    pub source_schema: String,
+    /// Name of the target schema.
+    pub target_schema: String,
+    /// One entry per matcher slice, in slice order.
+    pub matchers: Vec<String>,
+    /// Source element paths (length `m`).
+    pub source_paths: Vec<String>,
+    /// Target element paths (length `n`).
+    pub target_paths: Vec<String>,
+    /// Dense values, `matchers.len() * source_paths.len() * target_paths.len()`
+    /// entries in (matcher, source, target) row-major order.
+    pub values: Vec<f64>,
+}
+
+impl StoredCube {
+    /// Validates the dimensional invariant.
+    pub fn is_consistent(&self) -> bool {
+        self.values.len()
+            == self.matchers.len() * self.source_paths.len() * self.target_paths.len()
+    }
+
+    /// The stored value for (matcher `k`, source `i`, target `j`).
+    pub fn value(&self, k: usize, i: usize, j: usize) -> f64 {
+        let (m, n) = (self.source_paths.len(), self.target_paths.len());
+        assert!(k < self.matchers.len() && i < m && j < n, "index out of bounds");
+        self.values[(k * m + i) * n + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consistency_and_indexing() {
+        let cube = StoredCube {
+            source_schema: "S1".into(),
+            target_schema: "S2".into(),
+            matchers: vec!["Name".into(), "TypeName".into()],
+            source_paths: vec!["S1.a".into(), "S1.b".into(), "S1.c".into()],
+            target_paths: vec!["S2.x".into(), "S2.y".into()],
+            values: (0..12).map(|v| v as f64 / 12.0).collect(),
+        };
+        assert!(cube.is_consistent());
+        assert_eq!(cube.value(0, 0, 0), 0.0);
+        assert_eq!(cube.value(1, 2, 1), 11.0 / 12.0);
+    }
+
+    #[test]
+    fn inconsistent_dimensions_detected() {
+        let cube = StoredCube {
+            source_schema: "S1".into(),
+            target_schema: "S2".into(),
+            matchers: vec!["Name".into()],
+            source_paths: vec!["S1.a".into()],
+            target_paths: vec!["S2.x".into()],
+            values: vec![0.5, 0.5],
+        };
+        assert!(!cube.is_consistent());
+    }
+}

@@ -1,0 +1,33 @@
+//! # coma-repo — repository substrate for COMA
+//!
+//! "The flexibility of COMA is made possible by the use of a DBMS-based
+//! repository for storing schemas, intermediate similarity results of
+//! individual matchers, and complete (possibly user-confirmed) match results
+//! for later reuse" (paper, Section 1).
+//!
+//! This crate is that repository, embedded: typed stores for
+//!
+//! * **schemas** ([`Repository::put_schema`]),
+//! * **mappings** in the relational representation of Figure 3c — one tuple
+//!   per 1:1 correspondence with its similarity ([`Mapping`]),
+//! * **similarity cubes** produced by matcher executions ([`StoredCube`]),
+//!
+//! plus the queries the reuse matchers need: [`Repository::mappings_between`]
+//! and [`Repository::pivot_pairs`] (the "search repository" step of
+//! Figure 5), and the natural-join primitive [`Mapping::compose`] that
+//! underlies the MatchCompose operation (Section 5.1).
+//!
+//! Persistence is a single human-readable JSON file ([`Repository::save`] /
+//! [`Repository::load`]) — the embedded stand-in for the paper's external
+//! DBMS (see DESIGN.md, substitution 3).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cube;
+mod mapping;
+mod store;
+
+pub use cube::StoredCube;
+pub use mapping::{Correspondence, Mapping, MappingKind};
+pub use store::{shared, Repository, RepositoryError, SharedRepository};

@@ -1,0 +1,316 @@
+use crate::{Mapping, StoredCube};
+use coma_graph::Schema;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Errors from repository persistence.
+#[derive(Debug)]
+pub enum RepositoryError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// Serialization / deserialization error.
+    Format(serde_json::Error),
+}
+
+impl fmt::Display for RepositoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepositoryError::Io(e) => write!(f, "repository I/O error: {e}"),
+            RepositoryError::Format(e) => write!(f, "repository format error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RepositoryError {}
+
+impl From<std::io::Error> for RepositoryError {
+    fn from(e: std::io::Error) -> Self {
+        RepositoryError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for RepositoryError {
+    fn from(e: serde_json::Error) -> Self {
+        RepositoryError::Format(e)
+    }
+}
+
+/// The COMA repository: schemas, mappings and similarity cubes.
+///
+/// Deterministic iteration (BTreeMap / insertion-ordered vectors) keeps the
+/// reuse matchers reproducible.
+#[derive(Debug, Default, Serialize, Deserialize)]
+pub struct Repository {
+    schemas: BTreeMap<String, Schema>,
+    mappings: Vec<Mapping>,
+    cubes: Vec<StoredCube>,
+}
+
+impl Repository {
+    /// Creates an empty repository.
+    pub fn new() -> Repository {
+        Repository::default()
+    }
+
+    // --- schemas ---------------------------------------------------------
+
+    /// Stores a schema under its own name, replacing any previous version.
+    pub fn put_schema(&mut self, schema: Schema) {
+        self.schemas.insert(schema.name().to_string(), schema);
+    }
+
+    /// Looks up a schema by name.
+    pub fn schema(&self, name: &str) -> Option<&Schema> {
+        self.schemas.get(name)
+    }
+
+    /// Names of all stored schemas, sorted.
+    pub fn schema_names(&self) -> Vec<&str> {
+        self.schemas.keys().map(String::as_str).collect()
+    }
+
+    /// Number of stored schemas.
+    pub fn schema_count(&self) -> usize {
+        self.schemas.len()
+    }
+
+    // --- mappings --------------------------------------------------------
+
+    /// Stores a match result.
+    pub fn put_mapping(&mut self, mapping: Mapping) {
+        self.mappings.push(mapping);
+    }
+
+    /// All stored mappings, in insertion order.
+    pub fn mappings(&self) -> &[Mapping] {
+        &self.mappings
+    }
+
+    /// All mappings relating `a` and `b` (either orientation).
+    pub fn mappings_between(&self, a: &str, b: &str) -> Vec<&Mapping> {
+        self.mappings.iter().filter(|m| m.relates(a, b)).collect()
+    }
+
+    /// Removes all mappings relating `a` and `b`; returns how many were
+    /// removed. Used by evaluation code to exclude a task's own gold
+    /// standard before reuse matching.
+    pub fn remove_mappings_between(&mut self, a: &str, b: &str) -> usize {
+        let before = self.mappings.len();
+        self.mappings.retain(|m| !m.relates(a, b));
+        before - self.mappings.len()
+    }
+
+    /// The "search repository" step of the Schema reuse matcher (Figure 5):
+    /// finds every pivot schema `S` such that the repository holds match
+    /// results relating `S` with both `source` and `target` (in any order),
+    /// and returns the mapping pairs oriented as `source↔S` and `S↔target`,
+    /// ready for MatchCompose.
+    ///
+    /// A filter lets the caller restrict which stored mappings qualify
+    /// (e.g. only manually confirmed ones for `SchemaM`).
+    pub fn pivot_pairs(
+        &self,
+        source: &str,
+        target: &str,
+        filter: impl Fn(&Mapping) -> bool,
+    ) -> Vec<(Mapping, Mapping)> {
+        let mut pivots: Vec<&str> = Vec::new();
+        for m in &self.mappings {
+            for s in [m.source_schema.as_str(), m.target_schema.as_str()] {
+                if s != source && s != target && !pivots.contains(&s) {
+                    pivots.push(s);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for pivot in pivots {
+            let firsts: Vec<Mapping> = self
+                .mappings
+                .iter()
+                .filter(|m| filter(m))
+                .filter_map(|m| m.oriented(source, pivot))
+                .collect();
+            let seconds: Vec<Mapping> = self
+                .mappings
+                .iter()
+                .filter(|m| filter(m))
+                .filter_map(|m| m.oriented(pivot, target))
+                .collect();
+            for f in &firsts {
+                for s in &seconds {
+                    out.push((f.clone(), s.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    // --- cubes -----------------------------------------------------------
+
+    /// Stores a similarity cube.
+    pub fn put_cube(&mut self, cube: StoredCube) {
+        debug_assert!(cube.is_consistent());
+        self.cubes.push(cube);
+    }
+
+    /// All cubes for the given schema pair, in insertion order.
+    pub fn cubes_for(&self, source: &str, target: &str) -> Vec<&StoredCube> {
+        self.cubes
+            .iter()
+            .filter(|c| c.source_schema == source && c.target_schema == target)
+            .collect()
+    }
+
+    /// Number of stored cubes.
+    pub fn cube_count(&self) -> usize {
+        self.cubes.len()
+    }
+
+    // --- persistence -----------------------------------------------------
+
+    /// Serializes the whole repository to pretty JSON.
+    pub fn to_json(&self) -> Result<String, RepositoryError> {
+        Ok(serde_json::to_string_pretty(self)?)
+    }
+
+    /// Deserializes a repository from JSON.
+    pub fn from_json(json: &str) -> Result<Repository, RepositoryError> {
+        Ok(serde_json::from_str(json)?)
+    }
+
+    /// Saves the repository to a JSON file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), RepositoryError> {
+        std::fs::write(path, self.to_json()?)?;
+        Ok(())
+    }
+
+    /// Loads a repository from a JSON file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Repository, RepositoryError> {
+        Repository::from_json(&std::fs::read_to_string(path)?)
+    }
+}
+
+/// A thread-safe, shareable repository handle for parallel experiment runs.
+pub type SharedRepository = Arc<RwLock<Repository>>;
+
+/// Creates a [`SharedRepository`] from a plain repository.
+pub fn shared(repo: Repository) -> SharedRepository {
+    Arc::new(RwLock::new(repo))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MappingKind;
+    use coma_graph::{Node, SchemaBuilder};
+
+    fn schema(name: &str) -> Schema {
+        let mut b = SchemaBuilder::new(name);
+        let r = b.add_node(Node::new(name));
+        let c = b.add_node(Node::new("x"));
+        b.add_child(r, c).unwrap();
+        b.build().unwrap()
+    }
+
+    fn mapping(a: &str, b: &str, kind: MappingKind) -> Mapping {
+        let mut m = Mapping::new(a, b, kind);
+        m.push(format!("{a}.x"), format!("{b}.x"), 1.0);
+        m
+    }
+
+    #[test]
+    fn schema_roundtrip() {
+        let mut repo = Repository::new();
+        repo.put_schema(schema("CIDX"));
+        repo.put_schema(schema("Excel"));
+        assert_eq!(repo.schema_count(), 2);
+        assert_eq!(repo.schema_names(), vec!["CIDX", "Excel"]);
+        assert!(repo.schema("CIDX").is_some());
+        assert!(repo.schema("nope").is_none());
+    }
+
+    #[test]
+    fn pivot_pairs_finds_all_orientations() {
+        // Figure 5: S1↔Si, S2↔Si; S1↔Sj, Sj↔S2; Sk↔S1, S2↔Sk.
+        let mut repo = Repository::new();
+        repo.put_mapping(mapping("S1", "Si", MappingKind::Manual));
+        repo.put_mapping(mapping("S2", "Si", MappingKind::Manual));
+        repo.put_mapping(mapping("S1", "Sj", MappingKind::Manual));
+        repo.put_mapping(mapping("Sj", "S2", MappingKind::Manual));
+        repo.put_mapping(mapping("Sk", "S1", MappingKind::Manual));
+        repo.put_mapping(mapping("S2", "Sk", MappingKind::Manual));
+        let pairs = repo.pivot_pairs("S1", "S2", |_| true);
+        assert_eq!(pairs.len(), 3);
+        for (first, second) in &pairs {
+            assert_eq!(first.source_schema, "S1");
+            assert_eq!(first.target_schema, second.source_schema);
+            assert_eq!(second.target_schema, "S2");
+        }
+    }
+
+    #[test]
+    fn pivot_pairs_respects_filter() {
+        let mut repo = Repository::new();
+        repo.put_mapping(mapping("S1", "Si", MappingKind::Manual));
+        repo.put_mapping(mapping("Si", "S2", MappingKind::Automatic));
+        let manual_only = repo.pivot_pairs("S1", "S2", |m| m.kind == MappingKind::Manual);
+        assert!(manual_only.is_empty());
+        let all = repo.pivot_pairs("S1", "S2", |_| true);
+        assert_eq!(all.len(), 1);
+    }
+
+    #[test]
+    fn pivot_pairs_excludes_direct_mappings() {
+        let mut repo = Repository::new();
+        repo.put_mapping(mapping("S1", "S2", MappingKind::Manual));
+        assert!(repo.pivot_pairs("S1", "S2", |_| true).is_empty());
+    }
+
+    #[test]
+    fn remove_mappings_between_works() {
+        let mut repo = Repository::new();
+        repo.put_mapping(mapping("A", "B", MappingKind::Manual));
+        repo.put_mapping(mapping("B", "A", MappingKind::Automatic));
+        repo.put_mapping(mapping("A", "C", MappingKind::Manual));
+        assert_eq!(repo.remove_mappings_between("A", "B"), 2);
+        assert_eq!(repo.mappings().len(), 1);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let mut repo = Repository::new();
+        repo.put_schema(schema("S1"));
+        repo.put_mapping(mapping("S1", "S2", MappingKind::Manual));
+        repo.put_cube(StoredCube {
+            source_schema: "S1".into(),
+            target_schema: "S2".into(),
+            matchers: vec!["Name".into()],
+            source_paths: vec!["S1.x".into()],
+            target_paths: vec!["S2.x".into()],
+            values: vec![0.8],
+        });
+        let json = repo.to_json().unwrap();
+        let back = Repository::from_json(&json).unwrap();
+        assert_eq!(back.schema_count(), 1);
+        assert_eq!(back.mappings().len(), 1);
+        assert_eq!(back.cube_count(), 1);
+        assert_eq!(back.cubes_for("S1", "S2")[0].values, vec![0.8]);
+    }
+
+    #[test]
+    fn save_and_load_file() {
+        let mut repo = Repository::new();
+        repo.put_schema(schema("S1"));
+        let dir = std::env::temp_dir().join("coma_repo_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("repo.json");
+        repo.save(&path).unwrap();
+        let back = Repository::load(&path).unwrap();
+        assert_eq!(back.schema_count(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+}

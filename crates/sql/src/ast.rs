@@ -1,0 +1,55 @@
+//! Abstract syntax for the supported DDL subset.
+
+/// A parsed `CREATE TABLE` statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CreateTable {
+    /// Optional schema qualifier (`PO1` in `PO1.ShipTo`).
+    pub schema: Option<String>,
+    /// Table name.
+    pub name: String,
+    /// Column definitions in source order.
+    pub columns: Vec<ColumnDef>,
+    /// Table-level constraints in source order.
+    pub constraints: Vec<TableConstraint>,
+}
+
+impl CreateTable {
+    /// The qualified name (`schema.table` or just `table`).
+    pub fn qualified_name(&self) -> String {
+        match &self.schema {
+            Some(s) => format!("{s}.{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// One column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Type as written, including arguments (`VARCHAR(200)`).
+    pub sql_type: String,
+    /// Whether `NOT NULL` was specified.
+    pub not_null: bool,
+    /// Whether the column is (part of) the primary key.
+    pub primary_key: bool,
+    /// Referenced table from a column-level `REFERENCES` clause.
+    pub references: Option<String>,
+}
+
+/// A table-level constraint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableConstraint {
+    /// `PRIMARY KEY (col, …)`.
+    PrimaryKey(Vec<String>),
+    /// `FOREIGN KEY (col, …) REFERENCES table [(col, …)]`.
+    ForeignKey {
+        /// Local columns of the foreign key.
+        columns: Vec<String>,
+        /// Referenced table (possibly schema-qualified).
+        table: String,
+    },
+    /// `UNIQUE (col, …)`.
+    Unique(Vec<String>),
+}

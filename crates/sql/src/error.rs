@@ -1,0 +1,58 @@
+use std::fmt;
+
+/// Convenience result alias for DDL operations.
+pub type Result<T> = std::result::Result<T, SqlError>;
+
+/// Errors from DDL parsing or graph import.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Lexical or syntactic problem at a byte offset.
+    Syntax {
+        /// Byte offset into the DDL text.
+        offset: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The DDL parsed but cannot be imported (e.g. duplicate table names).
+    Semantic {
+        /// Description of the problem.
+        message: String,
+    },
+    /// Importing into the graph representation failed.
+    Graph(coma_graph::GraphError),
+}
+
+impl SqlError {
+    pub(crate) fn syntax(offset: usize, message: impl Into<String>) -> SqlError {
+        SqlError::Syntax {
+            offset,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn semantic(message: impl Into<String>) -> SqlError {
+        SqlError::Semantic {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Syntax { offset, message } => {
+                write!(f, "SQL syntax error at byte {offset}: {message}")
+            }
+            SqlError::Semantic { message } => write!(f, "SQL semantic error: {message}"),
+            SqlError::Graph(e) => write!(f, "schema import error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<coma_graph::GraphError> for SqlError {
+    fn from(e: coma_graph::GraphError) -> SqlError {
+        SqlError::Graph(e)
+    }
+}

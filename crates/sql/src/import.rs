@@ -1,0 +1,190 @@
+//! Conversion of parsed DDL into COMA's graph representation (Figure 1a/b
+//! of the paper): a root named after the schema, one inner node per table,
+//! one typed leaf per column, and referential links for foreign keys.
+
+use crate::ast::TableConstraint;
+use crate::error::{Result, SqlError};
+use crate::parser::parse_ddl;
+use coma_graph::{DataType, Node, NodeId, Schema, SchemaBuilder};
+use std::collections::HashMap;
+
+/// Parses DDL text and imports it as a COMA schema named `name`.
+///
+/// ```
+/// let schema = coma_sql::import_ddl(
+///     "CREATE TABLE PO1.Customer (custNo INT, custCity VARCHAR(200));",
+///     "PO1",
+/// ).unwrap();
+/// assert_eq!(schema.node(schema.root()).name, "PO1");
+/// assert_eq!(schema.node_count(), 4); // root, Customer, custNo, custCity
+/// ```
+pub fn import_ddl(input: &str, name: &str) -> Result<Schema> {
+    let tables = parse_ddl(input)?;
+    if tables.is_empty() {
+        return Err(SqlError::semantic("no CREATE TABLE statements found"));
+    }
+
+    let mut builder = SchemaBuilder::new(name);
+    let root = builder.add_node(Node::new(name.to_string()));
+
+    // First pass: tables and columns.
+    let mut table_nodes: HashMap<String, NodeId> = HashMap::new();
+    let mut column_nodes: HashMap<(String, String), NodeId> = HashMap::new();
+    for table in &tables {
+        let qualified = table.qualified_name();
+        if table_nodes.contains_key(&qualified) {
+            return Err(SqlError::semantic(format!(
+                "duplicate table `{qualified}`"
+            )));
+        }
+        let t_node = builder.add_node(
+            Node::new(table.name.clone()).with_type_name("TABLE".to_string()),
+        );
+        builder.add_child(root, t_node)?;
+        table_nodes.insert(qualified.clone(), t_node);
+        // Unqualified alias for REFERENCES without schema prefix.
+        table_nodes.entry(table.name.clone()).or_insert(t_node);
+
+        for col in &table.columns {
+            let c_node = builder.add_node(
+                Node::new(col.name.clone())
+                    .with_datatype(DataType::from_sql(&col.sql_type))
+                    .with_type_name(col.sql_type.clone()),
+            );
+            builder.add_child(t_node, c_node)?;
+            column_nodes.insert((qualified.clone(), col.name.to_lowercase()), c_node);
+        }
+    }
+
+    // Second pass: referential links.
+    for table in &tables {
+        let qualified = table.qualified_name();
+        for col in &table.columns {
+            if let Some(target) = &col.references {
+                let to = resolve_table(&table_nodes, target).ok_or_else(|| {
+                    SqlError::semantic(format!(
+                        "column `{}` references unknown table `{target}`",
+                        col.name
+                    ))
+                })?;
+                let from = column_nodes[&(qualified.clone(), col.name.to_lowercase())];
+                builder.add_reference(from, to, Some(format!("fk:{}", col.name)))?;
+            }
+        }
+        for constraint in &table.constraints {
+            if let TableConstraint::ForeignKey { columns, table: target } = constraint {
+                let to = resolve_table(&table_nodes, target).ok_or_else(|| {
+                    SqlError::semantic(format!(
+                        "FOREIGN KEY references unknown table `{target}`"
+                    ))
+                })?;
+                for col in columns {
+                    let from = column_nodes
+                        .get(&(qualified.clone(), col.to_lowercase()))
+                        .copied()
+                        .ok_or_else(|| {
+                            SqlError::semantic(format!(
+                                "FOREIGN KEY names unknown column `{col}`"
+                            ))
+                        })?;
+                    builder.add_reference(from, to, Some(format!("fk:{col}")))?;
+                }
+            }
+        }
+    }
+
+    Ok(builder.build()?)
+}
+
+fn resolve_table(tables: &HashMap<String, NodeId>, name: &str) -> Option<NodeId> {
+    tables
+        .get(name)
+        .or_else(|| name.split('.').next_back().and_then(|n| tables.get(n)))
+        .copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coma_graph::{PathSet, SchemaStats};
+
+    const PO1_DDL: &str = r#"
+CREATE TABLE PO1.ShipTo (
+    poNo INT,
+    custNo INT REFERENCES PO1.Customer,
+    shipToStreet VARCHAR(200),
+    shipToCity VARCHAR(200),
+    shipToZip VARCHAR(20),
+    PRIMARY KEY (poNo)
+);
+CREATE TABLE PO1.Customer (
+    custNo INT,
+    custName VARCHAR(200),
+    custStreet VARCHAR(200),
+    custCity VARCHAR(200),
+    custZip VARCHAR(20),
+    PRIMARY KEY (custNo)
+);"#;
+
+    #[test]
+    fn po1_import_matches_figure_1() {
+        let s = import_ddl(PO1_DDL, "PO1").unwrap();
+        let ps = PathSet::new(&s).unwrap();
+        let st = SchemaStats::compute(&s, &ps);
+        // Figure 1b: root PO1, tables ShipTo and Customer, 5 columns each.
+        assert_eq!(st.nodes, 13);
+        assert_eq!(st.paths, 13);
+        assert_eq!(st.max_depth, 3);
+        assert_eq!(st.leaf_nodes, 10);
+        assert!(ps.find_by_full_name(&s, "PO1.ShipTo.shipToCity").is_some());
+        assert!(ps.find_by_full_name(&s, "PO1.Customer.custCity").is_some());
+        // One referential link: custNo → Customer.
+        assert_eq!(s.references().len(), 1);
+        let r = &s.references()[0];
+        assert_eq!(s.node(r.from).name, "custNo");
+        assert_eq!(s.node(r.to).name, "Customer");
+    }
+
+    #[test]
+    fn column_types_map_to_generic_datatypes() {
+        let s = import_ddl(PO1_DDL, "PO1").unwrap();
+        let ps = PathSet::new(&s).unwrap();
+        let po_no = ps.find_by_full_name(&s, "PO1.ShipTo.poNo").unwrap();
+        assert_eq!(s.node(ps.node_of(po_no)).datatype, Some(DataType::Integer));
+        let city = ps.find_by_full_name(&s, "PO1.ShipTo.shipToCity").unwrap();
+        assert_eq!(s.node(ps.node_of(city)).datatype, Some(DataType::Text));
+        assert_eq!(
+            s.node(ps.node_of(city)).type_name.as_deref(),
+            Some("VARCHAR(200)")
+        );
+    }
+
+    #[test]
+    fn table_level_foreign_keys_create_references() {
+        let s = import_ddl(
+            "CREATE TABLE a (x INT, FOREIGN KEY (x) REFERENCES b);
+             CREATE TABLE b (y INT PRIMARY KEY);",
+            "S",
+        )
+        .unwrap();
+        assert_eq!(s.references().len(), 1);
+    }
+
+    #[test]
+    fn duplicate_tables_rejected() {
+        let err = import_ddl("CREATE TABLE t (a INT); CREATE TABLE t (b INT);", "S")
+            .unwrap_err();
+        assert!(matches!(err, SqlError::Semantic { .. }));
+    }
+
+    #[test]
+    fn unknown_reference_rejected() {
+        let err = import_ddl("CREATE TABLE t (a INT REFERENCES nope);", "S").unwrap_err();
+        assert!(matches!(err, SqlError::Semantic { .. }));
+    }
+
+    #[test]
+    fn empty_ddl_rejected() {
+        assert!(import_ddl("", "S").is_err());
+    }
+}

@@ -1,0 +1,190 @@
+use crate::error::{Result, SqlError};
+
+/// A DDL token with its byte offset (for error messages).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Token {
+    pub kind: TokenKind,
+    pub offset: usize,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum TokenKind {
+    /// Identifier or keyword (case preserved; keyword checks are
+    /// case-insensitive). Includes quoted identifiers (`"a b"`).
+    Word(String),
+    /// Numeric literal (only appears inside type arguments / defaults).
+    Number(String),
+    /// String literal (single-quoted).
+    Str(String),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Semicolon,
+    /// Any other single symbol (e.g. `=` in defaults).
+    Symbol(char),
+}
+
+impl TokenKind {
+    /// Case-insensitive keyword comparison for word tokens.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, TokenKind::Word(w) if w.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenizes DDL text. Line comments (`--`) and block comments (`/* */`)
+/// are skipped.
+pub(crate) fn lex(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start = i;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(SqlError::syntax(start, "unterminated block comment"));
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            '(' => push(&mut tokens, TokenKind::LParen, &mut i),
+            ')' => push(&mut tokens, TokenKind::RParen, &mut i),
+            ',' => push(&mut tokens, TokenKind::Comma, &mut i),
+            '.' => push(&mut tokens, TokenKind::Dot, &mut i),
+            ';' => push(&mut tokens, TokenKind::Semicolon, &mut i),
+            '\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(SqlError::syntax(start, "unterminated string")),
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    offset: start,
+                });
+            }
+            '"' => {
+                let start = i;
+                i += 1;
+                let begin = i;
+                while i < bytes.len() && bytes[i] != b'"' {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(SqlError::syntax(start, "unterminated quoted identifier"));
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Word(input[begin..i].to_string()),
+                    offset: start,
+                });
+                i += 1;
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'.') {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Number(input[start..i].to_string()),
+                    offset: start,
+                });
+            }
+            _ if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let ch = bytes[i] as char;
+                    if ch.is_alphanumeric() || ch == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Word(input[start..i].to_string()),
+                    offset: start,
+                });
+            }
+            other => {
+                tokens.push(Token {
+                    kind: TokenKind::Symbol(other),
+                    offset: i,
+                });
+                i += 1;
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+fn push(tokens: &mut Vec<Token>, kind: TokenKind, i: &mut usize) {
+    tokens.push(Token { kind, offset: *i });
+    *i += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_create_table_fragment() {
+        let toks = lex("CREATE TABLE PO1.ShipTo (poNo INT, -- c\n x VARCHAR(200));").unwrap();
+        assert!(toks[0].kind.is_kw("create"));
+        assert!(toks[1].kind.is_kw("TABLE"));
+        assert_eq!(toks[2].kind, TokenKind::Word("PO1".into()));
+        assert_eq!(toks[3].kind, TokenKind::Dot);
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Number("200".into())));
+        assert_eq!(toks.last().unwrap().kind, TokenKind::Semicolon);
+    }
+
+    #[test]
+    fn lexes_strings_and_quoted_identifiers() {
+        let toks = lex(r#"DEFAULT 'it''s' "my col""#).unwrap();
+        assert_eq!(toks[1].kind, TokenKind::Str("it's".into()));
+        assert_eq!(toks[2].kind, TokenKind::Word("my col".into()));
+    }
+
+    #[test]
+    fn skips_block_comments() {
+        let toks = lex("/* hello \n world */ x").unwrap();
+        assert_eq!(toks.len(), 1);
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(matches!(lex("'abc"), Err(SqlError::Syntax { .. })));
+    }
+
+    #[test]
+    fn rejects_unterminated_comment() {
+        assert!(matches!(lex("/* abc"), Err(SqlError::Syntax { .. })));
+    }
+}

@@ -1,0 +1,31 @@
+//! # coma-sql — SQL DDL import substrate for COMA
+//!
+//! Imports relational schemas written as `CREATE TABLE` statements into
+//! COMA's internal graph representation, mirroring Figure 1a of the paper
+//! (the `PO1` purchase-order schema):
+//!
+//! * a synthetic root named after the schema contains one node per table,
+//! * columns become typed leaf nodes,
+//! * `REFERENCES` clauses (column-level or table-level `FOREIGN KEY`)
+//!   become referential links from the column node to the referenced table
+//!   node.
+//!
+//! The parser is hand-written (lexer + recursive descent) and covers the
+//! DDL subset schema matching needs: typed columns with length/precision
+//! arguments, `PRIMARY KEY` / `UNIQUE` / `NOT NULL` / `DEFAULT` column
+//! options, table-level `PRIMARY KEY` and `FOREIGN KEY` constraints, and
+//! schema-qualified table names (`PO1.ShipTo`).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod ast;
+mod error;
+mod import;
+mod lexer;
+mod parser;
+
+pub use ast::{ColumnDef, CreateTable, TableConstraint};
+pub use error::{Result, SqlError};
+pub use import::import_ddl;
+pub use parser::parse_ddl;

@@ -1,0 +1,374 @@
+use crate::ast::{ColumnDef, CreateTable, TableConstraint};
+use crate::error::{Result, SqlError};
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Parses a DDL script into its `CREATE TABLE` statements.
+///
+/// ```
+/// let tables = coma_sql::parse_ddl(
+///     "CREATE TABLE PO1.Customer (custNo INT, custName VARCHAR(200), PRIMARY KEY (custNo));",
+/// ).unwrap();
+/// assert_eq!(tables[0].qualified_name(), "PO1.Customer");
+/// assert!(tables[0].columns[0].primary_key);
+/// ```
+pub fn parse_ddl(input: &str) -> Result<Vec<CreateTable>> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut tables = Vec::new();
+    while !p.at_end() {
+        if p.eat_kind(&TokenKind::Semicolon) {
+            continue;
+        }
+        tables.push(p.parse_create_table()?);
+    }
+    Ok(tables)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos).map(|t| &t.kind)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map_or(0, |t| t.offset)
+    }
+
+    fn advance(&mut self) -> Option<&TokenKind> {
+        let t = self.tokens.get(self.pos).map(|t| &t.kind);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_kind(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == Some(kind) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_some_and(|k| k.is_kw(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(SqlError::syntax(self.offset(), format!("expected `{kw}`")))
+        }
+    }
+
+    fn expect_kind(&mut self, kind: TokenKind, what: &str) -> Result<()> {
+        if self.eat_kind(&kind) {
+            Ok(())
+        } else {
+            Err(SqlError::syntax(self.offset(), format!("expected {what}")))
+        }
+    }
+
+    fn expect_word(&mut self) -> Result<String> {
+        let offset = self.offset();
+        match self.advance() {
+            Some(TokenKind::Word(w)) => Ok(w.clone()),
+            _ => Err(SqlError::syntax(offset, "expected an identifier")),
+        }
+    }
+
+    /// `name` or `schema.name`.
+    fn parse_qualified_name(&mut self) -> Result<(Option<String>, String)> {
+        let first = self.expect_word()?;
+        if self.eat_kind(&TokenKind::Dot) {
+            let second = self.expect_word()?;
+            Ok((Some(first), second))
+        } else {
+            Ok((None, first))
+        }
+    }
+
+    fn parse_create_table(&mut self) -> Result<CreateTable> {
+        self.expect_kw("CREATE")?;
+        self.expect_kw("TABLE")?;
+        let (schema, name) = self.parse_qualified_name()?;
+        self.expect_kind(TokenKind::LParen, "`(` after table name")?;
+
+        let mut table = CreateTable {
+            schema,
+            name,
+            columns: Vec::new(),
+            constraints: Vec::new(),
+        };
+        loop {
+            if self.peek().is_some_and(|k| {
+                k.is_kw("PRIMARY") || k.is_kw("FOREIGN") || k.is_kw("UNIQUE") || k.is_kw("CONSTRAINT")
+            }) {
+                let c = self.parse_table_constraint()?;
+                table.constraints.push(c);
+            } else {
+                table.columns.push(self.parse_column()?);
+            }
+            if self.eat_kind(&TokenKind::Comma) {
+                continue;
+            }
+            self.expect_kind(TokenKind::RParen, "`,` or `)` in column list")?;
+            break;
+        }
+        // Optional trailing semicolon is consumed by the caller loop.
+        self.apply_pk_constraints(&mut table);
+        Ok(table)
+    }
+
+    fn parse_column(&mut self) -> Result<ColumnDef> {
+        let name = self.expect_word()?;
+        let mut sql_type = self.expect_word()?;
+        // Multi-word types: DOUBLE PRECISION, CHARACTER VARYING, …
+        while self
+            .peek()
+            .is_some_and(|k| k.is_kw("PRECISION") || k.is_kw("VARYING"))
+        {
+            if let Some(TokenKind::Word(w)) = self.advance() {
+                sql_type.push(' ');
+                sql_type.push_str(w);
+            }
+        }
+        // Type arguments: (200) or (10, 2).
+        if self.eat_kind(&TokenKind::LParen) {
+            sql_type.push('(');
+            let mut first = true;
+            loop {
+                match self.advance() {
+                    Some(TokenKind::Number(n)) => {
+                        if !first {
+                            sql_type.push(',');
+                        }
+                        sql_type.push_str(n);
+                        first = false;
+                    }
+                    Some(TokenKind::Comma) => {}
+                    Some(TokenKind::RParen) => break,
+                    _ => return Err(SqlError::syntax(self.offset(), "bad type arguments")),
+                }
+            }
+            sql_type.push(')');
+        }
+
+        let mut col = ColumnDef {
+            name,
+            sql_type,
+            not_null: false,
+            primary_key: false,
+            references: None,
+        };
+        // Column options in any order.
+        loop {
+            if self.eat_kw("NOT") {
+                self.expect_kw("NULL")?;
+                col.not_null = true;
+            } else if self.eat_kw("NULL") {
+                // explicit nullable — nothing to record
+            } else if self.eat_kw("PRIMARY") {
+                self.expect_kw("KEY")?;
+                col.primary_key = true;
+                col.not_null = true;
+            } else if self.eat_kw("UNIQUE") {
+                // recorded only at table level; ignore for columns
+            } else if self.eat_kw("DEFAULT") {
+                // Skip a single literal/word default value.
+                match self.advance() {
+                    Some(
+                        TokenKind::Number(_) | TokenKind::Str(_) | TokenKind::Word(_),
+                    ) => {}
+                    _ => return Err(SqlError::syntax(self.offset(), "bad DEFAULT value")),
+                }
+            } else if self.eat_kw("REFERENCES") {
+                let (schema, table) = self.parse_qualified_name()?;
+                col.references = Some(match schema {
+                    Some(s) => format!("{s}.{table}"),
+                    None => table,
+                });
+                // Optional referenced column list.
+                if self.eat_kind(&TokenKind::LParen) {
+                    while !self.eat_kind(&TokenKind::RParen) {
+                        if self.advance().is_none() {
+                            return Err(SqlError::syntax(
+                                self.offset(),
+                                "unterminated REFERENCES column list",
+                            ));
+                        }
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        Ok(col)
+    }
+
+    fn parse_table_constraint(&mut self) -> Result<TableConstraint> {
+        // Optional `CONSTRAINT name` prefix.
+        if self.eat_kw("CONSTRAINT") {
+            let _ = self.expect_word()?;
+        }
+        if self.eat_kw("PRIMARY") {
+            self.expect_kw("KEY")?;
+            Ok(TableConstraint::PrimaryKey(self.parse_column_list()?))
+        } else if self.eat_kw("UNIQUE") {
+            Ok(TableConstraint::Unique(self.parse_column_list()?))
+        } else if self.eat_kw("FOREIGN") {
+            self.expect_kw("KEY")?;
+            let columns = self.parse_column_list()?;
+            self.expect_kw("REFERENCES")?;
+            let (schema, table) = self.parse_qualified_name()?;
+            let table = match schema {
+                Some(s) => format!("{s}.{table}"),
+                None => table,
+            };
+            if self.eat_kind(&TokenKind::LParen) {
+                while !self.eat_kind(&TokenKind::RParen) {
+                    if self.advance().is_none() {
+                        return Err(SqlError::syntax(
+                            self.offset(),
+                            "unterminated REFERENCES column list",
+                        ));
+                    }
+                }
+            }
+            Ok(TableConstraint::ForeignKey { columns, table })
+        } else {
+            Err(SqlError::syntax(self.offset(), "unsupported constraint"))
+        }
+    }
+
+    fn parse_column_list(&mut self) -> Result<Vec<String>> {
+        self.expect_kind(TokenKind::LParen, "`(` before column list")?;
+        let mut cols = vec![self.expect_word()?];
+        while self.eat_kind(&TokenKind::Comma) {
+            cols.push(self.expect_word()?);
+        }
+        self.expect_kind(TokenKind::RParen, "`)` after column list")?;
+        Ok(cols)
+    }
+
+    /// Marks columns named by table-level `PRIMARY KEY` constraints.
+    fn apply_pk_constraints(&self, table: &mut CreateTable) {
+        let pk_cols: Vec<String> = table
+            .constraints
+            .iter()
+            .flat_map(|c| match c {
+                TableConstraint::PrimaryKey(cols) => cols.clone(),
+                _ => Vec::new(),
+            })
+            .collect();
+        for col in &mut table.columns {
+            if pk_cols.iter().any(|c| c.eq_ignore_ascii_case(&col.name)) {
+                col.primary_key = true;
+                col.not_null = true;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The PO1 schema from Figure 1 of the paper, verbatim.
+    pub const PO1_DDL: &str = r#"
+CREATE TABLE PO1.ShipTo (
+    poNo INT,
+    custNo INT REFERENCES PO1.Customer,
+    shipToStreet VARCHAR(200),
+    shipToCity VARCHAR(200),
+    shipToZip VARCHAR(20),
+    PRIMARY KEY (poNo)
+);
+CREATE TABLE PO1.Customer (
+    custNo INT,
+    custName VARCHAR(200),
+    custStreet VARCHAR(200),
+    custCity VARCHAR(200),
+    custZip VARCHAR(20),
+    PRIMARY KEY (custNo)
+);"#;
+
+    #[test]
+    fn parses_paper_po1() {
+        let tables = parse_ddl(PO1_DDL).unwrap();
+        assert_eq!(tables.len(), 2);
+        let ship_to = &tables[0];
+        assert_eq!(ship_to.qualified_name(), "PO1.ShipTo");
+        assert_eq!(ship_to.columns.len(), 5);
+        assert_eq!(ship_to.columns[1].references.as_deref(), Some("PO1.Customer"));
+        assert!(ship_to.columns[0].primary_key); // via table constraint
+        assert_eq!(ship_to.columns[2].sql_type, "VARCHAR(200)");
+    }
+
+    #[test]
+    fn parses_foreign_key_constraint() {
+        let tables = parse_ddl(
+            "CREATE TABLE a (x INT, FOREIGN KEY (x) REFERENCES b (y));
+             CREATE TABLE b (y INT PRIMARY KEY);",
+        )
+        .unwrap();
+        assert_eq!(
+            tables[0].constraints[0],
+            TableConstraint::ForeignKey {
+                columns: vec!["x".into()],
+                table: "b".into()
+            }
+        );
+        assert!(tables[1].columns[0].primary_key);
+    }
+
+    #[test]
+    fn parses_column_options() {
+        let tables = parse_ddl(
+            "CREATE TABLE t (a VARCHAR(10) NOT NULL DEFAULT 'x', b DECIMAL(10,2) NULL, c DOUBLE PRECISION);",
+        )
+        .unwrap();
+        let t = &tables[0];
+        assert!(t.columns[0].not_null);
+        assert_eq!(t.columns[1].sql_type, "DECIMAL(10,2)");
+        assert_eq!(t.columns[2].sql_type, "DOUBLE PRECISION");
+    }
+
+    #[test]
+    fn parses_quoted_identifiers() {
+        let tables = parse_ddl(r#"CREATE TABLE "my table" ("my col" INT);"#).unwrap();
+        assert_eq!(tables[0].name, "my table");
+        assert_eq!(tables[0].columns[0].name, "my col");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_ddl("DROP TABLE x;").is_err());
+        assert!(parse_ddl("CREATE TABLE x (").is_err());
+        assert!(parse_ddl("CREATE TABLE x (a INT").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(parse_ddl("").unwrap().is_empty());
+        assert!(parse_ddl("  ;;  -- nothing\n").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,133 @@
+use crate::tokenize::normalize_token;
+use std::collections::HashMap;
+
+/// Expansion table for abbreviations and acronyms.
+///
+/// The `Name` matcher "expands abbreviations and acronyms, e.g.
+/// `PO → {Purchase, Order}`" (paper, Section 4.2). An entry maps one token
+/// to one or more replacement tokens; expansion is applied token-wise and
+/// is not recursive.
+#[derive(Debug, Clone, Default)]
+pub struct AbbreviationTable {
+    entries: HashMap<String, Vec<String>>,
+}
+
+impl AbbreviationTable {
+    /// Creates an empty table.
+    pub fn new() -> AbbreviationTable {
+        AbbreviationTable::default()
+    }
+
+    /// A table with the trivial abbreviations the paper's evaluation used
+    /// ("some trivial abbreviations, such as, No, Num", Section 7.1) plus
+    /// common purchase-order shorthands.
+    pub fn standard() -> AbbreviationTable {
+        let mut t = AbbreviationTable::new();
+        for (abbr, full) in [
+            ("no", "number"),
+            ("num", "number"),
+            ("nr", "number"),
+            ("qty", "quantity"),
+            ("amt", "amount"),
+            ("desc", "description"),
+            ("descr", "description"),
+            ("cust", "customer"),
+            ("addr", "address"),
+            ("tel", "telephone"),
+            ("phone", "telephone"),
+            ("fax", "facsimile"),
+            ("id", "identifier"),
+            ("ref", "reference"),
+            ("uom", "unit measure"),
+            ("dt", "date"),
+        ] {
+            t.insert(abbr, full);
+        }
+        t.insert("po", "purchase order");
+        t
+    }
+
+    /// Adds an entry; `expansion` is split on whitespace into tokens.
+    /// Token keys are normalized (lower-case, alphanumeric only).
+    pub fn insert(&mut self, abbreviation: &str, expansion: &str) {
+        self.entries.insert(
+            normalize_token(abbreviation),
+            expansion
+                .split_whitespace()
+                .map(normalize_token)
+                .filter(|t| !t.is_empty())
+                .collect(),
+        );
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up the expansion of a single token.
+    pub fn lookup(&self, token: &str) -> Option<&[String]> {
+        self.entries.get(&normalize_token(token)).map(Vec::as_slice)
+    }
+
+    /// Expands every token of `tokens`, leaving unknown tokens untouched.
+    ///
+    /// ```
+    /// use coma_strings::AbbreviationTable;
+    /// let t = AbbreviationTable::standard();
+    /// assert_eq!(
+    ///     t.expand(&["po".into(), "ship".into(), "to".into()]),
+    ///     vec!["purchase", "order", "ship", "to"]
+    /// );
+    /// ```
+    pub fn expand(&self, tokens: &[String]) -> Vec<String> {
+        let mut out = Vec::with_capacity(tokens.len());
+        for tok in tokens {
+            match self.lookup(tok) {
+                Some(expansion) => out.extend(expansion.iter().cloned()),
+                None => out.push(tok.clone()),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize;
+
+    #[test]
+    fn expands_paper_example() {
+        let t = AbbreviationTable::standard();
+        let tokens = tokenize("POShipTo");
+        assert_eq!(t.expand(&tokens), vec!["purchase", "order", "ship", "to"]);
+    }
+
+    #[test]
+    fn unknown_tokens_pass_through() {
+        let t = AbbreviationTable::standard();
+        assert_eq!(t.expand(&["warehouse".into()]), vec!["warehouse"]);
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let t = AbbreviationTable::standard();
+        assert_eq!(t.lookup("Qty").unwrap(), &["quantity".to_string()]);
+        assert_eq!(t.lookup("QTY").unwrap(), &["quantity".to_string()]);
+    }
+
+    #[test]
+    fn custom_entries_override_nothing_by_default() {
+        let mut t = AbbreviationTable::new();
+        assert!(t.is_empty());
+        t.insert("gtin", "global trade item number");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup("gtin").unwrap().len(), 4);
+    }
+}

@@ -1,0 +1,91 @@
+/// Common-affix similarity.
+///
+/// "This matcher looks for common affixes, i.e. both prefixes and suffixes,
+/// between two name strings" (paper, Section 4.1).
+///
+/// The similarity is the share of characters covered by the longest common
+/// prefix `p` and the longest common suffix `s` of the *remaining* string
+/// (so prefix and suffix never overlap):
+///
+/// ```text
+/// sim(a, b) = (|p| + |s|) / max(|a|, |b|)
+/// ```
+///
+/// Comparison is case-insensitive. Examples: `shipToCity` vs `shipToZip`
+/// share the prefix `shipTo`; `custCity` vs `shipToCity` share the suffix
+/// `City`.
+///
+/// ```
+/// use coma_strings::affix_similarity;
+/// assert_eq!(affix_similarity("city", "city"), 1.0);
+/// assert!(affix_similarity("shipToCity", "shipToZip") > 0.5);
+/// assert_eq!(affix_similarity("abc", "xyz"), 0.0);
+/// ```
+pub fn affix_similarity(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().flat_map(char::to_lowercase).collect();
+    let b: Vec<char> = b.chars().flat_map(char::to_lowercase).collect();
+    match (a.is_empty(), b.is_empty()) {
+        (true, true) => return 1.0,
+        (true, false) | (false, true) => return 0.0,
+        _ => {}
+    }
+    let min_len = a.len().min(b.len());
+    let prefix = a.iter().zip(&b).take_while(|(x, y)| x == y).count();
+    // Longest common suffix of the parts not consumed by the prefix.
+    let max_suffix = min_len - prefix;
+    let suffix = a
+        .iter()
+        .rev()
+        .zip(b.iter().rev())
+        .take(max_suffix)
+        .take_while(|(x, y)| x == y)
+        .count();
+    (prefix + suffix) as f64 / a.len().max(b.len()) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_strings_are_1() {
+        assert_eq!(affix_similarity("street", "street"), 1.0);
+    }
+
+    #[test]
+    fn disjoint_strings_are_0() {
+        assert_eq!(affix_similarity("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn shared_prefix_counts() {
+        // "ship" shared prefix over max len 8 → 0.5
+        assert_eq!(affix_similarity("shipCity", "shipZips"), 0.5);
+    }
+
+    #[test]
+    fn shared_suffix_counts() {
+        // "City" shared suffix; "custCity" vs "shipToCity" → 4/10
+        assert!((affix_similarity("custCity", "shipToCity") - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefix_and_suffix_do_not_overlap() {
+        // "aaa" vs "aaaaa": prefix 3 exhausts the shorter string; suffix must
+        // not double count → 3/5.
+        assert!((affix_similarity("aaa", "aaaaa") - 0.6).abs() < 1e-12);
+        // Full overlap with itself stays exactly 1.
+        assert_eq!(affix_similarity("aaa", "aaa"), 1.0);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert_eq!(affix_similarity("ShipTo", "shipto"), 1.0);
+    }
+
+    #[test]
+    fn empty_string_conventions() {
+        assert_eq!(affix_similarity("", ""), 1.0);
+        assert_eq!(affix_similarity("", "x"), 0.0);
+    }
+}

@@ -1,0 +1,91 @@
+/// Levenshtein edit distance: the minimum number of single-character
+/// insertions, deletions and substitutions transforming `a` into `b`.
+/// Comparison is case-insensitive (names differing only in case are equal
+/// for matching purposes).
+pub fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().flat_map(char::to_lowercase).collect();
+    let b: Vec<char> = b.chars().flat_map(char::to_lowercase).collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    // Two-row dynamic program.
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut curr: Vec<usize> = vec![0; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            curr[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(curr[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[b.len()]
+}
+
+/// Edit-distance similarity.
+///
+/// "String similarity is computed from the number of edit operations
+/// necessary to transform one string to another one (the Levenshtein
+/// metric)" (paper, Section 4.1):
+///
+/// ```text
+/// sim(a, b) = 1 − dist(a, b) / max(|a|, |b|)
+/// ```
+///
+/// ```
+/// use coma_strings::edit_distance_similarity;
+/// assert_eq!(edit_distance_similarity("city", "city"), 1.0);
+/// assert!(edit_distance_similarity("street", "strasse") < 0.6);
+/// ```
+pub fn edit_distance_similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - edit_distance(a, b) as f64 / max_len as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_distances() {
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+        assert_eq!(edit_distance("flaw", "lawn"), 2);
+        assert_eq!(edit_distance("", "abc"), 3);
+        assert_eq!(edit_distance("abc", ""), 3);
+        assert_eq!(edit_distance("", ""), 0);
+    }
+
+    #[test]
+    fn case_insensitive_distance() {
+        assert_eq!(edit_distance("City", "city"), 0);
+    }
+
+    #[test]
+    fn similarity_normalises_by_longer_string() {
+        // dist("ab", "abcd") = 2, max len 4 → 0.5
+        assert!((edit_distance_similarity("ab", "abcd") - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn similarity_of_equal_strings_is_1() {
+        assert_eq!(edit_distance_similarity("custNo", "custNo"), 1.0);
+        assert_eq!(edit_distance_similarity("", ""), 1.0);
+    }
+
+    #[test]
+    fn similarity_of_disjoint_strings_is_0() {
+        assert_eq!(edit_distance_similarity("abc", "xyz"), 0.0);
+    }
+
+    #[test]
+    fn unicode_is_counted_by_chars_not_bytes() {
+        assert_eq!(edit_distance("straße", "strasse"), 2);
+        assert!(edit_distance_similarity("straße", "strasse") > 0.7);
+    }
+}

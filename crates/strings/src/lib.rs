@@ -1,0 +1,39 @@
+//! # coma-strings — approximate string matching substrate for COMA
+//!
+//! COMA's simple matchers (paper, Section 4.1) assess the similarity of
+//! element names syntactically. This crate implements the four approximate
+//! string matchers the paper lists —
+//!
+//! * [`affix_similarity`] — common prefix/suffix similarity,
+//! * [`ngram_similarity`] — n-gram set similarity (Digram, Trigram, …),
+//! * [`edit_distance_similarity`] — Levenshtein-based similarity,
+//! * [`soundex_similarity`] — phonetic similarity via Soundex codes,
+//!
+//! — plus the name pre-processing the hybrid `Name` matcher performs:
+//! [`tokenize`] (camelCase/delimiter tokenization) and
+//! [`AbbreviationTable`] (abbreviation and acronym expansion, e.g.
+//! `PO → {Purchase, Order}`).
+//!
+//! All similarity functions are **symmetric**, return values in `[0, 1]`,
+//! and give `1.0` for equal inputs — invariants enforced by property tests.
+//! By convention two empty strings are maximally similar and an empty vs.
+//! non-empty string are maximally dissimilar.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod abbrev;
+mod affix;
+mod edit_distance;
+mod ngram;
+mod sets;
+mod soundex;
+mod tokenize;
+
+pub use abbrev::AbbreviationTable;
+pub use affix::affix_similarity;
+pub use edit_distance::{edit_distance, edit_distance_similarity};
+pub use ngram::{digram_similarity, ngram_set, ngram_similarity, trigram_similarity};
+pub use sets::{dice_coefficient, jaccard_coefficient, overlap_coefficient};
+pub use soundex::{soundex_code, soundex_similarity};
+pub use tokenize::{normalize_token, tokenize};

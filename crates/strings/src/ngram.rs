@@ -1,0 +1,113 @@
+use std::collections::BTreeSet;
+
+/// The set of `n`-grams (length-`n` character windows) of `s`, lower-cased.
+///
+/// Strings shorter than `n` contribute themselves as a single "gram" so
+/// that very short names still compare meaningfully (e.g. `No` under
+/// Trigram).
+pub fn ngram_set(s: &str, n: usize) -> BTreeSet<String> {
+    assert!(n > 0, "n-gram size must be positive");
+    let chars: Vec<char> = s.chars().flat_map(char::to_lowercase).collect();
+    let mut grams = BTreeSet::new();
+    if chars.is_empty() {
+        return grams;
+    }
+    if chars.len() < n {
+        grams.insert(chars.iter().collect());
+        return grams;
+    }
+    for w in chars.windows(n) {
+        grams.insert(w.iter().collect());
+    }
+    grams
+}
+
+/// n-gram similarity: the Dice coefficient of the two n-gram sets.
+///
+/// "Strings are compared according to their set of n-grams, i.e. sequences
+/// of n characters, leading to different variants of this matcher, e.g.
+/// Digram (2), Trigram (3)" (paper, Section 4.1).
+///
+/// ```
+/// use coma_strings::ngram_similarity;
+/// assert_eq!(ngram_similarity("city", "city", 3), 1.0);
+/// assert!(ngram_similarity("street", "str", 3) > 0.0);
+/// ```
+pub fn ngram_similarity(a: &str, b: &str, n: usize) -> f64 {
+    match (a.is_empty(), b.is_empty()) {
+        (true, true) => return 1.0,
+        (true, false) | (false, true) => return 0.0,
+        _ => {}
+    }
+    let ga = ngram_set(a, n);
+    let gb = ngram_set(b, n);
+    let inter = ga.intersection(&gb).count();
+    2.0 * inter as f64 / (ga.len() + gb.len()) as f64
+}
+
+/// Digram (n = 2) similarity.
+pub fn digram_similarity(a: &str, b: &str) -> f64 {
+    ngram_similarity(a, b, 2)
+}
+
+/// Trigram (n = 3) similarity — the variant COMA's default `Name` matcher
+/// uses (paper, Table 4).
+pub fn trigram_similarity(a: &str, b: &str) -> f64 {
+    ngram_similarity(a, b, 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trigram_set_of_street() {
+        let grams = ngram_set("street", 3);
+        let expected: BTreeSet<String> = ["str", "tre", "ree", "eet"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(grams, expected);
+    }
+
+    #[test]
+    fn short_strings_fall_back_to_whole_string() {
+        let grams = ngram_set("no", 3);
+        assert_eq!(grams.len(), 1);
+        assert!(grams.contains("no"));
+        assert_eq!(ngram_similarity("no", "no", 3), 1.0);
+        assert_eq!(ngram_similarity("no", "nr", 3), 0.0);
+    }
+
+    #[test]
+    fn paper_motivating_case_ship_vs_deliver_is_dissimilar() {
+        // "string matchers such as Trigram find no similarity for Ship and
+        // Deliver" (Section 6.4).
+        assert_eq!(trigram_similarity("ship", "deliver"), 0.0);
+    }
+
+    #[test]
+    fn digram_finds_more_overlap_than_trigram() {
+        let d = digram_similarity("shipment", "shipping");
+        let t = trigram_similarity("shipment", "shipping");
+        assert!(d >= t);
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        assert_eq!(trigram_similarity("Street", "STREET"), 1.0);
+    }
+
+    #[test]
+    fn empty_conventions() {
+        assert_eq!(ngram_similarity("", "", 3), 1.0);
+        assert_eq!(ngram_similarity("", "abc", 3), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_gram_panics() {
+        ngram_set("x", 0);
+    }
+}

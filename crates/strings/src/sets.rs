@@ -1,0 +1,77 @@
+//! Set-overlap coefficients used by both the string layer (n-gram sets) and
+//! the combination layer (Dice over matched element sets, paper Section 6.3).
+
+use std::collections::BTreeSet;
+
+/// Dice coefficient: `2·|A∩B| / (|A| + |B|)`. Two empty sets score 1.
+pub fn dice_coefficient<T: Ord>(a: &BTreeSet<T>, b: &BTreeSet<T>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(b).count();
+    2.0 * inter as f64 / (a.len() + b.len()) as f64
+}
+
+/// Jaccard coefficient: `|A∩B| / |A∪B|`. Two empty sets score 1.
+pub fn jaccard_coefficient<T: Ord>(a: &BTreeSet<T>, b: &BTreeSet<T>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let inter = a.intersection(b).count();
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+/// Overlap coefficient: `|A∩B| / min(|A|, |B|)`. Two empty sets score 1;
+/// one empty set scores 0.
+pub fn overlap_coefficient<T: Ord>(a: &BTreeSet<T>, b: &BTreeSet<T>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let inter = a.intersection(b).count();
+    inter as f64 / a.len().min(b.len()) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(items: &[&str]) -> BTreeSet<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn dice_basics() {
+        assert_eq!(dice_coefficient(&set(&["a", "b"]), &set(&["a", "b"])), 1.0);
+        assert_eq!(dice_coefficient(&set(&["a"]), &set(&["b"])), 0.0);
+        // |A∩B|=1, |A|=2, |B|=2 → 2/4
+        assert_eq!(dice_coefficient(&set(&["a", "b"]), &set(&["a", "c"])), 0.5);
+    }
+
+    #[test]
+    fn jaccard_is_never_above_dice() {
+        let a = set(&["a", "b", "c"]);
+        let b = set(&["b", "c", "d", "e"]);
+        assert!(jaccard_coefficient(&a, &b) <= dice_coefficient(&a, &b));
+    }
+
+    #[test]
+    fn overlap_is_1_for_subset() {
+        let a = set(&["a", "b"]);
+        let b = set(&["a", "b", "c", "d"]);
+        assert_eq!(overlap_coefficient(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn empty_set_conventions() {
+        let e: BTreeSet<String> = BTreeSet::new();
+        assert_eq!(dice_coefficient(&e, &e), 1.0);
+        assert_eq!(jaccard_coefficient(&e, &e), 1.0);
+        assert_eq!(overlap_coefficient(&e, &e), 1.0);
+        assert_eq!(dice_coefficient(&e, &set(&["x"])), 0.0);
+        assert_eq!(overlap_coefficient(&e, &set(&["x"])), 0.0);
+    }
+}

@@ -1,0 +1,126 @@
+use crate::edit_distance::edit_distance_similarity;
+
+/// American Soundex code of a word: an initial letter followed by three
+/// digits classifying the consonant sounds, e.g. `Robert → R163`.
+///
+/// Non-ASCII-alphabetic characters are skipped. Returns `None` when the
+/// input contains no ASCII letter at all.
+pub fn soundex_code(s: &str) -> Option<String> {
+    let letters: Vec<char> = s
+        .chars()
+        .filter(char::is_ascii_alphabetic)
+        .map(|c| c.to_ascii_uppercase())
+        .collect();
+    let first = *letters.first()?;
+
+    fn class(c: char) -> u8 {
+        match c {
+            'B' | 'F' | 'P' | 'V' => 1,
+            'C' | 'G' | 'J' | 'K' | 'Q' | 'S' | 'X' | 'Z' => 2,
+            'D' | 'T' => 3,
+            'L' => 4,
+            'M' | 'N' => 5,
+            'R' => 6,
+            // Vowels and Y separate duplicate codes; H and W do not.
+            'A' | 'E' | 'I' | 'O' | 'U' | 'Y' => 0,
+            _ => 7, // H, W: transparent
+        }
+    }
+
+    let mut code = String::with_capacity(4);
+    code.push(first);
+    let mut last_class = class(first);
+    for &c in &letters[1..] {
+        let cl = class(c);
+        match cl {
+            0 => last_class = 0,    // vowel: reset, allows repeats
+            7 => {}                 // H/W: transparent, keep last_class
+            _ => {
+                if cl != last_class {
+                    code.push(char::from(b'0' + cl));
+                    if code.len() == 4 {
+                        break;
+                    }
+                }
+                last_class = cl;
+            }
+        }
+    }
+    while code.len() < 4 {
+        code.push('0');
+    }
+    Some(code)
+}
+
+/// Phonetic similarity via Soundex codes.
+///
+/// "This matcher computes the phonetic similarity between names from their
+/// corresponding soundex codes" (paper, Section 4.1). Equal codes give 1.0;
+/// otherwise the codes are compared with the normalized edit-distance
+/// similarity, so near-matching codes still score above zero.
+///
+/// ```
+/// use coma_strings::soundex_similarity;
+/// assert_eq!(soundex_similarity("Robert", "Rupert"), 1.0);
+/// assert!(soundex_similarity("city", "deliver") < 0.5);
+/// ```
+pub fn soundex_similarity(a: &str, b: &str) -> f64 {
+    match (soundex_code(a), soundex_code(b)) {
+        (Some(ca), Some(cb)) => {
+            if ca == cb {
+                1.0
+            } else {
+                edit_distance_similarity(&ca, &cb)
+            }
+        }
+        (None, None) => 1.0,
+        _ => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_codes() {
+        assert_eq!(soundex_code("Robert").unwrap(), "R163");
+        assert_eq!(soundex_code("Rupert").unwrap(), "R163");
+        assert_eq!(soundex_code("Ashcraft").unwrap(), "A261");
+        assert_eq!(soundex_code("Tymczak").unwrap(), "T522");
+        assert_eq!(soundex_code("Pfister").unwrap(), "P236");
+        assert_eq!(soundex_code("Honeyman").unwrap(), "H555");
+    }
+
+    #[test]
+    fn code_is_case_insensitive() {
+        assert_eq!(soundex_code("ROBERT"), soundex_code("robert"));
+    }
+
+    #[test]
+    fn no_letters_gives_none() {
+        assert_eq!(soundex_code("123"), None);
+        assert_eq!(soundex_code(""), None);
+    }
+
+    #[test]
+    fn similar_codes_get_partial_credit() {
+        let sim = soundex_similarity("Robert", "Roberts"); // R163 vs R1632→R163? both R163
+        assert_eq!(sim, 1.0);
+        let sim2 = soundex_similarity("city", "cite"); // C300 == C300
+        assert_eq!(sim2, 1.0);
+        let sim3 = soundex_similarity("ship", "shop");
+        assert_eq!(sim3, 1.0); // vowels don't matter in soundex
+    }
+
+    #[test]
+    fn different_names_score_low() {
+        assert!(soundex_similarity("zip", "street") < 0.6);
+    }
+
+    #[test]
+    fn empty_conventions() {
+        assert_eq!(soundex_similarity("", ""), 1.0);
+        assert_eq!(soundex_similarity("", "abc"), 0.0);
+    }
+}

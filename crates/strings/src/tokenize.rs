@@ -1,0 +1,121 @@
+/// Splits an element name into lower-cased tokens.
+///
+/// The hybrid `Name` matcher "performs some pre-processing steps, in
+/// particular a tokenization to derive a set of components (tokens) of a
+/// name, e.g. `POShipTo → {PO, Ship, To}`" (paper, Section 4.2).
+///
+/// Token boundaries are:
+/// * non-alphanumeric delimiters (`_`, `-`, `.`, `/`, whitespace, …),
+/// * lower→upper camelCase transitions (`shipTo → ship | To`),
+/// * acronym→word transitions (`POShip → PO | Ship`),
+/// * letter↔digit transitions (`address2 → address | 2`).
+///
+/// Tokens are returned lower-cased; the original casing only drives the
+/// splitting.
+///
+/// ```
+/// use coma_strings::tokenize;
+/// assert_eq!(tokenize("POShipTo"), vec!["po", "ship", "to"]);
+/// assert_eq!(tokenize("ship_to-street2"), vec!["ship", "to", "street", "2"]);
+/// ```
+pub fn tokenize(name: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = name.chars().collect();
+    let mut current = String::new();
+
+    for i in 0..chars.len() {
+        let c = chars[i];
+        if !c.is_alphanumeric() {
+            flush(&mut tokens, &mut current);
+            continue;
+        }
+        if !current.is_empty() {
+            let prev = chars[i - 1];
+            let boundary =
+                // lower → Upper: shipTo
+                (prev.is_lowercase() && c.is_uppercase())
+                // letter ↔ digit
+                || (prev.is_alphabetic() && c.is_numeric())
+                || (prev.is_numeric() && c.is_alphabetic())
+                // acronym end: "POShip" = P O S(hip): upper followed by
+                // upper+lower starts a new word at the second upper.
+                || (prev.is_uppercase()
+                    && c.is_uppercase()
+                    && chars.get(i + 1).is_some_and(|n| n.is_lowercase()));
+            if boundary {
+                flush(&mut tokens, &mut current);
+            }
+        }
+        current.extend(c.to_lowercase());
+    }
+    flush(&mut tokens, &mut current);
+    tokens
+}
+
+fn flush(tokens: &mut Vec<String>, current: &mut String) {
+    if !current.is_empty() {
+        tokens.push(std::mem::take(current));
+    }
+}
+
+/// Lower-cases and strips non-alphanumeric characters — the normal form
+/// used for dictionary lookups (synonyms, abbreviations).
+pub fn normalize_token(token: &str) -> String {
+    token
+        .chars()
+        .filter(|c| c.is_alphanumeric())
+        .flat_map(char::to_lowercase)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_po_ship_to() {
+        assert_eq!(tokenize("POShipTo"), vec!["po", "ship", "to"]);
+    }
+
+    #[test]
+    fn camel_case_splits() {
+        assert_eq!(tokenize("shipToCity"), vec!["ship", "to", "city"]);
+        assert_eq!(tokenize("custName"), vec!["cust", "name"]);
+    }
+
+    #[test]
+    fn delimiters_split() {
+        assert_eq!(tokenize("ship_to_city"), vec!["ship", "to", "city"]);
+        assert_eq!(tokenize("ship-to.city"), vec!["ship", "to", "city"]);
+        assert_eq!(tokenize("  ship  to "), vec!["ship", "to"]);
+    }
+
+    #[test]
+    fn digits_split() {
+        assert_eq!(tokenize("address2"), vec!["address", "2"]);
+        assert_eq!(tokenize("PO2Box"), vec!["po", "2", "box"]);
+    }
+
+    #[test]
+    fn acronym_followed_by_word() {
+        assert_eq!(tokenize("XMLSchema"), vec!["xml", "schema"]);
+        assert_eq!(tokenize("CIDXOrder"), vec!["cidx", "order"]);
+    }
+
+    #[test]
+    fn all_caps_is_single_token() {
+        assert_eq!(tokenize("CIDX"), vec!["cidx"]);
+    }
+
+    #[test]
+    fn empty_and_symbol_only_names() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("__--__").is_empty());
+    }
+
+    #[test]
+    fn normalize_strips_and_lowers() {
+        assert_eq!(normalize_token("Ship-To"), "shipto");
+        assert_eq!(normalize_token("NO."), "no");
+    }
+}

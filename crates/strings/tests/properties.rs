@@ -1,0 +1,101 @@
+//! Property tests for the similarity invariants every COMA string matcher
+//! must satisfy: values in [0,1], symmetry, identity, plus metric properties
+//! of the raw edit distance.
+
+use coma_strings::{
+    affix_similarity, digram_similarity, edit_distance, edit_distance_similarity,
+    ngram_similarity, soundex_similarity, tokenize, trigram_similarity, AbbreviationTable,
+};
+use proptest::prelude::*;
+
+fn arb_name() -> impl Strategy<Value = String> {
+    // Schema-element-like names: alphanumeric with occasional separators.
+    proptest::string::string_regex("[A-Za-z0-9_]{0,16}").unwrap()
+}
+
+fn check_similarity_invariants(sim: fn(&str, &str) -> f64, a: &str, b: &str) -> Result<(), TestCaseError> {
+    let s_ab = sim(a, b);
+    let s_ba = sim(b, a);
+    prop_assert!((0.0..=1.0).contains(&s_ab), "sim out of range: {s_ab}");
+    prop_assert!(
+        (s_ab - s_ba).abs() < 1e-12,
+        "asymmetric: {a:?},{b:?} → {s_ab} vs {s_ba}"
+    );
+    let s_aa = sim(a, a);
+    prop_assert!((s_aa - 1.0).abs() < 1e-12, "identity violated for {a:?}: {s_aa}");
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn affix_invariants(a in arb_name(), b in arb_name()) {
+        check_similarity_invariants(affix_similarity, &a, &b)?;
+    }
+
+    #[test]
+    fn trigram_invariants(a in arb_name(), b in arb_name()) {
+        check_similarity_invariants(trigram_similarity, &a, &b)?;
+    }
+
+    #[test]
+    fn digram_invariants(a in arb_name(), b in arb_name()) {
+        check_similarity_invariants(digram_similarity, &a, &b)?;
+    }
+
+    #[test]
+    fn edit_similarity_invariants(a in arb_name(), b in arb_name()) {
+        check_similarity_invariants(edit_distance_similarity, &a, &b)?;
+    }
+
+    #[test]
+    fn soundex_invariants(a in arb_name(), b in arb_name()) {
+        check_similarity_invariants(soundex_similarity, &a, &b)?;
+    }
+
+    #[test]
+    fn edit_distance_is_a_metric(a in arb_name(), b in arb_name(), c in arb_name()) {
+        let ab = edit_distance(&a, &b);
+        let ba = edit_distance(&b, &a);
+        prop_assert_eq!(ab, ba);
+        // Case-folded identity of indiscernibles.
+        if a.to_lowercase() == b.to_lowercase() {
+            prop_assert_eq!(ab, 0);
+        }
+        // Triangle inequality.
+        let ac = edit_distance(&a, &c);
+        let cb = edit_distance(&c, &b);
+        prop_assert!(ab <= ac + cb);
+    }
+
+    #[test]
+    fn edit_distance_bounded_by_longer_string(a in arb_name(), b in arb_name()) {
+        let d = edit_distance(&a, &b);
+        prop_assert!(d <= a.chars().count().max(b.chars().count()));
+        prop_assert!(d >= a.chars().count().abs_diff(b.chars().count()));
+    }
+
+    #[test]
+    fn ngram_similarity_any_n(a in arb_name(), b in arb_name(), n in 1usize..6) {
+        let s = ngram_similarity(&a, &b, n);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert!((ngram_similarity(&b, &a, n) - s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tokenize_covers_all_alphanumerics(a in arb_name()) {
+        let tokens = tokenize(&a);
+        let rebuilt: String = tokens.concat();
+        let expected: String = a.chars().filter(|c| c.is_alphanumeric()).flat_map(char::to_lowercase).collect();
+        prop_assert_eq!(rebuilt, expected);
+        for t in &tokens {
+            prop_assert!(!t.is_empty());
+        }
+    }
+
+    #[test]
+    fn abbreviation_expansion_is_idempotent_on_unknowns(a in arb_name()) {
+        let table = AbbreviationTable::new();
+        let tokens = tokenize(&a);
+        prop_assert_eq!(table.expand(&tokens), tokens);
+    }
+}

@@ -1,0 +1,70 @@
+use std::fmt;
+
+/// Convenience result alias for XML/XSD operations.
+pub type Result<T> = std::result::Result<T, XmlError>;
+
+/// Errors from XML parsing, XSD interpretation, or graph import.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XmlError {
+    /// Malformed XML at the given byte offset.
+    Syntax {
+        /// Byte offset into the input where the problem was found.
+        offset: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// Structurally invalid document (mismatched tags, multiple roots, …).
+    Structure {
+        /// Description of the problem.
+        message: String,
+    },
+    /// The document is well-formed XML but not a usable XML Schema.
+    Xsd {
+        /// Description of the problem.
+        message: String,
+    },
+    /// Importing the schema into the graph representation failed.
+    Graph(coma_graph::GraphError),
+}
+
+impl XmlError {
+    pub(crate) fn syntax(offset: usize, message: impl Into<String>) -> XmlError {
+        XmlError::Syntax {
+            offset,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn structure(message: impl Into<String>) -> XmlError {
+        XmlError::Structure {
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn xsd(message: impl Into<String>) -> XmlError {
+        XmlError::Xsd {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::Syntax { offset, message } => {
+                write!(f, "XML syntax error at byte {offset}: {message}")
+            }
+            XmlError::Structure { message } => write!(f, "XML structure error: {message}"),
+            XmlError::Xsd { message } => write!(f, "XSD error: {message}"),
+            XmlError::Graph(e) => write!(f, "schema import error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+impl From<coma_graph::GraphError> for XmlError {
+    fn from(e: coma_graph::GraphError) -> XmlError {
+        XmlError::Graph(e)
+    }
+}

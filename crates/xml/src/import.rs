@@ -1,0 +1,497 @@
+//! Import of XML Schemas into COMA's internal graph representation,
+//! following the semantics of Figure 1 in the paper:
+//!
+//! * every element declaration becomes a node;
+//! * an element typed with a **named complex type** contains a single shared
+//!   node for that type (so `DeliverTo` and `BillTo`, both of type
+//!   `Address`, contain the *same* `Address` subtree and produce paths
+//!   `PO2.DeliverTo.Address.City` and `PO2.BillTo.Address.City`);
+//! * an element with an **anonymous** complex type gets the type's content
+//!   directly as children;
+//! * `ref=` references to global elements share the referenced node;
+//! * attributes become leaf children;
+//! * elements with built-in or simple types become typed leaves.
+
+use crate::error::{Result, XmlError};
+use crate::parser::{local, parse_document};
+use crate::xsd::{parse_xsd, ComplexType, ElementDecl, XsdSchema};
+use coma_graph::{DataType, Node, NodeId, Schema, SchemaBuilder};
+use std::collections::HashMap;
+
+/// Parses XSD source text and imports it as a COMA schema named `name`.
+///
+/// The graph root is chosen as follows:
+/// 1. if exactly one global element is never `ref=`-referenced, it is the
+///    root;
+/// 2. otherwise, if there are no global elements and exactly one complex
+///    type is never used as another declaration's type, that type is the
+///    root (the paper's PO2 case);
+/// 3. otherwise a synthetic root named `name` is created containing every
+///    unreferenced global element.
+pub fn import_xsd(source: &str, name: &str) -> Result<Schema> {
+    let doc = parse_document(source)?;
+    let xsd = parse_xsd(&doc)?;
+    import_parsed(&xsd, name)
+}
+
+/// Imports an already-parsed [`XsdSchema`].
+pub fn import_parsed(xsd: &XsdSchema, name: &str) -> Result<Schema> {
+    let mut importer = Importer::new(xsd, name);
+    importer.run()?;
+    Ok(importer.builder.build()?)
+}
+
+struct Importer<'a> {
+    xsd: &'a XsdSchema,
+    name: String,
+    builder: SchemaBuilder,
+    complex_types: HashMap<&'a str, &'a ComplexType>,
+    simple_types: HashMap<&'a str, Option<&'a str>>,
+    global_elements: HashMap<&'a str, &'a ElementDecl>,
+    /// Nodes already built for named complex types (shared fragments).
+    type_nodes: HashMap<String, NodeId>,
+    /// Nodes already built for global elements (shared via `ref=`).
+    element_nodes: HashMap<String, NodeId>,
+    /// Named types currently being expanded, for recursion detection.
+    building: Vec<String>,
+}
+
+impl<'a> Importer<'a> {
+    fn new(xsd: &'a XsdSchema, name: &str) -> Importer<'a> {
+        let complex_types = xsd
+            .complex_types
+            .iter()
+            .filter_map(|ct| ct.name.as_deref().map(|n| (n, ct)))
+            .collect();
+        let simple_types = xsd
+            .simple_types
+            .iter()
+            .map(|st| (st.name.as_str(), st.base.as_deref()))
+            .collect();
+        let global_elements = xsd
+            .elements
+            .iter()
+            .filter_map(|e| e.name.as_deref().map(|n| (n, e)))
+            .collect();
+        Importer {
+            xsd,
+            name: name.to_string(),
+            builder: SchemaBuilder::new(name),
+            complex_types,
+            simple_types,
+            global_elements,
+            type_nodes: HashMap::new(),
+            element_nodes: HashMap::new(),
+            building: Vec::new(),
+        }
+    }
+
+    fn run(&mut self) -> Result<()> {
+        let roots = self.root_candidates();
+        match roots.as_slice() {
+            [] => Err(XmlError::xsd(
+                "schema declares no global element or unused complex type to use as root",
+            )),
+            [RootCandidate::Element(decl)] => {
+                let decl = *decl;
+                self.build_global_element(decl)?;
+                Ok(())
+            }
+            [RootCandidate::Type(ct)] => {
+                // The paper's PO2 case: the type itself is the root node.
+                let ct = *ct;
+                let type_name = ct.name.clone().expect("top-level types are named");
+                let node = self.builder.add_node(
+                    Node::new(type_name.clone()).with_type_name(type_name.clone()),
+                );
+                self.type_nodes.insert(type_name.clone(), node);
+                self.building.push(type_name);
+                self.add_type_content(node, ct)?;
+                self.building.pop();
+                Ok(())
+            }
+            many => {
+                // Synthetic root containing all unreferenced global elements.
+                let root = self.builder.add_node(Node::new(self.name.clone()));
+                let decls: Vec<&ElementDecl> = many
+                    .iter()
+                    .filter_map(|c| match c {
+                        RootCandidate::Element(d) => Some(*d),
+                        RootCandidate::Type(_) => None,
+                    })
+                    .collect();
+                if decls.is_empty() {
+                    return Err(XmlError::xsd(
+                        "cannot choose a root: multiple unused complex types and no global elements",
+                    ));
+                }
+                for decl in decls {
+                    let child = self.build_global_element(decl)?;
+                    self.builder.add_child(root, child)?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn root_candidates(&self) -> Vec<RootCandidate<'a>> {
+        // Global elements never referenced via ref=.
+        let mut referenced: Vec<&str> = Vec::new();
+        fn walk<'b>(decls: &'b [ElementDecl], out: &mut Vec<&'b str>) {
+            for d in decls {
+                if let Some(r) = d.reference.as_deref() {
+                    out.push(r);
+                }
+                if let Some(t) = &d.inline_type {
+                    walk(&t.elements, out);
+                }
+            }
+        }
+        walk(&self.xsd.elements, &mut referenced);
+        for ct in &self.xsd.complex_types {
+            walk(&ct.elements, &mut referenced);
+        }
+
+        let element_candidates: Vec<RootCandidate<'a>> = self
+            .xsd
+            .elements
+            .iter()
+            .filter(|e| {
+                e.name
+                    .as_deref()
+                    .is_some_and(|n| !referenced.iter().any(|r| local(r) == n))
+            })
+            .map(RootCandidate::Element)
+            .collect();
+        if !element_candidates.is_empty() {
+            return element_candidates;
+        }
+
+        // No global elements: find complex types not used as a type anywhere.
+        let mut used_types: Vec<&str> = Vec::new();
+        fn walk_types<'b>(decls: &'b [ElementDecl], out: &mut Vec<&'b str>) {
+            for d in decls {
+                if let Some(t) = d.type_ref.as_deref() {
+                    out.push(local(t));
+                }
+                if let Some(t) = &d.inline_type {
+                    walk_types(&t.elements, out);
+                }
+            }
+        }
+        walk_types(&self.xsd.elements, &mut used_types);
+        for ct in &self.xsd.complex_types {
+            walk_types(&ct.elements, &mut used_types);
+        }
+        self.xsd
+            .complex_types
+            .iter()
+            .filter(|ct| {
+                ct.name
+                    .as_deref()
+                    .is_some_and(|n| !used_types.contains(&n))
+            })
+            .map(RootCandidate::Type)
+            .collect()
+    }
+
+    /// Builds (or reuses) the node for a global element declaration.
+    fn build_global_element(&mut self, decl: &'a ElementDecl) -> Result<NodeId> {
+        let name = decl
+            .name
+            .clone()
+            .ok_or_else(|| XmlError::xsd("global element without a name"))?;
+        if let Some(&node) = self.element_nodes.get(&name) {
+            return Ok(node);
+        }
+        let node = self.build_element_node(decl)?;
+        self.element_nodes.insert(name, node);
+        Ok(node)
+    }
+
+    /// Builds the node for an element declaration and its subtree, returning
+    /// the element's node id. `ref=` declarations resolve to the shared
+    /// global element node.
+    fn build_element(&mut self, decl: &'a ElementDecl) -> Result<NodeId> {
+        if let Some(r) = decl.reference.clone() {
+            let target = local(&r).to_string();
+            if let Some(&node) = self.element_nodes.get(&target) {
+                return Ok(node);
+            }
+            let global = self.global_elements.get(target.as_str()).copied().ok_or_else(|| {
+                XmlError::xsd(format!("ref=\"{r}\" does not name a global element"))
+            })?;
+            return self.build_global_element(global);
+        }
+        self.build_element_node(decl)
+    }
+
+    fn build_element_node(&mut self, decl: &'a ElementDecl) -> Result<NodeId> {
+        let name = decl
+            .name
+            .clone()
+            .ok_or_else(|| XmlError::xsd("element without name or ref"))?;
+        let mut node = Node::new(name);
+        if let Some(a) = &decl.annotation {
+            node = node.with_annotation(a.clone());
+        }
+
+        // Case 1: inline anonymous complex type — content attaches directly.
+        if let Some(inline) = &decl.inline_type {
+            let id = self.builder.add_node(node);
+            self.add_type_content(id, inline)?;
+            return Ok(id);
+        }
+
+        // Case 2: named type.
+        if let Some(type_ref) = decl.type_ref.clone() {
+            let type_local = local(&type_ref).to_string();
+            if let Some(ct) = self.complex_types.get(type_local.as_str()).copied() {
+                let id = self.builder.add_node(node.with_type_name(type_local.clone()));
+                let type_node = self.type_node(&type_local, ct)?;
+                self.builder.add_child(id, type_node)?;
+                return Ok(id);
+            }
+            // Simple type (named) or XSD built-in → typed leaf.
+            let datatype = match self.simple_types.get(type_local.as_str()) {
+                Some(Some(base)) => DataType::from_xsd(base),
+                Some(None) => DataType::Any,
+                None => DataType::from_xsd(&type_ref),
+            };
+            return Ok(self
+                .builder
+                .add_node(node.with_datatype(datatype).with_type_name(type_ref)));
+        }
+
+        // Case 3: untyped — an untyped leaf.
+        Ok(self.builder.add_node(node))
+    }
+
+    /// Returns the shared node of a named complex type, building its subtree
+    /// on first use.
+    fn type_node(&mut self, type_name: &str, ct: &'a ComplexType) -> Result<NodeId> {
+        if self.building.iter().any(|t| t == type_name) {
+            return Err(XmlError::xsd(format!(
+                "recursive complex type `{type_name}` cannot be represented as a DAG"
+            )));
+        }
+        if let Some(&node) = self.type_nodes.get(type_name) {
+            return Ok(node);
+        }
+        let mut node = Node::new(type_name.to_string()).with_type_name(type_name.to_string());
+        if let Some(a) = &ct.annotation {
+            node = node.with_annotation(a.clone());
+        }
+        let id = self.builder.add_node(node);
+        self.type_nodes.insert(type_name.to_string(), id);
+        self.building.push(type_name.to_string());
+        self.add_type_content(id, ct)?;
+        self.building.pop();
+        Ok(id)
+    }
+
+    /// Adds a complex type's attributes and element content under `parent`.
+    fn add_type_content(&mut self, parent: NodeId, ct: &'a ComplexType) -> Result<()> {
+        for attr in &ct.attributes {
+            let datatype = attr
+                .type_ref
+                .as_deref()
+                .map(|t| match self.simple_types.get(local(t)) {
+                    Some(Some(base)) => DataType::from_xsd(base),
+                    Some(None) => DataType::Any,
+                    None => DataType::from_xsd(t),
+                })
+                .unwrap_or(DataType::Text);
+            let mut node = Node::new(attr.name.clone()).with_datatype(datatype);
+            if let Some(t) = &attr.type_ref {
+                node = node.with_type_name(t.clone());
+            }
+            if let Some(a) = &attr.annotation {
+                node = node.with_annotation(a.clone());
+            }
+            let id = self.builder.add_node(node);
+            self.builder.add_child(parent, id)?;
+        }
+        for el in &ct.elements {
+            let child = self.build_element(el)?;
+            self.builder.add_child(parent, child)?;
+        }
+        Ok(())
+    }
+}
+
+enum RootCandidate<'a> {
+    Element(&'a ElementDecl),
+    Type(&'a ComplexType),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coma_graph::{PathSet, SchemaStats};
+
+    const PO2_XSD: &str = r#"
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="PO2">
+    <xsd:sequence>
+      <xsd:element name="DeliverTo" type="Address"/>
+      <xsd:element name="BillTo" type="Address"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:complexType name="Address">
+    <xsd:sequence>
+      <xsd:element name="Street" type="xsd:string"/>
+      <xsd:element name="City" type="xsd:string"/>
+      <xsd:element name="Zip" type="xsd:decimal"/>
+    </xsd:sequence>
+  </xsd:complexType>
+</xsd:schema>"#;
+
+    #[test]
+    fn po2_import_matches_figure_1() {
+        let s = import_xsd(PO2_XSD, "PO2").unwrap();
+        let ps = PathSet::new(&s).unwrap();
+        let st = SchemaStats::compute(&s, &ps);
+        // Figure 1b: PO2, DeliverTo, BillTo, shared Address, Street, City,
+        // Zip = 7 nodes, 11 paths, depth 4.
+        assert_eq!(st.nodes, 7);
+        assert_eq!(st.paths, 11);
+        assert_eq!(st.max_depth, 4);
+        assert!(ps.find_by_full_name(&s, "PO2.DeliverTo.Address.City").is_some());
+        assert!(ps.find_by_full_name(&s, "PO2.BillTo.Address.Zip").is_some());
+        let zip = ps.find_by_full_name(&s, "PO2.BillTo.Address.Zip").unwrap();
+        assert_eq!(s.node(ps.node_of(zip)).datatype, Some(DataType::Decimal));
+    }
+
+    #[test]
+    fn global_element_root() {
+        let s = import_xsd(
+            r#"<schema>
+                 <element name="PurchaseOrder">
+                   <complexType><sequence>
+                     <element name="poNo" type="xsd:int"/>
+                   </sequence></complexType>
+                 </element>
+               </schema>"#,
+            "S",
+        )
+        .unwrap();
+        assert_eq!(s.node(s.root()).name, "PurchaseOrder");
+        assert_eq!(s.node_count(), 2);
+    }
+
+    #[test]
+    fn ref_shares_global_element_node() {
+        let s = import_xsd(
+            r#"<schema>
+                 <element name="root">
+                   <complexType><sequence>
+                     <element name="a"><complexType><sequence>
+                       <element ref="shared"/>
+                     </sequence></complexType></element>
+                     <element name="b"><complexType><sequence>
+                       <element ref="shared"/>
+                     </sequence></complexType></element>
+                   </sequence></complexType>
+                 </element>
+                 <element name="shared" type="xsd:string"/>
+               </schema>"#,
+            "S",
+        )
+        .unwrap();
+        let ps = PathSet::new(&s).unwrap();
+        // root, a, b, shared = 4 nodes; paths: root, a, b, a.shared, b.shared = 5.
+        assert_eq!(s.node_count(), 4);
+        assert_eq!(ps.len(), 5);
+    }
+
+    #[test]
+    fn attributes_become_leaves() {
+        let s = import_xsd(
+            r#"<schema>
+                 <element name="item">
+                   <complexType>
+                     <sequence><element name="price" type="xsd:decimal"/></sequence>
+                     <attribute name="sku" type="xsd:ID"/>
+                   </complexType>
+                 </element>
+               </schema>"#,
+            "S",
+        )
+        .unwrap();
+        let ps = PathSet::new(&s).unwrap();
+        let sku = ps.find_by_full_name(&s, "item.sku").unwrap();
+        assert!(ps.is_leaf(sku));
+        assert_eq!(s.node(ps.node_of(sku)).datatype, Some(DataType::Id));
+    }
+
+    #[test]
+    fn named_simple_type_resolves_to_base() {
+        let s = import_xsd(
+            r#"<schema>
+                 <simpleType name="zipType"><restriction base="xsd:decimal"/></simpleType>
+                 <element name="root">
+                   <complexType><sequence>
+                     <element name="zip" type="zipType"/>
+                   </sequence></complexType>
+                 </element>
+               </schema>"#,
+            "S",
+        )
+        .unwrap();
+        let ps = PathSet::new(&s).unwrap();
+        let zip = ps.find_by_full_name(&s, "root.zip").unwrap();
+        assert_eq!(s.node(ps.node_of(zip)).datatype, Some(DataType::Decimal));
+    }
+
+    #[test]
+    fn recursive_type_is_rejected() {
+        let err = import_xsd(
+            r#"<schema>
+                 <element name="root" type="T"/>
+                 <complexType name="T">
+                   <sequence><element name="child" type="T"/></sequence>
+                 </complexType>
+               </schema>"#,
+            "S",
+        )
+        .unwrap_err();
+        assert!(matches!(err, XmlError::Xsd { .. }), "{err}");
+    }
+
+    #[test]
+    fn empty_schema_is_rejected() {
+        assert!(import_xsd("<schema/>", "S").is_err());
+    }
+
+    #[test]
+    fn multiple_global_elements_get_synthetic_root() {
+        let s = import_xsd(
+            r#"<schema>
+                 <element name="header" type="xsd:string"/>
+                 <element name="body" type="xsd:string"/>
+               </schema>"#,
+            "Msg",
+        )
+        .unwrap();
+        assert_eq!(s.node(s.root()).name, "Msg");
+        assert_eq!(s.children(s.root()).len(), 2);
+    }
+
+    #[test]
+    fn annotations_are_imported() {
+        let s = import_xsd(
+            r#"<schema>
+                 <element name="root">
+                   <annotation><documentation>the order</documentation></annotation>
+                   <complexType><sequence>
+                     <element name="x" type="xsd:string"/>
+                   </sequence></complexType>
+                 </element>
+               </schema>"#,
+            "S",
+        )
+        .unwrap();
+        assert_eq!(s.node(s.root()).annotation.as_deref(), Some("the order"));
+    }
+}

@@ -1,0 +1,28 @@
+//! # coma-xml — XML Schema import substrate for COMA
+//!
+//! COMA imports schemas "from external sources, e.g. relational databases
+//! or XML files, into the internal format on which all match algorithms
+//! operate" (paper, Section 3). This crate provides that import path for
+//! XML Schema documents, built from scratch:
+//!
+//! * [`parser`] — a small well-formed-XML parser (elements, attributes,
+//!   text, comments, CDATA, entities),
+//! * [`xsd`] — an object model for the XSD subset schema matching needs
+//!   (global elements, named/anonymous complex types, compositors,
+//!   attributes, `ref=`, simple types, annotations),
+//! * [`import_xsd`] — conversion into a [`coma_graph::Schema`] following
+//!   the semantics of Figure 1: named complex types become **shared
+//!   fragments** (one node, many paths).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod error;
+pub mod parser;
+pub mod xsd;
+mod import;
+
+pub use error::{Result, XmlError};
+pub use import::{import_parsed, import_xsd};
+pub use parser::{parse_document, Element, XmlNode};
+pub use xsd::{parse_xsd, AttributeDecl, ComplexType, ElementDecl, SimpleType, XsdSchema};

@@ -1,0 +1,405 @@
+//! A small, dependency-free XML parser producing a DOM-like element tree.
+//!
+//! Supports the XML subset needed for XML Schema documents: elements,
+//! attributes (single or double quoted), character data, comments, CDATA,
+//! processing instructions, the XML declaration, and the five predefined
+//! entities plus decimal/hex character references. DTDs are not supported.
+
+use crate::error::{Result, XmlError};
+
+/// An XML element: name, attributes in source order, and children.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Element {
+    /// Tag name as written, including any namespace prefix.
+    pub name: String,
+    /// Attributes in source order.
+    pub attributes: Vec<(String, String)>,
+    /// Child nodes in source order.
+    pub children: Vec<XmlNode>,
+}
+
+/// A node in the parsed document tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlNode {
+    /// A nested element.
+    Element(Element),
+    /// Character data (entity references already resolved).
+    Text(String),
+}
+
+impl Element {
+    /// The local part of the tag name (prefix stripped).
+    pub fn local_name(&self) -> &str {
+        local(&self.name)
+    }
+
+    /// Attribute value by (qualified or local) name.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(k, _)| k == name || local(k) == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Child elements (text nodes skipped).
+    pub fn child_elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(|c| match c {
+            XmlNode::Element(e) => Some(e),
+            XmlNode::Text(_) => None,
+        })
+    }
+
+    /// Child elements with the given local name.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> {
+        self.child_elements().filter(move |e| e.local_name() == name)
+    }
+
+    /// First child element with the given local name.
+    pub fn first_child_named(&self, name: &str) -> Option<&Element> {
+        self.child_elements().find(|e| e.local_name() == name)
+    }
+
+    /// Concatenated text content of this element (direct text children).
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for c in &self.children {
+            if let XmlNode::Text(t) = c {
+                out.push_str(t);
+            }
+        }
+        out
+    }
+}
+
+/// The local part of a possibly prefixed XML name.
+pub fn local(name: &str) -> &str {
+    name.rsplit(':').next().unwrap_or(name)
+}
+
+/// Parses an XML document and returns its root element.
+pub fn parse_document(input: &str) -> Result<Element> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_prolog()?;
+    let root = p.parse_element()?;
+    p.skip_misc()?;
+    if p.pos < p.bytes.len() {
+        return Err(XmlError::structure(
+            "content after the document root element",
+        ));
+    }
+    Ok(root)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Skips the XML declaration, comments, PIs and whitespace before root.
+    fn skip_prolog(&mut self) -> Result<()> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?") {
+                self.skip_until("?>")?;
+            } else if self.starts_with("<!--") {
+                self.skip_until("-->")?;
+            } else if self.starts_with("<!DOCTYPE") {
+                return Err(XmlError::syntax(self.pos, "DOCTYPE is not supported"));
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Skips trailing comments/PIs/whitespace after the root element.
+    fn skip_misc(&mut self) -> Result<()> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?") {
+                self.skip_until("?>")?;
+            } else if self.starts_with("<!--") {
+                self.skip_until("-->")?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn skip_until(&mut self, end: &str) -> Result<()> {
+        let start = self.pos;
+        while self.pos < self.bytes.len() {
+            if self.starts_with(end) {
+                self.pos += end.len();
+                return Ok(());
+            }
+            self.pos += 1;
+        }
+        Err(XmlError::syntax(start, format!("unterminated construct, expected `{end}`")))
+    }
+
+    fn parse_name(&mut self) -> Result<String> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            let ch = c as char;
+            if ch.is_alphanumeric() || matches!(ch, ':' | '_' | '-' | '.') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(XmlError::syntax(start, "expected a name"));
+        }
+        Ok(std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("name bytes are ASCII-checked")
+            .to_string())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(XmlError::syntax(
+                self.pos,
+                format!("expected `{}`", b as char),
+            ))
+        }
+    }
+
+    fn parse_attribute(&mut self) -> Result<(String, String)> {
+        let name = self.parse_name()?;
+        self.skip_ws();
+        self.expect(b'=')?;
+        self.skip_ws();
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => {
+                return Err(XmlError::syntax(
+                    self.pos,
+                    "expected a quoted attribute value",
+                ))
+            }
+        };
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == quote {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.peek() != Some(quote) {
+            return Err(XmlError::syntax(start, "unterminated attribute value"));
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| XmlError::syntax(start, "attribute value is not valid UTF-8"))?;
+        let value = resolve_entities(raw, start)?;
+        self.pos += 1;
+        Ok((name, value))
+    }
+
+    fn parse_element(&mut self) -> Result<Element> {
+        self.expect(b'<')?;
+        let name = self.parse_name()?;
+        let mut attributes = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.pos += 1;
+                    self.expect(b'>')?;
+                    return Ok(Element {
+                        name,
+                        attributes,
+                        children: Vec::new(),
+                    });
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => attributes.push(self.parse_attribute()?),
+                None => return Err(XmlError::syntax(self.pos, "unterminated start tag")),
+            }
+        }
+
+        let mut children = Vec::new();
+        loop {
+            if self.starts_with("</") {
+                self.pos += 2;
+                let end_name = self.parse_name()?;
+                if end_name != name {
+                    return Err(XmlError::structure(format!(
+                        "mismatched tags: <{name}> closed by </{end_name}>"
+                    )));
+                }
+                self.skip_ws();
+                self.expect(b'>')?;
+                return Ok(Element {
+                    name,
+                    attributes,
+                    children,
+                });
+            } else if self.starts_with("<!--") {
+                self.skip_until("-->")?;
+            } else if self.starts_with("<![CDATA[") {
+                let start = self.pos + 9;
+                self.skip_until("]]>")?;
+                let text = std::str::from_utf8(&self.bytes[start..self.pos - 3])
+                    .map_err(|_| XmlError::syntax(start, "CDATA is not valid UTF-8"))?;
+                children.push(XmlNode::Text(text.to_string()));
+            } else if self.starts_with("<?") {
+                self.skip_until("?>")?;
+            } else if self.peek() == Some(b'<') {
+                children.push(XmlNode::Element(self.parse_element()?));
+            } else if self.peek().is_some() {
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c == b'<' {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| XmlError::syntax(start, "text is not valid UTF-8"))?;
+                let text = resolve_entities(raw, start)?;
+                if !text.trim().is_empty() {
+                    children.push(XmlNode::Text(text));
+                }
+            } else {
+                return Err(XmlError::structure(format!("unclosed element <{name}>")));
+            }
+        }
+    }
+}
+
+/// Resolves the predefined entities and numeric character references.
+fn resolve_entities(raw: &str, offset: usize) -> Result<String> {
+    if !raw.contains('&') {
+        return Ok(raw.to_string());
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut rest = raw;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        rest = &rest[amp..];
+        let semi = rest
+            .find(';')
+            .ok_or_else(|| XmlError::syntax(offset, "unterminated entity reference"))?;
+        let entity = &rest[1..semi];
+        match entity {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if entity.starts_with("#x") || entity.starts_with("#X") => {
+                let cp = u32::from_str_radix(&entity[2..], 16)
+                    .map_err(|_| XmlError::syntax(offset, "bad hex character reference"))?;
+                out.push(char::from_u32(cp).ok_or_else(|| {
+                    XmlError::syntax(offset, "character reference out of range")
+                })?);
+            }
+            _ if entity.starts_with('#') => {
+                let cp = entity[1..]
+                    .parse::<u32>()
+                    .map_err(|_| XmlError::syntax(offset, "bad character reference"))?;
+                out.push(char::from_u32(cp).ok_or_else(|| {
+                    XmlError::syntax(offset, "character reference out of range")
+                })?);
+            }
+            other => {
+                return Err(XmlError::syntax(
+                    offset,
+                    format!("unknown entity `&{other};`"),
+                ))
+            }
+        }
+        rest = &rest[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_document() {
+        let doc = parse_document(r#"<?xml version="1.0"?><a x="1"><b/>text<c y='2'/></a>"#)
+            .unwrap();
+        assert_eq!(doc.name, "a");
+        assert_eq!(doc.attr("x"), Some("1"));
+        assert_eq!(doc.child_elements().count(), 2);
+        assert_eq!(doc.text(), "text");
+    }
+
+    #[test]
+    fn resolves_entities() {
+        let doc = parse_document(r#"<a t="&lt;&amp;&gt;">&#65;&#x42;</a>"#).unwrap();
+        assert_eq!(doc.attr("t"), Some("<&>"));
+        assert_eq!(doc.text(), "AB");
+    }
+
+    #[test]
+    fn rejects_mismatched_tags() {
+        let err = parse_document("<a><b></a></b>").unwrap_err();
+        assert!(matches!(err, XmlError::Structure { .. }));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let err = parse_document("<a/><b/>").unwrap_err();
+        assert!(matches!(err, XmlError::Structure { .. }));
+    }
+
+    #[test]
+    fn rejects_unknown_entity() {
+        let err = parse_document("<a>&nope;</a>").unwrap_err();
+        assert!(matches!(err, XmlError::Syntax { .. }));
+    }
+
+    #[test]
+    fn skips_comments_cdata_and_pis() {
+        let doc = parse_document(
+            "<!-- head --><a><!-- c --><?pi data?><![CDATA[x < y]]></a><!-- tail -->",
+        )
+        .unwrap();
+        assert_eq!(doc.text(), "x < y");
+    }
+
+    #[test]
+    fn local_names_strip_prefixes() {
+        let doc = parse_document(r#"<xsd:schema xmlns:xsd="urn:x"><xsd:element name="e"/></xsd:schema>"#).unwrap();
+        assert_eq!(doc.local_name(), "schema");
+        let child = doc.child_elements().next().unwrap();
+        assert_eq!(child.local_name(), "element");
+        assert_eq!(child.attr("name"), Some("e"));
+    }
+
+    #[test]
+    fn whitespace_only_text_is_dropped() {
+        let doc = parse_document("<a>\n  <b/>\n</a>").unwrap();
+        assert_eq!(doc.children.len(), 1);
+    }
+}

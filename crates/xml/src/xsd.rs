@@ -1,0 +1,276 @@
+//! Object model for the XML Schema subset COMA imports: global elements,
+//! named and anonymous complex types, sequences/choices, attributes, element
+//! references, simple types with restriction bases, and annotations.
+
+use crate::error::{Result, XmlError};
+use crate::parser::Element;
+
+/// A parsed XML Schema document.
+#[derive(Debug, Clone, Default)]
+pub struct XsdSchema {
+    /// Global (top-level) element declarations.
+    pub elements: Vec<ElementDecl>,
+    /// Named complex types.
+    pub complex_types: Vec<ComplexType>,
+    /// Named simple types, mapped to the local name of their base type.
+    pub simple_types: Vec<SimpleType>,
+}
+
+/// An element declaration (global or local).
+#[derive(Debug, Clone, Default)]
+pub struct ElementDecl {
+    /// Element name; `None` for pure references.
+    pub name: Option<String>,
+    /// `ref="…"` target (a global element), mutually exclusive with `name`.
+    pub reference: Option<String>,
+    /// `type="…"` — an XSD built-in (`xsd:string`) or a named type.
+    pub type_ref: Option<String>,
+    /// Anonymous `<complexType>` nested in the element.
+    pub inline_type: Option<ComplexType>,
+    /// `<annotation><documentation>` text, if any.
+    pub annotation: Option<String>,
+}
+
+/// A complex type: its (flattened) element content and its attributes.
+///
+/// Compositor structure (`sequence` vs `choice` vs `all`) does not affect
+/// COMA's containment graph, so content is flattened in source order.
+#[derive(Debug, Clone, Default)]
+pub struct ComplexType {
+    /// Type name; `None` for anonymous types.
+    pub name: Option<String>,
+    /// Child element declarations in source order.
+    pub elements: Vec<ElementDecl>,
+    /// Attribute declarations in source order.
+    pub attributes: Vec<AttributeDecl>,
+    /// `<annotation><documentation>` text, if any.
+    pub annotation: Option<String>,
+}
+
+/// An attribute declaration.
+#[derive(Debug, Clone, Default)]
+pub struct AttributeDecl {
+    /// Attribute name.
+    pub name: String,
+    /// `type="…"` — an XSD built-in or named simple type.
+    pub type_ref: Option<String>,
+    /// `<annotation><documentation>` text, if any.
+    pub annotation: Option<String>,
+}
+
+/// A named simple type (restriction of a base type).
+#[derive(Debug, Clone)]
+pub struct SimpleType {
+    /// Type name.
+    pub name: String,
+    /// Local name of the restriction base (e.g. `string`).
+    pub base: Option<String>,
+}
+
+/// Parses an already-parsed `<schema>` document element into the model.
+pub fn parse_xsd(root: &Element) -> Result<XsdSchema> {
+    if root.local_name() != "schema" {
+        return Err(XmlError::xsd(format!(
+            "expected a <schema> document element, found <{}>",
+            root.name
+        )));
+    }
+    let mut schema = XsdSchema::default();
+    for child in root.child_elements() {
+        match child.local_name() {
+            "element" => schema.elements.push(parse_element_decl(child)?),
+            "complexType" => {
+                let ct = parse_complex_type(child)?;
+                if ct.name.is_none() {
+                    return Err(XmlError::xsd("top-level complexType must be named"));
+                }
+                schema.complex_types.push(ct);
+            }
+            "simpleType" => {
+                if let Some(st) = parse_simple_type(child) {
+                    schema.simple_types.push(st);
+                }
+            }
+            // annotation, import, include, attributeGroup, … are ignored.
+            _ => {}
+        }
+    }
+    Ok(schema)
+}
+
+fn parse_element_decl(el: &Element) -> Result<ElementDecl> {
+    let mut decl = ElementDecl {
+        name: el.attr("name").map(str::to_string),
+        reference: el.attr("ref").map(str::to_string),
+        type_ref: el.attr("type").map(str::to_string),
+        ..ElementDecl::default()
+    };
+    if decl.name.is_none() && decl.reference.is_none() {
+        return Err(XmlError::xsd("element needs a name or a ref"));
+    }
+    for child in el.child_elements() {
+        match child.local_name() {
+            "complexType" => decl.inline_type = Some(parse_complex_type(child)?),
+            "simpleType"
+                // Anonymous simple type: adopt its restriction base as the
+                // effective type.
+                if decl.type_ref.is_none() => {
+                    decl.type_ref = restriction_base(child);
+                }
+            "annotation" => decl.annotation = documentation(child),
+            _ => {}
+        }
+    }
+    Ok(decl)
+}
+
+fn parse_complex_type(el: &Element) -> Result<ComplexType> {
+    let mut ct = ComplexType {
+        name: el.attr("name").map(str::to_string),
+        ..ComplexType::default()
+    };
+    collect_content(el, &mut ct)?;
+    Ok(ct)
+}
+
+/// Recursively collects element/attribute declarations from compositors.
+fn collect_content(el: &Element, ct: &mut ComplexType) -> Result<()> {
+    for child in el.child_elements() {
+        match child.local_name() {
+            "sequence" | "choice" | "all" | "group" => collect_content(child, ct)?,
+            "element" => ct.elements.push(parse_element_decl(child)?),
+            "attribute" => {
+                let name = child
+                    .attr("name")
+                    .ok_or_else(|| XmlError::xsd("attribute needs a name"))?;
+                ct.attributes.push(AttributeDecl {
+                    name: name.to_string(),
+                    type_ref: child.attr("type").map(str::to_string),
+                    annotation: child
+                        .first_child_named("annotation")
+                        .and_then(documentation),
+                });
+            }
+            "annotation" => ct.annotation = documentation(child),
+            "complexContent" | "simpleContent" => {
+                // extension/restriction: inherit by flattening the body.
+                for inner in child.child_elements() {
+                    if matches!(inner.local_name(), "extension" | "restriction") {
+                        collect_content(inner, ct)?;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+fn parse_simple_type(el: &Element) -> Option<SimpleType> {
+    Some(SimpleType {
+        name: el.attr("name")?.to_string(),
+        base: restriction_base(el),
+    })
+}
+
+fn restriction_base(el: &Element) -> Option<String> {
+    el.first_child_named("restriction")
+        .and_then(|r| r.attr("base"))
+        .map(str::to_string)
+}
+
+fn documentation(annotation: &Element) -> Option<String> {
+    let text = annotation
+        .children_named("documentation")
+        .map(|d| d.text())
+        .collect::<Vec<_>>()
+        .join(" ");
+    let text = text.trim().to_string();
+    (!text.is_empty()).then_some(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_document;
+
+    /// The PO2 schema from Figure 1 of the paper, verbatim (modulo quoting).
+    pub const PO2_XSD: &str = r#"
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="PO2">
+    <xsd:sequence>
+      <xsd:element name="DeliverTo" type="Address"/>
+      <xsd:element name="BillTo" type="Address"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:complexType name="Address">
+    <xsd:sequence>
+      <xsd:element name="Street" type="xsd:string"/>
+      <xsd:element name="City" type="xsd:string"/>
+      <xsd:element name="Zip" type="xsd:decimal"/>
+    </xsd:sequence>
+  </xsd:complexType>
+</xsd:schema>"#;
+
+    #[test]
+    fn parses_paper_po2() {
+        let doc = parse_document(PO2_XSD).unwrap();
+        let xsd = parse_xsd(&doc).unwrap();
+        assert_eq!(xsd.elements.len(), 0);
+        assert_eq!(xsd.complex_types.len(), 2);
+        let po2 = &xsd.complex_types[0];
+        assert_eq!(po2.name.as_deref(), Some("PO2"));
+        assert_eq!(po2.elements.len(), 2);
+        assert_eq!(po2.elements[0].name.as_deref(), Some("DeliverTo"));
+        assert_eq!(po2.elements[0].type_ref.as_deref(), Some("Address"));
+    }
+
+    #[test]
+    fn parses_annotations_and_attributes() {
+        let doc = parse_document(
+            r#"<schema>
+                 <element name="order">
+                   <annotation><documentation>a purchase order</documentation></annotation>
+                   <complexType>
+                     <sequence><element name="id" type="string"/></sequence>
+                     <attribute name="version" type="string"/>
+                   </complexType>
+                 </element>
+               </schema>"#,
+        )
+        .unwrap();
+        let xsd = parse_xsd(&doc).unwrap();
+        let order = &xsd.elements[0];
+        assert_eq!(order.annotation.as_deref(), Some("a purchase order"));
+        let ct = order.inline_type.as_ref().unwrap();
+        assert_eq!(ct.elements.len(), 1);
+        assert_eq!(ct.attributes.len(), 1);
+        assert_eq!(ct.attributes[0].name, "version");
+    }
+
+    #[test]
+    fn parses_simple_types() {
+        let doc = parse_document(
+            r#"<schema>
+                 <simpleType name="zipType"><restriction base="xsd:string"/></simpleType>
+                 <element name="zip" type="zipType"/>
+               </schema>"#,
+        )
+        .unwrap();
+        let xsd = parse_xsd(&doc).unwrap();
+        assert_eq!(xsd.simple_types.len(), 1);
+        assert_eq!(xsd.simple_types[0].base.as_deref(), Some("xsd:string"));
+    }
+
+    #[test]
+    fn rejects_non_schema_root() {
+        let doc = parse_document("<notaschema/>").unwrap();
+        assert!(parse_xsd(&doc).is_err());
+    }
+
+    #[test]
+    fn rejects_anonymous_toplevel_type() {
+        let doc = parse_document("<schema><complexType/></schema>").unwrap();
+        assert!(parse_xsd(&doc).is_err());
+    }
+}

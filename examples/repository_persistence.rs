@@ -1,0 +1,95 @@
+//! Domain scenario: the DBMS-backed repository workflow (paper, Sections 1
+//! and 5). A first session matches schemas, stores schemas + similarity
+//! cubes + mappings, and persists everything to disk; a later session
+//! reloads the repository and benefits from reuse on a brand-new task.
+//!
+//! Run with: `cargo run --release --example repository_persistence`
+
+use coma::core::{Coma, MatchStrategy};
+use coma::eval::{Corpus, MatchQuality};
+use coma::repo::Repository;
+use std::collections::BTreeSet;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let corpus = Corpus::load();
+    let path = std::env::temp_dir().join("coma_repository.json");
+
+    // --- Session 1: match CIDX↔Excel and Excel↔Noris, store, persist ----
+    {
+        let mut coma = Coma::new();
+        *coma.aux_mut() = corpus.aux().clone();
+        // The human-confirmed results for two tasks (here: the gold).
+        coma.repository_mut().put_mapping(corpus.gold_mapping(0, 1));
+        coma.repository_mut().put_mapping(corpus.gold_mapping(1, 2));
+        // An automatic run, stored with its cube for later inspection.
+        coma.match_and_store(
+            corpus.schema(0),
+            corpus.schema(1),
+            &MatchStrategy::paper_default(),
+        )?;
+        coma.repository().save(&path)?;
+        println!(
+            "session 1: persisted {} mappings, {} cubes, {} schemas to {}",
+            coma.repository().mappings().len(),
+            coma.repository().cube_count(),
+            coma.repository().schema_count(),
+            path.display()
+        );
+    }
+
+    // --- Session 2: reload and reuse for the unseen task CIDX↔Noris -----
+    {
+        let mut coma = Coma::new();
+        *coma.aux_mut() = corpus.aux().clone();
+        *coma.repository_mut() = Repository::load(&path)?;
+        println!(
+            "session 2: loaded {} mappings from disk",
+            coma.repository().mappings().len()
+        );
+
+        let gold = corpus.gold_names(0, 2);
+        let evaluate = |label: &str, result: &coma::core::MatchResult| {
+            let proposed: BTreeSet<(String, String)> = result
+                .candidates
+                .iter()
+                .map(|c| {
+                    (
+                        corpus.path_set(0).full_name(corpus.schema(0), c.source),
+                        corpus.path_set(2).full_name(corpus.schema(2), c.target),
+                    )
+                })
+                .collect();
+            let q = MatchQuality::compare(&gold, &proposed);
+            println!(
+                "  {label:<22} precision {:.2}  recall {:.2}  overall {:+.2}",
+                q.precision(),
+                q.recall(),
+                q.overall()
+            );
+            q.overall()
+        };
+
+        // Pure reuse: compose CIDX↔Excel with Excel↔Noris (pivot: Excel).
+        let reuse = coma.match_schemas(
+            corpus.schema(0),
+            corpus.schema(2),
+            &MatchStrategy::with_matchers(["SchemaM"]),
+        )?;
+        let reuse_overall = evaluate("SchemaM (pure reuse):", &reuse.result);
+
+        // No-reuse baseline.
+        let fresh = coma.match_schemas(
+            corpus.schema(0),
+            corpus.schema(2),
+            &MatchStrategy::paper_default(),
+        )?;
+        let fresh_overall = evaluate("All (no reuse):", &fresh.result);
+
+        println!(
+            "\nreuse vs fresh Overall: {reuse_overall:+.2} vs {fresh_overall:+.2} — \
+             composed mappings transfer confirmed knowledge to the new task."
+        );
+    }
+    std::fs::remove_file(&path).ok();
+    Ok(())
+}

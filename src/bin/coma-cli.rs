@@ -1,0 +1,173 @@
+//! `coma-cli` — match two schema files from the command line.
+//!
+//! ```text
+//! coma-cli <source-file> <target-file> [--matchers Name,NamePath,…]
+//!          [--threshold T] [--synonyms FILE] [--dot] [--json]
+//! ```
+//!
+//! File formats are detected by extension: `.sql`/`.ddl` are parsed as SQL
+//! DDL, everything else as XML Schema. A synonyms file holds lines
+//! `word = word` (synonym) or `word < word` (hypernym). `--dot` prints the
+//! two graphs in Graphviz format instead of matching; `--json` emits the
+//! mapping in the repository's relational JSON representation.
+
+use coma::core::{Coma, MatchContext, MatchStrategy};
+use coma::graph::{PathSet, Schema};
+use coma::repo::MappingKind;
+use std::path::Path;
+use std::process::ExitCode;
+
+struct Options {
+    source: String,
+    target: String,
+    matchers: Vec<String>,
+    threshold: Option<f64>,
+    synonyms: Option<String>,
+    dot: bool,
+    json: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: coma-cli <source-file> <target-file> \
+         [--matchers M1,M2,…] [--threshold T] [--synonyms FILE] [--dot] [--json]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Options, ExitCode> {
+    let mut args = std::env::args().skip(1);
+    let mut positional = Vec::new();
+    let mut opts = Options {
+        source: String::new(),
+        target: String::new(),
+        matchers: coma::core::ALL_HYBRIDS.iter().map(|m| m.to_string()).collect(),
+        threshold: None,
+        synonyms: None,
+        dot: false,
+        json: false,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--matchers" => {
+                let v = args.next().ok_or_else(usage)?;
+                opts.matchers = v.split(',').map(|s| s.trim().to_string()).collect();
+            }
+            "--threshold" => {
+                let v = args.next().ok_or_else(usage)?;
+                opts.threshold = Some(v.parse().map_err(|_| usage())?);
+            }
+            "--synonyms" => opts.synonyms = Some(args.next().ok_or_else(usage)?),
+            "--dot" => opts.dot = true,
+            "--json" => opts.json = true,
+            "--help" | "-h" => return Err(usage()),
+            other => positional.push(other.to_string()),
+        }
+    }
+    if positional.len() != 2 {
+        return Err(usage());
+    }
+    opts.source = positional.remove(0);
+    opts.target = positional.remove(0);
+    Ok(opts)
+}
+
+fn import(path: &str) -> Result<Schema, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let stem = Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("schema")
+        .to_string();
+    let ext = Path::new(path)
+        .extension()
+        .and_then(|s| s.to_str())
+        .unwrap_or("")
+        .to_ascii_lowercase();
+    match ext.as_str() {
+        "sql" | "ddl" => coma::sql::import_ddl(&text, &stem).map_err(|e| format!("{path}: {e}")),
+        _ => coma::xml::import_xsd(&text, &stem).map_err(|e| format!("{path}: {e}")),
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+    let (source, target) = match (import(&opts.source), import(&opts.target)) {
+        (Ok(s), Ok(t)) => (s, t),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if opts.dot {
+        print!("{}", coma::graph::dot::to_dot(&source));
+        print!("{}", coma::graph::dot::to_dot(&target));
+        return ExitCode::SUCCESS;
+    }
+
+    let mut coma = Coma::new();
+    coma.aux_mut().synonyms = coma::core::matchers::synonym::SynonymTable::purchase_order();
+    if let Some(file) = &opts.synonyms {
+        let Ok(text) = std::fs::read_to_string(file) else {
+            eprintln!("error: cannot read synonyms file {file}");
+            return ExitCode::FAILURE;
+        };
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some((a, b)) = line.split_once('<') {
+                coma.aux_mut().synonyms.add_hypernym(a.trim(), b.trim());
+            } else if let Some((a, b)) = line.split_once('=') {
+                coma.aux_mut().synonyms.add_synonym(a.trim(), b.trim());
+            }
+        }
+    }
+
+    let mut strategy = MatchStrategy::with_matchers(opts.matchers.clone());
+    if let Some(t) = opts.threshold {
+        strategy.combination.selection.threshold = Some(t);
+    }
+    let outcome = match coma.match_schemas(&source, &target, &strategy) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let sp = PathSet::new(&source).expect("validated on import");
+    let tp = PathSet::new(&target).expect("validated on import");
+    if opts.json {
+        let ctx = MatchContext::new(&source, &target, &sp, &tp, coma.aux());
+        let mapping = outcome.result.to_mapping(&ctx, MappingKind::Automatic);
+        match serde_json::to_string_pretty(&mapping) {
+            Ok(json) => println!("{json}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        eprintln!(
+            "# {} correspondences (schema similarity {:.2}, matchers: {})",
+            outcome.result.len(),
+            outcome.result.schema_similarity.unwrap_or(0.0),
+            opts.matchers.join(",")
+        );
+        for c in &outcome.result.candidates {
+            println!(
+                "{:.3}\t{}\t{}",
+                c.similarity,
+                sp.full_name(&source, c.source),
+                tp.full_name(&target, c.target)
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,28 @@
+//! # COMA — flexible combination of schema matching approaches
+//!
+//! A from-scratch Rust implementation of the COMA schema matching system
+//! (Hong-Hai Do, Erhard Rahm: *COMA — A system for flexible combination of
+//! schema matching approaches*, VLDB 2002).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`graph`] — schemas as rooted DAGs with containment/reference links,
+//! * [`strings`] — approximate string matching (affix, n-gram, edit
+//!   distance, soundex) and name tokenization,
+//! * [`xml`] / [`sql`] — schema importers for XML Schema and SQL DDL,
+//! * [`repo`] — the repository storing schemas, similarity cubes and match
+//!   results for reuse,
+//! * [`core`] — the matcher library, combination framework and match
+//!   processing (the paper's contribution),
+//! * [`eval`] — quality metrics, the purchase-order evaluation corpus and
+//!   the experiment harness reproducing the paper's study.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use coma_core as core;
+pub use coma_eval as eval;
+pub use coma_graph as graph;
+pub use coma_repo as repo;
+pub use coma_sql as sql;
+pub use coma_strings as strings;
+pub use coma_xml as xml;

@@ -1,0 +1,168 @@
+//! Cross-crate integration tests: the full COMA pipeline from schema
+//! import through match processing to quality evaluation.
+
+use coma::core::{Coma, MatchContext, MatchStrategy};
+use coma::eval::{Corpus, MatchQuality, TASKS};
+use coma::graph::PathSet;
+use coma::repo::MappingKind;
+use std::collections::BTreeSet;
+
+fn paper_schemas() -> (coma::graph::Schema, coma::graph::Schema) {
+    let po1 = coma::sql::import_ddl(
+        "CREATE TABLE PO1.ShipTo (
+             poNo INT, custNo INT REFERENCES PO1.Customer,
+             shipToStreet VARCHAR(200), shipToCity VARCHAR(200), shipToZip VARCHAR(20),
+             PRIMARY KEY (poNo));
+         CREATE TABLE PO1.Customer (
+             custNo INT, custName VARCHAR(200), custStreet VARCHAR(200),
+             custCity VARCHAR(200), custZip VARCHAR(20), PRIMARY KEY (custNo));",
+        "PO1",
+    )
+    .expect("PO1 imports");
+    let po2 = coma::xml::import_xsd(
+        r#"<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+             <xsd:complexType name="PO2"><xsd:sequence>
+               <xsd:element name="DeliverTo" type="Address"/>
+               <xsd:element name="BillTo" type="Address"/>
+             </xsd:sequence></xsd:complexType>
+             <xsd:complexType name="Address"><xsd:sequence>
+               <xsd:element name="Street" type="xsd:string"/>
+               <xsd:element name="City" type="xsd:string"/>
+               <xsd:element name="Zip" type="xsd:decimal"/>
+             </xsd:sequence></xsd:complexType>
+           </xsd:schema>"#,
+        "PO2",
+    )
+    .expect("PO2 imports");
+    (po1, po2)
+}
+
+fn po_coma() -> Coma {
+    let mut coma = Coma::new();
+    coma.aux_mut().synonyms = coma::core::matchers::synonym::SynonymTable::purchase_order();
+    coma
+}
+
+#[test]
+fn figure_1_pipeline_produces_the_section_3_candidate() {
+    let (po1, po2) = paper_schemas();
+    let coma = po_coma();
+    let outcome = coma
+        .match_schemas(&po1, &po2, &MatchStrategy::with_matchers(["TypeName", "NamePath"]))
+        .expect("match runs");
+    let p1 = PathSet::new(&po1).expect("paths");
+    let p2 = PathSet::new(&po2).expect("paths");
+    let ship_city = p1.find_by_full_name(&po1, "PO1.ShipTo.shipToCity").expect("path");
+    let city = p2.find_by_full_name(&po2, "PO2.DeliverTo.Address.City").expect("path");
+    assert!(outcome.result.contains(ship_city, city));
+}
+
+#[test]
+fn match_results_are_deterministic() {
+    let (po1, po2) = paper_schemas();
+    let coma = po_coma();
+    let strategy = MatchStrategy::paper_default();
+    let a = coma.match_schemas(&po1, &po2, &strategy).expect("run a");
+    let b = coma.match_schemas(&po1, &po2, &strategy).expect("run b");
+    assert_eq!(a.result, b.result);
+    assert_eq!(a.cube, b.cube);
+}
+
+#[test]
+fn stored_results_power_reuse_on_a_new_task() {
+    let corpus = Corpus::load();
+    let mut coma = Coma::new();
+    *coma.aux_mut() = corpus.aux().clone();
+    // Confirmed mappings for 1↔2 and 2↔3 enable composing 1↔3 via 2.
+    coma.repository_mut().put_mapping(corpus.gold_mapping(0, 1));
+    coma.repository_mut().put_mapping(corpus.gold_mapping(1, 2));
+    let outcome = coma
+        .match_schemas(
+            corpus.schema(0),
+            corpus.schema(2),
+            &MatchStrategy::with_matchers(["SchemaM"]),
+        )
+        .expect("reuse match runs");
+    assert!(!outcome.result.is_empty());
+    // Every proposed pair must come from the composition, i.e. have both
+    // sides in the pivot mappings' vocabulary.
+    let gold = corpus.gold_names(0, 2);
+    let proposed: BTreeSet<(String, String)> = outcome
+        .result
+        .candidates
+        .iter()
+        .map(|c| {
+            (
+                corpus.path_set(0).full_name(corpus.schema(0), c.source),
+                corpus.path_set(2).full_name(corpus.schema(2), c.target),
+            )
+        })
+        .collect();
+    let q = MatchQuality::compare(&gold, &proposed);
+    assert!(q.precision() > 0.8, "reuse precision {:.2}", q.precision());
+    assert!(q.recall() > 0.5, "reuse recall {:.2}", q.recall());
+}
+
+#[test]
+fn repository_roundtrip_preserves_match_state() {
+    let (po1, po2) = paper_schemas();
+    let mut coma = po_coma();
+    coma.match_and_store(&po1, &po2, &MatchStrategy::paper_default())
+        .expect("match and store");
+    let json = coma.repository().to_json().expect("serializes");
+    let reloaded = coma::repo::Repository::from_json(&json).expect("deserializes");
+    assert_eq!(reloaded.schema_count(), 2);
+    assert_eq!(reloaded.mappings().len(), 1);
+    assert_eq!(reloaded.cubes_for("PO1", "PO2").len(), 1);
+    assert_eq!(reloaded.mappings()[0].kind, MappingKind::Automatic);
+    // The stored schema is structurally identical to the imported one.
+    assert_eq!(reloaded.schema("PO1").expect("stored"), &po1);
+}
+
+#[test]
+fn corpus_tasks_run_under_default_strategy_with_positive_overall() {
+    let corpus = Corpus::load();
+    let mut coma = Coma::new();
+    *coma.aux_mut() = corpus.aux().clone();
+    let strategy = MatchStrategy::paper_default();
+    let mut overall_sum = 0.0;
+    for (i, j) in TASKS {
+        let outcome = coma
+            .match_schemas(corpus.schema(i), corpus.schema(j), &strategy)
+            .expect("task runs");
+        let ctx = MatchContext::new(
+            corpus.schema(i),
+            corpus.schema(j),
+            corpus.path_set(i),
+            corpus.path_set(j),
+            coma.aux(),
+        );
+        let proposed: BTreeSet<(String, String)> = outcome
+            .result
+            .candidates
+            .iter()
+            .map(|c| {
+                (
+                    ctx.source_paths.full_name(ctx.source, c.source),
+                    ctx.target_paths.full_name(ctx.target, c.target),
+                )
+            })
+            .collect();
+        let q = MatchQuality::compare(&corpus.gold_names(i, j), &proposed);
+        overall_sum += q.overall();
+    }
+    let avg = overall_sum / TASKS.len() as f64;
+    assert!(avg > 0.2, "default operation too weak: avg overall {avg:.2}");
+}
+
+#[test]
+fn schema_similarity_step_3_runs_on_full_results() {
+    let (po1, po2) = paper_schemas();
+    let coma = po_coma();
+    let outcome = coma
+        .match_schemas(&po1, &po2, &MatchStrategy::paper_default())
+        .expect("match runs");
+    let sim = outcome.result.schema_similarity.expect("computed");
+    assert!((0.0..=1.0).contains(&sim));
+    assert!(sim > 0.2, "PO1/PO2 are clearly related: {sim}");
+}

@@ -1,0 +1,122 @@
+//! Property-based integration tests over the combination framework: for
+//! random similarity cubes, the COMA combination steps must satisfy the
+//! semantic guarantees the paper relies on.
+
+use coma::core::{
+    Aggregation, CombinedSim, DirectedCandidates, Direction, Selection, SimCube, SimMatrix,
+};
+use proptest::prelude::*;
+
+fn arb_cube() -> impl Strategy<Value = SimCube> {
+    (1usize..4, 1usize..8, 1usize..8).prop_flat_map(|(k, m, n)| {
+        proptest::collection::vec(0.0f64..=1.0, k * m * n).prop_map(move |vals| {
+            let mut cube = SimCube::new();
+            for s in 0..k {
+                let mut mat = SimMatrix::new(m, n);
+                for i in 0..m {
+                    for j in 0..n {
+                        mat.set(i, j, vals[(s * m + i) * n + j]);
+                    }
+                }
+                cube.push(format!("m{s}"), mat);
+            }
+            cube
+        })
+    })
+}
+
+proptest! {
+    /// Min ≤ Weighted/Average ≤ Max, cell-wise.
+    #[test]
+    fn aggregation_ordering(cube in arb_cube()) {
+        let min = Aggregation::Min.aggregate(&cube);
+        let avg = Aggregation::Average.aggregate(&cube);
+        let max = Aggregation::Max.aggregate(&cube);
+        for i in 0..cube.rows() {
+            for j in 0..cube.cols() {
+                prop_assert!(min.get(i, j) <= avg.get(i, j) + 1e-12);
+                prop_assert!(avg.get(i, j) <= max.get(i, j) + 1e-12);
+            }
+        }
+    }
+
+    /// `Both` is the intersection of the two directional selections.
+    #[test]
+    fn both_is_subset_of_each_direction(cube in arb_cube()) {
+        let matrix = Aggregation::Average.aggregate(&cube);
+        let sel = Selection::max_n(2);
+        let both: Vec<_> =
+            DirectedCandidates::select(&matrix, Direction::Both, &sel).pairs();
+        let ls: Vec<_> =
+            DirectedCandidates::select(&matrix, Direction::LargeSmall, &sel).pairs();
+        let sl: Vec<_> =
+            DirectedCandidates::select(&matrix, Direction::SmallLarge, &sel).pairs();
+        for pair in &both {
+            prop_assert!(ls.contains(pair) || sl.contains(pair));
+        }
+        // Every Both pair is mutually selected, so it appears in the union
+        // of the directional results and its similarity is positive.
+        for &(_, _, sim) in &both {
+            prop_assert!(sim > 0.0);
+        }
+    }
+
+    /// Raising the threshold never adds candidates.
+    #[test]
+    fn threshold_is_monotone(cube in arb_cube(), t1 in 0.0f64..1.0, t2 in 0.0f64..1.0) {
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let matrix = Aggregation::Average.aggregate(&cube);
+        let loose = DirectedCandidates::select(&matrix, Direction::Both, &Selection::threshold(lo)).pairs();
+        let strict = DirectedCandidates::select(&matrix, Direction::Both, &Selection::threshold(hi)).pairs();
+        prop_assert!(strict.len() <= loose.len());
+        for pair in &strict {
+            prop_assert!(loose.contains(pair));
+        }
+    }
+
+    /// MaxN(n) respects its per-element budget in both directions.
+    #[test]
+    fn maxn_budget_holds(cube in arb_cube(), n in 1usize..4) {
+        let matrix = Aggregation::Average.aggregate(&cube);
+        let pairs = DirectedCandidates::select(&matrix, Direction::Both, &Selection::max_n(n)).pairs();
+        for i in 0..matrix.rows() {
+            prop_assert!(pairs.iter().filter(|p| p.0 == i).count() <= n);
+        }
+        for j in 0..matrix.cols() {
+            prop_assert!(pairs.iter().filter(|p| p.1 == j).count() <= n);
+        }
+    }
+
+    /// Combined similarity stays in [0, 1] and Dice dominates Average.
+    #[test]
+    fn combined_similarity_bounds(cube in arb_cube()) {
+        let matrix = Aggregation::Average.aggregate(&cube);
+        let candidates =
+            DirectedCandidates::select(&matrix, Direction::Both, &Selection::max_n(1));
+        let avg = CombinedSim::Average.compute(&candidates, matrix.rows(), matrix.cols());
+        let dice = CombinedSim::Dice.compute(&candidates, matrix.rows(), matrix.cols());
+        prop_assert!((0.0..=1.0).contains(&avg));
+        prop_assert!((0.0..=1.0).contains(&dice));
+        prop_assert!(dice >= avg - 1e-12, "Dice {dice} < Average {avg}");
+    }
+
+    /// Stable marriage yields an injective matching within the threshold.
+    #[test]
+    fn stable_marriage_is_injective(cube in arb_cube()) {
+        let matrix = Aggregation::Average.aggregate(&cube);
+        let pairs = coma::core::stable_marriage(&matrix, 0.3);
+        let mut sources: Vec<_> = pairs.iter().map(|p| p.0).collect();
+        let mut targets: Vec<_> = pairs.iter().map(|p| p.1).collect();
+        sources.sort_unstable();
+        targets.sort_unstable();
+        let s_len = sources.len();
+        let t_len = targets.len();
+        sources.dedup();
+        targets.dedup();
+        prop_assert_eq!(sources.len(), s_len);
+        prop_assert_eq!(targets.len(), t_len);
+        for &(_, _, sim) in &pairs {
+            prop_assert!(sim > 0.3);
+        }
+    }
+}

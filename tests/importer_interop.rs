@@ -1,0 +1,93 @@
+//! Integration tests of the import substrates against the graph layer:
+//! both importers must produce graphs with consistent path semantics, and
+//! the matchers must treat them uniformly.
+
+use coma::graph::{DataType, PathSet, SchemaStats};
+
+#[test]
+fn relational_and_xml_imports_are_structurally_uniform() {
+    let sql = coma::sql::import_ddl(
+        "CREATE TABLE S.Orders (id INT PRIMARY KEY, placed DATE);
+         CREATE TABLE S.Lines (no INT, ord INT REFERENCES S.Orders, qty DECIMAL(8,2));",
+        "SQL",
+    )
+    .expect("ddl imports");
+    let xml = coma::xml::import_xsd(
+        r#"<schema>
+             <element name="XML"><complexType><sequence>
+               <element name="Orders"><complexType><sequence>
+                 <element name="id" type="xsd:int"/>
+                 <element name="placed" type="xsd:date"/>
+               </sequence></complexType></element>
+               <element name="Lines"><complexType><sequence>
+                 <element name="no" type="xsd:int"/>
+                 <element name="ord" type="xsd:IDREF"/>
+                 <element name="qty" type="xsd:decimal"/>
+               </sequence></complexType></element>
+             </sequence></complexType></element>
+           </schema>"#,
+        "XML",
+    )
+    .expect("xsd imports");
+
+    let sp = PathSet::new(&sql).expect("sql paths");
+    let xp = PathSet::new(&xml).expect("xml paths");
+    // Same shape: root + 2 tables/elements + 5 columns/leaves.
+    assert_eq!(SchemaStats::compute(&sql, &sp).nodes, 8);
+    assert_eq!(SchemaStats::compute(&xml, &xp).nodes, 8);
+    assert_eq!(sp.max_depth(), 3);
+    assert_eq!(xp.max_depth(), 3);
+
+    // Generic datatypes line up across source languages.
+    let sql_qty = sp.find_by_full_name(&sql, "SQL.Lines.qty").expect("path");
+    let xml_qty = xp.find_by_full_name(&xml, "XML.Lines.qty").expect("path");
+    assert_eq!(
+        sql.node(sp.node_of(sql_qty)).datatype,
+        Some(DataType::Decimal)
+    );
+    assert_eq!(
+        xml.node(xp.node_of(xml_qty)).datatype,
+        Some(DataType::Decimal)
+    );
+}
+
+#[test]
+fn cross_language_matching_works_out_of_the_box() {
+    let sql = coma::sql::import_ddl(
+        "CREATE TABLE S.Customer (custNo INT, custName VARCHAR(80));",
+        "SQL",
+    )
+    .expect("ddl imports");
+    let xml = coma::xml::import_xsd(
+        r#"<schema><element name="XML"><complexType><sequence>
+             <element name="Buyer"><complexType><sequence>
+               <element name="buyerNumber" type="xsd:int"/>
+               <element name="buyerName" type="xsd:string"/>
+             </sequence></complexType></element>
+           </sequence></complexType></element></schema>"#,
+        "XML",
+    )
+    .expect("xsd imports");
+    let mut coma = coma::core::Coma::new();
+    coma.aux_mut().synonyms.add_synonym("customer", "buyer");
+    let outcome = coma
+        .match_schemas(&sql, &xml, &coma::core::MatchStrategy::paper_default())
+        .expect("match runs");
+    let sp = PathSet::new(&sql).expect("paths");
+    let xp = PathSet::new(&xml).expect("paths");
+    let cust_name = sp.find_by_full_name(&sql, "SQL.Customer.custName").expect("path");
+    let buyer_name = xp.find_by_full_name(&xml, "XML.Buyer.buyerName").expect("path");
+    assert!(outcome.result.contains(cust_name, buyer_name));
+}
+
+#[test]
+fn corpus_xsd_sources_reimport_identically() {
+    // The corpus is import-stable: parsing the same source twice yields
+    // identical graphs (determinism of the whole import substrate).
+    for i in 0..5 {
+        let src = coma::eval::corpus::xsd_source(i);
+        let a = coma::xml::import_xsd(src, "X").expect("imports");
+        let b = coma::xml::import_xsd(src, "X").expect("imports");
+        assert_eq!(a, b);
+    }
+}

@@ -33,7 +33,10 @@ fn bench_matchers_on_hardest_task(c: &mut Criterion) {
 fn bench_series_evaluation(c: &mut Criterion) {
     let harness = Harness::new();
     let spec = SeriesSpec {
-        matchers: coma_eval::experiment::HYBRIDS.iter().map(|m| m.to_string()).collect(),
+        matchers: coma_eval::experiment::HYBRIDS
+            .iter()
+            .map(|m| m.to_string())
+            .collect(),
         aggregation: coma_core::Aggregation::Average,
         direction: coma_core::Direction::Both,
         selection: coma_core::Selection::delta(0.02).with_threshold(0.5),
@@ -48,5 +51,9 @@ fn bench_series_evaluation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_matchers_on_hardest_task, bench_series_evaluation);
+criterion_group!(
+    benches,
+    bench_matchers_on_hardest_task,
+    bench_series_evaluation
+);
 criterion_main!(benches);

@@ -24,7 +24,10 @@ fn bench_string_matchers(c: &mut Criterion) {
     group.bench_function("edit_distance", |b| {
         b.iter(|| {
             for (x, y) in PAIRS {
-                black_box(coma_strings::edit_distance_similarity(black_box(x), black_box(y)));
+                black_box(coma_strings::edit_distance_similarity(
+                    black_box(x),
+                    black_box(y),
+                ));
             }
         })
     });

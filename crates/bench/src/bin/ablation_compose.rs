@@ -71,7 +71,12 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Compose combination", "avg Precision", "avg Recall", "avg Overall"],
+            &[
+                "Compose combination",
+                "avg Precision",
+                "avg Recall",
+                "avg Overall"
+            ],
             &rows
         )
     );

@@ -21,7 +21,10 @@ fn main() {
 
     // Paper-style selections via the sweep machinery.
     for (label, selection) in [
-        ("Thr(0.5)+Delta(0.02)", Selection::delta(0.02).with_threshold(0.5)),
+        (
+            "Thr(0.5)+Delta(0.02)",
+            Selection::delta(0.02).with_threshold(0.5),
+        ),
         ("Delta(0.02)", Selection::delta(0.02)),
         ("MaxN(1)", Selection::max_n(1)),
         ("Thr(0.5)+MaxN(1)", Selection::max_n(1).with_threshold(0.5)),
@@ -74,7 +77,10 @@ fn main() {
 
     println!(
         "{}",
-        render_table(&["Selection", "avg Precision", "avg Recall", "avg Overall"], &rows)
+        render_table(
+            &["Selection", "avg Precision", "avg Recall", "avg Overall"],
+            &rows
+        )
     );
     println!("Stable marriage forces a global 1:1 matching: typically higher recall");
     println!("than Max1+threshold at some precision cost.");

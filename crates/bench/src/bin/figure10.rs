@@ -44,7 +44,10 @@ fn main() {
         .cloned()
         .collect();
     let agg = grouped_histogram(&combos, |r| r.spec.aggregation.to_string());
-    print_share_table("Figure 10a — share of series per aggregation strategy", &agg);
+    print_share_table(
+        "Figure 10a — share of series per aggregation strategy",
+        &agg,
+    );
 
     // (b) Direction — all no-reuse series (2736 per strategy).
     let dir = grouped_histogram(&results, |r| r.spec.direction.to_string());

@@ -43,7 +43,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Matcher", "avg Precision", "avg Recall", "avg Overall", "best strategy"],
+            &[
+                "Matcher",
+                "avg Precision",
+                "avg Recall",
+                "avg Overall",
+                "best strategy"
+            ],
             &table
         )
     );
@@ -52,12 +58,20 @@ fn main() {
     let paper_rows: Vec<Vec<String>> = PAPER
         .iter()
         .map(|(m, p, r, o)| {
-            vec![m.to_string(), format!("{p:.2}"), format!("{r:.2}"), format!("{o:.2}")]
+            vec![
+                m.to_string(),
+                format!("{p:.2}"),
+                format!("{r:.2}"),
+                format!("{o:.2}"),
+            ]
         })
         .collect();
     println!(
         "{}",
-        render_table(&["Matcher", "avg Precision", "avg Recall", "avg Overall"], &paper_rows)
+        render_table(
+            &["Matcher", "avg Precision", "avg Recall", "avg Overall"],
+            &paper_rows
+        )
     );
     println!("Expected shape: reuse (SchemaM > SchemaA) dominates; NamePath is the");
     println!("best no-reuse single; Name/TypeName/Children/Leaves suffer from");

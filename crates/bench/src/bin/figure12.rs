@@ -49,7 +49,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Combination", "avg Precision", "avg Recall", "avg Overall", "best strategy"],
+            &[
+                "Combination",
+                "avg Precision",
+                "avg Recall",
+                "avg Overall",
+                "best strategy"
+            ],
             &table
         )
     );
@@ -58,7 +64,12 @@ fn main() {
     let paper_rows: Vec<Vec<String>> = PAPER
         .iter()
         .map(|(m, p, r, o)| {
-            vec![m.to_string(), format!("{p:.2}"), format!("{r:.2}"), format!("{o:.2}")]
+            vec![
+                m.to_string(),
+                format!("{p:.2}"),
+                format!("{r:.2}"),
+                format!("{o:.2}"),
+            ]
         })
         .collect();
     println!(

@@ -23,11 +23,20 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Task", "#Matches", "#Matched paths", "#All paths", "Schema similarity"],
+            &[
+                "Task",
+                "#Matches",
+                "#Matched paths",
+                "#All paths",
+                "Schema similarity"
+            ],
             &rows
         )
     );
-    let avg: f64 =
-        TASKS.iter().map(|&(i, j)| corpus.schema_similarity(i, j)).sum::<f64>() / TASKS.len() as f64;
+    let avg: f64 = TASKS
+        .iter()
+        .map(|&(i, j)| corpus.schema_similarity(i, j))
+        .sum::<f64>()
+        / TASKS.len() as f64;
     println!("Average schema similarity: {avg:.2} (paper: mostly around 0.5)");
 }

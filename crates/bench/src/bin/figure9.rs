@@ -25,11 +25,21 @@ fn main() {
     let negative = bins[0];
     let best = results
         .iter()
-        .max_by(|a, b| a.average.overall.partial_cmp(&b.average.overall).expect("no NaN"))
+        .max_by(|a, b| {
+            a.average
+                .overall
+                .partial_cmp(&b.average.overall)
+                .expect("no NaN")
+        })
         .expect("nonempty");
     let worst = results
         .iter()
-        .min_by(|a, b| a.average.overall.partial_cmp(&b.average.overall).expect("no NaN"))
+        .min_by(|a, b| {
+            a.average
+                .overall
+                .partial_cmp(&b.average.overall)
+                .expect("no NaN")
+        })
         .expect("nonempty");
     println!("\nseries with negative average Overall: {negative}");
     println!(

@@ -72,7 +72,10 @@ fn main() {
     println!("(PO2 element: PO2.DeliverTo.Address.City)\n");
     let mut rows = Vec::new();
     for (path, paper_tn, paper_np) in PAPER {
-        let i = p1.find_by_full_name(&po1, path).expect("PO1 path exists").index();
+        let i = p1
+            .find_by_full_name(&po1, path)
+            .expect("PO1 path exists")
+            .index();
         rows.push(vec![
             path.to_string(),
             format!("{:.2}", tn.get(i, city.index())),
@@ -111,7 +114,11 @@ fn main() {
 
     // The selection conclusion of Section 3: shipToCity is the candidate.
     let outcome = coma
-        .match_schemas(&po1, &po2, &MatchStrategy::with_matchers(["TypeName", "NamePath"]))
+        .match_schemas(
+            &po1,
+            &po2,
+            &MatchStrategy::with_matchers(["TypeName", "NamePath"]),
+        )
         .expect("match runs");
     let chosen: Vec<String> = outcome
         .result

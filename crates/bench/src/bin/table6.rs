@@ -23,8 +23,14 @@ fn main() {
     for set in reuse_matcher_sets() {
         println!("  - {}", set.join("+"));
     }
-    println!("\nAggregation ({}): Max, Average, Min", aggregations().len());
-    println!("Direction   ({}): LargeSmall, SmallLarge, Both", directions().len());
+    println!(
+        "\nAggregation ({}): Max, Average, Min",
+        aggregations().len()
+    );
+    println!(
+        "Direction   ({}): LargeSmall, SmallLarge, Both",
+        directions().len()
+    );
     let sels = selections();
     println!("Selection   ({}):", sels.len());
     for s in &sels {

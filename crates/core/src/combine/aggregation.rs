@@ -172,6 +172,9 @@ mod tests {
     #[test]
     fn display_labels() {
         assert_eq!(Aggregation::Max.to_string(), "Max");
-        assert_eq!(Aggregation::Weighted(vec![0.7, 0.3]).to_string(), "Weighted(0.7,0.3)");
+        assert_eq!(
+            Aggregation::Weighted(vec![0.7, 0.3]).to_string(),
+            "Weighted(0.7,0.3)"
+        );
     }
 }

@@ -85,12 +85,8 @@ mod tests {
             }
         }
         let pairs = stable_marriage(&m, 0.0);
-        let partner_sim_of_source = |i: usize| {
-            pairs.iter().find(|p| p.0 == i).map_or(0.0, |p| p.2)
-        };
-        let partner_sim_of_target = |j: usize| {
-            pairs.iter().find(|p| p.1 == j).map_or(0.0, |p| p.2)
-        };
+        let partner_sim_of_source = |i: usize| pairs.iter().find(|p| p.0 == i).map_or(0.0, |p| p.2);
+        let partner_sim_of_target = |j: usize| pairs.iter().find(|p| p.1 == j).map_or(0.0, |p| p.2);
         for i in 0..3 {
             for j in 0..4 {
                 let v = m.get(i, j);

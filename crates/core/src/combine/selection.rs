@@ -140,7 +140,11 @@ pub struct DirectedCandidates {
 
 impl DirectedCandidates {
     /// Runs direction + selection on an aggregated similarity matrix.
-    pub fn select(matrix: &SimMatrix, direction: Direction, selection: &Selection) -> DirectedCandidates {
+    pub fn select(
+        matrix: &SimMatrix,
+        direction: Direction,
+        selection: &Selection,
+    ) -> DirectedCandidates {
         let m = matrix.rows();
         let n = matrix.cols();
         // The paper's convention: S2 (target) is the smaller schema when
@@ -265,11 +269,8 @@ mod tests {
 
     #[test]
     fn delta_keeps_near_best_candidates() {
-        let dc = DirectedCandidates::select(
-            &table2(),
-            Direction::LargeSmall,
-            &Selection::delta(0.1),
-        );
+        let dc =
+            DirectedCandidates::select(&table2(), Direction::LargeSmall, &Selection::delta(0.1));
         // cutoff = 0.72·0.9 = 0.648 → keeps 0.72 and 0.67.
         assert_eq!(dc.pairs().len(), 2);
     }
@@ -327,7 +328,10 @@ mod tests {
     #[test]
     fn selection_labels() {
         assert_eq!(Selection::max_n(1).to_string(), "MaxN(1)");
-        assert_eq!(Selection::delta(0.02).with_threshold(0.5).to_string(), "Thr(0.5)+Delta(0.02)");
+        assert_eq!(
+            Selection::delta(0.02).with_threshold(0.5).to_string(),
+            "Thr(0.5)+Delta(0.02)"
+        );
         assert_eq!(Selection::threshold(0.8).to_string(), "Thr(0.8)");
     }
 }

@@ -209,7 +209,10 @@ mod tests {
     fn cube_push_and_lookup() {
         let mut cube = SimCube::new();
         cube.push("Name", matrix(2, 2, |_, _| 0.5));
-        cube.push("TypeName", matrix(2, 2, |i, j| if i == j { 1.0 } else { 0.0 }));
+        cube.push(
+            "TypeName",
+            matrix(2, 2, |i, j| if i == j { 1.0 } else { 0.0 }),
+        );
         assert_eq!(cube.len(), 2);
         assert_eq!(cube.rows(), 2);
         assert_eq!(cube.slice_named("TypeName").unwrap().get(0, 0), 1.0);

@@ -47,8 +47,8 @@ mod cube;
 mod error;
 pub mod matchers;
 pub mod process;
-pub mod reuse;
 mod result;
+pub mod reuse;
 
 pub use combine::{
     stable_marriage, Aggregation, CombinationStrategy, CombinedSim, DirectedCandidates, Direction,

@@ -125,11 +125,13 @@ impl<'a> MatchContext<'a> {
 
     /// Dotted full name of source row `i`.
     pub fn source_full_name(&self, i: usize) -> String {
-        self.source_paths.full_name(self.source, self.source_elem(i))
+        self.source_paths
+            .full_name(self.source, self.source_elem(i))
     }
 
     /// Dotted full name of target column `j`.
     pub fn target_full_name(&self, j: usize) -> String {
-        self.target_paths.full_name(self.target, self.target_elem(j))
+        self.target_paths
+            .full_name(self.target, self.target_elem(j))
     }
 }

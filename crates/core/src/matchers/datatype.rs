@@ -125,7 +125,10 @@ mod tests {
     #[test]
     fn lookup_is_symmetric() {
         let t = TypeCompatTable::standard();
-        assert_eq!(t.similarity(Integer, Decimal), t.similarity(Decimal, Integer));
+        assert_eq!(
+            t.similarity(Integer, Decimal),
+            t.similarity(Decimal, Integer)
+        );
         assert_eq!(t.similarity(Integer, Decimal), 0.8);
     }
 

@@ -41,7 +41,11 @@ impl Matcher for NameMatcher {
             let a = ctx.source_name(i);
             for j in 0..ctx.cols() {
                 let b = ctx.target_name(j);
-                out.set(i, j, self.engine.similarity_cached(a, b, ctx.aux, &mut cache));
+                out.set(
+                    i,
+                    j,
+                    self.engine.similarity_cached(a, b, ctx.aux, &mut cache),
+                );
             }
         }
         out
@@ -80,13 +84,17 @@ impl Matcher for NamePathMatcher {
         // Pre-compute the token set of every path's long name once.
         let src_tokens: Vec<Vec<String>> = (0..ctx.rows())
             .map(|i| {
-                let long = ctx.source_paths.join_names(ctx.source, ctx.source_elem(i), " ");
+                let long = ctx
+                    .source_paths
+                    .join_names(ctx.source, ctx.source_elem(i), " ");
                 self.engine.token_set(&long, ctx.aux)
             })
             .collect();
         let tgt_tokens: Vec<Vec<String>> = (0..ctx.cols())
             .map(|j| {
-                let long = ctx.target_paths.join_names(ctx.target, ctx.target_elem(j), " ");
+                let long = ctx
+                    .target_paths
+                    .join_names(ctx.target, ctx.target_elem(j), " ");
                 self.engine.token_set(&long, ctx.aux)
             })
             .collect();
@@ -253,16 +261,28 @@ mod tests {
         let tn_ship_city = sim_of(&tn, &s1, &s2, &aux, "PO1.ShipTo.shipToCity", city);
         let tn_cust_city = sim_of(&tn, &s1, &s2, &aux, "PO1.Customer.custCity", city);
         let tn_ship_street = sim_of(&tn, &s1, &s2, &aux, "PO1.ShipTo.shipToStreet", city);
-        assert!(tn_cust_city > tn_ship_street, "{tn_cust_city} vs {tn_ship_street}");
-        assert!(tn_ship_city > tn_ship_street, "{tn_ship_city} vs {tn_ship_street}");
+        assert!(
+            tn_cust_city > tn_ship_street,
+            "{tn_cust_city} vs {tn_ship_street}"
+        );
+        assert!(
+            tn_ship_city > tn_ship_street,
+            "{tn_ship_city} vs {tn_ship_street}"
+        );
 
         // NamePath: shipToCity > shipToStreet > custCity (Table 1): the
         // path context (ShipTo ≈ DeliverTo via synonym) outweighs.
         let np_ship_city = sim_of(&np, &s1, &s2, &aux, "PO1.ShipTo.shipToCity", city);
         let np_ship_street = sim_of(&np, &s1, &s2, &aux, "PO1.ShipTo.shipToStreet", city);
         let np_cust_city = sim_of(&np, &s1, &s2, &aux, "PO1.Customer.custCity", city);
-        assert!(np_ship_city > np_ship_street, "{np_ship_city} vs {np_ship_street}");
-        assert!(np_ship_city > np_cust_city, "{np_ship_city} vs {np_cust_city}");
+        assert!(
+            np_ship_city > np_ship_street,
+            "{np_ship_city} vs {np_ship_street}"
+        );
+        assert!(
+            np_ship_city > np_cust_city,
+            "{np_ship_city} vs {np_cust_city}"
+        );
     }
 
     #[test]
@@ -271,8 +291,22 @@ mod tests {
         // to BillTo.Address.Street.
         let (s1, s2, aux) = (po1(), po2(), aux());
         let np = NamePathMatcher::new();
-        let deliver = sim_of(&np, &s1, &s2, &aux, "PO1.ShipTo.shipToStreet", "PO2.DeliverTo.Address.Street");
-        let bill = sim_of(&np, &s1, &s2, &aux, "PO1.ShipTo.shipToStreet", "PO2.BillTo.Address.Street");
+        let deliver = sim_of(
+            &np,
+            &s1,
+            &s2,
+            &aux,
+            "PO1.ShipTo.shipToStreet",
+            "PO2.DeliverTo.Address.Street",
+        );
+        let bill = sim_of(
+            &np,
+            &s1,
+            &s2,
+            &aux,
+            "PO1.ShipTo.shipToStreet",
+            "PO2.BillTo.Address.Street",
+        );
         assert!(deliver > bill, "{deliver} vs {bill}");
     }
 
@@ -282,8 +316,22 @@ mod tests {
         // indistinguishable — the instability Section 7.3 reports.
         let (s1, s2, aux) = (po1(), po2(), aux());
         let nm = NameMatcher::new();
-        let a = sim_of(&nm, &s1, &s2, &aux, "PO1.ShipTo.shipToCity", "PO2.DeliverTo.Address.City");
-        let b = sim_of(&nm, &s1, &s2, &aux, "PO1.ShipTo.shipToCity", "PO2.BillTo.Address.City");
+        let a = sim_of(
+            &nm,
+            &s1,
+            &s2,
+            &aux,
+            "PO1.ShipTo.shipToCity",
+            "PO2.DeliverTo.Address.City",
+        );
+        let b = sim_of(
+            &nm,
+            &s1,
+            &s2,
+            &aux,
+            "PO1.ShipTo.shipToCity",
+            "PO2.BillTo.Address.City",
+        );
         assert_eq!(a, b);
         assert!(a > 0.4);
     }

@@ -99,8 +99,8 @@ impl ValueProfile {
 
     /// Similarity of two profiles in `[0, 1]`.
     fn similarity(&self, other: &ValueProfile) -> f64 {
-        let len_sim = 1.0
-            - (self.avg_len - other.avg_len).abs() / self.avg_len.max(other.avg_len).max(1.0);
+        let len_sim =
+            1.0 - (self.avg_len - other.avg_len).abs() / self.avg_len.max(other.avg_len).max(1.0);
         let num_sim = 1.0 - (self.numeric_ratio - other.numeric_ratio).abs();
         let alpha_sim = 1.0 - (self.alpha_ratio - other.alpha_ratio).abs();
         let digit_sim = 1.0 - (self.digit_char_ratio - other.digit_char_ratio).abs();
@@ -281,7 +281,10 @@ mod tests {
 
     #[test]
     fn profile_similarity_is_bounded_and_reflexive() {
-        let values: Vec<String> = ["abc", "defg", "12x"].iter().map(|s| s.to_string()).collect();
+        let values: Vec<String> = ["abc", "defg", "12x"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let p = ValueProfile::of(&values);
         assert!((p.similarity(&p) - 1.0).abs() < 1e-12);
         let other = ValueProfile::of(&["1".to_string()]);

@@ -98,9 +98,15 @@ impl Matcher for DataTypeMatcher {
     fn compute(&self, ctx: &MatchContext<'_>) -> SimMatrix {
         let mut out = SimMatrix::new(ctx.rows(), ctx.cols());
         for i in 0..ctx.rows() {
-            let a = ctx.source.node(ctx.source_paths.node_of(ctx.source_elem(i))).datatype;
+            let a = ctx
+                .source
+                .node(ctx.source_paths.node_of(ctx.source_elem(i)))
+                .datatype;
             for j in 0..ctx.cols() {
-                let b = ctx.target.node(ctx.target_paths.node_of(ctx.target_elem(j))).datatype;
+                let b = ctx
+                    .target
+                    .node(ctx.target_paths.node_of(ctx.target_elem(j)))
+                    .datatype;
                 out.set(i, j, ctx.aux.type_compat.similarity_opt(a, b));
             }
         }
@@ -143,7 +149,12 @@ mod tests {
         b.build().unwrap()
     }
 
-    fn with_ctx<R>(s1: &Schema, s2: &Schema, aux: &Auxiliary, f: impl FnOnce(MatchContext<'_>) -> R) -> R {
+    fn with_ctx<R>(
+        s1: &Schema,
+        s2: &Schema,
+        aux: &Auxiliary,
+        f: impl FnOnce(MatchContext<'_>) -> R,
+    ) -> R {
         let p1 = PathSet::new(s1).unwrap();
         let p2 = PathSet::new(s2).unwrap();
         f(MatchContext::new(s1, s2, &p1, &p2, aux))

@@ -208,7 +208,11 @@ impl Matcher for LeavesMatcher {
 /// All paths of one side ordered by increasing subtree height (leaves
 /// first, root last).
 fn paths_by_height(ctx: &MatchContext<'_>, source: bool) -> Vec<PathId> {
-    let ps = if source { ctx.source_paths } else { ctx.target_paths };
+    let ps = if source {
+        ctx.source_paths
+    } else {
+        ctx.target_paths
+    };
     let mut height = vec![0usize; ps.len()];
     // DFS preorder guarantees children appear after parents, so a reverse
     // sweep computes heights in one pass.
@@ -271,14 +275,27 @@ mod tests {
         a
     }
 
-    fn run(matcher: &dyn Matcher, s1: &Schema, s2: &Schema, aux: &Auxiliary) -> (SimMatrix, PathSet, PathSet) {
+    fn run(
+        matcher: &dyn Matcher,
+        s1: &Schema,
+        s2: &Schema,
+        aux: &Auxiliary,
+    ) -> (SimMatrix, PathSet, PathSet) {
         let p1 = PathSet::new(s1).unwrap();
         let p2 = PathSet::new(s2).unwrap();
         let ctx = MatchContext::new(s1, s2, &p1, &p2, aux);
         (matcher.compute(&ctx), p1, p2)
     }
 
-    fn cell(s1: &Schema, s2: &Schema, m: &SimMatrix, p1: &PathSet, p2: &PathSet, a: &str, b: &str) -> f64 {
+    fn cell(
+        s1: &Schema,
+        s2: &Schema,
+        m: &SimMatrix,
+        p1: &PathSet,
+        p2: &PathSet,
+        a: &str,
+        b: &str,
+    ) -> f64 {
         let i = p1.find_by_full_name(s1, a).unwrap().index();
         let j = p2.find_by_full_name(s2, b).unwrap().index();
         m.get(i, j)
@@ -292,7 +309,15 @@ mod tests {
         let (s1, s2, aux) = (po1(), po2(), aux());
 
         let (ch, p1, p2) = run(&ChildrenMatcher::new(), &s1, &s2, &aux);
-        let ch_address = cell(&s1, &s2, &ch, &p1, &p2, "PO1.ShipTo", "PO2.DeliverTo.Address");
+        let ch_address = cell(
+            &s1,
+            &s2,
+            &ch,
+            &p1,
+            &p2,
+            "PO1.ShipTo",
+            "PO2.DeliverTo.Address",
+        );
         let ch_deliver = cell(&s1, &s2, &ch, &p1, &p2, "PO1.ShipTo", "PO2.DeliverTo");
         assert!(
             ch_address > ch_deliver,
@@ -301,7 +326,15 @@ mod tests {
 
         let (lv, p1, p2) = run(&LeavesMatcher::new(), &s1, &s2, &aux);
         let lv_deliver = cell(&s1, &s2, &lv, &p1, &p2, "PO1.ShipTo", "PO2.DeliverTo");
-        let lv_address = cell(&s1, &s2, &lv, &p1, &p2, "PO1.ShipTo", "PO2.DeliverTo.Address");
+        let lv_address = cell(
+            &s1,
+            &s2,
+            &lv,
+            &p1,
+            &p2,
+            "PO1.ShipTo",
+            "PO2.DeliverTo.Address",
+        );
         // Leaves sees identical leaf sets for DeliverTo and its Address.
         assert!(
             (lv_deliver - lv_address).abs() < 1e-12,
@@ -334,17 +367,36 @@ mod tests {
         let (s1, s2, aux) = (po1(), po2(), aux());
         let (ch, p1, p2) = run(&ChildrenMatcher::new(), &s1, &s2, &aux);
         // ShipTo's children (street, city, zip) match Address's children.
-        let sim = cell(&s1, &s2, &ch, &p1, &p2, "PO1.ShipTo", "PO2.DeliverTo.Address");
+        let sim = cell(
+            &s1,
+            &s2,
+            &ch,
+            &p1,
+            &p2,
+            "PO1.ShipTo",
+            "PO2.DeliverTo.Address",
+        );
         assert!(sim > 0.5, "{sim}");
         // Customer's children (custNo, custName) match Address poorly.
-        let bad = cell(&s1, &s2, &ch, &p1, &p2, "PO1.Customer", "PO2.DeliverTo.Address");
+        let bad = cell(
+            &s1,
+            &s2,
+            &ch,
+            &p1,
+            &p2,
+            "PO1.Customer",
+            "PO2.DeliverTo.Address",
+        );
         assert!(bad < sim, "{bad} vs {sim}");
     }
 
     #[test]
     fn roots_get_a_defined_similarity() {
         let (s1, s2, aux) = (po1(), po2(), aux());
-        for matcher in [&ChildrenMatcher::new() as &dyn Matcher, &LeavesMatcher::new()] {
+        for matcher in [
+            &ChildrenMatcher::new() as &dyn Matcher,
+            &LeavesMatcher::new(),
+        ] {
             let (m, _, _) = run(matcher, &s1, &s2, &aux);
             let root_sim = m.get(0, 0);
             assert!((0.0..=1.0).contains(&root_sim));

@@ -192,8 +192,7 @@ impl Default for Coma {
 
 /// Converts an in-memory cube into the repository's storage form.
 pub fn stored_cube(cube: &SimCube, ctx: &MatchContext<'_>) -> StoredCube {
-    let mut values =
-        Vec::with_capacity(cube.len() * cube.rows() * cube.cols());
+    let mut values = Vec::with_capacity(cube.len() * cube.rows() * cube.cols());
     for k in 0..cube.len() {
         values.extend_from_slice(cube.slice(k).values());
     }
@@ -394,7 +393,9 @@ mod tests {
             .unwrap();
         let p1 = PathSet::new(&s1).unwrap();
         let p2 = PathSet::new(&s2).unwrap();
-        let city = p2.find_by_full_name(&s2, "PO2.DeliverTo.Address.City").unwrap();
+        let city = p2
+            .find_by_full_name(&s2, "PO2.DeliverTo.Address.City")
+            .unwrap();
         let ship_city = p1.find_by_full_name(&s1, "PO1.ShipTo.shipToCity").unwrap();
         assert!(
             outcome.result.contains(ship_city, city),
@@ -444,8 +445,7 @@ mod tests {
     fn feedback_pins_survive_combination() {
         let c = coma();
         let (s1, s2) = (po1(), po2());
-        let mut session =
-            MatchSession::new(&c, &s1, &s2, MatchStrategy::paper_default()).unwrap();
+        let mut session = MatchSession::new(&c, &s1, &s2, MatchStrategy::paper_default()).unwrap();
         session.run_iteration().unwrap();
 
         // Force an absurd match and a mismatch of the good one.
@@ -456,9 +456,13 @@ mod tests {
         let p1 = PathSet::new(&s1).unwrap();
         let p2 = PathSet::new(&s2).unwrap();
         let po_no = p1.find_by_full_name(&s1, "PO1.ShipTo.poNo").unwrap();
-        let street = p2.find_by_full_name(&s2, "PO2.DeliverTo.Address.Street").unwrap();
+        let street = p2
+            .find_by_full_name(&s2, "PO2.DeliverTo.Address.Street")
+            .unwrap();
         let ship_city = p1.find_by_full_name(&s1, "PO1.ShipTo.shipToCity").unwrap();
-        let city = p2.find_by_full_name(&s2, "PO2.DeliverTo.Address.City").unwrap();
+        let city = p2
+            .find_by_full_name(&s2, "PO2.DeliverTo.Address.City")
+            .unwrap();
         assert_eq!(result.similarity_of(po_no, street), Some(1.0));
         assert!(!result.contains(ship_city, city));
         assert_eq!(session.iteration_count(), 2);
@@ -468,14 +472,13 @@ mod tests {
     fn single_matcher_strategy_works() {
         let c = coma();
         let (s1, s2) = (po1(), po2());
-        let strategy = MatchStrategy::with_matchers(["NamePath"]).with_combination(
-            CombinationStrategy {
+        let strategy =
+            MatchStrategy::with_matchers(["NamePath"]).with_combination(CombinationStrategy {
                 aggregation: Aggregation::Average,
                 direction: Direction::Both,
                 selection: Selection::max_n(1).with_threshold(0.5),
                 combined_sim: crate::combine::CombinedSim::Average,
-            },
-        );
+            });
         let outcome = c.match_schemas(&s1, &s2, &strategy).unwrap();
         assert!(!outcome.result.is_empty());
         // All proposed similarities exceed the 0.5 threshold.

@@ -138,8 +138,7 @@ impl Matcher for SchemaMatcher {
         let mut cube = SimCube::new();
         for (k, (first, second)) in pairs.iter().enumerate() {
             let composed = match_compose(first, second, self.compose);
-            let slice =
-                Self::mapping_to_matrix(&composed, &src_index, &tgt_index, rows, cols);
+            let slice = Self::mapping_to_matrix(&composed, &src_index, &tgt_index, rows, cols);
             cube.push(format!("compose-{k}"), slice);
         }
         self.aggregation.aggregate(&cube)
@@ -409,7 +408,10 @@ mod tests {
         let ctx = MatchContext::new(&s1, &s2, &p1, &p2, &aux).with_repository(&repo);
         let out = FragmentMatcher::new().compute(&ctx);
         let i = p1.find_by_full_name(&s1, "A.ShipTo.City").unwrap().index();
-        let j = p2.find_by_full_name(&s2, "B.DeliverTo.City").unwrap().index();
+        let j = p2
+            .find_by_full_name(&s2, "B.DeliverTo.City")
+            .unwrap()
+            .index();
         // Suffix "ShipTo.City" ↔ "DeliverTo.City" (k=2) transfers 0.9.
         assert_eq!(out.get(i, j), 0.9);
     }

@@ -96,8 +96,8 @@ impl Corpus {
         for (name, xsd, concept_src) in ASSETS {
             let schema = coma_xml::import_xsd(xsd, name)
                 .unwrap_or_else(|e| panic!("corpus schema {name} is invalid: {e}"));
-            let paths = PathSet::new(&schema)
-                .unwrap_or_else(|e| panic!("corpus schema {name} paths: {e}"));
+            let paths =
+                PathSet::new(&schema).unwrap_or_else(|e| panic!("corpus schema {name} paths: {e}"));
             let map = parse_concepts(concept_src)
                 .unwrap_or_else(|e| panic!("corpus concepts {name}: {e}"));
             // Every node must be annotated.
@@ -158,7 +158,9 @@ impl Corpus {
                 seq.push(concept);
             }
         }
-        let last = &schema.node(*nodes.last().expect("paths are non-empty")).name;
+        let last = &schema
+            .node(*nodes.last().expect("paths are non-empty"))
+            .name;
         if concepts[last] == "-" {
             None
         } else {
@@ -325,8 +327,18 @@ mod tests {
             let gold = c.gold_paths(i, j);
             let sources: BTreeSet<_> = gold.iter().map(|g| g.0).collect();
             let targets: BTreeSet<_> = gold.iter().map(|g| g.1).collect();
-            assert_eq!(sources.len(), gold.len(), "task {} not 1:1", task_label((i, j)));
-            assert_eq!(targets.len(), gold.len(), "task {} not 1:1", task_label((i, j)));
+            assert_eq!(
+                sources.len(),
+                gold.len(),
+                "task {} not 1:1",
+                task_label((i, j))
+            );
+            assert_eq!(
+                targets.len(),
+                gold.len(),
+                "task {} not 1:1",
+                task_label((i, j))
+            );
             assert!(!gold.is_empty());
         }
     }

@@ -98,7 +98,11 @@ pub fn aggregations() -> Vec<Aggregation> {
 
 /// The three directions.
 pub fn directions() -> Vec<Direction> {
-    vec![Direction::LargeSmall, Direction::SmallLarge, Direction::Both]
+    vec![
+        Direction::LargeSmall,
+        Direction::SmallLarge,
+        Direction::Both,
+    ]
 }
 
 /// The 16 no-reuse matcher sets: 5 singles, all 10 pair-wise combinations,

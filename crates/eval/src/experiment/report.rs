@@ -23,7 +23,11 @@ pub fn overall_bin(overall: f64) -> usize {
 pub fn bin_labels() -> Vec<String> {
     let mut labels = vec!["Min-0.0".to_string()];
     for i in 0..10 {
-        labels.push(format!("{:.1}-{:.1}", i as f64 / 10.0, (i + 1) as f64 / 10.0));
+        labels.push(format!(
+            "{:.1}-{:.1}",
+            i as f64 / 10.0,
+            (i + 1) as f64 / 10.0
+        ));
     }
     labels
 }

@@ -65,8 +65,14 @@ fn hybrid_matchers(combined: CombinedSim) -> Vec<(&'static str, Arc<dyn Matcher>
         type_weight: 0.3,
     };
     vec![
-        ("Name", Arc::new(NameMatcher::with_engine(engine.clone())) as Arc<dyn Matcher>),
-        ("NamePath", Arc::new(NamePathMatcher::with_engine(engine.clone()))),
+        (
+            "Name",
+            Arc::new(NameMatcher::with_engine(engine.clone())) as Arc<dyn Matcher>,
+        ),
+        (
+            "NamePath",
+            Arc::new(NamePathMatcher::with_engine(engine.clone())),
+        ),
         ("TypeName", Arc::new(type_name.clone())),
         (
             "Children",
@@ -77,9 +83,7 @@ fn hybrid_matchers(combined: CombinedSim) -> Vec<(&'static str, Arc<dyn Matcher>
         ),
         (
             "Leaves",
-            Arc::new(
-                LeavesMatcher::with_leaf_matcher(Arc::new(type_name)).with_combined(combined),
-            ),
+            Arc::new(LeavesMatcher::with_leaf_matcher(Arc::new(type_name)).with_combined(combined)),
         ),
     ]
 }
@@ -261,7 +265,7 @@ impl Harness {
         }
     }
 
-    /// Runs many series in parallel (crossbeam-scoped threads).
+    /// Runs many series in parallel (std scoped threads).
     pub fn run(&self, specs: &[SeriesSpec]) -> Vec<SeriesResult> {
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -272,17 +276,18 @@ impl Harness {
         }
         let chunk = specs.len().div_ceil(threads);
         let mut out: Vec<Option<SeriesResult>> = vec![None; specs.len()];
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (slot, work) in out.chunks_mut(chunk).zip(specs.chunks(chunk)) {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for (o, spec) in slot.iter_mut().zip(work) {
                         *o = Some(self.evaluate(spec));
                     }
                 });
             }
-        })
-        .expect("sweep worker panicked");
-        out.into_iter().map(|r| r.expect("all slots filled")).collect()
+        });
+        out.into_iter()
+            .map(|r| r.expect("all slots filled"))
+            .collect()
     }
 }
 
@@ -319,7 +324,10 @@ mod tests {
     #[test]
     fn default_all_combination_beats_single_name() {
         let h = harness();
-        let all = h.evaluate(&spec(&["Name", "NamePath", "TypeName", "Children", "Leaves"], false));
+        let all = h.evaluate(&spec(
+            &["Name", "NamePath", "TypeName", "Children", "Leaves"],
+            false,
+        ));
         let name = h.evaluate(&spec(&["Name"], false));
         assert!(
             all.average.overall > name.average.overall,
@@ -334,11 +342,7 @@ mod tests {
     fn schema_m_reuse_is_strong() {
         let h = harness();
         let m = h.evaluate(&spec(&["SchemaM"], true));
-        assert!(
-            m.average.overall > 0.3,
-            "SchemaM too weak: {:?}",
-            m.average
-        );
+        assert!(m.average.overall > 0.3, "SchemaM too weak: {:?}", m.average);
         // Reusing manual results beats reusing automatic ones.
         let a = h.evaluate(&spec(&["SchemaA"], true));
         assert!(

@@ -63,7 +63,11 @@ impl MatchQuality {
         let r = self.true_positives + self.false_negatives;
         if r == 0 {
             // No real matches: any false positive makes the operation harmful.
-            return if self.false_positives == 0 { 1.0 } else { f64::NEG_INFINITY };
+            return if self.false_positives == 0 {
+                1.0
+            } else {
+                f64::NEG_INFINITY
+            };
         }
         1.0 - (self.false_positives + self.false_negatives) as f64 / r as f64
     }

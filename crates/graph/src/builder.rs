@@ -82,12 +82,7 @@ impl SchemaBuilder {
     }
 
     /// Adds a referential link `from → to` with an optional label.
-    pub fn add_reference(
-        &mut self,
-        from: NodeId,
-        to: NodeId,
-        label: Option<String>,
-    ) -> Result<()> {
+    pub fn add_reference(&mut self, from: NodeId, to: NodeId, label: Option<String>) -> Result<()> {
         self.check(from)?;
         self.check(to)?;
         self.references.push(Reference { from, to, label });

@@ -226,7 +226,11 @@ impl PathSet {
 
     /// Maximum depth over all paths — the "max depth" column of Table 5.
     pub fn max_depth(&self) -> usize {
-        self.paths.iter().map(|p| p.depth as usize).max().unwrap_or(0)
+        self.paths
+            .iter()
+            .map(|p| p.depth as usize)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -281,7 +285,9 @@ mod tests {
     fn find_by_full_name_distinguishes_contexts() {
         let s = po2();
         let ps = PathSet::new(&s).unwrap();
-        let a = ps.find_by_full_name(&s, "PO2.DeliverTo.Address.City").unwrap();
+        let a = ps
+            .find_by_full_name(&s, "PO2.DeliverTo.Address.City")
+            .unwrap();
         let b = ps.find_by_full_name(&s, "PO2.BillTo.Address.City").unwrap();
         assert_ne!(a, b);
         assert_eq!(ps.node_of(a), ps.node_of(b)); // same shared node
@@ -330,7 +336,9 @@ mod tests {
     fn nodes_returns_root_first_sequence() {
         let s = po2();
         let ps = PathSet::new(&s).unwrap();
-        let city = ps.find_by_full_name(&s, "PO2.DeliverTo.Address.City").unwrap();
+        let city = ps
+            .find_by_full_name(&s, "PO2.DeliverTo.Address.City")
+            .unwrap();
         let seq = ps.nodes(city);
         assert_eq!(seq.len(), 4);
         assert_eq!(s.node(seq[0]).name, "PO2");

@@ -8,18 +8,18 @@ use proptest::prelude::*;
 /// guaranteeing acyclicity and a single root (node 0).
 fn arb_tree(max_nodes: usize) -> impl Strategy<Value = Schema> {
     (1..=max_nodes).prop_flat_map(|n| {
-        proptest::collection::vec(0usize..n.max(1), n.saturating_sub(1)).prop_map(
-            move |parents| {
-                let mut b = SchemaBuilder::new("T");
-                let ids: Vec<NodeId> = (0..n).map(|i| b.add_node(Node::new(format!("n{i}")))).collect();
-                for (i, &p) in parents.iter().enumerate() {
-                    let child = i + 1;
-                    let parent = p % child; // parent index strictly below child
-                    b.add_child(ids[parent], ids[child]).unwrap();
-                }
-                b.build().unwrap()
-            },
-        )
+        proptest::collection::vec(0usize..n.max(1), n.saturating_sub(1)).prop_map(move |parents| {
+            let mut b = SchemaBuilder::new("T");
+            let ids: Vec<NodeId> = (0..n)
+                .map(|i| b.add_node(Node::new(format!("n{i}"))))
+                .collect();
+            for (i, &p) in parents.iter().enumerate() {
+                let child = i + 1;
+                let parent = p % child; // parent index strictly below child
+                b.add_child(ids[parent], ids[child]).unwrap();
+            }
+            b.build().unwrap()
+        })
     })
 }
 
@@ -34,7 +34,9 @@ fn arb_dag(max_nodes: usize) -> impl Strategy<Value = Schema> {
         })
         .prop_map(|(n, parent_lists)| {
             let mut b = SchemaBuilder::new("D");
-            let ids: Vec<NodeId> = (0..n).map(|i| b.add_node(Node::new(format!("n{i}")))).collect();
+            let ids: Vec<NodeId> = (0..n)
+                .map(|i| b.add_node(Node::new(format!("n{i}"))))
+                .collect();
             for (i, parents) in parent_lists.into_iter().enumerate() {
                 let child = i + 1;
                 for p in parents {

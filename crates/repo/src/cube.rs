@@ -31,14 +31,16 @@ pub struct StoredCube {
 impl StoredCube {
     /// Validates the dimensional invariant.
     pub fn is_consistent(&self) -> bool {
-        self.values.len()
-            == self.matchers.len() * self.source_paths.len() * self.target_paths.len()
+        self.values.len() == self.matchers.len() * self.source_paths.len() * self.target_paths.len()
     }
 
     /// The stored value for (matcher `k`, source `i`, target `j`).
     pub fn value(&self, k: usize, i: usize, j: usize) -> f64 {
         let (m, n) = (self.source_paths.len(), self.target_paths.len());
-        assert!(k < self.matchers.len() && i < m && j < n, "index out of bounds");
+        assert!(
+            k < self.matchers.len() && i < m && j < n,
+            "index out of bounds"
+        );
         self.values[(k * m + i) * n + j]
     }
 }

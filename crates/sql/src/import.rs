@@ -33,13 +33,10 @@ pub fn import_ddl(input: &str, name: &str) -> Result<Schema> {
     for table in &tables {
         let qualified = table.qualified_name();
         if table_nodes.contains_key(&qualified) {
-            return Err(SqlError::semantic(format!(
-                "duplicate table `{qualified}`"
-            )));
+            return Err(SqlError::semantic(format!("duplicate table `{qualified}`")));
         }
-        let t_node = builder.add_node(
-            Node::new(table.name.clone()).with_type_name("TABLE".to_string()),
-        );
+        let t_node =
+            builder.add_node(Node::new(table.name.clone()).with_type_name("TABLE".to_string()));
         builder.add_child(root, t_node)?;
         table_nodes.insert(qualified.clone(), t_node);
         // Unqualified alias for REFERENCES without schema prefix.
@@ -72,20 +69,20 @@ pub fn import_ddl(input: &str, name: &str) -> Result<Schema> {
             }
         }
         for constraint in &table.constraints {
-            if let TableConstraint::ForeignKey { columns, table: target } = constraint {
+            if let TableConstraint::ForeignKey {
+                columns,
+                table: target,
+            } = constraint
+            {
                 let to = resolve_table(&table_nodes, target).ok_or_else(|| {
-                    SqlError::semantic(format!(
-                        "FOREIGN KEY references unknown table `{target}`"
-                    ))
+                    SqlError::semantic(format!("FOREIGN KEY references unknown table `{target}`"))
                 })?;
                 for col in columns {
                     let from = column_nodes
                         .get(&(qualified.clone(), col.to_lowercase()))
                         .copied()
                         .ok_or_else(|| {
-                            SqlError::semantic(format!(
-                                "FOREIGN KEY names unknown column `{col}`"
-                            ))
+                            SqlError::semantic(format!("FOREIGN KEY names unknown column `{col}`"))
                         })?;
                     builder.add_reference(from, to, Some(format!("fk:{col}")))?;
                 }
@@ -172,8 +169,7 @@ CREATE TABLE PO1.Customer (
 
     #[test]
     fn duplicate_tables_rejected() {
-        let err = import_ddl("CREATE TABLE t (a INT); CREATE TABLE t (b INT);", "S")
-            .unwrap_err();
+        let err = import_ddl("CREATE TABLE t (a INT); CREATE TABLE t (b INT);", "S").unwrap_err();
         assert!(matches!(err, SqlError::Semantic { .. }));
     }
 

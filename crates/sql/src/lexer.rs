@@ -161,7 +161,9 @@ mod tests {
         assert!(toks[1].kind.is_kw("TABLE"));
         assert_eq!(toks[2].kind, TokenKind::Word("PO1".into()));
         assert_eq!(toks[3].kind, TokenKind::Dot);
-        assert!(toks.iter().any(|t| t.kind == TokenKind::Number("200".into())));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Number("200".into())));
         assert_eq!(toks.last().unwrap().kind, TokenKind::Semicolon);
     }
 

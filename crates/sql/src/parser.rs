@@ -120,7 +120,10 @@ impl Parser {
         };
         loop {
             if self.peek().is_some_and(|k| {
-                k.is_kw("PRIMARY") || k.is_kw("FOREIGN") || k.is_kw("UNIQUE") || k.is_kw("CONSTRAINT")
+                k.is_kw("PRIMARY")
+                    || k.is_kw("FOREIGN")
+                    || k.is_kw("UNIQUE")
+                    || k.is_kw("CONSTRAINT")
             }) {
                 let c = self.parse_table_constraint()?;
                 table.constraints.push(c);
@@ -195,9 +198,7 @@ impl Parser {
             } else if self.eat_kw("DEFAULT") {
                 // Skip a single literal/word default value.
                 match self.advance() {
-                    Some(
-                        TokenKind::Number(_) | TokenKind::Str(_) | TokenKind::Word(_),
-                    ) => {}
+                    Some(TokenKind::Number(_) | TokenKind::Str(_) | TokenKind::Word(_)) => {}
                     _ => return Err(SqlError::syntax(self.offset(), "bad DEFAULT value")),
                 }
             } else if self.eat_kw("REFERENCES") {
@@ -318,7 +319,10 @@ CREATE TABLE PO1.Customer (
         let ship_to = &tables[0];
         assert_eq!(ship_to.qualified_name(), "PO1.ShipTo");
         assert_eq!(ship_to.columns.len(), 5);
-        assert_eq!(ship_to.columns[1].references.as_deref(), Some("PO1.Customer"));
+        assert_eq!(
+            ship_to.columns[1].references.as_deref(),
+            Some("PO1.Customer")
+        );
         assert!(ship_to.columns[0].primary_key); // via table constraint
         assert_eq!(ship_to.columns[2].sql_type, "VARCHAR(200)");
     }

@@ -33,8 +33,8 @@ pub fn soundex_code(s: &str) -> Option<String> {
     for &c in &letters[1..] {
         let cl = class(c);
         match cl {
-            0 => last_class = 0,    // vowel: reset, allows repeats
-            7 => {}                 // H/W: transparent, keep last_class
+            0 => last_class = 0, // vowel: reset, allows repeats
+            7 => {}              // H/W: transparent, keep last_class
             _ => {
                 if cl != last_class {
                     code.push(char::from(b'0' + cl));

@@ -3,8 +3,8 @@
 //! of the raw edit distance.
 
 use coma_strings::{
-    affix_similarity, digram_similarity, edit_distance, edit_distance_similarity,
-    ngram_similarity, soundex_similarity, tokenize, trigram_similarity, AbbreviationTable,
+    affix_similarity, digram_similarity, edit_distance, edit_distance_similarity, ngram_similarity,
+    soundex_similarity, tokenize, trigram_similarity, AbbreviationTable,
 };
 use proptest::prelude::*;
 
@@ -13,7 +13,11 @@ fn arb_name() -> impl Strategy<Value = String> {
     proptest::string::string_regex("[A-Za-z0-9_]{0,16}").unwrap()
 }
 
-fn check_similarity_invariants(sim: fn(&str, &str) -> f64, a: &str, b: &str) -> Result<(), TestCaseError> {
+fn check_similarity_invariants(
+    sim: fn(&str, &str) -> f64,
+    a: &str,
+    b: &str,
+) -> Result<(), TestCaseError> {
     let s_ab = sim(a, b);
     let s_ba = sim(b, a);
     prop_assert!((0.0..=1.0).contains(&s_ab), "sim out of range: {s_ab}");
@@ -22,7 +26,10 @@ fn check_similarity_invariants(sim: fn(&str, &str) -> f64, a: &str, b: &str) -> 
         "asymmetric: {a:?},{b:?} → {s_ab} vs {s_ba}"
     );
     let s_aa = sim(a, a);
-    prop_assert!((s_aa - 1.0).abs() < 1e-12, "identity violated for {a:?}: {s_aa}");
+    prop_assert!(
+        (s_aa - 1.0).abs() < 1e-12,
+        "identity violated for {a:?}: {s_aa}"
+    );
     Ok(())
 }
 

@@ -101,9 +101,9 @@ impl<'a> Importer<'a> {
                 // The paper's PO2 case: the type itself is the root node.
                 let ct = *ct;
                 let type_name = ct.name.clone().expect("top-level types are named");
-                let node = self.builder.add_node(
-                    Node::new(type_name.clone()).with_type_name(type_name.clone()),
-                );
+                let node = self
+                    .builder
+                    .add_node(Node::new(type_name.clone()).with_type_name(type_name.clone()));
                 self.type_nodes.insert(type_name.clone(), node);
                 self.building.push(type_name);
                 self.add_type_content(node, ct)?;
@@ -186,11 +186,7 @@ impl<'a> Importer<'a> {
         self.xsd
             .complex_types
             .iter()
-            .filter(|ct| {
-                ct.name
-                    .as_deref()
-                    .is_some_and(|n| !used_types.contains(&n))
-            })
+            .filter(|ct| ct.name.as_deref().is_some_and(|n| !used_types.contains(&n)))
             .map(RootCandidate::Type)
             .collect()
     }
@@ -218,9 +214,13 @@ impl<'a> Importer<'a> {
             if let Some(&node) = self.element_nodes.get(&target) {
                 return Ok(node);
             }
-            let global = self.global_elements.get(target.as_str()).copied().ok_or_else(|| {
-                XmlError::xsd(format!("ref=\"{r}\" does not name a global element"))
-            })?;
+            let global = self
+                .global_elements
+                .get(target.as_str())
+                .copied()
+                .ok_or_else(|| {
+                    XmlError::xsd(format!("ref=\"{r}\" does not name a global element"))
+                })?;
             return self.build_global_element(global);
         }
         self.build_element_node(decl)
@@ -247,7 +247,9 @@ impl<'a> Importer<'a> {
         if let Some(type_ref) = decl.type_ref.clone() {
             let type_local = local(&type_ref).to_string();
             if let Some(ct) = self.complex_types.get(type_local.as_str()).copied() {
-                let id = self.builder.add_node(node.with_type_name(type_local.clone()));
+                let id = self
+                    .builder
+                    .add_node(node.with_type_name(type_local.clone()));
                 let type_node = self.type_node(&type_local, ct)?;
                 self.builder.add_child(id, type_node)?;
                 return Ok(id);
@@ -357,7 +359,9 @@ mod tests {
         assert_eq!(st.nodes, 7);
         assert_eq!(st.paths, 11);
         assert_eq!(st.max_depth, 4);
-        assert!(ps.find_by_full_name(&s, "PO2.DeliverTo.Address.City").is_some());
+        assert!(ps
+            .find_by_full_name(&s, "PO2.DeliverTo.Address.City")
+            .is_some());
         assert!(ps.find_by_full_name(&s, "PO2.BillTo.Address.Zip").is_some());
         let zip = ps.find_by_full_name(&s, "PO2.BillTo.Address.Zip").unwrap();
         assert_eq!(s.node(ps.node_of(zip)).datatype, Some(DataType::Decimal));

@@ -18,9 +18,9 @@
 #![forbid(unsafe_code)]
 
 mod error;
+mod import;
 pub mod parser;
 pub mod xsd;
-mod import;
 
 pub use error::{Result, XmlError};
 pub use import::{import_parsed, import_xsd};

@@ -51,7 +51,8 @@ impl Element {
 
     /// Child elements with the given local name.
     pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> {
-        self.child_elements().filter(move |e| e.local_name() == name)
+        self.child_elements()
+            .filter(move |e| e.local_name() == name)
     }
 
     /// First child element with the given local name.
@@ -152,7 +153,10 @@ impl<'a> Parser<'a> {
             }
             self.pos += 1;
         }
-        Err(XmlError::syntax(start, format!("unterminated construct, expected `{end}`")))
+        Err(XmlError::syntax(
+            start,
+            format!("unterminated construct, expected `{end}`"),
+        ))
     }
 
     fn parse_name(&mut self) -> Result<String> {
@@ -315,17 +319,21 @@ fn resolve_entities(raw: &str, offset: usize) -> Result<String> {
             _ if entity.starts_with("#x") || entity.starts_with("#X") => {
                 let cp = u32::from_str_radix(&entity[2..], 16)
                     .map_err(|_| XmlError::syntax(offset, "bad hex character reference"))?;
-                out.push(char::from_u32(cp).ok_or_else(|| {
-                    XmlError::syntax(offset, "character reference out of range")
-                })?);
+                out.push(
+                    char::from_u32(cp).ok_or_else(|| {
+                        XmlError::syntax(offset, "character reference out of range")
+                    })?,
+                );
             }
             _ if entity.starts_with('#') => {
                 let cp = entity[1..]
                     .parse::<u32>()
                     .map_err(|_| XmlError::syntax(offset, "bad character reference"))?;
-                out.push(char::from_u32(cp).ok_or_else(|| {
-                    XmlError::syntax(offset, "character reference out of range")
-                })?);
+                out.push(
+                    char::from_u32(cp).ok_or_else(|| {
+                        XmlError::syntax(offset, "character reference out of range")
+                    })?,
+                );
             }
             other => {
                 return Err(XmlError::syntax(
@@ -346,8 +354,8 @@ mod tests {
 
     #[test]
     fn parses_simple_document() {
-        let doc = parse_document(r#"<?xml version="1.0"?><a x="1"><b/>text<c y='2'/></a>"#)
-            .unwrap();
+        let doc =
+            parse_document(r#"<?xml version="1.0"?><a x="1"><b/>text<c y='2'/></a>"#).unwrap();
         assert_eq!(doc.name, "a");
         assert_eq!(doc.attr("x"), Some("1"));
         assert_eq!(doc.child_elements().count(), 2);
@@ -390,7 +398,9 @@ mod tests {
 
     #[test]
     fn local_names_strip_prefixes() {
-        let doc = parse_document(r#"<xsd:schema xmlns:xsd="urn:x"><xsd:element name="e"/></xsd:schema>"#).unwrap();
+        let doc =
+            parse_document(r#"<xsd:schema xmlns:xsd="urn:x"><xsd:element name="e"/></xsd:schema>"#)
+                .unwrap();
         assert_eq!(doc.local_name(), "schema");
         let child = doc.child_elements().next().unwrap();
         assert_eq!(child.local_name(), "element");

@@ -6,7 +6,7 @@
 //! Run with: `cargo run --release --example biztalk_po`
 
 use coma::core::{Coma, MatchContext, MatchStrategy};
-use coma::eval::{task_label, Corpus, MatchQuality, AverageQuality, SCHEMA_NAMES, TASKS};
+use coma::eval::{task_label, AverageQuality, Corpus, MatchQuality, SCHEMA_NAMES, TASKS};
 use std::collections::BTreeSet;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

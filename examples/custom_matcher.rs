@@ -83,7 +83,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut coma = Coma::new();
     coma.library_mut().register(Arc::new(AnnotationMatcher));
 
-    let with_names = coma.match_schemas(&left, &right, &MatchStrategy::with_matchers(["NamePath"]))?;
+    let with_names =
+        coma.match_schemas(&left, &right, &MatchStrategy::with_matchers(["NamePath"]))?;
     // Max aggregation lets the matchers "maximally complement each other"
     // (Section 6.1) — names fail here, annotations carry the signal.
     let strategy = MatchStrategy::with_matchers(["NamePath", "Annotation"]).with_combination(
@@ -98,8 +99,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let p1 = PathSet::new(&left)?;
     let p2 = PathSet::new(&right)?;
-    println!("NamePath alone: {} correspondences", with_names.result.len());
-    println!("NamePath + custom Annotation matcher: {} correspondences", with_docs.result.len());
+    println!(
+        "NamePath alone: {} correspondences",
+        with_names.result.len()
+    );
+    println!(
+        "NamePath + custom Annotation matcher: {} correspondences",
+        with_docs.result.len()
+    );
     for c in &with_docs.result.candidates {
         println!(
             "  {:<22} ↔ {:<26} {:.2}",
@@ -108,8 +115,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             c.similarity
         );
     }
-    let recipient = p1.find_by_full_name(&left, "Order.recipient").expect("path");
-    let empfaenger = p2.find_by_full_name(&right, "Bestellung.empfaenger").expect("path");
+    let recipient = p1
+        .find_by_full_name(&left, "Order.recipient")
+        .expect("path");
+    let empfaenger = p2
+        .find_by_full_name(&right, "Bestellung.empfaenger")
+        .expect("path");
     assert!(with_docs.result.contains(recipient, empfaenger));
     println!("\nthe cross-language pair recipient ↔ empfaenger is found via annotations ✓");
     Ok(())

@@ -34,20 +34,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let names_only = coma.match_schemas(&left, &right, &MatchStrategy::with_matchers(["Name"]))?;
 
     // Instance evidence + names, Max-aggregated.
-    let strategy = MatchStrategy::with_matchers(["Name", "Instance"]).with_combination(
-        CombinationStrategy {
+    let strategy =
+        MatchStrategy::with_matchers(["Name", "Instance"]).with_combination(CombinationStrategy {
             aggregation: Aggregation::Max,
             direction: Direction::Both,
             selection: Selection::max_n(1).with_threshold(0.5),
             combined_sim: CombinedSim::Average,
-        },
-    );
+        });
     let combined = coma.match_schemas(&left, &right, &strategy)?;
 
     let lp = PathSet::new(&left)?;
     let rp = PathSet::new(&right)?;
     println!("Name only: {} correspondences", names_only.result.len());
-    println!("Name + Instance (Max): {} correspondences", combined.result.len());
+    println!(
+        "Name + Instance (Max): {} correspondences",
+        combined.result.len()
+    );
     for c in &combined.result.candidates {
         println!(
             "  {:<12} ↔ {:<14} {:.2}",

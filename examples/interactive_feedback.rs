@@ -31,8 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     *coma.aux_mut() = corpus.aux().clone();
     let (source, target) = (corpus.schema(0), corpus.schema(2)); // CIDX ↔ Noris
 
-    let mut session =
-        MatchSession::new(&coma, source, target, MatchStrategy::paper_default())?;
+    let mut session = MatchSession::new(&coma, source, target, MatchStrategy::paper_default())?;
 
     // Iteration 1: fully automatic.
     let first = session.run_iteration()?.clone();
@@ -92,6 +91,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         q2.overall()
     );
     assert!(q2.overall() > q1.overall(), "feedback must improve quality");
-    println!("\nfeedback improved Overall by {:+.2}", q2.overall() - q1.overall());
+    println!(
+        "\nfeedback improved Overall by {:+.2}",
+        q2.overall() - q1.overall()
+    );
     Ok(())
 }

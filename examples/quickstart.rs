@@ -83,8 +83,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The paper's Section 3 conclusion: shipToCity is the candidate for
     // PO2.DeliverTo.Address.City.
-    let city = p2.find_by_full_name(&po2, "PO2.DeliverTo.Address.City").expect("path");
-    let ship_city = p1.find_by_full_name(&po1, "PO1.ShipTo.shipToCity").expect("path");
+    let city = p2
+        .find_by_full_name(&po2, "PO2.DeliverTo.Address.City")
+        .expect("path");
+    let ship_city = p1
+        .find_by_full_name(&po1, "PO1.ShipTo.shipToCity")
+        .expect("path");
     assert!(outcome.result.contains(ship_city, city));
     println!("\nPO2.DeliverTo.Address.City is matched by PO1.ShipTo.shipToCity ✓");
     Ok(())

@@ -56,11 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut coma = Coma::new();
     coma.repository_mut().put_mapping(m1);
     coma.repository_mut().put_mapping(m2);
-    let outcome = coma.match_schemas(
-        &po1,
-        &po3,
-        &MatchStrategy::with_matchers(["SchemaM"]),
-    )?;
+    let outcome = coma.match_schemas(&po1, &po3, &MatchStrategy::with_matchers(["SchemaM"]))?;
     let p1 = PathSet::new(&po1)?;
     let p3 = PathSet::new(&po3)?;
     println!("\nSchema matcher result for PO1 ↔ PO3 (pure reuse, no name matching):");

@@ -1,0 +1,709 @@
+//! Offline stand-in for `proptest`: the strategy/runner surface this
+//! workspace's property tests use, without shrinking.
+//!
+//! Supported: the `proptest!` macro, `prop_assert!` / `prop_assert_eq!`,
+//! range strategies over integers and floats, tuple and `Vec<Strategy>`
+//! composition, `Just`, `prop_map` / `prop_flat_map`,
+//! `collection::{vec, btree_set}`, and `string::string_regex` for simple
+//! character-class patterns.
+//!
+//! Failing cases are reported with their generated input but are not
+//! shrunk. The case count defaults to 256 and can be overridden with the
+//! `PROPTEST_CASES` environment variable.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner {
+    //! The runner driving each `proptest!`-generated test.
+
+    use super::strategy::Strategy;
+    use std::fmt;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+    /// Why a single test case did not pass.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum TestCaseError {
+        /// The property was violated.
+        Fail(String),
+        /// The input was rejected (unused by this shim's strategies).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failed property with the given message.
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A rejected input with the given message.
+        pub fn reject(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+            }
+        }
+    }
+
+    /// A deterministic pseudo-random source (SplitMix64).
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates an rng from a seed.
+        pub fn new(seed: u64) -> TestRng {
+            TestRng {
+                state: seed ^ 0x9e37_79b9_7f4a_7c15,
+            }
+        }
+
+        /// The next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// A uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            // Multiply-shift bounding; bias is irrelevant for testing.
+            ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+        }
+
+        /// A uniform float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    fn case_count() -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256)
+    }
+
+    fn seed_from_name(name: &str) -> u64 {
+        // FNV-1a keeps runs deterministic per test but varied across tests.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
+    /// Runs `test` against `cases` inputs generated from `strategy`,
+    /// panicking with the offending input on the first failure.
+    pub fn run_cases<S, F>(name: &str, strategy: S, test: F)
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut rng = TestRng::new(seed_from_name(name));
+        for case in 0..case_count() {
+            let value = strategy.generate(&mut rng);
+            let repr = format!("{value:?}");
+            match catch_unwind(AssertUnwindSafe(|| test(value))) {
+                Ok(Ok(())) => {}
+                Ok(Err(TestCaseError::Reject(_))) => {}
+                Ok(Err(TestCaseError::Fail(msg))) => {
+                    panic!("proptest `{name}` failed at case {case}\n  input: {repr}\n  {msg}");
+                }
+                Err(panic_payload) => {
+                    eprintln!("proptest `{name}` panicked at case {case}\n  input: {repr}");
+                    resume_unwind(panic_payload);
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies and combinators.
+
+    use super::test_runner::TestRng;
+    use std::fmt::Debug;
+
+    /// A recipe for generating random values of one type.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value: Debug;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f` builds
+        /// out of it (dependent generation).
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Each element drawn from the corresponding strategy.
+    impl<S: Strategy> Strategy for Vec<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            self.iter().map(|s| s.generate(rng)).collect()
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($n:tt $s:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$n.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (0 A)
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+        (0 A, 1 B, 2 C, 3 D, 4 E)
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 G)
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl strategy::Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut test_runner::TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+
+        impl strategy::Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut test_runner::TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128 + 1) as u64;
+                (start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl strategy::Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut test_runner::TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let unit = rng.unit_f64() as $t;
+                self.start + unit * (self.end - self.start)
+            }
+        }
+
+        impl strategy::Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut test_runner::TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                // Map [0,1) onto [start,end]; the endpoint is reachable
+                // through rounding at the top of the range.
+                let unit = (rng.unit_f64() * (1.0 + f64::EPSILON)).min(1.0) as $t;
+                start + unit * (end - start)
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+pub mod collection {
+    //! Collection strategies with a size specification.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::fmt::Debug;
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive range of collection sizes.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            if self.lo == self.hi {
+                self.lo
+            } else {
+                self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize
+            }
+        }
+    }
+
+    /// A `Vec` of values from `element`, sized within `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A `BTreeSet` of distinct values from `element`, sized within
+    /// `size` when the element domain allows it.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.pick(rng);
+            let mut set = BTreeSet::new();
+            // Cap the attempts so a small element domain cannot loop
+            // forever; the set is then simply smaller than requested.
+            for _ in 0..(target.saturating_mul(50).max(100)) {
+                if set.len() >= target {
+                    break;
+                }
+                set.insert(self.element.generate(rng));
+            }
+            set
+        }
+    }
+}
+
+pub mod string {
+    //! String strategies from simple regex-like patterns.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// A malformed or unsupported pattern.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Error(pub String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "string_regex: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    enum Atom {
+        /// One literal character.
+        Literal(char),
+        /// One character drawn from a class.
+        Class(Vec<(char, char)>),
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    /// Generates strings matching a subset of regex syntax: literal
+    /// characters and `[...]` classes (with ranges), each optionally
+    /// quantified by `{m}`, `{m,n}`, `?`, `*` or `+` (unbounded
+    /// quantifiers cap at 16 repetitions).
+    pub fn string_regex(pattern: &str) -> Result<RegexStrategy, Error> {
+        let mut pieces = Vec::new();
+        let mut chars = pattern.chars().peekable();
+        while let Some(c) = chars.next() {
+            let atom = match c {
+                '[' => {
+                    let mut ranges = Vec::new();
+                    let mut prev: Option<char> = None;
+                    loop {
+                        let c = chars
+                            .next()
+                            .ok_or_else(|| Error("unterminated class".into()))?;
+                        match c {
+                            ']' => break,
+                            '-' if prev.is_some() && chars.peek() != Some(&']') => {
+                                let hi = chars.next().unwrap();
+                                let lo = prev.take().unwrap();
+                                // `prev` was already pushed as a singleton;
+                                // replace it with the full range.
+                                ranges.pop();
+                                if lo > hi {
+                                    return Err(Error(format!("bad range {lo}-{hi}")));
+                                }
+                                ranges.push((lo, hi));
+                            }
+                            '\\' => {
+                                let c = chars
+                                    .next()
+                                    .ok_or_else(|| Error("dangling escape".into()))?;
+                                ranges.push((c, c));
+                                prev = Some(c);
+                            }
+                            c => {
+                                ranges.push((c, c));
+                                prev = Some(c);
+                            }
+                        }
+                    }
+                    if ranges.is_empty() {
+                        return Err(Error("empty class".into()));
+                    }
+                    Atom::Class(ranges)
+                }
+                '\\' => {
+                    let c = chars
+                        .next()
+                        .ok_or_else(|| Error("dangling escape".into()))?;
+                    Atom::Literal(c)
+                }
+                '(' | ')' | '|' | '.' | '^' | '$' => {
+                    return Err(Error(format!("unsupported metacharacter `{c}`")));
+                }
+                c => Atom::Literal(c),
+            };
+            let (min, max) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut spec = String::new();
+                    for c in chars.by_ref() {
+                        if c == '}' {
+                            break;
+                        }
+                        spec.push(c);
+                    }
+                    let parse = |s: &str| {
+                        s.parse::<usize>()
+                            .map_err(|_| Error(format!("bad quantifier `{{{spec}}}`")))
+                    };
+                    match spec.split_once(',') {
+                        None => {
+                            let n = parse(&spec)?;
+                            (n, n)
+                        }
+                        Some((lo, "")) => (parse(lo)?, parse(lo)?.max(16)),
+                        Some((lo, hi)) => (parse(lo)?, parse(hi)?),
+                    }
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 16)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 16)
+                }
+                _ => (1, 1),
+            };
+            if min > max {
+                return Err(Error("quantifier min exceeds max".into()));
+            }
+            pieces.push(Piece { atom, min, max });
+        }
+        Ok(RegexStrategy { pieces })
+    }
+
+    /// See [`string_regex`].
+    pub struct RegexStrategy {
+        pieces: Vec<Piece>,
+    }
+
+    impl Strategy for RegexStrategy {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for piece in &self.pieces {
+                let count = piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize;
+                for _ in 0..count {
+                    match &piece.atom {
+                        Atom::Literal(c) => out.push(*c),
+                        Atom::Class(ranges) => {
+                            let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+                            let span = hi as u32 - lo as u32 + 1;
+                            let code = lo as u32 + rng.below(u64::from(span)) as u32;
+                            out.push(char::from_u32(code).unwrap_or(lo));
+                        }
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+pub mod prelude {
+    //! The usual glob-import surface.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+pub use strategy::{Just, Strategy};
+pub use test_runner::TestCaseError;
+
+/// Asserts a condition inside a property test, failing the case (with
+/// its input reported) instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts two values are equal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)*);
+    }};
+}
+
+/// Asserts two values are unequal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running the body against generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run_cases(
+                    stringify!($name),
+                    ($($strat,)*),
+                    |($($pat,)*)| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        use crate::test_runner::TestRng;
+        let mut rng = TestRng::new(7);
+        for _ in 0..1000 {
+            let v = (3usize..10).generate(&mut rng);
+            assert!((3..10).contains(&v));
+            let f = (0.25f64..=0.75).generate(&mut rng);
+            assert!((0.25..=0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn string_regex_matches_class_and_quantifier() {
+        use crate::test_runner::TestRng;
+        let s = crate::string::string_regex("[A-Za-z0-9_]{0,16}").unwrap();
+        let mut rng = TestRng::new(42);
+        for _ in 0..500 {
+            let v = s.generate(&mut rng);
+            assert!(v.len() <= 16);
+            assert!(v.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn btree_set_respects_size_when_domain_allows() {
+        use crate::test_runner::TestRng;
+        let s = crate::collection::btree_set(0usize..100, 5usize..=5);
+        let mut rng = TestRng::new(3);
+        for _ in 0..100 {
+            assert_eq!(s.generate(&mut rng).len(), 5);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn the_macro_itself_works(a in 0usize..50, b in 0usize..50) {
+            prop_assert!(a + b < 100);
+            prop_assert_eq!(a + b, b + a);
+        }
+    }
+}

@@ -1,0 +1,418 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Implemented directly on `proc_macro` token trees (no `syn`/`quote`,
+//! which are registry crates and unavailable offline). Supports the item
+//! shapes this workspace uses:
+//!
+//! * structs with named fields,
+//! * tuple structs (any arity),
+//! * unit structs,
+//! * enums whose variants are unit or tuple variants.
+//!
+//! Generics and `#[serde(...)]` attributes are intentionally unsupported;
+//! hitting one is a compile error rather than silent misbehavior.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, usize)>,
+    },
+}
+
+/// Derives `serde::Serialize` (value-tree rendering).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let body = match &shape {
+        Shape::NamedStruct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::serde::Value::Str(::std::string::String::from(\"{f}\")), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Value::Map(::std::vec![{}])\n\
+                   }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+               fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Serialize::to_value(&self.0)\n\
+               }}\n\
+             }}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Value::Seq(::std::vec![{}])\n\
+                   }}\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+               fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, arity)| match arity {
+                    0 => format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+                    ),
+                    1 => format!(
+                        "{name}::{v}(x0) => ::serde::Value::Map(::std::vec![\
+                           (::serde::Value::Str(::std::string::String::from(\"{v}\")), \
+                            ::serde::Serialize::to_value(x0))]),"
+                    ),
+                    n => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Map(::std::vec![\
+                               (::serde::Value::Str(::std::string::String::from(\"{v}\")), \
+                                ::serde::Value::Seq(::std::vec![{}]))]),",
+                            binds.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_value(&self) -> ::serde::Value {{\n\
+                     match self {{ {} }}\n\
+                   }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    body.parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` (value-tree reconstruction).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let body = match &shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(entries, \"{f}\")?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn from_value(value: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     let entries = value.as_map().ok_or_else(|| \
+                       ::serde::DeError::custom(\"expected map for struct `{name}`\"))?;\n\
+                     ::std::result::Result::Ok({name} {{ {} }})\n\
+                   }}\n\
+                 }}",
+                inits.join(" ")
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+               fn from_value(value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))\n\
+               }}\n\
+             }}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn from_value(value: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     let items = value.as_seq().ok_or_else(|| \
+                       ::serde::DeError::custom(\"expected sequence for `{name}`\"))?;\n\
+                     if items.len() != {arity} {{\n\
+                       return ::std::result::Result::Err(::serde::DeError::custom(\
+                         \"wrong tuple arity for `{name}`\"));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({name}({}))\n\
+                   }}\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+               fn from_value(_value: &::serde::Value) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 ::std::result::Result::Ok({name})\n\
+               }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, arity)| *arity == 0)
+                .map(|(v, _)| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, arity)| *arity > 0)
+                .map(|(v, arity)| {
+                    if *arity == 1 {
+                        format!(
+                            "\"{v}\" => ::std::result::Result::Ok({name}::{v}(\
+                               ::serde::Deserialize::from_value(payload)?)),"
+                        )
+                    } else {
+                        let items: Vec<String> = (0..*arity)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        format!(
+                            "\"{v}\" => {{\n\
+                               let items = payload.as_seq().ok_or_else(|| \
+                                 ::serde::DeError::custom(\"expected payload sequence\"))?;\n\
+                               if items.len() != {arity} {{\n\
+                                 return ::std::result::Result::Err(::serde::DeError::custom(\
+                                   \"wrong payload arity for `{name}::{v}`\"));\n\
+                               }}\n\
+                               ::std::result::Result::Ok({name}::{v}({}))\n\
+                             }}",
+                            items.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn from_value(value: &::serde::Value) \
+                     -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     match value {{\n\
+                       ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {}\n\
+                         other => ::std::result::Result::Err(::serde::DeError::custom(\
+                           ::std::format!(\"unknown variant `{{other}}` of `{name}`\"))),\n\
+                       }},\n\
+                       ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                         let (key, payload) = &entries[0];\n\
+                         match key.as_str().unwrap_or(\"\") {{\n\
+                           {}\n\
+                           other => ::std::result::Result::Err(::serde::DeError::custom(\
+                             ::std::format!(\"unknown variant `{{other}}` of `{name}`\"))),\n\
+                         }}\n\
+                       }}\n\
+                       other => ::std::result::Result::Err(::serde::DeError::custom(\
+                         ::std::format!(\"expected variant of `{name}`, got {{}}\", other.kind()))),\n\
+                     }}\n\
+                   }}\n\
+                 }}",
+                unit_arms.join("\n"),
+                data_arms.join("\n")
+            )
+        }
+    };
+    body.parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
+
+// --- item parsing --------------------------------------------------------
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes_and_visibility(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim does not support generic type `{name}`");
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct {
+                    name,
+                    arity: count_top_level_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct { name },
+            other => panic!("serde_derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde_derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+fn skip_attributes_and_visibility(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            // `#[...]` attribute: pound + bracket group.
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                // `pub(crate)` / `pub(super)` restriction group.
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names of a named-field struct body.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected field name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive: expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(name);
+        // Consume the separating comma, if any.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Skips one type, stopping at a top-level `,` (angle-bracket aware).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(tok) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                ',' if angle_depth == 0 => return,
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                // `->` in fn-pointer types: skip the arrow's `>` as a pair.
+                '-' => {
+                    if matches!(tokens.get(*i + 1), Some(TokenTree::Punct(q)) if q.as_char() == '>')
+                    {
+                        *i += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Number of top-level comma-separated fields in a tuple body.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        count += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    count
+}
+
+/// `(variant name, payload arity)` pairs of an enum body.
+fn parse_variants(stream: TokenStream) -> Vec<(String, usize)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes_and_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let arity = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                count_top_level_fields(g.stream())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                panic!("serde_derive shim does not support struct variant `{name}`");
+            }
+            _ => 0,
+        };
+        variants.push((name, arity));
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    variants
+}

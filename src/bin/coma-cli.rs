@@ -41,7 +41,10 @@ fn parse_args() -> Result<Options, ExitCode> {
     let mut opts = Options {
         source: String::new(),
         target: String::new(),
-        matchers: coma::core::ALL_HYBRIDS.iter().map(|m| m.to_string()).collect(),
+        matchers: coma::core::ALL_HYBRIDS
+            .iter()
+            .map(|m| m.to_string())
+            .collect(),
         threshold: None,
         synonyms: None,
         dot: false,

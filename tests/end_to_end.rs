@@ -48,12 +48,20 @@ fn figure_1_pipeline_produces_the_section_3_candidate() {
     let (po1, po2) = paper_schemas();
     let coma = po_coma();
     let outcome = coma
-        .match_schemas(&po1, &po2, &MatchStrategy::with_matchers(["TypeName", "NamePath"]))
+        .match_schemas(
+            &po1,
+            &po2,
+            &MatchStrategy::with_matchers(["TypeName", "NamePath"]),
+        )
         .expect("match runs");
     let p1 = PathSet::new(&po1).expect("paths");
     let p2 = PathSet::new(&po2).expect("paths");
-    let ship_city = p1.find_by_full_name(&po1, "PO1.ShipTo.shipToCity").expect("path");
-    let city = p2.find_by_full_name(&po2, "PO2.DeliverTo.Address.City").expect("path");
+    let ship_city = p1
+        .find_by_full_name(&po1, "PO1.ShipTo.shipToCity")
+        .expect("path");
+    let city = p2
+        .find_by_full_name(&po2, "PO2.DeliverTo.Address.City")
+        .expect("path");
     assert!(outcome.result.contains(ship_city, city));
 }
 
@@ -152,7 +160,10 @@ fn corpus_tasks_run_under_default_strategy_with_positive_overall() {
         overall_sum += q.overall();
     }
     let avg = overall_sum / TASKS.len() as f64;
-    assert!(avg > 0.2, "default operation too weak: avg overall {avg:.2}");
+    assert!(
+        avg > 0.2,
+        "default operation too weak: avg overall {avg:.2}"
+    );
 }
 
 #[test]

@@ -75,8 +75,12 @@ fn cross_language_matching_works_out_of_the_box() {
         .expect("match runs");
     let sp = PathSet::new(&sql).expect("paths");
     let xp = PathSet::new(&xml).expect("paths");
-    let cust_name = sp.find_by_full_name(&sql, "SQL.Customer.custName").expect("path");
-    let buyer_name = xp.find_by_full_name(&xml, "XML.Buyer.buyerName").expect("path");
+    let cust_name = sp
+        .find_by_full_name(&sql, "SQL.Customer.custName")
+        .expect("path");
+    let buyer_name = xp
+        .find_by_full_name(&xml, "XML.Buyer.buyerName")
+        .expect("path");
     assert!(outcome.result.contains(cust_name, buyer_name));
 }
 

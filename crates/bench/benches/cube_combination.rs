@@ -57,6 +57,9 @@ fn bench_combination(c: &mut Criterion) {
             ))
         })
     });
+    group.bench_function("transpose", |b| {
+        b.iter(|| black_box(black_box(&matrix).transposed()))
+    });
     let candidates = DirectedCandidates::select(&matrix, Direction::Both, &selection);
     group.bench_function("combined_sim_average", |b| {
         b.iter(|| black_box(CombinedSim::Average.compute(black_box(&candidates), 80, 145)))

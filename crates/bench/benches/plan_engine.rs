@@ -1,0 +1,77 @@
+//! Benchmarks of the plan engine against the legacy sequential pipeline on
+//! the evaluation corpus's largest match task: the flat `All` strategy
+//! executed sequentially (legacy), through the engine (parallel fan-out +
+//! memoized shared work), and as a two-stage filter→refine plan.
+
+use coma_core::{Coma, MatchContext, MatchPlan, MatchStrategy, PlanEngine, Selection};
+use coma_eval::{Corpus, TASKS};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_plan_engine(c: &mut Criterion) {
+    let corpus = Corpus::load();
+    let mut coma = Coma::new();
+    *coma.aux_mut() = corpus.aux().clone();
+    let strategy = MatchStrategy::paper_default();
+
+    // The corpus's largest task by pair-space size.
+    let &(i, j) = TASKS
+        .iter()
+        .max_by_key(|&&(i, j)| corpus.path_set(i).len() * corpus.path_set(j).len())
+        .expect("corpus has tasks");
+    let ctx = MatchContext::new(
+        corpus.schema(i),
+        corpus.schema(j),
+        corpus.path_set(i),
+        corpus.path_set(j),
+        coma.aux(),
+    );
+
+    let mut group = c.benchmark_group("plan_engine");
+    group.sample_size(10);
+
+    group.bench_function("all_legacy_sequential", |b| {
+        b.iter(|| {
+            let cube = coma
+                .execute_matchers(black_box(&ctx), &strategy.matchers)
+                .unwrap();
+            black_box(coma.combine_cube(&cube, &ctx, &strategy.combination))
+        })
+    });
+
+    let flat = MatchPlan::from(&strategy);
+    group.bench_function("all_engine", |b| {
+        b.iter(|| {
+            black_box(
+                PlanEngine::new(coma.library())
+                    .execute(black_box(&ctx), &flat)
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("all_engine_serial", |b| {
+        b.iter(|| {
+            black_box(
+                PlanEngine::new(coma.library())
+                    .with_parallelism(false)
+                    .execute(black_box(&ctx), &flat)
+                    .unwrap(),
+            )
+        })
+    });
+
+    let two_stage =
+        MatchPlan::two_stage(["Name"], Selection::max_n(6).with_threshold(0.3), &strategy);
+    group.bench_function("two_stage_filter_refine", |b| {
+        b.iter(|| {
+            black_box(
+                PlanEngine::new(coma.library())
+                    .execute(black_box(&ctx), &two_stage)
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_plan_engine);
+criterion_main!(benches);

@@ -32,34 +32,21 @@ impl Aggregation {
         let (m, n, k) = (cube.rows(), cube.cols(), cube.len());
         let mut out = SimMatrix::new(m, n);
         match self {
-            Aggregation::Max => {
-                for i in 0..m {
-                    for j in 0..n {
-                        let v = (0..k)
-                            .map(|s| cube.slice(s).get(i, j))
-                            .fold(0.0_f64, f64::max);
-                        out.set(i, j, v);
-                    }
+            Aggregation::Max => row_wise(&mut out, cube, None, &mut |acc, row| {
+                for (a, &v) in acc.iter_mut().zip(row) {
+                    *a = a.max(v);
                 }
-            }
-            Aggregation::Min => {
-                for i in 0..m {
-                    for j in 0..n {
-                        let v = (0..k)
-                            .map(|s| cube.slice(s).get(i, j))
-                            .fold(1.0_f64, f64::min);
-                        out.set(i, j, v);
-                    }
+            }),
+            Aggregation::Min => row_wise(&mut out, cube, None, &mut |acc, row| {
+                for (a, &v) in acc.iter_mut().zip(row) {
+                    *a = a.min(v);
                 }
-            }
-            Aggregation::Average => {
-                for i in 0..m {
-                    for j in 0..n {
-                        let sum: f64 = (0..k).map(|s| cube.slice(s).get(i, j)).sum();
-                        out.set(i, j, sum / k as f64);
-                    }
+            }),
+            Aggregation::Average => row_wise(&mut out, cube, Some(k as f64), &mut |acc, row| {
+                for (a, &v) in acc.iter_mut().zip(row) {
+                    *a += v;
                 }
-            }
+            }),
             Aggregation::Weighted(weights) => {
                 assert_eq!(
                     weights.len(),
@@ -80,6 +67,33 @@ impl Aggregation {
             }
         }
         out
+    }
+}
+
+/// Max/Min/Average sweep the slices row by row (sequential reads and
+/// writes) instead of gathering each cell across all slices; the per-cell
+/// fold order over slices is unchanged, so results are identical to the
+/// cell-wise formulation. `divisor` is applied by division so Average keeps
+/// the exact floating-point result of the cell-wise `sum / k`.
+fn row_wise(
+    out: &mut SimMatrix,
+    cube: &SimCube,
+    divisor: Option<f64>,
+    row_op: &mut dyn FnMut(&mut [f64], &[f64]),
+) {
+    let (m, k) = (cube.rows(), cube.len());
+    let mut acc = vec![0.0_f64; cube.cols()];
+    for i in 0..m {
+        acc.copy_from_slice(cube.slice(0).row(i));
+        for s in 1..k {
+            row_op(&mut acc, cube.slice(s).row(i));
+        }
+        if let Some(d) = divisor {
+            for a in acc.iter_mut() {
+                *a /= d;
+            }
+        }
+        out.fill_row(i, &acc);
     }
 }
 

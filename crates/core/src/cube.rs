@@ -46,17 +46,38 @@ impl SimMatrix {
         &self.values[i * self.n..(i + 1) * self.n]
     }
 
+    /// Row `i` as a mutable slice. Unlike [`SimMatrix::set`] this is raw
+    /// access: callers writing through it are responsible for keeping
+    /// values in `[0, 1]`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.values[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Overwrites row `i` with `values` (one per column), clamping each to
+    /// `[0, 1]` like [`SimMatrix::set`].
+    #[inline]
+    pub fn fill_row(&mut self, i: usize, values: &[f64]) {
+        let row = self.row_mut(i);
+        debug_assert_eq!(row.len(), values.len());
+        for (dst, &v) in row.iter_mut().zip(values) {
+            *dst = v.clamp(0.0, 1.0);
+        }
+    }
+
     /// Raw values in row-major order.
     pub fn values(&self) -> &[f64] {
         &self.values
     }
 
-    /// The transposed matrix (targets become sources).
+    /// The transposed matrix (targets become sources). The output is
+    /// filled row-major so writes stay sequential in memory.
     pub fn transposed(&self) -> SimMatrix {
         let mut t = SimMatrix::new(self.n, self.m);
-        for i in 0..self.m {
-            for j in 0..self.n {
-                t.values[j * self.m + i] = self.get(i, j);
+        for j in 0..self.n {
+            let row = t.row_mut(j);
+            for (i, dst) in row.iter_mut().enumerate() {
+                *dst = self.values[i * self.n + j];
             }
         }
         t
@@ -194,6 +215,15 @@ mod tests {
         assert_eq!(t.rows(), 3);
         assert_eq!(t.get(2, 1), m.get(1, 2));
         assert_eq!(t.transposed(), m);
+    }
+
+    #[test]
+    fn row_mut_and_fill_row_access_rows() {
+        let mut m = SimMatrix::new(2, 3);
+        m.row_mut(1)[2] = 0.9;
+        assert_eq!(m.get(1, 2), 0.9);
+        m.fill_row(0, &[0.1, 7.0, -2.0]);
+        assert_eq!(m.row(0), &[0.1, 1.0, 0.0]);
     }
 
     #[test]

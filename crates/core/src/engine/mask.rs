@@ -1,0 +1,153 @@
+//! Search-space restriction between plan stages.
+
+use crate::cube::SimMatrix;
+use crate::result::MatchResult;
+
+/// A bitset over the `m × n` element-pair space of a match task, used by
+/// [`Seq`](super::MatchPlan::Seq) to restrict a later stage to the pairs an
+/// earlier stage selected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairMask {
+    rows: usize,
+    cols: usize,
+    bits: Vec<u64>,
+}
+
+impl PairMask {
+    /// An all-disallowed mask for an `rows × cols` task.
+    pub fn new(rows: usize, cols: usize) -> PairMask {
+        PairMask {
+            rows,
+            cols,
+            bits: vec![0; (rows * cols).div_ceil(64)],
+        }
+    }
+
+    /// The mask of the pairs a stage result selected.
+    pub fn from_result(rows: usize, cols: usize, result: &MatchResult) -> PairMask {
+        let mut mask = PairMask::new(rows, cols);
+        for c in &result.candidates {
+            mask.allow(c.source.index(), c.target.index());
+        }
+        mask
+    }
+
+    /// Number of source elements (`m`).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of target elements (`n`).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Allows the pair (source `i`, target `j`).
+    pub fn allow(&mut self, i: usize, j: usize) {
+        let cell = i * self.cols + j;
+        self.bits[cell / 64] |= 1 << (cell % 64);
+    }
+
+    /// Whether the pair (source `i`, target `j`) is in the search space.
+    #[inline]
+    pub fn allows(&self, i: usize, j: usize) -> bool {
+        let cell = i * self.cols + j;
+        self.bits[cell / 64] & (1 << (cell % 64)) != 0
+    }
+
+    /// Number of allowed pairs.
+    pub fn allowed_count(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether no pair is allowed.
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// The intersection with another mask of the same dimensions.
+    pub fn intersect(&self, other: &PairMask) -> PairMask {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "mask dimensions must agree"
+        );
+        PairMask {
+            rows: self.rows,
+            cols: self.cols,
+            bits: self
+                .bits
+                .iter()
+                .zip(&other.bits)
+                .map(|(a, b)| a & b)
+                .collect(),
+        }
+    }
+
+    /// Zeroes every disallowed cell of `matrix` in place.
+    pub fn apply(&self, matrix: &mut SimMatrix) {
+        debug_assert_eq!((matrix.rows(), matrix.cols()), (self.rows, self.cols));
+        for i in 0..self.rows {
+            let row = matrix.row_mut(i);
+            for (j, v) in row.iter_mut().enumerate() {
+                if !self.allows(i, j) {
+                    *v = 0.0;
+                }
+            }
+        }
+    }
+
+    /// A copy of `full` with every disallowed cell zeroed.
+    pub fn masked_clone(&self, full: &SimMatrix) -> SimMatrix {
+        let mut out = full.clone();
+        self.apply(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_and_query() {
+        let mut mask = PairMask::new(3, 70); // spans multiple words
+        assert!(mask.is_empty());
+        mask.allow(0, 0);
+        mask.allow(2, 69);
+        assert!(mask.allows(0, 0));
+        assert!(mask.allows(2, 69));
+        assert!(!mask.allows(1, 1));
+        assert_eq!(mask.allowed_count(), 2);
+    }
+
+    #[test]
+    fn apply_zeroes_disallowed_cells() {
+        let mut m = SimMatrix::new(2, 2);
+        m.set(0, 0, 0.8);
+        m.set(0, 1, 0.6);
+        m.set(1, 1, 0.4);
+        let mut mask = PairMask::new(2, 2);
+        mask.allow(0, 1);
+        let masked = mask.masked_clone(&m);
+        assert_eq!(masked.get(0, 0), 0.0);
+        assert_eq!(masked.get(0, 1), 0.6);
+        assert_eq!(masked.get(1, 1), 0.0);
+        // The original is untouched.
+        assert_eq!(m.get(0, 0), 0.8);
+    }
+
+    #[test]
+    fn intersection_keeps_common_pairs() {
+        let mut a = PairMask::new(2, 2);
+        a.allow(0, 0);
+        a.allow(1, 1);
+        let mut b = PairMask::new(2, 2);
+        b.allow(1, 1);
+        b.allow(0, 1);
+        let both = a.intersect(&b);
+        assert!(both.allows(1, 1));
+        assert!(!both.allows(0, 0));
+        assert_eq!(both.allowed_count(), 1);
+    }
+}

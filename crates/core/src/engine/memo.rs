@@ -1,0 +1,216 @@
+//! Shared-work memoization for one plan execution.
+//!
+//! A [`MatchMemo`] lives for the duration of one [`PlanEngine`] run and
+//! caches the three kinds of work that hybrid matchers and overlapping
+//! sub-plans otherwise recompute:
+//!
+//! * **tokenizations** — the abbreviation-expanded token set of a name is
+//!   independent of any matcher configuration, so one cache serves every
+//!   name-based matcher;
+//! * **name-pair similarities** — keyed per [`NameEngine`] configuration
+//!   (its debug fingerprint), so `Name` and `TypeName` share results
+//!   exactly when their engines agree;
+//! * **per-matcher similarity matrices** — keyed by matcher name *and*
+//!   instance identity, so `Children`/`Leaves` reuse the `TypeName` matrix
+//!   the engine already computed (the standard library shares one
+//!   `TypeName` instance for exactly this purpose) without ever conflating
+//!   two differently-configured matchers that happen to share a name.
+//!
+//! All caches use interior mutability and are safe to share across the
+//! engine's worker threads; matrix entries are computed at most once even
+//! under concurrency (via [`OnceLock`]).
+//!
+//! [`PlanEngine`]: super::PlanEngine
+//! [`NameEngine`]: crate::matchers::name_engine::NameEngine
+
+use crate::cube::SimMatrix;
+use crate::matchers::name_engine::NameEngine;
+use crate::matchers::Matcher;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+/// A cache of name-pair similarities for one `NameEngine` configuration.
+type PairSims = Arc<RwLock<HashMap<(String, String), f64>>>;
+
+/// A matrix slot computed at most once, keyed by (matcher name, instance
+/// identity).
+type MatrixSlots = HashMap<(String, usize), Arc<OnceLock<SimMatrix>>>;
+
+/// Memoized shared work for one match task, shared by all matchers and
+/// stages of a plan execution (attached to the context as
+/// [`MatchContext::memo`](crate::MatchContext)).
+#[derive(Default)]
+pub struct MatchMemo {
+    /// Name → abbreviation-expanded token set (engine-independent).
+    token_sets: RwLock<HashMap<String, Arc<Vec<String>>>>,
+    /// Engine fingerprint → its name-pair similarity cache.
+    name_sims: Mutex<HashMap<String, PairSims>>,
+    /// (matcher name, instance identity) → its full similarity matrix.
+    matrices: Mutex<MatrixSlots>,
+}
+
+/// The identity of a matcher instance: the address of its (shared) `Arc`
+/// allocation. Two `Arc` clones of the same matcher share an identity; two
+/// separately constructed matchers never do, even under the same name.
+pub fn matcher_identity(matcher: &Arc<dyn Matcher>) -> usize {
+    Arc::as_ptr(matcher) as *const () as usize
+}
+
+impl MatchMemo {
+    /// An empty memo.
+    pub fn new() -> MatchMemo {
+        MatchMemo::default()
+    }
+
+    /// The cached token set for `name`, computing it via `compute` on the
+    /// first request.
+    pub fn token_set(&self, name: &str, compute: impl FnOnce() -> Vec<String>) -> Arc<Vec<String>> {
+        if let Some(hit) = self.token_sets.read().get(name) {
+            return Arc::clone(hit);
+        }
+        let value = Arc::new(compute());
+        self.token_sets
+            .write()
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::clone(&value))
+            .clone()
+    }
+
+    /// A per-compute name-similarity cache bound to `engine`'s
+    /// configuration: local lookups first, the shared cross-matcher cache
+    /// on a local miss.
+    pub fn name_sim_cache(&self, engine: &NameEngine) -> NameSimCache {
+        let fingerprint = format!("{engine:?}");
+        let shared = self
+            .name_sims
+            .lock()
+            .entry(fingerprint)
+            .or_default()
+            .clone();
+        NameSimCache {
+            shared: Some(shared),
+            local: HashMap::new(),
+        }
+    }
+
+    /// The full similarity matrix of a matcher, computed at most once per
+    /// plan execution (concurrent requests block on the first computation).
+    pub fn matrix(
+        &self,
+        name: &str,
+        identity: usize,
+        compute: impl FnOnce() -> SimMatrix,
+    ) -> SimMatrix {
+        let cell = self.matrix_cell(name, identity);
+        cell.get_or_init(compute).clone()
+    }
+
+    /// The cached full matrix of a matcher, if it was already computed.
+    pub fn cached_matrix(&self, name: &str, identity: usize) -> Option<SimMatrix> {
+        let slot = self
+            .matrices
+            .lock()
+            .get(&(name.to_string(), identity))
+            .cloned();
+        slot.and_then(|cell| cell.get().cloned())
+    }
+
+    fn matrix_cell(&self, name: &str, identity: usize) -> Arc<OnceLock<SimMatrix>> {
+        self.matrices
+            .lock()
+            .entry((name.to_string(), identity))
+            .or_default()
+            .clone()
+    }
+}
+
+/// A two-level name-pair similarity cache handed to one matcher compute:
+/// a lock-free local map in front of the memo's shared cross-matcher map.
+/// Without a memo (legacy direct `Matcher::compute` calls) it degrades to
+/// the purely local cache the hybrid matchers always used.
+pub struct NameSimCache {
+    shared: Option<PairSims>,
+    local: HashMap<(String, String), f64>,
+}
+
+impl NameSimCache {
+    /// A purely local cache (no cross-matcher sharing).
+    pub fn local() -> NameSimCache {
+        NameSimCache {
+            shared: None,
+            local: HashMap::new(),
+        }
+    }
+
+    /// The similarity of the name pair `(a, b)`, computing it via
+    /// `compute` on a miss of both cache levels.
+    pub fn get_or_compute(&mut self, a: &str, b: &str, compute: impl FnOnce() -> f64) -> f64 {
+        let key = (a.to_string(), b.to_string());
+        if let Some(&v) = self.local.get(&key) {
+            return v;
+        }
+        if let Some(shared) = &self.shared {
+            if let Some(&v) = shared.read().get(&key) {
+                self.local.insert(key, v);
+                return v;
+            }
+        }
+        let v = compute();
+        if let Some(shared) = &self.shared {
+            shared.write().insert(key.clone(), v);
+        }
+        self.local.insert(key, v);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn token_sets_compute_once() {
+        let memo = MatchMemo::new();
+        let calls = AtomicUsize::new(0);
+        let mk = || {
+            calls.fetch_add(1, Ordering::SeqCst);
+            vec!["ship".to_string(), "to".to_string()]
+        };
+        let a = memo.token_set("shipTo", mk);
+        let b = memo.token_set("shipTo", mk);
+        assert_eq!(a, b);
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn name_sims_share_per_engine_fingerprint() {
+        let memo = MatchMemo::new();
+        let engine = NameEngine::paper_default();
+        let mut c1 = memo.name_sim_cache(&engine);
+        assert_eq!(c1.get_or_compute("a", "b", || 0.25), 0.25);
+        // A second cache for the same engine sees the shared entry.
+        let mut c2 = memo.name_sim_cache(&engine);
+        assert_eq!(c2.get_or_compute("a", "b", || panic!("must hit")), 0.25);
+        // A differently configured engine does not.
+        let other = NameEngine {
+            aggregation: crate::combine::Aggregation::Min,
+            ..NameEngine::paper_default()
+        };
+        let mut c3 = memo.name_sim_cache(&other);
+        assert_eq!(c3.get_or_compute("a", "b", || 0.75), 0.75);
+    }
+
+    #[test]
+    fn matrices_key_on_name_and_identity() {
+        let memo = MatchMemo::new();
+        let m1 = memo.matrix("X", 1, || SimMatrix::new(2, 2));
+        assert_eq!(m1.rows(), 2);
+        // Same key: cached, the closure must not run.
+        memo.matrix("X", 1, || panic!("must hit"));
+        assert!(memo.cached_matrix("X", 1).is_some());
+        // Same name, different instance: a distinct entry.
+        assert!(memo.cached_matrix("X", 2).is_none());
+    }
+}

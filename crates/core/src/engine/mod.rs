@@ -1,0 +1,622 @@
+//! The match-plan execution engine.
+//!
+//! [`PlanEngine`] executes a [`MatchPlan`] operator tree over one match
+//! task. Compared to the legacy "loop over matcher names, then combine"
+//! pipeline it adds three things while producing identical results for
+//! flat plans:
+//!
+//! * **parallel leaf fan-out** — the independent matchers of a
+//!   [`MatchPlan::Matchers`] leaf run on scoped threads (capped by the
+//!   machine's available parallelism), with slices assembled in
+//!   declaration order so results stay deterministic;
+//! * **memoized shared work** — a per-execution [`MatchMemo`] caches
+//!   tokenizations, name-pair similarities and per-matcher matrices, so
+//!   hybrids and overlapping sub-plans stop recomputing constituents (with
+//!   the standard library, the `All` strategy computes the `TypeName`
+//!   matrix once instead of three times);
+//! * **staged execution** — `Seq` restricts a later stage's search space
+//!   to an earlier stage's survivors via [`PairMask`], `Par` aggregates
+//!   independent sub-plans, `Filter` re-selects mid-pipeline — and every
+//!   stage still materializes a [`SimCube`] so repository storage and
+//!   evaluation re-combination keep working.
+
+mod mask;
+mod memo;
+mod plan;
+
+pub use mask::PairMask;
+pub use memo::{matcher_identity, MatchMemo, NameSimCache};
+pub use plan::MatchPlan;
+
+use crate::combine::DirectedCandidates;
+use crate::cube::{SimCube, SimMatrix};
+use crate::error::{CoreError, Result};
+use crate::matchers::context::MatchContext;
+use crate::matchers::{Matcher, MatcherLibrary};
+use crate::process::{combine_cube_with_feedback, MatchOutcome};
+use crate::result::MatchResult;
+use crate::reuse::SchemaMatcher;
+use std::sync::Arc;
+
+/// One materialized stage of a plan execution: the cube of similarity
+/// slices the stage computed and the match result it selected.
+#[derive(Debug, Clone)]
+pub struct StageOutcome {
+    /// The plan-grammar label of the node that produced this stage.
+    pub label: String,
+    /// The stage's similarity cube (one slice per matcher or sub-plan).
+    pub cube: SimCube,
+    /// The stage's selected match result.
+    pub result: MatchResult,
+}
+
+/// The outcome of executing a plan: the final match result plus every
+/// materialized stage (the last stage belongs to the plan's root node).
+#[derive(Debug, Clone)]
+pub struct PlanOutcome {
+    /// The root node's match result.
+    pub result: MatchResult,
+    /// All stages in completion order; the root's stage is last.
+    pub stages: Vec<StageOutcome>,
+}
+
+impl PlanOutcome {
+    /// The root stage's cube (empty if the plan produced no stage).
+    pub fn final_cube(&self) -> Option<&SimCube> {
+        self.stages.last().map(|s| &s.cube)
+    }
+
+    /// Converts into the legacy [`MatchOutcome`] shape: the final result
+    /// plus the root stage's cube.
+    pub fn into_outcome(mut self) -> MatchOutcome {
+        let cube = self.stages.pop().map(|s| s.cube).unwrap_or_default();
+        MatchOutcome {
+            result: self.result,
+            cube,
+        }
+    }
+}
+
+/// The plan execution engine: borrows a matcher library and executes plans
+/// against prepared match contexts.
+pub struct PlanEngine<'l> {
+    library: &'l MatcherLibrary,
+    parallel: bool,
+}
+
+impl<'l> PlanEngine<'l> {
+    /// An engine over the given library, with parallel leaf fan-out
+    /// enabled.
+    pub fn new(library: &'l MatcherLibrary) -> PlanEngine<'l> {
+        PlanEngine {
+            library,
+            parallel: true,
+        }
+    }
+
+    /// Disables (or re-enables) parallel leaf execution; results are
+    /// identical either way.
+    pub fn with_parallelism(mut self, parallel: bool) -> PlanEngine<'l> {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Executes a plan on a match task. A restriction already present on
+    /// `ctx` becomes the root search-space mask.
+    ///
+    /// # Panics
+    /// Panics (like the legacy pipeline) if a `Matchers` or `Par` node is
+    /// empty: there is no cube to aggregate.
+    pub fn execute(&self, ctx: &MatchContext<'_>, plan: &MatchPlan) -> Result<PlanOutcome> {
+        plan.validate(self.library)?;
+        let memo = MatchMemo::new();
+        let root_mask = ctx.restriction.cloned();
+        let base = ctx.without_restriction().with_memo(&memo);
+        let mut stages = Vec::with_capacity(plan.stage_count());
+        let result = self.exec(base, plan, root_mask.as_ref(), &mut stages)?;
+        Ok(PlanOutcome { result, stages })
+    }
+
+    fn exec(
+        &self,
+        ctx: MatchContext<'_>,
+        plan: &MatchPlan,
+        mask: Option<&PairMask>,
+        stages: &mut Vec<StageOutcome>,
+    ) -> Result<MatchResult> {
+        match plan {
+            MatchPlan::Matchers {
+                matchers,
+                combination,
+            } => {
+                let cube = self.execute_leaf(ctx, matchers, mask)?;
+                let result =
+                    combine_cube_with_feedback(&cube, &ctx, combination, &ctx.aux.feedback);
+                stages.push(StageOutcome {
+                    label: plan.label(),
+                    cube,
+                    result: result.clone(),
+                });
+                Ok(result)
+            }
+            MatchPlan::Seq { filter, refine } => {
+                let first = self.exec(ctx, filter, mask, stages)?;
+                let survivors = PairMask::from_result(ctx.rows(), ctx.cols(), &first);
+                let restricted = match mask {
+                    Some(outer) => survivors.intersect(outer),
+                    None => survivors,
+                };
+                self.exec(ctx, refine, Some(&restricted), stages)
+            }
+            MatchPlan::Par { plans, combination } => {
+                let mut slices: Vec<(String, MatchResult)> = Vec::with_capacity(plans.len());
+                for sub in plans {
+                    let result = self.exec(ctx, sub, mask, stages)?;
+                    slices.push((sub.label(), result));
+                }
+                // Canonical slice order: sub-plan order never changes the
+                // aggregate (identical labels mean identical sub-plans).
+                // Weighted aggregation is the exception — its weights pair
+                // with sub-plans positionally, so declaration order is
+                // meaningful and must be kept.
+                if !matches!(
+                    combination.aggregation,
+                    crate::combine::Aggregation::Weighted(_)
+                ) {
+                    slices.sort_by(|a, b| a.0.cmp(&b.0));
+                }
+                let mut cube = SimCube::new();
+                for (label, result) in &slices {
+                    cube.push(label.clone(), pair_matrix(&ctx, result));
+                }
+                let result =
+                    combine_cube_with_feedback(&cube, &ctx, combination, &ctx.aux.feedback);
+                stages.push(StageOutcome {
+                    label: plan.label(),
+                    cube,
+                    result: result.clone(),
+                });
+                Ok(result)
+            }
+            MatchPlan::Filter {
+                input,
+                direction,
+                selection,
+                combined_sim,
+            } => {
+                let inner = self.exec(ctx, input, mask, stages)?;
+                let matrix = pair_matrix(&ctx, &inner);
+                let candidates = DirectedCandidates::select(&matrix, *direction, selection);
+                let schema_similarity =
+                    combined_sim.compute(&candidates, matrix.rows(), matrix.cols());
+                let result =
+                    MatchResult::from_pairs(&ctx, candidates.pairs(), Some(schema_similarity));
+                let mut cube = SimCube::new();
+                cube.push("Filtered", matrix);
+                stages.push(StageOutcome {
+                    label: plan.label(),
+                    cube,
+                    result: result.clone(),
+                });
+                Ok(result)
+            }
+            MatchPlan::Reuse {
+                kind,
+                compose,
+                combination,
+            } => {
+                let mut matcher = SchemaMatcher::with_name("Reuse", *kind);
+                matcher.compose = *compose;
+                let mut slice = matcher.compute(&ctx);
+                if let Some(mask) = mask {
+                    mask.apply(&mut slice);
+                }
+                let mut cube = SimCube::new();
+                cube.push("Reuse", slice);
+                let result =
+                    combine_cube_with_feedback(&cube, &ctx, combination, &ctx.aux.feedback);
+                stages.push(StageOutcome {
+                    label: plan.label(),
+                    cube,
+                    result: result.clone(),
+                });
+                Ok(result)
+            }
+        }
+    }
+
+    /// Executes a leaf's matchers — in parallel when the machine and the
+    /// engine configuration allow it — and assembles their slices into a
+    /// cube in declaration order (deterministic under any scheduling).
+    fn execute_leaf(
+        &self,
+        ctx: MatchContext<'_>,
+        names: &[String],
+        mask: Option<&PairMask>,
+    ) -> Result<SimCube> {
+        let matchers: Vec<(String, Arc<dyn Matcher>)> = names
+            .iter()
+            .map(|name| {
+                self.library
+                    .get(name)
+                    .map(|m| (name.clone(), m))
+                    .ok_or_else(|| CoreError::UnknownMatcher(name.clone()))
+            })
+            .collect::<Result<_>>()?;
+
+        let compute_one =
+            |matcher: &Arc<dyn Matcher>| -> SimMatrix { self.compute_slice(ctx, matcher, mask) };
+
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let mut slots: Vec<Option<SimMatrix>> = (0..matchers.len()).map(|_| None).collect();
+        if self.parallel && workers > 1 && matchers.len() > 1 {
+            // At most `workers` threads, each owning a contiguous chunk of
+            // matcher slots.
+            let chunk = matchers.len().div_ceil(workers.min(matchers.len()));
+            std::thread::scope(|scope| {
+                for (slot_chunk, matcher_chunk) in
+                    slots.chunks_mut(chunk).zip(matchers.chunks(chunk))
+                {
+                    scope.spawn(move || {
+                        for (slot, (_, matcher)) in slot_chunk.iter_mut().zip(matcher_chunk) {
+                            *slot = Some(compute_one(matcher));
+                        }
+                    });
+                }
+            });
+        } else {
+            for (slot, (_, matcher)) in slots.iter_mut().zip(&matchers) {
+                *slot = Some(compute_one(matcher));
+            }
+        }
+
+        let mut cube = SimCube::new();
+        for ((name, _), slot) in matchers.iter().zip(slots) {
+            cube.push(name.clone(), slot.expect("slice computed"));
+        }
+        Ok(cube)
+    }
+
+    /// One matcher's slice, through the memo and under the stage mask.
+    fn compute_slice(
+        &self,
+        ctx: MatchContext<'_>,
+        matcher: &Arc<dyn Matcher>,
+        mask: Option<&PairMask>,
+    ) -> SimMatrix {
+        let identity = matcher_identity(matcher);
+        let name = matcher.name();
+        match (mask, ctx.memo) {
+            // Unrestricted: memoize the full matrix across stages/sub-plans.
+            (None, Some(memo)) => memo.matrix(name, identity, || matcher.compute(&ctx)),
+            (None, None) => matcher.compute(&ctx),
+            (Some(mask), memo) => {
+                // A full matrix computed earlier is cheaper to mask than to
+                // recompute.
+                if let Some(full) = memo.and_then(|m| m.cached_matrix(name, identity)) {
+                    return mask.masked_clone(&full);
+                }
+                if matcher.cell_local() {
+                    // Cell-local matchers skip disallowed cells themselves;
+                    // the final mask application is a cheap safety net for
+                    // implementations that ignore the restriction.
+                    let restricted = ctx.with_restriction(mask);
+                    let mut out = matcher.compute(&restricted);
+                    mask.apply(&mut out);
+                    out
+                } else {
+                    // Structural/global matchers need the full search space
+                    // for correct set similarities; compute (and memoize)
+                    // full, then mask the copy.
+                    let full = match memo {
+                        Some(m) => m.matrix(name, identity, || matcher.compute(&ctx)),
+                        None => matcher.compute(&ctx),
+                    };
+                    mask.masked_clone(&full)
+                }
+            }
+        }
+    }
+}
+
+/// An `m × n` matrix holding a result's selected pair similarities (zero
+/// elsewhere).
+fn pair_matrix(ctx: &MatchContext<'_>, result: &MatchResult) -> SimMatrix {
+    let mut matrix = SimMatrix::new(ctx.rows(), ctx.cols());
+    for c in &result.candidates {
+        matrix.set(c.source.index(), c.target.index(), c.similarity);
+    }
+    matrix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combine::{CombinationStrategy, Direction, Selection};
+    use crate::matchers::synonym::SynonymTable;
+    use crate::process::{Coma, MatchStrategy};
+    use coma_graph::{PathSet, Schema};
+
+    fn po1() -> Schema {
+        coma_sql::import_ddl(
+            "CREATE TABLE PO1.ShipTo (
+                 poNo INT,
+                 custNo INT REFERENCES PO1.Customer,
+                 shipToStreet VARCHAR(200), shipToCity VARCHAR(200), shipToZip VARCHAR(20),
+                 PRIMARY KEY (poNo));
+             CREATE TABLE PO1.Customer (
+                 custNo INT, custName VARCHAR(200), custStreet VARCHAR(200),
+                 custCity VARCHAR(200), custZip VARCHAR(20),
+                 PRIMARY KEY (custNo));",
+            "PO1",
+        )
+        .unwrap()
+    }
+
+    fn po2() -> Schema {
+        coma_xml::import_xsd(
+            r#"<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="PO2">
+    <xsd:sequence>
+      <xsd:element name="DeliverTo" type="Address"/>
+      <xsd:element name="BillTo" type="Address"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:complexType name="Address">
+    <xsd:sequence>
+      <xsd:element name="Street" type="xsd:string"/>
+      <xsd:element name="City" type="xsd:string"/>
+      <xsd:element name="Zip" type="xsd:decimal"/>
+    </xsd:sequence>
+  </xsd:complexType>
+</xsd:schema>"#,
+            "PO2",
+        )
+        .unwrap()
+    }
+
+    fn coma() -> Coma {
+        let mut c = Coma::new();
+        c.aux_mut().synonyms = SynonymTable::purchase_order();
+        c
+    }
+
+    /// A flat strategy through the engine is bit-identical to the legacy
+    /// sequential pipeline — cube and combined result alike.
+    #[test]
+    fn flat_plan_matches_legacy_pipeline() {
+        let c = coma();
+        let (s1, s2) = (po1(), po2());
+        let p1 = PathSet::new(&s1).unwrap();
+        let p2 = PathSet::new(&s2).unwrap();
+        let ctx = MatchContext::new(&s1, &s2, &p1, &p2, c.aux()).with_repository(c.repository());
+        let strategy = MatchStrategy::paper_default();
+
+        let legacy_cube = c.execute_matchers(&ctx, &strategy.matchers).unwrap();
+        let legacy_result = c.combine_cube(&legacy_cube, &ctx, &strategy.combination);
+
+        let outcome = PlanEngine::new(c.library())
+            .execute(&ctx, &MatchPlan::from(&strategy))
+            .unwrap();
+        assert_eq!(outcome.result, legacy_result);
+        assert_eq!(outcome.stages.len(), 1);
+        assert_eq!(outcome.stages[0].cube, legacy_cube);
+
+        // Sequential engine execution agrees too (determinism under
+        // parallelism).
+        let serial = PlanEngine::new(c.library())
+            .with_parallelism(false)
+            .execute(&ctx, &MatchPlan::from(&strategy))
+            .unwrap();
+        assert_eq!(serial.result, legacy_result);
+    }
+
+    /// The tentpole scenario: a cheap name filter whose survivors restrict
+    /// an expensive structural refine — inexpressible as a flat strategy.
+    #[test]
+    fn two_stage_filter_refine_restricts_the_search_space() {
+        let c = coma();
+        let (s1, s2) = (po1(), po2());
+        let p1 = PathSet::new(&s1).unwrap();
+        let p2 = PathSet::new(&s2).unwrap();
+        let ctx = MatchContext::new(&s1, &s2, &p1, &p2, c.aux()).with_repository(c.repository());
+
+        // Stage 1: liberal Name-only filter. Stage 2: full hybrid refine.
+        let plan = MatchPlan::two_stage(
+            ["Name"],
+            Selection::max_n(4).with_threshold(0.3),
+            &MatchStrategy::paper_default(),
+        );
+        let outcome = PlanEngine::new(c.library()).execute(&ctx, &plan).unwrap();
+        assert_eq!(outcome.stages.len(), 2);
+
+        // Every refined candidate survived the filter stage.
+        let filter_result = &outcome.stages[0].result;
+        for cand in &outcome.result.candidates {
+            assert!(
+                filter_result.contains(cand.source, cand.target),
+                "refined pair was not a filter survivor"
+            );
+        }
+        assert!(!outcome.result.is_empty());
+
+        // The refine stage's cube is materialized and masked: cells the
+        // filter dropped are zero in every slice.
+        let refine_cube = outcome.final_cube().unwrap();
+        assert_eq!(refine_cube.len(), 5);
+        let survivors = PairMask::from_result(ctx.rows(), ctx.cols(), filter_result);
+        for k in 0..refine_cube.len() {
+            for (i, j, v) in refine_cube.slice(k).nonzero() {
+                assert!(
+                    survivors.allows(i, j),
+                    "slice {k} kept disallowed cell ({i},{j}) = {v}"
+                );
+            }
+        }
+
+        // And the restriction is observable: the flat plan proposes at
+        // least as many candidates as the restricted one.
+        let flat = PlanEngine::new(c.library())
+            .execute(&ctx, &MatchPlan::from(&MatchStrategy::paper_default()))
+            .unwrap();
+        assert!(flat.result.len() >= outcome.result.len());
+    }
+
+    /// `Par` sub-plan order never changes the outcome: slices are
+    /// canonicalized by label before aggregation.
+    #[test]
+    fn par_is_order_invariant() {
+        let c = coma();
+        let (s1, s2) = (po1(), po2());
+        let p1 = PathSet::new(&s1).unwrap();
+        let p2 = PathSet::new(&s2).unwrap();
+        let ctx = MatchContext::new(&s1, &s2, &p1, &p2, c.aux());
+
+        let a = MatchPlan::matchers(["Name", "TypeName"]);
+        let b = MatchPlan::matchers(["NamePath"]);
+        let d = MatchPlan::matchers(["Leaves"]);
+        let combination = CombinationStrategy::paper_default();
+        let engine = PlanEngine::new(c.library());
+
+        let fwd = engine
+            .execute(
+                &ctx,
+                &MatchPlan::par([a.clone(), b.clone(), d.clone()], combination.clone()),
+            )
+            .unwrap();
+        let rev = engine
+            .execute(&ctx, &MatchPlan::par([d, b, a], combination))
+            .unwrap();
+        assert_eq!(fwd.result, rev.result);
+        assert_eq!(fwd.final_cube(), rev.final_cube());
+        assert!(!fwd.result.is_empty());
+    }
+
+    /// Weighted aggregation pairs weights with sub-plans in declaration
+    /// order — `Par` must not reorder slices underneath it.
+    #[test]
+    fn par_weighted_keeps_declaration_order() {
+        use crate::combine::Aggregation;
+        let c = coma();
+        let (s1, s2) = (po1(), po2());
+        let p1 = PathSet::new(&s1).unwrap();
+        let p2 = PathSet::new(&s2).unwrap();
+        let ctx = MatchContext::new(&s1, &s2, &p1, &p2, c.aux());
+        let engine = PlanEngine::new(c.library());
+
+        let name = MatchPlan::matchers(["Name"]);
+        let leaves = MatchPlan::matchers(["Leaves"]);
+        let weighted = |w: Vec<f64>| CombinationStrategy {
+            aggregation: Aggregation::Weighted(w),
+            ..CombinationStrategy::paper_default()
+        };
+
+        // All weight on the Name sub-plan, expressed in both orders: the
+        // weight must follow the sub-plan, so results agree.
+        let name_first = engine
+            .execute(
+                &ctx,
+                &MatchPlan::par([name.clone(), leaves.clone()], weighted(vec![1.0, 0.0])),
+            )
+            .unwrap();
+        let name_second = engine
+            .execute(
+                &ctx,
+                &MatchPlan::par([leaves.clone(), name.clone()], weighted(vec![0.0, 1.0])),
+            )
+            .unwrap();
+        assert_eq!(name_first.result, name_second.result);
+
+        // Flipping the weights instead changes the outcome.
+        let leaves_weighted = engine
+            .execute(
+                &ctx,
+                &MatchPlan::par([name, leaves], weighted(vec![0.0, 1.0])),
+            )
+            .unwrap();
+        assert_ne!(name_first.result, leaves_weighted.result);
+    }
+
+    /// `Filter` tightens a result mid-pipeline.
+    #[test]
+    fn filter_node_tightens_selection() {
+        let c = coma();
+        let (s1, s2) = (po1(), po2());
+        let p1 = PathSet::new(&s1).unwrap();
+        let p2 = PathSet::new(&s2).unwrap();
+        let ctx = MatchContext::new(&s1, &s2, &p1, &p2, c.aux());
+
+        let base = MatchPlan::matchers(["Name", "NamePath"]);
+        let engine = PlanEngine::new(c.library());
+        let loose = engine.execute(&ctx, &base).unwrap();
+        let tight = engine
+            .execute(
+                &ctx,
+                &base
+                    .clone()
+                    .filtered(Direction::Both, Selection::max_n(1).with_threshold(0.8)),
+            )
+            .unwrap();
+        assert!(tight.result.len() <= loose.result.len());
+        assert!(tight
+            .result
+            .candidates
+            .iter()
+            .all(|cand| cand.similarity > 0.8));
+        assert_eq!(tight.stages.len(), 2);
+    }
+
+    /// Unknown matchers anywhere in the tree fail up front.
+    #[test]
+    fn unknown_matcher_fails_before_execution() {
+        let c = coma();
+        let (s1, s2) = (po1(), po2());
+        let p1 = PathSet::new(&s1).unwrap();
+        let p2 = PathSet::new(&s2).unwrap();
+        let ctx = MatchContext::new(&s1, &s2, &p1, &p2, c.aux());
+        let plan = MatchPlan::seq(
+            MatchPlan::matchers(["Name"]),
+            MatchPlan::matchers(["Bogus"]),
+        );
+        let err = PlanEngine::new(c.library())
+            .execute(&ctx, &plan)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::UnknownMatcher(name) if name == "Bogus"));
+    }
+
+    /// The shared `TypeName` instance is computed once per execution: the
+    /// `All` strategy's `TypeName`, `Children` and `Leaves` slices reuse
+    /// one memoized matrix (observable through instance identity).
+    #[test]
+    fn all_strategy_memoizes_the_shared_leaf_matcher() {
+        let c = coma();
+        let lib = c.library();
+        let type_name = lib.get("TypeName").unwrap();
+        let memo = MatchMemo::new();
+        // Prime the memo with a poisoned TypeName matrix; if Children or
+        // Leaves recomputed TypeName instead of hitting the memo, their
+        // slices would not reflect it.
+        let (s1, s2) = (po1(), po2());
+        let p1 = PathSet::new(&s1).unwrap();
+        let p2 = PathSet::new(&s2).unwrap();
+        let ctx = MatchContext::new(&s1, &s2, &p1, &p2, c.aux()).with_memo(&memo);
+        let poisoned = SimMatrix::new(ctx.rows(), ctx.cols());
+        memo.matrix("TypeName", matcher_identity(&type_name), || {
+            poisoned.clone()
+        });
+        let children = lib.get("Children").unwrap().compute(&ctx);
+        // With an all-zero leaf matrix, every source-leaf cell of the
+        // Children matrix must be zero; any other value means the matcher
+        // recomputed TypeName instead of hitting the memo.
+        for i in 0..ctx.rows() {
+            if !ctx.source_paths.is_leaf(ctx.source_elem(i)) {
+                continue;
+            }
+            for j in 0..ctx.cols() {
+                assert_eq!(children.get(i, j), 0.0, "leaf cell ({i},{j}) recomputed");
+            }
+        }
+    }
+}

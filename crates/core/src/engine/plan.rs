@@ -1,0 +1,354 @@
+//! The composable match-plan operator tree.
+//!
+//! A [`MatchPlan`] generalizes the flat [`MatchStrategy`] ("run these
+//! matchers, combine once") into a tree of operators, the shape Peukert &
+//! Rahm later formalized as rule-constructed matching processes:
+//!
+//! ```text
+//! plan ::= Matchers(name, …; combination)          leaf fan-out
+//!        | Seq(plan → plan)                        filter, then refine
+//!        | Par(plan ∥ plan ∥ …; combination)       aggregate sub-plans
+//!        | Filter(plan; direction, selection)      re-select mid-pipeline
+//!        | Reuse(kind; compose; combination)       repository pivots
+//! ```
+//!
+//! Flat strategies convert losslessly: `MatchPlan::from(strategy)` is a
+//! one-stage `Matchers` plan that the engine executes with results
+//! identical to the legacy sequential path.
+
+use crate::combine::{CombinationStrategy, CombinedSim, Direction, Selection};
+use crate::error::{CoreError, Result};
+use crate::matchers::MatcherLibrary;
+use crate::process::MatchStrategy;
+use crate::reuse::ComposeCombine;
+use coma_repo::MappingKind;
+
+/// A composable match plan: an operator tree executed by
+/// [`PlanEngine`](super::PlanEngine).
+#[derive(Debug, Clone, PartialEq)]
+pub enum MatchPlan {
+    /// Leaf fan-out: execute the named library matchers (in parallel when
+    /// possible) and combine their cube with `combination`.
+    Matchers {
+        /// Library names of the matchers to execute.
+        matchers: Vec<String>,
+        /// Aggregation + direction + selection + combined similarity.
+        combination: CombinationStrategy,
+    },
+    /// Staged refinement: execute `filter`, then execute `refine` with the
+    /// search space restricted to the pairs `filter` selected. User
+    /// feedback pins survive the restriction (accepted matches resurface
+    /// even if the filter dropped them).
+    Seq {
+        /// The earlier, typically cheap stage.
+        filter: Box<MatchPlan>,
+        /// The later, typically expensive stage, run on the survivors.
+        refine: Box<MatchPlan>,
+    },
+    /// Parallel sub-plans: each sub-plan's selected pairs become one slice
+    /// of a plan-level cube that `combination` aggregates and re-selects.
+    /// Slices are ordered by sub-plan label, so the order in `plans` never
+    /// affects the result — except under `Weighted` aggregation, whose
+    /// weights pair with sub-plans positionally: there, declaration order
+    /// is kept (and meaningful).
+    Par {
+        /// The independent sub-plans.
+        plans: Vec<MatchPlan>,
+        /// The combination applied across the sub-plan slices.
+        combination: CombinationStrategy,
+    },
+    /// Mid-pipeline re-selection: re-ranks the pairs `input` selected
+    /// under a (typically stricter) direction + selection.
+    Filter {
+        /// The plan whose result is filtered.
+        input: Box<MatchPlan>,
+        /// Match direction for the re-selection.
+        direction: Direction,
+        /// The selection criteria applied to the input's pairs.
+        selection: Selection,
+        /// Recomputes the schema similarity of the filtered result.
+        combined_sim: CombinedSim,
+    },
+    /// Reuse leaf: compose stored mappings over repository pivot schemas
+    /// (the paper's `Schema` reuse matcher) and combine the resulting
+    /// similarity slice.
+    Reuse {
+        /// Restricts which stored mappings qualify (`None` = all).
+        kind: Option<MappingKind>,
+        /// Transitive-similarity combination along `S1↔S↔S2` chains.
+        compose: ComposeCombine,
+        /// The combination applied to the reuse slice.
+        combination: CombinationStrategy,
+    },
+}
+
+impl MatchPlan {
+    /// A leaf plan executing `matchers` with the paper-default combination.
+    pub fn matchers<S: Into<String>>(matchers: impl IntoIterator<Item = S>) -> MatchPlan {
+        MatchPlan::Matchers {
+            matchers: matchers.into_iter().map(Into::into).collect(),
+            combination: CombinationStrategy::paper_default(),
+        }
+    }
+
+    /// A leaf plan with an explicit combination.
+    pub fn matchers_with<S: Into<String>>(
+        matchers: impl IntoIterator<Item = S>,
+        combination: CombinationStrategy,
+    ) -> MatchPlan {
+        MatchPlan::Matchers {
+            matchers: matchers.into_iter().map(Into::into).collect(),
+            combination,
+        }
+    }
+
+    /// A two-stage `filter → refine` plan.
+    pub fn seq(filter: MatchPlan, refine: MatchPlan) -> MatchPlan {
+        MatchPlan::Seq {
+            filter: Box::new(filter),
+            refine: Box::new(refine),
+        }
+    }
+
+    /// A parallel aggregation of sub-plans.
+    pub fn par(
+        plans: impl IntoIterator<Item = MatchPlan>,
+        combination: CombinationStrategy,
+    ) -> MatchPlan {
+        MatchPlan::Par {
+            plans: plans.into_iter().collect(),
+            combination,
+        }
+    }
+
+    /// Wraps a plan in a mid-pipeline re-selection.
+    pub fn filtered(self, direction: Direction, selection: Selection) -> MatchPlan {
+        MatchPlan::Filter {
+            input: Box::new(self),
+            direction,
+            selection,
+            combined_sim: CombinedSim::Average,
+        }
+    }
+
+    /// A reuse leaf with the paper's defaults (Average compose, default
+    /// combination) over mappings of the given kind.
+    pub fn reuse(kind: Option<MappingKind>) -> MatchPlan {
+        MatchPlan::Reuse {
+            kind,
+            compose: ComposeCombine::Average,
+            combination: CombinationStrategy::paper_default(),
+        }
+    }
+
+    /// The canonical two-stage shape a flat strategy cannot express: a
+    /// cheap name-based filter whose survivors restrict the expensive
+    /// refine stage.
+    ///
+    /// `filter_matchers` run under a liberal selection (`selection` decides
+    /// which pairs survive); the `refine` strategy then re-scores only the
+    /// surviving pairs and makes the final selection.
+    pub fn two_stage<S: Into<String>>(
+        filter_matchers: impl IntoIterator<Item = S>,
+        filter_selection: Selection,
+        refine: &MatchStrategy,
+    ) -> MatchPlan {
+        let mut filter_combination = CombinationStrategy::paper_default();
+        filter_combination.selection = filter_selection;
+        MatchPlan::seq(
+            MatchPlan::matchers_with(filter_matchers, filter_combination),
+            MatchPlan::from(refine.clone()),
+        )
+    }
+
+    /// All matcher names referenced anywhere in the tree, in first-use
+    /// order (duplicates removed).
+    pub fn matcher_names(&self) -> Vec<&str> {
+        let mut names = Vec::new();
+        self.collect_names(&mut names);
+        names
+    }
+
+    fn collect_names<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            MatchPlan::Matchers { matchers, .. } => {
+                for m in matchers {
+                    if !out.contains(&m.as_str()) {
+                        out.push(m);
+                    }
+                }
+            }
+            MatchPlan::Seq { filter, refine } => {
+                filter.collect_names(out);
+                refine.collect_names(out);
+            }
+            MatchPlan::Par { plans, .. } => {
+                for p in plans {
+                    p.collect_names(out);
+                }
+            }
+            MatchPlan::Filter { input, .. } => input.collect_names(out),
+            MatchPlan::Reuse { .. } => {}
+        }
+    }
+
+    /// Checks every referenced matcher against the library.
+    pub fn validate(&self, library: &MatcherLibrary) -> Result<()> {
+        for name in self.matcher_names() {
+            if library.get(name).is_none() {
+                return Err(CoreError::UnknownMatcher(name.to_string()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of result-producing stages the engine will materialize.
+    pub fn stage_count(&self) -> usize {
+        match self {
+            MatchPlan::Matchers { .. } | MatchPlan::Reuse { .. } => 1,
+            MatchPlan::Seq { filter, refine } => filter.stage_count() + refine.stage_count(),
+            MatchPlan::Par { plans, .. } => {
+                plans.iter().map(MatchPlan::stage_count).sum::<usize>() + 1
+            }
+            MatchPlan::Filter { input, .. } => input.stage_count() + 1,
+        }
+    }
+
+    /// A human-readable label in the plan grammar, e.g.
+    /// `Seq(Matchers(Name)[…] -> Matchers(Leaves)[…])`. The label is
+    /// complete: two plans with equal labels are equal (the engine's `Par`
+    /// canonicalization relies on this).
+    pub fn label(&self) -> String {
+        match self {
+            MatchPlan::Matchers {
+                matchers,
+                combination,
+            } => format!("Matchers({})[{}]", matchers.join("+"), combination.label()),
+            MatchPlan::Seq { filter, refine } => {
+                format!("Seq({} -> {})", filter.label(), refine.label())
+            }
+            MatchPlan::Par { plans, combination } => {
+                let inner: Vec<String> = plans.iter().map(MatchPlan::label).collect();
+                format!("Par({})[{}]", inner.join(" || "), combination.label())
+            }
+            MatchPlan::Filter {
+                input,
+                direction,
+                selection,
+                combined_sim,
+            } => format!(
+                "Filter({} | {}/{}/{})",
+                input.label(),
+                direction,
+                selection,
+                combined_sim
+            ),
+            MatchPlan::Reuse {
+                kind,
+                compose,
+                combination,
+            } => format!(
+                "Reuse({}, {:?})[{}]",
+                match kind {
+                    Some(MappingKind::Manual) => "Manual",
+                    Some(MappingKind::Automatic) => "Automatic",
+                    None => "Any",
+                },
+                compose,
+                combination.label()
+            ),
+        }
+    }
+}
+
+impl From<MatchStrategy> for MatchPlan {
+    /// A flat strategy is a one-stage `Matchers` plan.
+    fn from(strategy: MatchStrategy) -> MatchPlan {
+        MatchPlan::Matchers {
+            matchers: strategy.matchers,
+            combination: strategy.combination,
+        }
+    }
+}
+
+impl From<&MatchStrategy> for MatchPlan {
+    fn from(strategy: &MatchStrategy) -> MatchPlan {
+        MatchPlan::from(strategy.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_converts_to_flat_plan() {
+        let strategy = MatchStrategy::paper_default();
+        let plan = MatchPlan::from(&strategy);
+        match &plan {
+            MatchPlan::Matchers {
+                matchers,
+                combination,
+            } => {
+                assert_eq!(matchers, &strategy.matchers);
+                assert_eq!(combination, &strategy.combination);
+            }
+            other => panic!("expected Matchers leaf, got {}", other.label()),
+        }
+        assert_eq!(plan.stage_count(), 1);
+    }
+
+    #[test]
+    fn validation_finds_unknown_matchers() {
+        let lib = MatcherLibrary::standard();
+        let ok = MatchPlan::seq(
+            MatchPlan::matchers(["Name"]),
+            MatchPlan::matchers(["Leaves", "Children"]),
+        );
+        assert!(ok.validate(&lib).is_ok());
+        let bad = MatchPlan::par(
+            [MatchPlan::matchers(["Name"]), MatchPlan::matchers(["Nope"])],
+            CombinationStrategy::paper_default(),
+        );
+        assert!(matches!(
+            bad.validate(&lib),
+            Err(CoreError::UnknownMatcher(name)) if name == "Nope"
+        ));
+    }
+
+    #[test]
+    fn matcher_names_deduplicate_in_first_use_order() {
+        let plan = MatchPlan::seq(
+            MatchPlan::matchers(["Name", "TypeName"]),
+            MatchPlan::matchers(["TypeName", "Leaves"]),
+        );
+        assert_eq!(plan.matcher_names(), vec!["Name", "TypeName", "Leaves"]);
+    }
+
+    #[test]
+    fn labels_follow_the_grammar() {
+        let plan = MatchPlan::seq(
+            MatchPlan::matchers(["Name"]),
+            MatchPlan::matchers(["Leaves"]),
+        );
+        let label = plan.label();
+        assert!(label.starts_with("Seq(Matchers(Name)["), "{label}");
+        assert!(label.contains("-> Matchers(Leaves)["), "{label}");
+        let reuse = MatchPlan::reuse(Some(MappingKind::Manual));
+        assert_eq!(
+            reuse.label(),
+            "Reuse(Manual, Average)[Average/Both/Thr(0.5)+Delta(0.02)/Average]"
+        );
+        // Labels are complete: plans differing only in combination get
+        // distinct labels (the engine's Par canonicalization relies on
+        // label equality implying plan equality).
+        let mut other = MatchPlan::reuse(Some(MappingKind::Manual));
+        if let MatchPlan::Reuse { combination, .. } = &mut other {
+            combination.selection = Selection::max_n(2);
+        }
+        assert_ne!(reuse.label(), other.label());
+        let filtered = MatchPlan::matchers(["Name"]).filtered(Direction::Both, Selection::max_n(1));
+        assert!(filtered.label().starts_with("Filter(Matchers(Name)["));
+        assert_eq!(filtered.stage_count(), 2);
+    }
+}

@@ -17,7 +17,11 @@
 //!   `Schema` (`SchemaM`/`SchemaA`) and `Fragment` matchers (Section 5);
 //! * [`process`] — match processing (Figure 2): the [`Coma`] system type,
 //!   automatic match operations, and interactive [`MatchSession`]s with
-//!   user feedback.
+//!   user feedback;
+//! * [`engine`] — the composable [`MatchPlan`] operator tree
+//!   (`Matchers` / `Seq` / `Par` / `Filter` / `Reuse`) and its execution
+//!   engine: parallel leaf fan-out, memoized shared work, staged
+//!   filter-then-refine processes.
 //!
 //! ```
 //! use coma_core::{Coma, MatchStrategy};
@@ -44,6 +48,7 @@
 
 pub mod combine;
 mod cube;
+pub mod engine;
 mod error;
 pub mod matchers;
 pub mod process;
@@ -55,6 +60,7 @@ pub use combine::{
     Selection,
 };
 pub use cube::{SimCube, SimMatrix};
+pub use engine::{MatchMemo, MatchPlan, PairMask, PlanEngine, PlanOutcome, StageOutcome};
 pub use error::{CoreError, Result};
 pub use matchers::{Auxiliary, MatchContext, Matcher, MatcherLibrary};
 pub use process::{

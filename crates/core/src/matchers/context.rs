@@ -1,12 +1,15 @@
 //! Match task context and auxiliary information shared by all matchers.
 
+use crate::engine::{MatchMemo, NameSimCache, PairMask};
 use crate::matchers::datatype::TypeCompatTable;
 use crate::matchers::feedback::Feedback;
 use crate::matchers::instances::InstanceStore;
+use crate::matchers::name_engine::NameEngine;
 use crate::matchers::synonym::SynonymTable;
 use coma_graph::{PathId, PathSet, Schema};
 use coma_repo::Repository;
 use coma_strings::AbbreviationTable;
+use std::sync::Arc;
 
 /// Auxiliary information available to matchers (paper, Table 3): synonym
 /// dictionaries, abbreviation tables, the data-type compatibility table,
@@ -60,6 +63,14 @@ pub struct MatchContext<'a> {
     pub aux: &'a Auxiliary,
     /// The repository, for reuse-oriented matchers. `None` disables reuse.
     pub repository: Option<&'a Repository>,
+    /// Shared-work memoization for one plan execution (attached by the
+    /// [`PlanEngine`](crate::engine::PlanEngine)). `None` means every
+    /// matcher computes from scratch, as the legacy pipeline always did.
+    pub memo: Option<&'a MatchMemo>,
+    /// Search-space restriction for the current stage. Cell-local matchers
+    /// (see [`Matcher::cell_local`](crate::Matcher::cell_local)) skip
+    /// disallowed pairs; `None` allows every pair.
+    pub restriction: Option<&'a PairMask>,
 }
 
 impl<'a> MatchContext<'a> {
@@ -78,6 +89,8 @@ impl<'a> MatchContext<'a> {
             target_paths,
             aux,
             repository: None,
+            memo: None,
+            restriction: None,
         }
     }
 
@@ -85,6 +98,62 @@ impl<'a> MatchContext<'a> {
     pub fn with_repository(mut self, repository: &'a Repository) -> MatchContext<'a> {
         self.repository = Some(repository);
         self
+    }
+
+    /// Attaches a shared-work memo (the engine does this once per plan
+    /// execution).
+    pub fn with_memo<'b>(self, memo: &'b MatchMemo) -> MatchContext<'b>
+    where
+        'a: 'b,
+    {
+        MatchContext {
+            memo: Some(memo),
+            ..self
+        }
+    }
+
+    /// Restricts the search space to the pairs a mask allows.
+    pub fn with_restriction<'b>(self, restriction: &'b PairMask) -> MatchContext<'b>
+    where
+        'a: 'b,
+    {
+        MatchContext {
+            restriction: Some(restriction),
+            ..self
+        }
+    }
+
+    /// Drops any search-space restriction (structural matchers need the
+    /// full pair space for correct set similarities).
+    pub fn without_restriction(self) -> MatchContext<'a> {
+        MatchContext {
+            restriction: None,
+            ..self
+        }
+    }
+
+    /// Whether the pair (source `i`, target `j`) is in the search space.
+    #[inline]
+    pub fn allows(&self, i: usize, j: usize) -> bool {
+        self.restriction.is_none_or(|mask| mask.allows(i, j))
+    }
+
+    /// A name-pair similarity cache for `engine`: shared across matchers
+    /// with the same engine configuration when a memo is attached, purely
+    /// local otherwise.
+    pub fn name_sim_cache(&self, engine: &NameEngine) -> NameSimCache {
+        match self.memo {
+            Some(memo) => memo.name_sim_cache(engine),
+            None => NameSimCache::local(),
+        }
+    }
+
+    /// The (memoized, engine-independent) token set of a name.
+    pub fn token_set(&self, engine: &NameEngine, name: &str) -> Arc<Vec<String>> {
+        match self.memo {
+            Some(memo) => memo.token_set(name, || engine.token_set(name, self.aux)),
+            None => Arc::new(engine.token_set(name, self.aux)),
+        }
     }
 
     /// Number of source elements (`m`).

@@ -6,7 +6,7 @@ use crate::cube::SimMatrix;
 use crate::matchers::context::MatchContext;
 use crate::matchers::name_engine::NameEngine;
 use crate::matchers::Matcher;
-use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The hybrid `Name` matcher: tokenization, abbreviation expansion and a
 /// combination of simple matchers over the token sets (Table 4 defaults:
@@ -36,19 +36,23 @@ impl Matcher for NameMatcher {
 
     fn compute(&self, ctx: &MatchContext<'_>) -> SimMatrix {
         let mut out = SimMatrix::new(ctx.rows(), ctx.cols());
-        let mut cache = HashMap::new();
+        let mut cache = ctx.name_sim_cache(&self.engine);
         for i in 0..ctx.rows() {
             let a = ctx.source_name(i);
             for j in 0..ctx.cols() {
+                if !ctx.allows(i, j) {
+                    continue;
+                }
                 let b = ctx.target_name(j);
-                out.set(
-                    i,
-                    j,
-                    self.engine.similarity_cached(a, b, ctx.aux, &mut cache),
-                );
+                let sim = cache.get_or_compute(a, b, || self.engine.similarity(a, b, ctx.aux));
+                out.set(i, j, sim);
             }
         }
         out
+    }
+
+    fn cell_local(&self) -> bool {
+        true
     }
 }
 
@@ -81,30 +85,43 @@ impl Matcher for NamePathMatcher {
     }
 
     fn compute(&self, ctx: &MatchContext<'_>) -> SimMatrix {
-        // Pre-compute the token set of every path's long name once.
-        let src_tokens: Vec<Vec<String>> = (0..ctx.rows())
+        // Pre-compute the token set of every path's long name once (shared
+        // through the memo when one is attached).
+        let src_tokens: Vec<(String, Arc<Vec<String>>)> = (0..ctx.rows())
             .map(|i| {
                 let long = ctx
                     .source_paths
                     .join_names(ctx.source, ctx.source_elem(i), " ");
-                self.engine.token_set(&long, ctx.aux)
+                let tokens = ctx.token_set(&self.engine, &long);
+                (long, tokens)
             })
             .collect();
-        let tgt_tokens: Vec<Vec<String>> = (0..ctx.cols())
+        let tgt_tokens: Vec<(String, Arc<Vec<String>>)> = (0..ctx.cols())
             .map(|j| {
                 let long = ctx
                     .target_paths
                     .join_names(ctx.target, ctx.target_elem(j), " ");
-                self.engine.token_set(&long, ctx.aux)
+                let tokens = ctx.token_set(&self.engine, &long);
+                (long, tokens)
             })
             .collect();
         let mut out = SimMatrix::new(ctx.rows(), ctx.cols());
-        for (i, t1) in src_tokens.iter().enumerate() {
-            for (j, t2) in tgt_tokens.iter().enumerate() {
-                out.set(i, j, self.engine.token_set_similarity(t1, t2, ctx.aux));
+        let mut cache = ctx.name_sim_cache(&self.engine);
+        for (i, (a, t1)) in src_tokens.iter().enumerate() {
+            for (j, (b, t2)) in tgt_tokens.iter().enumerate() {
+                if !ctx.allows(i, j) {
+                    continue;
+                }
+                let sim = cache
+                    .get_or_compute(a, b, || self.engine.token_set_similarity(t1, t2, ctx.aux));
+                out.set(i, j, sim);
             }
         }
         out
+    }
+
+    fn cell_local(&self) -> bool {
+        true
     }
 }
 
@@ -157,7 +174,7 @@ impl Matcher for TypeNameMatcher {
     fn compute(&self, ctx: &MatchContext<'_>) -> SimMatrix {
         let total = self.name_weight + self.type_weight;
         let mut out = SimMatrix::new(ctx.rows(), ctx.cols());
-        let mut cache = HashMap::new();
+        let mut cache = ctx.name_sim_cache(&self.engine);
         for i in 0..ctx.rows() {
             let a_name = ctx.source_name(i);
             let a_type = ctx
@@ -165,14 +182,17 @@ impl Matcher for TypeNameMatcher {
                 .node(ctx.source_paths.node_of(ctx.source_elem(i)))
                 .datatype;
             for j in 0..ctx.cols() {
+                if !ctx.allows(i, j) {
+                    continue;
+                }
                 let b_name = ctx.target_name(j);
                 let b_type = ctx
                     .target
                     .node(ctx.target_paths.node_of(ctx.target_elem(j)))
                     .datatype;
-                let name_sim = self
-                    .engine
-                    .similarity_cached(a_name, b_name, ctx.aux, &mut cache);
+                let name_sim = cache.get_or_compute(a_name, b_name, || {
+                    self.engine.similarity(a_name, b_name, ctx.aux)
+                });
                 let type_sim = ctx.aux.type_compat.similarity_opt(a_type, b_type);
                 out.set(
                     i,
@@ -182,6 +202,10 @@ impl Matcher for TypeNameMatcher {
             }
         }
         out
+    }
+
+    fn cell_local(&self) -> bool {
+        true
     }
 }
 

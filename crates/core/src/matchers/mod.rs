@@ -27,6 +27,17 @@ pub trait Matcher: Send + Sync {
 
     /// Computes the similarity matrix for the given match task.
     fn compute(&self, ctx: &MatchContext<'_>) -> SimMatrix;
+
+    /// Whether each cell `(i, j)` of this matcher's matrix depends only on
+    /// the source element `i` and target element `j` (not on other pairs).
+    /// Cell-local matchers can honor a search-space restriction
+    /// ([`MatchContext::restriction`]) by skipping disallowed pairs; for
+    /// all others the engine computes the full matrix and masks the
+    /// result, since e.g. structural set similarities need the complete
+    /// pair space. The conservative default is `false`.
+    fn cell_local(&self) -> bool {
+        false
+    }
 }
 
 /// The extensible matcher library: "New match algorithms can be included
@@ -60,12 +71,20 @@ impl MatcherLibrary {
         lib.register(Arc::new(simple::SimpleNameMatcher::synonym()));
         lib.register(Arc::new(simple::DataTypeMatcher));
         lib.register(Arc::new(simple::UserFeedbackMatcher));
-        // Hybrid matchers.
+        // Hybrid matchers. `Children` and `Leaves` share the registered
+        // `TypeName` instance as their leaf matcher so a plan execution
+        // computes its matrix once for all three (the engine memoizes by
+        // instance identity).
+        let type_name: Arc<dyn Matcher> = Arc::new(hybrid::TypeNameMatcher::new());
         lib.register(Arc::new(hybrid::NameMatcher::new()));
         lib.register(Arc::new(hybrid::NamePathMatcher::new()));
-        lib.register(Arc::new(hybrid::TypeNameMatcher::new()));
-        lib.register(Arc::new(structural::ChildrenMatcher::new()));
-        lib.register(Arc::new(structural::LeavesMatcher::new()));
+        lib.register(Arc::clone(&type_name));
+        lib.register(Arc::new(structural::ChildrenMatcher::with_leaf_matcher(
+            Arc::clone(&type_name),
+        )));
+        lib.register(Arc::new(structural::LeavesMatcher::with_leaf_matcher(
+            type_name,
+        )));
         // Instance-level matcher (extension; zero without sample data).
         lib.register(Arc::new(instances::InstanceMatcher::new()));
         // Reuse-oriented matchers.

@@ -7,7 +7,6 @@ use coma_strings::{
     affix_similarity, edit_distance_similarity, ngram_similarity, soundex_similarity, tokenize,
 };
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::fmt;
 
 /// A token-level simple matcher usable inside the hybrid `Name` matcher.
@@ -131,24 +130,6 @@ impl NameEngine {
         let t2 = self.token_set(b, aux);
         self.token_set_similarity(&t1, &t2, aux)
     }
-
-    /// Memoizing variant for matrix computations where names repeat
-    /// (shared fragments yield many paths with identical names).
-    pub fn similarity_cached(
-        &self,
-        a: &str,
-        b: &str,
-        aux: &Auxiliary,
-        cache: &mut HashMap<(String, String), f64>,
-    ) -> f64 {
-        let key = (a.to_string(), b.to_string());
-        if let Some(&v) = cache.get(&key) {
-            return v;
-        }
-        let v = self.similarity(a, b, aux);
-        cache.insert(key, v);
-        v
-    }
 }
 
 impl Default for NameEngine {
@@ -218,13 +199,17 @@ mod tests {
 
     #[test]
     fn cached_similarity_is_consistent() {
+        // The memoized path (NameSimCache, as used by the hybrid matchers)
+        // agrees with the direct computation.
         let e = NameEngine::paper_default();
         let a = aux();
-        let mut cache = HashMap::new();
-        let s1 = e.similarity_cached("ShipTo", "DeliverTo", &a, &mut cache);
-        let s2 = e.similarity_cached("ShipTo", "DeliverTo", &a, &mut cache);
+        let mut cache = crate::engine::NameSimCache::local();
+        let s1 = cache.get_or_compute("ShipTo", "DeliverTo", || {
+            e.similarity("ShipTo", "DeliverTo", &a)
+        });
+        let s2 = cache.get_or_compute("ShipTo", "DeliverTo", || panic!("must hit the cache"));
         assert_eq!(s1, s2);
-        assert_eq!(cache.len(), 1);
+        assert_eq!(s1, e.similarity("ShipTo", "DeliverTo", &a));
     }
 
     #[test]

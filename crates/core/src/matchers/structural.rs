@@ -6,6 +6,7 @@
 
 use crate::combine::{CombinedSim, DirectedCandidates, Direction, Selection};
 use crate::cube::SimMatrix;
+use crate::engine::matcher_identity;
 use crate::matchers::context::MatchContext;
 use crate::matchers::hybrid::TypeNameMatcher;
 use crate::matchers::Matcher;
@@ -28,6 +29,24 @@ impl StructuralConfig {
             direction: Direction::Both,
             selection: Selection::max_n(1),
             combined: CombinedSim::Average,
+        }
+    }
+
+    /// The leaf matcher's full matrix, computed fresh or taken from the
+    /// plan-execution memo (keyed by instance identity, so the standard
+    /// library's shared `TypeName` is computed once per task). Structural
+    /// set similarities need the full pair space, so any search-space
+    /// restriction is dropped here — the engine masks the *output* of
+    /// non-cell-local matchers instead.
+    fn leaf_sims(&self, ctx: &MatchContext<'_>) -> SimMatrix {
+        let full = ctx.without_restriction();
+        match full.memo {
+            Some(memo) => memo.matrix(
+                self.leaf_matcher.name(),
+                matcher_identity(&self.leaf_matcher),
+                || self.leaf_matcher.compute(&full),
+            ),
+            None => self.leaf_matcher.compute(&full),
         }
     }
 
@@ -107,8 +126,7 @@ impl Matcher for ChildrenMatcher {
     }
 
     fn compute(&self, ctx: &MatchContext<'_>) -> SimMatrix {
-        let leaf_sims = self.config.leaf_matcher.compute(ctx);
-        let mut out = leaf_sims.clone();
+        let mut out = self.config.leaf_sims(ctx);
 
         // Bottom-up: process source paths in order of increasing subtree
         // height so children similarities exist before their parents'.
@@ -182,7 +200,7 @@ impl Matcher for LeavesMatcher {
     }
 
     fn compute(&self, ctx: &MatchContext<'_>) -> SimMatrix {
-        let leaf_sims = self.config.leaf_matcher.compute(ctx);
+        let leaf_sims = self.config.leaf_sims(ctx);
         let mut out = SimMatrix::new(ctx.rows(), ctx.cols());
         // A leaf's leaf-set is itself, so every pair is handled uniformly:
         // sim(p, q) = combined similarity of leaves_under(p) × leaves_under(q).

@@ -4,11 +4,12 @@
 
 use crate::combine::{CombinationStrategy, DirectedCandidates};
 use crate::cube::SimCube;
+use crate::engine::{MatchPlan, PlanEngine, PlanOutcome};
 use crate::error::{CoreError, Result};
 use crate::matchers::context::{Auxiliary, MatchContext};
 use crate::matchers::feedback::Feedback;
 use crate::matchers::MatcherLibrary;
-use crate::result::{MatchCandidate, MatchResult};
+use crate::result::MatchResult;
 use coma_graph::{PathSet, Schema};
 use coma_repo::{MappingKind, Repository, StoredCube};
 use serde::{Deserialize, Serialize};
@@ -52,6 +53,12 @@ impl MatchStrategy {
     pub fn with_combination(mut self, combination: CombinationStrategy) -> MatchStrategy {
         self.combination = combination;
         self
+    }
+
+    /// The equivalent one-stage [`MatchPlan`]: a strategy is the
+    /// degenerate plan `Matchers(matchers)[combination]`.
+    pub fn into_plan(self) -> MatchPlan {
+        MatchPlan::from(self)
     }
 }
 
@@ -147,6 +154,11 @@ impl Coma {
     }
 
     /// Runs a complete automatic match operation on two schemas.
+    ///
+    /// Since the plan-engine refactor this executes the strategy's
+    /// one-stage plan: independent matchers run in parallel and shared
+    /// work is memoized, with results identical to the legacy sequential
+    /// pipeline ([`Coma::execute_matchers`] + [`Coma::combine_cube`]).
     pub fn match_schemas(
         &self,
         source: &Schema,
@@ -157,30 +169,54 @@ impl Coma {
         let target_paths = PathSet::new(target)?;
         let ctx = MatchContext::new(source, target, &source_paths, &target_paths, &self.aux)
             .with_repository(&self.repository);
-        let cube = self.execute_matchers(&ctx, &strategy.matchers)?;
-        let result = self.combine_cube(&cube, &ctx, &strategy.combination);
-        Ok(MatchOutcome { result, cube })
+        let plan = MatchPlan::from(strategy);
+        let outcome = PlanEngine::new(&self.library).execute(&ctx, &plan)?;
+        Ok(outcome.into_outcome())
+    }
+
+    /// Runs an arbitrary [`MatchPlan`] on two schemas — the plan-aware
+    /// counterpart of [`Coma::match_schemas`], for staged processes like
+    /// `Seq(name filter → structural refine)` that a flat strategy cannot
+    /// express.
+    pub fn match_plan(
+        &self,
+        source: &Schema,
+        target: &Schema,
+        plan: &MatchPlan,
+    ) -> Result<PlanOutcome> {
+        let source_paths = PathSet::new(source)?;
+        let target_paths = PathSet::new(target)?;
+        let ctx = MatchContext::new(source, target, &source_paths, &target_paths, &self.aux)
+            .with_repository(&self.repository);
+        PlanEngine::new(&self.library).execute(&ctx, plan)
     }
 
     /// Like [`Coma::match_schemas`], but additionally stores the schemas,
     /// the similarity cube and the resulting mapping in the repository for
     /// later reuse (the paper's standard mode of operation).
+    ///
+    /// The path sets and context are prepared once for the whole
+    /// operation (matching, mapping conversion and cube storage).
     pub fn match_and_store(
         &mut self,
         source: &Schema,
         target: &Schema,
         strategy: &MatchStrategy,
     ) -> Result<MatchResult> {
-        let outcome = self.match_schemas(source, target, strategy)?;
         let source_paths = PathSet::new(source)?;
         let target_paths = PathSet::new(target)?;
-        let ctx = MatchContext::new(source, target, &source_paths, &target_paths, &self.aux);
-        let mapping = outcome.result.to_mapping(&ctx, MappingKind::Automatic);
+        let ctx = MatchContext::new(source, target, &source_paths, &target_paths, &self.aux)
+            .with_repository(&self.repository);
+        let plan = MatchPlan::from(strategy);
+        let outcome = PlanEngine::new(&self.library).execute(&ctx, &plan)?;
+        let MatchOutcome { result, cube } = outcome.into_outcome();
+        let mapping = result.to_mapping(&ctx, MappingKind::Automatic);
+        let stored = stored_cube(&cube, &ctx);
         self.repository.put_schema(source.clone());
         self.repository.put_schema(target.clone());
-        self.repository.put_cube(stored_cube(&outcome.cube, &ctx));
+        self.repository.put_cube(stored);
         self.repository.put_mapping(mapping);
-        Ok(outcome.result)
+        Ok(result)
     }
 }
 
@@ -223,22 +259,7 @@ pub fn combine_cube_with_feedback(
         combination
             .combined_sim
             .compute(&candidates, matrix.rows(), matrix.cols());
-    let pairs = candidates.pairs();
-    MatchResult {
-        source_schema: ctx.source.name().to_string(),
-        target_schema: ctx.target.name().to_string(),
-        candidates: pairs
-            .into_iter()
-            .map(|(i, j, similarity)| MatchCandidate {
-                source: ctx.source_elem(i),
-                target: ctx.target_elem(j),
-                similarity,
-            })
-            .collect(),
-        source_size: matrix.rows(),
-        target_size: matrix.cols(),
-        schema_similarity: Some(schema_similarity),
-    }
+    MatchResult::from_pairs(ctx, candidates.pairs(), Some(schema_similarity))
 }
 
 /// An interactive match session (Figure 2): iterations of matcher
@@ -309,10 +330,9 @@ impl<'a> MatchSession<'a> {
             &aux,
         )
         .with_repository(self.coma.repository());
-        let cube = self.coma.execute_matchers(&ctx, &self.strategy.matchers)?;
-        let result =
-            combine_cube_with_feedback(&cube, &ctx, &self.strategy.combination, &self.feedback);
-        self.iterations.push(result);
+        let plan = MatchPlan::from(&self.strategy);
+        let outcome = PlanEngine::new(self.coma.library()).execute(&ctx, &plan)?;
+        self.iterations.push(outcome.result);
         Ok(self.iterations.last().expect("just pushed"))
     }
 

@@ -34,6 +34,31 @@ pub struct MatchResult {
 }
 
 impl MatchResult {
+    /// Builds a result from selected matrix pairs `(i, j, sim)` — the one
+    /// construction path shared by the combination pipeline and the plan
+    /// engine's operators.
+    pub fn from_pairs(
+        ctx: &MatchContext<'_>,
+        pairs: Vec<(usize, usize, f64)>,
+        schema_similarity: Option<f64>,
+    ) -> MatchResult {
+        MatchResult {
+            source_schema: ctx.source.name().to_string(),
+            target_schema: ctx.target.name().to_string(),
+            candidates: pairs
+                .into_iter()
+                .map(|(i, j, similarity)| MatchCandidate {
+                    source: ctx.source_elem(i),
+                    target: ctx.target_elem(j),
+                    similarity,
+                })
+                .collect(),
+            source_size: ctx.rows(),
+            target_size: ctx.cols(),
+            schema_similarity,
+        }
+    }
+
     /// Number of correspondences.
     pub fn len(&self) -> usize {
         self.candidates.len()

@@ -9,8 +9,8 @@ use coma_core::matchers::hybrid::{NameMatcher, NamePathMatcher, TypeNameMatcher}
 use coma_core::matchers::name_engine::NameEngine;
 use coma_core::matchers::structural::{ChildrenMatcher, LeavesMatcher};
 use coma_core::{
-    combine_cube_with_feedback, CombinationStrategy, CombinedSim, MatchContext, MatchResult,
-    Matcher, SchemaMatcher, SimCube,
+    combine_cube_with_feedback, CombinationStrategy, CombinedSim, MatchContext, MatchPlan,
+    MatchResult, Matcher, MatcherLibrary, PlanEngine, SchemaMatcher, SimCube,
 };
 use coma_repo::{MappingKind, Repository};
 use std::collections::BTreeSet;
@@ -51,6 +51,9 @@ pub struct Harness {
     /// The default match operation's result per task (used for `SchemaA`
     /// reuse and reported by the examples).
     default_results: Vec<MatchResult>,
+    /// The standard matcher library, for plan-aware evaluation (its
+    /// paper-default hybrids equal the Average-internal cube variant).
+    library: MatcherLibrary,
 }
 
 /// Builds the five hybrid matchers with the given internal step-3 strategy.
@@ -180,6 +183,7 @@ impl Harness {
             repository,
             tasks,
             default_results,
+            library: MatcherLibrary::standard(),
         }
     }
 
@@ -201,6 +205,47 @@ impl Harness {
     /// The default operation's match result per task.
     pub fn default_results(&self) -> &[MatchResult] {
         &self.default_results
+    }
+
+    /// The standard matcher library backing plan-aware evaluation.
+    pub fn library(&self) -> &MatcherLibrary {
+        &self.library
+    }
+
+    /// Plan-aware entry point: executes an arbitrary [`MatchPlan`] (staged
+    /// filter→refine processes included) on one task with the plan engine
+    /// and scores it against the gold standard.
+    pub fn evaluate_plan_on_task(
+        &self,
+        plan: &MatchPlan,
+        task: usize,
+    ) -> coma_core::Result<(MatchQuality, MatchResult)> {
+        let data = &self.tasks[task];
+        let ctx = MatchContext::new(
+            self.corpus.schema(data.source),
+            self.corpus.schema(data.target),
+            self.corpus.path_set(data.source),
+            self.corpus.path_set(data.target),
+            self.corpus.aux(),
+        )
+        .with_repository(&self.repository);
+        let outcome = PlanEngine::new(&self.library).execute(&ctx, plan)?;
+        let result = outcome.result;
+        let quality = score_against_gold(&result, &data.gold);
+        Ok((quality, result))
+    }
+
+    /// Runs a plan over all ten tasks, returning per-task qualities and
+    /// their averages.
+    pub fn evaluate_plan(
+        &self,
+        plan: &MatchPlan,
+    ) -> coma_core::Result<(Vec<MatchQuality>, AverageQuality)> {
+        let per_task: Vec<MatchQuality> = (0..self.tasks.len())
+            .map(|t| self.evaluate_plan_on_task(plan, t).map(|(q, _)| q))
+            .collect::<coma_core::Result<_>>()?;
+        let average = AverageQuality::of(&per_task);
+        Ok((per_task, average))
     }
 
     /// Runs one series on one task, returning the quality and the match
@@ -239,16 +284,7 @@ impl Harness {
             &combination,
             &coma_core::matchers::feedback::Feedback::new(),
         );
-        let tp = result
-            .candidates
-            .iter()
-            .filter(|c| data.gold.contains(&(c.source.index(), c.target.index())))
-            .count();
-        let quality = MatchQuality {
-            true_positives: tp,
-            false_positives: result.candidates.len() - tp,
-            false_negatives: data.gold.len() - tp,
-        };
+        let quality = score_against_gold(&result, &data.gold);
         (quality, result)
     }
 
@@ -294,6 +330,20 @@ impl Harness {
 impl Default for Harness {
     fn default() -> Self {
         Harness::new()
+    }
+}
+
+/// Scores a match result against a gold standard of matrix-index pairs.
+fn score_against_gold(result: &MatchResult, gold: &BTreeSet<(usize, usize)>) -> MatchQuality {
+    let tp = result
+        .candidates
+        .iter()
+        .filter(|c| gold.contains(&(c.source.index(), c.target.index())))
+        .count();
+    MatchQuality {
+        true_positives: tp,
+        false_positives: result.candidates.len() - tp,
+        false_negatives: gold.len() - tp,
     }
 }
 
@@ -388,6 +438,34 @@ mod tests {
         for (a, b) in serial.iter().zip(&parallel) {
             assert_eq!(a.per_task, b.per_task);
         }
+    }
+
+    #[test]
+    fn plan_evaluation_agrees_with_flat_series_and_supports_stages() {
+        use coma_core::{MatchStrategy, Selection};
+        let h = harness();
+
+        // A flat All plan scores exactly like the pre-computed All series
+        // (the engine reproduces the legacy pipeline bit for bit).
+        let flat = MatchPlan::from(&MatchStrategy::paper_default());
+        let (per_task, average) = h.evaluate_plan(&flat).unwrap();
+        let series = h.evaluate(&spec(
+            &["Name", "NamePath", "TypeName", "Children", "Leaves"],
+            false,
+        ));
+        assert_eq!(per_task, series.per_task);
+        assert!((average.overall - series.average.overall).abs() < 1e-12);
+
+        // A two-stage filter→refine plan runs end to end and produces a
+        // usable quality.
+        let staged = MatchPlan::two_stage(
+            ["Name"],
+            Selection::max_n(6).with_threshold(0.3),
+            &MatchStrategy::paper_default(),
+        );
+        let (staged_qualities, staged_avg) = h.evaluate_plan(&staged).unwrap();
+        assert_eq!(staged_qualities.len(), 10);
+        assert!(staged_avg.overall > 0.0, "{staged_avg:?}");
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! ```text
 //! coma-cli <source-file> <target-file> [--matchers Name,NamePath,…]
 //!          [--threshold T] [--synonyms FILE] [--dot] [--json]
+//!          [--prefilter M1,M2,…] [--prefilter-threshold T] [--prefilter-max N]
 //! ```
 //!
 //! File formats are detected by extension: `.sql`/`.ddl` are parsed as SQL
@@ -10,8 +11,15 @@
 //! `word = word` (synonym) or `word < word` (hypernym). `--dot` prints the
 //! two graphs in Graphviz format instead of matching; `--json` emits the
 //! mapping in the repository's relational JSON representation.
+//!
+//! `--prefilter` switches to a two-stage plan: the given (cheap) matchers
+//! run first under a liberal selection — per element, the best
+//! `--prefilter-max` candidates (default 4) exceeding
+//! `--prefilter-threshold` (default 0.3) — and the main `--matchers`
+//! stage refines only the surviving pairs (the plan engine's `Seq`
+//! operator).
 
-use coma::core::{Coma, MatchContext, MatchStrategy};
+use coma::core::{Coma, MatchContext, MatchPlan, MatchStrategy, Selection};
 use coma::graph::{PathSet, Schema};
 use coma::repo::MappingKind;
 use std::path::Path;
@@ -25,12 +33,16 @@ struct Options {
     synonyms: Option<String>,
     dot: bool,
     json: bool,
+    prefilter: Option<Vec<String>>,
+    prefilter_threshold: f64,
+    prefilter_max: usize,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: coma-cli <source-file> <target-file> \
-         [--matchers M1,M2,…] [--threshold T] [--synonyms FILE] [--dot] [--json]"
+         [--matchers M1,M2,…] [--threshold T] [--synonyms FILE] [--dot] [--json] \
+         [--prefilter M1,M2,…] [--prefilter-threshold T] [--prefilter-max N]"
     );
     ExitCode::from(2)
 }
@@ -49,6 +61,9 @@ fn parse_args() -> Result<Options, ExitCode> {
         synonyms: None,
         dot: false,
         json: false,
+        prefilter: None,
+        prefilter_threshold: 0.3,
+        prefilter_max: 4,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -59,6 +74,18 @@ fn parse_args() -> Result<Options, ExitCode> {
             "--threshold" => {
                 let v = args.next().ok_or_else(usage)?;
                 opts.threshold = Some(v.parse().map_err(|_| usage())?);
+            }
+            "--prefilter" => {
+                let v = args.next().ok_or_else(usage)?;
+                opts.prefilter = Some(v.split(',').map(|s| s.trim().to_string()).collect());
+            }
+            "--prefilter-threshold" => {
+                let v = args.next().ok_or_else(usage)?;
+                opts.prefilter_threshold = v.parse().map_err(|_| usage())?;
+            }
+            "--prefilter-max" => {
+                let v = args.next().ok_or_else(usage)?;
+                opts.prefilter_max = v.parse().map_err(|_| usage())?;
             }
             "--synonyms" => opts.synonyms = Some(args.next().ok_or_else(usage)?),
             "--dot" => opts.dot = true,
@@ -136,11 +163,32 @@ fn main() -> ExitCode {
     if let Some(t) = opts.threshold {
         strategy.combination.selection.threshold = Some(t);
     }
-    let outcome = match coma.match_schemas(&source, &target, &strategy) {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::FAILURE;
+    let result = if let Some(prefilter) = &opts.prefilter {
+        // Two-stage plan: cheap prefilter, then refine on the survivors.
+        let plan = MatchPlan::two_stage(
+            prefilter.iter().cloned(),
+            Selection::max_n(opts.prefilter_max).with_threshold(opts.prefilter_threshold),
+            &strategy,
+        );
+        match coma.match_plan(&source, &target, &plan) {
+            Ok(outcome) => {
+                for stage in &outcome.stages {
+                    eprintln!("# stage {} -> {} pair(s)", stage.label, stage.result.len());
+                }
+                outcome.result
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match coma.match_schemas(&source, &target, &strategy) {
+            Ok(o) => o.result,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
 
@@ -148,7 +196,7 @@ fn main() -> ExitCode {
     let tp = PathSet::new(&target).expect("validated on import");
     if opts.json {
         let ctx = MatchContext::new(&source, &target, &sp, &tp, coma.aux());
-        let mapping = outcome.result.to_mapping(&ctx, MappingKind::Automatic);
+        let mapping = result.to_mapping(&ctx, MappingKind::Automatic);
         match serde_json::to_string_pretty(&mapping) {
             Ok(json) => println!("{json}"),
             Err(e) => {
@@ -159,11 +207,11 @@ fn main() -> ExitCode {
     } else {
         eprintln!(
             "# {} correspondences (schema similarity {:.2}, matchers: {})",
-            outcome.result.len(),
-            outcome.result.schema_similarity.unwrap_or(0.0),
+            result.len(),
+            result.schema_similarity.unwrap_or(0.0),
             opts.matchers.join(",")
         );
-        for c in &outcome.result.candidates {
+        for c in &result.candidates {
             println!(
                 "{:.3}\t{}\t{}",
                 c.similarity,

@@ -12,12 +12,19 @@
 //! * [`xml`] / [`sql`] — schema importers for XML Schema and SQL DDL,
 //! * [`repo`] — the repository storing schemas, similarity cubes and match
 //!   results for reuse,
-//! * [`core`] — the matcher library, combination framework and match
-//!   processing (the paper's contribution),
+//! * [`core`] — the matcher library, combination framework, match
+//!   processing and the composable match-plan engine (the paper's
+//!   contribution, generalized to staged matching processes),
 //! * [`eval`] — quality metrics, the purchase-order evaluation corpus and
 //!   the experiment harness reproducing the paper's study.
 //!
-//! See `examples/quickstart.rs` for a five-minute tour.
+//! The most common entry points are re-exported at the crate root: build a
+//! [`Coma`] instance, describe what to run as a flat [`MatchStrategy`] or
+//! a staged [`MatchPlan`] (`Seq` / `Par` / `Filter` / `Reuse`), and
+//! execute it via [`Coma::match_schemas`] or [`Coma::match_plan`].
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and
+//! `examples/plan_matching.rs` for a two-stage filter→refine plan.
 
 pub use coma_core as core;
 pub use coma_eval as eval;
@@ -26,3 +33,7 @@ pub use coma_repo as repo;
 pub use coma_sql as sql;
 pub use coma_strings as strings;
 pub use coma_xml as xml;
+
+pub use coma_core::{
+    Coma, MatchPlan, MatchResult, MatchStrategy, PlanEngine, PlanOutcome, StageOutcome,
+};

@@ -1,0 +1,201 @@
+//! Property tests for the plan engine: for any flat matcher list and any
+//! combination strategy, the engine's execution of the equivalent
+//! one-stage plan is bit-identical to the legacy sequential pipeline, and
+//! `Par` leaf order never changes results (determinism under parallelism).
+
+use coma::core::{
+    Aggregation, Coma, CombinationStrategy, CombinedSim, Direction, MatchContext, MatchPlan,
+    PlanEngine, Selection,
+};
+use coma::graph::{PathSet, Schema};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// The matcher pool property cases draw subsets from: the five hybrids
+/// plus three simple matchers.
+const POOL: [&str; 8] = [
+    "Name", "NamePath", "TypeName", "Children", "Leaves", "Trigram", "DataType", "Synonym",
+];
+
+struct Fixture {
+    coma: Coma,
+    source: Schema,
+    target: Schema,
+    source_paths: PathSet,
+    target_paths: PathSet,
+}
+
+fn fixture() -> &'static Fixture {
+    static F: OnceLock<Fixture> = OnceLock::new();
+    F.get_or_init(|| {
+        let source = coma::sql::import_ddl(
+            "CREATE TABLE PO1.ShipTo (
+                 poNo INT,
+                 custNo INT REFERENCES PO1.Customer,
+                 shipToStreet VARCHAR(200), shipToCity VARCHAR(200), shipToZip VARCHAR(20),
+                 PRIMARY KEY (poNo));
+             CREATE TABLE PO1.Customer (
+                 custNo INT, custName VARCHAR(200), custStreet VARCHAR(200),
+                 custCity VARCHAR(200), custZip VARCHAR(20),
+                 PRIMARY KEY (custNo));",
+            "PO1",
+        )
+        .unwrap();
+        let target = coma::xml::import_xsd(
+            r#"<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="PO2">
+    <xsd:sequence>
+      <xsd:element name="DeliverTo" type="Address"/>
+      <xsd:element name="BillTo" type="Address"/>
+    </xsd:sequence>
+  </xsd:complexType>
+  <xsd:complexType name="Address">
+    <xsd:sequence>
+      <xsd:element name="Street" type="xsd:string"/>
+      <xsd:element name="City" type="xsd:string"/>
+      <xsd:element name="Zip" type="xsd:decimal"/>
+    </xsd:sequence>
+  </xsd:complexType>
+</xsd:schema>"#,
+            "PO2",
+        )
+        .unwrap();
+        let mut coma = Coma::new();
+        coma.aux_mut().synonyms = coma::core::matchers::synonym::SynonymTable::purchase_order();
+        let source_paths = PathSet::new(&source).unwrap();
+        let target_paths = PathSet::new(&target).unwrap();
+        Fixture {
+            coma,
+            source,
+            target,
+            source_paths,
+            target_paths,
+        }
+    })
+}
+
+/// Decodes a non-zero bitmask into a matcher subset.
+fn subset(mask: usize) -> Vec<String> {
+    POOL.iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << i) != 0)
+        .map(|(_, name)| name.to_string())
+        .collect()
+}
+
+/// Decodes the generated knobs into a combination strategy. `k` is the
+/// slice count (for Weighted aggregation's per-slice weights).
+#[allow(clippy::too_many_arguments)]
+fn combination(
+    k: usize,
+    agg: usize,
+    dir: usize,
+    max_n: usize,
+    flags: usize,
+    delta: f64,
+    threshold: f64,
+    comb: usize,
+) -> CombinationStrategy {
+    CombinationStrategy {
+        aggregation: match agg {
+            0 => Aggregation::Max,
+            1 => Aggregation::Min,
+            2 => Aggregation::Average,
+            _ => Aggregation::Weighted((1..=k).map(|w| w as f64).collect()),
+        },
+        direction: match dir {
+            0 => Direction::LargeSmall,
+            1 => Direction::SmallLarge,
+            _ => Direction::Both,
+        },
+        selection: Selection {
+            max_n: (max_n > 0).then_some(max_n),
+            delta: (flags & 1 != 0).then_some(delta),
+            threshold: (flags & 2 != 0).then_some(threshold),
+        },
+        combined_sim: if comb == 0 {
+            CombinedSim::Average
+        } else {
+            CombinedSim::Dice
+        },
+    }
+}
+
+proptest! {
+    /// Engine execution of `MatchPlan::from(strategy)` is bit-identical to
+    /// the legacy sequential pipeline — combined result and cube alike.
+    #[test]
+    fn flat_plans_reproduce_the_legacy_pipeline(
+        mask in 1usize..256,
+        agg in 0usize..4,
+        dir in 0usize..3,
+        sel in (0usize..5, 0usize..4, 0.001f64..0.2, 0.05f64..0.9),
+        comb in 0usize..2,
+    ) {
+        let f = fixture();
+        let names = subset(mask);
+        let (max_n, flags, delta, threshold) = sel;
+        let strategy = combination(names.len(), agg, dir, max_n, flags, delta, threshold, comb);
+        let ctx = MatchContext::new(
+            &f.source,
+            &f.target,
+            &f.source_paths,
+            &f.target_paths,
+            f.coma.aux(),
+        )
+        .with_repository(f.coma.repository());
+
+        let legacy_cube = f.coma.execute_matchers(&ctx, &names).unwrap();
+        let legacy_result = f.coma.combine_cube(&legacy_cube, &ctx, &strategy);
+
+        let plan = MatchPlan::matchers_with(names, strategy);
+        let outcome = PlanEngine::new(f.coma.library()).execute(&ctx, &plan).unwrap();
+
+        prop_assert_eq!(&outcome.result, &legacy_result);
+        prop_assert_eq!(outcome.final_cube().unwrap(), &legacy_cube);
+    }
+
+    /// `Par` sub-plan order never changes the aggregate result, and
+    /// repeated executions are deterministic.
+    #[test]
+    fn par_leaf_order_is_irrelevant(
+        mask in 1usize..256,
+        agg in 0usize..3,
+        dir in 0usize..3,
+    ) {
+        let f = fixture();
+        let names = subset(mask);
+        let strategy = combination(names.len(), agg, dir, 1, 2, 0.02, 0.3, 0);
+        let ctx = MatchContext::new(
+            &f.source,
+            &f.target,
+            &f.source_paths,
+            &f.target_paths,
+            f.coma.aux(),
+        );
+
+        let forward: Vec<MatchPlan> =
+            names.iter().map(|n| MatchPlan::matchers([n.as_str()])).collect();
+        let mut reversed = forward.clone();
+        reversed.reverse();
+        let engine = PlanEngine::new(f.coma.library());
+
+        let fwd = engine
+            .execute(&ctx, &MatchPlan::par(forward, strategy.clone()))
+            .unwrap();
+        let rev = engine
+            .execute(&ctx, &MatchPlan::par(reversed, strategy.clone()))
+            .unwrap();
+        prop_assert_eq!(&fwd.result, &rev.result);
+        prop_assert_eq!(fwd.final_cube(), rev.final_cube());
+
+        // Determinism: a re-run of the same plan is bit-identical.
+        let again = engine
+            .execute(&ctx, &MatchPlan::par(
+                names.iter().map(|n| MatchPlan::matchers([n.as_str()])).collect::<Vec<_>>(),
+                strategy,
+            ))
+            .unwrap();
+        prop_assert_eq!(&fwd.result, &again.result);
+    }
+}

@@ -1,0 +1,66 @@
+//! Benchmarks of the `TopK` / `Iterate` plan operators and the sparse
+//! execution path on generated large-schema workloads: the same
+//! TopK-pruned two-stage plan executed dense (structural matchers compute
+//! the full cross-product, then mask) versus sparse (they iterate only
+//! the allowed pairs), plus the iterate-until-stable loop. Results are
+//! bit-identical between the two paths; only the work differs.
+
+use coma_bench::topk_pruned_plan;
+use coma_bench::workload::{generate_task, WorkloadShape, WorkloadSpec};
+use coma_core::{Coma, MatchContext, PlanEngine};
+use coma_graph::PathSet;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_plan_operators(c: &mut Criterion) {
+    let coma = Coma::new();
+    // The same plan the perf-smoke gate measures (shared constructor).
+    let plan = topk_pruned_plan();
+
+    for spec in [
+        WorkloadSpec::new(WorkloadShape::Deep, 1200, 42),
+        WorkloadSpec::new(WorkloadShape::Star, 1000, 42),
+    ] {
+        let (source, target) = generate_task(&spec);
+        let sp = PathSet::new(&source).expect("generated schema unfolds");
+        let tp = PathSet::new(&target).expect("generated schema unfolds");
+        let ctx = MatchContext::new(&source, &target, &sp, &tp, coma.aux());
+
+        let mut group = c.benchmark_group(format!("plan_operators/{}", spec.label()));
+        group.sample_size(3);
+
+        group.bench_function("topk_dense", |b| {
+            b.iter(|| {
+                black_box(
+                    PlanEngine::new(coma.library())
+                        .with_sparse(false)
+                        .execute(black_box(&ctx), &plan)
+                        .unwrap(),
+                )
+            })
+        });
+        group.bench_function("topk_sparse", |b| {
+            b.iter(|| {
+                black_box(
+                    PlanEngine::new(coma.library())
+                        .execute(black_box(&ctx), &plan)
+                        .unwrap(),
+                )
+            })
+        });
+
+        let iterated = plan.clone().iterate(4, 1e-6).expect("max_rounds > 0");
+        group.bench_function("topk_iterate", |b| {
+            b.iter(|| {
+                black_box(
+                    PlanEngine::new(coma.library())
+                        .execute(black_box(&ctx), &iterated)
+                        .unwrap(),
+                )
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_plan_operators);
+criterion_main!(benches);

@@ -1,0 +1,413 @@
+//! `perf_smoke` — the CI performance gate.
+//!
+//! Runs a quick, deterministic benchmark suite over the evaluation corpus
+//! and the generated large-schema workloads, emits a `BENCH_PR3.json`
+//! trajectory file (task, wall-ms, candidates, dense/sparse speedups) and
+//! optionally compares it against a committed baseline:
+//!
+//! ```text
+//! perf_smoke [--quick] [--out FILE] [--check BASELINE] [--runs N]
+//! ```
+//!
+//! * `--quick` — the CI subset: eval corpus + one generated 1200-node
+//!   deep schema (the full suite adds star/wide workloads).
+//! * `--out FILE` — where to write the fresh numbers (default
+//!   `BENCH_PR3.json` in the current directory).
+//! * `--check BASELINE` — compare against a baseline JSON and exit
+//!   nonzero if any tracked number regresses: candidate counts must match
+//!   exactly (the workloads are seeded, so counts are machine-independent),
+//!   calibration-normalized wall times may not regress by more than 25%,
+//!   and dense/sparse speedups may neither drop below 2× nor lose more
+//!   than 25% against the baseline.
+//!
+//! Wall times are normalized by a fixed calibration workload measured in
+//! the same process, so baselines recorded on one machine remain
+//! comparable on another.
+
+use coma_bench::topk_pruned_plan;
+use coma_bench::workload::{generate_task, WorkloadShape, WorkloadSpec};
+use coma_core::{
+    Coma, MatchContext, MatchPlan, MatchResult, MatchStrategy, PlanEngine, PlanOutcome,
+};
+use coma_eval::{Corpus, TASKS};
+use coma_graph::PathSet;
+use serde::{Deserialize, Serialize};
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// One measured task.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TaskEntry {
+    /// Task identifier, stable across runs.
+    task: String,
+    /// Best-of-N wall time in milliseconds.
+    wall_ms: f64,
+    /// Number of selected candidates (deterministic per workload).
+    candidates: u64,
+}
+
+/// A within-run dense/sparse speedup (machine-independent ratio).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SpeedupEntry {
+    task: String,
+    speedup: f64,
+}
+
+/// The emitted/compared report.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BenchReport {
+    version: u32,
+    /// Wall time of the fixed calibration workload on this machine.
+    calibration_ms: f64,
+    tasks: Vec<TaskEntry>,
+    speedups: Vec<SpeedupEntry>,
+}
+
+/// Maximum tolerated regression of normalized wall times and speedups.
+const TOLERANCE: f64 = 0.25;
+/// Hard floor on the dense/sparse speedup (the acceptance criterion).
+const MIN_SPEEDUP: f64 = 2.0;
+
+struct Options {
+    quick: bool,
+    out: String,
+    check: Option<String>,
+    runs: usize,
+}
+
+fn parse_args() -> Result<Options, ExitCode> {
+    let mut opts = Options {
+        quick: false,
+        out: "BENCH_PR3.json".to_string(),
+        check: None,
+        runs: 3,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--out" => opts.out = args.next().ok_or(ExitCode::from(2))?,
+            "--check" => opts.check = Some(args.next().ok_or(ExitCode::from(2))?),
+            "--runs" => {
+                opts.runs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or(ExitCode::from(2))?;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: perf_smoke [--quick] [--out FILE] [--check BASELINE] [--runs N]");
+                return Err(ExitCode::from(2));
+            }
+        }
+    }
+    Ok(opts)
+}
+
+/// Best-of-N wall time of `f`, returning (ms, last result).
+fn time_best<T>(runs: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..runs {
+        let start = Instant::now();
+        let r = f();
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+        out = Some(r);
+    }
+    (best, out.expect("runs > 0"))
+}
+
+/// Executes `plan` on a prepared context with the given engine setting.
+fn run_plan(coma: &Coma, ctx: &MatchContext<'_>, plan: &MatchPlan, sparse: bool) -> PlanOutcome {
+    PlanEngine::new(coma.library())
+        .with_sparse(sparse)
+        .execute(ctx, plan)
+        .expect("plan executes")
+}
+
+/// The fixed calibration workload: a pure integer/memory kernel that is
+/// **independent of the matcher code under test**, so wall times
+/// normalize across machine speeds without a uniform matcher regression
+/// cancelling out of the normalization.
+fn calibration_ms(runs: usize) -> f64 {
+    let (ms, _) = time_best(runs, || {
+        let mut buf: Vec<u64> = (0..1 << 20).collect();
+        let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
+        for round in 0..24u64 {
+            for v in buf.iter_mut() {
+                acc = (acc ^ (*v).wrapping_add(round)).wrapping_mul(0x0100_0000_01b3);
+                *v = acc;
+            }
+        }
+        std::hint::black_box(acc)
+    });
+    ms
+}
+
+/// Top-1 candidate set (best target per source) of a result — the
+/// agreement criterion between dense and sparse execution.
+fn top1(result: &MatchResult) -> Vec<(usize, usize)> {
+    let mut best: Vec<Option<(usize, f64)>> = vec![None; result.source_size];
+    for c in &result.candidates {
+        let slot = &mut best[c.source.index()];
+        let better = slot
+            .is_none_or(|(j, s)| c.similarity > s || (c.similarity == s && c.target.index() < j));
+        if better {
+            *slot = Some((c.target.index(), c.similarity));
+        }
+    }
+    best.iter()
+        .enumerate()
+        .filter_map(|(i, b)| b.map(|(j, _)| (i, j)))
+        .collect()
+}
+
+fn measure(opts: &Options) -> Result<BenchReport, String> {
+    let mut tasks = Vec::new();
+    let mut speedups = Vec::new();
+    let runs = opts.runs;
+
+    eprintln!("# calibrating …");
+    let calibration = calibration_ms(runs);
+    eprintln!("# calibration: {calibration:.1} ms");
+
+    // --- evaluation corpus ------------------------------------------------
+    let corpus = Corpus::load();
+    let coma = {
+        let mut c = Coma::new();
+        *c.aux_mut() = corpus.aux().clone();
+        c
+    };
+    let &(li, lj) = TASKS
+        .iter()
+        .max_by_key(|&&(i, j)| corpus.path_set(i).len() * corpus.path_set(j).len())
+        .expect("corpus has tasks");
+    let largest = MatchContext::new(
+        corpus.schema(li),
+        corpus.schema(lj),
+        corpus.path_set(li),
+        corpus.path_set(lj),
+        coma.aux(),
+    );
+
+    let flat = MatchPlan::from(&MatchStrategy::paper_default());
+    let (ms, outcome) = time_best(runs, || run_plan(&coma, &largest, &flat, true));
+    tasks.push(TaskEntry {
+        task: "eval/all_largest".into(),
+        wall_ms: ms,
+        candidates: outcome.result.len() as u64,
+    });
+
+    let pruned = topk_pruned_plan();
+    let (ms, outcome) = time_best(runs, || run_plan(&coma, &largest, &pruned, true));
+    tasks.push(TaskEntry {
+        task: "eval/topk_sparse_largest".into(),
+        wall_ms: ms,
+        candidates: outcome.result.len() as u64,
+    });
+
+    let iterated = flat.clone().iterate(4, 1e-6).expect("max_rounds > 0");
+    let (ms, outcome) = time_best(runs, || run_plan(&coma, &largest, &iterated, true));
+    tasks.push(TaskEntry {
+        task: "eval/iterate_largest".into(),
+        wall_ms: ms,
+        candidates: outcome.result.len() as u64,
+    });
+
+    // Correctness gate: on every corpus task, dense and sparse execution
+    // of the pruned plan must agree on the top-1 candidates (they are in
+    // fact bit-identical; top-1 is the acceptance criterion).
+    let mut corpus_candidates = 0u64;
+    for &(i, j) in &TASKS {
+        let ctx = MatchContext::new(
+            corpus.schema(i),
+            corpus.schema(j),
+            corpus.path_set(i),
+            corpus.path_set(j),
+            coma.aux(),
+        );
+        let sparse = run_plan(&coma, &ctx, &pruned, true);
+        let dense = run_plan(&coma, &ctx, &pruned, false);
+        if top1(&sparse.result) != top1(&dense.result) {
+            return Err(format!(
+                "top-1 candidates diverge between sparse and dense execution on eval task {i}->{j}"
+            ));
+        }
+        if sparse.result != dense.result {
+            return Err(format!(
+                "sparse and dense results diverge on eval task {i}->{j}"
+            ));
+        }
+        corpus_candidates += sparse.result.len() as u64;
+    }
+    eprintln!(
+        "# eval corpus: sparse == dense on all {} tasks",
+        TASKS.len()
+    );
+    tasks.push(TaskEntry {
+        task: "eval/topk_corpus_total".into(),
+        wall_ms: 0.0,
+        candidates: corpus_candidates,
+    });
+
+    // --- generated large schemas -----------------------------------------
+    // The deep 1200-node task is the acceptance workload: structural
+    // matchers dominate it, so the sparse path shows its full ≥2x margin.
+    let mut specs = vec![WorkloadSpec::new(WorkloadShape::Deep, 1200, 42)];
+    if !opts.quick {
+        specs.push(WorkloadSpec::new(WorkloadShape::Star, 1000, 42));
+        specs.push(WorkloadSpec::new(WorkloadShape::Wide, 1500, 42));
+    }
+    for spec in specs {
+        let label = format!("gen/{}", spec.label());
+        let (source, target) = generate_task(&spec);
+        let sp = PathSet::new(&source).map_err(|e| e.to_string())?;
+        let tp = PathSet::new(&target).map_err(|e| e.to_string())?;
+        let gen_coma = Coma::new();
+        let ctx = MatchContext::new(&source, &target, &sp, &tp, gen_coma.aux());
+
+        let (sparse_ms, sparse) = time_best(runs, || run_plan(&gen_coma, &ctx, &pruned, true));
+        let (dense_ms, dense) = time_best(runs, || run_plan(&gen_coma, &ctx, &pruned, false));
+        if sparse.result != dense.result {
+            return Err(format!("sparse and dense results diverge on {label}"));
+        }
+        let speedup = dense_ms / sparse_ms;
+        eprintln!(
+            "# {label}: dense {dense_ms:.0} ms, sparse {sparse_ms:.0} ms ({speedup:.2}x), \
+             {} candidates",
+            sparse.result.len()
+        );
+        tasks.push(TaskEntry {
+            task: format!("{label}_topk_dense"),
+            wall_ms: dense_ms,
+            candidates: dense.result.len() as u64,
+        });
+        tasks.push(TaskEntry {
+            task: format!("{label}_topk_sparse"),
+            wall_ms: sparse_ms,
+            candidates: sparse.result.len() as u64,
+        });
+        speedups.push(SpeedupEntry {
+            task: format!("{label}_topk"),
+            speedup,
+        });
+    }
+
+    Ok(BenchReport {
+        version: 1,
+        calibration_ms: calibration,
+        tasks,
+        speedups,
+    })
+}
+
+/// Compares a fresh report against the committed baseline. Returns the
+/// list of regressions (empty = gate passes).
+fn compare(current: &BenchReport, baseline: &BenchReport) -> Vec<String> {
+    let mut failures = Vec::new();
+    let scale = current.calibration_ms / baseline.calibration_ms.max(1e-9);
+    for base in &baseline.tasks {
+        let Some(cur) = current.tasks.iter().find(|t| t.task == base.task) else {
+            continue; // quick mode measures a subset of the baseline
+        };
+        if cur.candidates != base.candidates {
+            failures.push(format!(
+                "{}: candidates changed {} -> {}",
+                base.task, base.candidates, cur.candidates
+            ));
+        }
+        // Machine-speed-normalized wall-time regression gate. Tasks with
+        // near-zero baselines (pure correctness entries) are skipped.
+        let allowed = base.wall_ms * scale * (1.0 + TOLERANCE);
+        if base.wall_ms > 1.0 && cur.wall_ms > allowed {
+            failures.push(format!(
+                "{}: wall time regressed {:.1} ms -> {:.1} ms (allowed {:.1} ms at this \
+                 machine's calibration {:.1} ms vs baseline {:.1} ms)",
+                base.task,
+                base.wall_ms,
+                cur.wall_ms,
+                allowed,
+                current.calibration_ms,
+                baseline.calibration_ms
+            ));
+        }
+    }
+    for base in &baseline.speedups {
+        let Some(cur) = current.speedups.iter().find(|s| s.task == base.task) else {
+            continue;
+        };
+        // The 2x floor holds wherever the baseline demonstrates it (the
+        // structural-heavy acceptance workloads); shapes whose baseline
+        // never reached 2x are gated by the relative rule only.
+        if base.speedup >= MIN_SPEEDUP && cur.speedup < MIN_SPEEDUP {
+            failures.push(format!(
+                "{}: dense/sparse speedup {:.2}x fell below the {MIN_SPEEDUP}x floor",
+                base.task, cur.speedup
+            ));
+        }
+        if cur.speedup < base.speedup * (1.0 - TOLERANCE) {
+            failures.push(format!(
+                "{}: speedup regressed {:.2}x -> {:.2}x",
+                base.task, base.speedup, cur.speedup
+            ));
+        }
+    }
+    failures
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+    // Load the baseline up front: `--out` may legitimately point at the
+    // same file (refreshing the committed trajectory), and the gate must
+    // compare against the numbers as committed, not the fresh ones.
+    let baseline: Option<BenchReport> = match &opts.check {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: cannot read baseline {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match serde_json::from_str(&text) {
+                Ok(b) => Some(b),
+                Err(e) => {
+                    eprintln!("error: cannot parse baseline {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => None,
+    };
+    let report = match measure(&opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    if let Err(e) = std::fs::write(&opts.out, format!("{json}\n")) {
+        eprintln!("error: cannot write {}: {e}", opts.out);
+        return ExitCode::FAILURE;
+    }
+    eprintln!("# wrote {}", opts.out);
+
+    if let Some(baseline) = &baseline {
+        let path = opts.check.as_deref().unwrap_or_default();
+        let failures = compare(&report, baseline);
+        if !failures.is_empty() {
+            eprintln!("perf-smoke gate FAILED:");
+            for f in &failures {
+                eprintln!("  - {f}");
+            }
+            return ExitCode::FAILURE;
+        }
+        eprintln!("# perf-smoke gate passed against {path}");
+    }
+    ExitCode::SUCCESS
+}

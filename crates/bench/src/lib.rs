@@ -3,3 +3,27 @@
 //! The binaries in `src/bin/` regenerate the tables and figures of the
 //! paper's evaluation (Section 7); the Criterion benches in `benches/`
 //! measure the performance of the substrates and the match pipeline.
+//! [`workload`] generates deterministic synthetic large-schema match
+//! tasks (star/deep/wide shapes, 500–5000 nodes) for the plan engine's
+//! sparse-path benchmarks and the CI perf-smoke gate.
+
+pub mod workload;
+
+use coma_core::{CombinationStrategy, MatchPlan, MatchStrategy, Selection, TopKPer};
+
+/// The TopK-pruned two-stage plan the sparse execution path is built
+/// for: a liberal `Name` stage pruned to the 5 best candidates per
+/// element, then the paper-default `All` refine on the survivors.
+///
+/// Shared by the `plan_operators` bench and the `perf_smoke` gate so the
+/// numbers humans read and the numbers CI gates come from the same plan.
+pub fn topk_pruned_plan() -> MatchPlan {
+    let mut liberal = CombinationStrategy::paper_default();
+    liberal.selection = Selection::max_n(10).with_threshold(0.3);
+    MatchPlan::seq(
+        MatchPlan::matchers_with(["Name"], liberal)
+            .top_k(5, TopKPer::Both)
+            .expect("k > 0"),
+        MatchPlan::from(&MatchStrategy::paper_default()),
+    )
+}

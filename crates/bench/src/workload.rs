@@ -1,0 +1,487 @@
+//! Deterministic synthetic large-schema workloads.
+//!
+//! The evaluation corpus tops out at 145 paths — useful for quality
+//! studies, far too small to exercise the plan engine's sparse execution
+//! path. This module generates purchase-order-flavored schemas of 500 to
+//! 5000+ nodes in three structural shapes:
+//!
+//! * [`WorkloadShape::Star`] — a few dozen hub containers under the root,
+//!   each holding a broad set of attribute leaves (fact/dimension style);
+//! * [`WorkloadShape::Deep`] — long containment chains (depth 20+), the
+//!   worst case for path-based matchers;
+//! * [`WorkloadShape::Wide`] — hundreds of small containers directly
+//!   under the root, the worst case for per-element candidate ranking.
+//!
+//! Generation is **seeded and deterministic**: the same
+//! [`WorkloadSpec`] always produces the same schema, bit for bit, so
+//! benchmark numbers are comparable across runs and machines.
+//! [`generate_task`] derives a *match task* from one spec: the source
+//! schema plus a target variant with synonym/abbreviation renames, small
+//! structural edits and perturbed datatypes — enough overlap that
+//! matchers find real correspondences, enough noise that the task is not
+//! trivial.
+
+use coma_graph::{DataType, Node, NodeId, Schema, SchemaBuilder};
+
+/// The structural family of a generated schema.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadShape {
+    /// Root → ~`nodes/32` hubs → attribute leaves (shallow, clustered).
+    Star,
+    /// A few long containment chains, two leaves per chain link (deep).
+    Deep,
+    /// Root → ~`nodes/6` small containers → 5 leaves each (broad).
+    Wide,
+}
+
+impl WorkloadShape {
+    /// A short lowercase label (`star` / `deep` / `wide`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            WorkloadShape::Star => "star",
+            WorkloadShape::Deep => "deep",
+            WorkloadShape::Wide => "wide",
+        }
+    }
+}
+
+/// A fully deterministic description of one generated schema (and, via
+/// [`generate_task`], of one match task).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadSpec {
+    /// The structural family.
+    pub shape: WorkloadShape,
+    /// Approximate node count (the generator lands within a few percent;
+    /// realistic range 500–5000).
+    pub nodes: usize,
+    /// PRNG seed; same seed, same schema.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// A spec for `shape` with roughly `nodes` nodes and the given seed.
+    pub fn new(shape: WorkloadShape, nodes: usize, seed: u64) -> WorkloadSpec {
+        WorkloadSpec { shape, nodes, seed }
+    }
+
+    /// A compact label, e.g. `star1000#42`.
+    pub fn label(&self) -> String {
+        format!("{}{}#{}", self.shape.label(), self.nodes, self.seed)
+    }
+}
+
+/// SplitMix64: a tiny, high-quality, dependency-free PRNG. Good enough
+/// for workload synthesis; NOT for cryptography.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64(seed)
+    }
+
+    /// The next pseudo-random 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform index in `0..n` (`n > 0`).
+    pub fn index(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// True with probability `num / den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.next_u64() % den < num
+    }
+}
+
+/// Business-entity tokens for container names.
+const ENTITIES: &[&str] = &[
+    "customer",
+    "order",
+    "invoice",
+    "product",
+    "shipment",
+    "supplier",
+    "address",
+    "payment",
+    "account",
+    "contact",
+    "warehouse",
+    "item",
+    "contract",
+    "employee",
+    "region",
+    "delivery",
+];
+
+/// Attribute tokens for leaf names.
+const ATTRIBUTES: &[&str] = &[
+    "number",
+    "name",
+    "street",
+    "city",
+    "zip",
+    "country",
+    "phone",
+    "date",
+    "amount",
+    "price",
+    "quantity",
+    "status",
+    "code",
+    "type",
+    "email",
+    "total",
+    "tax",
+    "currency",
+    "weight",
+    "description",
+];
+
+/// Context qualifiers occasionally prefixed to container names.
+const QUALIFIERS: &[&str] = &["ship", "bill", "home", "work", "main", "alt"];
+
+/// Synonym / abbreviation variants used when rendering the target side,
+/// mirroring the kind of terminological drift the paper's auxiliary
+/// tables address.
+const VARIANTS: &[(&str, &[&str])] = &[
+    ("customer", &["client", "cust"]),
+    ("order", &["purchase", "po"]),
+    ("number", &["no", "num"]),
+    ("street", &["road"]),
+    ("city", &["town"]),
+    ("zip", &["postcode"]),
+    ("phone", &["telephone"]),
+    ("amount", &["sum"]),
+    ("quantity", &["qty"]),
+    ("supplier", &["vendor"]),
+    ("employee", &["staff"]),
+    ("delivery", &["deliver"]),
+    ("ship", &["deliver"]),
+    ("bill", &["invoice"]),
+    ("description", &["desc"]),
+];
+
+/// Leaf datatypes, roughly weighted toward text and numbers.
+const DATATYPES: &[DataType] = &[
+    DataType::Text,
+    DataType::Text,
+    DataType::Text,
+    DataType::Integer,
+    DataType::Integer,
+    DataType::Decimal,
+    DataType::Float,
+    DataType::Date,
+    DataType::Boolean,
+];
+
+/// One node of the shape-independent prototype tree both task sides are
+/// rendered from.
+struct ProtoNode {
+    /// Vocabulary tokens composing the name (camelCased on render).
+    tokens: Vec<&'static str>,
+    /// Leaf datatype; `None` for containers.
+    datatype: Option<DataType>,
+    /// Child prototype indices.
+    children: Vec<usize>,
+}
+
+/// The prototype tree for a spec: index 0 is the root.
+fn proto_tree(spec: &WorkloadSpec) -> Vec<ProtoNode> {
+    let mut rng = SplitMix64::new(spec.seed);
+    let mut nodes: Vec<ProtoNode> = vec![ProtoNode {
+        tokens: vec!["purchase", "order"],
+        datatype: None,
+        children: Vec::new(),
+    }];
+    let budget = spec.nodes.max(8);
+
+    // Adds a leaf named after its container's entity plus an attribute.
+    fn add_leaf(nodes: &mut Vec<ProtoNode>, parent: usize, rng: &mut SplitMix64) {
+        let entity = nodes[parent].tokens[nodes[parent].tokens.len() - 1];
+        let attr = ATTRIBUTES[rng.index(ATTRIBUTES.len())];
+        let id = nodes.len();
+        nodes.push(ProtoNode {
+            tokens: vec![entity, attr],
+            datatype: Some(DATATYPES[rng.index(DATATYPES.len())]),
+            children: Vec::new(),
+        });
+        nodes[parent].children.push(id);
+    }
+
+    // Adds a container, optionally qualified (`shipCustomer`).
+    fn add_container(nodes: &mut Vec<ProtoNode>, parent: usize, rng: &mut SplitMix64) -> usize {
+        let mut tokens = Vec::new();
+        if rng.chance(1, 3) {
+            tokens.push(QUALIFIERS[rng.index(QUALIFIERS.len())]);
+        }
+        tokens.push(ENTITIES[rng.index(ENTITIES.len())]);
+        let id = nodes.len();
+        nodes.push(ProtoNode {
+            tokens,
+            datatype: None,
+            children: Vec::new(),
+        });
+        nodes[parent].children.push(id);
+        id
+    }
+
+    match spec.shape {
+        WorkloadShape::Star => {
+            // Root → hubs → leaves, leaves spread evenly over the hubs.
+            let hubs = (budget / 32).clamp(4, 64);
+            let hub_ids: Vec<usize> = (0..hubs)
+                .map(|_| add_container(&mut nodes, 0, &mut rng))
+                .collect();
+            let mut h = 0;
+            while nodes.len() < budget {
+                add_leaf(&mut nodes, hub_ids[h % hubs], &mut rng);
+                h += 1;
+            }
+        }
+        WorkloadShape::Deep => {
+            // A handful of long chains; every link carries two leaves.
+            let spines = (budget / 80).clamp(2, 24);
+            let mut tips: Vec<usize> = (0..spines)
+                .map(|_| add_container(&mut nodes, 0, &mut rng))
+                .collect();
+            let mut s = 0;
+            while nodes.len() + 3 <= budget {
+                let tip = tips[s % spines];
+                add_leaf(&mut nodes, tip, &mut rng);
+                add_leaf(&mut nodes, tip, &mut rng);
+                tips[s % spines] = add_container(&mut nodes, tip, &mut rng);
+                s += 1;
+            }
+        }
+        WorkloadShape::Wide => {
+            // Many small containers directly under the root.
+            while nodes.len() + 6 <= budget {
+                let c = add_container(&mut nodes, 0, &mut rng);
+                for _ in 0..5 {
+                    add_leaf(&mut nodes, c, &mut rng);
+                }
+            }
+        }
+    }
+    nodes
+}
+
+/// Renders a prototype into a schema. With `perturb`, tokens are renamed
+/// through [`VARIANTS`], ~1/16 of leaves are dropped, ~1/16 duplicated
+/// under a fresh attribute, and some datatypes shift to a compatible
+/// neighbor — the target side of a match task.
+fn render(proto: &[ProtoNode], name: &str, mut perturb: Option<&mut SplitMix64>) -> Schema {
+    // Parent proto index of every non-root proto node.
+    let mut parent = vec![0usize; proto.len()];
+    for (i, p) in proto.iter().enumerate() {
+        for &c in &p.children {
+            parent[c] = i;
+        }
+    }
+    let mut b = SchemaBuilder::new(name);
+    let mut built: Vec<Option<NodeId>> = vec![None; proto.len()];
+    // Proto indices are in creation order (parents first), so one forward
+    // pass builds the whole tree.
+    for (i, p) in proto.iter().enumerate() {
+        let parent_id = if i == 0 {
+            None
+        } else {
+            match built[parent[i]] {
+                Some(pid) => Some(pid),
+                None => continue, // parent was dropped
+            }
+        };
+        if let Some(rng) = perturb.as_deref_mut() {
+            if i > 0 && p.datatype.is_some() && rng.chance(1, 16) {
+                continue; // drop this leaf on the target side
+            }
+        }
+        let node_name = match perturb.as_deref_mut() {
+            Some(rng) => camel_variant(&p.tokens, rng),
+            None => camel(&p.tokens),
+        };
+        let mut node = Node::new(node_name);
+        if let Some(mut dt) = p.datatype {
+            if let Some(rng) = perturb.as_deref_mut() {
+                if rng.chance(1, 8) {
+                    dt = compatible_neighbor(dt);
+                }
+            }
+            node = node.with_datatype(dt);
+        }
+        let id = b.add_node(node);
+        built[i] = Some(id);
+        if let Some(pid) = parent_id {
+            b.add_child(pid, id).expect("proto tree is a valid tree");
+        }
+        // Occasionally duplicate a leaf under a fresh attribute name.
+        if let Some(rng) = perturb.as_deref_mut() {
+            if p.datatype.is_some() && rng.chance(1, 16) {
+                if let Some(pid) = parent_id {
+                    let extra = Node::new(camel(&[
+                        p.tokens[0],
+                        ATTRIBUTES[rng.index(ATTRIBUTES.len())],
+                    ]))
+                    .with_datatype(DATATYPES[rng.index(DATATYPES.len())]);
+                    let extra_id = b.add_node(extra);
+                    b.add_child(pid, extra_id).expect("valid parent");
+                }
+            }
+        }
+    }
+    b.build().expect("generated prototype is a rooted tree")
+}
+
+/// camelCases a token sequence: `["ship", "customer"]` → `shipCustomer`.
+fn camel(tokens: &[&str]) -> String {
+    let mut out = String::new();
+    for (i, t) in tokens.iter().enumerate() {
+        if i == 0 {
+            out.push_str(t);
+        } else {
+            let mut chars = t.chars();
+            if let Some(first) = chars.next() {
+                out.extend(first.to_uppercase());
+                out.push_str(chars.as_str());
+            }
+        }
+    }
+    out
+}
+
+/// camelCases with per-token synonym/abbreviation substitution (each
+/// token drifts with probability 1/2 when it has variants).
+fn camel_variant(tokens: &[&str], rng: &mut SplitMix64) -> String {
+    let substituted: Vec<&str> = tokens
+        .iter()
+        .map(|t| match VARIANTS.iter().find(|(orig, _)| orig == t) {
+            Some((_, alts)) if rng.chance(1, 2) => alts[rng.index(alts.len())],
+            _ => *t,
+        })
+        .collect();
+    camel(&substituted)
+}
+
+/// A datatype's plausible drift target (kept compatible, so the
+/// `DataType` matcher still scores the pair above zero).
+fn compatible_neighbor(dt: DataType) -> DataType {
+    match dt {
+        DataType::Integer => DataType::Decimal,
+        DataType::Decimal => DataType::Float,
+        DataType::Float => DataType::Decimal,
+        DataType::Date => DataType::DateTime,
+        other => other,
+    }
+}
+
+/// Generates the schema a spec describes (deterministic).
+pub fn generate_schema(spec: &WorkloadSpec) -> Schema {
+    render(&proto_tree(spec), &format!("S_{}", spec.label()), None)
+}
+
+/// Generates a match task: the spec's schema as source, and a renamed,
+/// lightly perturbed variant of the same prototype as target. Both sides
+/// are deterministic in `spec.seed`.
+pub fn generate_task(spec: &WorkloadSpec) -> (Schema, Schema) {
+    let proto = proto_tree(spec);
+    let source = render(&proto, &format!("S_{}", spec.label()), None);
+    let mut rng = SplitMix64::new(spec.seed ^ 0x5DEE_CE66_D1CE_4E5B);
+    let target = render(&proto, &format!("T_{}", spec.label()), Some(&mut rng));
+    (source, target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coma_graph::PathSet;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = WorkloadSpec::new(WorkloadShape::Star, 600, 7);
+        let a = generate_schema(&spec);
+        let b = generate_schema(&spec);
+        assert_eq!(a.node_count(), b.node_count());
+        let (s1, t1) = generate_task(&spec);
+        let (s2, t2) = generate_task(&spec);
+        assert_eq!(s1, s2);
+        assert_eq!(t1, t2);
+        // A different seed produces a different schema.
+        let other = generate_schema(&WorkloadSpec::new(WorkloadShape::Star, 600, 8));
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn node_counts_land_near_the_budget() {
+        for shape in [
+            WorkloadShape::Star,
+            WorkloadShape::Deep,
+            WorkloadShape::Wide,
+        ] {
+            for nodes in [500, 1000, 5000] {
+                let spec = WorkloadSpec::new(shape, nodes, 1);
+                let schema = generate_schema(&spec);
+                let count = schema.node_count();
+                assert!(
+                    count >= nodes * 9 / 10 && count <= nodes + 8,
+                    "{}: asked {nodes}, got {count}",
+                    spec.label()
+                );
+                // Trees: the path unfolding equals the node count.
+                let paths = PathSet::new(&schema).unwrap();
+                assert_eq!(paths.len(), count, "{}", spec.label());
+            }
+        }
+    }
+
+    #[test]
+    fn shapes_have_their_structural_signatures() {
+        let n = 800;
+        let star = PathSet::new(&generate_schema(&WorkloadSpec::new(
+            WorkloadShape::Star,
+            n,
+            3,
+        )))
+        .unwrap();
+        let deep = PathSet::new(&generate_schema(&WorkloadSpec::new(
+            WorkloadShape::Deep,
+            n,
+            3,
+        )))
+        .unwrap();
+        let wide = PathSet::new(&generate_schema(&WorkloadSpec::new(
+            WorkloadShape::Wide,
+            n,
+            3,
+        )))
+        .unwrap();
+        assert_eq!(star.max_depth(), 3, "star is root→hub→leaf");
+        assert!(deep.max_depth() > 10, "deep chains: {}", deep.max_depth());
+        assert_eq!(wide.max_depth(), 3);
+        // Wide has far more root children than star.
+        let fanout = |ps: &PathSet| ps.children(ps.root()).len();
+        assert!(
+            fanout(&wide) > 2 * fanout(&star),
+            "wide {} vs star {}",
+            fanout(&wide),
+            fanout(&star)
+        );
+    }
+
+    #[test]
+    fn task_target_overlaps_but_differs() {
+        let spec = WorkloadSpec::new(WorkloadShape::Star, 500, 11);
+        let (source, target) = generate_task(&spec);
+        assert_ne!(source, target);
+        // Node counts stay in the same ballpark (drops ≈ additions).
+        let (s, t) = (source.node_count(), target.node_count());
+        assert!(t >= s * 3 / 4 && t <= s * 5 / 4, "{s} vs {t}");
+    }
+}

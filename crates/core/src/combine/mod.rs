@@ -22,6 +22,7 @@ mod selection;
 pub use aggregation::Aggregation;
 pub use combined::CombinedSim;
 pub use marriage::stable_marriage;
+pub(crate) use selection::sort_desc;
 pub use selection::{DirectedCandidates, Direction, Selection};
 
 use serde::{Deserialize, Serialize};

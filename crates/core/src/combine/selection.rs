@@ -161,11 +161,30 @@ impl DirectedCandidates {
             Direction::SmallLarge => target_is_smaller,
         };
 
+        // Plain `Max1` (no threshold, no delta) is the structural
+        // matchers' inner selection, executed once per set-similarity
+        // cell: a linear max scan replaces the O(k log k) sort, with
+        // identical tie-breaking (first index wins).
+        let fast_max1 = selection.max_n == Some(1)
+            && selection.delta.is_none()
+            && selection.threshold.is_none();
+
+        // With a threshold, cells at or below it can never be selected:
+        // dropping them before the sort turns the per-element O(k log k)
+        // ranking into one over the (typically few) survivors, with an
+        // identical outcome.
+        let floor = selection.threshold.unwrap_or(f64::NEG_INFINITY);
+
         let for_targets = want_for_targets.then(|| {
             (0..n)
                 .map(|j| {
-                    let mut ranked: Vec<(usize, f64)> =
-                        (0..m).map(|i| (i, matrix.get(i, j))).collect();
+                    if fast_max1 {
+                        return best_of((0..m).map(|i| (i, matrix.get(i, j))));
+                    }
+                    let mut ranked: Vec<(usize, f64)> = (0..m)
+                        .map(|i| (i, matrix.get(i, j)))
+                        .filter(|&(_, s)| s > floor)
+                        .collect();
                     sort_desc(&mut ranked);
                     selection.apply(&ranked)
                 })
@@ -174,8 +193,13 @@ impl DirectedCandidates {
         let for_sources = want_for_sources.then(|| {
             (0..m)
                 .map(|i| {
-                    let mut ranked: Vec<(usize, f64)> =
-                        (0..n).map(|j| (j, matrix.get(i, j))).collect();
+                    if fast_max1 {
+                        return best_of((0..n).map(|j| (j, matrix.get(i, j))));
+                    }
+                    let mut ranked: Vec<(usize, f64)> = (0..n)
+                        .map(|j| (j, matrix.get(i, j)))
+                        .filter(|&(_, s)| s > floor)
+                        .collect();
                     sort_desc(&mut ranked);
                     selection.apply(&ranked)
                 })
@@ -229,9 +253,27 @@ impl DirectedCandidates {
 }
 
 /// Descending by similarity; ties resolve by ascending index so results are
-/// deterministic.
-fn sort_desc(ranked: &mut [(usize, f64)]) {
+/// deterministic. Shared with [`PairMask::top_k_of`] so TopK pruning ranks
+/// exactly like candidate selection.
+///
+/// [`PairMask::top_k_of`]: crate::engine::PairMask::top_k_of
+pub(crate) fn sort_desc(ranked: &mut [(usize, f64)]) {
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+}
+
+/// The single best nonzero candidate (strictly greater wins, so the first
+/// index takes ties) — the `Max1` selection without a sort.
+fn best_of(candidates: impl Iterator<Item = (usize, f64)>) -> Vec<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for (idx, sim) in candidates {
+        if best.is_none_or(|(_, s)| sim > s) {
+            best = Some((idx, sim));
+        }
+    }
+    match best {
+        Some((_, s)) if s > 0.0 => vec![best.unwrap()],
+        _ => Vec::new(),
+    }
 }
 
 #[cfg(test)]

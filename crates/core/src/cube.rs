@@ -83,6 +83,22 @@ impl SimMatrix {
         t
     }
 
+    /// The max-norm distance to another matrix of identical dimensions:
+    /// the largest absolute cell-wise difference. Used by the plan
+    /// engine's `Iterate` operator as its convergence measure.
+    pub fn max_abs_diff(&self, other: &SimMatrix) -> f64 {
+        assert_eq!(
+            (self.m, self.n),
+            (other.m, other.n),
+            "matrix dimensions must agree"
+        );
+        self.values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
     /// Iterates over `(i, j, value)` of all cells with `value > 0`.
     pub fn nonzero(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
         (0..self.m).flat_map(move |i| {

@@ -1,5 +1,6 @@
 //! Search-space restriction between plan stages.
 
+use super::plan::TopKPer;
 use crate::cube::SimMatrix;
 use crate::result::MatchResult;
 
@@ -28,6 +29,48 @@ impl PairMask {
         let mut mask = PairMask::new(rows, cols);
         for c in &result.candidates {
             mask.allow(c.source.index(), c.target.index());
+        }
+        mask
+    }
+
+    /// The mask keeping, per row / column / both (union), only the `k`
+    /// best nonzero cells of `matrix`. Ranking uses the same comparator as
+    /// candidate selection (descending similarity, ties to the lower
+    /// index), so the mask is deterministic and consistent with it.
+    pub fn top_k_of(matrix: &SimMatrix, k: usize, per: TopKPer) -> PairMask {
+        let (rows, cols) = (matrix.rows(), matrix.cols());
+        let mut mask = PairMask::new(rows, cols);
+        let mut ranked: Vec<(usize, f64)> = Vec::with_capacity(rows.max(cols));
+        if per != TopKPer::Col {
+            for i in 0..rows {
+                ranked.clear();
+                ranked.extend(
+                    matrix
+                        .row(i)
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &v)| v > 0.0)
+                        .map(|(j, &v)| (j, v)),
+                );
+                crate::combine::sort_desc(&mut ranked);
+                for &(j, _) in ranked.iter().take(k) {
+                    mask.allow(i, j);
+                }
+            }
+        }
+        if per != TopKPer::Row {
+            for j in 0..cols {
+                ranked.clear();
+                ranked.extend(
+                    (0..rows)
+                        .map(|i| (i, matrix.get(i, j)))
+                        .filter(|&(_, v)| v > 0.0),
+                );
+                crate::combine::sort_desc(&mut ranked);
+                for &(i, _) in ranked.iter().take(k) {
+                    mask.allow(i, j);
+                }
+            }
         }
         mask
     }
@@ -63,6 +106,23 @@ impl PairMask {
     /// Whether no pair is allowed.
     pub fn is_empty(&self) -> bool {
         self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// The allowed column indices of row `i`, ascending.
+    pub fn allowed_in_row(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        (0..self.cols).filter(move |&j| self.allows(i, j))
+    }
+
+    /// The fraction of the pair space this mask allows (0 for an empty
+    /// task). The engine uses it to decide between the sparse and the
+    /// dense (compute-full-then-mask) execution path.
+    pub fn density(&self) -> f64 {
+        let cells = self.rows * self.cols;
+        if cells == 0 {
+            0.0
+        } else {
+            self.allowed_count() as f64 / cells as f64
+        }
     }
 
     /// The intersection with another mask of the same dimensions.
@@ -135,6 +195,48 @@ mod tests {
         assert_eq!(masked.get(1, 1), 0.0);
         // The original is untouched.
         assert_eq!(m.get(0, 0), 0.8);
+    }
+
+    #[test]
+    fn top_k_of_keeps_best_cells_per_side() {
+        let mut m = SimMatrix::new(2, 3);
+        m.set(0, 0, 0.9);
+        m.set(0, 1, 0.5);
+        m.set(0, 2, 0.7);
+        m.set(1, 0, 0.8);
+        m.set(1, 1, 0.6);
+        // Per row, k = 1: each source keeps its single best target.
+        let rows = PairMask::top_k_of(&m, 1, TopKPer::Row);
+        assert!(rows.allows(0, 0) && rows.allows(1, 0));
+        assert_eq!(rows.allowed_count(), 2);
+        // Per column, k = 1: each target keeps its single best source.
+        let cols = PairMask::top_k_of(&m, 1, TopKPer::Col);
+        assert!(cols.allows(0, 0)); // col 0: 0.9 beats 0.8
+        assert!(cols.allows(1, 1)); // col 1: 0.6 beats 0.5
+        assert!(cols.allows(0, 2)); // col 2: only nonzero cell
+        assert_eq!(cols.allowed_count(), 3);
+        // Both = union: every element of either side keeps its best.
+        let both = PairMask::top_k_of(&m, 1, TopKPer::Both);
+        for (i, j) in [(0, 0), (1, 0), (1, 1), (0, 2)] {
+            assert!(both.allows(i, j), "({i},{j})");
+        }
+        assert_eq!(both.allowed_count(), 4);
+        // Zero cells are never kept, and k larger than the row is fine.
+        let all = PairMask::top_k_of(&m, 10, TopKPer::Both);
+        assert_eq!(all.allowed_count(), 5);
+        assert!(!all.allows(1, 2));
+    }
+
+    #[test]
+    fn row_iteration_and_density() {
+        let mut mask = PairMask::new(2, 70);
+        mask.allow(0, 3);
+        mask.allow(0, 69);
+        mask.allow(1, 0);
+        assert_eq!(mask.allowed_in_row(0).collect::<Vec<_>>(), vec![3, 69]);
+        assert_eq!(mask.allowed_in_row(1).collect::<Vec<_>>(), vec![0]);
+        assert!((mask.density() - 3.0 / 140.0).abs() < 1e-12);
+        assert_eq!(PairMask::new(0, 0).density(), 0.0);
     }
 
     #[test]

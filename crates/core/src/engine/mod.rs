@@ -16,9 +16,17 @@
 //!   matrix once instead of three times);
 //! * **staged execution** — `Seq` restricts a later stage's search space
 //!   to an earlier stage's survivors via [`PairMask`], `Par` aggregates
-//!   independent sub-plans, `Filter` re-selects mid-pipeline — and every
-//!   stage still materializes a [`SimCube`] so repository storage and
-//!   evaluation re-combination keep working.
+//!   independent sub-plans, `Filter` re-selects mid-pipeline, `TopK`
+//!   prunes to the k best candidates per element, `Iterate` re-runs a
+//!   sub-plan to a fixpoint — and every stage still materializes a
+//!   [`SimCube`] so repository storage and evaluation re-combination keep
+//!   working;
+//! * **sparse execution** — once a restriction survives a `TopK`/`Seq`
+//!   stage, [`sparse_capable`](crate::Matcher::sparse_capable) matchers
+//!   (the structural `Children`/`Leaves`) compute set similarities only
+//!   for the allowed pairs and their recursive dependencies instead of
+//!   the full cross-product, with bit-identical results
+//!   ([`PlanEngine::with_sparse`] switches the path off for comparison).
 
 mod mask;
 mod memo;
@@ -26,7 +34,7 @@ mod plan;
 
 pub use mask::PairMask;
 pub use memo::{matcher_identity, MatchMemo, NameSimCache};
-pub use plan::MatchPlan;
+pub use plan::{MatchPlan, PlanError, TopKPer};
 
 use crate::combine::DirectedCandidates;
 use crate::cube::{SimCube, SimMatrix};
@@ -77,20 +85,26 @@ impl PlanOutcome {
     }
 }
 
+/// Masks at least this sparse take the sparse execution path; denser ones
+/// compute the full matrix (worth memoizing) and mask it.
+const SPARSE_DENSITY_CUTOFF: f64 = 0.5;
+
 /// The plan execution engine: borrows a matcher library and executes plans
 /// against prepared match contexts.
 pub struct PlanEngine<'l> {
     library: &'l MatcherLibrary,
     parallel: bool,
+    sparse: bool,
 }
 
 impl<'l> PlanEngine<'l> {
-    /// An engine over the given library, with parallel leaf fan-out
-    /// enabled.
+    /// An engine over the given library, with parallel leaf fan-out and
+    /// the sparse execution path enabled.
     pub fn new(library: &'l MatcherLibrary) -> PlanEngine<'l> {
         PlanEngine {
             library,
             parallel: true,
+            sparse: true,
         }
     }
 
@@ -101,18 +115,31 @@ impl<'l> PlanEngine<'l> {
         self
     }
 
+    /// Disables (or re-enables) the sparse execution path for
+    /// [`sparse_capable`](crate::Matcher::sparse_capable) matchers under a
+    /// search-space restriction; results are bit-identical either way
+    /// (property-tested), only the work differs — dense computes the full
+    /// cross-product and masks it afterwards.
+    pub fn with_sparse(mut self, sparse: bool) -> PlanEngine<'l> {
+        self.sparse = sparse;
+        self
+    }
+
     /// Executes a plan on a match task. A restriction already present on
     /// `ctx` becomes the root search-space mask.
     ///
-    /// # Panics
-    /// Panics (like the legacy pipeline) if a `Matchers` or `Par` node is
-    /// empty: there is no cube to aggregate.
+    /// Degenerate plan shapes (empty `Matchers`/`Par` nodes, `TopK` with
+    /// `k = 0`, `Iterate` with `max_rounds = 0`) fail up front with
+    /// [`CoreError::Plan`] instead of panicking mid-execution.
     pub fn execute(&self, ctx: &MatchContext<'_>, plan: &MatchPlan) -> Result<PlanOutcome> {
         plan.validate(self.library)?;
         let memo = MatchMemo::new();
         let root_mask = ctx.restriction.cloned();
         let base = ctx.without_restriction().with_memo(&memo);
-        let mut stages = Vec::with_capacity(plan.stage_count());
+        // The stage count is only a capacity hint; clamp it so an `Iterate`
+        // with a huge (but semantically fine) round budget cannot force an
+        // absurd up-front allocation.
+        let mut stages = Vec::with_capacity(plan.stage_count().min(64));
         let result = self.exec(base, plan, root_mask.as_ref(), &mut stages)?;
         Ok(PlanOutcome { result, stages })
     }
@@ -193,6 +220,80 @@ impl<'l> PlanEngine<'l> {
                     MatchResult::from_pairs(&ctx, candidates.pairs(), Some(schema_similarity));
                 let mut cube = SimCube::new();
                 cube.push("Filtered", matrix);
+                stages.push(StageOutcome {
+                    label: plan.label(),
+                    cube,
+                    result: result.clone(),
+                });
+                Ok(result)
+            }
+            MatchPlan::TopK { input, k, per } => {
+                let inner = self.exec(ctx, input, mask, stages)?;
+                let matrix = pair_matrix(&ctx, &inner);
+                let keep = PairMask::top_k_of(&matrix, *k, *per);
+                let kept: Vec<(usize, usize, f64)> = inner
+                    .candidates
+                    .iter()
+                    .filter(|c| keep.allows(c.source.index(), c.target.index()))
+                    .map(|c| (c.source.index(), c.target.index(), c.similarity))
+                    .collect();
+                let pruned = keep.masked_clone(&matrix);
+                // The schema similarity is recomputed over the surviving
+                // pairs (like `Filter` does), not carried over from the
+                // pre-pruning result, so it stays consistent with the
+                // candidates this stage actually reports.
+                let survivors = DirectedCandidates::select(
+                    &pruned,
+                    crate::combine::Direction::Both,
+                    &crate::combine::Selection::threshold(0.0),
+                );
+                let schema_similarity = crate::combine::CombinedSim::Average.compute(
+                    &survivors,
+                    ctx.rows(),
+                    ctx.cols(),
+                );
+                let result = MatchResult::from_pairs(&ctx, kept, Some(schema_similarity));
+                let mut cube = SimCube::new();
+                cube.push("TopK", pruned);
+                stages.push(StageOutcome {
+                    label: plan.label(),
+                    cube,
+                    result: result.clone(),
+                });
+                Ok(result)
+            }
+            MatchPlan::Iterate {
+                plan: sub,
+                max_rounds,
+                epsilon,
+            } => {
+                // Each round re-runs the sub-plan restricted to the
+                // previous round's survivors, until the selected-pair
+                // matrix moves by less than epsilon (max-norm). The loop
+                // runs at least once (max_rounds >= 1 is validated).
+                let mut prev: Option<SimMatrix> = None;
+                let mut round_mask = mask.cloned();
+                let mut result: Option<MatchResult> = None;
+                for _ in 0..*max_rounds {
+                    let r = self.exec(ctx, sub, round_mask.as_ref(), stages)?;
+                    let matrix = pair_matrix(&ctx, &r);
+                    let converged = prev
+                        .as_ref()
+                        .is_some_and(|p| p.max_abs_diff(&matrix) < *epsilon);
+                    let survivors = PairMask::from_result(ctx.rows(), ctx.cols(), &r);
+                    result = Some(r);
+                    prev = Some(matrix);
+                    if converged {
+                        break;
+                    }
+                    round_mask = Some(match mask {
+                        Some(outer) => survivors.intersect(outer),
+                        None => survivors,
+                    });
+                }
+                let result = result.expect("Iterate ran at least one round");
+                let mut cube = SimCube::new();
+                cube.push("Iterate", prev.expect("Iterate ran at least one round"));
                 stages.push(StageOutcome {
                     label: plan.label(),
                     cube,
@@ -298,17 +399,25 @@ impl<'l> PlanEngine<'l> {
                 if let Some(full) = memo.and_then(|m| m.cached_matrix(name, identity)) {
                     return mask.masked_clone(&full);
                 }
-                if matcher.cell_local() {
-                    // Cell-local matchers skip disallowed cells themselves;
-                    // the final mask application is a cheap safety net for
+                // Cell-local matchers always honor the restriction; other
+                // sparse-capable matchers (the structural ones) take the
+                // sparse path only when the mask prunes enough of the pair
+                // space to beat computing a full, memoizable matrix.
+                let honors_restriction = matcher.cell_local()
+                    || (self.sparse
+                        && matcher.sparse_capable()
+                        && mask.density() <= SPARSE_DENSITY_CUTOFF);
+                if honors_restriction {
+                    // The matcher skips disallowed cells itself; the final
+                    // mask application is a cheap safety net for
                     // implementations that ignore the restriction.
                     let restricted = ctx.with_restriction(mask);
                     let mut out = matcher.compute(&restricted);
                     mask.apply(&mut out);
                     out
                 } else {
-                    // Structural/global matchers need the full search space
-                    // for correct set similarities; compute (and memoize)
+                    // Global matchers need the full search space for
+                    // correct set similarities; compute (and memoize)
                     // full, then mask the copy.
                     let full = match memo {
                         Some(m) => m.matrix(name, identity, || matcher.compute(&ctx)),
@@ -566,6 +675,170 @@ mod tests {
             .iter()
             .all(|cand| cand.similarity > 0.8));
         assert_eq!(tight.stages.len(), 2);
+    }
+
+    /// `TopK` keeps at most k candidates per element and its survivors
+    /// restrict a downstream refine stage.
+    #[test]
+    fn top_k_prunes_and_restricts_downstream_stages() {
+        use crate::engine::plan::TopKPer;
+        let c = coma();
+        let (s1, s2) = (po1(), po2());
+        let p1 = PathSet::new(&s1).unwrap();
+        let p2 = PathSet::new(&s2).unwrap();
+        let ctx = MatchContext::new(&s1, &s2, &p1, &p2, c.aux());
+
+        let mut liberal = CombinationStrategy::paper_default();
+        liberal.selection = Selection::max_n(6).with_threshold(0.2);
+        let pruned = MatchPlan::matchers_with(["Name"], liberal)
+            .top_k(2, TopKPer::Both)
+            .unwrap();
+        let plan = MatchPlan::seq(pruned, MatchPlan::from(&MatchStrategy::paper_default()));
+
+        let outcome = PlanEngine::new(c.library()).execute(&ctx, &plan).unwrap();
+        assert_eq!(outcome.stages.len(), 3); // Name, TopK, refine
+
+        let name_stage = &outcome.stages[0].result;
+        let topk_stage = &outcome.stages[1].result;
+        // TopK output is a subset of its input.
+        for cand in &topk_stage.candidates {
+            assert!(name_stage.contains(cand.source, cand.target));
+        }
+        // Per-row and per-column candidate counts respect k = 2.
+        for i in 0..ctx.rows() {
+            let per_row = topk_stage
+                .candidates
+                .iter()
+                .filter(|c| c.source.index() == i)
+                .count();
+            assert!(per_row <= 2 + 2, "row {i} kept {per_row}"); // Both = union
+        }
+        // The refine stage only proposes TopK survivors.
+        for cand in &outcome.result.candidates {
+            assert!(
+                topk_stage.contains(cand.source, cand.target),
+                "refined pair did not survive TopK"
+            );
+        }
+        assert!(!outcome.result.is_empty());
+    }
+
+    /// `Iterate` terminates within `max_rounds` and converges to a stable
+    /// result (a deterministic sub-plan restricted to its own survivors
+    /// reaches a fixpoint in practice after two rounds).
+    #[test]
+    fn iterate_terminates_and_stabilizes() {
+        let c = coma();
+        let (s1, s2) = (po1(), po2());
+        let p1 = PathSet::new(&s1).unwrap();
+        let p2 = PathSet::new(&s2).unwrap();
+        let ctx = MatchContext::new(&s1, &s2, &p1, &p2, c.aux());
+
+        let sub = MatchPlan::from(&MatchStrategy::paper_default());
+        let max_rounds = 5;
+        let plan = sub.clone().iterate(max_rounds, 1e-9).unwrap();
+        let outcome = PlanEngine::new(c.library()).execute(&ctx, &plan).unwrap();
+
+        // Rounds executed = sub-plan stages pushed; bounded by max_rounds.
+        let rounds = outcome
+            .stages
+            .iter()
+            .filter(|s| s.label == sub.label())
+            .count();
+        assert!(
+            (1..=max_rounds).contains(&rounds),
+            "{rounds} rounds for max {max_rounds}"
+        );
+        assert!(!outcome.result.is_empty());
+        // The final result is a fixpoint: the last two rounds select the
+        // same pairs with the same similarities. (The rounds' schema
+        // similarities may differ — that value is derived from the
+        // directional candidate lists, which the round restriction
+        // shrinks — but the convergence criterion is the pair matrix.)
+        if rounds >= 2 {
+            let last_two: Vec<_> = outcome
+                .stages
+                .iter()
+                .filter(|s| s.label == sub.label())
+                .rev()
+                .take(2)
+                .collect();
+            assert_eq!(last_two[0].result.candidates, last_two[1].result.candidates);
+        }
+    }
+
+    /// Sparse and dense execution of the same masked plan are
+    /// bit-identical; the sparse path merely skips the disallowed work.
+    #[test]
+    fn sparse_and_dense_masked_execution_agree() {
+        let c = coma();
+        let (s1, s2) = (po1(), po2());
+        let p1 = PathSet::new(&s1).unwrap();
+        let p2 = PathSet::new(&s2).unwrap();
+        let ctx = MatchContext::new(&s1, &s2, &p1, &p2, c.aux());
+
+        let plan = MatchPlan::two_stage(
+            ["Name"],
+            Selection::max_n(3).with_threshold(0.3),
+            &MatchStrategy::paper_default(),
+        );
+        let sparse = PlanEngine::new(c.library()).execute(&ctx, &plan).unwrap();
+        let dense = PlanEngine::new(c.library())
+            .with_sparse(false)
+            .execute(&ctx, &plan)
+            .unwrap();
+        assert_eq!(sparse.result, dense.result);
+        assert_eq!(sparse.stages.len(), dense.stages.len());
+        for (a, b) in sparse.stages.iter().zip(&dense.stages) {
+            assert_eq!(a.cube, b.cube, "stage {} cubes differ", a.label);
+            assert_eq!(a.result, b.result);
+        }
+    }
+
+    /// Degenerate plan shapes fail up front with `CoreError::Plan` instead
+    /// of panicking mid-execution.
+    #[test]
+    fn degenerate_plans_fail_fast() {
+        use crate::engine::plan::{PlanError, TopKPer};
+        let c = coma();
+        let (s1, s2) = (po1(), po2());
+        let p1 = PathSet::new(&s1).unwrap();
+        let p2 = PathSet::new(&s2).unwrap();
+        let ctx = MatchContext::new(&s1, &s2, &p1, &p2, c.aux());
+        let engine = PlanEngine::new(c.library());
+
+        let empty_matchers = MatchPlan::matchers(Vec::<String>::new());
+        assert!(matches!(
+            engine.execute(&ctx, &empty_matchers),
+            Err(CoreError::Plan(PlanError::EmptyMatchers))
+        ));
+
+        let empty_par = MatchPlan::par([], CombinationStrategy::paper_default());
+        assert!(matches!(
+            engine.execute(&ctx, &empty_par),
+            Err(CoreError::Plan(PlanError::EmptyPar))
+        ));
+
+        // Hand-assembled degenerate nodes (bypassing the constructors).
+        let zero_k = MatchPlan::TopK {
+            input: Box::new(MatchPlan::matchers(["Name"])),
+            k: 0,
+            per: TopKPer::Both,
+        };
+        assert!(matches!(
+            engine.execute(&ctx, &zero_k),
+            Err(CoreError::Plan(PlanError::ZeroTopK))
+        ));
+
+        let zero_rounds = MatchPlan::Iterate {
+            plan: Box::new(MatchPlan::matchers(["Name"])),
+            max_rounds: 0,
+            epsilon: 0.01,
+        };
+        assert!(matches!(
+            engine.execute(&ctx, &zero_rounds),
+            Err(CoreError::Plan(PlanError::ZeroIterations))
+        ));
     }
 
     /// Unknown matchers anywhere in the tree fail up front.

@@ -9,6 +9,8 @@
 //!        | Seq(plan → plan)                        filter, then refine
 //!        | Par(plan ∥ plan ∥ …; combination)       aggregate sub-plans
 //!        | Filter(plan; direction, selection)      re-select mid-pipeline
+//!        | TopK(plan; k, per)                      top-k pruning
+//!        | Iterate(plan; max_rounds, epsilon)      refine to a fixpoint
 //!        | Reuse(kind; compose; combination)       repository pivots
 //! ```
 //!
@@ -22,6 +24,64 @@ use crate::matchers::MatcherLibrary;
 use crate::process::MatchStrategy;
 use crate::reuse::ComposeCombine;
 use coma_repo::MappingKind;
+use std::fmt;
+
+/// Which side of the pair space a [`MatchPlan::TopK`] node prunes on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TopKPer {
+    /// Keep the `k` best candidates of every source element (per row).
+    Row,
+    /// Keep the `k` best candidates of every target element (per column).
+    Col,
+    /// Keep a pair if it is among the `k` best of its row **or** its
+    /// column — every element of either schema keeps its `k` best, so
+    /// pruning never strands a node without candidates.
+    Both,
+}
+
+impl fmt::Display for TopKPer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopKPer::Row => f.write_str("Row"),
+            TopKPer::Col => f.write_str("Col"),
+            TopKPer::Both => f.write_str("Both"),
+        }
+    }
+}
+
+/// A structurally degenerate plan shape, rejected at construction /
+/// validation time instead of panicking or silently no-op'ing inside
+/// [`PlanEngine::execute`](super::PlanEngine::execute).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// A `Matchers` leaf with an empty matcher list: no cube to aggregate.
+    EmptyMatchers,
+    /// A `Par` node with no sub-plans: no slices to aggregate.
+    EmptyPar,
+    /// A `TopK` node with `k == 0`: it would disallow every pair.
+    ZeroTopK,
+    /// An `Iterate` node with `max_rounds == 0`: it would never run its
+    /// sub-plan, leaving no result.
+    ZeroIterations,
+    /// An `Iterate` node with a negative or non-finite epsilon.
+    InvalidEpsilon,
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::EmptyMatchers => f.write_str("`Matchers` node has an empty matcher list"),
+            PlanError::EmptyPar => f.write_str("`Par` node has no sub-plans"),
+            PlanError::ZeroTopK => f.write_str("`TopK` node has k = 0 (would drop every pair)"),
+            PlanError::ZeroIterations => f.write_str("`Iterate` node has max_rounds = 0"),
+            PlanError::InvalidEpsilon => {
+                f.write_str("`Iterate` node has a negative or non-finite epsilon")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
 
 /// A composable match plan: an operator tree executed by
 /// [`PlanEngine`](super::PlanEngine).
@@ -68,6 +128,32 @@ pub enum MatchPlan {
         selection: Selection,
         /// Recomputes the schema similarity of the filtered result.
         combined_sim: CombinedSim,
+    },
+    /// Top-k pruning: keep only the `k` best candidates per source/target
+    /// element of `input`'s result. Used as the filter side of a
+    /// [`MatchPlan::Seq`], the surviving pairs materialize as a
+    /// [`PairMask`](super::PairMask) restriction for the downstream
+    /// stages, which the engine then executes on its sparse path.
+    TopK {
+        /// The plan whose result is pruned.
+        input: Box<MatchPlan>,
+        /// How many candidates each element keeps.
+        k: usize,
+        /// Prune per source element, per target element, or both.
+        per: TopKPer,
+    },
+    /// Iterative refinement (COMA's iterate-until-stable loop): re-run
+    /// `plan`, each round restricted to the previous round's survivors,
+    /// until the selected-pair similarity matrix changes by less than
+    /// `epsilon` (max-norm) or `max_rounds` rounds have run.
+    Iterate {
+        /// The sub-plan executed every round.
+        plan: Box<MatchPlan>,
+        /// Upper bound on the number of rounds (termination guarantee).
+        max_rounds: usize,
+        /// Convergence tolerance on the max-norm of the round-over-round
+        /// matrix delta.
+        epsilon: f64,
     },
     /// Reuse leaf: compose stored mappings over repository pivot schemas
     /// (the paper's `Schema` reuse matcher) and combine the resulting
@@ -131,6 +217,45 @@ impl MatchPlan {
         }
     }
 
+    /// Wraps a plan in a top-k pruning step: every source/target element
+    /// (per `per`) keeps only its `k` best candidates. Fails with
+    /// [`PlanError::ZeroTopK`] for `k == 0` — a plan that drops every
+    /// pair is a construction bug, not a useful pipeline.
+    pub fn top_k(self, k: usize, per: TopKPer) -> std::result::Result<MatchPlan, PlanError> {
+        if k == 0 {
+            return Err(PlanError::ZeroTopK);
+        }
+        Ok(MatchPlan::TopK {
+            input: Box::new(self),
+            k,
+            per,
+        })
+    }
+
+    /// Wraps a plan in an iterate-until-stable loop: re-run it (each round
+    /// restricted to the previous round's survivors) until the result
+    /// matrix moves by less than `epsilon` or `max_rounds` rounds have
+    /// run. Fails with [`PlanError::ZeroIterations`] for `max_rounds == 0`
+    /// and [`PlanError::InvalidEpsilon`] for a negative or non-finite
+    /// tolerance.
+    pub fn iterate(
+        self,
+        max_rounds: usize,
+        epsilon: f64,
+    ) -> std::result::Result<MatchPlan, PlanError> {
+        if max_rounds == 0 {
+            return Err(PlanError::ZeroIterations);
+        }
+        if !epsilon.is_finite() || epsilon < 0.0 {
+            return Err(PlanError::InvalidEpsilon);
+        }
+        Ok(MatchPlan::Iterate {
+            plan: Box::new(self),
+            max_rounds,
+            epsilon,
+        })
+    }
+
     /// A reuse leaf with the paper's defaults (Average compose, default
     /// combination) over mappings of the given kind.
     pub fn reuse(kind: Option<MappingKind>) -> MatchPlan {
@@ -188,12 +313,66 @@ impl MatchPlan {
                 }
             }
             MatchPlan::Filter { input, .. } => input.collect_names(out),
+            MatchPlan::TopK { input, .. } => input.collect_names(out),
+            MatchPlan::Iterate { plan, .. } => plan.collect_names(out),
             MatchPlan::Reuse { .. } => {}
         }
     }
 
-    /// Checks every referenced matcher against the library.
+    /// Checks the tree for degenerate shapes (empty `Matchers`/`Par`
+    /// nodes, `TopK` with `k = 0`, `Iterate` with `max_rounds = 0` or a
+    /// bad epsilon). The builder constructors reject these up front;
+    /// hand-assembled trees are caught here — and by
+    /// [`PlanEngine::execute`](super::PlanEngine::execute), which
+    /// validates before running — instead of panicking mid-execution.
+    pub fn validate_shape(&self) -> std::result::Result<(), PlanError> {
+        match self {
+            MatchPlan::Matchers { matchers, .. } => {
+                if matchers.is_empty() {
+                    return Err(PlanError::EmptyMatchers);
+                }
+            }
+            MatchPlan::Seq { filter, refine } => {
+                filter.validate_shape()?;
+                refine.validate_shape()?;
+            }
+            MatchPlan::Par { plans, .. } => {
+                if plans.is_empty() {
+                    return Err(PlanError::EmptyPar);
+                }
+                for p in plans {
+                    p.validate_shape()?;
+                }
+            }
+            MatchPlan::Filter { input, .. } => input.validate_shape()?,
+            MatchPlan::TopK { input, k, .. } => {
+                if *k == 0 {
+                    return Err(PlanError::ZeroTopK);
+                }
+                input.validate_shape()?;
+            }
+            MatchPlan::Iterate {
+                plan,
+                max_rounds,
+                epsilon,
+            } => {
+                if *max_rounds == 0 {
+                    return Err(PlanError::ZeroIterations);
+                }
+                if !epsilon.is_finite() || *epsilon < 0.0 {
+                    return Err(PlanError::InvalidEpsilon);
+                }
+                plan.validate_shape()?;
+            }
+            MatchPlan::Reuse { .. } => {}
+        }
+        Ok(())
+    }
+
+    /// Checks the tree shape and every referenced matcher against the
+    /// library.
     pub fn validate(&self, library: &MatcherLibrary) -> Result<()> {
+        self.validate_shape()?;
         for name in self.matcher_names() {
             if library.get(name).is_none() {
                 return Err(CoreError::UnknownMatcher(name.to_string()));
@@ -202,7 +381,8 @@ impl MatchPlan {
         Ok(())
     }
 
-    /// Number of result-producing stages the engine will materialize.
+    /// Number of result-producing stages the engine will materialize. For
+    /// `Iterate` this is an upper bound (the loop may converge early).
     pub fn stage_count(&self) -> usize {
         match self {
             MatchPlan::Matchers { .. } | MatchPlan::Reuse { .. } => 1,
@@ -211,6 +391,13 @@ impl MatchPlan {
                 plans.iter().map(MatchPlan::stage_count).sum::<usize>() + 1
             }
             MatchPlan::Filter { input, .. } => input.stage_count() + 1,
+            MatchPlan::TopK { input, .. } => input.stage_count() + 1,
+            MatchPlan::Iterate {
+                plan, max_rounds, ..
+            } => plan
+                .stage_count()
+                .saturating_mul(*max_rounds)
+                .saturating_add(1),
         }
     }
 
@@ -243,6 +430,14 @@ impl MatchPlan {
                 selection,
                 combined_sim
             ),
+            MatchPlan::TopK { input, k, per } => {
+                format!("TopK({} | {k}/{per})", input.label())
+            }
+            MatchPlan::Iterate {
+                plan,
+                max_rounds,
+                epsilon,
+            } => format!("Iterate({} | {max_rounds}/{epsilon})", plan.label()),
             MatchPlan::Reuse {
                 kind,
                 compose,
@@ -314,6 +509,91 @@ mod tests {
             bad.validate(&lib),
             Err(CoreError::UnknownMatcher(name)) if name == "Nope"
         ));
+    }
+
+    #[test]
+    fn constructors_reject_degenerate_shapes() {
+        let base = MatchPlan::matchers(["Name"]);
+        assert_eq!(
+            base.clone().top_k(0, TopKPer::Row).unwrap_err(),
+            PlanError::ZeroTopK
+        );
+        assert_eq!(
+            base.clone().iterate(0, 0.01).unwrap_err(),
+            PlanError::ZeroIterations
+        );
+        assert_eq!(
+            base.clone().iterate(3, -0.5).unwrap_err(),
+            PlanError::InvalidEpsilon
+        );
+        assert_eq!(
+            base.clone().iterate(3, f64::NAN).unwrap_err(),
+            PlanError::InvalidEpsilon
+        );
+        assert!(base.clone().top_k(1, TopKPer::Both).is_ok());
+        assert!(base.iterate(1, 0.0).is_ok());
+    }
+
+    #[test]
+    fn shape_validation_walks_the_whole_tree() {
+        let lib = MatcherLibrary::standard();
+        // A degenerate node buried under healthy operators is still found.
+        let buried = MatchPlan::seq(
+            MatchPlan::matchers(["Name"]),
+            MatchPlan::par(
+                [
+                    MatchPlan::matchers(["Leaves"]),
+                    MatchPlan::Matchers {
+                        matchers: Vec::new(),
+                        combination: CombinationStrategy::paper_default(),
+                    },
+                ],
+                CombinationStrategy::paper_default(),
+            ),
+        );
+        assert_eq!(buried.validate_shape(), Err(PlanError::EmptyMatchers));
+        assert!(matches!(
+            buried.validate(&lib),
+            Err(CoreError::Plan(PlanError::EmptyMatchers))
+        ));
+        // Healthy trees with the new operators pass.
+        let healthy = MatchPlan::matchers(["Name"])
+            .top_k(3, TopKPer::Both)
+            .unwrap()
+            .iterate(4, 1e-6)
+            .unwrap();
+        assert!(healthy.validate(&lib).is_ok());
+        assert_eq!(healthy.matcher_names(), vec!["Name"]);
+    }
+
+    #[test]
+    fn new_operator_labels_and_stage_counts() {
+        let plan = MatchPlan::matchers(["Name"])
+            .top_k(5, TopKPer::Row)
+            .unwrap();
+        assert!(
+            plan.label().starts_with("TopK(Matchers(Name)["),
+            "{}",
+            plan.label()
+        );
+        assert!(plan.label().ends_with("| 5/Row)"), "{}", plan.label());
+        assert_eq!(plan.stage_count(), 2);
+
+        let looped = plan.clone().iterate(3, 0.01).unwrap();
+        assert!(
+            looped.label().starts_with("Iterate(TopK("),
+            "{}",
+            looped.label()
+        );
+        assert!(looped.label().ends_with("| 3/0.01)"), "{}", looped.label());
+        // Upper bound: 2 stages per round × 3 rounds + the Iterate stage.
+        assert_eq!(looped.stage_count(), 7);
+
+        // Labels stay complete: different k / per / rounds ⇒ different labels.
+        let other = MatchPlan::matchers(["Name"])
+            .top_k(5, TopKPer::Col)
+            .unwrap();
+        assert_ne!(plan.label(), other.label());
     }
 
     #[test]

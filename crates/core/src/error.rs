@@ -8,6 +8,8 @@ pub type Result<T> = std::result::Result<T, CoreError>;
 pub enum CoreError {
     /// A strategy named a matcher that is not in the library.
     UnknownMatcher(String),
+    /// A plan tree has a structurally degenerate shape.
+    Plan(crate::engine::PlanError),
     /// Building the path unfolding of an input schema failed.
     Graph(coma_graph::GraphError),
 }
@@ -18,6 +20,7 @@ impl fmt::Display for CoreError {
             CoreError::UnknownMatcher(name) => {
                 write!(f, "matcher `{name}` is not registered in the library")
             }
+            CoreError::Plan(e) => write!(f, "invalid match plan: {e}"),
             CoreError::Graph(e) => write!(f, "schema preparation failed: {e}"),
         }
     }
@@ -28,5 +31,11 @@ impl std::error::Error for CoreError {}
 impl From<coma_graph::GraphError> for CoreError {
     fn from(e: coma_graph::GraphError) -> CoreError {
         CoreError::Graph(e)
+    }
+}
+
+impl From<crate::engine::PlanError> for CoreError {
+    fn from(e: crate::engine::PlanError) -> CoreError {
+        CoreError::Plan(e)
     }
 }

@@ -19,9 +19,10 @@
 //!   automatic match operations, and interactive [`MatchSession`]s with
 //!   user feedback;
 //! * [`engine`] — the composable [`MatchPlan`] operator tree
-//!   (`Matchers` / `Seq` / `Par` / `Filter` / `Reuse`) and its execution
-//!   engine: parallel leaf fan-out, memoized shared work, staged
-//!   filter-then-refine processes.
+//!   (`Matchers` / `Seq` / `Par` / `Filter` / `TopK` / `Iterate` /
+//!   `Reuse`) and its execution engine: parallel leaf fan-out, memoized
+//!   shared work, staged filter-then-refine processes, top-k pruning with
+//!   a sparse execution path, and iterative refinement.
 //!
 //! ```
 //! use coma_core::{Coma, MatchStrategy};
@@ -60,7 +61,9 @@ pub use combine::{
     Selection,
 };
 pub use cube::{SimCube, SimMatrix};
-pub use engine::{MatchMemo, MatchPlan, PairMask, PlanEngine, PlanOutcome, StageOutcome};
+pub use engine::{
+    MatchMemo, MatchPlan, PairMask, PlanEngine, PlanError, PlanOutcome, StageOutcome, TopKPer,
+};
 pub use error::{CoreError, Result};
 pub use matchers::{Auxiliary, MatchContext, Matcher, MatcherLibrary};
 pub use process::{

@@ -3,10 +3,105 @@
 //! live in [`super::structural`].)
 
 use crate::cube::SimMatrix;
+use crate::engine::NameSimCache;
 use crate::matchers::context::MatchContext;
 use crate::matchers::name_engine::NameEngine;
 use crate::matchers::Matcher;
+use std::collections::HashMap;
+use std::hash::Hash;
 use std::sync::Arc;
+
+/// Deduplicates the per-row/column keys of one schema side: returns the
+/// key id of every element plus the distinct keys in first-use order.
+/// Real schemas repeat element names heavily across paths (a 1000-path
+/// schema often has only a few hundred distinct names), so `Name` and
+/// `TypeName` compute their similarity tables over distinct keys and fan
+/// the values out, instead of paying a cache lookup per matrix cell.
+fn distinct_keys<K: Eq + Hash + Clone>(keys: impl Iterator<Item = K>) -> (Vec<usize>, Vec<K>) {
+    let mut ids = Vec::new();
+    let mut order: Vec<K> = Vec::new();
+    let mut seen: HashMap<K, usize> = HashMap::new();
+    for key in keys {
+        let id = *seen.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            order.len() - 1
+        });
+        ids.push(id);
+    }
+    (ids, order)
+}
+
+/// Per-set token ids plus the distinct tokens in first-use order.
+fn index_tokens(sets: &[Arc<Vec<String>>]) -> (Vec<Vec<usize>>, Vec<&str>) {
+    let mut names: Vec<&str> = Vec::new();
+    let mut map: HashMap<&str, usize> = HashMap::new();
+    let per_set = sets
+        .iter()
+        .map(|ts| {
+            ts.iter()
+                .map(|t| {
+                    *map.entry(t.as_str()).or_insert_with(|| {
+                        names.push(t.as_str());
+                        names.len() - 1
+                    })
+                })
+                .collect()
+        })
+        .collect();
+    (per_set, names)
+}
+
+/// The row-major `src_names × tgt_names` table of name similarities,
+/// computed in two deduplicated levels: token-pair sims once per distinct
+/// token pair (schemas draw names from a bounded vocabulary, so this is
+/// small and independent of schema size), then one steps-2+3 combination
+/// per distinct name pair, routed through the shared cache so matchers
+/// with equal engines reuse each other's values.
+fn name_sim_table(
+    ctx: &MatchContext<'_>,
+    engine: &NameEngine,
+    cache: &mut NameSimCache,
+    src_names: &[&str],
+    tgt_names: &[&str],
+) -> Vec<f64> {
+    let src_tokens: Vec<Arc<Vec<String>>> =
+        src_names.iter().map(|a| ctx.token_set(engine, a)).collect();
+    let tgt_tokens: Vec<Arc<Vec<String>>> =
+        tgt_names.iter().map(|b| ctx.token_set(engine, b)).collect();
+    let (src_name_toks, src_tok_names) = index_tokens(&src_tokens);
+    let (tgt_name_toks, tgt_tok_names) = index_tokens(&tgt_tokens);
+
+    let tt = tgt_tok_names.len();
+    let mut tok_table = vec![0.0; src_tok_names.len() * tt];
+    for (a, &ta) in src_tok_names.iter().enumerate() {
+        for (b, &tb) in tgt_tok_names.iter().enumerate() {
+            tok_table[a * tt + b] = engine.token_pair_similarity(ta, tb, ctx.aux);
+        }
+    }
+
+    let mut table = vec![0.0; src_names.len() * tgt_names.len()];
+    for (a_id, &a) in src_names.iter().enumerate() {
+        let ids1 = &src_name_toks[a_id];
+        for (b_id, &b) in tgt_names.iter().enumerate() {
+            let ids2 = &tgt_name_toks[b_id];
+            // Clamped like the restricted path's `SimMatrix::set`, so the
+            // sparse==dense bit-identity holds even for exotic engines.
+            table[a_id * tgt_names.len() + b_id] = cache
+                .get_or_compute(a, b, || {
+                    let mut sims = SimMatrix::new(ids1.len(), ids2.len());
+                    for (i, &ta) in ids1.iter().enumerate() {
+                        let row = sims.row_mut(i);
+                        for (dst, &tb) in row.iter_mut().zip(ids2) {
+                            *dst = tok_table[ta * tt + tb];
+                        }
+                    }
+                    engine.combine_token_sims(&src_tokens[a_id], &tgt_tokens[b_id], &sims)
+                })
+                .clamp(0.0, 1.0);
+        }
+    }
+    table
+}
 
 /// The hybrid `Name` matcher: tokenization, abbreviation expansion and a
 /// combination of simple matchers over the token sets (Table 4 defaults:
@@ -37,15 +132,31 @@ impl Matcher for NameMatcher {
     fn compute(&self, ctx: &MatchContext<'_>) -> SimMatrix {
         let mut out = SimMatrix::new(ctx.rows(), ctx.cols());
         let mut cache = ctx.name_sim_cache(&self.engine);
-        for i in 0..ctx.rows() {
-            let a = ctx.source_name(i);
-            for j in 0..ctx.cols() {
-                if !ctx.allows(i, j) {
-                    continue;
+        if ctx.restriction.is_some() {
+            // Sparse: only the allowed cells, straight through the cache.
+            for i in 0..ctx.rows() {
+                let a = ctx.source_name(i);
+                for j in 0..ctx.cols() {
+                    if !ctx.allows(i, j) {
+                        continue;
+                    }
+                    let b = ctx.target_name(j);
+                    let sim = cache.get_or_compute(a, b, || self.engine.similarity(a, b, ctx.aux));
+                    out.set(i, j, sim);
                 }
-                let b = ctx.target_name(j);
-                let sim = cache.get_or_compute(a, b, || self.engine.similarity(a, b, ctx.aux));
-                out.set(i, j, sim);
+            }
+        } else {
+            // Dense: one similarity per distinct name pair, fanned out to
+            // every cell that shares it.
+            let (src_ids, src_names) = distinct_keys((0..ctx.rows()).map(|i| ctx.source_name(i)));
+            let (tgt_ids, tgt_names) = distinct_keys((0..ctx.cols()).map(|j| ctx.target_name(j)));
+            let table = name_sim_table(ctx, &self.engine, &mut cache, &src_names, &tgt_names);
+            for (i, &a_id) in src_ids.iter().enumerate() {
+                let base = a_id * tgt_names.len();
+                let row = out.row_mut(i);
+                for (dst, &b_id) in row.iter_mut().zip(&tgt_ids) {
+                    *dst = table[base + b_id];
+                }
             }
         }
         out
@@ -175,30 +286,76 @@ impl Matcher for TypeNameMatcher {
         let total = self.name_weight + self.type_weight;
         let mut out = SimMatrix::new(ctx.rows(), ctx.cols());
         let mut cache = ctx.name_sim_cache(&self.engine);
-        for i in 0..ctx.rows() {
-            let a_name = ctx.source_name(i);
-            let a_type = ctx
-                .source
-                .node(ctx.source_paths.node_of(ctx.source_elem(i)))
-                .datatype;
-            for j in 0..ctx.cols() {
-                if !ctx.allows(i, j) {
-                    continue;
+        if ctx.restriction.is_some() {
+            // Sparse: only the allowed cells, straight through the cache.
+            for i in 0..ctx.rows() {
+                let a_name = ctx.source_name(i);
+                let a_type = ctx
+                    .source
+                    .node(ctx.source_paths.node_of(ctx.source_elem(i)))
+                    .datatype;
+                for j in 0..ctx.cols() {
+                    if !ctx.allows(i, j) {
+                        continue;
+                    }
+                    let b_name = ctx.target_name(j);
+                    let b_type = ctx
+                        .target
+                        .node(ctx.target_paths.node_of(ctx.target_elem(j)))
+                        .datatype;
+                    let name_sim = cache
+                        .get_or_compute(a_name, b_name, || {
+                            self.engine.similarity(a_name, b_name, ctx.aux)
+                        })
+                        .clamp(0.0, 1.0);
+                    let type_sim = ctx.aux.type_compat.similarity_opt(a_type, b_type);
+                    out.set(
+                        i,
+                        j,
+                        (self.name_weight * name_sim + self.type_weight * type_sim) / total,
+                    );
                 }
-                let b_name = ctx.target_name(j);
-                let b_type = ctx
+            }
+        } else {
+            // Dense: one weighted similarity per distinct (name, datatype)
+            // profile pair, fanned out to every cell that shares it.
+            let (src_ids, src_profiles) = distinct_keys((0..ctx.rows()).map(|i| {
+                let datatype = ctx
+                    .source
+                    .node(ctx.source_paths.node_of(ctx.source_elem(i)))
+                    .datatype;
+                (ctx.source_name(i), datatype)
+            }));
+            let (tgt_ids, tgt_profiles) = distinct_keys((0..ctx.cols()).map(|j| {
+                let datatype = ctx
                     .target
                     .node(ctx.target_paths.node_of(ctx.target_elem(j)))
                     .datatype;
-                let name_sim = cache.get_or_compute(a_name, b_name, || {
-                    self.engine.similarity(a_name, b_name, ctx.aux)
-                });
-                let type_sim = ctx.aux.type_compat.similarity_opt(a_type, b_type);
-                out.set(
-                    i,
-                    j,
-                    (self.name_weight * name_sim + self.type_weight * type_sim) / total,
-                );
+                (ctx.target_name(j), datatype)
+            }));
+            // Name similarities deduplicate one level further (profiles
+            // with different datatypes share their name's value).
+            let (src_name_ids, src_names) =
+                distinct_keys(src_profiles.iter().map(|&(name, _)| name));
+            let (tgt_name_ids, tgt_names) =
+                distinct_keys(tgt_profiles.iter().map(|&(name, _)| name));
+            let names = name_sim_table(ctx, &self.engine, &mut cache, &src_names, &tgt_names);
+            let mut table = vec![0.0; src_profiles.len() * tgt_profiles.len()];
+            for (a_id, &(_, a_type)) in src_profiles.iter().enumerate() {
+                for (b_id, &(_, b_type)) in tgt_profiles.iter().enumerate() {
+                    let name_sim = names[src_name_ids[a_id] * tgt_names.len() + tgt_name_ids[b_id]];
+                    let type_sim = ctx.aux.type_compat.similarity_opt(a_type, b_type);
+                    table[a_id * tgt_profiles.len() + b_id] =
+                        ((self.name_weight * name_sim + self.type_weight * type_sim) / total)
+                            .clamp(0.0, 1.0);
+                }
+            }
+            for (i, &a_id) in src_ids.iter().enumerate() {
+                let base = a_id * tgt_profiles.len();
+                let row = out.row_mut(i);
+                for (dst, &b_id) in row.iter_mut().zip(&tgt_ids) {
+                    *dst = table[base + b_id];
+                }
             }
         }
         out

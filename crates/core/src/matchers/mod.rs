@@ -38,6 +38,18 @@ pub trait Matcher: Send + Sync {
     fn cell_local(&self) -> bool {
         false
     }
+
+    /// Whether this matcher has a **sparse execution path**: it honors a
+    /// search-space restriction even though its cells are not independent,
+    /// by computing only the allowed pairs plus whatever cells they
+    /// transitively depend on (e.g. the structural matchers' recursive
+    /// child-set similarities). The sparse result must be bit-identical to
+    /// the masked dense computation; the engine then skips the full
+    /// cross-product when a restriction is sparse enough. The conservative
+    /// default is `false` (compute full, mask afterwards).
+    fn sparse_capable(&self) -> bool {
+        false
+    }
 }
 
 /// The extensible matcher library: "New match algorithms can be included

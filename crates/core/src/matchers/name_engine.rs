@@ -1,7 +1,7 @@
 //! The token-set similarity engine behind the hybrid name matchers.
 
 use crate::combine::{Aggregation, CombinedSim, DirectedCandidates, Direction, Selection};
-use crate::cube::{SimCube, SimMatrix};
+use crate::cube::SimMatrix;
 use crate::matchers::context::Auxiliary;
 use coma_strings::{
     affix_similarity, edit_distance_similarity, ngram_similarity, soundex_similarity, tokenize,
@@ -98,6 +98,60 @@ impl NameEngine {
         seen
     }
 
+    /// The aggregated constituent similarity of one token pair: every
+    /// token matcher's (clamped) similarity folded with the engine's
+    /// aggregation — the cell the cube-based formulation produces, without
+    /// materializing a per-pair cube.
+    ///
+    /// # Panics
+    /// Panics if the engine has no token matchers (nothing to aggregate).
+    pub fn token_pair_similarity(&self, a: &str, b: &str, aux: &Auxiliary) -> f64 {
+        assert!(
+            !self.token_matchers.is_empty(),
+            "cannot aggregate an empty token-matcher list"
+        );
+        let sims: Vec<f64> = self
+            .token_matchers
+            .iter()
+            .map(|tm| tm.similarity(a, b, aux).clamp(0.0, 1.0))
+            .collect();
+        let value = match &self.aggregation {
+            Aggregation::Max => sims.iter().copied().fold(f64::MIN, f64::max),
+            Aggregation::Min => sims.iter().copied().fold(f64::MAX, f64::min),
+            Aggregation::Average => sims.iter().sum::<f64>() / sims.len() as f64,
+            Aggregation::Weighted(weights) => {
+                assert_eq!(
+                    weights.len(),
+                    sims.len(),
+                    "Weighted aggregation needs one weight per token matcher"
+                );
+                let total: f64 = weights.iter().sum();
+                assert!(total > 0.0, "weights must not sum to zero");
+                sims.iter().zip(weights).map(|(v, w)| v * w).sum::<f64>() / total
+            }
+        };
+        value.clamp(0.0, 1.0)
+    }
+
+    /// Steps 2+3 over a pre-computed token-pair similarity matrix (cell
+    /// `(i, j)` = [`NameEngine::token_pair_similarity`] of `t1[i]`,
+    /// `t2[j]`). Factored out so callers holding a distinct-token table
+    /// (see the `Name`/`TypeName` dense paths) skip recomputing token
+    /// sims per name pair.
+    pub fn combine_token_sims(&self, t1: &[String], t2: &[String], sims: &SimMatrix) -> f64 {
+        if t1.is_empty() && t2.is_empty() {
+            return 1.0;
+        }
+        if t1.is_empty() || t2.is_empty() {
+            return 0.0;
+        }
+        if t1 == t2 {
+            return 1.0;
+        }
+        let candidates = DirectedCandidates::select(sims, self.direction, &self.selection);
+        self.combined.compute(&candidates, t1.len(), t2.len())
+    }
+
     /// Combined similarity of two pre-computed token sets.
     pub fn token_set_similarity(&self, t1: &[String], t2: &[String], aux: &Auxiliary) -> f64 {
         if t1.is_empty() && t2.is_empty() {
@@ -109,19 +163,13 @@ impl NameEngine {
         if t1 == t2 {
             return 1.0;
         }
-        let mut cube = SimCube::new();
-        for tm in &self.token_matchers {
-            let mut m = SimMatrix::new(t1.len(), t2.len());
-            for (i, a) in t1.iter().enumerate() {
-                for (j, b) in t2.iter().enumerate() {
-                    m.set(i, j, tm.similarity(a, b, aux));
-                }
+        let mut matrix = SimMatrix::new(t1.len(), t2.len());
+        for (i, a) in t1.iter().enumerate() {
+            for (j, b) in t2.iter().enumerate() {
+                matrix.set(i, j, self.token_pair_similarity(a, b, aux));
             }
-            cube.push(tm.to_string(), m);
         }
-        let matrix = self.aggregation.aggregate(&cube);
-        let candidates = DirectedCandidates::select(&matrix, self.direction, &self.selection);
-        self.combined.compute(&candidates, t1.len(), t2.len())
+        self.combine_token_sims(t1, t2, &matrix)
     }
 
     /// Name-level similarity (tokenize + expand + combine).

@@ -3,14 +3,20 @@
 //! element sets below them, computed by a configurable **leaf matcher**
 //! (default `TypeName`, Table 4) and combined with steps 2+3 of the
 //! combination scheme (`Both`/`Max1`, `Average`).
+//!
+//! Both matchers are [`sparse_capable`](Matcher::sparse_capable): under a
+//! search-space restriction they compute set similarities only for the
+//! allowed pairs (plus, for `Children`, the recursively needed child
+//! pairs) instead of the full cross-product, with results bit-identical
+//! to the masked dense computation.
 
 use crate::combine::{CombinedSim, DirectedCandidates, Direction, Selection};
 use crate::cube::SimMatrix;
-use crate::engine::matcher_identity;
+use crate::engine::{matcher_identity, PairMask};
 use crate::matchers::context::MatchContext;
 use crate::matchers::hybrid::TypeNameMatcher;
 use crate::matchers::Matcher;
-use coma_graph::PathId;
+use coma_graph::{PathId, PathSet};
 use std::sync::Arc;
 
 /// Shared configuration of the two structural matchers.
@@ -120,6 +126,83 @@ impl Default for ChildrenMatcher {
     }
 }
 
+impl ChildrenMatcher {
+    /// The dense path: every inner × inner cell, bottom-up by source
+    /// subtree height so children similarities exist before their parents'.
+    fn fill_dense(&self, ctx: &MatchContext<'_>, out: &mut SimMatrix) {
+        let src_by_height = paths_by_height(ctx, true);
+        let tgt_inner: Vec<PathId> = ctx.target_paths.inner_paths();
+        for &p in &src_by_height {
+            if ctx.source_paths.is_leaf(p) {
+                continue;
+            }
+            for &q in &tgt_inner {
+                let c2 = ctx.target_paths.children(q);
+                let sim = self
+                    .config
+                    .set_similarity(ctx.source_paths.children(p), c2, out);
+                out.set(p.index(), q.index(), sim);
+            }
+            // Inner × leaf pairs keep the leaf matcher's value (fallback).
+        }
+    }
+
+    /// The sparse path: only the allowed inner × inner cells plus the
+    /// child pairs they transitively depend on, processed bottom-up. Cells
+    /// outside the closure keep the leaf matcher's value, exactly like the
+    /// dense path's inner × leaf cells — the engine masks them afterwards.
+    fn fill_sparse(&self, ctx: &MatchContext<'_>, mask: &PairMask, out: &mut SimMatrix) {
+        let cols = ctx.cols();
+        let sp = ctx.source_paths;
+        let tp = ctx.target_paths;
+
+        // Transitive dependency closure: an allowed inner pair (p, q)
+        // needs every inner child pair in children(p) × children(q).
+        let mut needed = vec![false; ctx.rows() * cols];
+        let mut stack: Vec<(PathId, PathId)> = Vec::new();
+        for i in 0..ctx.rows() {
+            let p = ctx.source_elem(i);
+            if sp.is_leaf(p) {
+                continue;
+            }
+            for j in mask.allowed_in_row(i) {
+                let q = ctx.target_elem(j);
+                if !tp.is_leaf(q) && !needed[i * cols + j] {
+                    needed[i * cols + j] = true;
+                    stack.push((p, q));
+                }
+            }
+        }
+        let mut order: Vec<(PathId, PathId)> = Vec::new();
+        while let Some((p, q)) = stack.pop() {
+            order.push((p, q));
+            for &c1 in sp.children(p) {
+                if sp.is_leaf(c1) {
+                    continue;
+                }
+                for &c2 in tp.children(q) {
+                    let cell = c1.index() * cols + c2.index();
+                    if !tp.is_leaf(c2) && !needed[cell] {
+                        needed[cell] = true;
+                        stack.push((c1, c2));
+                    }
+                }
+            }
+        }
+
+        // Bottom-up: a pair's dependencies have strictly smaller source
+        // subtree height, so ordering by it computes children first.
+        let height = subtree_heights(sp);
+        order.sort_by_key(|&(p, _)| height[p.index()]);
+        for (p, q) in order {
+            let sim = self
+                .config
+                .set_similarity(sp.children(p), tp.children(q), out);
+            out.set(p.index(), q.index(), sim);
+        }
+    }
+}
+
 impl Matcher for ChildrenMatcher {
     fn name(&self) -> &str {
         "Children"
@@ -127,24 +210,15 @@ impl Matcher for ChildrenMatcher {
 
     fn compute(&self, ctx: &MatchContext<'_>) -> SimMatrix {
         let mut out = self.config.leaf_sims(ctx);
-
-        // Bottom-up: process source paths in order of increasing subtree
-        // height so children similarities exist before their parents'.
-        let src_by_height = paths_by_height(ctx, true);
-        let tgt_inner: Vec<PathId> = ctx.target_paths.inner_paths();
-        for &p in &src_by_height {
-            if ctx.source_paths.is_leaf(p) {
-                continue;
-            }
-            let c1 = ctx.source_paths.children(p).to_vec();
-            for &q in &tgt_inner {
-                let c2 = ctx.target_paths.children(q);
-                let sim = self.config.set_similarity(&c1, c2, &out);
-                out.set(p.index(), q.index(), sim);
-            }
-            // Inner × leaf pairs keep the leaf matcher's value (fallback).
+        match ctx.restriction {
+            Some(mask) => self.fill_sparse(ctx, mask, &mut out),
+            None => self.fill_dense(ctx, &mut out),
         }
         out
+    }
+
+    fn sparse_capable(&self) -> bool {
+        true
     }
 }
 
@@ -204,33 +278,49 @@ impl Matcher for LeavesMatcher {
         let mut out = SimMatrix::new(ctx.rows(), ctx.cols());
         // A leaf's leaf-set is itself, so every pair is handled uniformly:
         // sim(p, q) = combined similarity of leaves_under(p) × leaves_under(q).
-        let src_leaves: Vec<Vec<PathId>> = ctx
-            .source_paths
-            .iter()
-            .map(|p| ctx.source_paths.leaves_under(p))
-            .collect();
-        let tgt_leaves: Vec<Vec<PathId>> = ctx
-            .target_paths
-            .iter()
-            .map(|q| ctx.target_paths.leaves_under(q))
-            .collect();
-        for (i, l1) in src_leaves.iter().enumerate() {
-            for (j, l2) in tgt_leaves.iter().enumerate() {
-                out.set(i, j, self.config.set_similarity(l1, l2, &leaf_sims));
+        if let Some(mask) = ctx.restriction {
+            // Sparse path: each cell depends only on the (full) leaf-level
+            // similarity table, so only the allowed pairs are computed.
+            let mut tgt_leaves: Vec<Option<Vec<PathId>>> = vec![None; ctx.cols()];
+            for i in 0..ctx.rows() {
+                let mut allowed = mask.allowed_in_row(i).peekable();
+                if allowed.peek().is_none() {
+                    continue;
+                }
+                let l1 = ctx.source_paths.leaves_under(ctx.source_elem(i));
+                for j in allowed {
+                    let l2 = tgt_leaves[j]
+                        .get_or_insert_with(|| ctx.target_paths.leaves_under(ctx.target_elem(j)));
+                    out.set(i, j, self.config.set_similarity(&l1, l2, &leaf_sims));
+                }
+            }
+        } else {
+            let src_leaves: Vec<Vec<PathId>> = ctx
+                .source_paths
+                .iter()
+                .map(|p| ctx.source_paths.leaves_under(p))
+                .collect();
+            let tgt_leaves: Vec<Vec<PathId>> = ctx
+                .target_paths
+                .iter()
+                .map(|q| ctx.target_paths.leaves_under(q))
+                .collect();
+            for (i, l1) in src_leaves.iter().enumerate() {
+                for (j, l2) in tgt_leaves.iter().enumerate() {
+                    out.set(i, j, self.config.set_similarity(l1, l2, &leaf_sims));
+                }
             }
         }
         out
     }
+
+    fn sparse_capable(&self) -> bool {
+        true
+    }
 }
 
-/// All paths of one side ordered by increasing subtree height (leaves
-/// first, root last).
-fn paths_by_height(ctx: &MatchContext<'_>, source: bool) -> Vec<PathId> {
-    let ps = if source {
-        ctx.source_paths
-    } else {
-        ctx.target_paths
-    };
+/// The subtree height of every path (leaves are 0).
+fn subtree_heights(ps: &PathSet) -> Vec<usize> {
     let mut height = vec![0usize; ps.len()];
     // DFS preorder guarantees children appear after parents, so a reverse
     // sweep computes heights in one pass.
@@ -243,6 +333,18 @@ fn paths_by_height(ctx: &MatchContext<'_>, source: bool) -> Vec<PathId> {
             .unwrap_or(0);
         height[p.index()] = h;
     }
+    height
+}
+
+/// All paths of one side ordered by increasing subtree height (leaves
+/// first, root last).
+fn paths_by_height(ctx: &MatchContext<'_>, source: bool) -> Vec<PathId> {
+    let ps = if source {
+        ctx.source_paths
+    } else {
+        ctx.target_paths
+    };
+    let height = subtree_heights(ps);
     let mut order: Vec<PathId> = ps.iter().collect();
     order.sort_by_key(|p| height[p.index()]);
     order

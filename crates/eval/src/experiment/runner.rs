@@ -468,6 +468,30 @@ mod tests {
         assert!(staged_avg.overall > 0.0, "{staged_avg:?}");
     }
 
+    /// The new plan operators flow through the plan-aware evaluation
+    /// entry points unchanged: a TopK-pruned two-stage plan and its
+    /// iterated variant evaluate over the whole corpus.
+    #[test]
+    fn topk_and_iterate_plans_evaluate_on_the_corpus() {
+        use coma_core::{MatchStrategy, TopKPer};
+        let h = harness();
+        let mut liberal = CombinationStrategy::paper_default();
+        liberal.selection = Selection::max_n(6).with_threshold(0.3);
+        let pruned = MatchPlan::matchers_with(["Name"], liberal)
+            .top_k(3, TopKPer::Both)
+            .unwrap();
+        let plan = MatchPlan::seq(pruned, MatchPlan::from(&MatchStrategy::paper_default()));
+        let (per_task, average) = h.evaluate_plan(&plan).unwrap();
+        assert_eq!(per_task.len(), 10);
+        assert!(average.overall > 0.0, "{average:?}");
+
+        // The iterated variant terminates and produces a usable result.
+        let looped = plan.iterate(3, 1e-6).unwrap();
+        let (quality, result) = h.evaluate_plan_on_task(&looped, 0).unwrap();
+        assert!(!result.is_empty());
+        assert!(quality.overall() > 0.0, "{quality:?}");
+    }
+
     #[test]
     fn repository_holds_manual_and_automatic_mappings() {
         let h = harness();

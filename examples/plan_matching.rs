@@ -1,5 +1,6 @@
 //! Composable match plans: a two-stage `Seq(filter → refine)` process a
-//! flat `MatchStrategy` cannot express.
+//! flat `MatchStrategy` cannot express, plus the pruning and iteration
+//! operators built on top of it.
 //!
 //! Stage 1 runs the cheap `Name` matcher under a liberal selection to
 //! collect plausible pairs; stage 2 re-scores only the survivors with the
@@ -7,12 +8,15 @@
 //! plan engine restricts the refine stage's search space to the filter's
 //! survivors, runs independent matchers in parallel, and memoizes shared
 //! work (e.g. the `TypeName` matrix used by `Children` and `Leaves`).
+//! `TopK` tightens the filter to the k best candidates per element
+//! (putting the structural matchers on the engine's sparse path), and
+//! `Iterate` re-runs a plan to a fixpoint.
 //!
 //! Run with: `cargo run --example plan_matching`
 
 use coma::core::Selection;
 use coma::graph::PathSet;
-use coma::{Coma, MatchPlan, MatchStrategy};
+use coma::{Coma, MatchPlan, MatchStrategy, TopKPer};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The paper's running-example schemas (Figure 1).
@@ -104,5 +108,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .all(|c| filter_stage.result.contains(c.source, c.target)));
     println!("\nevery refined pair survived the Name prefilter ✓");
+
+    // Pruning and iteration: keep each element's 3 best Name candidates
+    // (TopK — downstream matchers then run on the engine's sparse path),
+    // refine, and re-run to a fixpoint (Iterate; at most 4 rounds, stop
+    // when the result matrix moves by less than 1e-6).
+    let topk = MatchPlan::matchers(["Name"]).top_k(3, TopKPer::Both)?;
+    let pruned =
+        MatchPlan::seq(topk, MatchPlan::from(&MatchStrategy::paper_default())).iterate(4, 1e-6)?;
+    println!("\npruned + iterated plan: {}", pruned.label());
+    let looped = coma.match_plan(&po1, &po2, &pruned)?;
+    println!(
+        "ran {} stage(s), final result: {} correspondences",
+        looped.stages.len(),
+        looped.result.len()
+    );
+    assert!(!looped.result.is_empty());
     Ok(())
 }

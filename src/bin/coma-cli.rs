@@ -4,6 +4,7 @@
 //! coma-cli <source-file> <target-file> [--matchers Name,NamePath,…]
 //!          [--threshold T] [--synonyms FILE] [--dot] [--json]
 //!          [--prefilter M1,M2,…] [--prefilter-threshold T] [--prefilter-max N]
+//!          [--top-k K] [--iterate R] [--epsilon E]
 //! ```
 //!
 //! File formats are detected by extension: `.sql`/`.ddl` are parsed as SQL
@@ -18,8 +19,16 @@
 //! `--prefilter-threshold` (default 0.3) — and the main `--matchers`
 //! stage refines only the surviving pairs (the plan engine's `Seq`
 //! operator).
+//!
+//! `--top-k K` prunes the prefilter stage to the `K` best candidates per
+//! element before refining (the `TopK` operator; implies a `Name`
+//! prefilter when `--prefilter` is not given), putting the refine stage
+//! on the engine's sparse execution path. `--iterate R` wraps the whole
+//! plan in the `Iterate` operator: it re-runs, each round restricted to
+//! the previous round's survivors, until the result moves by less than
+//! `--epsilon` (default 1e-6) or `R` rounds have run.
 
-use coma::core::{Coma, MatchContext, MatchPlan, MatchStrategy, Selection};
+use coma::core::{Coma, MatchContext, MatchPlan, MatchStrategy, Selection, TopKPer};
 use coma::graph::{PathSet, Schema};
 use coma::repo::MappingKind;
 use std::path::Path;
@@ -36,13 +45,17 @@ struct Options {
     prefilter: Option<Vec<String>>,
     prefilter_threshold: f64,
     prefilter_max: usize,
+    top_k: Option<usize>,
+    iterate: Option<usize>,
+    epsilon: f64,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: coma-cli <source-file> <target-file> \
          [--matchers M1,M2,…] [--threshold T] [--synonyms FILE] [--dot] [--json] \
-         [--prefilter M1,M2,…] [--prefilter-threshold T] [--prefilter-max N]"
+         [--prefilter M1,M2,…] [--prefilter-threshold T] [--prefilter-max N] \
+         [--top-k K] [--iterate R] [--epsilon E]"
     );
     ExitCode::from(2)
 }
@@ -64,6 +77,9 @@ fn parse_args() -> Result<Options, ExitCode> {
         prefilter: None,
         prefilter_threshold: 0.3,
         prefilter_max: 4,
+        top_k: None,
+        iterate: None,
+        epsilon: 1e-6,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -86,6 +102,18 @@ fn parse_args() -> Result<Options, ExitCode> {
             "--prefilter-max" => {
                 let v = args.next().ok_or_else(usage)?;
                 opts.prefilter_max = v.parse().map_err(|_| usage())?;
+            }
+            "--top-k" => {
+                let v = args.next().ok_or_else(usage)?;
+                opts.top_k = Some(v.parse().map_err(|_| usage())?);
+            }
+            "--iterate" => {
+                let v = args.next().ok_or_else(usage)?;
+                opts.iterate = Some(v.parse().map_err(|_| usage())?);
+            }
+            "--epsilon" => {
+                let v = args.next().ok_or_else(usage)?;
+                opts.epsilon = v.parse().map_err(|_| usage())?;
             }
             "--synonyms" => opts.synonyms = Some(args.next().ok_or_else(usage)?),
             "--dot" => opts.dot = true,
@@ -163,13 +191,43 @@ fn main() -> ExitCode {
     if let Some(t) = opts.threshold {
         strategy.combination.selection.threshold = Some(t);
     }
-    let result = if let Some(prefilter) = &opts.prefilter {
-        // Two-stage plan: cheap prefilter, then refine on the survivors.
-        let plan = MatchPlan::two_stage(
-            prefilter.iter().cloned(),
-            Selection::max_n(opts.prefilter_max).with_threshold(opts.prefilter_threshold),
-            &strategy,
-        );
+    let staged = opts.prefilter.is_some() || opts.top_k.is_some() || opts.iterate.is_some();
+    let result = if staged {
+        // Staged plan: optional prefilter (with optional TopK pruning),
+        // refine on the survivors, optionally iterated to a fixpoint.
+        let refine = MatchPlan::from(&strategy);
+        let mut plan = if opts.prefilter.is_some() || opts.top_k.is_some() {
+            // `--top-k` without `--prefilter` implies a cheap Name filter.
+            let filter_matchers = opts
+                .prefilter
+                .clone()
+                .unwrap_or_else(|| vec!["Name".to_string()]);
+            let pool = opts.prefilter_max.max(opts.top_k.unwrap_or(0));
+            let mut combination = strategy.combination.clone();
+            combination.selection = Selection::max_n(pool).with_threshold(opts.prefilter_threshold);
+            let mut filter = MatchPlan::matchers_with(filter_matchers, combination);
+            if let Some(k) = opts.top_k {
+                filter = match filter.top_k(k, TopKPer::Both) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            MatchPlan::seq(filter, refine)
+        } else {
+            refine
+        };
+        if let Some(rounds) = opts.iterate {
+            plan = match plan.iterate(rounds, opts.epsilon) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+        }
         match coma.match_plan(&source, &target, &plan) {
             Ok(outcome) => {
                 for stage in &outcome.stages {

@@ -20,8 +20,9 @@
 //!
 //! The most common entry points are re-exported at the crate root: build a
 //! [`Coma`] instance, describe what to run as a flat [`MatchStrategy`] or
-//! a staged [`MatchPlan`] (`Seq` / `Par` / `Filter` / `Reuse`), and
-//! execute it via [`Coma::match_schemas`] or [`Coma::match_plan`].
+//! a staged [`MatchPlan`] (`Seq` / `Par` / `Filter` / `TopK` / `Iterate` /
+//! `Reuse`), and execute it via [`Coma::match_schemas`] or
+//! [`Coma::match_plan`].
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and
 //! `examples/plan_matching.rs` for a two-stage filter→refine plan.
@@ -35,5 +36,6 @@ pub use coma_strings as strings;
 pub use coma_xml as xml;
 
 pub use coma_core::{
-    Coma, MatchPlan, MatchResult, MatchStrategy, PlanEngine, PlanOutcome, StageOutcome,
+    Coma, MatchPlan, MatchResult, MatchStrategy, PlanEngine, PlanError, PlanOutcome, StageOutcome,
+    TopKPer,
 };

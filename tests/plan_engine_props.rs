@@ -1,11 +1,14 @@
 //! Property tests for the plan engine: for any flat matcher list and any
 //! combination strategy, the engine's execution of the equivalent
-//! one-stage plan is bit-identical to the legacy sequential pipeline, and
-//! `Par` leaf order never changes results (determinism under parallelism).
+//! one-stage plan is bit-identical to the legacy sequential pipeline,
+//! `Par` leaf order never changes results (determinism under
+//! parallelism), `TopK` only ever narrows its input, sparse and dense
+//! execution of a masked plan agree bit for bit, and `Iterate` terminates
+//! within its round budget.
 
 use coma::core::{
     Aggregation, Coma, CombinationStrategy, CombinedSim, Direction, MatchContext, MatchPlan,
-    PlanEngine, Selection,
+    PlanEngine, Selection, TopKPer,
 };
 use coma::graph::{PathSet, Schema};
 use proptest::prelude::*;
@@ -197,5 +200,141 @@ proptest! {
             ))
             .unwrap();
         prop_assert_eq!(&fwd.result, &again.result);
+    }
+
+    /// `TopK` only ever narrows: its selected pairs are a subset of its
+    /// input's nonzero cells, and under `Row`/`Col` pruning no element
+    /// keeps more than k candidates.
+    #[test]
+    fn topk_output_is_a_subset_of_its_input(
+        mask in 1usize..256,
+        k in 1usize..5,
+        per in 0usize..3,
+    ) {
+        let f = fixture();
+        let names = subset(mask);
+        let per = [TopKPer::Row, TopKPer::Col, TopKPer::Both][per];
+        let mut liberal = CombinationStrategy::paper_default();
+        liberal.selection = Selection::max_n(6).with_threshold(0.1);
+        let input = MatchPlan::matchers_with(names.iter().map(String::as_str), liberal);
+        let plan = input.top_k(k, per).unwrap();
+        let ctx = MatchContext::new(
+            &f.source,
+            &f.target,
+            &f.source_paths,
+            &f.target_paths,
+            f.coma.aux(),
+        );
+
+        let outcome = PlanEngine::new(f.coma.library()).execute(&ctx, &plan).unwrap();
+        prop_assert_eq!(outcome.stages.len(), 2);
+        let input_stage = &outcome.stages[0];
+        let topk_stage = &outcome.stages[1];
+
+        // Subset of the input's selected (nonzero) pairs, values intact.
+        for cand in &topk_stage.result.candidates {
+            let kept = input_stage.result.candidates.iter().find(|c| {
+                c.source == cand.source && c.target == cand.target
+            });
+            prop_assert!(kept.is_some(), "TopK invented a pair");
+            prop_assert_eq!(kept.unwrap().similarity, cand.similarity);
+        }
+        // The TopK stage's matrix slice has no cell outside the input's.
+        for (i, j, v) in topk_stage.cube.slice(0).nonzero() {
+            let source = ctx.source_elem(i);
+            let target = ctx.target_elem(j);
+            prop_assert_eq!(input_stage.result.similarity_of(source, target), Some(v));
+        }
+        // Per-element budgets hold for the directional variants.
+        if per == TopKPer::Row {
+            for i in 0..ctx.rows() {
+                let n = topk_stage.result.candidates.iter()
+                    .filter(|c| c.source.index() == i).count();
+                prop_assert!(n <= k, "row {i} kept {n} > k = {k}");
+            }
+        }
+        if per == TopKPer::Col {
+            for j in 0..ctx.cols() {
+                let n = topk_stage.result.candidates.iter()
+                    .filter(|c| c.target.index() == j).count();
+                prop_assert!(n <= k, "col {j} kept {n} > k = {k}");
+            }
+        }
+    }
+
+    /// Sparse and dense execution of the same masked plan are
+    /// bit-identical — results and every stage cube.
+    #[test]
+    fn sparse_and_dense_masked_plans_agree(
+        mask in 1usize..256,
+        k in 1usize..5,
+        filter_max in 1usize..6,
+    ) {
+        let f = fixture();
+        let names = subset(mask);
+        let mut liberal = CombinationStrategy::paper_default();
+        liberal.selection = Selection::max_n(filter_max).with_threshold(0.2);
+        let plan = MatchPlan::seq(
+            MatchPlan::matchers_with(["Name"], liberal)
+                .top_k(k, TopKPer::Both)
+                .unwrap(),
+            MatchPlan::matchers(names.iter().map(String::as_str)),
+        );
+        let ctx = MatchContext::new(
+            &f.source,
+            &f.target,
+            &f.source_paths,
+            &f.target_paths,
+            f.coma.aux(),
+        )
+        .with_repository(f.coma.repository());
+
+        let sparse = PlanEngine::new(f.coma.library()).execute(&ctx, &plan).unwrap();
+        let dense = PlanEngine::new(f.coma.library())
+            .with_sparse(false)
+            .execute(&ctx, &plan)
+            .unwrap();
+        prop_assert_eq!(&sparse.result, &dense.result);
+        prop_assert_eq!(sparse.stages.len(), dense.stages.len());
+        for (a, b) in sparse.stages.iter().zip(&dense.stages) {
+            prop_assert_eq!(&a.label, &b.label);
+            prop_assert_eq!(&a.cube, &b.cube);
+            prop_assert_eq!(&a.result, &b.result);
+        }
+    }
+
+    /// `Iterate` always terminates within `max_rounds`, whatever the
+    /// sub-plan and tolerance.
+    #[test]
+    fn iterate_terminates_within_max_rounds(
+        mask in 1usize..256,
+        max_rounds in 1usize..5,
+        eps_exp in 0i32..9,
+    ) {
+        let f = fixture();
+        let names = subset(mask);
+        let epsilon = 10f64.powi(-eps_exp);
+        let sub = MatchPlan::matchers(names.iter().map(String::as_str));
+        let plan = sub.clone().iterate(max_rounds, epsilon).unwrap();
+        let ctx = MatchContext::new(
+            &f.source,
+            &f.target,
+            &f.source_paths,
+            &f.target_paths,
+            f.coma.aux(),
+        );
+
+        let outcome = PlanEngine::new(f.coma.library()).execute(&ctx, &plan).unwrap();
+        let rounds = outcome.stages.iter().filter(|s| s.label == sub.label()).count();
+        prop_assert!(
+            (1..=max_rounds).contains(&rounds),
+            "{} rounds for max {}", rounds, max_rounds
+        );
+        // The Iterate node contributes exactly one closing stage.
+        prop_assert_eq!(outcome.stages.len(), rounds + 1);
+        prop_assert_eq!(
+            &outcome.stages.last().unwrap().result.candidates,
+            &outcome.result.candidates
+        );
     }
 }

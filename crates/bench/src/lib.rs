@@ -5,8 +5,11 @@
 //! measure the performance of the substrates and the match pipeline.
 //! [`workload`] generates deterministic synthetic large-schema match
 //! tasks (star/deep/wide shapes, 500–5000 nodes) for the plan engine's
-//! sparse-path benchmarks and the CI perf-smoke gate.
+//! sparse-path benchmarks and the CI perf-smoke gate; [`alloc_track`]
+//! provides the counting global allocator `perf_smoke` uses to compare
+//! peak allocations of dense vs sparse similarity storage.
 
+pub mod alloc_track;
 pub mod workload;
 
 use coma_core::{CombinationStrategy, MatchPlan, MatchStrategy, Selection, TopKPer};

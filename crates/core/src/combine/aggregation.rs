@@ -24,12 +24,32 @@ pub enum Aggregation {
 impl Aggregation {
     /// Aggregates the cube into a single similarity matrix.
     ///
+    /// Storage aware: a cube whose slices are all sparse is aggregated by
+    /// merging the stored entries row by row into a sparse output — no
+    /// `m × n` buffer is ever materialized — while dense (or mixed) cubes
+    /// take the dense row-sweep path. Both paths fold each cell's values
+    /// in slice order, so the result is value-identical whatever the
+    /// storage (absent sparse cells contribute the `0.0` an explicit dense
+    /// zero would).
+    ///
     /// # Panics
     /// Panics if the cube is empty, or if a `Weighted` vector's length does
     /// not match the slice count.
     pub fn aggregate(&self, cube: &SimCube) -> SimMatrix {
         assert!(!cube.is_empty(), "cannot aggregate an empty cube");
         let (m, n, k) = (cube.rows(), cube.cols(), cube.len());
+        if let Aggregation::Weighted(weights) = self {
+            assert_eq!(
+                weights.len(),
+                k,
+                "Weighted aggregation needs one weight per matcher slice"
+            );
+            let total: f64 = weights.iter().sum();
+            assert!(total > 0.0, "weights must not sum to zero");
+        }
+        if cube.all_sparse() {
+            return self.aggregate_sparse(cube);
+        }
         let mut out = SimMatrix::new(m, n);
         match self {
             Aggregation::Max => row_wise(&mut out, cube, None, &mut |acc, row| {
@@ -48,13 +68,7 @@ impl Aggregation {
                 }
             }),
             Aggregation::Weighted(weights) => {
-                assert_eq!(
-                    weights.len(),
-                    k,
-                    "Weighted aggregation needs one weight per matcher slice"
-                );
                 let total: f64 = weights.iter().sum();
-                assert!(total > 0.0, "weights must not sum to zero");
                 for i in 0..m {
                     for j in 0..n {
                         let v: f64 = (0..k)
@@ -68,13 +82,69 @@ impl Aggregation {
         }
         out
     }
+
+    /// The sparse path: per row, the slices' stored entries are gathered
+    /// and grouped by column (a stable sort keeps slice order within each
+    /// group, matching the dense per-cell fold order); cells stored by no
+    /// slice stay implicit zeros. `Min` needs special care — a cell some
+    /// slice left at zero aggregates to zero, which the per-group entry
+    /// count detects without consulting absent entries.
+    fn aggregate_sparse(&self, cube: &SimCube) -> SimMatrix {
+        let (m, k) = (cube.rows(), cube.len());
+        let mut b = crate::cube::SparseBuilder::new(m, cube.cols());
+        // Weighted needs the originating slice per entry; the total is
+        // loop-invariant. Absent cells contribute `0.0 · weight`, which
+        // never changes a partial sum, so folding only the stored entries
+        // (kept in slice order within a cell by the stable sort) equals
+        // the dense per-cell sum over all k slices.
+        let weight_total: f64 = match self {
+            Aggregation::Weighted(weights) => weights.iter().sum(),
+            _ => 0.0,
+        };
+        // (column, slice, value) entries of one row across all slices,
+        // slice order preserved within a column by the stable sort.
+        let mut scratch: Vec<(usize, usize, f64)> = Vec::new();
+        for i in 0..m {
+            scratch.clear();
+            for s in 0..k {
+                scratch.extend(cube.slice(s).row_entries(i).map(|(j, v)| (j, s, v)));
+            }
+            scratch.sort_by_key(|&(j, _, _)| j);
+            let mut group = scratch.as_slice();
+            while let Some(&(j, _, _)) = group.first() {
+                let len = group.iter().take_while(|&&(gj, _, _)| gj == j).count();
+                let (cell, rest) = group.split_at(len);
+                group = rest;
+                let value = match self {
+                    Aggregation::Max => cell.iter().map(|&(_, _, v)| v).fold(0.0_f64, f64::max),
+                    Aggregation::Min => {
+                        if cell.len() < k {
+                            0.0 // at least one slice holds an implicit zero
+                        } else {
+                            cell.iter()
+                                .map(|&(_, _, v)| v)
+                                .fold(f64::INFINITY, f64::min)
+                        }
+                    }
+                    Aggregation::Average => cell.iter().map(|&(_, _, v)| v).sum::<f64>() / k as f64,
+                    Aggregation::Weighted(weights) => {
+                        cell.iter().map(|&(_, s, v)| v * weights[s]).sum::<f64>() / weight_total
+                    }
+                };
+                b.push(i, j, value);
+            }
+        }
+        b.finish()
+    }
 }
 
 /// Max/Min/Average sweep the slices row by row (sequential reads and
 /// writes) instead of gathering each cell across all slices; the per-cell
 /// fold order over slices is unchanged, so results are identical to the
 /// cell-wise formulation. `divisor` is applied by division so Average keeps
-/// the exact floating-point result of the cell-wise `sum / k`.
+/// the exact floating-point result of the cell-wise `sum / k`. Rows are
+/// staged through a per-slice buffer, so occasional sparse slices in an
+/// otherwise dense cube are handled transparently.
 fn row_wise(
     out: &mut SimMatrix,
     cube: &SimCube,
@@ -83,10 +153,18 @@ fn row_wise(
 ) {
     let (m, k) = (cube.rows(), cube.len());
     let mut acc = vec![0.0_f64; cube.cols()];
+    let mut row_buf = vec![0.0_f64; cube.cols()];
     for i in 0..m {
-        acc.copy_from_slice(cube.slice(0).row(i));
+        cube.slice(0).copy_row_into(i, &mut acc);
         for s in 1..k {
-            row_op(&mut acc, cube.slice(s).row(i));
+            let slice = cube.slice(s);
+            if slice.is_sparse() {
+                slice.copy_row_into(i, &mut row_buf);
+                row_op(&mut acc, &row_buf);
+            } else {
+                // Dense slices feed their row storage directly — no copy.
+                row_op(&mut acc, slice.row(i));
+            }
         }
         if let Some(d) = divisor {
             for a in acc.iter_mut() {

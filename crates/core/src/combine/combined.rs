@@ -73,6 +73,88 @@ impl CombinedSim {
     }
 }
 
+/// The allocation-free `Both`/`Max1` pipeline over an `m × n` similarity
+/// lookup: per column the best row (strictly greater wins, first index
+/// takes ties — [`best_of`]'s rule), per row the best column, folded into
+/// the combined similarity with exactly the accumulation order of
+/// [`DirectedCandidates::select`] + [`CombinedSim::compute`]. Shared by
+/// the structural matchers' per-cell set similarity and the name engine's
+/// token-set combination — the two hottest inner loops of a match task.
+/// Callers pass pre-clamped lookups (mirroring the `SimMatrix::set` clamp
+/// of the materialized formulation).
+///
+/// [`best_of`]: super::selection
+pub(crate) fn max1_both_combined(
+    m: usize,
+    n: usize,
+    lookup: impl Fn(usize, usize) -> f64,
+    combined: CombinedSim,
+) -> f64 {
+    let best_for_col = |j: usize| -> (usize, f64) {
+        let mut best = (0usize, f64::NEG_INFINITY);
+        for i in 0..m {
+            let v = lookup(i, j);
+            if v > best.1 {
+                best = (i, v);
+            }
+        }
+        best
+    };
+    let best_for_row = |i: usize| -> (usize, f64) {
+        let mut best = (0usize, f64::NEG_INFINITY);
+        for j in 0..n {
+            let v = lookup(i, j);
+            if v > best.1 {
+                best = (j, v);
+            }
+        }
+        best
+    };
+    match combined {
+        CombinedSim::Average => {
+            // Two separate accumulators, then one add — the exact fold
+            // shape of `CombinedSim::Average` over the two directional
+            // candidate lists.
+            let mut ft_sum = 0.0;
+            for j in 0..n {
+                let (_, v) = best_for_col(j);
+                if v > 0.0 {
+                    ft_sum += v;
+                }
+            }
+            let mut fs_sum = 0.0;
+            for i in 0..m {
+                let (_, v) = best_for_row(i);
+                if v > 0.0 {
+                    fs_sum += v;
+                }
+            }
+            ((ft_sum + fs_sum) / (m + n) as f64).clamp(0.0, 1.0)
+        }
+        CombinedSim::Dice => {
+            let mut matched_src = vec![false; m];
+            let mut matched_tgt = vec![false; n];
+            for (j, tgt) in matched_tgt.iter_mut().enumerate() {
+                let (i, v) = best_for_col(j);
+                if v > 0.0 {
+                    *tgt = true;
+                    matched_src[i] = true;
+                }
+            }
+            for (i, src) in matched_src.iter_mut().enumerate() {
+                let (j, v) = best_for_row(i);
+                if v > 0.0 {
+                    *src = true;
+                    matched_tgt[j] = true;
+                }
+            }
+            let matched = matched_src.iter().filter(|&&x| x).count()
+                + matched_tgt.iter().filter(|&&x| x).count();
+            (matched as f64 / (m + n) as f64).clamp(0.0, 1.0)
+        }
+    }
+}
+
 impl fmt::Display for CombinedSim {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -20,6 +20,7 @@ mod marriage;
 mod selection;
 
 pub use aggregation::Aggregation;
+pub(crate) use combined::max1_both_combined;
 pub use combined::CombinedSim;
 pub use marriage::stable_marriage;
 pub(crate) use selection::sort_desc;

@@ -140,6 +140,13 @@ pub struct DirectedCandidates {
 
 impl DirectedCandidates {
     /// Runs direction + selection on an aggregated similarity matrix.
+    ///
+    /// Storage aware: on a sparse matrix the per-source ranking scans the
+    /// CSR rows directly and the per-target ranking scans the rows of the
+    /// (sparse) transpose, so the work is proportional to the stored
+    /// entries instead of `m × n`. Zero cells can never be selected (the
+    /// selection retains only similarities above zero), so skipping them
+    /// up front yields exactly the candidates of the dense scan.
     pub fn select(
         matrix: &SimMatrix,
         direction: Direction,
@@ -175,33 +182,74 @@ impl DirectedCandidates {
         // identical outcome.
         let floor = selection.threshold.unwrap_or(f64::NEG_INFINITY);
 
+        // One row of candidates — the dense scan enumerates every cell,
+        // the sparse scan only the stored entries of a CSR row. Both feed
+        // the identical ranking: zeros (and sub-floor cells) are discarded
+        // by `apply`/`best_of` either way, and ties already arrive in
+        // ascending index order. Generic over the entry iterator so the
+        // dense path (the structural matchers' per-cell inner loop) stays
+        // fully inlined.
+        fn rank_row<I: Iterator<Item = (usize, f64)>>(
+            entries: I,
+            selection: &Selection,
+            fast_max1: bool,
+            floor: f64,
+        ) -> Vec<(usize, f64)> {
+            if fast_max1 {
+                return best_of(entries);
+            }
+            let mut ranked: Vec<(usize, f64)> = entries.filter(|&(_, s)| s > floor).collect();
+            sort_desc(&mut ranked);
+            selection.apply(&ranked)
+        }
+
+        if matrix.is_sparse() {
+            // Per-target candidates rank the columns of `matrix`; CSR has
+            // no cheap column access, so rank the rows of the (sparse,
+            // O(stored entries)) transpose instead.
+            let for_targets = want_for_targets.then(|| {
+                let t = matrix.transposed();
+                (0..n)
+                    .map(|j| rank_row(t.row_entries(j), selection, fast_max1, floor))
+                    .collect()
+            });
+            let for_sources = want_for_sources.then(|| {
+                (0..m)
+                    .map(|i| rank_row(matrix.row_entries(i), selection, fast_max1, floor))
+                    .collect()
+            });
+            return DirectedCandidates {
+                for_targets,
+                for_sources,
+            };
+        }
+
+        // Dense: hoist the raw value slice out of the per-cell loop so the
+        // storage dispatch happens once, not `m × n` times (this scan is
+        // the structural matchers' per-cell inner loop).
+        let values = matrix.values();
         let for_targets = want_for_targets.then(|| {
             (0..n)
                 .map(|j| {
-                    if fast_max1 {
-                        return best_of((0..m).map(|i| (i, matrix.get(i, j))));
-                    }
-                    let mut ranked: Vec<(usize, f64)> = (0..m)
-                        .map(|i| (i, matrix.get(i, j)))
-                        .filter(|&(_, s)| s > floor)
-                        .collect();
-                    sort_desc(&mut ranked);
-                    selection.apply(&ranked)
+                    rank_row(
+                        (0..m).map(|i| (i, values[i * n + j])),
+                        selection,
+                        fast_max1,
+                        floor,
+                    )
                 })
                 .collect()
         });
         let for_sources = want_for_sources.then(|| {
             (0..m)
                 .map(|i| {
-                    if fast_max1 {
-                        return best_of((0..n).map(|j| (j, matrix.get(i, j))));
-                    }
-                    let mut ranked: Vec<(usize, f64)> = (0..n)
-                        .map(|j| (j, matrix.get(i, j)))
-                        .filter(|&(_, s)| s > floor)
-                        .collect();
-                    sort_desc(&mut ranked);
-                    selection.apply(&ranked)
+                    let row = &values[i * n..(i + 1) * n];
+                    rank_row(
+                        row.iter().enumerate().map(|(j, &v)| (j, v)),
+                        selection,
+                        fast_max1,
+                        floor,
+                    )
                 })
                 .collect()
         });

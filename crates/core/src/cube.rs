@@ -1,22 +1,230 @@
-use serde::{Deserialize, Serialize};
+//! The similarity matrix and cube — the intermediate structure every
+//! pipeline stage produces and every combination step consumes.
+//!
+//! A [`SimMatrix`] is *logically* always a dense `m × n` table of
+//! similarities in `[0, 1]`, but it is *physically* backed by one of two
+//! [`StorageMode`]s:
+//!
+//! * **Dense** — a row-major `Vec<f64>`, the right shape for full
+//!   cross-product matcher output;
+//! * **Sparse** — CSR (compressed sparse row: row offsets + column
+//!   indices + values), the right shape once `TopK`/`Seq`/`Iterate`
+//!   pruning has reduced the live pair space to a sliver of `m × n`.
+//!
+//! The two representations are interchangeable and lossless: cells absent
+//! from the sparse storage read as `0.0`, exactly like an explicit zero in
+//! the dense storage, and `PartialEq`, [`SimMatrix::get`],
+//! [`SimMatrix::nonzero`], [`SimMatrix::transposed`] and
+//! [`SimMatrix::max_abs_diff`] all compare and operate by *value*, never by
+//! representation — mixed dense/sparse operands are fine. The plan engine
+//! picks the storage automatically per stage from the stage mask's
+//! [`density`](crate::engine::PairMask::density); see `ARCHITECTURE.md`
+//! for the end-to-end picture.
+//!
+//! Reading a sparse matrix:
+//!
+//! ```
+//! use coma_core::SimMatrix;
+//!
+//! // Three stored entries in a 3 × 4 pair space (CSR storage).
+//! let m = SimMatrix::from_entries(3, 4, vec![(0, 1, 0.8), (2, 0, 0.4), (2, 3, 0.6)]);
+//! assert!(m.is_sparse());
+//! assert_eq!(m.stored_entries(), 3);
+//!
+//! // Absent cells read as 0.0, exactly like dense zeros.
+//! assert_eq!(m.get(0, 1), 0.8);
+//! assert_eq!(m.get(1, 2), 0.0);
+//! assert_eq!(m.row_entries(2).collect::<Vec<_>>(), vec![(0, 0.4), (3, 0.6)]);
+//!
+//! // Conversions are lossless, and equality is by value, not storage.
+//! let dense = m.to_dense();
+//! assert!(!dense.is_sparse());
+//! assert_eq!(dense, m);
+//! assert_eq!(dense.to_sparse(), m);
+//! ```
 
-/// A dense `m × n` similarity matrix between `m` source elements and `n`
-/// target elements. Values live in `[0, 1]`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+use serde::{DeError, Deserialize, Serialize, Value};
+
+/// The physical representation a [`SimMatrix`] currently uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StorageMode {
+    /// Row-major `Vec<f64>` over all `m × n` cells.
+    Dense,
+    /// CSR: row offsets + column indices + values for the stored cells.
+    Sparse,
+}
+
+impl std::fmt::Display for StorageMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageMode::Dense => f.write_str("dense"),
+            StorageMode::Sparse => f.write_str("sparse"),
+        }
+    }
+}
+
+/// CSR storage: `offsets` has `m + 1` entries; row `i`'s cells live at
+/// `cols[offsets[i]..offsets[i+1]]` / `vals[..]`, column indices strictly
+/// ascending within a row.
+#[derive(Debug, Clone, Default)]
+struct Csr {
+    offsets: Vec<usize>,
+    cols: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl Csr {
+    fn empty(m: usize) -> Csr {
+        Csr {
+            offsets: vec![0; m + 1],
+            cols: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// The `(cols, vals)` pair of row `i`.
+    fn row(&self, i: usize) -> (&[usize], &[f64]) {
+        let (lo, hi) = (self.offsets[i], self.offsets[i + 1]);
+        (&self.cols[lo..hi], &self.vals[lo..hi])
+    }
+
+    /// Index into `cols`/`vals` of cell `(i, j)`, if stored.
+    fn position(&self, i: usize, j: usize) -> Result<usize, usize> {
+        let lo = self.offsets[i];
+        let hi = self.offsets[i + 1];
+        self.cols[lo..hi]
+            .binary_search(&j)
+            .map(|p| lo + p)
+            .map_err(|p| lo + p)
+    }
+}
+
+/// The physical storage behind a [`SimMatrix`].
+#[derive(Debug, Clone)]
+enum SimStorage {
+    Dense(Vec<f64>),
+    Sparse(Csr),
+}
+
+/// An incremental builder for sparse (CSR) [`SimMatrix`] values.
+///
+/// Entries must be pushed in row-major order (ascending `(i, j)`); values
+/// are clamped to `[0, 1]` like [`SimMatrix::set`] and zero values are
+/// skipped (an absent sparse cell already reads as `0.0`).
+#[derive(Debug)]
+pub struct SparseBuilder {
+    m: usize,
+    n: usize,
+    csr: Csr,
+    filled_rows: usize,
+}
+
+impl SparseBuilder {
+    /// A builder for an `m × n` sparse matrix.
+    pub fn new(m: usize, n: usize) -> SparseBuilder {
+        SparseBuilder {
+            m,
+            n,
+            csr: Csr {
+                offsets: Vec::with_capacity(m + 1),
+                cols: Vec::new(),
+                vals: Vec::new(),
+            },
+            filled_rows: 0,
+        }
+    }
+
+    /// Closes out row offsets up to (and including) `row`.
+    fn advance_to(&mut self, row: usize) {
+        assert!(
+            row + 1 >= self.filled_rows,
+            "entries must be pushed row-major"
+        );
+        while self.filled_rows <= row {
+            self.csr.offsets.push(self.csr.cols.len());
+            self.filled_rows += 1;
+        }
+    }
+
+    /// Pushes the cell `(i, j) = value` (row-major order required; `value`
+    /// clamped to `[0, 1]`, zeros skipped).
+    pub fn push(&mut self, i: usize, j: usize, value: f64) {
+        assert!(i < self.m && j < self.n, "entry ({i},{j}) out of bounds");
+        self.advance_to(i);
+        if let Some(&last) = self
+            .csr
+            .cols
+            .get(self.csr.offsets[i]..)
+            .and_then(<[usize]>::last)
+        {
+            assert!(j > last, "columns must ascend within a row");
+        }
+        let value = value.clamp(0.0, 1.0);
+        if value != 0.0 {
+            self.csr.cols.push(j);
+            self.csr.vals.push(value);
+        }
+    }
+
+    /// Finishes the matrix.
+    pub fn finish(mut self) -> SimMatrix {
+        while self.filled_rows <= self.m {
+            self.csr.offsets.push(self.csr.cols.len());
+            self.filled_rows += 1;
+        }
+        SimMatrix {
+            m: self.m,
+            n: self.n,
+            storage: SimStorage::Sparse(self.csr),
+        }
+    }
+}
+
+/// A *logically dense* `m × n` similarity matrix between `m` source
+/// elements and `n` target elements, physically stored dense or sparse
+/// (see the [module docs](self)). Values live in `[0, 1]`; cells absent
+/// from sparse storage read as `0.0`.
+#[derive(Debug, Clone)]
 pub struct SimMatrix {
     m: usize,
     n: usize,
-    values: Vec<f64>,
+    storage: SimStorage,
 }
 
 impl SimMatrix {
-    /// A zero-filled `m × n` matrix.
+    /// A zero-filled dense `m × n` matrix.
     pub fn new(m: usize, n: usize) -> SimMatrix {
         SimMatrix {
             m,
             n,
-            values: vec![0.0; m * n],
+            storage: SimStorage::Dense(vec![0.0; m * n]),
         }
+    }
+
+    /// An empty (all-zero) sparse `m × n` matrix.
+    pub fn sparse(m: usize, n: usize) -> SimMatrix {
+        SimMatrix {
+            m,
+            n,
+            storage: SimStorage::Sparse(Csr::empty(m)),
+        }
+    }
+
+    /// A sparse matrix from `(i, j, value)` entries (any order; duplicate
+    /// cells must not occur). Values are clamped to `[0, 1]` and zeros are
+    /// dropped, mirroring [`SimMatrix::set`].
+    pub fn from_entries(
+        m: usize,
+        n: usize,
+        entries: impl IntoIterator<Item = (usize, usize, f64)>,
+    ) -> SimMatrix {
+        let mut entries: Vec<(usize, usize, f64)> = entries.into_iter().collect();
+        entries.sort_by_key(|&(i, j, _)| (i, j));
+        let mut b = SparseBuilder::new(m, n);
+        for (i, j, v) in entries {
+            b.push(i, j, v);
+        }
+        b.finish()
     }
 
     /// Number of source elements (rows).
@@ -29,33 +237,112 @@ impl SimMatrix {
         self.n
     }
 
+    /// The physical storage mode currently in use.
+    pub fn storage_mode(&self) -> StorageMode {
+        match &self.storage {
+            SimStorage::Dense(_) => StorageMode::Dense,
+            SimStorage::Sparse(_) => StorageMode::Sparse,
+        }
+    }
+
+    /// Whether the matrix is currently stored sparse.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self.storage, SimStorage::Sparse(_))
+    }
+
+    /// Number of physically stored cells: `m × n` for dense storage, the
+    /// entry count for sparse storage. The ratio to `m × n` is the
+    /// storage's memory footprint relative to a dense matrix.
+    pub fn stored_entries(&self) -> usize {
+        match &self.storage {
+            SimStorage::Dense(_) => self.m * self.n,
+            SimStorage::Sparse(csr) => csr.vals.len(),
+        }
+    }
+
     /// The value at (source `i`, target `j`).
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> f64 {
-        self.values[i * self.n + j]
+        match &self.storage {
+            SimStorage::Dense(values) => values[i * self.n + j],
+            SimStorage::Sparse(csr) => match csr.position(i, j) {
+                Ok(p) => csr.vals[p],
+                Err(_) => 0.0,
+            },
+        }
     }
 
     /// Sets the value at (source `i`, target `j`), clamped to `[0, 1]`.
+    /// On sparse storage this inserts, updates or — for a zero value —
+    /// removes the stored entry (sparse storage never holds explicit
+    /// zeros); insertion and removal are `O(stored entries)` splices,
+    /// fine for the occasional feedback pin but wrong for bulk
+    /// construction: use [`SparseBuilder`] or
+    /// [`SimMatrix::from_entries`] there.
     #[inline]
     pub fn set(&mut self, i: usize, j: usize, value: f64) {
-        self.values[i * self.n + j] = value.clamp(0.0, 1.0);
+        let value = value.clamp(0.0, 1.0);
+        match &mut self.storage {
+            SimStorage::Dense(values) => values[i * self.n + j] = value,
+            SimStorage::Sparse(csr) => {
+                assert!(i < self.m && j < self.n, "cell ({i},{j}) out of bounds");
+                match csr.position(i, j) {
+                    // Writing zero removes the entry — sparse storage
+                    // never holds explicit zeros, so `stored_entries`
+                    // keeps meaning "nonzero cells".
+                    Ok(p) if value == 0.0 => {
+                        csr.cols.remove(p);
+                        csr.vals.remove(p);
+                        for o in &mut csr.offsets[i + 1..] {
+                            *o -= 1;
+                        }
+                    }
+                    Ok(p) => csr.vals[p] = value,
+                    Err(p) => {
+                        if value != 0.0 {
+                            csr.cols.insert(p, j);
+                            csr.vals.insert(p, value);
+                            for o in &mut csr.offsets[i + 1..] {
+                                *o += 1;
+                            }
+                        }
+                    }
+                }
+            }
+        }
     }
 
     /// Row `i` as a slice (similarities of source `i` to every target).
+    ///
+    /// # Panics
+    /// Panics on sparse storage — use [`SimMatrix::row_entries`] (storage
+    /// agnostic) or [`SimMatrix::copy_row_into`] instead.
     pub fn row(&self, i: usize) -> &[f64] {
-        &self.values[i * self.n..(i + 1) * self.n]
+        match &self.storage {
+            SimStorage::Dense(values) => &values[i * self.n..(i + 1) * self.n],
+            SimStorage::Sparse(_) => panic!("SimMatrix::row requires dense storage"),
+        }
     }
 
     /// Row `i` as a mutable slice. Unlike [`SimMatrix::set`] this is raw
     /// access: callers writing through it are responsible for keeping
     /// values in `[0, 1]`.
+    ///
+    /// # Panics
+    /// Panics on sparse storage (raw dense construction API).
     #[inline]
     pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
-        &mut self.values[i * self.n..(i + 1) * self.n]
+        match &mut self.storage {
+            SimStorage::Dense(values) => &mut values[i * self.n..(i + 1) * self.n],
+            SimStorage::Sparse(_) => panic!("SimMatrix::row_mut requires dense storage"),
+        }
     }
 
     /// Overwrites row `i` with `values` (one per column), clamping each to
     /// `[0, 1]` like [`SimMatrix::set`].
+    ///
+    /// # Panics
+    /// Panics on sparse storage (raw dense construction API).
     #[inline]
     pub fn fill_row(&mut self, i: usize, values: &[f64]) {
         let row = self.row_mut(i);
@@ -65,47 +352,332 @@ impl SimMatrix {
         }
     }
 
-    /// Raw values in row-major order.
-    pub fn values(&self) -> &[f64] {
-        &self.values
-    }
-
-    /// The transposed matrix (targets become sources). The output is
-    /// filled row-major so writes stay sequential in memory.
-    pub fn transposed(&self) -> SimMatrix {
-        let mut t = SimMatrix::new(self.n, self.m);
-        for j in 0..self.n {
-            let row = t.row_mut(j);
-            for (i, dst) in row.iter_mut().enumerate() {
-                *dst = self.values[i * self.n + j];
+    /// Writes row `i` into `buf` (length `n`), whatever the storage: a
+    /// memcpy for dense, zero-fill plus scatter for sparse.
+    pub fn copy_row_into(&self, i: usize, buf: &mut [f64]) {
+        debug_assert_eq!(buf.len(), self.n);
+        match &self.storage {
+            SimStorage::Dense(values) => buf.copy_from_slice(&values[i * self.n..(i + 1) * self.n]),
+            SimStorage::Sparse(csr) => {
+                buf.fill(0.0);
+                let (cols, vals) = csr.row(i);
+                for (&j, &v) in cols.iter().zip(vals) {
+                    buf[j] = v;
+                }
             }
         }
-        t
+    }
+
+    /// Raw values in row-major order.
+    ///
+    /// # Panics
+    /// Panics on sparse storage — use [`SimMatrix::nonzero`] /
+    /// [`SimMatrix::copy_row_into`] for storage-agnostic access.
+    pub fn values(&self) -> &[f64] {
+        match &self.storage {
+            SimStorage::Dense(values) => values,
+            SimStorage::Sparse(_) => panic!("SimMatrix::values requires dense storage"),
+        }
+    }
+
+    /// The nonzero `(column, value)` entries of row `i`, ascending by
+    /// column. Storage agnostic: for dense storage zeros are filtered out,
+    /// for sparse storage the stored entries are scanned directly — the
+    /// two storages of the same logical matrix yield identical sequences.
+    pub fn row_entries(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let (dense, sparse) = match &self.storage {
+            SimStorage::Dense(values) => (Some(&values[i * self.n..(i + 1) * self.n]), None),
+            SimStorage::Sparse(csr) => (None, Some(csr.row(i))),
+        };
+        let dense_iter = dense
+            .into_iter()
+            .flat_map(|row| row.iter().enumerate())
+            .map(|(j, &v)| (j, v));
+        let sparse_iter = sparse
+            .into_iter()
+            .flat_map(|(cols, vals)| cols.iter().zip(vals))
+            .map(|(&j, &v)| (j, v));
+        dense_iter.chain(sparse_iter).filter(|&(_, v)| v != 0.0)
+    }
+
+    /// A dense-stored copy (identity copy when already dense).
+    pub fn to_dense(&self) -> SimMatrix {
+        self.clone().into_dense()
+    }
+
+    /// Converts into dense storage (no-op when already dense).
+    pub fn into_dense(self) -> SimMatrix {
+        match self.storage {
+            SimStorage::Dense(_) => self,
+            SimStorage::Sparse(csr) => {
+                let mut values = vec![0.0; self.m * self.n];
+                for i in 0..self.m {
+                    let (cols, vals) = csr.row(i);
+                    for (&j, &v) in cols.iter().zip(vals) {
+                        values[i * self.n + j] = v;
+                    }
+                }
+                SimMatrix {
+                    m: self.m,
+                    n: self.n,
+                    storage: SimStorage::Dense(values),
+                }
+            }
+        }
+    }
+
+    /// A sparse-stored copy holding exactly the nonzero cells (identity
+    /// copy when already sparse).
+    pub fn to_sparse(&self) -> SimMatrix {
+        match &self.storage {
+            SimStorage::Sparse(_) => self.clone(),
+            SimStorage::Dense(_) => {
+                let mut b = SparseBuilder::new(self.m, self.n);
+                for i in 0..self.m {
+                    for (j, v) in self.row_entries(i) {
+                        b.push(i, j, v);
+                    }
+                }
+                b.finish()
+            }
+        }
+    }
+
+    /// The transposed matrix (targets become sources), keeping the storage
+    /// mode. The dense output is filled row-major so writes stay
+    /// sequential in memory; the sparse transpose is a counting sort over
+    /// the stored entries.
+    pub fn transposed(&self) -> SimMatrix {
+        match &self.storage {
+            SimStorage::Dense(values) => {
+                let mut t = SimMatrix::new(self.n, self.m);
+                for j in 0..self.n {
+                    let row = t.row_mut(j);
+                    for (i, dst) in row.iter_mut().enumerate() {
+                        *dst = values[i * self.n + j];
+                    }
+                }
+                t
+            }
+            SimStorage::Sparse(csr) => {
+                // Counting sort: entry counts per column become the
+                // transposed row offsets, then one scatter pass places
+                // every entry (rows are visited in ascending order, so
+                // columns ascend within each transposed row).
+                let mut offsets = vec![0usize; self.n + 1];
+                for &j in &csr.cols {
+                    offsets[j + 1] += 1;
+                }
+                for j in 0..self.n {
+                    offsets[j + 1] += offsets[j];
+                }
+                let mut cols = vec![0usize; csr.cols.len()];
+                let mut vals = vec![0.0; csr.vals.len()];
+                let mut cursor = offsets.clone();
+                for i in 0..self.m {
+                    let (rcols, rvals) = csr.row(i);
+                    for (&j, &v) in rcols.iter().zip(rvals) {
+                        let p = cursor[j];
+                        cols[p] = i;
+                        vals[p] = v;
+                        cursor[j] += 1;
+                    }
+                }
+                SimMatrix {
+                    m: self.n,
+                    n: self.m,
+                    storage: SimStorage::Sparse(Csr {
+                        offsets,
+                        cols,
+                        vals,
+                    }),
+                }
+            }
+        }
     }
 
     /// The max-norm distance to another matrix of identical dimensions:
     /// the largest absolute cell-wise difference. Used by the plan
-    /// engine's `Iterate` operator as its convergence measure.
+    /// engine's `Iterate` operator as its convergence measure. The
+    /// operands may use different storage modes.
     pub fn max_abs_diff(&self, other: &SimMatrix) -> f64 {
         assert_eq!(
             (self.m, self.n),
             (other.m, other.n),
             "matrix dimensions must agree"
         );
-        self.values
-            .iter()
-            .zip(&other.values)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max)
+        if let (SimStorage::Dense(a), SimStorage::Dense(b)) = (&self.storage, &other.storage) {
+            return a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0, f64::max);
+        }
+        // Mixed or sparse operands: merge the nonzero entries of each row
+        // (cells absent from both differ by 0 and cannot raise the max).
+        let mut worst = 0.0_f64;
+        for i in 0..self.m {
+            let mut a = self.row_entries(i).peekable();
+            let mut b = other.row_entries(i).peekable();
+            loop {
+                let diff = match (a.peek().copied(), b.peek().copied()) {
+                    (Some((ja, va)), Some((jb, vb))) => match ja.cmp(&jb) {
+                        std::cmp::Ordering::Equal => {
+                            a.next();
+                            b.next();
+                            (va - vb).abs()
+                        }
+                        std::cmp::Ordering::Less => {
+                            a.next();
+                            va.abs()
+                        }
+                        std::cmp::Ordering::Greater => {
+                            b.next();
+                            vb.abs()
+                        }
+                    },
+                    (Some((_, va)), None) => {
+                        a.next();
+                        va.abs()
+                    }
+                    (None, Some((_, vb))) => {
+                        b.next();
+                        vb.abs()
+                    }
+                    (None, None) => break,
+                };
+                worst = worst.max(diff);
+            }
+        }
+        worst
+    }
+
+    /// Zeroes every cell the predicate rejects: dense cells are
+    /// overwritten with `0.0`, sparse entries are dropped. The logical
+    /// result is identical either way.
+    pub fn retain_cells(&mut self, mut keep: impl FnMut(usize, usize) -> bool) {
+        match &mut self.storage {
+            SimStorage::Dense(values) => {
+                for i in 0..self.m {
+                    for (j, v) in values[i * self.n..(i + 1) * self.n].iter_mut().enumerate() {
+                        if !keep(i, j) {
+                            *v = 0.0;
+                        }
+                    }
+                }
+            }
+            SimStorage::Sparse(csr) => {
+                let mut out = Csr {
+                    offsets: Vec::with_capacity(self.m + 1),
+                    cols: Vec::with_capacity(csr.cols.len()),
+                    vals: Vec::with_capacity(csr.vals.len()),
+                };
+                out.offsets.push(0);
+                for i in 0..self.m {
+                    let (cols, vals) = csr.row(i);
+                    for (&j, &v) in cols.iter().zip(vals) {
+                        if keep(i, j) {
+                            out.cols.push(j);
+                            out.vals.push(v);
+                        }
+                    }
+                    out.offsets.push(out.cols.len());
+                }
+                *csr = out;
+            }
+        }
     }
 
     /// Iterates over `(i, j, value)` of all cells with `value > 0`.
     pub fn nonzero(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
         (0..self.m).flat_map(move |i| {
-            (0..self.n).filter_map(move |j| {
-                let v = self.get(i, j);
-                (v > 0.0).then_some((i, j, v))
+            self.row_entries(i)
+                .filter(|&(_, v)| v > 0.0)
+                .map(move |(j, v)| (i, j, v))
+        })
+    }
+}
+
+/// Equality is *logical* (per-cell values), independent of the physical
+/// storage: a dense matrix equals its sparse conversion.
+impl PartialEq for SimMatrix {
+    fn eq(&self, other: &SimMatrix) -> bool {
+        if (self.m, self.n) != (other.m, other.n) {
+            return false;
+        }
+        if let (SimStorage::Dense(a), SimStorage::Dense(b)) = (&self.storage, &other.storage) {
+            return a == b;
+        }
+        (0..self.m).all(|i| self.row_entries(i).eq(other.row_entries(i)))
+    }
+}
+
+/// Serialized as the historical dense shape `{m, n, values}` when dense,
+/// and as `{m, n, row_offsets, col_indices, sparse_values}` when sparse;
+/// deserialization accepts either, so repositories written before the
+/// sparse storage existed keep loading.
+impl Serialize for SimMatrix {
+    fn to_value(&self) -> Value {
+        let mut entries = vec![
+            (Value::Str("m".into()), self.m.to_value()),
+            (Value::Str("n".into()), self.n.to_value()),
+        ];
+        match &self.storage {
+            SimStorage::Dense(values) => {
+                entries.push((Value::Str("values".into()), values.to_value()));
+            }
+            SimStorage::Sparse(csr) => {
+                entries.push((Value::Str("row_offsets".into()), csr.offsets.to_value()));
+                entries.push((Value::Str("col_indices".into()), csr.cols.to_value()));
+                entries.push((Value::Str("sparse_values".into()), csr.vals.to_value()));
+            }
+        }
+        Value::Map(entries)
+    }
+}
+
+impl Deserialize for SimMatrix {
+    fn from_value(value: &Value) -> Result<SimMatrix, DeError> {
+        let entries = value
+            .as_map()
+            .ok_or_else(|| DeError::custom("expected a SimMatrix map"))?;
+        let m: usize = serde::field(entries, "m")?;
+        let n: usize = serde::field(entries, "n")?;
+        let has = |name: &str| entries.iter().any(|(k, _)| k.as_str() == Some(name));
+        if has("values") {
+            let values: Vec<f64> = serde::field(entries, "values")?;
+            if values.len() != m * n {
+                return Err(DeError::custom("dense SimMatrix value count mismatch"));
+            }
+            return Ok(SimMatrix {
+                m,
+                n,
+                storage: SimStorage::Dense(values),
+            });
+        }
+        let offsets: Vec<usize> = serde::field(entries, "row_offsets")?;
+        let cols: Vec<usize> = serde::field(entries, "col_indices")?;
+        let vals: Vec<f64> = serde::field(entries, "sparse_values")?;
+        if offsets.len() != m + 1
+            || cols.len() != vals.len()
+            || offsets.first() != Some(&0)
+            || offsets.last() != Some(&cols.len())
+            || offsets.windows(2).any(|w| w[0] > w[1])
+            || (0..m).any(|i| {
+                let row = &cols[offsets[i]..offsets[i + 1]];
+                row.iter().any(|&j| j >= n) || row.windows(2).any(|w| w[0] >= w[1])
             })
+        {
+            return Err(DeError::custom("inconsistent sparse SimMatrix storage"));
+        }
+        Ok(SimMatrix {
+            m,
+            n,
+            storage: SimStorage::Sparse(Csr {
+                offsets,
+                cols,
+                vals,
+            }),
         })
     }
 }
@@ -113,10 +685,17 @@ impl SimMatrix {
 /// The similarity cube: one [`SimMatrix`] slice per executed matcher
 /// (paper, Section 3: "The result of the matcher execution phase with k
 /// matchers, m S1 elements and n S2 elements is a k × m × n cube").
+///
+/// Slices are held behind [`Arc`](std::sync::Arc)s: the plan engine's
+/// memo and the stage cubes share one allocation for an unrestricted
+/// matcher matrix instead of cloning it (a full dense clone is the single
+/// biggest allocation on a large task), and `clone`/[`SimCube::select`]
+/// are cheap. Equality, serialization and all read accessors see plain
+/// matrix values — sharing is invisible to consumers.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimCube {
     matcher_names: Vec<String>,
-    slices: Vec<SimMatrix>,
+    slices: Vec<std::sync::Arc<SimMatrix>>,
 }
 
 impl SimCube {
@@ -131,6 +710,18 @@ impl SimCube {
     /// Adds a matcher's result slice. Panics if dimensions differ from the
     /// slices already present.
     pub fn push(&mut self, matcher_name: impl Into<String>, slice: SimMatrix) {
+        self.push_shared(matcher_name, std::sync::Arc::new(slice));
+    }
+
+    /// Adds a matcher's result slice without copying: the cube shares the
+    /// allocation with the caller (the engine pushes memoized matrices
+    /// this way). Panics if dimensions differ from the slices already
+    /// present.
+    pub fn push_shared(
+        &mut self,
+        matcher_name: impl Into<String>,
+        slice: std::sync::Arc<SimMatrix>,
+    ) {
         if let Some(first) = self.slices.first() {
             assert_eq!(
                 (first.rows(), first.cols()),
@@ -167,26 +758,49 @@ impl SimCube {
         self.matcher_names
             .iter()
             .position(|n| n == name)
-            .map(|k| &self.slices[k])
+            .map(|k| self.slices[k].as_ref())
     }
 
     /// Source dimension (`m`); 0 for an empty cube.
     pub fn rows(&self) -> usize {
-        self.slices.first().map_or(0, SimMatrix::rows)
+        self.slices.first().map_or(0, |s| s.rows())
     }
 
     /// Target dimension (`n`); 0 for an empty cube.
     pub fn cols(&self) -> usize {
-        self.slices.first().map_or(0, SimMatrix::cols)
+        self.slices.first().map_or(0, |s| s.cols())
     }
 
-    /// A sub-cube containing only the named slices, in the given order.
-    /// Unknown names are skipped.
+    /// Whether every slice is stored sparse (an empty cube is not).
+    pub fn all_sparse(&self) -> bool {
+        !self.slices.is_empty() && self.slices.iter().all(|s| s.is_sparse())
+    }
+
+    /// Total physically stored cells across all slices (see
+    /// [`SimMatrix::stored_entries`]).
+    pub fn stored_entries(&self) -> usize {
+        self.slices.iter().map(|s| s.stored_entries()).sum()
+    }
+
+    /// A short human-readable storage summary, e.g. `dense`, `sparse` or
+    /// `mixed(2 dense + 3 sparse)` — used by `coma-cli --verbose`.
+    pub fn storage_summary(&self) -> String {
+        let sparse = self.slices.iter().filter(|s| s.is_sparse()).count();
+        let dense = self.slices.len() - sparse;
+        match (dense, sparse) {
+            (_, 0) => "dense".to_string(),
+            (0, _) => "sparse".to_string(),
+            (d, s) => format!("mixed({d} dense + {s} sparse)"),
+        }
+    }
+
+    /// A sub-cube containing only the named slices, in the given order
+    /// (sharing the slice allocations). Unknown names are skipped.
     pub fn select(&self, names: &[&str]) -> SimCube {
         let mut out = SimCube::new();
         for &name in names {
             if let Some(k) = self.matcher_names.iter().position(|n| n == name) {
-                out.push(name, self.slices[k].clone());
+                out.push_shared(name, std::sync::Arc::clone(&self.slices[k]));
             }
         }
         out
@@ -225,12 +839,52 @@ mod tests {
     }
 
     #[test]
+    fn sparse_get_set_clamp() {
+        let mut m = SimMatrix::sparse(2, 3);
+        assert!(m.is_sparse());
+        m.set(0, 0, 0.5);
+        m.set(1, 2, 7.0);
+        m.set(0, 1, -1.0);
+        assert_eq!(m.get(0, 0), 0.5);
+        assert_eq!(m.get(1, 2), 1.0);
+        assert_eq!(m.get(0, 1), 0.0);
+        assert_eq!(m.stored_entries(), 2); // the clamped-to-zero write is dropped
+                                           // Updating in place; zeroing an existing entry removes it (sparse
+                                           // storage never holds explicit zeros).
+        m.set(0, 0, 0.9);
+        assert_eq!(m.get(0, 0), 0.9);
+        m.set(0, 0, 0.0);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.stored_entries(), 1);
+        assert_eq!(
+            m,
+            matrix(2, 3, |i, j| if (i, j) == (1, 2) { 1.0 } else { 0.0 })
+        );
+    }
+
+    #[test]
     fn transpose_roundtrips() {
         let m = matrix(2, 3, |i, j| (i * 3 + j) as f64 / 10.0);
         let t = m.transposed();
         assert_eq!(t.rows(), 3);
         assert_eq!(t.get(2, 1), m.get(1, 2));
         assert_eq!(t.transposed(), m);
+    }
+
+    #[test]
+    fn sparse_transpose_matches_dense_transpose() {
+        let dense = matrix(3, 4, |i, j| {
+            if (i + j) % 2 == 0 {
+                0.0
+            } else {
+                0.1 * (i * 4 + j) as f64
+            }
+        });
+        let sparse = dense.to_sparse();
+        let t = sparse.transposed();
+        assert!(t.is_sparse());
+        assert_eq!(t, dense.transposed());
+        assert_eq!(t.transposed(), dense);
     }
 
     #[test]
@@ -249,6 +903,132 @@ mod tests {
         m.set(1, 0, 0.7);
         let cells: Vec<_> = m.nonzero().collect();
         assert_eq!(cells, vec![(0, 1, 0.3), (1, 0, 0.7)]);
+        // The sparse conversion yields the identical sequence.
+        assert_eq!(m.to_sparse().nonzero().collect::<Vec<_>>(), cells);
+    }
+
+    #[test]
+    fn storage_conversions_are_lossless_and_equal() {
+        let dense = matrix(3, 3, |i, j| if i == j { 0.5 + 0.1 * i as f64 } else { 0.0 });
+        let sparse = dense.to_sparse();
+        assert!(sparse.is_sparse());
+        assert_eq!(sparse.stored_entries(), 3);
+        assert_eq!(dense.stored_entries(), 9);
+        // Value equality across storages, in both directions.
+        assert_eq!(dense, sparse);
+        assert_eq!(sparse, dense);
+        assert_eq!(sparse.to_dense(), dense);
+        assert_eq!(
+            sparse.clone().into_dense().storage_mode(),
+            StorageMode::Dense
+        );
+        // A differing cell breaks equality whatever the storage.
+        let mut other = sparse.clone();
+        other.set(0, 1, 0.2);
+        assert_ne!(other, dense);
+    }
+
+    #[test]
+    fn from_entries_sorts_clamps_and_drops_zeros() {
+        let m = SimMatrix::from_entries(2, 3, vec![(1, 2, 0.5), (0, 1, 9.0), (1, 0, 0.0)]);
+        assert!(m.is_sparse());
+        assert_eq!(m.stored_entries(), 2);
+        assert_eq!(m.get(0, 1), 1.0);
+        assert_eq!(m.get(1, 2), 0.5);
+        assert_eq!(m.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn row_entries_agree_across_storages() {
+        let dense = matrix(2, 4, |i, j| if j % 2 == i % 2 { 0.25 } else { 0.0 });
+        let sparse = dense.to_sparse();
+        for i in 0..2 {
+            assert_eq!(
+                dense.row_entries(i).collect::<Vec<_>>(),
+                sparse.row_entries(i).collect::<Vec<_>>()
+            );
+        }
+        let mut buf_d = vec![9.0; 4];
+        let mut buf_s = vec![9.0; 4];
+        dense.copy_row_into(0, &mut buf_d);
+        sparse.copy_row_into(0, &mut buf_s);
+        assert_eq!(buf_d, buf_s);
+        assert_eq!(buf_d, vec![0.25, 0.0, 0.25, 0.0]);
+    }
+
+    #[test]
+    fn max_abs_diff_handles_mixed_storage() {
+        let a = matrix(2, 3, |i, j| 0.1 * (i * 3 + j) as f64);
+        let b = matrix(
+            2,
+            3,
+            |i, j| if (i, j) == (1, 1) { 0.9 } else { a.get(i, j) },
+        );
+        let expect = (0.9 - 0.4_f64).abs();
+        let close = |x: f64| (x - expect).abs() < 1e-12;
+        assert!(close(a.max_abs_diff(&b)));
+        assert!(close(a.to_sparse().max_abs_diff(&b)));
+        assert!(close(a.max_abs_diff(&b.to_sparse())));
+        assert!(close(a.to_sparse().max_abs_diff(&b.to_sparse())));
+        // Identical matrices have zero distance in every combination.
+        assert_eq!(a.to_sparse().max_abs_diff(&a), 0.0);
+    }
+
+    #[test]
+    fn retain_cells_zeroes_dense_and_drops_sparse() {
+        let dense = matrix(2, 2, |_, _| 0.5);
+        let mut d = dense.clone();
+        d.retain_cells(|i, j| i == j);
+        let mut s = dense.to_sparse();
+        s.retain_cells(|i, j| i == j);
+        assert_eq!(d, s);
+        assert_eq!(s.stored_entries(), 2);
+        assert_eq!(d.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn empty_and_degenerate_shapes() {
+        // 0 × 0, empty sparse, and single row / single column matrices.
+        let empty = SimMatrix::sparse(0, 0);
+        assert_eq!(empty.stored_entries(), 0);
+        assert_eq!(empty, SimMatrix::new(0, 0));
+        assert_eq!(empty.transposed(), empty);
+        assert_eq!(empty.max_abs_diff(&SimMatrix::new(0, 0)), 0.0);
+
+        let row = SimMatrix::from_entries(1, 5, vec![(0, 3, 0.7)]);
+        assert_eq!(row.transposed().get(3, 0), 0.7);
+        assert_eq!(row.transposed().rows(), 5);
+        let col = row.transposed();
+        assert!(col.is_sparse());
+        assert_eq!(col.transposed(), row);
+        assert_eq!(row.nonzero().count(), 1);
+    }
+
+    #[test]
+    fn serialization_roundtrips_both_storages_and_legacy_format() {
+        let dense = matrix(2, 2, |i, j| 0.1 + 0.2 * (i * 2 + j) as f64);
+        let sparse = dense.to_sparse();
+        let d2 = SimMatrix::from_value(&dense.to_value()).unwrap();
+        assert_eq!(d2, dense);
+        assert!(!d2.is_sparse());
+        let s2 = SimMatrix::from_value(&sparse.to_value()).unwrap();
+        assert_eq!(s2, sparse);
+        assert!(s2.is_sparse());
+        // The dense wire shape is the pre-sparse-storage format: a map of
+        // m, n and row-major values.
+        let json = serde_json::to_string(&dense).unwrap();
+        assert!(json.contains("\"values\""), "{json}");
+        let legacy: SimMatrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(legacy, dense);
+        // Corrupt sparse storage is rejected.
+        let bad = Value::Map(vec![
+            (Value::Str("m".into()), 2usize.to_value()),
+            (Value::Str("n".into()), 2usize.to_value()),
+            (Value::Str("row_offsets".into()), vec![0usize, 1].to_value()),
+            (Value::Str("col_indices".into()), vec![5usize].to_value()),
+            (Value::Str("sparse_values".into()), vec![0.5].to_value()),
+        ]);
+        assert!(SimMatrix::from_value(&bad).is_err());
     }
 
     #[test]
@@ -266,6 +1046,24 @@ mod tests {
         let sub = cube.select(&["TypeName"]);
         assert_eq!(sub.len(), 1);
         assert_eq!(sub.matcher_names(), &["TypeName".to_string()]);
+    }
+
+    #[test]
+    fn cube_storage_accounting() {
+        let mut cube = SimCube::new();
+        cube.push("A", matrix(2, 2, |_, _| 0.5));
+        assert!(!cube.all_sparse());
+        assert_eq!(cube.storage_summary(), "dense");
+        cube.push(
+            "B",
+            matrix(2, 2, |i, j| ((i == j) as u8) as f64).to_sparse(),
+        );
+        assert_eq!(cube.storage_summary(), "mixed(1 dense + 1 sparse)");
+        assert_eq!(cube.stored_entries(), 4 + 2);
+        let mut all = SimCube::new();
+        all.push("A", SimMatrix::sparse(2, 2));
+        assert!(all.all_sparse());
+        assert_eq!(all.storage_summary(), "sparse");
     }
 
     #[test]

@@ -37,6 +37,9 @@ impl PairMask {
     /// best nonzero cells of `matrix`. Ranking uses the same comparator as
     /// candidate selection (descending similarity, ties to the lower
     /// index), so the mask is deterministic and consistent with it.
+    /// Storage agnostic: sparse matrices are ranked from their stored
+    /// entries (zeros are never kept, so the outcome is identical to the
+    /// dense scan).
     pub fn top_k_of(matrix: &SimMatrix, k: usize, per: TopKPer) -> PairMask {
         let (rows, cols) = (matrix.rows(), matrix.cols());
         let mut mask = PairMask::new(rows, cols);
@@ -44,14 +47,18 @@ impl PairMask {
         if per != TopKPer::Col {
             for i in 0..rows {
                 ranked.clear();
-                ranked.extend(
-                    matrix
-                        .row(i)
-                        .iter()
-                        .enumerate()
-                        .filter(|&(_, &v)| v > 0.0)
-                        .map(|(j, &v)| (j, v)),
-                );
+                if matrix.is_sparse() {
+                    ranked.extend(matrix.row_entries(i).filter(|&(_, v)| v > 0.0));
+                } else {
+                    ranked.extend(
+                        matrix
+                            .row(i)
+                            .iter()
+                            .enumerate()
+                            .filter(|&(_, &v)| v > 0.0)
+                            .map(|(j, &v)| (j, v)),
+                    );
+                }
                 crate::combine::sort_desc(&mut ranked);
                 for &(j, _) in ranked.iter().take(k) {
                     mask.allow(i, j);
@@ -59,16 +66,36 @@ impl PairMask {
             }
         }
         if per != TopKPer::Row {
-            for j in 0..cols {
-                ranked.clear();
-                ranked.extend(
-                    (0..rows)
-                        .map(|i| (i, matrix.get(i, j)))
-                        .filter(|&(_, v)| v > 0.0),
-                );
-                crate::combine::sort_desc(&mut ranked);
-                for &(i, _) in ranked.iter().take(k) {
-                    mask.allow(i, j);
+            if matrix.is_sparse() {
+                // Column-wise ranking scans CSR rows once and buckets by
+                // column (per column, rows arrive ascending — the same
+                // candidate order as the dense column scan).
+                let mut by_col: Vec<Vec<(usize, f64)>> = vec![Vec::new(); cols];
+                for i in 0..rows {
+                    for (j, v) in matrix.row_entries(i).filter(|&(_, v)| v > 0.0) {
+                        by_col[j].push((i, v));
+                    }
+                }
+                for (j, mut col_ranked) in by_col.into_iter().enumerate() {
+                    crate::combine::sort_desc(&mut col_ranked);
+                    for &(i, _) in col_ranked.iter().take(k) {
+                        mask.allow(i, j);
+                    }
+                }
+            } else {
+                // Dense: strided per-column scan with one reused buffer —
+                // no transient copy of the whole matrix's nonzero cells.
+                for j in 0..cols {
+                    ranked.clear();
+                    ranked.extend(
+                        (0..rows)
+                            .map(|i| (i, matrix.get(i, j)))
+                            .filter(|&(_, v)| v > 0.0),
+                    );
+                    crate::combine::sort_desc(&mut ranked);
+                    for &(i, _) in ranked.iter().take(k) {
+                        mask.allow(i, j);
+                    }
                 }
             }
         }
@@ -144,24 +171,37 @@ impl PairMask {
         }
     }
 
-    /// Zeroes every disallowed cell of `matrix` in place.
+    /// Zeroes every disallowed cell of `matrix` in place (storage
+    /// preserving: dense cells are overwritten, sparse entries dropped).
     pub fn apply(&self, matrix: &mut SimMatrix) {
         debug_assert_eq!((matrix.rows(), matrix.cols()), (self.rows, self.cols));
-        for i in 0..self.rows {
-            let row = matrix.row_mut(i);
-            for (j, v) in row.iter_mut().enumerate() {
-                if !self.allows(i, j) {
-                    *v = 0.0;
-                }
-            }
-        }
+        matrix.retain_cells(|i, j| self.allows(i, j));
     }
 
-    /// A copy of `full` with every disallowed cell zeroed.
+    /// A copy of `full` with every disallowed cell zeroed, keeping the
+    /// input's storage mode.
     pub fn masked_clone(&self, full: &SimMatrix) -> SimMatrix {
         let mut out = full.clone();
         self.apply(&mut out);
         out
+    }
+
+    /// A **sparse-stored** copy of `full` holding only the allowed nonzero
+    /// cells — mask application without ever materializing (or cloning) a
+    /// dense `rows × cols` buffer. This is how the engine converts a
+    /// stage's matrices to sparse storage once the stage mask's
+    /// [`density`](PairMask::density) says the pair space has been pruned.
+    pub fn masked_sparse(&self, full: &SimMatrix) -> SimMatrix {
+        debug_assert_eq!((full.rows(), full.cols()), (self.rows, self.cols));
+        let mut b = crate::cube::SparseBuilder::new(self.rows, self.cols);
+        for i in 0..self.rows {
+            for (j, v) in full.row_entries(i) {
+                if self.allows(i, j) {
+                    b.push(i, j, v);
+                }
+            }
+        }
+        b.finish()
     }
 }
 
@@ -237,6 +277,72 @@ mod tests {
         assert_eq!(mask.allowed_in_row(1).collect::<Vec<_>>(), vec![0]);
         assert!((mask.density() - 3.0 / 140.0).abs() < 1e-12);
         assert_eq!(PairMask::new(0, 0).density(), 0.0);
+    }
+
+    #[test]
+    fn masked_sparse_agrees_with_masked_clone() {
+        let mut m = SimMatrix::new(2, 3);
+        m.set(0, 0, 0.8);
+        m.set(0, 2, 0.6);
+        m.set(1, 1, 0.4);
+        let mut mask = PairMask::new(2, 3);
+        mask.allow(0, 2);
+        mask.allow(1, 1);
+        mask.allow(1, 2); // allowed but zero: never stored sparsely
+        let sparse = mask.masked_sparse(&m);
+        assert!(sparse.is_sparse());
+        assert_eq!(sparse.stored_entries(), 2);
+        assert_eq!(sparse, mask.masked_clone(&m));
+        // Applying to an already-sparse matrix drops entries in place.
+        let mut s = m.to_sparse();
+        mask.apply(&mut s);
+        assert!(s.is_sparse());
+        assert_eq!(s, sparse);
+        // Sparse input to masked_sparse works too.
+        assert_eq!(mask.masked_sparse(&m.to_sparse()), sparse);
+    }
+
+    #[test]
+    fn fully_dense_mask_roundtrips_losslessly() {
+        // A mask allowing the whole pair space: masked_sparse is the
+        // identity (up to storage), in both directions.
+        let mut m = SimMatrix::new(3, 2);
+        for i in 0..3 {
+            for j in 0..2 {
+                m.set(i, j, 0.1 + (i * 2 + j) as f64 / 10.0);
+            }
+        }
+        let mut all = PairMask::new(3, 2);
+        for i in 0..3 {
+            for j in 0..2 {
+                all.allow(i, j);
+            }
+        }
+        assert_eq!(all.density(), 1.0);
+        let sparse = all.masked_sparse(&m);
+        assert!(sparse.is_sparse());
+        assert_eq!(sparse.stored_entries(), 6);
+        assert_eq!(sparse, m);
+        assert_eq!(sparse.to_dense(), m);
+        assert_eq!(all.masked_sparse(&sparse), m);
+    }
+
+    #[test]
+    fn top_k_of_is_storage_agnostic() {
+        let mut m = SimMatrix::new(3, 4);
+        m.set(0, 0, 0.9);
+        m.set(0, 2, 0.7);
+        m.set(1, 0, 0.8);
+        m.set(1, 3, 0.5);
+        m.set(2, 2, 0.7); // tie with (0,2): lower row index wins per column
+        let s = m.to_sparse();
+        for per in [TopKPer::Row, TopKPer::Col, TopKPer::Both] {
+            for k in 1..=3 {
+                let dense_mask = PairMask::top_k_of(&m, k, per);
+                let sparse_mask = PairMask::top_k_of(&s, k, per);
+                assert_eq!(dense_mask, sparse_mask, "k={k} per={per}");
+            }
+        }
     }
 
     #[test]

@@ -34,8 +34,10 @@ use std::sync::{Arc, OnceLock};
 type PairSims = Arc<RwLock<HashMap<(String, String), f64>>>;
 
 /// A matrix slot computed at most once, keyed by (matcher name, instance
-/// identity).
-type MatrixSlots = HashMap<(String, usize), Arc<OnceLock<SimMatrix>>>;
+/// identity). The inner `Arc` is what [`MatchMemo::matrix`] hands out, so
+/// readers share one allocation instead of cloning a potentially huge
+/// dense matrix per consumer.
+type MatrixSlots = HashMap<(String, usize), Arc<OnceLock<Arc<SimMatrix>>>>;
 
 /// Memoized shared work for one match task, shared by all matchers and
 /// stages of a plan execution (attached to the context as
@@ -96,27 +98,29 @@ impl MatchMemo {
 
     /// The full similarity matrix of a matcher, computed at most once per
     /// plan execution (concurrent requests block on the first computation).
+    /// Returned as a shared handle: consumers that only read (structural
+    /// leaf tables, mask application) never copy the matrix.
     pub fn matrix(
         &self,
         name: &str,
         identity: usize,
         compute: impl FnOnce() -> SimMatrix,
-    ) -> SimMatrix {
+    ) -> Arc<SimMatrix> {
         let cell = self.matrix_cell(name, identity);
-        cell.get_or_init(compute).clone()
+        Arc::clone(cell.get_or_init(|| Arc::new(compute())))
     }
 
     /// The cached full matrix of a matcher, if it was already computed.
-    pub fn cached_matrix(&self, name: &str, identity: usize) -> Option<SimMatrix> {
+    pub fn cached_matrix(&self, name: &str, identity: usize) -> Option<Arc<SimMatrix>> {
         let slot = self
             .matrices
             .lock()
             .get(&(name.to_string(), identity))
             .cloned();
-        slot.and_then(|cell| cell.get().cloned())
+        slot.and_then(|cell| cell.get().map(Arc::clone))
     }
 
-    fn matrix_cell(&self, name: &str, identity: usize) -> Arc<OnceLock<SimMatrix>> {
+    fn matrix_cell(&self, name: &str, identity: usize) -> Arc<OnceLock<Arc<SimMatrix>>> {
         self.matrices
             .lock()
             .entry((name.to_string(), identity))

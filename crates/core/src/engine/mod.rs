@@ -2,8 +2,9 @@
 //!
 //! [`PlanEngine`] executes a [`MatchPlan`] operator tree over one match
 //! task. Compared to the legacy "loop over matcher names, then combine"
-//! pipeline it adds three things while producing identical results for
-//! flat plans:
+//! pipeline it adds the following, while producing identical results for
+//! flat plans (see `ARCHITECTURE.md` at the repository root for the
+//! system-wide picture):
 //!
 //! * **parallel leaf fan-out** — the independent matchers of a
 //!   [`MatchPlan::Matchers`] leaf run on scoped threads (capped by the
@@ -13,7 +14,9 @@
 //!   tokenizations, name-pair similarities and per-matcher matrices, so
 //!   hybrids and overlapping sub-plans stop recomputing constituents (with
 //!   the standard library, the `All` strategy computes the `TypeName`
-//!   matrix once instead of three times);
+//!   matrix once instead of three times); memoized matrices are shared by
+//!   `Arc`, so an unrestricted stage's cube slice aliases the memo's
+//!   allocation instead of cloning it;
 //! * **staged execution** — `Seq` restricts a later stage's search space
 //!   to an earlier stage's survivors via [`PairMask`], `Par` aggregates
 //!   independent sub-plans, `Filter` re-selects mid-pipeline, `TopK`
@@ -26,7 +29,50 @@
 //!   (the structural `Children`/`Leaves`) compute set similarities only
 //!   for the allowed pairs and their recursive dependencies instead of
 //!   the full cross-product, with bit-identical results
-//!   ([`PlanEngine::with_sparse`] switches the path off for comparison).
+//!   ([`PlanEngine::with_sparse`] switches the path off for comparison);
+//! * **sparse storage** — the same density decision picks each restricted
+//!   stage's physical [`SimMatrix`] representation: below the cutoff,
+//!   matcher slices, `TopK`-pruned matrices and pair matrices are stored
+//!   CSR (holding only the surviving cells) instead of as dense `m × n`
+//!   buffers, which is what keeps 5k–50k-node tasks inside a sane memory
+//!   budget. Storage is invisible to consumers: equality, aggregation,
+//!   selection and serialization are all value-based.
+//!
+//! Building and executing a pruned plan end to end:
+//!
+//! ```
+//! use coma_core::{Coma, MatchPlan, MatchStrategy, PlanEngine, TopKPer};
+//! use coma_graph::PathSet;
+//!
+//! let po1 = coma_sql::import_ddl(
+//!     "CREATE TABLE PO.Customer (custNo INT, custName VARCHAR(200));",
+//!     "PO1",
+//! ).unwrap();
+//! let po2 = coma_sql::import_ddl(
+//!     "CREATE TABLE PO.Buyer (buyerNo INT, buyerName VARCHAR(100));",
+//!     "PO2",
+//! ).unwrap();
+//!
+//! // Keep each element's 2 best Name candidates, then refine the
+//! // survivors with the paper-default hybrid combination.
+//! let plan = MatchPlan::seq(
+//!     MatchPlan::matchers(["Name"]).top_k(2, TopKPer::Both)?,
+//!     MatchPlan::from(&MatchStrategy::paper_default()),
+//! );
+//!
+//! let mut coma = Coma::new();
+//! coma.aux_mut().synonyms.add_synonym("customer", "buyer");
+//! let outcome = coma.match_plan(&po1, &po2, &plan).unwrap();
+//! assert_eq!(outcome.stages.len(), 3); // Name, TopK, refine
+//!
+//! // The pruned stages store their cubes sparse; the stage labels spell
+//! // out the executed plan.
+//! assert!(outcome.stages[2].cube.all_sparse());
+//! assert!(outcome.stages[1].label.starts_with("TopK("));
+//! assert!(!outcome.result.is_empty());
+//! # let _ = PathSet::new(&po1).unwrap();
+//! # Ok::<(), coma_core::PlanError>(())
+//! ```
 
 mod mask;
 mod memo;
@@ -85,8 +131,11 @@ impl PlanOutcome {
     }
 }
 
-/// Masks at least this sparse take the sparse execution path; denser ones
-/// compute the full matrix (worth memoizing) and mask it.
+/// Masks at least this sparse take the sparse execution path — and their
+/// stages' matrices the sparse (CSR) *storage* — while denser ones compute
+/// the full matrix (worth memoizing), mask it, and keep it dense. One
+/// threshold drives both decisions: execution and storage switch together
+/// at the stage boundary, based on [`PairMask::density`].
 const SPARSE_DENSITY_CUTOFF: f64 = 0.5;
 
 /// The plan execution engine: borrows a matcher library and executes plans
@@ -115,14 +164,46 @@ impl<'l> PlanEngine<'l> {
         self
     }
 
-    /// Disables (or re-enables) the sparse execution path for
-    /// [`sparse_capable`](crate::Matcher::sparse_capable) matchers under a
-    /// search-space restriction; results are bit-identical either way
-    /// (property-tested), only the work differs — dense computes the full
-    /// cross-product and masks it afterwards.
+    /// Disables (or re-enables) the sparse path: both the sparse
+    /// *execution* of [`sparse_capable`](crate::Matcher::sparse_capable)
+    /// matchers under a search-space restriction and the sparse (CSR)
+    /// *storage* of pruned stages' matrices. Results are value-identical
+    /// either way (property-tested); only the work and the memory differ —
+    /// dense computes the full cross-product, masks it afterwards, and
+    /// materializes every stage as dense `m × n` buffers.
     pub fn with_sparse(mut self, sparse: bool) -> PlanEngine<'l> {
         self.sparse = sparse;
         self
+    }
+
+    /// Whether a stage restricted by `mask` should store its matrices
+    /// sparse: the engine's sparse path is on and the mask has pruned the
+    /// pair space below the density cutoff.
+    fn sparse_storage(&self, mask: &PairMask) -> bool {
+        self.sparse && mask.density() <= SPARSE_DENSITY_CUTOFF
+    }
+
+    /// An `m × n` matrix holding a result's selected pair similarities
+    /// (zero elsewhere) — CSR-stored when the engine's sparse path is on
+    /// and the selected pairs are sparse in the pair space, dense
+    /// otherwise.
+    fn pair_matrix(&self, ctx: &MatchContext<'_>, result: &MatchResult) -> SimMatrix {
+        let cells = ctx.rows() * ctx.cols();
+        let sparse = self.sparse
+            && cells > 0
+            && (result.len() as f64 / cells as f64) <= SPARSE_DENSITY_CUTOFF;
+        if sparse {
+            SimMatrix::from_entries(
+                ctx.rows(),
+                ctx.cols(),
+                result
+                    .candidates
+                    .iter()
+                    .map(|c| (c.source.index(), c.target.index(), c.similarity)),
+            )
+        } else {
+            pair_matrix_dense(ctx, result)
+        }
     }
 
     /// Executes a plan on a match task. A restriction already present on
@@ -194,7 +275,7 @@ impl<'l> PlanEngine<'l> {
                 }
                 let mut cube = SimCube::new();
                 for (label, result) in &slices {
-                    cube.push(label.clone(), pair_matrix(&ctx, result));
+                    cube.push(label.clone(), self.pair_matrix(&ctx, result));
                 }
                 let result =
                     combine_cube_with_feedback(&cube, &ctx, combination, &ctx.aux.feedback);
@@ -212,7 +293,7 @@ impl<'l> PlanEngine<'l> {
                 combined_sim,
             } => {
                 let inner = self.exec(ctx, input, mask, stages)?;
-                let matrix = pair_matrix(&ctx, &inner);
+                let matrix = self.pair_matrix(&ctx, &inner);
                 let candidates = DirectedCandidates::select(&matrix, *direction, selection);
                 let schema_similarity =
                     combined_sim.compute(&candidates, matrix.rows(), matrix.cols());
@@ -229,7 +310,7 @@ impl<'l> PlanEngine<'l> {
             }
             MatchPlan::TopK { input, k, per } => {
                 let inner = self.exec(ctx, input, mask, stages)?;
-                let matrix = pair_matrix(&ctx, &inner);
+                let matrix = self.pair_matrix(&ctx, &inner);
                 let keep = PairMask::top_k_of(&matrix, *k, *per);
                 let kept: Vec<(usize, usize, f64)> = inner
                     .candidates
@@ -237,7 +318,11 @@ impl<'l> PlanEngine<'l> {
                     .filter(|c| keep.allows(c.source.index(), c.target.index()))
                     .map(|c| (c.source.index(), c.target.index(), c.similarity))
                     .collect();
-                let pruned = keep.masked_clone(&matrix);
+                let pruned = if self.sparse_storage(&keep) {
+                    keep.masked_sparse(&matrix)
+                } else {
+                    keep.masked_clone(&matrix).into_dense()
+                };
                 // The schema similarity is recomputed over the surviving
                 // pairs (like `Filter` does), not carried over from the
                 // pre-pruning result, so it stays consistent with the
@@ -276,7 +361,7 @@ impl<'l> PlanEngine<'l> {
                 let mut result: Option<MatchResult> = None;
                 for _ in 0..*max_rounds {
                     let r = self.exec(ctx, sub, round_mask.as_ref(), stages)?;
-                    let matrix = pair_matrix(&ctx, &r);
+                    let matrix = self.pair_matrix(&ctx, &r);
                     let converged = prev
                         .as_ref()
                         .is_some_and(|p| p.max_abs_diff(&matrix) < *epsilon);
@@ -310,7 +395,11 @@ impl<'l> PlanEngine<'l> {
                 matcher.compose = *compose;
                 let mut slice = matcher.compute(&ctx);
                 if let Some(mask) = mask {
-                    mask.apply(&mut slice);
+                    if self.sparse_storage(mask) {
+                        slice = mask.masked_sparse(&slice);
+                    } else {
+                        mask.apply(&mut slice);
+                    }
                 }
                 let mut cube = SimCube::new();
                 cube.push("Reuse", slice);
@@ -345,13 +434,14 @@ impl<'l> PlanEngine<'l> {
             })
             .collect::<Result<_>>()?;
 
-        let compute_one =
-            |matcher: &Arc<dyn Matcher>| -> SimMatrix { self.compute_slice(ctx, matcher, mask) };
+        let compute_one = |matcher: &Arc<dyn Matcher>| -> Arc<SimMatrix> {
+            self.compute_slice(ctx, matcher, mask)
+        };
 
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        let mut slots: Vec<Option<SimMatrix>> = (0..matchers.len()).map(|_| None).collect();
+        let mut slots: Vec<Option<Arc<SimMatrix>>> = (0..matchers.len()).map(|_| None).collect();
         if self.parallel && workers > 1 && matchers.len() > 1 {
             // At most `workers` threads, each owning a contiguous chunk of
             // matcher slots.
@@ -375,29 +465,38 @@ impl<'l> PlanEngine<'l> {
 
         let mut cube = SimCube::new();
         for ((name, _), slot) in matchers.iter().zip(slots) {
-            cube.push(name.clone(), slot.expect("slice computed"));
+            cube.push_shared(name.clone(), slot.expect("slice computed"));
         }
         Ok(cube)
     }
 
     /// One matcher's slice, through the memo and under the stage mask.
+    /// The slice's storage follows [`PlanEngine::sparse_storage`]: pruned
+    /// stages keep CSR slices, unpruned (or dense-mode) stages keep dense
+    /// ones — with identical logical values either way.
     fn compute_slice(
         &self,
         ctx: MatchContext<'_>,
         matcher: &Arc<dyn Matcher>,
         mask: Option<&PairMask>,
-    ) -> SimMatrix {
+    ) -> Arc<SimMatrix> {
         let identity = matcher_identity(matcher);
         let name = matcher.name();
         match (mask, ctx.memo) {
-            // Unrestricted: memoize the full matrix across stages/sub-plans.
+            // Unrestricted: memoize the full matrix across stages and
+            // sub-plans — the stage cube shares the memo's allocation.
             (None, Some(memo)) => memo.matrix(name, identity, || matcher.compute(&ctx)),
-            (None, None) => matcher.compute(&ctx),
+            (None, None) => Arc::new(matcher.compute(&ctx)),
             (Some(mask), memo) => {
+                let sparse_store = self.sparse_storage(mask);
                 // A full matrix computed earlier is cheaper to mask than to
                 // recompute.
                 if let Some(full) = memo.and_then(|m| m.cached_matrix(name, identity)) {
-                    return mask.masked_clone(&full);
+                    return Arc::new(if sparse_store {
+                        mask.masked_sparse(&full)
+                    } else {
+                        mask.masked_clone(&full)
+                    });
                 }
                 // Cell-local matchers always honor the restriction; other
                 // sparse-capable matchers (the structural ones) take the
@@ -410,29 +509,38 @@ impl<'l> PlanEngine<'l> {
                 if honors_restriction {
                     // The matcher skips disallowed cells itself; the final
                     // mask application is a cheap safety net for
-                    // implementations that ignore the restriction.
+                    // implementations that ignore the restriction (and
+                    // normalizes the slice to the stage's storage mode).
                     let restricted = ctx.with_restriction(mask);
-                    let mut out = matcher.compute(&restricted);
-                    mask.apply(&mut out);
-                    out
+                    let out = matcher.compute(&restricted);
+                    Arc::new(if sparse_store {
+                        mask.masked_sparse(&out)
+                    } else {
+                        let mut out = out.into_dense();
+                        mask.apply(&mut out);
+                        out
+                    })
                 } else {
                     // Global matchers need the full search space for
                     // correct set similarities; compute (and memoize)
                     // full, then mask the copy.
                     let full = match memo {
                         Some(m) => m.matrix(name, identity, || matcher.compute(&ctx)),
-                        None => matcher.compute(&ctx),
+                        None => Arc::new(matcher.compute(&ctx)),
                     };
-                    mask.masked_clone(&full)
+                    Arc::new(if sparse_store {
+                        mask.masked_sparse(&full)
+                    } else {
+                        mask.masked_clone(&full)
+                    })
                 }
             }
         }
     }
 }
 
-/// An `m × n` matrix holding a result's selected pair similarities (zero
-/// elsewhere).
-fn pair_matrix(ctx: &MatchContext<'_>, result: &MatchResult) -> SimMatrix {
+/// The dense form of [`PlanEngine::pair_matrix`].
+fn pair_matrix_dense(ctx: &MatchContext<'_>, result: &MatchResult) -> SimMatrix {
     let mut matrix = SimMatrix::new(ctx.rows(), ctx.cols());
     for c in &result.candidates {
         matrix.set(c.source.index(), c.target.index(), c.similarity);

@@ -48,7 +48,7 @@
 #![forbid(unsafe_code)]
 
 pub mod combine;
-mod cube;
+pub mod cube;
 pub mod engine;
 mod error;
 pub mod matchers;
@@ -60,7 +60,7 @@ pub use combine::{
     stable_marriage, Aggregation, CombinationStrategy, CombinedSim, DirectedCandidates, Direction,
     Selection,
 };
-pub use cube::{SimCube, SimMatrix};
+pub use cube::{SimCube, SimMatrix, SparseBuilder, StorageMode};
 pub use engine::{
     MatchMemo, MatchPlan, PairMask, PlanEngine, PlanError, PlanOutcome, StageOutcome, TopKPer,
 };

@@ -2,8 +2,7 @@
 //! and `TypeName`. (The hybrid structural matchers `Children` and `Leaves`
 //! live in [`super::structural`].)
 
-use crate::cube::SimMatrix;
-use crate::engine::NameSimCache;
+use crate::cube::{SimMatrix, SparseBuilder};
 use crate::matchers::context::MatchContext;
 use crate::matchers::name_engine::NameEngine;
 use crate::matchers::Matcher;
@@ -55,12 +54,13 @@ fn index_tokens(sets: &[Arc<Vec<String>>]) -> (Vec<Vec<usize>>, Vec<&str>) {
 /// computed in two deduplicated levels: token-pair sims once per distinct
 /// token pair (schemas draw names from a bounded vocabulary, so this is
 /// small and independent of schema size), then one steps-2+3 combination
-/// per distinct name pair, routed through the shared cache so matchers
-/// with equal engines reuse each other's values.
+/// per distinct name pair. The combination is cheap enough (an
+/// allocation-free `Both`/`Max1` scan over table lookups) that routing it
+/// through the shared name-pair cache would cost more in key allocations
+/// and hashing than it saves — the table is computed directly.
 fn name_sim_table(
     ctx: &MatchContext<'_>,
     engine: &NameEngine,
-    cache: &mut NameSimCache,
     src_names: &[&str],
     tgt_names: &[&str],
 ) -> Vec<f64> {
@@ -80,23 +80,19 @@ fn name_sim_table(
     }
 
     let mut table = vec![0.0; src_names.len() * tgt_names.len()];
-    for (a_id, &a) in src_names.iter().enumerate() {
-        let ids1 = &src_name_toks[a_id];
-        for (b_id, &b) in tgt_names.iter().enumerate() {
-            let ids2 = &tgt_name_toks[b_id];
+    for (a_id, ids1) in src_name_toks.iter().enumerate() {
+        for (b_id, ids2) in tgt_name_toks.iter().enumerate() {
             // Clamped like the restricted path's `SimMatrix::set`, so the
             // sparse==dense bit-identity holds even for exotic engines.
-            table[a_id * tgt_names.len() + b_id] = cache
-                .get_or_compute(a, b, || {
-                    let mut sims = SimMatrix::new(ids1.len(), ids2.len());
-                    for (i, &ta) in ids1.iter().enumerate() {
-                        let row = sims.row_mut(i);
-                        for (dst, &tb) in row.iter_mut().zip(ids2) {
-                            *dst = tok_table[ta * tt + tb];
-                        }
-                    }
-                    engine.combine_token_sims(&src_tokens[a_id], &tgt_tokens[b_id], &sims)
-                })
+            let mut sims = SimMatrix::new(ids1.len(), ids2.len());
+            for (i, &ta) in ids1.iter().enumerate() {
+                let row = sims.row_mut(i);
+                for (dst, &tb) in row.iter_mut().zip(ids2) {
+                    *dst = tok_table[ta * tt + tb];
+                }
+            }
+            table[a_id * tgt_names.len() + b_id] = engine
+                .combine_token_sims(&src_tokens[a_id], &tgt_tokens[b_id], &sims)
                 .clamp(0.0, 1.0);
         }
     }
@@ -130,27 +126,27 @@ impl Matcher for NameMatcher {
     }
 
     fn compute(&self, ctx: &MatchContext<'_>) -> SimMatrix {
-        let mut out = SimMatrix::new(ctx.rows(), ctx.cols());
         let mut cache = ctx.name_sim_cache(&self.engine);
-        if ctx.restriction.is_some() {
-            // Sparse: only the allowed cells, straight through the cache.
+        if let Some(mask) = ctx.restriction {
+            // Sparse: only the allowed cells, straight through the cache,
+            // built directly into CSR storage (never an m × n buffer).
+            let mut b = SparseBuilder::new(ctx.rows(), ctx.cols());
             for i in 0..ctx.rows() {
                 let a = ctx.source_name(i);
-                for j in 0..ctx.cols() {
-                    if !ctx.allows(i, j) {
-                        continue;
-                    }
-                    let b = ctx.target_name(j);
-                    let sim = cache.get_or_compute(a, b, || self.engine.similarity(a, b, ctx.aux));
-                    out.set(i, j, sim);
+                for j in mask.allowed_in_row(i) {
+                    let t = ctx.target_name(j);
+                    let sim = cache.get_or_compute(a, t, || self.engine.similarity(a, t, ctx.aux));
+                    b.push(i, j, sim);
                 }
             }
+            b.finish()
         } else {
             // Dense: one similarity per distinct name pair, fanned out to
             // every cell that shares it.
+            let mut out = SimMatrix::new(ctx.rows(), ctx.cols());
             let (src_ids, src_names) = distinct_keys((0..ctx.rows()).map(|i| ctx.source_name(i)));
             let (tgt_ids, tgt_names) = distinct_keys((0..ctx.cols()).map(|j| ctx.target_name(j)));
-            let table = name_sim_table(ctx, &self.engine, &mut cache, &src_names, &tgt_names);
+            let table = name_sim_table(ctx, &self.engine, &src_names, &tgt_names);
             for (i, &a_id) in src_ids.iter().enumerate() {
                 let base = a_id * tgt_names.len();
                 let row = out.row_mut(i);
@@ -158,8 +154,8 @@ impl Matcher for NameMatcher {
                     *dst = table[base + b_id];
                 }
             }
+            out
         }
-        out
     }
 
     fn cell_local(&self) -> bool {
@@ -216,13 +212,53 @@ impl Matcher for NamePathMatcher {
                 (long, tokens)
             })
             .collect();
-        let mut out = SimMatrix::new(ctx.rows(), ctx.cols());
         let mut cache = ctx.name_sim_cache(&self.engine);
+        if let Some(mask) = ctx.restriction {
+            // Sparse: allowed cells only, straight into CSR storage. Long
+            // path names never repeat, but their *tokens* come from a
+            // bounded vocabulary — so token-pair similarities are computed
+            // once per distinct token pair (like the dense `Name` path)
+            // and each allowed cell only pays the steps-2+3 combination
+            // over table lookups. Value-identical to
+            // `token_set_similarity` per cell: same token-pair values,
+            // same combination.
+            let src_sets: Vec<Arc<Vec<String>>> =
+                src_tokens.iter().map(|(_, t)| Arc::clone(t)).collect();
+            let tgt_sets: Vec<Arc<Vec<String>>> =
+                tgt_tokens.iter().map(|(_, t)| Arc::clone(t)).collect();
+            let (src_name_toks, src_tok_names) = index_tokens(&src_sets);
+            let (tgt_name_toks, tgt_tok_names) = index_tokens(&tgt_sets);
+            let tt = tgt_tok_names.len();
+            let mut tok_table = vec![0.0; src_tok_names.len() * tt];
+            for (a, &ta) in src_tok_names.iter().enumerate() {
+                for (b, &tb) in tgt_tok_names.iter().enumerate() {
+                    tok_table[a * tt + b] = self.engine.token_pair_similarity(ta, tb, ctx.aux);
+                }
+            }
+            let mut builder = SparseBuilder::new(ctx.rows(), ctx.cols());
+            for (i, (a, t1)) in src_tokens.iter().enumerate() {
+                let ids1 = &src_name_toks[i];
+                for j in mask.allowed_in_row(i) {
+                    let (b, t2) = &tgt_tokens[j];
+                    let ids2 = &tgt_name_toks[j];
+                    let sim = cache.get_or_compute(a, b, || {
+                        let mut sims = SimMatrix::new(ids1.len(), ids2.len());
+                        for (x, &ta) in ids1.iter().enumerate() {
+                            let row = sims.row_mut(x);
+                            for (dst, &tb) in row.iter_mut().zip(ids2) {
+                                *dst = tok_table[ta * tt + tb];
+                            }
+                        }
+                        self.engine.combine_token_sims(t1, t2, &sims)
+                    });
+                    builder.push(i, j, sim);
+                }
+            }
+            return builder.finish();
+        }
+        let mut out = SimMatrix::new(ctx.rows(), ctx.cols());
         for (i, (a, t1)) in src_tokens.iter().enumerate() {
             for (j, (b, t2)) in tgt_tokens.iter().enumerate() {
-                if !ctx.allows(i, j) {
-                    continue;
-                }
                 let sim = cache
                     .get_or_compute(a, b, || self.engine.token_set_similarity(t1, t2, ctx.aux));
                 out.set(i, j, sim);
@@ -284,20 +320,18 @@ impl Matcher for TypeNameMatcher {
 
     fn compute(&self, ctx: &MatchContext<'_>) -> SimMatrix {
         let total = self.name_weight + self.type_weight;
-        let mut out = SimMatrix::new(ctx.rows(), ctx.cols());
         let mut cache = ctx.name_sim_cache(&self.engine);
-        if ctx.restriction.is_some() {
-            // Sparse: only the allowed cells, straight through the cache.
+        if let Some(mask) = ctx.restriction {
+            // Sparse: only the allowed cells, straight through the cache,
+            // built directly into CSR storage.
+            let mut b = SparseBuilder::new(ctx.rows(), ctx.cols());
             for i in 0..ctx.rows() {
                 let a_name = ctx.source_name(i);
                 let a_type = ctx
                     .source
                     .node(ctx.source_paths.node_of(ctx.source_elem(i)))
                     .datatype;
-                for j in 0..ctx.cols() {
-                    if !ctx.allows(i, j) {
-                        continue;
-                    }
+                for j in mask.allowed_in_row(i) {
                     let b_name = ctx.target_name(j);
                     let b_type = ctx
                         .target
@@ -309,14 +343,16 @@ impl Matcher for TypeNameMatcher {
                         })
                         .clamp(0.0, 1.0);
                     let type_sim = ctx.aux.type_compat.similarity_opt(a_type, b_type);
-                    out.set(
+                    b.push(
                         i,
                         j,
                         (self.name_weight * name_sim + self.type_weight * type_sim) / total,
                     );
                 }
             }
+            b.finish()
         } else {
+            let mut out = SimMatrix::new(ctx.rows(), ctx.cols());
             // Dense: one weighted similarity per distinct (name, datatype)
             // profile pair, fanned out to every cell that shares it.
             let (src_ids, src_profiles) = distinct_keys((0..ctx.rows()).map(|i| {
@@ -339,7 +375,7 @@ impl Matcher for TypeNameMatcher {
                 distinct_keys(src_profiles.iter().map(|&(name, _)| name));
             let (tgt_name_ids, tgt_names) =
                 distinct_keys(tgt_profiles.iter().map(|&(name, _)| name));
-            let names = name_sim_table(ctx, &self.engine, &mut cache, &src_names, &tgt_names);
+            let names = name_sim_table(ctx, &self.engine, &src_names, &tgt_names);
             let mut table = vec![0.0; src_profiles.len() * tgt_profiles.len()];
             for (a_id, &(_, a_type)) in src_profiles.iter().enumerate() {
                 for (b_id, &(_, b_type)) in tgt_profiles.iter().enumerate() {
@@ -357,8 +393,8 @@ impl Matcher for TypeNameMatcher {
                     *dst = table[base + b_id];
                 }
             }
+            out
         }
-        out
     }
 
     fn cell_local(&self) -> bool {

@@ -148,6 +148,24 @@ impl NameEngine {
         if t1 == t2 {
             return 1.0;
         }
+        // The paper-default `Both`/`Max1` combination runs once per
+        // distinct name pair of a match task — take the shared
+        // allocation-free pipeline (value-identical to select + compute;
+        // cells already carry the clamped token-pair values).
+        if self.direction == Direction::Both
+            && self.selection == Selection::max_n(1)
+            && !sims.is_sparse()
+            && (sims.rows(), sims.cols()) == (t1.len(), t2.len())
+        {
+            let values = sims.values();
+            let n = t2.len();
+            return crate::combine::max1_both_combined(
+                t1.len(),
+                n,
+                |i, j| values[i * n + j],
+                self.combined,
+            );
+        }
         let candidates = DirectedCandidates::select(sims, self.direction, &self.selection);
         self.combined.compute(&candidates, t1.len(), t2.len())
     }
@@ -258,6 +276,31 @@ mod tests {
         let s2 = cache.get_or_compute("ShipTo", "DeliverTo", || panic!("must hit the cache"));
         assert_eq!(s1, s2);
         assert_eq!(s1, e.similarity("ShipTo", "DeliverTo", &a));
+    }
+
+    /// The `Both`/`Max1` fast path inside `combine_token_sims` computes
+    /// exactly what the generic select + compute pipeline computes.
+    #[test]
+    fn combine_fast_path_matches_generic_pipeline() {
+        use crate::combine::DirectedCandidates;
+        let toks =
+            |names: &[&str]| -> Vec<String> { names.iter().map(|s| s.to_string()).collect() };
+        let t1 = toks(&["ship", "to", "city"]);
+        let t2 = toks(&["deliver", "town"]);
+        let mut sims = SimMatrix::new(3, 2);
+        sims.set(0, 0, 1.0); // ship ↔ deliver (synonym)
+        sims.set(2, 1, 0.5); // city ↔ town
+        sims.set(1, 1, 0.5); // exact tie: first index must win
+        for combined in [CombinedSim::Average, CombinedSim::Dice] {
+            let engine = NameEngine {
+                combined,
+                ..NameEngine::paper_default()
+            };
+            let fast = engine.combine_token_sims(&t1, &t2, &sims);
+            let cands = DirectedCandidates::select(&sims, engine.direction, &engine.selection);
+            let generic = engine.combined.compute(&cands, t1.len(), t2.len());
+            assert_eq!(fast, generic, "{combined:?}");
+        }
     }
 
     #[test]

@@ -11,12 +11,13 @@
 //! to the masked dense computation.
 
 use crate::combine::{CombinedSim, DirectedCandidates, Direction, Selection};
-use crate::cube::SimMatrix;
+use crate::cube::{SimMatrix, SparseBuilder};
 use crate::engine::{matcher_identity, PairMask};
 use crate::matchers::context::MatchContext;
 use crate::matchers::hybrid::TypeNameMatcher;
 use crate::matchers::Matcher;
 use coma_graph::{PathId, PathSet};
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// Shared configuration of the two structural matchers.
@@ -40,11 +41,12 @@ impl StructuralConfig {
 
     /// The leaf matcher's full matrix, computed fresh or taken from the
     /// plan-execution memo (keyed by instance identity, so the standard
-    /// library's shared `TypeName` is computed once per task). Structural
-    /// set similarities need the full pair space, so any search-space
-    /// restriction is dropped here — the engine masks the *output* of
-    /// non-cell-local matchers instead.
-    fn leaf_sims(&self, ctx: &MatchContext<'_>) -> SimMatrix {
+    /// library's shared `TypeName` is computed once per task — and shared
+    /// by reference, not cloned, between `Children` and `Leaves`).
+    /// Structural set similarities need the full pair space, so any
+    /// search-space restriction is dropped here — the engine masks the
+    /// *output* of non-cell-local matchers instead.
+    fn leaf_sims(&self, ctx: &MatchContext<'_>) -> Arc<SimMatrix> {
         let full = ctx.without_restriction();
         match full.memo {
             Some(memo) => memo.matrix(
@@ -52,27 +54,67 @@ impl StructuralConfig {
                 matcher_identity(&self.leaf_matcher),
                 || self.leaf_matcher.compute(&full),
             ),
-            None => self.leaf_matcher.compute(&full),
+            None => Arc::new(self.leaf_matcher.compute(&full)),
         }
     }
 
     /// Combined similarity of two element sets given the full pairwise
     /// similarity table `sims` (indexed by path index).
     fn set_similarity(&self, set1: &[PathId], set2: &[PathId], sims: &SimMatrix) -> f64 {
+        self.set_similarity_by(set1, set2, |p, q| sims.get(p.index(), q.index()))
+    }
+
+    /// Combined similarity of two element sets with an arbitrary pairwise
+    /// similarity lookup — the sparse `Children` path layers its computed
+    /// inner-pair overlay over the leaf table this way instead of cloning
+    /// a dense matrix to write into.
+    fn set_similarity_by(
+        &self,
+        set1: &[PathId],
+        set2: &[PathId],
+        lookup: impl Fn(PathId, PathId) -> f64,
+    ) -> f64 {
         if set1.is_empty() && set2.is_empty() {
             return 1.0;
         }
         if set1.is_empty() || set2.is_empty() {
             return 0.0;
         }
+        // The paper-default configuration (`Both`/`Max1`) is the per-cell
+        // inner loop of every structural similarity: take the
+        // allocation-free path that folds candidate sums directly instead
+        // of materializing a sub-matrix plus per-element candidate lists.
+        // Value-identical to the generic path (unit-tested below): the
+        // same strict-greater/first-index-wins best candidate per row and
+        // column, the same clamping, the same summation order.
+        if self.direction == Direction::Both && self.selection == Selection::max_n(1) {
+            return self.set_similarity_max1(set1, set2, lookup);
+        }
         let mut sub = SimMatrix::new(set1.len(), set2.len());
-        for (a, p) in set1.iter().enumerate() {
-            for (b, q) in set2.iter().enumerate() {
-                sub.set(a, b, sims.get(p.index(), q.index()));
+        for (a, &p) in set1.iter().enumerate() {
+            for (b, &q) in set2.iter().enumerate() {
+                sub.set(a, b, lookup(p, q));
             }
         }
         let candidates = DirectedCandidates::select(&sub, self.direction, &self.selection);
         self.combined.compute(&candidates, set1.len(), set2.len())
+    }
+
+    /// The `Both`/`Max1` fast path of [`StructuralConfig::set_similarity_by`]:
+    /// the shared allocation-free pipeline over a clamped lookup (the
+    /// clamp mirrors the `SimMatrix::set` the materialized path performs).
+    fn set_similarity_max1(
+        &self,
+        set1: &[PathId],
+        set2: &[PathId],
+        lookup: impl Fn(PathId, PathId) -> f64,
+    ) -> f64 {
+        crate::combine::max1_both_combined(
+            set1.len(),
+            set2.len(),
+            |a, b| lookup(set1[a], set2[b]).clamp(0.0, 1.0),
+            self.combined,
+        )
     }
 }
 
@@ -148,17 +190,24 @@ impl ChildrenMatcher {
     }
 
     /// The sparse path: only the allowed inner × inner cells plus the
-    /// child pairs they transitively depend on, processed bottom-up. Cells
-    /// outside the closure keep the leaf matcher's value, exactly like the
-    /// dense path's inner × leaf cells — the engine masks them afterwards.
-    fn fill_sparse(&self, ctx: &MatchContext<'_>, mask: &PairMask, out: &mut SimMatrix) {
+    /// child pairs they transitively depend on, processed bottom-up into a
+    /// sparse overlay over the leaf table — no dense `m × n` buffer is
+    /// cloned or written. The output holds exactly the allowed cells
+    /// (computed inner values, leaf values elsewhere), which is what the
+    /// dense path's engine-masked result keeps too.
+    fn compute_sparse(
+        &self,
+        ctx: &MatchContext<'_>,
+        mask: &PairMask,
+        leaf_sims: &SimMatrix,
+    ) -> SimMatrix {
         let cols = ctx.cols();
         let sp = ctx.source_paths;
         let tp = ctx.target_paths;
 
         // Transitive dependency closure: an allowed inner pair (p, q)
         // needs every inner child pair in children(p) × children(q).
-        let mut needed = vec![false; ctx.rows() * cols];
+        let mut needed: HashSet<usize> = HashSet::new();
         let mut stack: Vec<(PathId, PathId)> = Vec::new();
         for i in 0..ctx.rows() {
             let p = ctx.source_elem(i);
@@ -167,8 +216,7 @@ impl ChildrenMatcher {
             }
             for j in mask.allowed_in_row(i) {
                 let q = ctx.target_elem(j);
-                if !tp.is_leaf(q) && !needed[i * cols + j] {
-                    needed[i * cols + j] = true;
+                if !tp.is_leaf(q) && needed.insert(i * cols + j) {
                     stack.push((p, q));
                 }
             }
@@ -182,8 +230,7 @@ impl ChildrenMatcher {
                 }
                 for &c2 in tp.children(q) {
                     let cell = c1.index() * cols + c2.index();
-                    if !tp.is_leaf(c2) && !needed[cell] {
-                        needed[cell] = true;
+                    if !tp.is_leaf(c2) && needed.insert(cell) {
                         stack.push((c1, c2));
                     }
                 }
@@ -191,15 +238,38 @@ impl ChildrenMatcher {
         }
 
         // Bottom-up: a pair's dependencies have strictly smaller source
-        // subtree height, so ordering by it computes children first.
+        // subtree height, so ordering by it computes children first. The
+        // computed inner values land in the overlay; reads fall back to
+        // the (shared, read-only) leaf table.
         let height = subtree_heights(sp);
         order.sort_by_key(|&(p, _)| height[p.index()]);
+        let mut overlay: HashMap<usize, f64> = HashMap::with_capacity(order.len());
         for (p, q) in order {
-            let sim = self
-                .config
-                .set_similarity(sp.children(p), tp.children(q), out);
-            out.set(p.index(), q.index(), sim);
+            let sim = self.config.set_similarity_by(
+                sp.children(p),
+                tp.children(q),
+                |a: PathId, b: PathId| {
+                    overlay
+                        .get(&(a.index() * cols + b.index()))
+                        .copied()
+                        .unwrap_or_else(|| leaf_sims.get(a.index(), b.index()))
+                },
+            );
+            overlay.insert(p.index() * cols + q.index(), sim.clamp(0.0, 1.0));
         }
+
+        // Materialize the allowed cells straight into CSR storage.
+        let mut b = SparseBuilder::new(ctx.rows(), cols);
+        for i in 0..ctx.rows() {
+            for j in mask.allowed_in_row(i) {
+                let v = overlay
+                    .get(&(i * cols + j))
+                    .copied()
+                    .unwrap_or_else(|| leaf_sims.get(i, j));
+                b.push(i, j, v);
+            }
+        }
+        b.finish()
     }
 }
 
@@ -209,12 +279,15 @@ impl Matcher for ChildrenMatcher {
     }
 
     fn compute(&self, ctx: &MatchContext<'_>) -> SimMatrix {
-        let mut out = self.config.leaf_sims(ctx);
+        let leaf_sims = self.config.leaf_sims(ctx);
         match ctx.restriction {
-            Some(mask) => self.fill_sparse(ctx, mask, &mut out),
-            None => self.fill_dense(ctx, &mut out),
+            Some(mask) => self.compute_sparse(ctx, mask, &leaf_sims),
+            None => {
+                let mut out = (*leaf_sims).clone();
+                self.fill_dense(ctx, &mut out);
+                out
+            }
         }
-        out
     }
 
     fn sparse_capable(&self) -> bool {
@@ -275,12 +348,13 @@ impl Matcher for LeavesMatcher {
 
     fn compute(&self, ctx: &MatchContext<'_>) -> SimMatrix {
         let leaf_sims = self.config.leaf_sims(ctx);
-        let mut out = SimMatrix::new(ctx.rows(), ctx.cols());
         // A leaf's leaf-set is itself, so every pair is handled uniformly:
         // sim(p, q) = combined similarity of leaves_under(p) × leaves_under(q).
         if let Some(mask) = ctx.restriction {
             // Sparse path: each cell depends only on the (full) leaf-level
-            // similarity table, so only the allowed pairs are computed.
+            // similarity table, so only the allowed pairs are computed —
+            // built straight into CSR storage, row by row.
+            let mut b = SparseBuilder::new(ctx.rows(), ctx.cols());
             let mut tgt_leaves: Vec<Option<Vec<PathId>>> = vec![None; ctx.cols()];
             for i in 0..ctx.rows() {
                 let mut allowed = mask.allowed_in_row(i).peekable();
@@ -291,10 +365,12 @@ impl Matcher for LeavesMatcher {
                 for j in allowed {
                     let l2 = tgt_leaves[j]
                         .get_or_insert_with(|| ctx.target_paths.leaves_under(ctx.target_elem(j)));
-                    out.set(i, j, self.config.set_similarity(&l1, l2, &leaf_sims));
+                    b.push(i, j, self.config.set_similarity(&l1, l2, &leaf_sims));
                 }
             }
+            b.finish()
         } else {
+            let mut out = SimMatrix::new(ctx.rows(), ctx.cols());
             let src_leaves: Vec<Vec<PathId>> = ctx
                 .source_paths
                 .iter()
@@ -310,8 +386,8 @@ impl Matcher for LeavesMatcher {
                     out.set(i, j, self.config.set_similarity(l1, l2, &leaf_sims));
                 }
             }
+            out
         }
-        out
     }
 
     fn sparse_capable(&self) -> bool {
@@ -508,6 +584,56 @@ mod tests {
             "PO2.DeliverTo.Address",
         );
         assert!(bad < sim, "{bad} vs {sim}");
+    }
+
+    /// The allocation-free `Both`/`Max1` fast path of `set_similarity`
+    /// computes exactly what the generic sub-matrix + select + combine
+    /// pipeline computes, for Average and Dice alike.
+    #[test]
+    fn max1_fast_path_matches_the_generic_pipeline() {
+        // Pseudo-random but deterministic similarity table over path ids,
+        // with plenty of zeros and exact ties to stress the tie-breaking.
+        let table = |p: PathId, q: PathId| -> f64 {
+            let h = (p.index() * 31 + q.index() * 17) % 13;
+            match h {
+                0..=4 => 0.0,
+                5..=8 => 0.5,
+                _ => h as f64 / 13.0,
+            }
+        };
+        let ids: Vec<PathId> = {
+            // Borrow real path ids from a small schema.
+            let s = po1();
+            let ps = PathSet::new(&s).unwrap();
+            ps.iter().collect()
+        };
+        for m in 1..5usize {
+            for n in 1..5usize {
+                let set1 = &ids[..m];
+                let set2 = &ids[ids.len() - n..];
+                for combined in [CombinedSim::Average, CombinedSim::Dice] {
+                    let config = StructuralConfig {
+                        combined,
+                        ..StructuralConfig::paper_default()
+                    };
+                    let fast = config.set_similarity_max1(set1, set2, table);
+                    // The generic pipeline, spelled out by hand.
+                    let mut sub = SimMatrix::new(m, n);
+                    for (a, &p) in set1.iter().enumerate() {
+                        for (b, &q) in set2.iter().enumerate() {
+                            sub.set(a, b, table(p, q));
+                        }
+                    }
+                    let cands =
+                        DirectedCandidates::select(&sub, config.direction, &config.selection);
+                    let generic = config.combined.compute(&cands, m, n);
+                    assert_eq!(fast, generic, "m={m} n={n} {combined:?}");
+                    // And set_similarity_by routes Max1/Both onto the fast
+                    // path without changing the value.
+                    assert_eq!(config.set_similarity_by(set1, set2, table), generic);
+                }
+            }
+        }
     }
 
     #[test]

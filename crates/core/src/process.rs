@@ -226,11 +226,16 @@ impl Default for Coma {
     }
 }
 
-/// Converts an in-memory cube into the repository's storage form.
+/// Converts an in-memory cube into the repository's storage form (a dense
+/// row-major value block, whatever storage the in-memory slices use).
 pub fn stored_cube(cube: &SimCube, ctx: &MatchContext<'_>) -> StoredCube {
     let mut values = Vec::with_capacity(cube.len() * cube.rows() * cube.cols());
+    let mut row = vec![0.0; cube.cols()];
     for k in 0..cube.len() {
-        values.extend_from_slice(cube.slice(k).values());
+        for i in 0..cube.rows() {
+            cube.slice(k).copy_row_into(i, &mut row);
+            values.extend_from_slice(&row);
+        }
     }
     StoredCube {
         source_schema: ctx.source.name().to_string(),

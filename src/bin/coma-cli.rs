@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! coma-cli <source-file> <target-file> [--matchers Name,NamePath,…]
-//!          [--threshold T] [--synonyms FILE] [--dot] [--json]
+//!          [--threshold T] [--synonyms FILE] [--dot] [--json] [--verbose]
 //!          [--prefilter M1,M2,…] [--prefilter-threshold T] [--prefilter-max N]
 //!          [--top-k K] [--iterate R] [--epsilon E]
 //! ```
@@ -27,6 +27,12 @@
 //! plan in the `Iterate` operator: it re-runs, each round restricted to
 //! the previous round's survivors, until the result moves by less than
 //! `--epsilon` (default 1e-6) or `R` rounds have run.
+//!
+//! `--verbose` reports, per executed stage, the similarity-cube shape,
+//! its physical storage (dense, sparse/CSR, or mixed — see
+//! `ARCHITECTURE.md` on how the engine picks per stage) and the number of
+//! physically stored cells, so you can see exactly when and where sparse
+//! storage engages.
 
 use coma::core::{Coma, MatchContext, MatchPlan, MatchStrategy, Selection, TopKPer};
 use coma::graph::{PathSet, Schema};
@@ -48,12 +54,13 @@ struct Options {
     top_k: Option<usize>,
     iterate: Option<usize>,
     epsilon: f64,
+    verbose: bool,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: coma-cli <source-file> <target-file> \
-         [--matchers M1,M2,…] [--threshold T] [--synonyms FILE] [--dot] [--json] \
+         [--matchers M1,M2,…] [--threshold T] [--synonyms FILE] [--dot] [--json] [--verbose] \
          [--prefilter M1,M2,…] [--prefilter-threshold T] [--prefilter-max N] \
          [--top-k K] [--iterate R] [--epsilon E]"
     );
@@ -80,6 +87,7 @@ fn parse_args() -> Result<Options, ExitCode> {
         top_k: None,
         iterate: None,
         epsilon: 1e-6,
+        verbose: false,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -118,6 +126,7 @@ fn parse_args() -> Result<Options, ExitCode> {
             "--synonyms" => opts.synonyms = Some(args.next().ok_or_else(usage)?),
             "--dot" => opts.dot = true,
             "--json" => opts.json = true,
+            "--verbose" | "-v" => opts.verbose = true,
             "--help" | "-h" => return Err(usage()),
             other => positional.push(other.to_string()),
         }
@@ -231,7 +240,28 @@ fn main() -> ExitCode {
         match coma.match_plan(&source, &target, &plan) {
             Ok(outcome) => {
                 for stage in &outcome.stages {
-                    eprintln!("# stage {} -> {} pair(s)", stage.label, stage.result.len());
+                    if opts.verbose {
+                        let cube = &stage.cube;
+                        eprintln!(
+                            "# stage {} -> {} pair(s); cube {}x{}x{}, {} storage, \
+                             {} stored entr{} ({} dense cells)",
+                            stage.label,
+                            stage.result.len(),
+                            cube.len(),
+                            cube.rows(),
+                            cube.cols(),
+                            cube.storage_summary(),
+                            cube.stored_entries(),
+                            if cube.stored_entries() == 1 {
+                                "y"
+                            } else {
+                                "ies"
+                            },
+                            cube.len() * cube.rows() * cube.cols(),
+                        );
+                    } else {
+                        eprintln!("# stage {} -> {} pair(s)", stage.label, stage.result.len());
+                    }
                 }
                 outcome.result
             }
@@ -242,7 +272,19 @@ fn main() -> ExitCode {
         }
     } else {
         match coma.match_schemas(&source, &target, &strategy) {
-            Ok(o) => o.result,
+            Ok(o) => {
+                if opts.verbose {
+                    eprintln!(
+                        "# cube {}x{}x{}, {} storage, {} stored entries",
+                        o.cube.len(),
+                        o.cube.rows(),
+                        o.cube.cols(),
+                        o.cube.storage_summary(),
+                        o.cube.stored_entries(),
+                    );
+                }
+                o.result
+            }
             Err(e) => {
                 eprintln!("error: {e}");
                 return ExitCode::FAILURE;

@@ -3,12 +3,14 @@
 //! one-stage plan is bit-identical to the legacy sequential pipeline,
 //! `Par` leaf order never changes results (determinism under
 //! parallelism), `TopK` only ever narrows its input, sparse and dense
-//! execution of a masked plan agree bit for bit, and `Iterate` terminates
-//! within its round budget.
+//! execution of a masked plan agree bit for bit, sparse (CSR) *storage*
+//! is value-identical to dense storage through aggregation, selection and
+//! whole-plan execution, and `Iterate` terminates within its round
+//! budget.
 
 use coma::core::{
-    Aggregation, Coma, CombinationStrategy, CombinedSim, Direction, MatchContext, MatchPlan,
-    PlanEngine, Selection, TopKPer,
+    Aggregation, Coma, CombinationStrategy, CombinedSim, DirectedCandidates, Direction,
+    MatchContext, MatchPlan, PlanEngine, Selection, SimCube, TopKPer,
 };
 use coma::graph::{PathSet, Schema};
 use proptest::prelude::*;
@@ -262,6 +264,52 @@ proptest! {
         }
     }
 
+    /// Aggregation and directed selection are storage-agnostic: running
+    /// them over a cube whose slices were converted to sparse (CSR)
+    /// storage yields exactly the dense results — per cell and per
+    /// selected candidate — for every aggregation, direction and
+    /// selection.
+    #[test]
+    fn aggregation_and_selection_agree_across_storages(
+        mask in 1usize..256,
+        agg in 0usize..4,
+        dir in 0usize..3,
+        sel in (0usize..5, 0usize..4, 0.001f64..0.2, 0.05f64..0.9),
+    ) {
+        let f = fixture();
+        let names = subset(mask);
+        let (max_n, flags, delta, threshold) = sel;
+        let strategy = combination(names.len(), agg, dir, max_n, flags, delta, threshold, 0);
+        let ctx = MatchContext::new(
+            &f.source,
+            &f.target,
+            &f.source_paths,
+            &f.target_paths,
+            f.coma.aux(),
+        );
+
+        let dense_cube = f.coma.execute_matchers(&ctx, &names).unwrap();
+        let mut sparse_cube = SimCube::new();
+        for (k, name) in dense_cube.matcher_names().iter().enumerate() {
+            sparse_cube.push(name.clone(), dense_cube.slice(k).to_sparse());
+        }
+        prop_assert!(sparse_cube.all_sparse());
+        prop_assert_eq!(&sparse_cube, &dense_cube); // equality is by value
+
+        let dense_agg = strategy.aggregation.aggregate(&dense_cube);
+        let sparse_agg = strategy.aggregation.aggregate(&sparse_cube);
+        prop_assert!(sparse_agg.is_sparse());
+        prop_assert_eq!(&sparse_agg, &dense_agg);
+        prop_assert_eq!(sparse_agg.to_dense(), dense_agg.clone());
+
+        let dense_sel =
+            DirectedCandidates::select(&dense_agg, strategy.direction, &strategy.selection);
+        let sparse_sel =
+            DirectedCandidates::select(&sparse_agg, strategy.direction, &strategy.selection);
+        prop_assert_eq!(dense_sel.pairs(), sparse_sel.pairs());
+        prop_assert_eq!(dense_sel, sparse_sel);
+    }
+
     /// Sparse and dense execution of the same masked plan are
     /// bit-identical — results and every stage cube.
     #[test]
@@ -337,4 +385,58 @@ proptest! {
             &outcome.result.candidates
         );
     }
+}
+
+/// The storage decision is observable end to end: a `TopK(1)`-pruned mask
+/// is far below the density cutoff, so the sparse engine stores the `TopK`
+/// and refine stage cubes in CSR while the `with_sparse(false)` engine
+/// keeps every stage dense — and both report identical values anyway.
+#[test]
+fn pruned_stages_engage_sparse_storage() {
+    let f = fixture();
+    let ctx = MatchContext::new(
+        &f.source,
+        &f.target,
+        &f.source_paths,
+        &f.target_paths,
+        f.coma.aux(),
+    );
+    let mut liberal = CombinationStrategy::paper_default();
+    liberal.selection = Selection::max_n(4).with_threshold(0.2);
+    let plan = MatchPlan::seq(
+        MatchPlan::matchers_with(["Name"], liberal)
+            .top_k(1, TopKPer::Both)
+            .unwrap(),
+        MatchPlan::matchers(["Name", "TypeName", "Children", "Leaves"]),
+    );
+
+    let sparse = PlanEngine::new(f.coma.library())
+        .execute(&ctx, &plan)
+        .unwrap();
+    let dense = PlanEngine::new(f.coma.library())
+        .with_sparse(false)
+        .execute(&ctx, &plan)
+        .unwrap();
+
+    // Stage 0 (unmasked Name filter) is dense in both runs; the pruned
+    // TopK and refine stages are CSR-stored only on the sparse path.
+    assert!(!sparse.stages[0].cube.all_sparse());
+    assert!(
+        sparse.stages[1].cube.all_sparse(),
+        "TopK stage should store sparse, got {}",
+        sparse.stages[1].cube.storage_summary()
+    );
+    assert!(
+        sparse.stages[2].cube.all_sparse(),
+        "refine stage should store sparse, got {}",
+        sparse.stages[2].cube.storage_summary()
+    );
+    for stage in &dense.stages {
+        assert_eq!(stage.cube.storage_summary(), "dense");
+    }
+    // Sparse storage holds a fraction of the cells yet equal values.
+    let (s, d) = (&sparse.stages[2].cube, &dense.stages[2].cube);
+    assert!(s.stored_entries() * 2 < d.stored_entries());
+    assert_eq!(s, d);
+    assert_eq!(sparse.result, dense.result);
 }

@@ -21,12 +21,20 @@ use coma_core::{CombinationStrategy, MatchPlan, MatchStrategy, Selection, TopKPe
 /// Shared by the `plan_operators` bench and the `perf_smoke` gate so the
 /// numbers humans read and the numbers CI gates come from the same plan.
 pub fn topk_pruned_plan() -> MatchPlan {
-    let mut liberal = CombinationStrategy::paper_default();
-    liberal.selection = Selection::max_n(10).with_threshold(0.3);
     MatchPlan::seq(
-        MatchPlan::matchers_with(["Name"], liberal)
-            .top_k(5, TopKPer::Both)
-            .expect("k > 0"),
+        liberal_name_stage().top_k(5, TopKPer::Both).expect("k > 0"),
         MatchPlan::from(&MatchStrategy::paper_default()),
     )
+}
+
+/// The liberal `Name` first stage of [`topk_pruned_plan`], standalone:
+/// an unrestricted (dense) full-cross-product computation — exactly the
+/// stage the engine's row-sharded execution targets (its matrix is what
+/// `perf_smoke` times single-shard vs sharded on the `deep20000`
+/// workload), and the cheap filter to put in front of an expensive
+/// refine on any large task.
+pub fn liberal_name_stage() -> MatchPlan {
+    let mut liberal = CombinationStrategy::paper_default();
+    liberal.selection = Selection::max_n(10).with_threshold(0.3);
+    MatchPlan::matchers_with(["Name"], liberal)
 }

@@ -552,6 +552,136 @@ impl SimMatrix {
         worst
     }
 
+    /// The sub-matrix holding rows `range` (columns unchanged), keeping
+    /// the storage mode. Row `i` of the output is row `range.start + i`
+    /// of the input; an empty range yields a `0 × n` matrix.
+    ///
+    /// This is the default [`Matcher::compute_rows`](crate::Matcher)
+    /// implementation's slicing step — and the inverse of
+    /// [`SimMatrix::from_row_shards`].
+    pub fn row_range(&self, range: std::ops::Range<usize>) -> SimMatrix {
+        assert!(
+            range.start <= range.end && range.end <= self.m,
+            "row range {range:?} out of bounds for {} rows",
+            self.m
+        );
+        let rows = range.len();
+        match &self.storage {
+            SimStorage::Dense(values) => SimMatrix {
+                m: rows,
+                n: self.n,
+                storage: SimStorage::Dense(
+                    values[range.start * self.n..range.end * self.n].to_vec(),
+                ),
+            },
+            SimStorage::Sparse(csr) => {
+                let (lo, hi) = (csr.offsets[range.start], csr.offsets[range.end]);
+                let offsets = csr.offsets[range.start..=range.end]
+                    .iter()
+                    .map(|o| o - lo)
+                    .collect();
+                SimMatrix {
+                    m: rows,
+                    n: self.n,
+                    storage: SimStorage::Sparse(Csr {
+                        offsets,
+                        cols: csr.cols[lo..hi].to_vec(),
+                        vals: csr.vals[lo..hi].to_vec(),
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Assembles row shards back into one matrix, in the given order: the
+    /// output's row count is the sum of the shards' and every shard must
+    /// have `cols` columns. This is how the plan engine stitches the
+    /// results of row-sharded matcher execution ([`Matcher::compute_rows`]
+    /// over contiguous ranges) into the single stage matrix:
+    ///
+    /// * **one shard** — returned as-is, no copy (the engine never takes
+    ///   this path, but callers driving the partition themselves may);
+    /// * **all shards sparse** — their CSR storages are concatenated
+    ///   (offsets rebased, columns/values appended), no dense buffer ever
+    ///   materializes;
+    /// * **all shards dense** — slab-wise appends into one buffer
+    ///   reserved up front (one memcpy per shard, no zero-fill pass);
+    /// * **mixed** — one dense `m × n` buffer is filled row by row via
+    ///   [`SimMatrix::copy_row_into`] (a memcpy per dense shard row,
+    ///   zero-fill + scatter per sparse shard row).
+    ///
+    /// Either way the result is bit-identical to computing the matrix in
+    /// one piece, because each cell is copied verbatim from exactly one
+    /// shard.
+    ///
+    /// [`Matcher::compute_rows`]: crate::Matcher::compute_rows
+    pub fn from_row_shards(cols: usize, mut shards: Vec<SimMatrix>) -> SimMatrix {
+        for shard in &shards {
+            assert_eq!(
+                shard.cols(),
+                cols,
+                "all row shards must have {cols} columns"
+            );
+        }
+        // A single shard already is the whole matrix: hand it back
+        // without copying (the degenerate case of every assembly below).
+        if shards.len() == 1 {
+            return shards.pop().expect("one shard");
+        }
+        let rows: usize = shards.iter().map(|s| s.rows()).sum();
+        if shards.iter().all(|s| s.is_sparse()) {
+            let mut csr = Csr {
+                offsets: Vec::with_capacity(rows + 1),
+                cols: Vec::with_capacity(shards.iter().map(|s| s.stored_entries()).sum()),
+                vals: Vec::with_capacity(shards.iter().map(|s| s.stored_entries()).sum()),
+            };
+            csr.offsets.push(0);
+            for shard in &shards {
+                let SimStorage::Sparse(part) = &shard.storage else {
+                    unreachable!("checked sparse above");
+                };
+                let base = csr.cols.len();
+                csr.offsets
+                    .extend(part.offsets[1..].iter().map(|o| base + o));
+                csr.cols.extend_from_slice(&part.cols);
+                csr.vals.extend_from_slice(&part.vals);
+            }
+            return SimMatrix {
+                m: rows,
+                n: cols,
+                storage: SimStorage::Sparse(csr),
+            };
+        }
+        // All-dense shards append slab-wise into one buffer reserved up
+        // front — no zero-fill pass, one memcpy per shard. This matters:
+        // at 20k paths the buffer is ~3 GiB, and assembly traffic is the
+        // sharded path's only serial overhead.
+        if shards.iter().all(|s| !s.is_sparse()) {
+            let mut values = Vec::with_capacity(rows * cols);
+            for shard in &shards {
+                let SimStorage::Dense(part) = &shard.storage else {
+                    unreachable!("checked dense above");
+                };
+                values.extend_from_slice(part);
+            }
+            return SimMatrix {
+                m: rows,
+                n: cols,
+                storage: SimStorage::Dense(values),
+            };
+        }
+        // Mixed storages: stitch row by row into a dense buffer.
+        let mut out = SimMatrix::new(rows, cols);
+        let mut next = 0;
+        for shard in &shards {
+            for i in 0..shard.rows() {
+                shard.copy_row_into(i, out.row_mut(next));
+                next += 1;
+            }
+        }
+        out
+    }
+
     /// Zeroes every cell the predicate rejects: dense cells are
     /// overwritten with `0.0`, sparse entries are dropped. The logical
     /// result is identical either way.
@@ -1064,6 +1194,84 @@ mod tests {
         all.push("A", SimMatrix::sparse(2, 2));
         assert!(all.all_sparse());
         assert_eq!(all.storage_summary(), "sparse");
+    }
+
+    #[test]
+    fn row_range_slices_both_storages() {
+        let dense = matrix(5, 3, |i, j| {
+            if (i + j) % 3 == 0 {
+                0.0
+            } else {
+                0.05 * (i * 3 + j) as f64
+            }
+        });
+        let sparse = dense.to_sparse();
+        for (lo, hi) in [(0, 5), (1, 4), (2, 2), (0, 0), (5, 5), (3, 5)] {
+            let d = dense.row_range(lo..hi);
+            let s = sparse.row_range(lo..hi);
+            assert_eq!(d.rows(), hi - lo);
+            assert_eq!(d.cols(), 3);
+            assert!(!d.is_sparse());
+            assert!(s.is_sparse());
+            assert_eq!(d, s, "rows {lo}..{hi}");
+            for i in lo..hi {
+                for j in 0..3 {
+                    assert_eq!(d.get(i - lo, j), dense.get(i, j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn row_range_rejects_out_of_bounds_ranges() {
+        let _ = matrix(3, 2, |_, _| 0.5).row_range(2..6);
+    }
+
+    #[test]
+    fn from_row_shards_reassembles_row_ranges() {
+        let full = matrix(7, 4, |i, j| {
+            if (i * 4 + j) % 3 == 0 {
+                0.0
+            } else {
+                0.03 * (i * 4 + j) as f64
+            }
+        });
+        // Uneven boundaries, including an empty shard in the middle.
+        let bounds = [0usize, 3, 3, 5, 7];
+        let dense_shards: Vec<SimMatrix> = bounds
+            .windows(2)
+            .map(|w| full.row_range(w[0]..w[1]))
+            .collect();
+        let sparse_shards: Vec<SimMatrix> = dense_shards.iter().map(|s| s.to_sparse()).collect();
+        // All-dense shards stitch into a dense matrix.
+        let d = SimMatrix::from_row_shards(4, dense_shards.clone());
+        assert!(!d.is_sparse());
+        assert_eq!(d, full);
+        // All-sparse shards concatenate into CSR, same values.
+        let s = SimMatrix::from_row_shards(4, sparse_shards.clone());
+        assert!(s.is_sparse());
+        assert_eq!(s, full);
+        assert_eq!(s.stored_entries(), full.to_sparse().stored_entries());
+        // Mixed shards fall back to dense assembly, same values.
+        let mut mixed = dense_shards;
+        mixed[1] = sparse_shards[1].clone();
+        mixed[3] = sparse_shards[3].clone();
+        let m = SimMatrix::from_row_shards(4, mixed);
+        assert!(!m.is_sparse());
+        assert_eq!(m, full);
+        // Degenerate: a single empty shard and the empty shard list.
+        assert_eq!(
+            SimMatrix::from_row_shards(4, vec![SimMatrix::new(0, 4)]).rows(),
+            0
+        );
+        assert_eq!(SimMatrix::from_row_shards(4, Vec::new()).rows(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must have 3 columns")]
+    fn from_row_shards_rejects_column_mismatch() {
+        let _ = SimMatrix::from_row_shards(3, vec![SimMatrix::new(2, 2)]);
     }
 
     #[test]

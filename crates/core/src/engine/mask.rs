@@ -193,6 +193,12 @@ impl PairMask {
     /// [`density`](PairMask::density) says the pair space has been pruned.
     pub fn masked_sparse(&self, full: &SimMatrix) -> SimMatrix {
         debug_assert_eq!((full.rows(), full.cols()), (self.rows, self.cols));
+        // Empty pair space (a 0 × n / m × 0 task, or a zero-row shard):
+        // nothing to scan, and `density()` reports 0.0 for it, so the
+        // sparse path must handle it without touching `full`'s rows.
+        if self.rows == 0 || self.cols == 0 {
+            return SimMatrix::sparse(self.rows, self.cols);
+        }
         let mut b = crate::cube::SparseBuilder::new(self.rows, self.cols);
         for i in 0..self.rows {
             for (j, v) in full.row_entries(i) {

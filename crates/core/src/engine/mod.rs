@@ -10,6 +10,14 @@
 //!   [`MatchPlan::Matchers`] leaf run on scoped threads (capped by the
 //!   machine's available parallelism), with slices assembled in
 //!   declaration order so results stay deterministic;
+//! * **row-sharded dense execution** — an unrestricted (full
+//!   cross-product) compute of a
+//!   [`row_shardable`](crate::Matcher::row_shardable) matcher is split
+//!   into contiguous row ranges ([`shard_ranges`]) computed via
+//!   [`compute_rows`](crate::Matcher::compute_rows) on scoped threads and
+//!   stitched back together ([`SimMatrix::from_row_shards`]) —
+//!   bit-identical to the single-shard computation for any shard count
+//!   ([`PlanEngine::with_shards`] forces one; property-tested);
 //! * **memoized shared work** — a per-execution [`MatchMemo`] caches
 //!   tokenizations, name-pair similarities and per-matcher matrices, so
 //!   hybrids and overlapping sub-plans stop recomputing constituents (with
@@ -102,6 +110,14 @@ pub struct StageOutcome {
     pub cube: SimCube,
     /// The stage's selected match result.
     pub result: MatchResult,
+    /// The largest number of row shards any of this stage's matcher
+    /// slices was computed in (see [`PlanEngine::with_shards`]): `1` for
+    /// unsharded, memoized-hit and non-leaf stages. Masked stages are
+    /// never sharded themselves, but report the shard count of a fresh
+    /// full compute they triggered (a non-cell-local matcher whose full
+    /// matrix was computed, memoized, then masked). Surfaced by
+    /// `coma-cli --verbose`.
+    pub shards: usize,
 }
 
 /// The outcome of executing a plan: the final match result plus every
@@ -138,12 +154,46 @@ impl PlanOutcome {
 /// at the stage boundary, based on [`PairMask::density`].
 const SPARSE_DENSITY_CUTOFF: f64 = 0.5;
 
+/// Minimum rows per shard in automatic shard sizing: below this, the
+/// per-thread setup (spawn, per-shard similarity tables) outweighs the
+/// row work, so small tasks stay unsharded.
+const MIN_SHARD_ROWS: usize = 192;
+
+/// Splits `rows` into `shards` contiguous, non-empty ranges covering
+/// every row exactly once, in row order: the first `rows % shards` ranges
+/// hold one extra row. The shard count is clamped to `rows` (never a
+/// zero-row shard); `rows == 0` yields no ranges at all.
+///
+/// This is the row partition behind the engine's sharded dense-stage
+/// execution (see [`PlanEngine::with_shards`]) and is reused by the bench
+/// harness for per-shard timing.
+pub fn shard_ranges(rows: usize, shards: usize) -> Vec<std::ops::Range<usize>> {
+    if rows == 0 {
+        return Vec::new();
+    }
+    let shards = shards.clamp(1, rows);
+    let base = rows / shards;
+    let extra = rows % shards;
+    let mut ranges = Vec::with_capacity(shards);
+    let mut start = 0;
+    for s in 0..shards {
+        let len = base + usize::from(s < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, rows);
+    ranges
+}
+
 /// The plan execution engine: borrows a matcher library and executes plans
 /// against prepared match contexts.
 pub struct PlanEngine<'l> {
     library: &'l MatcherLibrary,
     parallel: bool,
     sparse: bool,
+    /// Forced row-shard count for unrestricted computes; `None` = size
+    /// automatically from available parallelism.
+    shards: Option<usize>,
 }
 
 impl<'l> PlanEngine<'l> {
@@ -154,13 +204,30 @@ impl<'l> PlanEngine<'l> {
             library,
             parallel: true,
             sparse: true,
+            shards: None,
         }
     }
 
     /// Disables (or re-enables) parallel leaf execution; results are
-    /// identical either way.
+    /// identical either way. Disabling it also disables row-sharded
+    /// matcher execution.
     pub fn with_parallelism(mut self, parallel: bool) -> PlanEngine<'l> {
         self.parallel = parallel;
+        self
+    }
+
+    /// Forces the row-shard count for unrestricted (dense) matcher
+    /// computation, instead of sizing it from
+    /// [`available_parallelism`](std::thread::available_parallelism):
+    /// [`row_shardable`](crate::Matcher::row_shardable) matchers compute
+    /// `shards` contiguous row ranges on scoped threads and the engine
+    /// stitches them back into one matrix — bit-identical to unsharded
+    /// execution (property-tested), whatever the count. Values are
+    /// clamped to at least 1 and at most the task's row count (no
+    /// zero-row shards); `with_shards(1)` is the explicit single-shard
+    /// path benchmarks compare against.
+    pub fn with_shards(mut self, shards: usize) -> PlanEngine<'l> {
+        self.shards = Some(shards.max(1));
         self
     }
 
@@ -181,6 +248,59 @@ impl<'l> PlanEngine<'l> {
     /// pair space below the density cutoff.
     fn sparse_storage(&self, mask: &PairMask) -> bool {
         self.sparse && mask.density() <= SPARSE_DENSITY_CUTOFF
+    }
+
+    /// How many row shards an unrestricted compute over `rows` rows
+    /// should use: the forced count when [`PlanEngine::with_shards`] set
+    /// one, otherwise the `budget` of workers this compute may occupy
+    /// (`available_parallelism()` divided by the leaf's concurrent
+    /// matcher fan-out, so a multi-matcher leaf never oversubscribes the
+    /// machine quadratically), bounded so every shard keeps at least
+    /// [`MIN_SHARD_ROWS`] rows. Always 1 when parallelism is off, and
+    /// clamped so no shard is ever empty.
+    fn planned_shards(&self, rows: usize, budget: usize) -> usize {
+        if !self.parallel || rows == 0 {
+            return 1;
+        }
+        match self.shards {
+            Some(forced) => forced.min(rows),
+            None => budget.min(rows.div_ceil(MIN_SHARD_ROWS)).max(1),
+        }
+    }
+
+    /// One matcher's full (unrestricted) matrix, row-sharded across
+    /// scoped threads when the matcher supports it and the task is big
+    /// enough — assembled in row order, bit-identical to a single
+    /// [`Matcher::compute`] call. Returns the matrix and the number of
+    /// shards actually executed. `budget` is the worker budget for
+    /// automatic shard sizing (see [`PlanEngine::planned_shards`]).
+    fn compute_unrestricted(
+        &self,
+        ctx: MatchContext<'_>,
+        matcher: &Arc<dyn Matcher>,
+        budget: usize,
+    ) -> (SimMatrix, usize) {
+        let shards = self.planned_shards(ctx.rows(), budget);
+        if shards <= 1 || !matcher.row_shardable() {
+            return (matcher.compute(&ctx), 1);
+        }
+        let ranges = shard_ranges(ctx.rows(), shards);
+        let mut parts: Vec<Option<SimMatrix>> = (0..ranges.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (slot, range) in parts.iter_mut().zip(&ranges) {
+                let range = range.clone();
+                scope.spawn(move || *slot = Some(matcher.compute_rows(&ctx, range)));
+            }
+        });
+        let shards = ranges.len();
+        let matrix = SimMatrix::from_row_shards(
+            ctx.cols(),
+            parts
+                .into_iter()
+                .map(|p| p.expect("every shard thread ran to completion"))
+                .collect(),
+        );
+        (matrix, shards)
     }
 
     /// An `m × n` matrix holding a result's selected pair similarities
@@ -237,13 +357,14 @@ impl<'l> PlanEngine<'l> {
                 matchers,
                 combination,
             } => {
-                let cube = self.execute_leaf(ctx, matchers, mask)?;
+                let (cube, shards) = self.execute_leaf(ctx, matchers, mask)?;
                 let result =
                     combine_cube_with_feedback(&cube, &ctx, combination, &ctx.aux.feedback);
                 stages.push(StageOutcome {
                     label: plan.label(),
                     cube,
                     result: result.clone(),
+                    shards,
                 });
                 Ok(result)
             }
@@ -283,6 +404,7 @@ impl<'l> PlanEngine<'l> {
                     label: plan.label(),
                     cube,
                     result: result.clone(),
+                    shards: 1,
                 });
                 Ok(result)
             }
@@ -305,6 +427,7 @@ impl<'l> PlanEngine<'l> {
                     label: plan.label(),
                     cube,
                     result: result.clone(),
+                    shards: 1,
                 });
                 Ok(result)
             }
@@ -344,6 +467,7 @@ impl<'l> PlanEngine<'l> {
                     label: plan.label(),
                     cube,
                     result: result.clone(),
+                    shards: 1,
                 });
                 Ok(result)
             }
@@ -383,6 +507,7 @@ impl<'l> PlanEngine<'l> {
                     label: plan.label(),
                     cube,
                     result: result.clone(),
+                    shards: 1,
                 });
                 Ok(result)
             }
@@ -409,6 +534,7 @@ impl<'l> PlanEngine<'l> {
                     label: plan.label(),
                     cube,
                     result: result.clone(),
+                    shards: 1,
                 });
                 Ok(result)
             }
@@ -418,12 +544,15 @@ impl<'l> PlanEngine<'l> {
     /// Executes a leaf's matchers — in parallel when the machine and the
     /// engine configuration allow it — and assembles their slices into a
     /// cube in declaration order (deterministic under any scheduling).
+    /// Also returns the stage's shard count: the largest number of row
+    /// shards any fresh unrestricted slice compute used (see
+    /// [`PlanEngine::with_shards`]).
     fn execute_leaf(
         &self,
         ctx: MatchContext<'_>,
         names: &[String],
         mask: Option<&PairMask>,
-    ) -> Result<SimCube> {
+    ) -> Result<(SimCube, usize)> {
         let matchers: Vec<(String, Arc<dyn Matcher>)> = names
             .iter()
             .map(|name| {
@@ -434,14 +563,25 @@ impl<'l> PlanEngine<'l> {
             })
             .collect::<Result<_>>()?;
 
-        let compute_one = |matcher: &Arc<dyn Matcher>| -> Arc<SimMatrix> {
-            self.compute_slice(ctx, matcher, mask)
-        };
-
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        let mut slots: Vec<Option<Arc<SimMatrix>>> = (0..matchers.len()).map(|_| None).collect();
+        // The worker budget each slice compute may occupy with row
+        // shards: the whole machine for a single-matcher leaf, the
+        // remainder after the leaf's own matcher fan-out otherwise —
+        // total threads stay bounded by ~`workers` either way.
+        let fan_out = if self.parallel && workers > 1 && matchers.len() > 1 {
+            workers.min(matchers.len())
+        } else {
+            1
+        };
+        let budget = (workers / fan_out).max(1);
+        let compute_one = |matcher: &Arc<dyn Matcher>| -> (Arc<SimMatrix>, usize) {
+            self.compute_slice(ctx, matcher, mask, budget)
+        };
+
+        let mut slots: Vec<Option<(Arc<SimMatrix>, usize)>> =
+            (0..matchers.len()).map(|_| None).collect();
         if self.parallel && workers > 1 && matchers.len() > 1 {
             // At most `workers` threads, each owning a contiguous chunk of
             // matcher slots.
@@ -464,39 +604,60 @@ impl<'l> PlanEngine<'l> {
         }
 
         let mut cube = SimCube::new();
+        let mut shards = 1;
         for ((name, _), slot) in matchers.iter().zip(slots) {
-            cube.push_shared(name.clone(), slot.expect("slice computed"));
+            let (slice, slice_shards) = slot.expect("slice computed");
+            shards = shards.max(slice_shards);
+            cube.push_shared(name.clone(), slice);
         }
-        Ok(cube)
+        Ok((cube, shards))
     }
 
-    /// One matcher's slice, through the memo and under the stage mask.
-    /// The slice's storage follows [`PlanEngine::sparse_storage`]: pruned
-    /// stages keep CSR slices, unpruned (or dense-mode) stages keep dense
-    /// ones — with identical logical values either way.
+    /// One matcher's slice, through the memo and under the stage mask,
+    /// plus the number of row shards the computation used (1 unless a
+    /// fresh unrestricted compute was sharded). The slice's storage
+    /// follows [`PlanEngine::sparse_storage`]: pruned stages keep CSR
+    /// slices, unpruned (or dense-mode) stages keep dense ones — with
+    /// identical logical values either way.
     fn compute_slice(
         &self,
         ctx: MatchContext<'_>,
         matcher: &Arc<dyn Matcher>,
         mask: Option<&PairMask>,
-    ) -> Arc<SimMatrix> {
+        budget: usize,
+    ) -> (Arc<SimMatrix>, usize) {
         let identity = matcher_identity(matcher);
         let name = matcher.name();
+        // Records the shard count of a fresh full compute; stays 1 on a
+        // memo hit (the memoizing closure never runs).
+        let sharded = std::cell::Cell::new(1);
+        let full_compute = || {
+            let (matrix, shards) = self.compute_unrestricted(ctx, matcher, budget);
+            sharded.set(shards);
+            matrix
+        };
         match (mask, ctx.memo) {
             // Unrestricted: memoize the full matrix across stages and
             // sub-plans — the stage cube shares the memo's allocation.
-            (None, Some(memo)) => memo.matrix(name, identity, || matcher.compute(&ctx)),
-            (None, None) => Arc::new(matcher.compute(&ctx)),
+            (None, Some(memo)) => {
+                let slice = memo.matrix(name, identity, full_compute);
+                (slice, sharded.get())
+            }
+            (None, None) => {
+                let slice = Arc::new(full_compute());
+                (slice, sharded.get())
+            }
             (Some(mask), memo) => {
                 let sparse_store = self.sparse_storage(mask);
                 // A full matrix computed earlier is cheaper to mask than to
                 // recompute.
                 if let Some(full) = memo.and_then(|m| m.cached_matrix(name, identity)) {
-                    return Arc::new(if sparse_store {
+                    let slice = Arc::new(if sparse_store {
                         mask.masked_sparse(&full)
                     } else {
                         mask.masked_clone(&full)
                     });
+                    return (slice, 1);
                 }
                 // Cell-local matchers always honor the restriction; other
                 // sparse-capable matchers (the structural ones) take the
@@ -513,26 +674,29 @@ impl<'l> PlanEngine<'l> {
                     // normalizes the slice to the stage's storage mode).
                     let restricted = ctx.with_restriction(mask);
                     let out = matcher.compute(&restricted);
-                    Arc::new(if sparse_store {
+                    let slice = Arc::new(if sparse_store {
                         mask.masked_sparse(&out)
                     } else {
                         let mut out = out.into_dense();
                         mask.apply(&mut out);
                         out
-                    })
+                    });
+                    (slice, 1)
                 } else {
                     // Global matchers need the full search space for
                     // correct set similarities; compute (and memoize)
-                    // full, then mask the copy.
+                    // full — row-sharded when the matcher supports it —
+                    // then mask the copy.
                     let full = match memo {
-                        Some(m) => m.matrix(name, identity, || matcher.compute(&ctx)),
-                        None => Arc::new(matcher.compute(&ctx)),
+                        Some(m) => m.matrix(name, identity, full_compute),
+                        None => Arc::new(full_compute()),
                     };
-                    Arc::new(if sparse_store {
+                    let slice = Arc::new(if sparse_store {
                         mask.masked_sparse(&full)
                     } else {
                         mask.masked_clone(&full)
-                    })
+                    });
+                    (slice, sharded.get())
                 }
             }
         }
@@ -965,6 +1129,128 @@ mod tests {
             .execute(&ctx, &plan)
             .unwrap_err();
         assert!(matches!(err, CoreError::UnknownMatcher(name) if name == "Bogus"));
+    }
+
+    /// Shard boundaries partition the row space: contiguous, in order,
+    /// never empty, covering every row exactly once — including when
+    /// `rows % shards != 0` and when more shards than rows are requested.
+    #[test]
+    fn shard_ranges_cover_every_row_exactly_once() {
+        for rows in 0..40 {
+            for shards in [1, 2, 3, 5, 7, 8, rows + 1, rows + 13] {
+                let ranges = shard_ranges(rows, shards);
+                if rows == 0 {
+                    assert!(ranges.is_empty(), "rows=0 must shard to nothing");
+                    continue;
+                }
+                assert!(ranges.len() <= shards.max(1), "rows={rows} shards={shards}");
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "gap before {r:?} (rows={rows})");
+                    assert!(!r.is_empty(), "zero-row shard {r:?} (rows={rows})");
+                    next = r.end;
+                }
+                assert_eq!(next, rows, "rows={rows} shards={shards}");
+                // Balanced: shard sizes differ by at most one row.
+                let sizes: Vec<usize> = ranges.iter().map(ExactSizeIterator::len).collect();
+                let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(hi - lo <= 1, "unbalanced shards {sizes:?}");
+            }
+        }
+    }
+
+    /// Row-sharded execution is bit-identical to single-shard execution —
+    /// every stage cube and result, for any forced shard count (including
+    /// more shards than rows), across flat and pruned plans.
+    #[test]
+    fn sharded_execution_matches_unsharded() {
+        let c = coma();
+        let (s1, s2) = (po1(), po2());
+        let p1 = PathSet::new(&s1).unwrap();
+        let p2 = PathSet::new(&s2).unwrap();
+        let ctx = MatchContext::new(&s1, &s2, &p1, &p2, c.aux()).with_repository(c.repository());
+
+        let plans = [
+            MatchPlan::from(&MatchStrategy::paper_default()),
+            MatchPlan::two_stage(
+                ["Name"],
+                Selection::max_n(4).with_threshold(0.3),
+                &MatchStrategy::paper_default(),
+            ),
+        ];
+        for plan in &plans {
+            let baseline = PlanEngine::new(c.library())
+                .with_shards(1)
+                .execute(&ctx, plan)
+                .unwrap();
+            assert!(baseline.stages.iter().all(|s| s.shards == 1));
+            for shards in [2, 7, ctx.rows() + 1] {
+                let sharded = PlanEngine::new(c.library())
+                    .with_shards(shards)
+                    .execute(&ctx, plan)
+                    .unwrap();
+                assert_eq!(sharded.result, baseline.result, "shards={shards}");
+                assert_eq!(sharded.stages.len(), baseline.stages.len());
+                for (a, b) in sharded.stages.iter().zip(&baseline.stages) {
+                    assert_eq!(a.cube, b.cube, "stage {} (shards={shards})", a.label);
+                    assert_eq!(a.result, b.result);
+                }
+                // The unrestricted first stage really ran sharded (shard
+                // counts clamp to the row count).
+                assert_eq!(
+                    sharded.stages[0].shards,
+                    shards.min(ctx.rows()),
+                    "shards={shards}"
+                );
+            }
+        }
+    }
+
+    /// Empty match tasks (`0 × n` and `m × 0` pair spaces) execute
+    /// without panicking in both sparse and dense modes — their masks
+    /// report density 0.0, so they always pick the sparse path — and
+    /// yield empty results with zero-entry stage cubes.
+    #[test]
+    fn empty_tasks_execute_in_both_modes() {
+        let c = coma();
+        let (s1, s2) = (po1(), po2());
+        let p1 = PathSet::new(&s1).unwrap();
+        let p2 = PathSet::new(&s2).unwrap();
+        let none = coma_graph::PathSet::empty();
+
+        let plans = [
+            MatchPlan::from(&MatchStrategy::paper_default()),
+            MatchPlan::two_stage(
+                ["Name"],
+                Selection::max_n(4).with_threshold(0.3),
+                &MatchStrategy::paper_default(),
+            ),
+            MatchPlan::matchers(["Name"])
+                .top_k(2, TopKPer::Both)
+                .unwrap(),
+        ];
+        // 0 × n (empty source), m × 0 (empty target) and 0 × 0.
+        let contexts = [
+            MatchContext::new(&s1, &s2, &none, &p2, c.aux()),
+            MatchContext::new(&s1, &s2, &p1, &none, c.aux()),
+            MatchContext::new(&s1, &s2, &none, &none, c.aux()),
+        ];
+        for (which, ctx) in contexts.iter().enumerate() {
+            assert_eq!(PairMask::new(ctx.rows(), ctx.cols()).density(), 0.0);
+            for plan in &plans {
+                for sparse in [true, false] {
+                    let outcome = PlanEngine::new(c.library())
+                        .with_sparse(sparse)
+                        .execute(ctx, plan)
+                        .unwrap_or_else(|e| panic!("task {which} (sparse={sparse}) failed: {e}"));
+                    assert!(outcome.result.is_empty(), "task {which} sparse={sparse}");
+                    for stage in &outcome.stages {
+                        assert_eq!(stage.cube.stored_entries(), 0);
+                        assert!(stage.result.is_empty());
+                    }
+                }
+            }
+        }
     }
 
     /// The shared `TypeName` instance is computed once per execution: the

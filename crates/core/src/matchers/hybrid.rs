@@ -143,22 +143,39 @@ impl Matcher for NameMatcher {
         } else {
             // Dense: one similarity per distinct name pair, fanned out to
             // every cell that shares it.
-            let mut out = SimMatrix::new(ctx.rows(), ctx.cols());
-            let (src_ids, src_names) = distinct_keys((0..ctx.rows()).map(|i| ctx.source_name(i)));
-            let (tgt_ids, tgt_names) = distinct_keys((0..ctx.cols()).map(|j| ctx.target_name(j)));
-            let table = name_sim_table(ctx, &self.engine, &src_names, &tgt_names);
-            for (i, &a_id) in src_ids.iter().enumerate() {
-                let base = a_id * tgt_names.len();
-                let row = out.row_mut(i);
-                for (dst, &b_id) in row.iter_mut().zip(&tgt_ids) {
-                    *dst = table[base + b_id];
-                }
-            }
-            out
+            self.compute_rows(ctx, 0..ctx.rows())
         }
     }
 
+    /// A contiguous block of rows of the dense matrix, doing only the
+    /// tokenization and similarity-table work those rows need. Each cell
+    /// depends only on its own (name, name) pair, so the block is
+    /// bit-identical to the same rows of [`Matcher::compute`].
+    fn compute_rows(&self, ctx: &MatchContext<'_>, rows: std::ops::Range<usize>) -> SimMatrix {
+        if ctx.restriction.is_some() {
+            // The engine only shards unrestricted computes; stay correct
+            // for any other caller by slicing the restricted result.
+            return self.compute(ctx).row_range(rows);
+        }
+        let mut out = SimMatrix::new(rows.len(), ctx.cols());
+        let (src_ids, src_names) = distinct_keys(rows.clone().map(|i| ctx.source_name(i)));
+        let (tgt_ids, tgt_names) = distinct_keys((0..ctx.cols()).map(|j| ctx.target_name(j)));
+        let table = name_sim_table(ctx, &self.engine, &src_names, &tgt_names);
+        for (i, &a_id) in src_ids.iter().enumerate() {
+            let base = a_id * tgt_names.len();
+            let row = out.row_mut(i);
+            for (dst, &b_id) in row.iter_mut().zip(&tgt_ids) {
+                *dst = table[base + b_id];
+            }
+        }
+        out
+    }
+
     fn cell_local(&self) -> bool {
+        true
+    }
+
+    fn row_shardable(&self) -> bool {
         true
     }
 }
@@ -192,6 +209,9 @@ impl Matcher for NamePathMatcher {
     }
 
     fn compute(&self, ctx: &MatchContext<'_>) -> SimMatrix {
+        let Some(mask) = ctx.restriction else {
+            return self.compute_rows(ctx, 0..ctx.rows());
+        };
         // Pre-compute the token set of every path's long name once (shared
         // through the memo when one is attached).
         let src_tokens: Vec<(String, Arc<Vec<String>>)> = (0..ctx.rows())
@@ -213,50 +233,81 @@ impl Matcher for NamePathMatcher {
             })
             .collect();
         let mut cache = ctx.name_sim_cache(&self.engine);
-        if let Some(mask) = ctx.restriction {
-            // Sparse: allowed cells only, straight into CSR storage. Long
-            // path names never repeat, but their *tokens* come from a
-            // bounded vocabulary — so token-pair similarities are computed
-            // once per distinct token pair (like the dense `Name` path)
-            // and each allowed cell only pays the steps-2+3 combination
-            // over table lookups. Value-identical to
-            // `token_set_similarity` per cell: same token-pair values,
-            // same combination.
-            let src_sets: Vec<Arc<Vec<String>>> =
-                src_tokens.iter().map(|(_, t)| Arc::clone(t)).collect();
-            let tgt_sets: Vec<Arc<Vec<String>>> =
-                tgt_tokens.iter().map(|(_, t)| Arc::clone(t)).collect();
-            let (src_name_toks, src_tok_names) = index_tokens(&src_sets);
-            let (tgt_name_toks, tgt_tok_names) = index_tokens(&tgt_sets);
-            let tt = tgt_tok_names.len();
-            let mut tok_table = vec![0.0; src_tok_names.len() * tt];
-            for (a, &ta) in src_tok_names.iter().enumerate() {
-                for (b, &tb) in tgt_tok_names.iter().enumerate() {
-                    tok_table[a * tt + b] = self.engine.token_pair_similarity(ta, tb, ctx.aux);
-                }
+        // Sparse: allowed cells only, straight into CSR storage. Long
+        // path names never repeat, but their *tokens* come from a
+        // bounded vocabulary — so token-pair similarities are computed
+        // once per distinct token pair (like the dense `Name` path)
+        // and each allowed cell only pays the steps-2+3 combination
+        // over table lookups. Value-identical to
+        // `token_set_similarity` per cell: same token-pair values,
+        // same combination.
+        let src_sets: Vec<Arc<Vec<String>>> =
+            src_tokens.iter().map(|(_, t)| Arc::clone(t)).collect();
+        let tgt_sets: Vec<Arc<Vec<String>>> =
+            tgt_tokens.iter().map(|(_, t)| Arc::clone(t)).collect();
+        let (src_name_toks, src_tok_names) = index_tokens(&src_sets);
+        let (tgt_name_toks, tgt_tok_names) = index_tokens(&tgt_sets);
+        let tt = tgt_tok_names.len();
+        let mut tok_table = vec![0.0; src_tok_names.len() * tt];
+        for (a, &ta) in src_tok_names.iter().enumerate() {
+            for (b, &tb) in tgt_tok_names.iter().enumerate() {
+                tok_table[a * tt + b] = self.engine.token_pair_similarity(ta, tb, ctx.aux);
             }
-            let mut builder = SparseBuilder::new(ctx.rows(), ctx.cols());
-            for (i, (a, t1)) in src_tokens.iter().enumerate() {
-                let ids1 = &src_name_toks[i];
-                for j in mask.allowed_in_row(i) {
-                    let (b, t2) = &tgt_tokens[j];
-                    let ids2 = &tgt_name_toks[j];
-                    let sim = cache.get_or_compute(a, b, || {
-                        let mut sims = SimMatrix::new(ids1.len(), ids2.len());
-                        for (x, &ta) in ids1.iter().enumerate() {
-                            let row = sims.row_mut(x);
-                            for (dst, &tb) in row.iter_mut().zip(ids2) {
-                                *dst = tok_table[ta * tt + tb];
-                            }
-                        }
-                        self.engine.combine_token_sims(t1, t2, &sims)
-                    });
-                    builder.push(i, j, sim);
-                }
-            }
-            return builder.finish();
         }
-        let mut out = SimMatrix::new(ctx.rows(), ctx.cols());
+        let mut builder = SparseBuilder::new(ctx.rows(), ctx.cols());
+        for (i, (a, t1)) in src_tokens.iter().enumerate() {
+            let ids1 = &src_name_toks[i];
+            for j in mask.allowed_in_row(i) {
+                let (b, t2) = &tgt_tokens[j];
+                let ids2 = &tgt_name_toks[j];
+                let sim = cache.get_or_compute(a, b, || {
+                    let mut sims = SimMatrix::new(ids1.len(), ids2.len());
+                    for (x, &ta) in ids1.iter().enumerate() {
+                        let row = sims.row_mut(x);
+                        for (dst, &tb) in row.iter_mut().zip(ids2) {
+                            *dst = tok_table[ta * tt + tb];
+                        }
+                    }
+                    self.engine.combine_token_sims(t1, t2, &sims)
+                });
+                builder.push(i, j, sim);
+            }
+        }
+        builder.finish()
+    }
+
+    /// A contiguous block of rows of the dense matrix: the long names and
+    /// token sets of only those source paths, against every target path.
+    /// Each cell's similarity is a pure function of its two long names
+    /// (the shared name-pair cache merely avoids recomputation), so the
+    /// block is bit-identical to the same rows of [`Matcher::compute`].
+    fn compute_rows(&self, ctx: &MatchContext<'_>, rows: std::ops::Range<usize>) -> SimMatrix {
+        if ctx.restriction.is_some() {
+            // The engine only shards unrestricted computes; stay correct
+            // for any other caller by slicing the restricted result.
+            return self.compute(ctx).row_range(rows);
+        }
+        let src_tokens: Vec<(String, Arc<Vec<String>>)> = rows
+            .clone()
+            .map(|i| {
+                let long = ctx
+                    .source_paths
+                    .join_names(ctx.source, ctx.source_elem(i), " ");
+                let tokens = ctx.token_set(&self.engine, &long);
+                (long, tokens)
+            })
+            .collect();
+        let tgt_tokens: Vec<(String, Arc<Vec<String>>)> = (0..ctx.cols())
+            .map(|j| {
+                let long = ctx
+                    .target_paths
+                    .join_names(ctx.target, ctx.target_elem(j), " ");
+                let tokens = ctx.token_set(&self.engine, &long);
+                (long, tokens)
+            })
+            .collect();
+        let mut cache = ctx.name_sim_cache(&self.engine);
+        let mut out = SimMatrix::new(rows.len(), ctx.cols());
         for (i, (a, t1)) in src_tokens.iter().enumerate() {
             for (j, (b, t2)) in tgt_tokens.iter().enumerate() {
                 let sim = cache
@@ -268,6 +319,10 @@ impl Matcher for NamePathMatcher {
     }
 
     fn cell_local(&self) -> bool {
+        true
+    }
+
+    fn row_shardable(&self) -> bool {
         true
     }
 }
@@ -352,52 +407,68 @@ impl Matcher for TypeNameMatcher {
             }
             b.finish()
         } else {
-            let mut out = SimMatrix::new(ctx.rows(), ctx.cols());
-            // Dense: one weighted similarity per distinct (name, datatype)
-            // profile pair, fanned out to every cell that shares it.
-            let (src_ids, src_profiles) = distinct_keys((0..ctx.rows()).map(|i| {
-                let datatype = ctx
-                    .source
-                    .node(ctx.source_paths.node_of(ctx.source_elem(i)))
-                    .datatype;
-                (ctx.source_name(i), datatype)
-            }));
-            let (tgt_ids, tgt_profiles) = distinct_keys((0..ctx.cols()).map(|j| {
-                let datatype = ctx
-                    .target
-                    .node(ctx.target_paths.node_of(ctx.target_elem(j)))
-                    .datatype;
-                (ctx.target_name(j), datatype)
-            }));
-            // Name similarities deduplicate one level further (profiles
-            // with different datatypes share their name's value).
-            let (src_name_ids, src_names) =
-                distinct_keys(src_profiles.iter().map(|&(name, _)| name));
-            let (tgt_name_ids, tgt_names) =
-                distinct_keys(tgt_profiles.iter().map(|&(name, _)| name));
-            let names = name_sim_table(ctx, &self.engine, &src_names, &tgt_names);
-            let mut table = vec![0.0; src_profiles.len() * tgt_profiles.len()];
-            for (a_id, &(_, a_type)) in src_profiles.iter().enumerate() {
-                for (b_id, &(_, b_type)) in tgt_profiles.iter().enumerate() {
-                    let name_sim = names[src_name_ids[a_id] * tgt_names.len() + tgt_name_ids[b_id]];
-                    let type_sim = ctx.aux.type_compat.similarity_opt(a_type, b_type);
-                    table[a_id * tgt_profiles.len() + b_id] =
-                        ((self.name_weight * name_sim + self.type_weight * type_sim) / total)
-                            .clamp(0.0, 1.0);
-                }
-            }
-            for (i, &a_id) in src_ids.iter().enumerate() {
-                let base = a_id * tgt_profiles.len();
-                let row = out.row_mut(i);
-                for (dst, &b_id) in row.iter_mut().zip(&tgt_ids) {
-                    *dst = table[base + b_id];
-                }
-            }
-            out
+            self.compute_rows(ctx, 0..ctx.rows())
         }
     }
 
+    /// A contiguous block of rows of the dense matrix, deduplicating
+    /// (name, datatype) profiles over only those rows. Each cell depends
+    /// only on its own pair of profiles, so the block is bit-identical to
+    /// the same rows of [`Matcher::compute`].
+    fn compute_rows(&self, ctx: &MatchContext<'_>, rows: std::ops::Range<usize>) -> SimMatrix {
+        if ctx.restriction.is_some() {
+            // The engine only shards unrestricted computes; stay correct
+            // for any other caller by slicing the restricted result.
+            return self.compute(ctx).row_range(rows);
+        }
+        let total = self.name_weight + self.type_weight;
+        let mut out = SimMatrix::new(rows.len(), ctx.cols());
+        // Dense: one weighted similarity per distinct (name, datatype)
+        // profile pair, fanned out to every cell that shares it.
+        let (src_ids, src_profiles) = distinct_keys(rows.clone().map(|i| {
+            let datatype = ctx
+                .source
+                .node(ctx.source_paths.node_of(ctx.source_elem(i)))
+                .datatype;
+            (ctx.source_name(i), datatype)
+        }));
+        let (tgt_ids, tgt_profiles) = distinct_keys((0..ctx.cols()).map(|j| {
+            let datatype = ctx
+                .target
+                .node(ctx.target_paths.node_of(ctx.target_elem(j)))
+                .datatype;
+            (ctx.target_name(j), datatype)
+        }));
+        // Name similarities deduplicate one level further (profiles
+        // with different datatypes share their name's value).
+        let (src_name_ids, src_names) = distinct_keys(src_profiles.iter().map(|&(name, _)| name));
+        let (tgt_name_ids, tgt_names) = distinct_keys(tgt_profiles.iter().map(|&(name, _)| name));
+        let names = name_sim_table(ctx, &self.engine, &src_names, &tgt_names);
+        let mut table = vec![0.0; src_profiles.len() * tgt_profiles.len()];
+        for (a_id, &(_, a_type)) in src_profiles.iter().enumerate() {
+            for (b_id, &(_, b_type)) in tgt_profiles.iter().enumerate() {
+                let name_sim = names[src_name_ids[a_id] * tgt_names.len() + tgt_name_ids[b_id]];
+                let type_sim = ctx.aux.type_compat.similarity_opt(a_type, b_type);
+                table[a_id * tgt_profiles.len() + b_id] =
+                    ((self.name_weight * name_sim + self.type_weight * type_sim) / total)
+                        .clamp(0.0, 1.0);
+            }
+        }
+        for (i, &a_id) in src_ids.iter().enumerate() {
+            let base = a_id * tgt_profiles.len();
+            let row = out.row_mut(i);
+            for (dst, &b_id) in row.iter_mut().zip(&tgt_ids) {
+                *dst = table[base + b_id];
+            }
+        }
+        out
+    }
+
     fn cell_local(&self) -> bool {
+        true
+    }
+
+    fn row_shardable(&self) -> bool {
         true
     }
 }

@@ -28,6 +28,39 @@ pub trait Matcher: Send + Sync {
     /// Computes the similarity matrix for the given match task.
     fn compute(&self, ctx: &MatchContext<'_>) -> SimMatrix;
 
+    /// Computes the rows `rows` of this matcher's matrix: the result has
+    /// `rows.len()` rows (row `i` is the task's row `rows.start + i`) and
+    /// the task's full column count. The plan engine uses this to split
+    /// one unrestricted (dense) computation into contiguous row shards
+    /// executed on parallel threads, then reassembles them with
+    /// [`SimMatrix::from_row_shards`] — bit-identical to [`compute`]
+    /// because every cell's value depends only on its own pair.
+    ///
+    /// The default implementation computes the full matrix and slices the
+    /// requested rows out — always correct, never profitable (each shard
+    /// would redo the whole computation), which is why the engine only
+    /// shards matchers that opt in via [`row_shardable`].
+    ///
+    /// [`compute`]: Matcher::compute
+    /// [`row_shardable`]: Matcher::row_shardable
+    fn compute_rows(&self, ctx: &MatchContext<'_>, rows: std::ops::Range<usize>) -> SimMatrix {
+        self.compute(ctx).row_range(rows)
+    }
+
+    /// Whether [`compute_rows`](Matcher::compute_rows) is implemented
+    /// natively, doing only the work of the requested rows — the
+    /// precondition for the engine's row-sharded execution to be a win.
+    /// True for matchers whose per-row work is independent of other rows
+    /// given their (memoized) shared tables: the cell-local hybrids
+    /// (`Name`, `NamePath`, `TypeName`) and `Leaves` (independent rows
+    /// over the shared leaf-similarity table). `Children` stays `false`:
+    /// its inner-pair recursion reads other rows' results. The
+    /// conservative default is `false` (third-party matchers keep working
+    /// unsharded).
+    fn row_shardable(&self) -> bool {
+        false
+    }
+
     /// Whether each cell `(i, j)` of this matcher's matrix depends only on
     /// the source element `i` and target element `j` (not on other pairs).
     /// Cell-local matchers can honor a search-space restriction

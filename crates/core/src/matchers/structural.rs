@@ -347,10 +347,10 @@ impl Matcher for LeavesMatcher {
     }
 
     fn compute(&self, ctx: &MatchContext<'_>) -> SimMatrix {
-        let leaf_sims = self.config.leaf_sims(ctx);
         // A leaf's leaf-set is itself, so every pair is handled uniformly:
         // sim(p, q) = combined similarity of leaves_under(p) × leaves_under(q).
         if let Some(mask) = ctx.restriction {
+            let leaf_sims = self.config.leaf_sims(ctx);
             // Sparse path: each cell depends only on the (full) leaf-level
             // similarity table, so only the allowed pairs are computed —
             // built straight into CSR storage, row by row.
@@ -370,27 +370,47 @@ impl Matcher for LeavesMatcher {
             }
             b.finish()
         } else {
-            let mut out = SimMatrix::new(ctx.rows(), ctx.cols());
-            let src_leaves: Vec<Vec<PathId>> = ctx
-                .source_paths
-                .iter()
-                .map(|p| ctx.source_paths.leaves_under(p))
-                .collect();
-            let tgt_leaves: Vec<Vec<PathId>> = ctx
-                .target_paths
-                .iter()
-                .map(|q| ctx.target_paths.leaves_under(q))
-                .collect();
-            for (i, l1) in src_leaves.iter().enumerate() {
-                for (j, l2) in tgt_leaves.iter().enumerate() {
-                    out.set(i, j, self.config.set_similarity(l1, l2, &leaf_sims));
-                }
-            }
-            out
+            self.compute_rows(ctx, 0..ctx.rows())
         }
     }
 
+    /// A contiguous block of rows of the dense matrix. Every cell is a
+    /// set similarity over the *shared* leaf-level table (memoized when
+    /// the engine attaches a memo), so rows are independent of each other
+    /// and a block is bit-identical to the same rows of
+    /// [`Matcher::compute`] — this is what makes `Leaves` row-shardable
+    /// while `Children` (whose inner-pair recursion reads other rows'
+    /// results) is not.
+    fn compute_rows(&self, ctx: &MatchContext<'_>, rows: std::ops::Range<usize>) -> SimMatrix {
+        if ctx.restriction.is_some() {
+            // The engine only shards unrestricted computes; stay correct
+            // for any other caller by slicing the restricted result.
+            return self.compute(ctx).row_range(rows);
+        }
+        let leaf_sims = self.config.leaf_sims(ctx);
+        let mut out = SimMatrix::new(rows.len(), ctx.cols());
+        let src_leaves: Vec<Vec<PathId>> = rows
+            .clone()
+            .map(|i| ctx.source_paths.leaves_under(ctx.source_elem(i)))
+            .collect();
+        let tgt_leaves: Vec<Vec<PathId>> = ctx
+            .target_paths
+            .iter()
+            .map(|q| ctx.target_paths.leaves_under(q))
+            .collect();
+        for (i, l1) in src_leaves.iter().enumerate() {
+            for (j, l2) in tgt_leaves.iter().enumerate() {
+                out.set(i, j, self.config.set_similarity(l1, l2, &leaf_sims));
+            }
+        }
+        out
+    }
+
     fn sparse_capable(&self) -> bool {
+        true
+    }
+
+    fn row_shardable(&self) -> bool {
         true
     }
 }

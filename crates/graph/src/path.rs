@@ -61,6 +61,19 @@ impl PathSet {
         PathSet::with_limit(schema, DEFAULT_PATH_LIMIT)
     }
 
+    /// The empty unfolding: no paths at all. A built schema always has a
+    /// root, so [`PathSet::new`] never returns this — it exists to
+    /// represent degenerate `0 × n` / `m × 0` match tasks (e.g. matching
+    /// against a schema side that contributed no match objects), which
+    /// the matching engine must survive without panicking.
+    pub fn empty() -> PathSet {
+        PathSet {
+            paths: Vec::new(),
+            children: Vec::new(),
+            node_paths: Vec::new(),
+        }
+    }
+
     /// Unfolds `schema`, failing with [`GraphError::TooManyPaths`] if more
     /// than `limit` paths would be produced.
     pub fn with_limit(schema: &Schema, limit: usize) -> Result<PathSet> {

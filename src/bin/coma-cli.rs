@@ -244,7 +244,7 @@ fn main() -> ExitCode {
                         let cube = &stage.cube;
                         eprintln!(
                             "# stage {} -> {} pair(s); cube {}x{}x{}, {} storage, \
-                             {} stored entr{} ({} dense cells)",
+                             {} stored entr{} ({} dense cells), {} row shard{}",
                             stage.label,
                             stage.result.len(),
                             cube.len(),
@@ -258,6 +258,8 @@ fn main() -> ExitCode {
                                 "ies"
                             },
                             cube.len() * cube.rows() * cube.cols(),
+                            stage.shards,
+                            if stage.shards == 1 { "" } else { "s" },
                         );
                     } else {
                         eprintln!("# stage {} -> {} pair(s)", stage.label, stage.result.len());

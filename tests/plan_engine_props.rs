@@ -351,6 +351,55 @@ proptest! {
         }
     }
 
+    /// Row-sharded execution is bit-identical to unsharded execution for
+    /// any matcher subset, plan shape and shard count — per stage cube,
+    /// per stage result, and for the final result. Shard counts cover the
+    /// boundary cases the partition must survive: 1 (explicit unsharded),
+    /// 2 and 7 (uneven `rows % shards`), and `rows + 1` (more shards than
+    /// rows, clamped with no zero-row shard).
+    #[test]
+    fn sharded_execution_equals_unsharded(
+        mask in 1usize..256,
+        k in 1usize..5,
+        shard_sel in 0usize..4,
+    ) {
+        let f = fixture();
+        let names = subset(mask);
+        let mut liberal = CombinationStrategy::paper_default();
+        liberal.selection = Selection::max_n(4).with_threshold(0.2);
+        let plan = MatchPlan::seq(
+            MatchPlan::matchers_with(names.iter().map(String::as_str), liberal)
+                .top_k(k, TopKPer::Both)
+                .unwrap(),
+            MatchPlan::matchers(names.iter().map(String::as_str)),
+        );
+        let ctx = MatchContext::new(
+            &f.source,
+            &f.target,
+            &f.source_paths,
+            &f.target_paths,
+            f.coma.aux(),
+        )
+        .with_repository(f.coma.repository());
+        let shards = [1, 2, 7, ctx.rows() + 1][shard_sel];
+
+        let unsharded = PlanEngine::new(f.coma.library())
+            .with_shards(1)
+            .execute(&ctx, &plan)
+            .unwrap();
+        let sharded = PlanEngine::new(f.coma.library())
+            .with_shards(shards)
+            .execute(&ctx, &plan)
+            .unwrap();
+        prop_assert_eq!(&sharded.result, &unsharded.result);
+        prop_assert_eq!(sharded.stages.len(), unsharded.stages.len());
+        for (a, b) in sharded.stages.iter().zip(&unsharded.stages) {
+            prop_assert_eq!(&a.label, &b.label);
+            prop_assert_eq!(&a.cube, &b.cube);
+            prop_assert_eq!(&a.result, &b.result);
+        }
+    }
+
     /// `Iterate` always terminates within `max_rounds`, whatever the
     /// sub-plan and tolerance.
     #[test]

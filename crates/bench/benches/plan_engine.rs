@@ -3,7 +3,9 @@
 //! executed sequentially (legacy), through the engine (parallel fan-out +
 //! memoized shared work), and as a two-stage filter→refine plan.
 
-use coma_core::{Coma, MatchContext, MatchPlan, MatchStrategy, PlanEngine, Selection};
+use coma_core::{
+    Coma, EngineConfig, MatchContext, MatchPlan, MatchStrategy, PlanEngine, Selection,
+};
 use coma_eval::{Corpus, TASKS};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
@@ -51,10 +53,12 @@ fn bench_plan_engine(c: &mut Criterion) {
     group.bench_function("all_engine_serial", |b| {
         b.iter(|| {
             black_box(
-                PlanEngine::new(coma.library())
-                    .with_parallelism(false)
-                    .execute(black_box(&ctx), &flat)
-                    .unwrap(),
+                PlanEngine::with_config(
+                    coma.library(),
+                    EngineConfig::default().with_parallel(false),
+                )
+                .execute(black_box(&ctx), &flat)
+                .unwrap(),
             )
         })
     });

@@ -7,7 +7,7 @@
 
 use coma_bench::topk_pruned_plan;
 use coma_bench::workload::{generate_task, WorkloadShape, WorkloadSpec};
-use coma_core::{Coma, MatchContext, PlanEngine};
+use coma_core::{Coma, EngineConfig, MatchContext, PlanEngine};
 use coma_graph::PathSet;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
@@ -31,10 +31,12 @@ fn bench_plan_operators(c: &mut Criterion) {
         group.bench_function("topk_dense", |b| {
             b.iter(|| {
                 black_box(
-                    PlanEngine::new(coma.library())
-                        .with_sparse(false)
-                        .execute(black_box(&ctx), &plan)
-                        .unwrap(),
+                    PlanEngine::with_config(
+                        coma.library(),
+                        EngineConfig::default().with_sparse(false),
+                    )
+                    .execute(black_box(&ctx), &plan)
+                    .unwrap(),
                 )
             })
         });

@@ -1,10 +1,10 @@
 //! `perf_smoke` — the CI performance gate.
 //!
 //! Runs a quick, deterministic benchmark suite over the evaluation corpus
-//! and the generated large-schema workloads, emits a `BENCH_PR5.json`
+//! and the generated large-schema workloads, emits a `BENCH_PR6.json`
 //! trajectory file (task, wall-ms, candidates, dense/sparse speedups,
-//! peak allocations) and optionally compares it against a committed
-//! baseline:
+//! peak allocations, fused peak ceilings) and optionally compares it
+//! against a committed baseline:
 //!
 //! ```text
 //! perf_smoke [--quick] [--out FILE] [--check BASELINE] [--runs N] [--verbose]
@@ -13,21 +13,25 @@
 //! * `--quick` — the CI subset: eval corpus + one generated 1200-node
 //!   deep schema (the full suite adds star/wide workloads, the `deep5000`
 //!   size — infeasible-or-slow to execute densely, comfortable on the
-//!   sparse storage path — and the `deep20000` row-sharding workload
-//!   below).
+//!   sparse storage path — the `deep20000` row-sharding workload, and the
+//!   `deep100000` streaming-fused workload below).
 //! * `--out FILE` — where to write the fresh numbers (default
-//!   `BENCH_PR5.json` in the current directory).
+//!   `BENCH_PR6.json` in the current directory).
 //! * `--check BASELINE` — compare against a baseline JSON and exit
 //!   nonzero if any tracked number regresses: candidate counts must match
 //!   exactly (the workloads are seeded, so counts are machine-independent),
 //!   calibration-normalized wall times may not regress by more than 25%,
 //!   dense/sparse speedups may neither drop below 2× nor lose more than
-//!   25% against the baseline, and — for version-2 baselines carrying
-//!   `allocs` entries — a workload's dense/sparse peak-allocation *ratio*
-//!   may not collapse below half the baseline's (the ratio is
-//!   machine-comparable even though absolute peaks are not).
-//!   Pre-sparse-storage baselines (`BENCH_PR3.json`) parse fine — their
-//!   reports simply carry no allocation entries to gate.
+//!   25% against the baseline, for baselines carrying `allocs` entries a
+//!   workload's dense/sparse peak-allocation *ratio* may not collapse
+//!   below half the baseline's (the ratio is machine-comparable even
+//!   though those absolute peaks are not), and — for version-3 baselines
+//!   carrying `ceilings` entries — a streaming-fused execution's absolute
+//!   peak may not exceed the baseline's committed ceiling (fused peaks
+//!   *are* machine-comparable: the engine budget-caps its in-flight
+//!   memory instead of scaling it with the core count).
+//!   Older baselines (`BENCH_PR3.json`, `BENCH_PR5.json`) parse fine —
+//!   they simply carry fewer entry kinds to gate.
 //! * `--verbose` — additionally print per-shard timings of the
 //!   `deep20000` dense first-stage computation (one line per row shard),
 //!   so shard balance is observable.
@@ -59,10 +63,10 @@
 //! never applies to sharding entries.
 
 use coma_bench::workload::{generate_task, WorkloadShape, WorkloadSpec};
-use coma_bench::{alloc_track, topk_pruned_plan};
+use coma_bench::{alloc_track, fused_filter_plan, topk_pruned_plan};
 use coma_core::{
-    shard_ranges, Coma, MatchContext, MatchPlan, MatchResult, MatchStrategy, PlanEngine,
-    PlanOutcome,
+    shard_ranges, Coma, EngineConfig, MatchContext, MatchPlan, MatchResult, MatchStrategy,
+    PlanEngine, PlanOutcome,
 };
 use coma_eval::{Corpus, TASKS};
 use coma_graph::PathSet;
@@ -100,6 +104,18 @@ struct AllocEntry {
     peak_bytes: u64,
 }
 
+/// A peak-allocation *ceiling*: the measured peak of a streaming-fused
+/// execution plus the hard bound it must stay under. Unlike the dense
+/// peaks in [`AllocEntry`], these absolute numbers are machine-comparable
+/// across runs: the fused engine caps its in-flight memory by a byte
+/// budget (`EngineConfig::fuse_budget_bytes`), not by the core count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CeilingEntry {
+    task: String,
+    peak_bytes: u64,
+    ceiling_bytes: u64,
+}
+
 /// The emitted/compared report.
 #[derive(Debug, Clone, Serialize)]
 struct BenchReport {
@@ -111,23 +127,32 @@ struct BenchReport {
     /// Peak allocations per generated workload (absent in pre-sparse
     /// baselines; recorded, gated in-process only).
     allocs: Vec<AllocEntry>,
+    /// Fused-execution peak ceilings (version-3 reports; absent in older
+    /// baselines). Gated both in-process and across runs.
+    ceilings: Vec<CeilingEntry>,
 }
 
-/// Hand-written so baselines written before the sparse-storage PR (no
-/// `allocs` key) still parse.
+/// Hand-written so older baselines still parse: pre-sparse-storage
+/// reports carry no `allocs` key, pre-fusion (version ≤ 2) reports no
+/// `ceilings` key.
 impl Deserialize for BenchReport {
     fn from_value(value: &Value) -> Result<BenchReport, DeError> {
         let entries = value
             .as_map()
             .ok_or_else(|| DeError::custom("expected a BenchReport map"))?;
-        let has_allocs = entries.iter().any(|(k, _)| k.as_str() == Some("allocs"));
+        let has = |key: &str| entries.iter().any(|(k, _)| k.as_str() == Some(key));
         Ok(BenchReport {
             version: serde::field(entries, "version")?,
             calibration_ms: serde::field(entries, "calibration_ms")?,
             tasks: serde::field(entries, "tasks")?,
             speedups: serde::field(entries, "speedups")?,
-            allocs: if has_allocs {
+            allocs: if has("allocs") {
                 serde::field(entries, "allocs")?
+            } else {
+                Vec::new()
+            },
+            ceilings: if has("ceilings") {
+                serde::field(entries, "ceilings")?
             } else {
                 Vec::new()
             },
@@ -142,6 +167,12 @@ const MIN_SPEEDUP: f64 = 2.0;
 /// Hard floor on the dense/sparse peak-allocation ratio of the `deep5000`
 /// workload (the sparse-storage acceptance criterion).
 const MIN_ALLOC_RATIO: f64 = 4.0;
+/// Hard ceiling on the streaming-fused `deep100000` execution's peak
+/// allocations — the fusion acceptance criterion. One dense matrix at
+/// that scale would be ~75 GiB; the fused pipeline must finish the whole
+/// plan in under 3 GiB, on any machine (the engine's in-flight memory is
+/// budget-capped, not core-scaled).
+const FUSED_PEAK_CEILING: u64 = 3 * (1 << 30);
 
 struct Options {
     quick: bool,
@@ -154,7 +185,7 @@ struct Options {
 fn parse_args() -> Result<Options, ExitCode> {
     let mut opts = Options {
         quick: false,
-        out: "BENCH_PR5.json".to_string(),
+        out: "BENCH_PR6.json".to_string(),
         check: None,
         runs: 3,
         verbose: false,
@@ -203,10 +234,26 @@ fn time_best<T>(runs: usize, mut f: impl FnMut() -> T) -> (f64, T) {
     (best, out.expect("runs > 0"))
 }
 
-/// Executes `plan` on a prepared context with the given engine setting.
-fn run_plan(coma: &Coma, ctx: &MatchContext<'_>, plan: &MatchPlan, sparse: bool) -> PlanOutcome {
-    PlanEngine::new(coma.library())
-        .with_sparse(sparse)
+/// The three execution modes the suite measures. `Dense` is the oracle:
+/// no sparse storage and, by implication, no fusion. `Sparse` is sparse
+/// storage with fusion explicitly off — the exact path the dense/sparse
+/// trajectory entries have always measured. `Fused` is the engine's
+/// default configuration, streaming-fused pruning included.
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Dense,
+    Sparse,
+    Fused,
+}
+
+/// Executes `plan` on a prepared context in the given execution mode.
+fn run_plan(coma: &Coma, ctx: &MatchContext<'_>, plan: &MatchPlan, mode: Mode) -> PlanOutcome {
+    let cfg = match mode {
+        Mode::Dense => EngineConfig::default().with_sparse(false),
+        Mode::Sparse => EngineConfig::default().with_fuse_pruning(false),
+        Mode::Fused => EngineConfig::default(),
+    };
+    PlanEngine::with_config(coma.library(), cfg)
         .execute(ctx, plan)
         .expect("plan executes")
 }
@@ -252,6 +299,7 @@ fn measure(opts: &Options) -> Result<BenchReport, String> {
     let mut tasks = Vec::new();
     let mut speedups = Vec::new();
     let mut allocs = Vec::new();
+    let mut ceilings = Vec::new();
     let runs = opts.runs;
 
     eprintln!("# calibrating …");
@@ -278,7 +326,7 @@ fn measure(opts: &Options) -> Result<BenchReport, String> {
     );
 
     let flat = MatchPlan::from(&MatchStrategy::paper_default());
-    let (ms, outcome) = time_best(runs, || run_plan(&coma, &largest, &flat, true));
+    let (ms, outcome) = time_best(runs, || run_plan(&coma, &largest, &flat, Mode::Sparse));
     tasks.push(TaskEntry {
         task: "eval/all_largest".into(),
         wall_ms: ms,
@@ -286,7 +334,7 @@ fn measure(opts: &Options) -> Result<BenchReport, String> {
     });
 
     let pruned = topk_pruned_plan();
-    let (ms, outcome) = time_best(runs, || run_plan(&coma, &largest, &pruned, true));
+    let (ms, outcome) = time_best(runs, || run_plan(&coma, &largest, &pruned, Mode::Sparse));
     tasks.push(TaskEntry {
         task: "eval/topk_sparse_largest".into(),
         wall_ms: ms,
@@ -294,7 +342,7 @@ fn measure(opts: &Options) -> Result<BenchReport, String> {
     });
 
     let iterated = flat.clone().iterate(4, 1e-6).expect("max_rounds > 0");
-    let (ms, outcome) = time_best(runs, || run_plan(&coma, &largest, &iterated, true));
+    let (ms, outcome) = time_best(runs, || run_plan(&coma, &largest, &iterated, Mode::Sparse));
     tasks.push(TaskEntry {
         task: "eval/iterate_largest".into(),
         wall_ms: ms,
@@ -313,8 +361,9 @@ fn measure(opts: &Options) -> Result<BenchReport, String> {
             corpus.path_set(j),
             coma.aux(),
         );
-        let sparse = run_plan(&coma, &ctx, &pruned, true);
-        let dense = run_plan(&coma, &ctx, &pruned, false);
+        let sparse = run_plan(&coma, &ctx, &pruned, Mode::Sparse);
+        let dense = run_plan(&coma, &ctx, &pruned, Mode::Dense);
+        let fused = run_plan(&coma, &ctx, &pruned, Mode::Fused);
         if top1(&sparse.result) != top1(&dense.result) {
             return Err(format!(
                 "top-1 candidates diverge between sparse and dense execution on eval task {i}->{j}"
@@ -325,10 +374,15 @@ fn measure(opts: &Options) -> Result<BenchReport, String> {
                 "sparse and dense results diverge on eval task {i}->{j}"
             ));
         }
+        if fused.result != dense.result {
+            return Err(format!(
+                "fused and dense results diverge on eval task {i}->{j}"
+            ));
+        }
         corpus_candidates += sparse.result.len() as u64;
     }
     eprintln!(
-        "# eval corpus: sparse == dense on all {} tasks",
+        "# eval corpus: sparse == dense == fused on all {} tasks",
         TASKS.len()
     );
     tasks.push(TaskEntry {
@@ -360,25 +414,45 @@ fn measure(opts: &Options) -> Result<BenchReport, String> {
         let spec_runs = if spec.nodes >= 5000 { 1 } else { runs };
 
         // Peak-allocation comparison first (one tracked run per mode),
-        // then the timed best-of-N runs.
+        // then the timed best-of-N runs. The streaming-fused third mode
+        // is checked for identity and recorded under its own `_fused`
+        // entries — the dense/sparse entries keep measuring the storage
+        // paths they always measured.
         let (sparse_peak, sparse) =
-            alloc_track::measure_peak(|| run_plan(&gen_coma, &ctx, &pruned, true));
+            alloc_track::measure_peak(|| run_plan(&gen_coma, &ctx, &pruned, Mode::Sparse));
         let (dense_peak, dense) =
-            alloc_track::measure_peak(|| run_plan(&gen_coma, &ctx, &pruned, false));
+            alloc_track::measure_peak(|| run_plan(&gen_coma, &ctx, &pruned, Mode::Dense));
         if sparse.result != dense.result {
             return Err(format!("sparse and dense results diverge on {label}"));
         }
+        drop(dense);
+        let (fused_peak, fused) =
+            alloc_track::measure_peak(|| run_plan(&gen_coma, &ctx, &pruned, Mode::Fused));
+        if fused.result != sparse.result {
+            return Err(format!("fused and unfused results diverge on {label}"));
+        }
         let alloc_ratio = dense_peak as f64 / (sparse_peak as f64).max(1.0);
-        drop((sparse, dense));
+        drop((sparse, fused));
 
-        let (sparse_ms, sparse) = time_best(spec_runs, || run_plan(&gen_coma, &ctx, &pruned, true));
-        let (dense_ms, dense) = time_best(spec_runs, || run_plan(&gen_coma, &ctx, &pruned, false));
+        let (sparse_ms, sparse) = time_best(spec_runs, || {
+            run_plan(&gen_coma, &ctx, &pruned, Mode::Sparse)
+        });
+        let (dense_ms, dense) = time_best(spec_runs, || {
+            run_plan(&gen_coma, &ctx, &pruned, Mode::Dense)
+        });
+        let dense_candidates = dense.result.len() as u64;
+        drop(dense);
+        let (fused_ms, fused) = time_best(spec_runs, || {
+            run_plan(&gen_coma, &ctx, &pruned, Mode::Fused)
+        });
         let speedup = dense_ms / sparse_ms;
         eprintln!(
             "# {label}: dense {dense_ms:.0} ms, sparse {sparse_ms:.0} ms ({speedup:.2}x), \
-             peak alloc dense {:.0} MiB vs sparse {:.0} MiB ({alloc_ratio:.2}x), {} candidates",
+             fused {fused_ms:.0} ms; peak alloc dense {:.0} MiB vs sparse {:.0} MiB \
+             ({alloc_ratio:.2}x) vs fused {:.0} MiB, {} candidates",
             dense_peak as f64 / (1 << 20) as f64,
             sparse_peak as f64 / (1 << 20) as f64,
+            fused_peak as f64 / (1 << 20) as f64,
             sparse.result.len()
         );
         if spec.nodes >= 5000 && alloc_ratio < MIN_ALLOC_RATIO {
@@ -390,12 +464,17 @@ fn measure(opts: &Options) -> Result<BenchReport, String> {
         tasks.push(TaskEntry {
             task: format!("{label}_topk_dense"),
             wall_ms: dense_ms,
-            candidates: dense.result.len() as u64,
+            candidates: dense_candidates,
         });
         tasks.push(TaskEntry {
             task: format!("{label}_topk_sparse"),
             wall_ms: sparse_ms,
             candidates: sparse.result.len() as u64,
+        });
+        tasks.push(TaskEntry {
+            task: format!("{label}_topk_fused"),
+            wall_ms: fused_ms,
+            candidates: fused.result.len() as u64,
         });
         speedups.push(SpeedupEntry {
             task: format!("{label}_topk"),
@@ -408,6 +487,10 @@ fn measure(opts: &Options) -> Result<BenchReport, String> {
         allocs.push(AllocEntry {
             task: format!("{label}_topk_sparse"),
             peak_bytes: sparse_peak as u64,
+        });
+        allocs.push(AllocEntry {
+            task: format!("{label}_topk_fused"),
+            peak_bytes: fused_peak as u64,
         });
     }
 
@@ -518,12 +601,72 @@ fn measure(opts: &Options) -> Result<BenchReport, String> {
         });
     }
 
+    // --- streaming-fused pruning at dense-infeasible scale ----------------
+    // The `deep100000` workload (~100k paths per side) is the fusion
+    // acceptance measurement: its liberal `Name` filter's full matrix
+    // would be one ~75 GiB dense buffer — not slow, *impossible* on any
+    // reasonable machine. The streaming-fused engine runs the threshold
+    // `Filter` inside each row shard instead, so the execution's whole
+    // peak must stay under [`FUSED_PEAK_CEILING`]. A threshold `Filter`
+    // (not `TopK`) deliberately: `TopK` materializes an `m × n` pair-mask
+    // bitset, itself > 1 GiB at this scale. One run, timed and
+    // peak-tracked together; the ceiling is gated in-process here and
+    // across runs by `compare`.
+    if !opts.quick {
+        let spec = WorkloadSpec::new(WorkloadShape::Deep, 100_000, 42);
+        let label = format!("gen/{}", spec.label());
+        let (source, target) = generate_task(&spec);
+        let sp = PathSet::new(&source).map_err(|e| e.to_string())?;
+        let tp = PathSet::new(&target).map_err(|e| e.to_string())?;
+        let gen_coma = Coma::new();
+        let ctx = MatchContext::new(&source, &target, &sp, &tp, gen_coma.aux());
+        let fused_plan = fused_filter_plan();
+
+        let start = Instant::now();
+        let (peak, outcome) =
+            alloc_track::measure_peak(|| run_plan(&gen_coma, &ctx, &fused_plan, Mode::Fused));
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        if outcome.stages.len() != 1 || !outcome.stages[0].fused {
+            return Err(format!(
+                "{label}: the filter stage did not fuse ({} stage(s))",
+                outcome.stages.len()
+            ));
+        }
+        let peak = peak as u64;
+        let dense_bytes = ctx.rows() as u64 * ctx.cols() as u64 * 8;
+        eprintln!(
+            "# {label}: fused filter {wall_ms:.0} ms, peak {:.0} MiB (ceiling {:.0} MiB; one \
+             dense matrix alone would be {:.0} GiB), {} candidates",
+            peak as f64 / (1 << 20) as f64,
+            FUSED_PEAK_CEILING as f64 / (1 << 20) as f64,
+            dense_bytes as f64 / (1 << 30) as f64,
+            outcome.result.len()
+        );
+        if peak > FUSED_PEAK_CEILING {
+            return Err(format!(
+                "{label}: fused execution peaked at {peak} bytes, above the {FUSED_PEAK_CEILING} \
+                 byte ceiling"
+            ));
+        }
+        tasks.push(TaskEntry {
+            task: format!("{label}_fused_filter"),
+            wall_ms,
+            candidates: outcome.result.len() as u64,
+        });
+        ceilings.push(CeilingEntry {
+            task: format!("{label}_fused_filter"),
+            peak_bytes: peak,
+            ceiling_bytes: FUSED_PEAK_CEILING,
+        });
+    }
+
     Ok(BenchReport {
-        version: 2,
+        version: 3,
         calibration_ms: calibration,
         tasks,
         speedups,
         allocs,
+        ceilings,
     })
 }
 
@@ -636,6 +779,22 @@ fn compare(current: &BenchReport, baseline: &BenchReport) -> Vec<String> {
             failures.push(format!(
                 "{stem}: dense/sparse peak-allocation ratio collapsed {base_ratio:.2}x -> \
                  {cur_ratio:.2}x"
+            ));
+        }
+    }
+    // Version-3 baselines carry fused peak ceilings. The fused engine
+    // bounds its in-flight memory by a byte budget rather than the core
+    // count, so absolute peaks are machine-comparable here: fail when a
+    // current run's peak exceeds the *baseline's* ceiling (a committed
+    // contract, not this binary's possibly-updated constant).
+    for base in &baseline.ceilings {
+        let Some(cur) = current.ceilings.iter().find(|c| c.task == base.task) else {
+            continue; // quick mode skips the fused workload
+        };
+        if cur.peak_bytes > base.ceiling_bytes {
+            failures.push(format!(
+                "{}: fused peak {} bytes exceeds the baseline ceiling {} bytes",
+                base.task, cur.peak_bytes, base.ceiling_bytes
             ));
         }
     }

@@ -12,7 +12,7 @@
 pub mod alloc_track;
 pub mod workload;
 
-use coma_core::{CombinationStrategy, MatchPlan, MatchStrategy, Selection, TopKPer};
+use coma_core::{CombinationStrategy, Direction, MatchPlan, MatchStrategy, Selection, TopKPer};
 
 /// The TopK-pruned two-stage plan the sparse execution path is built
 /// for: a liberal `Name` stage pruned to the 5 best candidates per
@@ -37,4 +37,17 @@ pub fn liberal_name_stage() -> MatchPlan {
     let mut liberal = CombinationStrategy::paper_default();
     liberal.selection = Selection::max_n(10).with_threshold(0.3);
     MatchPlan::matchers_with(["Name"], liberal)
+}
+
+/// The streaming-fused pruning plan the `deep100000` memory ceiling is
+/// measured on: a liberal `Name` stage whose threshold `Filter` fuses
+/// with the compute, so each row shard is pruned as it is produced and
+/// the full dense matrix is never allocated. A `Filter` (not `TopK`)
+/// deliberately: `TopK` materializes an `m × n` pair-mask bitset, which
+/// at 100k × 100k would itself be > 1 GiB.
+pub fn fused_filter_plan() -> MatchPlan {
+    let mut liberal = CombinationStrategy::paper_default();
+    liberal.selection = Selection::max_n(10).with_threshold(0.3);
+    MatchPlan::matchers_with(["Name"], liberal)
+        .filtered(Direction::Both, Selection::max_n(5).with_threshold(0.3))
 }

@@ -85,8 +85,10 @@ impl Selection {
     }
 
     /// Selects from `ranked`, a descending-sorted list of
-    /// `(candidate index, similarity)`.
-    fn apply(&self, ranked: &[(usize, f64)]) -> Vec<(usize, f64)> {
+    /// `(candidate index, similarity)`. Crate-visible so the engine's
+    /// fused pruned-shard execution can re-apply the selection when it
+    /// folds per-shard column pools (see `engine::PlanEngine`).
+    pub(crate) fn apply(&self, ranked: &[(usize, f64)]) -> Vec<(usize, f64)> {
         let mut out: Vec<(usize, f64)> = ranked.to_vec();
         if let Some(t) = self.threshold {
             out.retain(|&(_, s)| s > t);
@@ -154,19 +156,7 @@ impl DirectedCandidates {
     ) -> DirectedCandidates {
         let m = matrix.rows();
         let n = matrix.cols();
-        // The paper's convention: S2 (target) is the smaller schema when
-        // |S2| ≤ |S1|. LargeSmall then ranks source candidates per target.
-        let target_is_smaller = n <= m;
-        let want_for_targets = match direction {
-            Direction::Both => true,
-            Direction::LargeSmall => target_is_smaller,
-            Direction::SmallLarge => !target_is_smaller,
-        };
-        let want_for_sources = match direction {
-            Direction::Both => true,
-            Direction::LargeSmall => !target_is_smaller,
-            Direction::SmallLarge => target_is_smaller,
-        };
+        let (want_for_targets, want_for_sources) = directional_wants(direction, m, n);
 
         // Plain `Max1` (no threshold, no delta) is the structural
         // matchers' inner selection, executed once per set-similarity
@@ -307,6 +297,48 @@ impl DirectedCandidates {
 /// [`PairMask::top_k_of`]: crate::engine::PairMask::top_k_of
 pub(crate) fn sort_desc(ranked: &mut [(usize, f64)]) {
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+}
+
+/// Which directional candidate lists `direction` computes for an `m × n`
+/// task: `(want_for_targets, want_for_sources)`. The paper's convention —
+/// S2 (target) is the smaller schema when `|S2| ≤ |S1|` — so `LargeSmall`
+/// ranks source candidates per target exactly when `n ≤ m`. Shared with
+/// the engine's fused pruned-shard execution, which must resolve the
+/// direction from the *global* task dimensions, not a shard's.
+pub(crate) fn directional_wants(direction: Direction, m: usize, n: usize) -> (bool, bool) {
+    let target_is_smaller = n <= m;
+    let want_for_targets = match direction {
+        Direction::Both => true,
+        Direction::LargeSmall => target_is_smaller,
+        Direction::SmallLarge => !target_is_smaller,
+    };
+    let want_for_sources = match direction {
+        Direction::Both => true,
+        Direction::LargeSmall => !target_is_smaller,
+        Direction::SmallLarge => target_is_smaller,
+    };
+    (want_for_targets, want_for_sources)
+}
+
+/// Ranks one element's `(index, similarity)` entries and applies
+/// `selection` — the exact per-element ranking inside
+/// [`DirectedCandidates::select`], exposed for the engine's fused
+/// pruned-shard execution. Zero and sub-threshold cells may be omitted
+/// from `entries` with an identical outcome: they sort behind every
+/// kept candidate and the final `apply` drops them regardless.
+pub(crate) fn rank_entries(
+    entries: impl Iterator<Item = (usize, f64)>,
+    selection: &Selection,
+) -> Vec<(usize, f64)> {
+    let fast_max1 =
+        selection.max_n == Some(1) && selection.delta.is_none() && selection.threshold.is_none();
+    if fast_max1 {
+        return best_of(entries);
+    }
+    let floor = selection.threshold.unwrap_or(f64::NEG_INFINITY);
+    let mut ranked: Vec<(usize, f64)> = entries.filter(|&(_, s)| s > floor).collect();
+    sort_desc(&mut ranked);
+    selection.apply(&ranked)
 }
 
 /// The single best nonzero candidate (strictly greater wins, so the first

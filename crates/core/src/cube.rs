@@ -166,6 +166,26 @@ impl SparseBuilder {
         }
     }
 
+    /// Pushes one whole row's `(column, value)` entries at once —
+    /// ascending column order required, exactly like consecutive
+    /// [`push`](SparseBuilder::push) calls. The engine's fused
+    /// pruned-shard execution emits each shard row's surviving cells
+    /// through this.
+    pub fn push_row(&mut self, i: usize, entries: impl IntoIterator<Item = (usize, f64)>) {
+        for (j, value) in entries {
+            self.push(i, j, value);
+        }
+    }
+
+    /// Finishes the current matrix and resets the builder for the next
+    /// `next_rows × n` fragment, so one shard-local builder can emit
+    /// every CSR fragment of a row-sharded computation in turn (they
+    /// stitch back together via [`SimMatrix::from_row_shards`]).
+    pub fn finish_reset(&mut self, next_rows: usize) -> SimMatrix {
+        let next = SparseBuilder::new(next_rows, self.n);
+        std::mem::replace(self, next).finish()
+    }
+
     /// Finishes the matrix.
     pub fn finish(mut self) -> SimMatrix {
         while self.filled_rows <= self.m {

@@ -20,6 +20,13 @@
 //! engine's worker threads; matrix entries are computed at most once even
 //! under concurrency (via [`OnceLock`]).
 //!
+//! The streaming-fused pruning path (see
+//! [`EngineConfig::fuse_pruning`](super::EngineConfig)) deliberately
+//! bypasses the *matrix* cache — its whole point is never materializing a
+//! full per-matcher matrix — but still shares the tokenization and
+//! name-pair caches, so fused and unfused stages of one run never repeat
+//! string work.
+//!
 //! [`PlanEngine`]: super::PlanEngine
 //! [`NameEngine`]: crate::matchers::name_engine::NameEngine
 

@@ -17,7 +17,19 @@
 //!   [`compute_rows`](crate::Matcher::compute_rows) on scoped threads and
 //!   stitched back together ([`SimMatrix::from_row_shards`]) —
 //!   bit-identical to the single-shard computation for any shard count
-//!   ([`PlanEngine::with_shards`] forces one; property-tested);
+//!   ([`EngineConfig::shards`] forces one; property-tested);
+//! * **streaming-fused pruning** — a prunable stage
+//!   (`TopK { input: Matchers, .. }` or a thresholded
+//!   `Filter { input: Matchers, .. }`) over an *unrestricted* context
+//!   fuses compute→prune inside each row shard: every matcher computes
+//!   one shard via `compute_rows`, the shard cube is aggregated and the
+//!   leaf's selection applied immediately, and only the surviving cells
+//!   are assembled (CSR fragments joined by
+//!   [`SimMatrix::from_row_shards`]) — the full dense matrix is never
+//!   allocated, and the result is bit-identical to the unfused path
+//!   (property-tested; see [`EngineConfig::fuse_pruning`]). Fused stages
+//!   report [`StageOutcome::fused`] and skip materializing the inner
+//!   `Matchers` stage;
 //! * **memoized shared work** — a per-execution [`MatchMemo`] caches
 //!   tokenizations, name-pair similarities and per-matcher matrices, so
 //!   hybrids and overlapping sub-plans stop recomputing constituents (with
@@ -37,7 +49,7 @@
 //!   (the structural `Children`/`Leaves`) compute set similarities only
 //!   for the allowed pairs and their recursive dependencies instead of
 //!   the full cross-product, with bit-identical results
-//!   ([`PlanEngine::with_sparse`] switches the path off for comparison);
+//!   ([`EngineConfig::sparse`] switches the path off for comparison);
 //! * **sparse storage** — the same density decision picks each restricted
 //!   stage's physical [`SimMatrix`] representation: below the cutoff,
 //!   matcher slices, `TopK`-pruned matrices and pair matrices are stored
@@ -71,12 +83,15 @@
 //! let mut coma = Coma::new();
 //! coma.aux_mut().synonyms.add_synonym("customer", "buyer");
 //! let outcome = coma.match_plan(&po1, &po2, &plan).unwrap();
-//! assert_eq!(outcome.stages.len(), 3); // Name, TopK, refine
+//! // The TopK stage fused compute→prune per row shard, so the inner
+//! // Name stage was never materialized: TopK and refine remain.
+//! assert_eq!(outcome.stages.len(), 2);
+//! assert!(outcome.stages[0].fused);
 //!
 //! // The pruned stages store their cubes sparse; the stage labels spell
 //! // out the executed plan.
-//! assert!(outcome.stages[2].cube.all_sparse());
-//! assert!(outcome.stages[1].label.starts_with("TopK("));
+//! assert!(outcome.stages[1].cube.all_sparse());
+//! assert!(outcome.stages[0].label.starts_with("TopK("));
 //! assert!(!outcome.result.is_empty());
 //! # let _ = PathSet::new(&po1).unwrap();
 //! # Ok::<(), coma_core::PlanError>(())
@@ -90,8 +105,10 @@ pub use mask::PairMask;
 pub use memo::{matcher_identity, MatchMemo, NameSimCache};
 pub use plan::{MatchPlan, PlanError, TopKPer};
 
-use crate::combine::DirectedCandidates;
-use crate::cube::{SimCube, SimMatrix};
+use crate::combine::{
+    directional_wants, rank_entries, sort_desc, CombinationStrategy, DirectedCandidates,
+};
+use crate::cube::{SimCube, SimMatrix, SparseBuilder};
 use crate::error::{CoreError, Result};
 use crate::matchers::context::MatchContext;
 use crate::matchers::{Matcher, MatcherLibrary};
@@ -111,13 +128,21 @@ pub struct StageOutcome {
     /// The stage's selected match result.
     pub result: MatchResult,
     /// The largest number of row shards any of this stage's matcher
-    /// slices was computed in (see [`PlanEngine::with_shards`]): `1` for
+    /// slices was computed in (see [`EngineConfig::shards`]): `1` for
     /// unsharded, memoized-hit and non-leaf stages. Masked stages are
     /// never sharded themselves, but report the shard count of a fresh
     /// full compute they triggered (a non-cell-local matcher whose full
-    /// matrix was computed, memoized, then masked). Surfaced by
-    /// `coma-cli --verbose`.
+    /// matrix was computed, memoized, then masked). A fused stage
+    /// reports the number of row shards its streaming pipeline pruned.
+    /// Surfaced by `coma-cli --verbose`.
     pub shards: usize,
+    /// Whether this stage executed as a fused compute→prune pipeline
+    /// (see [`EngineConfig::fuse_pruning`]): the stage's input leaf was
+    /// computed, aggregated and pruned shard by shard, no inner
+    /// `Matchers` stage was materialized, and the full dense similarity
+    /// matrix never existed. The stage's cube holds only the surviving
+    /// cells (its stored-entry count is the real memory footprint).
+    pub fused: bool,
 }
 
 /// The outcome of executing a plan: the final match result plus every
@@ -147,26 +172,142 @@ impl PlanOutcome {
     }
 }
 
-/// Masks at least this sparse take the sparse execution path — and their
-/// stages' matrices the sparse (CSR) *storage* — while denser ones compute
-/// the full matrix (worth memoizing), mask it, and keep it dense. One
-/// threshold drives both decisions: execution and storage switch together
-/// at the stage boundary, based on [`PairMask::density`].
-const SPARSE_DENSITY_CUTOFF: f64 = 0.5;
+/// The engine's execution configuration: every knob [`PlanEngine`]
+/// honors, as one value object (constructed via [`Default`] plus the
+/// `with_*` builder methods, or as a struct literal — all fields are
+/// public). This is what a future plan optimizer emits per task instead
+/// of a chain of engine setters; [`PlanEngine::with_config`] and
+/// `Coma::match_plan_with` take it whole.
+///
+/// The default configuration enables everything: parallel fan-out,
+/// automatic row sharding, the sparse path, and streaming-fused pruning.
+///
+/// ```
+/// use coma_core::EngineConfig;
+///
+/// let cfg = EngineConfig::default().with_parallel(false).with_shards(4);
+/// assert!(cfg.sparse && cfg.fuse_pruning);
+/// assert_eq!(cfg.shards, Some(4));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineConfig {
+    /// Parallel leaf fan-out and threaded row-sharded execution; results
+    /// are identical either way (determinism is property-tested).
+    pub parallel: bool,
+    /// The sparse path: sparse *execution* of
+    /// [`sparse_capable`](crate::Matcher::sparse_capable) matchers under
+    /// a restriction, sparse (CSR) *storage* of pruned stages' matrices,
+    /// and a prerequisite for [`fuse_pruning`](EngineConfig::fuse_pruning).
+    /// Disabling it forces dense, full-cross-product execution — the
+    /// comparison oracle, value-identical to the sparse path.
+    pub sparse: bool,
+    /// Forced row-shard count for unrestricted computes; `None` sizes
+    /// shards automatically (from available parallelism for plain
+    /// dense stages, from [`min_shard_rows`](EngineConfig::min_shard_rows)
+    /// for fused ones). Clamped to at least 1 and at most the task's row
+    /// count, so no shard is ever empty.
+    pub shards: Option<usize>,
+    /// Streaming-fused execution of prunable stages (`TopK` or a
+    /// pruning `Filter` directly over a `Matchers` leaf, unrestricted,
+    /// no feedback pinned, every matcher
+    /// [`row_shardable`](crate::Matcher::row_shardable), and a leaf
+    /// selection that actually prunes): compute → aggregate → select
+    /// runs inside each row shard and only surviving cells are ever
+    /// assembled, so peak memory is bounded by the shard size instead
+    /// of the `m × n` cross-product. Requires
+    /// [`sparse`](EngineConfig::sparse); results are bit-identical to
+    /// unfused execution (property-tested).
+    pub fuse_pruning: bool,
+    /// Masks at most this dense take the sparse execution path — and
+    /// their stages' matrices the sparse (CSR) *storage* — while denser
+    /// ones compute the full matrix (worth memoizing), mask it, and keep
+    /// it dense. One threshold drives both decisions: execution and
+    /// storage switch together at the stage boundary, based on
+    /// [`PairMask::density`]. Default `0.5`.
+    pub sparse_density_cutoff: f64,
+    /// Minimum rows per shard in automatic shard sizing: below this, the
+    /// per-shard setup (spawn, per-shard similarity tables) outweighs
+    /// the row work, so small tasks stay unsharded. Also the fused
+    /// pipeline's shard granularity — and thereby its peak-memory unit:
+    /// a fused worker holds at most one `min_shard_rows × n` dense slice
+    /// per matcher (plus their aggregate) at a time. Default `192`.
+    pub min_shard_rows: usize,
+    /// Soft cap, in bytes, on the fused pipeline's in-flight dense shard
+    /// slices across worker threads: the fused worker count is reduced
+    /// (never below 1) so that `workers × shard slice bytes` stays at or
+    /// under this budget, keeping fused peak memory machine-independent
+    /// instead of scaling with the core count. Default 1 GiB.
+    pub fuse_budget_bytes: usize,
+}
 
-/// Minimum rows per shard in automatic shard sizing: below this, the
-/// per-thread setup (spawn, per-shard similarity tables) outweighs the
-/// row work, so small tasks stay unsharded.
-const MIN_SHARD_ROWS: usize = 192;
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            parallel: true,
+            sparse: true,
+            shards: None,
+            fuse_pruning: true,
+            sparse_density_cutoff: 0.5,
+            min_shard_rows: 192,
+            fuse_budget_bytes: 1 << 30,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Sets [`parallel`](EngineConfig::parallel).
+    pub fn with_parallel(mut self, parallel: bool) -> EngineConfig {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Sets [`sparse`](EngineConfig::sparse).
+    pub fn with_sparse(mut self, sparse: bool) -> EngineConfig {
+        self.sparse = sparse;
+        self
+    }
+
+    /// Forces the row-shard count (see [`shards`](EngineConfig::shards));
+    /// clamped to at least 1.
+    pub fn with_shards(mut self, shards: usize) -> EngineConfig {
+        self.shards = Some(shards.max(1));
+        self
+    }
+
+    /// Sets [`fuse_pruning`](EngineConfig::fuse_pruning).
+    pub fn with_fuse_pruning(mut self, fuse: bool) -> EngineConfig {
+        self.fuse_pruning = fuse;
+        self
+    }
+
+    /// Sets [`sparse_density_cutoff`](EngineConfig::sparse_density_cutoff).
+    pub fn with_sparse_density_cutoff(mut self, cutoff: f64) -> EngineConfig {
+        self.sparse_density_cutoff = cutoff;
+        self
+    }
+
+    /// Sets [`min_shard_rows`](EngineConfig::min_shard_rows); clamped to
+    /// at least 1.
+    pub fn with_min_shard_rows(mut self, rows: usize) -> EngineConfig {
+        self.min_shard_rows = rows.max(1);
+        self
+    }
+
+    /// Sets [`fuse_budget_bytes`](EngineConfig::fuse_budget_bytes).
+    pub fn with_fuse_budget_bytes(mut self, bytes: usize) -> EngineConfig {
+        self.fuse_budget_bytes = bytes;
+        self
+    }
+}
 
 /// Splits `rows` into `shards` contiguous, non-empty ranges covering
 /// every row exactly once, in row order: the first `rows % shards` ranges
 /// hold one extra row. The shard count is clamped to `rows` (never a
 /// zero-row shard); `rows == 0` yields no ranges at all.
 ///
-/// This is the row partition behind the engine's sharded dense-stage
-/// execution (see [`PlanEngine::with_shards`]) and is reused by the bench
-/// harness for per-shard timing.
+/// This is the row partition behind the engine's sharded dense-stage and
+/// fused executions (see [`EngineConfig::shards`]) and is reused by the
+/// bench harness for per-shard timing.
 pub fn shard_ranges(rows: usize, shards: usize) -> Vec<std::ops::Range<usize>> {
     if rows == 0 {
         return Vec::new();
@@ -186,60 +327,50 @@ pub fn shard_ranges(rows: usize, shards: usize) -> Vec<std::ops::Range<usize>> {
 }
 
 /// The plan execution engine: borrows a matcher library and executes plans
-/// against prepared match contexts.
+/// against prepared match contexts, honoring an [`EngineConfig`].
 pub struct PlanEngine<'l> {
     library: &'l MatcherLibrary,
-    parallel: bool,
-    sparse: bool,
-    /// Forced row-shard count for unrestricted computes; `None` = size
-    /// automatically from available parallelism.
-    shards: Option<usize>,
+    cfg: EngineConfig,
 }
 
 impl<'l> PlanEngine<'l> {
-    /// An engine over the given library, with parallel leaf fan-out and
-    /// the sparse execution path enabled.
+    /// An engine over the given library with the default configuration
+    /// (parallel fan-out, automatic sharding, sparse path and fused
+    /// pruning all enabled) — shorthand for
+    /// [`with_config`](PlanEngine::with_config) of
+    /// [`EngineConfig::default`].
     pub fn new(library: &'l MatcherLibrary) -> PlanEngine<'l> {
-        PlanEngine {
-            library,
-            parallel: true,
-            sparse: true,
-            shards: None,
-        }
+        PlanEngine::with_config(library, EngineConfig::default())
     }
 
-    /// Disables (or re-enables) parallel leaf execution; results are
-    /// identical either way. Disabling it also disables row-sharded
-    /// matcher execution.
+    /// An engine over the given library with an explicit configuration.
+    pub fn with_config(library: &'l MatcherLibrary, cfg: EngineConfig) -> PlanEngine<'l> {
+        PlanEngine { library, cfg }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Disables (or re-enables) parallel leaf execution.
+    #[deprecated(note = "use `EngineConfig::with_parallel` and `PlanEngine::with_config`")]
     pub fn with_parallelism(mut self, parallel: bool) -> PlanEngine<'l> {
-        self.parallel = parallel;
+        self.cfg.parallel = parallel;
         self
     }
 
-    /// Forces the row-shard count for unrestricted (dense) matcher
-    /// computation, instead of sizing it from
-    /// [`available_parallelism`](std::thread::available_parallelism):
-    /// [`row_shardable`](crate::Matcher::row_shardable) matchers compute
-    /// `shards` contiguous row ranges on scoped threads and the engine
-    /// stitches them back into one matrix — bit-identical to unsharded
-    /// execution (property-tested), whatever the count. Values are
-    /// clamped to at least 1 and at most the task's row count (no
-    /// zero-row shards); `with_shards(1)` is the explicit single-shard
-    /// path benchmarks compare against.
+    /// Forces the row-shard count for unrestricted matcher computation.
+    #[deprecated(note = "use `EngineConfig::with_shards` and `PlanEngine::with_config`")]
     pub fn with_shards(mut self, shards: usize) -> PlanEngine<'l> {
-        self.shards = Some(shards.max(1));
+        self.cfg = self.cfg.with_shards(shards);
         self
     }
 
-    /// Disables (or re-enables) the sparse path: both the sparse
-    /// *execution* of [`sparse_capable`](crate::Matcher::sparse_capable)
-    /// matchers under a search-space restriction and the sparse (CSR)
-    /// *storage* of pruned stages' matrices. Results are value-identical
-    /// either way (property-tested); only the work and the memory differ —
-    /// dense computes the full cross-product, masks it afterwards, and
-    /// materializes every stage as dense `m × n` buffers.
+    /// Disables (or re-enables) the sparse path.
+    #[deprecated(note = "use `EngineConfig::with_sparse` and `PlanEngine::with_config`")]
     pub fn with_sparse(mut self, sparse: bool) -> PlanEngine<'l> {
-        self.sparse = sparse;
+        self.cfg.sparse = sparse;
         self
     }
 
@@ -247,24 +378,24 @@ impl<'l> PlanEngine<'l> {
     /// sparse: the engine's sparse path is on and the mask has pruned the
     /// pair space below the density cutoff.
     fn sparse_storage(&self, mask: &PairMask) -> bool {
-        self.sparse && mask.density() <= SPARSE_DENSITY_CUTOFF
+        self.cfg.sparse && mask.density() <= self.cfg.sparse_density_cutoff
     }
 
     /// How many row shards an unrestricted compute over `rows` rows
-    /// should use: the forced count when [`PlanEngine::with_shards`] set
+    /// should use: the forced count when [`EngineConfig::shards`] set
     /// one, otherwise the `budget` of workers this compute may occupy
     /// (`available_parallelism()` divided by the leaf's concurrent
     /// matcher fan-out, so a multi-matcher leaf never oversubscribes the
     /// machine quadratically), bounded so every shard keeps at least
-    /// [`MIN_SHARD_ROWS`] rows. Always 1 when parallelism is off, and
-    /// clamped so no shard is ever empty.
+    /// [`EngineConfig::min_shard_rows`] rows. Always 1 when parallelism
+    /// is off, and clamped so no shard is ever empty.
     fn planned_shards(&self, rows: usize, budget: usize) -> usize {
-        if !self.parallel || rows == 0 {
+        if !self.cfg.parallel || rows == 0 {
             return 1;
         }
-        match self.shards {
+        match self.cfg.shards {
             Some(forced) => forced.min(rows),
-            None => budget.min(rows.div_ceil(MIN_SHARD_ROWS)).max(1),
+            None => budget.min(rows.div_ceil(self.cfg.min_shard_rows)).max(1),
         }
     }
 
@@ -309,9 +440,9 @@ impl<'l> PlanEngine<'l> {
     /// otherwise.
     fn pair_matrix(&self, ctx: &MatchContext<'_>, result: &MatchResult) -> SimMatrix {
         let cells = ctx.rows() * ctx.cols();
-        let sparse = self.sparse
+        let sparse = self.cfg.sparse
             && cells > 0
-            && (result.len() as f64 / cells as f64) <= SPARSE_DENSITY_CUTOFF;
+            && (result.len() as f64 / cells as f64) <= self.cfg.sparse_density_cutoff;
         if sparse {
             SimMatrix::from_entries(
                 ctx.rows(),
@@ -365,6 +496,7 @@ impl<'l> PlanEngine<'l> {
                     cube,
                     result: result.clone(),
                     shards,
+                    fused: false,
                 });
                 Ok(result)
             }
@@ -405,6 +537,7 @@ impl<'l> PlanEngine<'l> {
                     cube,
                     result: result.clone(),
                     shards: 1,
+                    fused: false,
                 });
                 Ok(result)
             }
@@ -414,7 +547,11 @@ impl<'l> PlanEngine<'l> {
                 selection,
                 combined_sim,
             } => {
-                let inner = self.exec(ctx, input, mask, stages)?;
+                let fused = self.try_fuse(ctx, input, mask);
+                let (inner, fused_shards) = match fused {
+                    Some((inner, shards)) => (inner, Some(shards)),
+                    None => (self.exec(ctx, input, mask, stages)?, None),
+                };
                 let matrix = self.pair_matrix(&ctx, &inner);
                 let candidates = DirectedCandidates::select(&matrix, *direction, selection);
                 let schema_similarity =
@@ -427,12 +564,17 @@ impl<'l> PlanEngine<'l> {
                     label: plan.label(),
                     cube,
                     result: result.clone(),
-                    shards: 1,
+                    shards: fused_shards.unwrap_or(1),
+                    fused: fused_shards.is_some(),
                 });
                 Ok(result)
             }
             MatchPlan::TopK { input, k, per } => {
-                let inner = self.exec(ctx, input, mask, stages)?;
+                let fused = self.try_fuse(ctx, input, mask);
+                let (inner, fused_shards) = match fused {
+                    Some((inner, shards)) => (inner, Some(shards)),
+                    None => (self.exec(ctx, input, mask, stages)?, None),
+                };
                 let matrix = self.pair_matrix(&ctx, &inner);
                 let keep = PairMask::top_k_of(&matrix, *k, *per);
                 let kept: Vec<(usize, usize, f64)> = inner
@@ -467,7 +609,8 @@ impl<'l> PlanEngine<'l> {
                     label: plan.label(),
                     cube,
                     result: result.clone(),
-                    shards: 1,
+                    shards: fused_shards.unwrap_or(1),
+                    fused: fused_shards.is_some(),
                 });
                 Ok(result)
             }
@@ -508,6 +651,7 @@ impl<'l> PlanEngine<'l> {
                     cube,
                     result: result.clone(),
                     shards: 1,
+                    fused: false,
                 });
                 Ok(result)
             }
@@ -535,6 +679,7 @@ impl<'l> PlanEngine<'l> {
                     cube,
                     result: result.clone(),
                     shards: 1,
+                    fused: false,
                 });
                 Ok(result)
             }
@@ -570,7 +715,7 @@ impl<'l> PlanEngine<'l> {
         // shards: the whole machine for a single-matcher leaf, the
         // remainder after the leaf's own matcher fan-out otherwise —
         // total threads stay bounded by ~`workers` either way.
-        let fan_out = if self.parallel && workers > 1 && matchers.len() > 1 {
+        let fan_out = if self.cfg.parallel && workers > 1 && matchers.len() > 1 {
             workers.min(matchers.len())
         } else {
             1
@@ -582,7 +727,7 @@ impl<'l> PlanEngine<'l> {
 
         let mut slots: Vec<Option<(Arc<SimMatrix>, usize)>> =
             (0..matchers.len()).map(|_| None).collect();
-        if self.parallel && workers > 1 && matchers.len() > 1 {
+        if self.cfg.parallel && workers > 1 && matchers.len() > 1 {
             // At most `workers` threads, each owning a contiguous chunk of
             // matcher slots.
             let chunk = matchers.len().div_ceil(workers.min(matchers.len()));
@@ -664,9 +809,9 @@ impl<'l> PlanEngine<'l> {
                 // sparse path only when the mask prunes enough of the pair
                 // space to beat computing a full, memoizable matrix.
                 let honors_restriction = matcher.cell_local()
-                    || (self.sparse
+                    || (self.cfg.sparse
                         && matcher.sparse_capable()
-                        && mask.density() <= SPARSE_DENSITY_CUTOFF);
+                        && mask.density() <= self.cfg.sparse_density_cutoff);
                 if honors_restriction {
                     // The matcher skips disallowed cells itself; the final
                     // mask application is a cheap safety net for
@@ -701,6 +846,294 @@ impl<'l> PlanEngine<'l> {
             }
         }
     }
+
+    /// Attempts the streaming-fused execution of a prunable stage's
+    /// *input* leaf. Fusion engages when `input` is a `Matchers` leaf
+    /// whose selection actually prunes (`max_n` or `threshold` present),
+    /// every leaf matcher is
+    /// [`row_shardable`](crate::Matcher::row_shardable), the context is
+    /// unrestricted, no feedback is pinned, and the engine's sparse path
+    /// is on. Returns the leaf's exact `MatchResult` — bit-identical to
+    /// unfused execution (property-tested) — plus the shard count, or
+    /// `None` when fusion does not apply (the caller falls back to the
+    /// regular recursive execution).
+    fn try_fuse(
+        &self,
+        ctx: MatchContext<'_>,
+        input: &MatchPlan,
+        mask: Option<&PairMask>,
+    ) -> Option<(MatchResult, usize)> {
+        if !(self.cfg.fuse_pruning && self.cfg.sparse)
+            || mask.is_some()
+            || !ctx.aux.feedback.is_empty()
+        {
+            return None;
+        }
+        let MatchPlan::Matchers {
+            matchers,
+            combination,
+        } = input
+        else {
+            return None;
+        };
+        // An unbounded selection keeps every nonzero cell: there is
+        // nothing to prune inside a shard, and "fusing" would only
+        // rebuild the full matrix in CSR form.
+        if combination.selection.max_n.is_none() && combination.selection.threshold.is_none() {
+            return None;
+        }
+        let resolved: Vec<(String, Arc<dyn Matcher>)> = matchers
+            .iter()
+            .map(|name| self.library.get(name).map(|m| (name.clone(), m)))
+            .collect::<Option<_>>()?;
+        if resolved.is_empty() || resolved.iter().any(|(_, m)| !m.row_shardable()) {
+            return None;
+        }
+        Some(self.fused_leaf(ctx, &resolved, combination))
+    }
+
+    /// The fused pipeline behind [`PlanEngine::try_fuse`] — the engine's
+    /// third execution mode, next to dense and sparse-restricted. Each
+    /// row shard (sized by [`EngineConfig::min_shard_rows`] unless
+    /// [`EngineConfig::shards`] forces a count) runs
+    /// [`compute_rows`](crate::Matcher::compute_rows) for every matcher,
+    /// aggregates the shard cube, and applies the leaf's selection
+    /// *inside the shard*:
+    ///
+    /// * per-source ranking is exact shard-locally — a row never crosses
+    ///   a shard boundary — and emits one CSR fragment per shard, joined
+    ///   by [`SimMatrix::from_row_shards`]'s sparse fast path;
+    /// * per-target ranking keeps a per-column candidate pool with
+    ///   global row indices, folded through the selection whenever it
+    ///   outgrows its bound — a fold can only shed cells the global
+    ///   per-column selection would shed too, so the pool is always a
+    ///   superset of the globally selected cells.
+    ///
+    /// One final [`DirectedCandidates::select`] over the joined
+    /// survivor matrix (row fragments ∪ pooled cells) is then exactly
+    /// the global selection: every globally selected cell is present
+    /// bit-identically, and any extra cell is outranked in its row or
+    /// column by the same cells that outranked it globally. The full
+    /// dense `m × n` aggregate is never materialized.
+    fn fused_leaf(
+        &self,
+        ctx: MatchContext<'_>,
+        matchers: &[(String, Arc<dyn Matcher>)],
+        combination: &CombinationStrategy,
+    ) -> (MatchResult, usize) {
+        let (m, n) = (ctx.rows(), ctx.cols());
+        let shards = match self.cfg.shards {
+            Some(forced) => forced.min(m.max(1)),
+            None => m.div_ceil(self.cfg.min_shard_rows).max(1),
+        };
+        let ranges = shard_ranges(m, shards);
+        let shards = ranges.len().max(1);
+        let (want_for_targets, want_for_sources) = directional_wants(combination.direction, m, n);
+
+        // Worker threads, each processing a contiguous chunk of shards
+        // *sequentially* so it holds at most one shard's dense slices
+        // (one per matcher, plus their aggregate) in flight. The count
+        // is bounded by the machine, the shard count, and the fused
+        // in-flight budget — peak memory must not scale with the core
+        // count (see `EngineConfig::fuse_budget_bytes`).
+        let workers = if self.cfg.parallel {
+            std::thread::available_parallelism()
+                .map(|w| w.get())
+                .unwrap_or(1)
+        } else {
+            1
+        };
+        let shard_rows = ranges.first().map_or(0, ExactSizeIterator::len);
+        let inflight_bytes = shard_rows * n * 8 * (matchers.len() + 1);
+        let budget_cap = match inflight_bytes {
+            0 => workers,
+            b => (self.cfg.fuse_budget_bytes / b).max(1),
+        };
+        let threads = workers.min(budget_cap).min(shards).max(1);
+
+        let chunk = ranges.len().div_ceil(threads).max(1);
+        type WorkerOut = (Vec<SimMatrix>, Vec<(usize, usize, f64)>);
+        let mut outs: Vec<Option<WorkerOut>> =
+            (0..ranges.len().div_ceil(chunk)).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (slot, range_chunk) in outs.iter_mut().zip(ranges.chunks(chunk)) {
+                if threads == 1 {
+                    // Single worker: skip the spawn entirely.
+                    *slot = Some(self.fused_worker(
+                        ctx,
+                        matchers,
+                        combination,
+                        range_chunk,
+                        want_for_targets,
+                        want_for_sources,
+                    ));
+                } else {
+                    scope.spawn(move || {
+                        *slot = Some(self.fused_worker(
+                            ctx,
+                            matchers,
+                            combination,
+                            range_chunk,
+                            want_for_targets,
+                            want_for_sources,
+                        ));
+                    });
+                }
+            }
+        });
+
+        let mut fragments: Vec<SimMatrix> = Vec::with_capacity(ranges.len());
+        let mut pooled: Vec<(usize, usize, f64)> = Vec::new();
+        for out in outs {
+            let (frags, pool) = out.expect("every fused worker ran to completion");
+            fragments.extend(frags);
+            pooled.extend(pool);
+        }
+        // The row-side survivors, stitched in row order; `m × n` even
+        // when the direction skipped the per-source ranking (the
+        // fragments are then empty) or the task has no rows at all.
+        let row_side = SimMatrix::from_row_shards(n, fragments);
+        let row_side = if row_side.rows() == m {
+            row_side
+        } else {
+            debug_assert_eq!(row_side.rows(), 0, "fragments covered a partial row space");
+            SimMatrix::sparse(m, n)
+        };
+        let survivors = if pooled.is_empty() {
+            row_side
+        } else {
+            merge_pooled(&row_side, pooled)
+        };
+
+        // Identical to `combine_cube_with_feedback` on the full
+        // aggregate: feedback is empty (gated in `try_fuse`), and the
+        // selection over the survivor matrix reproduces the global
+        // directional candidate lists exactly.
+        let candidates =
+            DirectedCandidates::select(&survivors, combination.direction, &combination.selection);
+        let schema_similarity = combination.combined_sim.compute(&candidates, m, n);
+        let result = MatchResult::from_pairs(&ctx, candidates.pairs(), Some(schema_similarity));
+        (result, shards)
+    }
+
+    /// One fused worker: runs its contiguous chunk of row shards
+    /// sequentially, returning one CSR fragment per shard (the exact
+    /// per-source selection of that shard's rows) plus the pooled
+    /// per-column candidates (a selection-folded superset of the global
+    /// per-target selection, carrying global row indices).
+    fn fused_worker(
+        &self,
+        ctx: MatchContext<'_>,
+        matchers: &[(String, Arc<dyn Matcher>)],
+        combination: &CombinationStrategy,
+        ranges: &[std::ops::Range<usize>],
+        want_for_targets: bool,
+        want_for_sources: bool,
+    ) -> (Vec<SimMatrix>, Vec<(usize, usize, f64)>) {
+        let n = ctx.cols();
+        let selection = &combination.selection;
+        // Cells at or below the threshold (and zeros) can never be
+        // selected in either direction; drop them before ranking or
+        // pooling, exactly like `DirectedCandidates::select` does.
+        let floor = selection.threshold.unwrap_or(f64::NEG_INFINITY);
+        // Fold a column pool back through the selection once it outgrows
+        // this. Only `max_n` bounds the selected set's size; without it
+        // the pool accumulates every above-threshold cell (the true
+        // survivor count — irreducible, they all reach the output).
+        let fold_at = selection.max_n.map(|k| (4 * k).max(16));
+        let mut pools: Vec<Vec<(usize, f64)>> = if want_for_targets {
+            vec![Vec::new(); n]
+        } else {
+            Vec::new()
+        };
+        let mut touched: Vec<usize> = Vec::new();
+        let mut fragments: Vec<SimMatrix> = Vec::with_capacity(ranges.len());
+        let mut row_buf: Vec<(usize, f64)> = Vec::new();
+        let mut builder = SparseBuilder::new(ranges.first().map_or(0, ExactSizeIterator::len), n);
+        for (which, range) in ranges.iter().enumerate() {
+            let mut cube = SimCube::new();
+            for (name, matcher) in matchers {
+                cube.push(name.clone(), matcher.compute_rows(&ctx, range.clone()));
+            }
+            let agg = combination.aggregation.aggregate(&cube);
+            drop(cube);
+            for li in 0..range.len() {
+                row_buf.clear();
+                row_buf.extend(agg.row_entries(li).filter(|&(_, v)| v > floor));
+                if want_for_sources {
+                    let mut selected = rank_entries(row_buf.iter().copied(), selection);
+                    selected.sort_unstable_by_key(|&(j, _)| j);
+                    builder.push_row(li, selected);
+                }
+                if want_for_targets {
+                    let gi = range.start + li;
+                    for &(j, v) in &row_buf {
+                        if v <= 0.0 {
+                            continue;
+                        }
+                        let pool = &mut pools[j];
+                        if pool.is_empty() {
+                            touched.push(j);
+                        }
+                        pool.push((gi, v));
+                        if fold_at.is_some_and(|limit| pool.len() >= limit) {
+                            sort_desc(pool);
+                            let folded = selection.apply(pool);
+                            *pool = folded;
+                        }
+                    }
+                }
+            }
+            let next_rows = ranges.get(which + 1).map_or(0, ExactSizeIterator::len);
+            fragments.push(builder.finish_reset(next_rows));
+        }
+        // A pool emptied by a fold can re-touch its column; deduplicate
+        // so no cell is emitted twice.
+        touched.sort_unstable();
+        touched.dedup();
+        let mut pooled = Vec::new();
+        for j in touched {
+            for &(i, v) in &pools[j] {
+                pooled.push((i, j, v));
+            }
+        }
+        (fragments, pooled)
+    }
+}
+
+/// Unions the fused row-side survivor matrix with the pooled per-column
+/// survivors into one sparse matrix. A cell present on both sides comes
+/// from the same aggregated value, so duplicates collapse to the
+/// row-side copy.
+fn merge_pooled(row_side: &SimMatrix, mut pooled: Vec<(usize, usize, f64)>) -> SimMatrix {
+    pooled.sort_unstable_by_key(|&(i, j, _)| (i, j));
+    let mut builder = SparseBuilder::new(row_side.rows(), row_side.cols());
+    let mut p = 0;
+    for i in 0..row_side.rows() {
+        let mut row = row_side.row_entries(i).peekable();
+        while p < pooled.len() && pooled[p].0 == i {
+            let (_, pj, pv) = pooled[p];
+            while let Some(&(j, v)) = row.peek() {
+                if j < pj {
+                    builder.push(i, j, v);
+                    row.next();
+                } else {
+                    break;
+                }
+            }
+            if row.peek().is_some_and(|&(j, _)| j == pj) {
+                // Same cell on both sides; the row copy is emitted by a
+                // later iteration (or the flush below).
+            } else {
+                builder.push(i, pj, pv);
+            }
+            p += 1;
+        }
+        for (j, v) in row {
+            builder.push(i, j, v);
+        }
+    }
+    builder.finish()
 }
 
 /// The dense form of [`PlanEngine::pair_matrix`].
@@ -787,11 +1220,30 @@ mod tests {
 
         // Sequential engine execution agrees too (determinism under
         // parallelism).
-        let serial = PlanEngine::new(c.library())
-            .with_parallelism(false)
-            .execute(&ctx, &MatchPlan::from(&strategy))
-            .unwrap();
+        let serial =
+            PlanEngine::with_config(c.library(), EngineConfig::default().with_parallel(false))
+                .execute(&ctx, &MatchPlan::from(&strategy))
+                .unwrap();
         assert_eq!(serial.result, legacy_result);
+    }
+
+    /// The deprecated builder setters still configure the engine (they
+    /// are one-release shims over [`EngineConfig`]).
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_setters_still_configure_the_engine() {
+        let c = coma();
+        let engine = PlanEngine::new(c.library())
+            .with_parallelism(false)
+            .with_sparse(false)
+            .with_shards(3);
+        assert_eq!(
+            *engine.config(),
+            EngineConfig::default()
+                .with_parallel(false)
+                .with_sparse(false)
+                .with_shards(3)
+        );
     }
 
     /// The tentpole scenario: a cheap name filter whose survivors restrict
@@ -946,7 +1398,10 @@ mod tests {
             .candidates
             .iter()
             .all(|cand| cand.similarity > 0.8));
-        assert_eq!(tight.stages.len(), 2);
+        // The threshold filter fuses with its Matchers input, so the
+        // inner stage is not materialized separately.
+        assert_eq!(tight.stages.len(), 1);
+        assert!(tight.stages[0].fused);
     }
 
     /// `TopK` keeps at most k candidates per element and its survivors
@@ -962,16 +1417,46 @@ mod tests {
 
         let mut liberal = CombinationStrategy::paper_default();
         liberal.selection = Selection::max_n(6).with_threshold(0.2);
-        let pruned = MatchPlan::matchers_with(["Name"], liberal)
-            .top_k(2, TopKPer::Both)
-            .unwrap();
+        let name_plan = MatchPlan::matchers_with(["Name"], liberal);
+        let pruned = name_plan.clone().top_k(2, TopKPer::Both).unwrap();
         let plan = MatchPlan::seq(pruned, MatchPlan::from(&MatchStrategy::paper_default()));
 
         let outcome = PlanEngine::new(c.library()).execute(&ctx, &plan).unwrap();
-        assert_eq!(outcome.stages.len(), 3); // Name, TopK, refine
+        // The TopK stage fuses compute→prune (its input is a prunable
+        // Matchers leaf over an unrestricted context), so the inner Name
+        // stage is not materialized: TopK and refine remain.
+        assert_eq!(outcome.stages.len(), 2);
+        assert!(outcome.stages[0].fused);
+        assert!(!outcome.stages[1].fused);
 
-        let name_stage = &outcome.stages[0].result;
-        let topk_stage = &outcome.stages[1].result;
+        // Unfused execution materializes all three stages and agrees
+        // with the fused run stage for stage (matching labels) and on
+        // the final result.
+        let unfused = PlanEngine::with_config(
+            c.library(),
+            EngineConfig::default().with_fuse_pruning(false),
+        )
+        .execute(&ctx, &plan)
+        .unwrap();
+        assert_eq!(unfused.stages.len(), 3); // Name, TopK, refine
+        assert!(unfused.stages.iter().all(|s| !s.fused));
+        assert_eq!(outcome.result, unfused.result);
+        for fused_stage in &outcome.stages {
+            let twin = unfused
+                .stages
+                .iter()
+                .find(|s| s.label == fused_stage.label)
+                .expect("fused stage has an unfused twin");
+            assert_eq!(fused_stage.cube, twin.cube, "stage {}", fused_stage.label);
+            assert_eq!(fused_stage.result, twin.result);
+        }
+
+        let name_stage = PlanEngine::new(c.library())
+            .execute(&ctx, &name_plan)
+            .unwrap()
+            .result;
+        let name_stage = &name_stage;
+        let topk_stage = &outcome.stages[0].result;
         // TopK output is a subset of its input.
         for cand in &topk_stage.candidates {
             assert!(name_stage.contains(cand.source, cand.target));
@@ -1055,10 +1540,10 @@ mod tests {
             &MatchStrategy::paper_default(),
         );
         let sparse = PlanEngine::new(c.library()).execute(&ctx, &plan).unwrap();
-        let dense = PlanEngine::new(c.library())
-            .with_sparse(false)
-            .execute(&ctx, &plan)
-            .unwrap();
+        let dense =
+            PlanEngine::with_config(c.library(), EngineConfig::default().with_sparse(false))
+                .execute(&ctx, &plan)
+                .unwrap();
         assert_eq!(sparse.result, dense.result);
         assert_eq!(sparse.stages.len(), dense.stages.len());
         for (a, b) in sparse.stages.iter().zip(&dense.stages) {
@@ -1179,16 +1664,18 @@ mod tests {
             ),
         ];
         for plan in &plans {
-            let baseline = PlanEngine::new(c.library())
-                .with_shards(1)
-                .execute(&ctx, plan)
-                .unwrap();
-            assert!(baseline.stages.iter().all(|s| s.shards == 1));
-            for shards in [2, 7, ctx.rows() + 1] {
-                let sharded = PlanEngine::new(c.library())
-                    .with_shards(shards)
+            let baseline =
+                PlanEngine::with_config(c.library(), EngineConfig::default().with_shards(1))
                     .execute(&ctx, plan)
                     .unwrap();
+            assert!(baseline.stages.iter().all(|s| s.shards == 1));
+            for shards in [2, 7, ctx.rows() + 1] {
+                let sharded = PlanEngine::with_config(
+                    c.library(),
+                    EngineConfig::default().with_shards(shards),
+                )
+                .execute(&ctx, plan)
+                .unwrap();
                 assert_eq!(sharded.result, baseline.result, "shards={shards}");
                 assert_eq!(sharded.stages.len(), baseline.stages.len());
                 for (a, b) in sharded.stages.iter().zip(&baseline.stages) {
@@ -1239,10 +1726,12 @@ mod tests {
             assert_eq!(PairMask::new(ctx.rows(), ctx.cols()).density(), 0.0);
             for plan in &plans {
                 for sparse in [true, false] {
-                    let outcome = PlanEngine::new(c.library())
-                        .with_sparse(sparse)
-                        .execute(ctx, plan)
-                        .unwrap_or_else(|e| panic!("task {which} (sparse={sparse}) failed: {e}"));
+                    let outcome = PlanEngine::with_config(
+                        c.library(),
+                        EngineConfig::default().with_sparse(sparse),
+                    )
+                    .execute(ctx, plan)
+                    .unwrap_or_else(|e| panic!("task {which} (sparse={sparse}) failed: {e}"));
                     assert!(outcome.result.is_empty(), "task {which} sparse={sparse}");
                     for stage in &outcome.stages {
                         assert_eq!(stage.cube.stored_entries(), 0);

@@ -119,6 +119,12 @@ pub enum MatchPlan {
     },
     /// Mid-pipeline re-selection: re-ranks the pairs `input` selected
     /// under a (typically stricter) direction + selection.
+    ///
+    /// When `input` is a [`MatchPlan::Matchers`] leaf of row-shardable
+    /// matchers, the context is unrestricted and `selection` carries a
+    /// threshold or cap, the engine fuses compute→prune per row shard
+    /// (see [`EngineConfig::fuse_pruning`](super::EngineConfig)) — the
+    /// inner leaf's full matrix is never materialized.
     Filter {
         /// The plan whose result is filtered.
         input: Box<MatchPlan>,
@@ -134,6 +140,12 @@ pub enum MatchPlan {
     /// [`MatchPlan::Seq`], the surviving pairs materialize as a
     /// [`PairMask`](super::PairMask) restriction for the downstream
     /// stages, which the engine then executes on its sparse path.
+    ///
+    /// Like [`MatchPlan::Filter`], a `TopK` over an unrestricted
+    /// [`MatchPlan::Matchers`] leaf of row-shardable matchers executes
+    /// streaming-fused: pruning runs inside each row shard and the
+    /// inner leaf's dense matrix is never allocated (see
+    /// [`EngineConfig::fuse_pruning`](super::EngineConfig)).
     TopK {
         /// The plan whose result is pruned.
         input: Box<MatchPlan>,

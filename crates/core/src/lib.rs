@@ -62,8 +62,8 @@ pub use combine::{
 };
 pub use cube::{SimCube, SimMatrix, SparseBuilder, StorageMode};
 pub use engine::{
-    shard_ranges, MatchMemo, MatchPlan, PairMask, PlanEngine, PlanError, PlanOutcome, StageOutcome,
-    TopKPer,
+    shard_ranges, EngineConfig, MatchMemo, MatchPlan, PairMask, PlanEngine, PlanError, PlanOutcome,
+    StageOutcome, TopKPer,
 };
 pub use error::{CoreError, Result};
 pub use matchers::{Auxiliary, MatchContext, Matcher, MatcherLibrary};

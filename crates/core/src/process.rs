@@ -4,7 +4,7 @@
 
 use crate::combine::{CombinationStrategy, DirectedCandidates};
 use crate::cube::SimCube;
-use crate::engine::{MatchPlan, PlanEngine, PlanOutcome};
+use crate::engine::{EngineConfig, MatchPlan, PlanEngine, PlanOutcome};
 use crate::error::{CoreError, Result};
 use crate::matchers::context::{Auxiliary, MatchContext};
 use crate::matchers::feedback::Feedback;
@@ -184,11 +184,25 @@ impl Coma {
         target: &Schema,
         plan: &MatchPlan,
     ) -> Result<PlanOutcome> {
+        self.match_plan_with(EngineConfig::default(), source, target, plan)
+    }
+
+    /// Like [`Coma::match_plan`], but with an explicit [`EngineConfig`]
+    /// — the entry point for callers that tune the engine (parallelism,
+    /// sharding, the sparse path, fused pruning, density/shard-size
+    /// thresholds) instead of taking the defaults.
+    pub fn match_plan_with(
+        &self,
+        cfg: EngineConfig,
+        source: &Schema,
+        target: &Schema,
+        plan: &MatchPlan,
+    ) -> Result<PlanOutcome> {
         let source_paths = PathSet::new(source)?;
         let target_paths = PathSet::new(target)?;
         let ctx = MatchContext::new(source, target, &source_paths, &target_paths, &self.aux)
             .with_repository(&self.repository);
-        PlanEngine::new(&self.library).execute(&ctx, plan)
+        PlanEngine::with_config(&self.library, cfg).execute(&ctx, plan)
     }
 
     /// Like [`Coma::match_schemas`], but additionally stores the schemas,

@@ -34,7 +34,7 @@
 //! physically stored cells, so you can see exactly when and where sparse
 //! storage engages.
 
-use coma::core::{Coma, MatchContext, MatchPlan, MatchStrategy, Selection, TopKPer};
+use coma::core::{Coma, EngineConfig, MatchContext, MatchPlan, MatchStrategy, Selection, TopKPer};
 use coma::graph::{PathSet, Schema};
 use coma::repo::MappingKind;
 use std::path::Path;
@@ -237,14 +237,14 @@ fn main() -> ExitCode {
                 }
             };
         }
-        match coma.match_plan(&source, &target, &plan) {
+        match coma.match_plan_with(EngineConfig::default(), &source, &target, &plan) {
             Ok(outcome) => {
                 for stage in &outcome.stages {
                     if opts.verbose {
                         let cube = &stage.cube;
                         eprintln!(
                             "# stage {} -> {} pair(s); cube {}x{}x{}, {} storage, \
-                             {} stored entr{} ({} dense cells), {} row shard{}",
+                             {} stored entr{} ({} dense cells), {} row shard{}{}",
                             stage.label,
                             stage.result.len(),
                             cube.len(),
@@ -260,6 +260,7 @@ fn main() -> ExitCode {
                             cube.len() * cube.rows() * cube.cols(),
                             stage.shards,
                             if stage.shards == 1 { "" } else { "s" },
+                            if stage.fused { ", fused" } else { "" },
                         );
                     } else {
                         eprintln!("# stage {} -> {} pair(s)", stage.label, stage.result.len());

@@ -36,6 +36,6 @@ pub use coma_strings as strings;
 pub use coma_xml as xml;
 
 pub use coma_core::{
-    Coma, MatchPlan, MatchResult, MatchStrategy, PlanEngine, PlanError, PlanOutcome, StageOutcome,
-    TopKPer,
+    Coma, EngineConfig, MatchPlan, MatchResult, MatchStrategy, PlanEngine, PlanError, PlanOutcome,
+    StageOutcome, TopKPer,
 };

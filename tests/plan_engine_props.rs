@@ -10,7 +10,7 @@
 
 use coma::core::{
     Aggregation, Coma, CombinationStrategy, CombinedSim, DirectedCandidates, Direction,
-    MatchContext, MatchPlan, PlanEngine, Selection, SimCube, TopKPer,
+    EngineConfig, MatchContext, MatchPlan, PlanEngine, Selection, SimCube, TopKPer,
 };
 use coma::graph::{PathSet, Schema};
 use proptest::prelude::*;
@@ -21,6 +21,10 @@ use std::sync::OnceLock;
 const POOL: [&str; 8] = [
     "Name", "NamePath", "TypeName", "Children", "Leaves", "Trigram", "DataType", "Synonym",
 ];
+
+/// The row-shardable hybrids — the matchers the streaming-fused pruning
+/// path can execute shard by shard.
+const SHARDABLE: [&str; 4] = ["Name", "NamePath", "TypeName", "Leaves"];
 
 struct Fixture {
     coma: Coma,
@@ -219,7 +223,7 @@ proptest! {
         let mut liberal = CombinationStrategy::paper_default();
         liberal.selection = Selection::max_n(6).with_threshold(0.1);
         let input = MatchPlan::matchers_with(names.iter().map(String::as_str), liberal);
-        let plan = input.top_k(k, per).unwrap();
+        let plan = input.clone().top_k(k, per).unwrap();
         let ctx = MatchContext::new(
             &f.source,
             &f.target,
@@ -228,14 +232,19 @@ proptest! {
             f.coma.aux(),
         );
 
-        let outcome = PlanEngine::new(f.coma.library()).execute(&ctx, &plan).unwrap();
-        prop_assert_eq!(outcome.stages.len(), 2);
-        let input_stage = &outcome.stages[0];
-        let topk_stage = &outcome.stages[1];
+        let engine = PlanEngine::new(f.coma.library());
+        let outcome = engine.execute(&ctx, &plan).unwrap();
+        // Whether or not the engine fused the TopK with its Matchers
+        // input (it does when every matcher is row-shardable), the TopK
+        // stage is the last one. The input's standalone result is
+        // recovered by executing the input plan on its own — execution
+        // is deterministic, so it matches what TopK consumed.
+        let topk_stage = outcome.stages.last().unwrap();
+        let input_result = engine.execute(&ctx, &input).unwrap().result;
 
         // Subset of the input's selected (nonzero) pairs, values intact.
         for cand in &topk_stage.result.candidates {
-            let kept = input_stage.result.candidates.iter().find(|c| {
+            let kept = input_result.candidates.iter().find(|c| {
                 c.source == cand.source && c.target == cand.target
             });
             prop_assert!(kept.is_some(), "TopK invented a pair");
@@ -245,7 +254,7 @@ proptest! {
         for (i, j, v) in topk_stage.cube.slice(0).nonzero() {
             let source = ctx.source_elem(i);
             let target = ctx.target_elem(j);
-            prop_assert_eq!(input_stage.result.similarity_of(source, target), Some(v));
+            prop_assert_eq!(input_result.similarity_of(source, target), Some(v));
         }
         // Per-element budgets hold for the directional variants.
         if per == TopKPer::Row {
@@ -337,11 +346,21 @@ proptest! {
         )
         .with_repository(f.coma.repository());
 
-        let sparse = PlanEngine::new(f.coma.library()).execute(&ctx, &plan).unwrap();
-        let dense = PlanEngine::new(f.coma.library())
-            .with_sparse(false)
-            .execute(&ctx, &plan)
-            .unwrap();
+        // Fusion is disabled on the sparse run so both runs materialize
+        // the same stage sequence; fused ≡ unfused equivalence has its
+        // own property below.
+        let sparse = PlanEngine::with_config(
+            f.coma.library(),
+            EngineConfig::default().with_fuse_pruning(false),
+        )
+        .execute(&ctx, &plan)
+        .unwrap();
+        let dense = PlanEngine::with_config(
+            f.coma.library(),
+            EngineConfig::default().with_sparse(false),
+        )
+        .execute(&ctx, &plan)
+        .unwrap();
         prop_assert_eq!(&sparse.result, &dense.result);
         prop_assert_eq!(sparse.stages.len(), dense.stages.len());
         for (a, b) in sparse.stages.iter().zip(&dense.stages) {
@@ -383,14 +402,18 @@ proptest! {
         .with_repository(f.coma.repository());
         let shards = [1, 2, 7, ctx.rows() + 1][shard_sel];
 
-        let unsharded = PlanEngine::new(f.coma.library())
-            .with_shards(1)
-            .execute(&ctx, &plan)
-            .unwrap();
-        let sharded = PlanEngine::new(f.coma.library())
-            .with_shards(shards)
-            .execute(&ctx, &plan)
-            .unwrap();
+        let unsharded = PlanEngine::with_config(
+            f.coma.library(),
+            EngineConfig::default().with_shards(1),
+        )
+        .execute(&ctx, &plan)
+        .unwrap();
+        let sharded = PlanEngine::with_config(
+            f.coma.library(),
+            EngineConfig::default().with_shards(shards),
+        )
+        .execute(&ctx, &plan)
+        .unwrap();
         prop_assert_eq!(&sharded.result, &unsharded.result);
         prop_assert_eq!(sharded.stages.len(), unsharded.stages.len());
         for (a, b) in sharded.stages.iter().zip(&unsharded.stages) {
@@ -398,6 +421,77 @@ proptest! {
             prop_assert_eq!(&a.cube, &b.cube);
             prop_assert_eq!(&a.result, &b.result);
         }
+    }
+
+    /// Streaming-fused pruning is bit-identical to unfused execution:
+    /// for any subset of row-shardable matchers, any shard count
+    /// (including more shards than rows), all three `TopKPer` modes and
+    /// threshold filters (with and without a `max_n` cap), the fused
+    /// compute→prune pipeline produces exactly the unfused prune stage —
+    /// same final result, same stage result, same stage cube — while
+    /// never materializing the inner Matchers stage.
+    #[test]
+    fn fused_pruning_matches_unfused(
+        mask in 1usize..16,
+        k in 1usize..5,
+        per in 0usize..3,
+        shard_sel in 0usize..4,
+        dir in 0usize..3,
+        prune in (0usize..3, 0.05f64..0.9),
+    ) {
+        let f = fixture();
+        let names: Vec<String> = SHARDABLE
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, n)| n.to_string())
+            .collect();
+        let direction = [Direction::LargeSmall, Direction::SmallLarge, Direction::Both][dir];
+        let mut liberal = CombinationStrategy::paper_default();
+        liberal.selection = Selection::max_n(6).with_threshold(0.1);
+        liberal.direction = direction;
+        let inner = MatchPlan::matchers_with(names.iter().map(String::as_str), liberal);
+        let (prune_kind, threshold) = prune;
+        let plan = match prune_kind {
+            0 => inner.top_k(k, [TopKPer::Row, TopKPer::Col, TopKPer::Both][per]).unwrap(),
+            1 => inner.filtered(direction, Selection::max_n(k).with_threshold(threshold)),
+            // Pure threshold: the fused per-column pools are unbounded.
+            _ => inner.filtered(direction, Selection::threshold(threshold)),
+        };
+        let ctx = MatchContext::new(
+            &f.source,
+            &f.target,
+            &f.source_paths,
+            &f.target_paths,
+            f.coma.aux(),
+        );
+        let shards = [1, 2, 7, ctx.rows() + 1][shard_sel];
+
+        let fused = PlanEngine::with_config(
+            f.coma.library(),
+            EngineConfig::default().with_shards(shards),
+        )
+        .execute(&ctx, &plan)
+        .unwrap();
+        let unfused = PlanEngine::with_config(
+            f.coma.library(),
+            EngineConfig::default().with_fuse_pruning(false).with_shards(shards),
+        )
+        .execute(&ctx, &plan)
+        .unwrap();
+
+        // The fused run skipped the inner Matchers stage entirely.
+        prop_assert_eq!(fused.stages.len(), 1);
+        prop_assert!(fused.stages[0].fused);
+        prop_assert_eq!(unfused.stages.len(), 2);
+        prop_assert!(unfused.stages.iter().all(|s| !s.fused));
+
+        prop_assert_eq!(&fused.result, &unfused.result);
+        let fused_stage = &fused.stages[0];
+        let unfused_stage = unfused.stages.last().unwrap();
+        prop_assert_eq!(&fused_stage.label, &unfused_stage.label);
+        prop_assert_eq!(&fused_stage.result, &unfused_stage.result);
+        prop_assert_eq!(&fused_stage.cube, &unfused_stage.cube);
     }
 
     /// `Iterate` always terminates within `max_rounds`, whatever the
@@ -439,7 +533,9 @@ proptest! {
 /// The storage decision is observable end to end: a `TopK(1)`-pruned mask
 /// is far below the density cutoff, so the sparse engine stores the `TopK`
 /// and refine stage cubes in CSR while the `with_sparse(false)` engine
-/// keeps every stage dense — and both report identical values anyway.
+/// keeps every stage dense — and both report identical values anyway. On
+/// the sparse path the `TopK` additionally fuses with its `Name` input,
+/// so the inner Matchers stage is never materialized at all.
 #[test]
 fn pruned_stages_engage_sparse_storage() {
     let f = fixture();
@@ -462,30 +558,69 @@ fn pruned_stages_engage_sparse_storage() {
     let sparse = PlanEngine::new(f.coma.library())
         .execute(&ctx, &plan)
         .unwrap();
-    let dense = PlanEngine::new(f.coma.library())
-        .with_sparse(false)
-        .execute(&ctx, &plan)
-        .unwrap();
+    let dense =
+        PlanEngine::with_config(f.coma.library(), EngineConfig::default().with_sparse(false))
+            .execute(&ctx, &plan)
+            .unwrap();
 
-    // Stage 0 (unmasked Name filter) is dense in both runs; the pruned
-    // TopK and refine stages are CSR-stored only on the sparse path.
-    assert!(!sparse.stages[0].cube.all_sparse());
+    // The sparse run fuses compute→prune, so only the TopK and refine
+    // stages exist — and both are CSR-stored. The dense run neither
+    // fuses nor stores sparse: three stages, all dense.
+    assert_eq!(sparse.stages.len(), 2);
+    assert!(sparse.stages[0].fused);
+    assert!(
+        sparse.stages[0].cube.all_sparse(),
+        "TopK stage should store sparse, got {}",
+        sparse.stages[0].cube.storage_summary()
+    );
     assert!(
         sparse.stages[1].cube.all_sparse(),
-        "TopK stage should store sparse, got {}",
+        "refine stage should store sparse, got {}",
         sparse.stages[1].cube.storage_summary()
     );
-    assert!(
-        sparse.stages[2].cube.all_sparse(),
-        "refine stage should store sparse, got {}",
-        sparse.stages[2].cube.storage_summary()
-    );
+    assert_eq!(dense.stages.len(), 3);
     for stage in &dense.stages {
         assert_eq!(stage.cube.storage_summary(), "dense");
+        assert!(!stage.fused);
     }
-    // Sparse storage holds a fraction of the cells yet equal values.
-    let (s, d) = (&sparse.stages[2].cube, &dense.stages[2].cube);
+    // Sparse storage holds a fraction of the cells yet equal values,
+    // stage for stage (matched by label across the differing counts).
+    let (s, d) = (&sparse.stages[1].cube, &dense.stages[2].cube);
+    assert_eq!(sparse.stages[1].label, dense.stages[2].label);
+    assert_eq!(sparse.stages[0].label, dense.stages[1].label);
+    assert_eq!(sparse.stages[0].cube, dense.stages[1].cube);
     assert!(s.stored_entries() * 2 < d.stored_entries());
     assert_eq!(s, d);
     assert_eq!(sparse.result, dense.result);
+}
+
+/// Fused pruning survives degenerate `0 × n`, `m × 0` and `0 × 0` match
+/// tasks: the fused stage still reports `fused`, yields an empty result
+/// and stores no cells.
+#[test]
+fn fused_pruning_handles_empty_tasks() {
+    let f = fixture();
+    let none = PathSet::empty();
+    let plans = [
+        MatchPlan::matchers(["Name", "Leaves"])
+            .top_k(2, TopKPer::Both)
+            .unwrap(),
+        MatchPlan::matchers(["Name"]).filtered(Direction::Both, Selection::threshold(0.3)),
+    ];
+    let contexts = [
+        MatchContext::new(&f.source, &f.target, &none, &f.target_paths, f.coma.aux()),
+        MatchContext::new(&f.source, &f.target, &f.source_paths, &none, f.coma.aux()),
+        MatchContext::new(&f.source, &f.target, &none, &none, f.coma.aux()),
+    ];
+    for (which, ctx) in contexts.iter().enumerate() {
+        for plan in &plans {
+            let outcome = PlanEngine::new(f.coma.library())
+                .execute(ctx, plan)
+                .unwrap_or_else(|e| panic!("task {which} failed: {e}"));
+            assert_eq!(outcome.stages.len(), 1, "task {which}");
+            assert!(outcome.stages[0].fused, "task {which} did not fuse");
+            assert!(outcome.result.is_empty(), "task {which}");
+            assert_eq!(outcome.stages[0].cube.stored_entries(), 0);
+        }
+    }
 }

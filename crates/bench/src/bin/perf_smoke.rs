@@ -1,7 +1,7 @@
 //! `perf_smoke` — the CI performance gate.
 //!
 //! Runs a quick, deterministic benchmark suite over the evaluation corpus
-//! and the generated large-schema workloads, emits a `BENCH_PR6.json`
+//! and the generated large-schema workloads, emits a `BENCH_PR7.json`
 //! trajectory file (task, wall-ms, candidates, dense/sparse speedups,
 //! peak allocations, fused peak ceilings) and optionally compares it
 //! against a committed baseline:
@@ -10,13 +10,15 @@
 //! perf_smoke [--quick] [--out FILE] [--check BASELINE] [--runs N] [--verbose]
 //! ```
 //!
-//! * `--quick` — the CI subset: eval corpus + one generated 1200-node
-//!   deep schema (the full suite adds star/wide workloads, the `deep5000`
-//!   size — infeasible-or-slow to execute densely, comfortable on the
-//!   sparse storage path — the `deep20000` row-sharding workload, and the
-//!   `deep100000` streaming-fused workload below).
+//! * `--quick` — the CI subset: eval corpus (correctness and
+//!   candidate-index recall gates included) + one generated 1200-node
+//!   deep schema (the full suite adds star/wide/catalog workloads, the
+//!   `deep5000` size — infeasible-or-slow to execute densely, comfortable
+//!   on the sparse storage path — the `deep20000` row-sharding workload,
+//!   the `deep100000` streaming-fused workload, and the candidate-index
+//!   vs exact-two-stage plan comparison below).
 //! * `--out FILE` — where to write the fresh numbers (default
-//!   `BENCH_PR6.json` in the current directory).
+//!   `BENCH_PR7.json` in the current directory).
 //! * `--check BASELINE` — compare against a baseline JSON and exit
 //!   nonzero if any tracked number regresses: candidate counts must match
 //!   exactly (the workloads are seeded, so counts are machine-independent),
@@ -63,14 +65,18 @@
 //! never applies to sharding entries.
 
 use coma_bench::workload::{generate_task, WorkloadShape, WorkloadSpec};
-use coma_bench::{alloc_track, fused_filter_plan, topk_pruned_plan};
+use coma_bench::{
+    alloc_track, candidate_index_plan, candidate_index_stage, fused_filter_plan,
+    liberal_name_stage, topk_pruned_plan,
+};
 use coma_core::{
     shard_ranges, Coma, EngineConfig, MatchContext, MatchPlan, MatchResult, MatchStrategy,
     PlanEngine, PlanOutcome,
 };
-use coma_eval::{Corpus, TASKS};
+use coma_eval::{Corpus, MatchQuality, TASKS};
 use coma_graph::PathSet;
 use serde::{DeError, Deserialize, Serialize, Value};
+use std::collections::BTreeSet;
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -185,7 +191,7 @@ struct Options {
 fn parse_args() -> Result<Options, ExitCode> {
     let mut opts = Options {
         quick: false,
-        out: "BENCH_PR6.json".to_string(),
+        out: "BENCH_PR7.json".to_string(),
         check: None,
         runs: 3,
         verbose: false,
@@ -391,6 +397,69 @@ fn measure(opts: &Options) -> Result<BenchReport, String> {
         candidates: corpus_candidates,
     });
 
+    // Recall gate: the inverted-index candidate generator may not miss
+    // gold matches the exact prefilter finds. On every corpus task the
+    // first stage of the candidate-index plan (inverted-index retrieval
+    // capped at 5 per element, re-ranked by the masked liberal `Name`
+    // stage and pruned to its 5 best per element — exactly the candidate
+    // set `candidate_index_plan`'s refine gets to see) must reach at
+    // least the recall-vs-gold of the exact plan's budget-matched
+    // prefilter — the liberal `Name` stage pruned to its own 5 best per
+    // element, which is precisely the candidate set
+    // [`topk_pruned_plan`]'s refine gets to see. The index is a
+    // recall-preserving prefilter, so a gold pair it drops while the
+    // dense cross-product prefilter keeps it would be a quality
+    // regression hiding behind the wall-time win.
+    let exact_stage = liberal_name_stage()
+        .top_k(5, coma_core::TopKPer::Both)
+        .expect("k > 0");
+    let cidx_stage = candidate_index_stage();
+    let mut cidx_true_positives = 0u64;
+    for &(i, j) in &TASKS {
+        let ctx = MatchContext::new(
+            corpus.schema(i),
+            corpus.schema(j),
+            corpus.path_set(i),
+            corpus.path_set(j),
+            coma.aux(),
+        );
+        let gold = corpus.gold_names(i, j);
+        let names = |outcome: &PlanOutcome| -> BTreeSet<(String, String)> {
+            outcome
+                .result
+                .candidates
+                .iter()
+                .map(|c| {
+                    (
+                        ctx.source_full_name(c.source.index()),
+                        ctx.target_full_name(c.target.index()),
+                    )
+                })
+                .collect()
+        };
+        let exact = run_plan(&coma, &ctx, &exact_stage, Mode::Sparse);
+        let cidx = run_plan(&coma, &ctx, &cidx_stage, Mode::Sparse);
+        let exact_recall = MatchQuality::compare(&gold, &names(&exact)).recall();
+        let cidx_quality = MatchQuality::compare(&gold, &names(&cidx));
+        if cidx_quality.recall() < exact_recall {
+            return Err(format!(
+                "candidate-index recall {:.3} fell below the exact first stage's {exact_recall:.3} \
+                 on eval task {i}->{j}",
+                cidx_quality.recall()
+            ));
+        }
+        cidx_true_positives += cidx_quality.true_positives as u64;
+    }
+    eprintln!(
+        "# eval corpus: candidate-index recall >= exact first-stage recall on all {} tasks",
+        TASKS.len()
+    );
+    tasks.push(TaskEntry {
+        task: "eval/cidx_recall_total".into(),
+        wall_ms: 0.0,
+        candidates: cidx_true_positives,
+    });
+
     // --- generated large schemas -----------------------------------------
     // The deep 1200-node task is the wall-time acceptance workload:
     // structural matchers dominate it, so the sparse path shows its full
@@ -402,6 +471,7 @@ fn measure(opts: &Options) -> Result<BenchReport, String> {
     if !opts.quick {
         specs.push(WorkloadSpec::new(WorkloadShape::Star, 1000, 42));
         specs.push(WorkloadSpec::new(WorkloadShape::Wide, 1500, 42));
+        specs.push(WorkloadSpec::new(WorkloadShape::Catalog, 2000, 42));
         specs.push(WorkloadSpec::new(WorkloadShape::Deep, 5000, 42));
     }
     for spec in specs {
@@ -599,6 +669,85 @@ fn measure(opts: &Options) -> Result<BenchReport, String> {
             task: format!("{label}_name_stage"),
             speedup,
         });
+    }
+
+    // --- inverted-index candidate generation vs the exact two-stage -------
+    // The acceptance measurement of the `CandidateIndex` leaf: on the two
+    // sub-linear-retrieval workloads — `deep20000`, whose exact first
+    // stage is the ~3 GiB cross-product matrix timed above, and
+    // `catalog5000`, the shallow token-dense shape built for vocabulary
+    // retrieval, at a size where the exact cross-product first stage
+    // genuinely hurts (at the trajectory entry's 2000 nodes both first
+    // stages cost a few hundred ms and the comparison drowns in machine
+    // noise) — the full retrieve→rerank→refine plan
+    // ([`candidate_index_plan`]) must beat the exact two-stage plan
+    // ([`topk_pruned_plan`], same 5-per-element refine budget) end to
+    // end. Both run in the engine's default configuration. The index
+    // plan's first stage never scores the m×n cross product — its
+    // per-side vocabulary indexes are built in near-linear time and the
+    // candidate mask comes from shared-posting lookups alone; the
+    // reported `index_stats` presence is asserted so a silent fallback to
+    // dense scoring cannot masquerade as a win.
+    if !opts.quick {
+        for spec in [
+            WorkloadSpec::new(WorkloadShape::Deep, 20_000, 42),
+            WorkloadSpec::new(WorkloadShape::Catalog, 5000, 42),
+        ] {
+            let label = format!("gen/{}", spec.label());
+            let (source, target) = generate_task(&spec);
+            let sp = PathSet::new(&source).map_err(|e| e.to_string())?;
+            let tp = PathSet::new(&target).map_err(|e| e.to_string())?;
+            let gen_coma = Coma::new();
+            let ctx = MatchContext::new(&source, &target, &sp, &tp, gen_coma.aux());
+            let spec_runs = if spec.nodes >= 5000 { 1 } else { runs };
+
+            let exact_plan = topk_pruned_plan();
+            let cidx_plan = candidate_index_plan();
+            let (exact_ms, exact) = time_best(spec_runs, || {
+                run_plan(&gen_coma, &ctx, &exact_plan, Mode::Fused)
+            });
+            let (cidx_ms, cidx) = time_best(spec_runs, || {
+                run_plan(&gen_coma, &ctx, &cidx_plan, Mode::Fused)
+            });
+            let stats = cidx
+                .stages
+                .first()
+                .and_then(|s| s.index_stats)
+                .ok_or_else(|| {
+                    format!("{label}: the candidate-index stage reported no index statistics")
+                })?;
+            let speedup = exact_ms / cidx_ms;
+            eprintln!(
+                "# {label}: exact two-stage {exact_ms:.0} ms vs candidate-index {cidx_ms:.0} ms \
+                 ({speedup:.2}x); index built in {:.1} ms ({} token + {} gram posting entries), \
+                 {} vs {} candidates",
+                stats.build_nanos as f64 / 1e6,
+                stats.token_postings,
+                stats.gram_postings,
+                exact.result.len(),
+                cidx.result.len(),
+            );
+            if cidx_ms >= exact_ms {
+                return Err(format!(
+                    "{label}: the candidate-index plan ({cidx_ms:.0} ms) did not beat the exact \
+                     two-stage plan ({exact_ms:.0} ms)"
+                ));
+            }
+            tasks.push(TaskEntry {
+                task: format!("{label}_plan_exact"),
+                wall_ms: exact_ms,
+                candidates: exact.result.len() as u64,
+            });
+            tasks.push(TaskEntry {
+                task: format!("{label}_plan_cidx"),
+                wall_ms: cidx_ms,
+                candidates: cidx.result.len() as u64,
+            });
+            speedups.push(SpeedupEntry {
+                task: format!("{label}_plan"),
+                speedup,
+            });
+        }
     }
 
     // --- streaming-fused pruning at dense-infeasible scale ----------------

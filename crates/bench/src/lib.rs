@@ -4,7 +4,7 @@
 //! paper's evaluation (Section 7); the Criterion benches in `benches/`
 //! measure the performance of the substrates and the match pipeline.
 //! [`workload`] generates deterministic synthetic large-schema match
-//! tasks (star/deep/wide shapes, 500–5000 nodes) for the plan engine's
+//! tasks (star/deep/wide/catalog shapes, 500–5000 nodes) for the plan engine's
 //! sparse-path benchmarks and the CI perf-smoke gate; [`alloc_track`]
 //! provides the counting global allocator `perf_smoke` uses to compare
 //! peak allocations of dense vs sparse similarity storage.
@@ -37,6 +37,41 @@ pub fn liberal_name_stage() -> MatchPlan {
     let mut liberal = CombinationStrategy::paper_default();
     liberal.selection = Selection::max_n(10).with_threshold(0.3);
     MatchPlan::matchers_with(["Name"], liberal)
+}
+
+/// The inverted-index retrieve→rerank→refine plan: candidate generation
+/// from shared token/q-gram postings (capped at 5 candidates per
+/// element, union over both sides), then the liberal `Name` stage of
+/// [`topk_pruned_plan`] *restricted to those retrieval candidates* — a
+/// masked, posting-traffic-sized compute that re-ranks the retrieval
+/// mask with the exact matcher's own scores and prunes it with the same
+/// TopK budget the exact plan uses (the raw retrieval scores are too
+/// crude a ranker: capping on them directly costs recall on hub
+/// elements, while the union mask alone is ~6x the exact prefilter's
+/// and the structural refine pays for every extra pair) — then the
+/// paper-default `All` refine on the survivors. No stage ever scores
+/// the m×n cross product — `perf_smoke` times this plan against
+/// [`topk_pruned_plan`] on the deep20000 and catalog workloads, and
+/// gates its first stage's recall-vs-gold against the exact prefilter's
+/// on the eval corpus.
+pub fn candidate_index_plan() -> MatchPlan {
+    MatchPlan::seq(
+        candidate_index_stage(),
+        MatchPlan::from(&MatchStrategy::paper_default()),
+    )
+}
+
+/// The first stage of [`candidate_index_plan`], standalone: inverted-
+/// index retrieval (`CandidateIndex` capped at 5 per element) feeding
+/// the masked liberal `Name` re-rank pruned to the 5 best per element.
+/// This is exactly the candidate set the plan's refine gets to see, so
+/// it is what `perf_smoke`'s recall gate scores against the exact
+/// prefilter ([`liberal_name_stage`] + TopK) on every eval-corpus task.
+pub fn candidate_index_stage() -> MatchPlan {
+    MatchPlan::seq(
+        MatchPlan::candidate_index_with(1, 0.0, 3, Some(5)).expect("valid parameters"),
+        liberal_name_stage().top_k(5, TopKPer::Both).expect("k > 0"),
+    )
 }
 
 /// The streaming-fused pruning plan the `deep100000` memory ceiling is

@@ -10,7 +10,11 @@
 //! * [`WorkloadShape::Deep`] — long containment chains (depth 20+), the
 //!   worst case for path-based matchers;
 //! * [`WorkloadShape::Wide`] — hundreds of small containers directly
-//!   under the root, the worst case for per-element candidate ranking.
+//!   under the root, the worst case for per-element candidate ranking;
+//! * [`WorkloadShape::Catalog`] — a flat catalog of a few category
+//!   containers with very high leaf fanout and vocabulary-rich
+//!   three-token leaf names: the vocabulary-heavy shape that favors
+//!   inverted-index candidate generation (`CandidateIndex`).
 //!
 //! Generation is **seeded and deterministic**: the same
 //! [`WorkloadSpec`] always produces the same schema, bit for bit, so
@@ -32,15 +36,19 @@ pub enum WorkloadShape {
     Deep,
     /// Root → ~`nodes/6` small containers → 5 leaves each (broad).
     Wide,
+    /// Root → ~`nodes/96` category containers → ~95 three-token leaves
+    /// each (flat, very high fanout, vocabulary-heavy).
+    Catalog,
 }
 
 impl WorkloadShape {
-    /// A short lowercase label (`star` / `deep` / `wide`).
+    /// A short lowercase label (`star` / `deep` / `wide` / `catalog`).
     pub fn label(&self) -> &'static str {
         match self {
             WorkloadShape::Star => "star",
             WorkloadShape::Deep => "deep",
             WorkloadShape::Wide => "wide",
+            WorkloadShape::Catalog => "catalog",
         }
     }
 }
@@ -289,6 +297,33 @@ fn proto_tree(spec: &WorkloadSpec) -> Vec<ProtoNode> {
                 }
             }
         }
+        WorkloadShape::Catalog => {
+            // A flat catalog: a few category containers, each holding a
+            // large block of vocabulary-rich three-token leaves
+            // (`productPriceCurrency`-style). High per-container fanout
+            // plus a broad token vocabulary — the shape that favors
+            // inverted-index candidate generation over cross-product
+            // scoring.
+            let categories = (budget / 96).clamp(2, 24);
+            let cat_ids: Vec<usize> = (0..categories)
+                .map(|_| add_container(&mut nodes, 0, &mut rng))
+                .collect();
+            let mut c = 0;
+            while nodes.len() < budget {
+                let parent = cat_ids[c % categories];
+                let entity = nodes[parent].tokens[nodes[parent].tokens.len() - 1];
+                let a1 = ATTRIBUTES[rng.index(ATTRIBUTES.len())];
+                let a2 = ATTRIBUTES[rng.index(ATTRIBUTES.len())];
+                let id = nodes.len();
+                nodes.push(ProtoNode {
+                    tokens: vec![entity, a1, a2],
+                    datatype: Some(DATATYPES[rng.index(DATATYPES.len())]),
+                    children: Vec::new(),
+                });
+                nodes[parent].children.push(id);
+                c += 1;
+            }
+        }
     }
     nodes
 }
@@ -443,6 +478,7 @@ mod tests {
             WorkloadShape::Star,
             WorkloadShape::Deep,
             WorkloadShape::Wide,
+            WorkloadShape::Catalog,
         ] {
             for nodes in [500, 1000, 5000] {
                 let spec = WorkloadSpec::new(shape, nodes, 1);
@@ -481,9 +517,16 @@ mod tests {
             3,
         )))
         .unwrap();
+        let catalog = PathSet::new(&generate_schema(&WorkloadSpec::new(
+            WorkloadShape::Catalog,
+            n,
+            3,
+        )))
+        .unwrap();
         assert_eq!(star.max_depth(), 3, "star is root→hub→leaf");
         assert!(deep.max_depth() > 10, "deep chains: {}", deep.max_depth());
         assert_eq!(wide.max_depth(), 3);
+        assert_eq!(catalog.max_depth(), 3, "catalog is root→category→leaf");
         // Wide has far more root children than star.
         let fanout = |ps: &PathSet| ps.children(ps.root()).len();
         assert!(
@@ -491,6 +534,16 @@ mod tests {
             "wide {} vs star {}",
             fanout(&wide),
             fanout(&star)
+        );
+        // Catalog's signature is per-container fanout: each category
+        // holds far more leaves than a star hub.
+        let leaves_per_container =
+            |ps: &PathSet| (ps.len() - 1 - fanout(ps)) as f64 / fanout(ps) as f64;
+        assert!(
+            leaves_per_container(&catalog) > 2.0 * leaves_per_container(&star),
+            "catalog {:.0} vs star {:.0}",
+            leaves_per_container(&catalog),
+            leaves_per_container(&star)
         );
     }
 

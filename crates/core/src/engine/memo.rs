@@ -1,7 +1,7 @@
 //! Shared-work memoization for one plan execution.
 //!
 //! A [`MatchMemo`] lives for the duration of one [`PlanEngine`] run and
-//! caches the three kinds of work that hybrid matchers and overlapping
+//! caches the kinds of work that hybrid matchers and overlapping
 //! sub-plans otherwise recompute:
 //!
 //! * **tokenizations** — the abbreviation-expanded token set of a name is
@@ -14,7 +14,10 @@
 //!   instance identity, so `Children`/`Leaves` reuse the `TypeName` matrix
 //!   the engine already computed (the standard library shares one
 //!   `TypeName` instance for exactly this purpose) without ever conflating
-//!   two differently-configured matchers that happen to share a name.
+//!   two differently-configured matchers that happen to share a name;
+//! * **vocabulary inverted indexes** — the per-side token/q-gram posting
+//!   structures behind `CandidateIndex` leaves, keyed by (side, gram
+//!   length) so repeated candidate stages build each index once.
 //!
 //! All caches use interior mutability and are safe to share across the
 //! engine's worker threads; matrix entries are computed at most once even
@@ -30,6 +33,7 @@
 //! [`PlanEngine`]: super::PlanEngine
 //! [`NameEngine`]: crate::matchers::name_engine::NameEngine
 
+use super::index::VocabIndex;
 use crate::cube::SimMatrix;
 use crate::matchers::name_engine::NameEngine;
 use crate::matchers::Matcher;
@@ -46,6 +50,11 @@ type PairSims = Arc<RwLock<HashMap<(String, String), f64>>>;
 /// dense matrix per consumer.
 type MatrixSlots = HashMap<(String, usize), Arc<OnceLock<Arc<SimMatrix>>>>;
 
+/// A per-side vocabulary index slot, keyed by (target side?, gram
+/// length) and computed at most once per plan execution, so every
+/// `CandidateIndex` stage of a plan shares the same two indexes.
+type IndexSlots = HashMap<(bool, usize), Arc<OnceLock<Arc<VocabIndex>>>>;
+
 /// Memoized shared work for one match task, shared by all matchers and
 /// stages of a plan execution (attached to the context as
 /// [`MatchContext::memo`](crate::MatchContext)).
@@ -57,6 +66,8 @@ pub struct MatchMemo {
     name_sims: Mutex<HashMap<String, PairSims>>,
     /// (matcher name, instance identity) → its full similarity matrix.
     matrices: Mutex<MatrixSlots>,
+    /// (target side?, q) → that side's vocabulary inverted index.
+    indexes: Mutex<IndexSlots>,
 }
 
 /// The identity of a matcher instance: the address of its (shared) `Arc`
@@ -125,6 +136,25 @@ impl MatchMemo {
             .get(&(name.to_string(), identity))
             .cloned();
         slot.and_then(|cell| cell.get().map(Arc::clone))
+    }
+
+    /// The vocabulary inverted index of one schema side (`target_side`
+    /// false = source), built at most once per (side, gram length) per
+    /// plan execution — repeated `CandidateIndex` stages (e.g. inside an
+    /// `Iterate` loop) reuse it.
+    pub fn vocab_index(
+        &self,
+        target_side: bool,
+        q: usize,
+        compute: impl FnOnce() -> VocabIndex,
+    ) -> Arc<VocabIndex> {
+        let cell = self
+            .indexes
+            .lock()
+            .entry((target_side, q))
+            .or_default()
+            .clone();
+        Arc::clone(cell.get_or_init(|| Arc::new(compute())))
     }
 
     fn matrix_cell(&self, name: &str, identity: usize) -> Arc<OnceLock<Arc<SimMatrix>>> {

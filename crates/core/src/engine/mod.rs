@@ -50,6 +50,14 @@
 //!   for the allowed pairs and their recursive dependencies instead of
 //!   the full cross-product, with bit-identical results
 //!   ([`EngineConfig::sparse`] switches the path off for comparison);
+//! * **sub-linear candidate generation** — a
+//!   [`MatchPlan::CandidateIndex`] leaf retrieves its candidate pairs
+//!   from per-side vocabulary inverted indexes ([`VocabIndex`]: token
+//!   postings with synonym expansion, plus q-gram postings for fuzzy
+//!   recall) in time proportional to posting traffic — as the filter
+//!   side of a `Seq`, the first stage never touches the `m × n` cross
+//!   product at all (every other mode above still computes it at least
+//!   once);
 //! * **sparse storage** — the same density decision picks each restricted
 //!   stage's physical [`SimMatrix`] representation: below the cutoff,
 //!   matcher slices, `TopK`-pruned matrices and pair matrices are stored
@@ -97,10 +105,12 @@
 //! # Ok::<(), coma_core::PlanError>(())
 //! ```
 
+mod index;
 mod mask;
 mod memo;
 mod plan;
 
+pub use index::{CandidateParams, CandidateScorer, IndexStats, VocabIndex};
 pub use mask::PairMask;
 pub use memo::{matcher_identity, MatchMemo, NameSimCache};
 pub use plan::{MatchPlan, PlanError, TopKPer};
@@ -143,6 +153,10 @@ pub struct StageOutcome {
     /// matrix never existed. The stage's cube holds only the surviving
     /// cells (its stored-entry count is the real memory footprint).
     pub fused: bool,
+    /// Index build/traffic statistics when this stage was a
+    /// [`MatchPlan::CandidateIndex`] leaf (surfaced by
+    /// `coma-cli --verbose`); `None` for every other stage kind.
+    pub index_stats: Option<IndexStats>,
 }
 
 /// The outcome of executing a plan: the final match result plus every
@@ -353,27 +367,6 @@ impl<'l> PlanEngine<'l> {
         &self.cfg
     }
 
-    /// Disables (or re-enables) parallel leaf execution.
-    #[deprecated(note = "use `EngineConfig::with_parallel` and `PlanEngine::with_config`")]
-    pub fn with_parallelism(mut self, parallel: bool) -> PlanEngine<'l> {
-        self.cfg.parallel = parallel;
-        self
-    }
-
-    /// Forces the row-shard count for unrestricted matcher computation.
-    #[deprecated(note = "use `EngineConfig::with_shards` and `PlanEngine::with_config`")]
-    pub fn with_shards(mut self, shards: usize) -> PlanEngine<'l> {
-        self.cfg = self.cfg.with_shards(shards);
-        self
-    }
-
-    /// Disables (or re-enables) the sparse path.
-    #[deprecated(note = "use `EngineConfig::with_sparse` and `PlanEngine::with_config`")]
-    pub fn with_sparse(mut self, sparse: bool) -> PlanEngine<'l> {
-        self.cfg.sparse = sparse;
-        self
-    }
-
     /// Whether a stage restricted by `mask` should store its matrices
     /// sparse: the engine's sparse path is on and the mask has pruned the
     /// pair space below the density cutoff.
@@ -497,6 +490,7 @@ impl<'l> PlanEngine<'l> {
                     result: result.clone(),
                     shards,
                     fused: false,
+                    index_stats: None,
                 });
                 Ok(result)
             }
@@ -538,6 +532,7 @@ impl<'l> PlanEngine<'l> {
                     result: result.clone(),
                     shards: 1,
                     fused: false,
+                    index_stats: None,
                 });
                 Ok(result)
             }
@@ -566,6 +561,7 @@ impl<'l> PlanEngine<'l> {
                     result: result.clone(),
                     shards: fused_shards.unwrap_or(1),
                     fused: fused_shards.is_some(),
+                    index_stats: None,
                 });
                 Ok(result)
             }
@@ -611,6 +607,7 @@ impl<'l> PlanEngine<'l> {
                     result: result.clone(),
                     shards: fused_shards.unwrap_or(1),
                     fused: fused_shards.is_some(),
+                    index_stats: None,
                 });
                 Ok(result)
             }
@@ -652,6 +649,7 @@ impl<'l> PlanEngine<'l> {
                     result: result.clone(),
                     shards: 1,
                     fused: false,
+                    index_stats: None,
                 });
                 Ok(result)
             }
@@ -680,10 +678,145 @@ impl<'l> PlanEngine<'l> {
                     result: result.clone(),
                     shards: 1,
                     fused: false,
+                    index_stats: None,
+                });
+                Ok(result)
+            }
+            MatchPlan::CandidateIndex {
+                min_shared_tokens,
+                min_score,
+                q,
+                per_element,
+            } => {
+                let params = CandidateParams {
+                    min_shared_tokens: *min_shared_tokens,
+                    min_score: *min_score,
+                    per_element: *per_element,
+                };
+                let (slice, shards, stats) = self.candidate_stage(ctx, *q, params, mask);
+                // Like `TopK`: the schema similarity is the average of the
+                // pairs this stage actually emits.
+                let survivors = DirectedCandidates::select(
+                    &slice,
+                    crate::combine::Direction::Both,
+                    &crate::combine::Selection::threshold(0.0),
+                );
+                let schema_similarity = crate::combine::CombinedSim::Average.compute(
+                    &survivors,
+                    ctx.rows(),
+                    ctx.cols(),
+                );
+                let pairs: Vec<(usize, usize, f64)> = slice.nonzero().collect();
+                let result = MatchResult::from_pairs(&ctx, pairs, Some(schema_similarity));
+                let mut cube = SimCube::new();
+                cube.push("CandidateIndex", slice);
+                stages.push(StageOutcome {
+                    label: plan.label(),
+                    cube,
+                    result: result.clone(),
+                    shards,
+                    fused: false,
+                    index_stats: Some(stats),
                 });
                 Ok(result)
             }
         }
+    }
+
+    /// Executes a `CandidateIndex` leaf: fetches (or builds — once per
+    /// side and gram length, through the [`MatchMemo`]) the two
+    /// vocabulary inverted indexes, then generates the candidate matrix
+    /// from shared-posting lookups, row-sharded across scoped threads
+    /// like the fused pipeline. Returns the (CSR, or dense when the
+    /// sparse path is off) candidate matrix, the shard count, and the
+    /// stage's index statistics. No `m × n` buffer or full pair scan
+    /// exists anywhere on this path — cost is proportional to posting
+    /// traffic.
+    fn candidate_stage(
+        &self,
+        ctx: MatchContext<'_>,
+        q: usize,
+        params: CandidateParams,
+        mask: Option<&PairMask>,
+    ) -> (SimMatrix, usize, IndexStats) {
+        let (m, n) = (ctx.rows(), ctx.cols());
+        let build_source = || VocabIndex::build((0..m).map(|i| ctx.source_name(i)), ctx.aux, q);
+        let build_target = || VocabIndex::build((0..n).map(|j| ctx.target_name(j)), ctx.aux, q);
+        let (source, target) = match ctx.memo {
+            Some(memo) => (
+                memo.vocab_index(false, q, build_source),
+                memo.vocab_index(true, q, build_target),
+            ),
+            None => (Arc::new(build_source()), Arc::new(build_target())),
+        };
+        let stats = IndexStats {
+            build_nanos: source.build_nanos() + target.build_nanos(),
+            token_postings: source.token_posting_entries() + target.token_posting_entries(),
+            gram_postings: source.gram_posting_entries() + target.gram_posting_entries(),
+            distinct_tokens: source.distinct_tokens() + target.distinct_tokens(),
+            distinct_grams: source.distinct_grams() + target.distinct_grams(),
+        };
+        let scorer = CandidateScorer::new(&source, &target, &ctx.aux.synonyms, params);
+
+        let workers = if self.cfg.parallel {
+            std::thread::available_parallelism()
+                .map(|w| w.get())
+                .unwrap_or(1)
+        } else {
+            1
+        };
+        let shards = self.planned_shards(m, workers);
+        let ranges = shard_ranges(m, shards);
+        let shards = ranges.len().max(1);
+        let threads = workers.min(shards).max(1);
+        let chunk = ranges.len().div_ceil(threads).max(1);
+        type WorkerOut = (Vec<SimMatrix>, Vec<(usize, usize, f64)>);
+        let mut outs: Vec<Option<WorkerOut>> =
+            (0..ranges.len().div_ceil(chunk)).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for (slot, range_chunk) in outs.iter_mut().zip(ranges.chunks(chunk)) {
+                if threads == 1 {
+                    *slot = Some(scorer.fill_ranges(range_chunk, mask));
+                } else {
+                    let scorer = &scorer;
+                    scope.spawn(move || *slot = Some(scorer.fill_ranges(range_chunk, mask)));
+                }
+            }
+        });
+        let mut fragments: Vec<SimMatrix> = Vec::with_capacity(ranges.len());
+        let mut pooled: Vec<(usize, usize, f64)> = Vec::new();
+        for out in outs {
+            let (frags, pool) = out.expect("every candidate worker ran to completion");
+            fragments.extend(frags);
+            pooled.extend(pool);
+        }
+        let row_side = SimMatrix::from_row_shards(n, fragments);
+        let row_side = if row_side.rows() == m {
+            row_side
+        } else {
+            debug_assert_eq!(row_side.rows(), 0, "fragments covered a partial row space");
+            SimMatrix::sparse(m, n)
+        };
+        // Per-element cap: the row fragments already hold each source
+        // element's best `cap`; the pooled per-column candidates (a
+        // folded superset, like the fused pipeline's pools) are
+        // re-selected globally and unioned in — `TopKPer::Both`
+        // semantics, so no element of either side is stranded.
+        let survivors = match params.per_element {
+            Some(cap) if !pooled.is_empty() => {
+                merge_pooled(&row_side, index::select_pooled(pooled, cap))
+            }
+            _ => row_side,
+        };
+        let survivors = if self.cfg.sparse {
+            survivors
+        } else {
+            // Dense-mode oracle: same values, dense storage — keeps the
+            // sparse-vs-dense comparison property meaningful for this
+            // leaf too.
+            survivors.into_dense()
+        };
+        (survivors, shards, stats)
     }
 
     /// Executes a leaf's matchers — in parallel when the machine and the
@@ -691,7 +824,7 @@ impl<'l> PlanEngine<'l> {
     /// cube in declaration order (deterministic under any scheduling).
     /// Also returns the stage's shard count: the largest number of row
     /// shards any fresh unrestricted slice compute used (see
-    /// [`PlanEngine::with_shards`]).
+    /// [`EngineConfig::shards`]).
     fn execute_leaf(
         &self,
         ctx: MatchContext<'_>,
@@ -1227,25 +1360,6 @@ mod tests {
         assert_eq!(serial.result, legacy_result);
     }
 
-    /// The deprecated builder setters still configure the engine (they
-    /// are one-release shims over [`EngineConfig`]).
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_setters_still_configure_the_engine() {
-        let c = coma();
-        let engine = PlanEngine::new(c.library())
-            .with_parallelism(false)
-            .with_sparse(false)
-            .with_shards(3);
-        assert_eq!(
-            *engine.config(),
-            EngineConfig::default()
-                .with_parallel(false)
-                .with_sparse(false)
-                .with_shards(3)
-        );
-    }
-
     /// The tentpole scenario: a cheap name filter whose survivors restrict
     /// an expensive structural refine — inexpressible as a flat strategy.
     #[test]
@@ -1295,6 +1409,94 @@ mod tests {
             .execute(&ctx, &MatchPlan::from(&MatchStrategy::paper_default()))
             .unwrap();
         assert!(flat.result.len() >= outcome.result.len());
+    }
+
+    /// A `Seq { CandidateIndex, refine }` plan: the index stage restricts
+    /// the refine stage, reports its index statistics, and keeps every
+    /// pair the exact Name filter would keep (recall guarantee).
+    #[test]
+    fn candidate_index_prefilters_like_a_name_stage() {
+        let c = coma();
+        let (s1, s2) = (po1(), po2());
+        let p1 = PathSet::new(&s1).unwrap();
+        let p2 = PathSet::new(&s2).unwrap();
+        let ctx = MatchContext::new(&s1, &s2, &p1, &p2, c.aux()).with_repository(c.repository());
+
+        let plan = MatchPlan::seq(
+            MatchPlan::candidate_index(1, 0.0).unwrap(),
+            MatchPlan::from(&MatchStrategy::paper_default()),
+        );
+        let outcome = PlanEngine::new(c.library()).execute(&ctx, &plan).unwrap();
+        assert_eq!(outcome.stages.len(), 2);
+
+        // The index stage reports its build/traffic statistics; no other
+        // stage kind does.
+        let stats = outcome.stages[0]
+            .index_stats
+            .expect("CandidateIndex stage carries IndexStats");
+        assert!(stats.token_postings > 0 && stats.gram_postings > 0);
+        assert!(outcome.stages[1].index_stats.is_none());
+        assert!(outcome.stages[0].label.starts_with("CandidateIndex("));
+
+        // Recall: every pair the exact liberal Name stage selects is an
+        // index candidate.
+        let mut liberal = CombinationStrategy::paper_default();
+        liberal.selection = Selection::max_n(4).with_threshold(0.3);
+        let exact = PlanEngine::new(c.library())
+            .execute(&ctx, &MatchPlan::matchers_with(["Name"], liberal))
+            .unwrap();
+        let candidates = &outcome.stages[0].result;
+        for cand in &exact.result.candidates {
+            assert!(
+                candidates.contains(cand.source, cand.target),
+                "index missed Name-selected pair {:?} -> {:?}",
+                cand.source,
+                cand.target
+            );
+        }
+
+        // And the refine stage stayed inside the candidate mask.
+        let survivors = PairMask::from_result(ctx.rows(), ctx.cols(), candidates);
+        for cand in &outcome.result.candidates {
+            assert!(survivors.allows(cand.source.index(), cand.target.index()));
+        }
+        assert!(!outcome.result.is_empty());
+    }
+
+    /// The `CandidateIndex` leaf is deterministic and storage-invariant:
+    /// forced shard counts, sequential execution and the dense oracle all
+    /// produce identical values, and the per-element cap bounds the mask.
+    #[test]
+    fn candidate_index_is_deterministic_across_configs() {
+        let c = coma();
+        let (s1, s2) = (po1(), po2());
+        let p1 = PathSet::new(&s1).unwrap();
+        let p2 = PathSet::new(&s2).unwrap();
+        let ctx = MatchContext::new(&s1, &s2, &p1, &p2, c.aux());
+        let plan = MatchPlan::candidate_index_with(1, 0.0, 3, Some(2)).unwrap();
+
+        let reference = PlanEngine::new(c.library()).execute(&ctx, &plan).unwrap();
+        for cfg in [
+            EngineConfig::default().with_parallel(false),
+            EngineConfig::default().with_shards(3),
+            EngineConfig::default().with_sparse(false),
+        ] {
+            let other = PlanEngine::with_config(c.library(), cfg.clone())
+                .execute(&ctx, &plan)
+                .unwrap();
+            assert_eq!(other.result, reference.result, "config {cfg:?} diverged");
+        }
+        // Sparse path on: the stage's slice is CSR; dense oracle: dense.
+        assert!(reference.stages[0].cube.slice(0).is_sparse());
+        let dense =
+            PlanEngine::with_config(c.library(), EngineConfig::default().with_sparse(false))
+                .execute(&ctx, &plan)
+                .unwrap();
+        assert!(!dense.stages[0].cube.slice(0).is_sparse());
+
+        // The Both-style cap bounds the mask at cap·(m+n) pairs total.
+        assert!(reference.result.len() <= 2 * (ctx.rows() + ctx.cols()));
+        assert!(!reference.result.is_empty());
     }
 
     /// `Par` sub-plan order never changes the outcome: slices are

@@ -6,6 +6,7 @@
 //!
 //! ```text
 //! plan ::= Matchers(name, …; combination)          leaf fan-out
+//!        | CandidateIndex(min_tok, min_score; q, cap)   inverted-index retrieval leaf
 //!        | Seq(plan → plan)                        filter, then refine
 //!        | Par(plan ∥ plan ∥ …; combination)       aggregate sub-plans
 //!        | Filter(plan; direction, selection)      re-select mid-pipeline
@@ -65,6 +66,16 @@ pub enum PlanError {
     ZeroIterations,
     /// An `Iterate` node with a negative or non-finite epsilon.
     InvalidEpsilon,
+    /// A `CandidateIndex` leaf with `min_shared_tokens == 0`: every pair
+    /// would qualify, silently reintroducing the O(m×n) scan the leaf
+    /// exists to avoid.
+    ZeroMinSharedTokens,
+    /// A `CandidateIndex` leaf with a negative, non-finite or > 1
+    /// `min_score`.
+    InvalidMinScore,
+    /// A `CandidateIndex` leaf with `per_element == Some(0)`: it would
+    /// drop every candidate.
+    ZeroCandidateCap,
 }
 
 impl fmt::Display for PlanError {
@@ -77,6 +88,15 @@ impl fmt::Display for PlanError {
             PlanError::InvalidEpsilon => {
                 f.write_str("`Iterate` node has a negative or non-finite epsilon")
             }
+            PlanError::ZeroMinSharedTokens => f.write_str(
+                "`CandidateIndex` leaf has min_shared_tokens = 0 (would admit every pair)",
+            ),
+            PlanError::InvalidMinScore => {
+                f.write_str("`CandidateIndex` leaf has a min_score outside [0, 1]")
+            }
+            PlanError::ZeroCandidateCap => f.write_str(
+                "`CandidateIndex` leaf has per_element = Some(0) (would drop every candidate)",
+            ),
         }
     }
 }
@@ -94,6 +114,34 @@ pub enum MatchPlan {
         matchers: Vec<String>,
         /// Aggregation + direction + selection + combined similarity.
         combination: CombinationStrategy,
+    },
+    /// Inverted-index retrieval leaf: generate the candidate pairs from
+    /// shared token/q-gram postings of the per-side vocabulary indexes
+    /// (see [`VocabIndex`](super::VocabIndex)) instead of scoring the
+    /// m×n cross product. As the filter side of a [`MatchPlan::Seq`],
+    /// the emitted pairs become the [`PairMask`](super::PairMask) that
+    /// restricts the refine stage — the only first-stage operator whose
+    /// cost is proportional to posting traffic, not to m×n.
+    ///
+    /// With `min_shared_tokens = 1`, `min_score = 0` and no cap, the
+    /// candidates are a superset of every pair the paper-default `Name`
+    /// matcher scores above zero (recall guarantee; see the engine's
+    /// candidate-generation docs).
+    CandidateIndex {
+        /// Minimum shared (synonym-expanded) tokens to qualify via the
+        /// token channel; a shared q-gram qualifies a pair regardless.
+        /// Must be ≥ 1.
+        min_shared_tokens: usize,
+        /// Candidates scoring below this (IDF-weighted token cosine vs.
+        /// q-gram Dice, whichever is higher) are dropped.
+        min_score: f64,
+        /// Gram length of the fuzzy channel (0 disables it; 3 is the
+        /// `Trigram`-compatible default).
+        q: usize,
+        /// When set, each element of either side keeps only its best
+        /// `cap` candidates (union, like [`TopKPer::Both`]), bounding
+        /// the mask at O(cap·(m+n)) pairs.
+        per_element: Option<usize>,
     },
     /// Staged refinement: execute `filter`, then execute `refine` with the
     /// search space restricted to the pairs `filter` selected. User
@@ -198,6 +246,37 @@ impl MatchPlan {
             matchers: matchers.into_iter().map(Into::into).collect(),
             combination,
         }
+    }
+
+    /// An inverted-index candidate-generation leaf with the recall-safe
+    /// defaults: trigram fuzzy channel (`q = 3`), no per-element cap.
+    /// Fails with [`PlanError::ZeroMinSharedTokens`] for
+    /// `min_shared_tokens == 0` and [`PlanError::InvalidMinScore`] for a
+    /// `min_score` outside `[0, 1]`.
+    pub fn candidate_index(
+        min_shared_tokens: usize,
+        min_score: f64,
+    ) -> std::result::Result<MatchPlan, PlanError> {
+        MatchPlan::candidate_index_with(min_shared_tokens, min_score, 3, None)
+    }
+
+    /// An inverted-index leaf with an explicit gram length (`q = 0`
+    /// disables the fuzzy channel) and optional per-element candidate cap
+    /// (rejected when `Some(0)`, which would drop everything).
+    pub fn candidate_index_with(
+        min_shared_tokens: usize,
+        min_score: f64,
+        q: usize,
+        per_element: Option<usize>,
+    ) -> std::result::Result<MatchPlan, PlanError> {
+        let plan = MatchPlan::CandidateIndex {
+            min_shared_tokens,
+            min_score,
+            q,
+            per_element,
+        };
+        plan.validate_shape()?;
+        Ok(plan)
     }
 
     /// A two-stage `filter → refine` plan.
@@ -327,7 +406,7 @@ impl MatchPlan {
             MatchPlan::Filter { input, .. } => input.collect_names(out),
             MatchPlan::TopK { input, .. } => input.collect_names(out),
             MatchPlan::Iterate { plan, .. } => plan.collect_names(out),
-            MatchPlan::Reuse { .. } => {}
+            MatchPlan::Reuse { .. } | MatchPlan::CandidateIndex { .. } => {}
         }
     }
 
@@ -376,6 +455,22 @@ impl MatchPlan {
                 }
                 plan.validate_shape()?;
             }
+            MatchPlan::CandidateIndex {
+                min_shared_tokens,
+                min_score,
+                per_element,
+                ..
+            } => {
+                if *min_shared_tokens == 0 {
+                    return Err(PlanError::ZeroMinSharedTokens);
+                }
+                if !min_score.is_finite() || *min_score < 0.0 || *min_score > 1.0 {
+                    return Err(PlanError::InvalidMinScore);
+                }
+                if *per_element == Some(0) {
+                    return Err(PlanError::ZeroCandidateCap);
+                }
+            }
             MatchPlan::Reuse { .. } => {}
         }
         Ok(())
@@ -397,7 +492,9 @@ impl MatchPlan {
     /// `Iterate` this is an upper bound (the loop may converge early).
     pub fn stage_count(&self) -> usize {
         match self {
-            MatchPlan::Matchers { .. } | MatchPlan::Reuse { .. } => 1,
+            MatchPlan::Matchers { .. }
+            | MatchPlan::Reuse { .. }
+            | MatchPlan::CandidateIndex { .. } => 1,
             MatchPlan::Seq { filter, refine } => filter.stage_count() + refine.stage_count(),
             MatchPlan::Par { plans, .. } => {
                 plans.iter().map(MatchPlan::stage_count).sum::<usize>() + 1
@@ -423,6 +520,15 @@ impl MatchPlan {
                 matchers,
                 combination,
             } => format!("Matchers({})[{}]", matchers.join("+"), combination.label()),
+            MatchPlan::CandidateIndex {
+                min_shared_tokens,
+                min_score,
+                q,
+                per_element,
+            } => {
+                let cap = per_element.map_or("uncapped".to_string(), |c| format!("cap{c}"));
+                format!("CandidateIndex({min_shared_tokens}/{min_score}/q{q}/{cap})")
+            }
             MatchPlan::Seq { filter, refine } => {
                 format!("Seq({} -> {})", filter.label(), refine.label())
             }
@@ -544,6 +650,58 @@ mod tests {
         );
         assert!(base.clone().top_k(1, TopKPer::Both).is_ok());
         assert!(base.iterate(1, 0.0).is_ok());
+    }
+
+    #[test]
+    fn candidate_index_constructors_enforce_their_domain() {
+        assert_eq!(
+            MatchPlan::candidate_index(0, 0.0).unwrap_err(),
+            PlanError::ZeroMinSharedTokens
+        );
+        assert_eq!(
+            MatchPlan::candidate_index(1, -0.1).unwrap_err(),
+            PlanError::InvalidMinScore
+        );
+        assert_eq!(
+            MatchPlan::candidate_index(1, f64::NAN).unwrap_err(),
+            PlanError::InvalidMinScore
+        );
+        assert_eq!(
+            MatchPlan::candidate_index(1, 1.5).unwrap_err(),
+            PlanError::InvalidMinScore
+        );
+        assert_eq!(
+            MatchPlan::candidate_index_with(1, 0.0, 3, Some(0)).unwrap_err(),
+            PlanError::ZeroCandidateCap
+        );
+        let ok = MatchPlan::candidate_index(1, 0.0).unwrap();
+        assert!(ok.validate_shape().is_ok());
+        assert!(ok.matcher_names().is_empty());
+        assert_eq!(ok.stage_count(), 1);
+        // Hand-assembled degenerate leaves are caught by validate_shape too.
+        let bad = MatchPlan::CandidateIndex {
+            min_shared_tokens: 0,
+            min_score: 0.0,
+            q: 3,
+            per_element: None,
+        };
+        assert_eq!(bad.validate_shape(), Err(PlanError::ZeroMinSharedTokens));
+    }
+
+    #[test]
+    fn candidate_index_labels_are_complete() {
+        let uncapped = MatchPlan::candidate_index(1, 0.0).unwrap();
+        assert_eq!(uncapped.label(), "CandidateIndex(1/0/q3/uncapped)");
+        let capped = MatchPlan::candidate_index_with(2, 0.25, 4, Some(5)).unwrap();
+        assert_eq!(capped.label(), "CandidateIndex(2/0.25/q4/cap5)");
+        assert_ne!(uncapped.label(), capped.label());
+        let staged = MatchPlan::seq(uncapped, MatchPlan::matchers(["Name"]));
+        assert!(
+            staged.label().starts_with("Seq(CandidateIndex("),
+            "{}",
+            staged.label()
+        );
+        assert_eq!(staged.stage_count(), 2);
     }
 
     #[test]

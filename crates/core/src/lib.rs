@@ -19,10 +19,11 @@
 //!   automatic match operations, and interactive [`MatchSession`]s with
 //!   user feedback;
 //! * [`engine`] — the composable [`MatchPlan`] operator tree
-//!   (`Matchers` / `Seq` / `Par` / `Filter` / `TopK` / `Iterate` /
-//!   `Reuse`) and its execution engine: parallel leaf fan-out, memoized
-//!   shared work, staged filter-then-refine processes, top-k pruning with
-//!   a sparse execution path, and iterative refinement.
+//!   (`Matchers` / `CandidateIndex` / `Seq` / `Par` / `Filter` / `TopK` /
+//!   `Iterate` / `Reuse`) and its execution engine: parallel leaf
+//!   fan-out, memoized shared work, staged filter-then-refine processes,
+//!   inverted-index candidate generation, top-k pruning with a sparse
+//!   execution path, and iterative refinement.
 //!
 //! ```
 //! use coma_core::{Coma, MatchStrategy};
@@ -62,8 +63,8 @@ pub use combine::{
 };
 pub use cube::{SimCube, SimMatrix, SparseBuilder, StorageMode};
 pub use engine::{
-    shard_ranges, EngineConfig, MatchMemo, MatchPlan, PairMask, PlanEngine, PlanError, PlanOutcome,
-    StageOutcome, TopKPer,
+    shard_ranges, CandidateParams, CandidateScorer, EngineConfig, IndexStats, MatchMemo, MatchPlan,
+    PairMask, PlanEngine, PlanError, PlanOutcome, StageOutcome, TopKPer, VocabIndex,
 };
 pub use error::{CoreError, Result};
 pub use matchers::{Auxiliary, MatchContext, Matcher, MatcherLibrary};

@@ -106,6 +106,17 @@ impl SynonymTable {
             .unwrap_or(0.0)
     }
 
+    /// Iterates every registered relationship as `(a, b, similarity)`
+    /// over the normalized key pair (order within a pair is the key's
+    /// lexicographic order; pair iteration order is unspecified — callers
+    /// that need determinism must sort). Used by the candidate index to
+    /// expand token postings across the dictionary.
+    pub fn relations(&self) -> impl Iterator<Item = (&str, &str, f64)> + '_ {
+        self.entries
+            .iter()
+            .map(|((a, b), &sim)| (a.as_str(), b.as_str(), sim))
+    }
+
     fn key(a: &str, b: &str) -> (String, String) {
         Self::ordered(normalize_token(a), normalize_token(b))
     }

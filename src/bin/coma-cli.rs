@@ -4,6 +4,7 @@
 //! coma-cli <source-file> <target-file> [--matchers Name,NamePath,…]
 //!          [--threshold T] [--synonyms FILE] [--dot] [--json] [--verbose]
 //!          [--prefilter M1,M2,…] [--prefilter-threshold T] [--prefilter-max N]
+//!          [--candidate-index] [--min-shared-tokens N] [--min-score S]
 //!          [--top-k K] [--iterate R] [--epsilon E]
 //! ```
 //!
@@ -20,6 +21,15 @@
 //! stage refines only the surviving pairs (the plan engine's `Seq`
 //! operator).
 //!
+//! `--candidate-index` replaces the prefilter's matcher stage with the
+//! engine's inverted-index `CandidateIndex` leaf: the first stage
+//! retrieves candidates from shared token/q-gram postings (capped at
+//! `--prefilter-max` per element) instead of scoring the m×n cross
+//! product — sub-linear candidate generation for large schemas. A pair
+//! needs `--min-shared-tokens` shared tokens (default 1; a shared
+//! trigram always qualifies) and an index score of at least
+//! `--min-score` (default 0) to survive.
+//!
 //! `--top-k K` prunes the prefilter stage to the `K` best candidates per
 //! element before refining (the `TopK` operator; implies a `Name`
 //! prefilter when `--prefilter` is not given), putting the refine stage
@@ -32,7 +42,8 @@
 //! its physical storage (dense, sparse/CSR, or mixed — see
 //! `ARCHITECTURE.md` on how the engine picks per stage) and the number of
 //! physically stored cells, so you can see exactly when and where sparse
-//! storage engages.
+//! storage engages. For a `CandidateIndex` stage it additionally prints
+//! the index build time, posting counts and candidate-mask density.
 
 use coma::core::{Coma, EngineConfig, MatchContext, MatchPlan, MatchStrategy, Selection, TopKPer};
 use coma::graph::{PathSet, Schema};
@@ -51,6 +62,9 @@ struct Options {
     prefilter: Option<Vec<String>>,
     prefilter_threshold: f64,
     prefilter_max: usize,
+    candidate_index: bool,
+    min_shared_tokens: usize,
+    min_score: f64,
     top_k: Option<usize>,
     iterate: Option<usize>,
     epsilon: f64,
@@ -62,6 +76,7 @@ fn usage() -> ExitCode {
         "usage: coma-cli <source-file> <target-file> \
          [--matchers M1,M2,…] [--threshold T] [--synonyms FILE] [--dot] [--json] [--verbose] \
          [--prefilter M1,M2,…] [--prefilter-threshold T] [--prefilter-max N] \
+         [--candidate-index] [--min-shared-tokens N] [--min-score S] \
          [--top-k K] [--iterate R] [--epsilon E]"
     );
     ExitCode::from(2)
@@ -84,6 +99,9 @@ fn parse_args() -> Result<Options, ExitCode> {
         prefilter: None,
         prefilter_threshold: 0.3,
         prefilter_max: 4,
+        candidate_index: false,
+        min_shared_tokens: 1,
+        min_score: 0.0,
         top_k: None,
         iterate: None,
         epsilon: 1e-6,
@@ -110,6 +128,15 @@ fn parse_args() -> Result<Options, ExitCode> {
             "--prefilter-max" => {
                 let v = args.next().ok_or_else(usage)?;
                 opts.prefilter_max = v.parse().map_err(|_| usage())?;
+            }
+            "--candidate-index" => opts.candidate_index = true,
+            "--min-shared-tokens" => {
+                let v = args.next().ok_or_else(usage)?;
+                opts.min_shared_tokens = v.parse().map_err(|_| usage())?;
+            }
+            "--min-score" => {
+                let v = args.next().ok_or_else(usage)?;
+                opts.min_score = v.parse().map_err(|_| usage())?;
             }
             "--top-k" => {
                 let v = args.next().ok_or_else(usage)?;
@@ -200,12 +227,43 @@ fn main() -> ExitCode {
     if let Some(t) = opts.threshold {
         strategy.combination.selection.threshold = Some(t);
     }
-    let staged = opts.prefilter.is_some() || opts.top_k.is_some() || opts.iterate.is_some();
+    let staged = opts.candidate_index
+        || opts.prefilter.is_some()
+        || opts.top_k.is_some()
+        || opts.iterate.is_some();
     let result = if staged {
-        // Staged plan: optional prefilter (with optional TopK pruning),
-        // refine on the survivors, optionally iterated to a fixpoint.
+        // Staged plan: optional prefilter (inverted-index candidate
+        // generation or a cheap matcher stage, with optional TopK
+        // pruning), refine on the survivors, optionally iterated to a
+        // fixpoint.
         let refine = MatchPlan::from(&strategy);
-        let mut plan = if opts.prefilter.is_some() || opts.top_k.is_some() {
+        let mut plan = if opts.candidate_index {
+            // Inverted-index first stage: candidates come from shared
+            // token/q-gram postings, capped per element by
+            // --prefilter-max — the m×n cross product is never scored.
+            let mut filter = match MatchPlan::candidate_index_with(
+                opts.min_shared_tokens,
+                opts.min_score,
+                3,
+                Some(opts.prefilter_max),
+            ) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Some(k) = opts.top_k {
+                filter = match filter.top_k(k, TopKPer::Both) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        eprintln!("error: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            MatchPlan::seq(filter, refine)
+        } else if opts.prefilter.is_some() || opts.top_k.is_some() {
             // `--top-k` without `--prefilter` implies a cheap Name filter.
             let filter_matchers = opts
                 .prefilter
@@ -262,6 +320,19 @@ fn main() -> ExitCode {
                             if stage.shards == 1 { "" } else { "s" },
                             if stage.fused { ", fused" } else { "" },
                         );
+                        if let Some(stats) = stage.index_stats {
+                            let cells = (cube.rows() * cube.cols()).max(1);
+                            eprintln!(
+                                "#   index: built in {:.2} ms; {} token + {} gram posting \
+                                 entries ({} tokens, {} grams); candidate density {:.4}",
+                                stats.build_nanos as f64 / 1e6,
+                                stats.token_postings,
+                                stats.gram_postings,
+                                stats.distinct_tokens,
+                                stats.distinct_grams,
+                                stage.result.len() as f64 / cells as f64,
+                            );
+                        }
                     } else {
                         eprintln!("# stage {} -> {} pair(s)", stage.label, stage.result.len());
                     }

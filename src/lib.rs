@@ -20,8 +20,8 @@
 //!
 //! The most common entry points are re-exported at the crate root: build a
 //! [`Coma`] instance, describe what to run as a flat [`MatchStrategy`] or
-//! a staged [`MatchPlan`] (`Seq` / `Par` / `Filter` / `TopK` / `Iterate` /
-//! `Reuse`), and execute it via [`Coma::match_schemas`] or
+//! a staged [`MatchPlan`] (`CandidateIndex` / `Seq` / `Par` / `Filter` /
+//! `TopK` / `Iterate` / `Reuse`), and execute it via [`Coma::match_schemas`] or
 //! [`Coma::match_plan`].
 //!
 //! See `examples/quickstart.rs` for a five-minute tour and
@@ -36,6 +36,6 @@ pub use coma_strings as strings;
 pub use coma_xml as xml;
 
 pub use coma_core::{
-    Coma, EngineConfig, MatchPlan, MatchResult, MatchStrategy, PlanEngine, PlanError, PlanOutcome,
-    StageOutcome, TopKPer,
+    Coma, EngineConfig, IndexStats, MatchPlan, MatchResult, MatchStrategy, PlanEngine, PlanError,
+    PlanOutcome, StageOutcome, TopKPer, VocabIndex,
 };

@@ -5,8 +5,10 @@
 //! parallelism), `TopK` only ever narrows its input, sparse and dense
 //! execution of a masked plan agree bit for bit, sparse (CSR) *storage*
 //! is value-identical to dense storage through aggregation, selection and
-//! whole-plan execution, and `Iterate` terminates within its round
-//! budget.
+//! whole-plan execution, `Iterate` terminates within its round budget,
+//! and the `CandidateIndex` leaf is a recall-preserving prefilter: its
+//! uncapped candidate set covers every positive-threshold `Name`
+//! selection, identically across execution configurations.
 
 use coma::core::{
     Aggregation, Coma, CombinationStrategy, CombinedSim, DirectedCandidates, Direction,
@@ -492,6 +494,63 @@ proptest! {
         prop_assert_eq!(&fused_stage.label, &unfused_stage.label);
         prop_assert_eq!(&fused_stage.result, &unfused_stage.result);
         prop_assert_eq!(&fused_stage.cube, &unfused_stage.cube);
+    }
+
+    /// The inverted-index leaf is a recall-preserving prefilter (the
+    /// guarantee `engine::index` documents): with `min_shared_tokens = 1`,
+    /// `min_score = 0` and no per-element cap, `CandidateIndex`'s pairs
+    /// are a superset of the exact `Name` Matchers stage's selection at
+    /// *any* positive threshold and max-n budget — the paper-default
+    /// `Name` scores a pair above zero only via a shared trigram or a
+    /// dictionary-related token, and the index's gram and
+    /// synonym-expanded token postings cover both channels. The leaf is
+    /// also deterministic across execution configurations: sharded,
+    /// parallel-off and dense-storage runs reproduce the default run bit
+    /// for bit.
+    #[test]
+    fn candidate_index_covers_positive_name_selections(
+        max_n in 1usize..8,
+        threshold in 0.05f64..0.9,
+        shard_sel in 0usize..4,
+    ) {
+        let f = fixture();
+        let mut exact = CombinationStrategy::paper_default();
+        exact.selection = Selection::max_n(max_n).with_threshold(threshold);
+        let exact_plan = MatchPlan::matchers_with(["Name"], exact);
+        let cidx_plan = MatchPlan::candidate_index_with(1, 0.0, 3, None).unwrap();
+        let ctx = MatchContext::new(
+            &f.source,
+            &f.target,
+            &f.source_paths,
+            &f.target_paths,
+            f.coma.aux(),
+        );
+        let engine = PlanEngine::new(f.coma.library());
+
+        let selected = engine.execute(&ctx, &exact_plan).unwrap().result;
+        let candidates = engine.execute(&ctx, &cidx_plan).unwrap();
+        for cand in &selected.candidates {
+            prop_assert!(
+                candidates.result.candidates.iter().any(|c| {
+                    c.source == cand.source && c.target == cand.target
+                }),
+                "CandidateIndex missed {:?} -> {:?} (Name sim {}, threshold {})",
+                cand.source, cand.target, cand.similarity, threshold
+            );
+        }
+
+        // Determinism across configurations.
+        let shards = [1, 2, 7, ctx.rows() + 1][shard_sel];
+        for cfg in [
+            EngineConfig::default().with_shards(shards),
+            EngineConfig::default().with_parallel(false),
+            EngineConfig::default().with_sparse(false),
+        ] {
+            let again = PlanEngine::with_config(f.coma.library(), cfg)
+                .execute(&ctx, &cidx_plan)
+                .unwrap();
+            prop_assert_eq!(&again.result, &candidates.result);
+        }
     }
 
     /// `Iterate` always terminates within `max_rounds`, whatever the

@@ -8,81 +8,44 @@
 //! sparse-path benchmarks and the CI perf-smoke gate; [`alloc_track`]
 //! provides the counting global allocator `perf_smoke` uses to compare
 //! peak allocations of dense vs sparse similarity storage.
+//!
+//! The staged plans themselves live in [`coma_core::plans`] (shared with
+//! the CLI and the server's wire-level plan specs); the wrappers here
+//! pin the parameter values (`k = 5`, retrieval cap 5) the benchmarks
+//! and the CI gate have always used, so the numbers stay comparable
+//! across baselines.
 
 pub mod alloc_track;
 pub mod workload;
 
-use coma_core::{CombinationStrategy, Direction, MatchPlan, MatchStrategy, Selection, TopKPer};
+use coma_core::MatchPlan;
 
-/// The TopK-pruned two-stage plan the sparse execution path is built
-/// for: a liberal `Name` stage pruned to the 5 best candidates per
-/// element, then the paper-default `All` refine on the survivors.
-///
-/// Shared by the `plan_operators` bench and the `perf_smoke` gate so the
-/// numbers humans read and the numbers CI gates come from the same plan.
+/// [`coma_core::plans::topk_pruned_plan`] at the benchmark budget `k = 5`.
 pub fn topk_pruned_plan() -> MatchPlan {
-    MatchPlan::seq(
-        liberal_name_stage().top_k(5, TopKPer::Both).expect("k > 0"),
-        MatchPlan::from(&MatchStrategy::paper_default()),
-    )
+    coma_core::plans::topk_pruned_plan(5)
 }
 
-/// The liberal `Name` first stage of [`topk_pruned_plan`], standalone:
-/// an unrestricted (dense) full-cross-product computation — exactly the
-/// stage the engine's row-sharded execution targets (its matrix is what
-/// `perf_smoke` times single-shard vs sharded on the `deep20000`
-/// workload), and the cheap filter to put in front of an expensive
-/// refine on any large task.
+/// [`coma_core::plans::liberal_name_stage`], standalone: the dense
+/// first stage the row-sharded execution timings target.
 pub fn liberal_name_stage() -> MatchPlan {
-    let mut liberal = CombinationStrategy::paper_default();
-    liberal.selection = Selection::max_n(10).with_threshold(0.3);
-    MatchPlan::matchers_with(["Name"], liberal)
+    coma_core::plans::liberal_name_stage()
 }
 
-/// The inverted-index retrieve→rerank→refine plan: candidate generation
-/// from shared token/q-gram postings (capped at 5 candidates per
-/// element, union over both sides), then the liberal `Name` stage of
-/// [`topk_pruned_plan`] *restricted to those retrieval candidates* — a
-/// masked, posting-traffic-sized compute that re-ranks the retrieval
-/// mask with the exact matcher's own scores and prunes it with the same
-/// TopK budget the exact plan uses (the raw retrieval scores are too
-/// crude a ranker: capping on them directly costs recall on hub
-/// elements, while the union mask alone is ~6x the exact prefilter's
-/// and the structural refine pays for every extra pair) — then the
-/// paper-default `All` refine on the survivors. No stage ever scores
-/// the m×n cross product — `perf_smoke` times this plan against
-/// [`topk_pruned_plan`] on the deep20000 and catalog workloads, and
-/// gates its first stage's recall-vs-gold against the exact prefilter's
-/// on the eval corpus.
+/// [`coma_core::plans::candidate_index_plan`] at the benchmark
+/// retrieval cap of 5 candidates per element.
 pub fn candidate_index_plan() -> MatchPlan {
-    MatchPlan::seq(
-        candidate_index_stage(),
-        MatchPlan::from(&MatchStrategy::paper_default()),
-    )
+    coma_core::plans::candidate_index_plan(5)
 }
 
-/// The first stage of [`candidate_index_plan`], standalone: inverted-
-/// index retrieval (`CandidateIndex` capped at 5 per element) feeding
-/// the masked liberal `Name` re-rank pruned to the 5 best per element.
-/// This is exactly the candidate set the plan's refine gets to see, so
-/// it is what `perf_smoke`'s recall gate scores against the exact
-/// prefilter ([`liberal_name_stage`] + TopK) on every eval-corpus task.
+/// [`coma_core::plans::candidate_index_stage`] at the benchmark
+/// retrieval cap of 5 — exactly the candidate set the perf gate's
+/// recall check scores against the exact prefilter.
 pub fn candidate_index_stage() -> MatchPlan {
-    MatchPlan::seq(
-        MatchPlan::candidate_index_with(1, 0.0, 3, Some(5)).expect("valid parameters"),
-        liberal_name_stage().top_k(5, TopKPer::Both).expect("k > 0"),
-    )
+    coma_core::plans::candidate_index_stage(5)
 }
 
-/// The streaming-fused pruning plan the `deep100000` memory ceiling is
-/// measured on: a liberal `Name` stage whose threshold `Filter` fuses
-/// with the compute, so each row shard is pruned as it is produced and
-/// the full dense matrix is never allocated. A `Filter` (not `TopK`)
-/// deliberately: `TopK` materializes an `m × n` pair-mask bitset, which
-/// at 100k × 100k would itself be > 1 GiB.
+/// [`coma_core::plans::fused_filter_plan`]: the streaming-fused pruning
+/// plan the `deep100000` memory ceiling is measured on.
 pub fn fused_filter_plan() -> MatchPlan {
-    let mut liberal = CombinationStrategy::paper_default();
-    liberal.selection = Selection::max_n(10).with_threshold(0.3);
-    MatchPlan::matchers_with(["Name"], liberal)
-        .filtered(Direction::Both, Selection::max_n(5).with_threshold(0.3))
+    coma_core::plans::fused_filter_plan()
 }

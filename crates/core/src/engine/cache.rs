@@ -1,0 +1,462 @@
+//! The cross-request engine cache: schema-fingerprint-keyed reuse of
+//! expensive artifacts *across* plan executions.
+//!
+//! A per-execution [`MatchMemo`](super::MatchMemo) already deduplicates
+//! work *within* one plan run; an [`EngineCache`] extends the same idea
+//! across runs, which is what a long-running matching service needs —
+//! repeat traffic against a hot schema pair should skip tokenization,
+//! name-pair scoring, matcher matrices and inverted-index construction
+//! entirely. The memo becomes a *view* over this cache: every memo is
+//! bound to one `Arc<EngineCache>` (its own private one by default, a
+//! shared one under [`PlanEngine::execute_cached`]), and its lookups
+//! read/write the cache directly.
+//!
+//! Keying: artifacts that depend on a schema are keyed by its
+//! [`schema_fingerprint`] — a deterministic hash over the schema name and
+//! every path's full name plus type information — so "the same schema"
+//! means *same content*, not same allocation: a client re-sending an
+//! identical schema, or the server reloading it from the persistent
+//! repository, hits the cache. Tokenizations and name-pair similarity
+//! tables are keyed by the strings themselves (schema-independent);
+//! matcher matrices are keyed by (schema-pair scope, matcher name,
+//! matcher instance identity); vocabulary indexes by (schema
+//! fingerprint, gram length).
+//!
+//! Validity: a cache is only coherent for a fixed [`Auxiliary`]
+//! configuration and a stable [`MatcherLibrary`] (matrix keys include
+//! the matcher *instance* identity, so the library's `Arc`s must outlive
+//! the cache). The server keys caches per tenant for exactly this
+//! reason. Matchers that read mutable state beyond the schemas — the
+//! reuse matchers, which consult the repository — report
+//! [`Matcher::pure`] `= false` and are kept out of the shared matrix
+//! store (they still share tokenizations and name-pair sims, which only
+//! depend on strings).
+//!
+//! Memory: matrix entries are the big artifacts, so they are bounded by
+//! a schema-pair scope cap (default [`EngineCache::DEFAULT_MAX_PAIRS`]):
+//! registering a scope beyond the cap evicts the least-recently-used
+//! pair's matrices, and any vocabulary index whose schema no longer
+//! appears in a live scope. String-level tables are unbounded (they grow
+//! with the distinct-name vocabulary, not with traffic).
+//!
+//! [`PlanEngine::execute_cached`]: super::PlanEngine::execute_cached
+//! [`Auxiliary`]: crate::Auxiliary
+//! [`MatcherLibrary`]: crate::MatcherLibrary
+//! [`Matcher::pure`]: crate::Matcher::pure
+
+use super::index::VocabIndex;
+use crate::cube::SimMatrix;
+use coma_graph::{PathSet, Schema};
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// A cache of name-pair similarities for one `NameEngine` configuration.
+pub(crate) type PairSims = Arc<RwLock<HashMap<(String, String), f64>>>;
+
+/// The schema-pair scope of one plan execution: (source fingerprint,
+/// target fingerprint). Matrix entries are valid only within one scope.
+pub(crate) type PairScope = (u64, u64);
+
+type MatrixSlots = HashMap<(PairScope, String, usize), Arc<OnceLock<Arc<SimMatrix>>>>;
+type IndexSlots = HashMap<(u64, usize), Arc<OnceLock<Arc<VocabIndex>>>>;
+
+/// A content fingerprint of a schema as a match object: FNV-1a over the
+/// schema name and, for every path in DFS preorder, its full dotted name
+/// and the underlying node's type information.
+///
+/// Two schemas with equal fingerprints produce identical inputs to every
+/// schema-level matcher (the matchers see names, paths and types — this
+/// is exactly what they consume), so fingerprint equality is what makes
+/// cross-request reuse sound. Deterministic across processes: safe to
+/// use as a persistent cache key.
+pub fn schema_fingerprint(schema: &Schema, paths: &PathSet) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(schema.name().as_bytes());
+    h.write_u64(schema.node_count() as u64);
+    h.write_u64(paths.len() as u64);
+    for id in paths.iter() {
+        h.write(paths.full_name(schema, id).as_bytes());
+        let node = schema.node(paths.node_of(id));
+        if let Some(dt) = node.datatype {
+            h.write(format!("{dt:?}").as_bytes());
+        }
+        if let Some(t) = &node.type_name {
+            h.write(t.as_bytes());
+        }
+        h.write(&[0xFF]);
+    }
+    h.finish()
+}
+
+/// 64-bit FNV-1a. Hand-rolled so fingerprints are stable across
+/// processes and Rust versions (`DefaultHasher` guarantees neither).
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Fnv1a {
+        Fnv1a(0xcbf29ce484222325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Counters describing an [`EngineCache`]'s effectiveness and size,
+/// reported by the server's `Stats` request and asserted by the
+/// repeat-request tests.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Shared matrix lookups answered from the cache.
+    pub matrix_hits: u64,
+    /// Shared matrix lookups that had to compute.
+    pub matrix_misses: u64,
+    /// Vocabulary-index lookups answered from the cache.
+    pub index_hits: u64,
+    /// Vocabulary-index lookups that had to build.
+    pub index_misses: u64,
+    /// Distinct cached tokenizations.
+    pub token_entries: u64,
+    /// Cached name-pair similarity tables (one per engine configuration).
+    pub sim_tables: u64,
+    /// Live shared matrix entries.
+    pub matrix_entries: u64,
+    /// Live vocabulary-index entries.
+    pub index_entries: u64,
+}
+
+/// The shared cross-request cache (module docs above). Create one per
+/// (auxiliary configuration, matcher library) — e.g. per server tenant —
+/// and pass it to [`PlanEngine::execute_cached`] on every request.
+///
+/// [`PlanEngine::execute_cached`]: super::PlanEngine::execute_cached
+pub struct EngineCache {
+    /// Name → abbreviation-expanded token set (schema-independent).
+    token_sets: RwLock<HashMap<String, Arc<Vec<String>>>>,
+    /// Engine fingerprint → its name-pair similarity table.
+    name_sims: Mutex<HashMap<String, PairSims>>,
+    /// (pair scope, matcher name, instance identity) → full matrix.
+    matrices: Mutex<MatrixSlots>,
+    /// (schema fingerprint, gram length) → vocabulary inverted index.
+    indexes: Mutex<IndexSlots>,
+    /// Pair scopes in least-recently-used order (front = coldest).
+    scopes: Mutex<VecDeque<PairScope>>,
+    /// Maximum live pair scopes before matrix eviction.
+    max_pairs: usize,
+    matrix_hits: AtomicU64,
+    matrix_misses: AtomicU64,
+    index_hits: AtomicU64,
+    index_misses: AtomicU64,
+}
+
+impl EngineCache {
+    /// Default bound on live schema-pair scopes.
+    pub const DEFAULT_MAX_PAIRS: usize = 32;
+
+    /// A cache bounded to [`EngineCache::DEFAULT_MAX_PAIRS`] pair scopes.
+    pub fn new() -> EngineCache {
+        EngineCache::with_capacity(EngineCache::DEFAULT_MAX_PAIRS)
+    }
+
+    /// A cache bounded to `max_pairs` live schema-pair scopes (minimum 1).
+    pub fn with_capacity(max_pairs: usize) -> EngineCache {
+        EngineCache {
+            token_sets: RwLock::default(),
+            name_sims: Mutex::default(),
+            matrices: Mutex::default(),
+            indexes: Mutex::default(),
+            scopes: Mutex::default(),
+            max_pairs: max_pairs.max(1),
+            matrix_hits: AtomicU64::new(0),
+            matrix_misses: AtomicU64::new(0),
+            index_hits: AtomicU64::new(0),
+            index_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Current effectiveness and size counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            matrix_hits: self.matrix_hits.load(Ordering::Relaxed),
+            matrix_misses: self.matrix_misses.load(Ordering::Relaxed),
+            index_hits: self.index_hits.load(Ordering::Relaxed),
+            index_misses: self.index_misses.load(Ordering::Relaxed),
+            token_entries: self.token_sets.read().len() as u64,
+            sim_tables: self.name_sims.lock().len() as u64,
+            matrix_entries: self.matrices.lock().len() as u64,
+            index_entries: self.indexes.lock().len() as u64,
+        }
+    }
+
+    /// Drops every cached artifact (counters are kept). For callers that
+    /// change auxiliary tables or rebuild their matcher library mid-life.
+    pub fn purge(&self) {
+        self.token_sets.write().clear();
+        self.name_sims.lock().clear();
+        self.matrices.lock().clear();
+        self.indexes.lock().clear();
+        self.scopes.lock().clear();
+    }
+
+    /// Marks a pair scope as most-recently used, evicting the coldest
+    /// scope's matrices (and orphaned indexes) beyond the capacity bound.
+    pub(crate) fn register_scope(&self, scope: PairScope) {
+        let evicted: Vec<PairScope> = {
+            let mut scopes = self.scopes.lock();
+            if let Some(pos) = scopes.iter().position(|s| *s == scope) {
+                scopes.remove(pos);
+            }
+            scopes.push_back(scope);
+            let excess = scopes.len().saturating_sub(self.max_pairs);
+            scopes.drain(..excess).collect()
+        };
+        if evicted.is_empty() {
+            return;
+        }
+        let live: Vec<PairScope> = self.scopes.lock().iter().copied().collect();
+        self.matrices
+            .lock()
+            .retain(|(scope, _, _), _| !evicted.contains(scope));
+        self.indexes.lock().retain(|(fp, _), _| {
+            live.iter().any(|(s, t)| s == fp || t == fp)
+                || !evicted.iter().any(|(s, t)| s == fp || t == fp)
+        });
+    }
+
+    pub(crate) fn token_set(
+        &self,
+        name: &str,
+        compute: impl FnOnce() -> Vec<String>,
+    ) -> Arc<Vec<String>> {
+        if let Some(hit) = self.token_sets.read().get(name) {
+            return Arc::clone(hit);
+        }
+        let value = Arc::new(compute());
+        self.token_sets
+            .write()
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::clone(&value))
+            .clone()
+    }
+
+    pub(crate) fn name_sims(&self, fingerprint: String) -> PairSims {
+        self.name_sims
+            .lock()
+            .entry(fingerprint)
+            .or_default()
+            .clone()
+    }
+
+    pub(crate) fn matrix(
+        &self,
+        scope: PairScope,
+        name: &str,
+        identity: usize,
+        compute: impl FnOnce() -> SimMatrix,
+    ) -> Arc<SimMatrix> {
+        let cell = self
+            .matrices
+            .lock()
+            .entry((scope, name.to_string(), identity))
+            .or_default()
+            .clone();
+        let mut computed = false;
+        let out = Arc::clone(cell.get_or_init(|| {
+            computed = true;
+            Arc::new(compute())
+        }));
+        if computed {
+            self.matrix_misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.matrix_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        out
+    }
+
+    pub(crate) fn cached_matrix(
+        &self,
+        scope: PairScope,
+        name: &str,
+        identity: usize,
+    ) -> Option<Arc<SimMatrix>> {
+        let slot = self
+            .matrices
+            .lock()
+            .get(&(scope, name.to_string(), identity))
+            .cloned();
+        slot.and_then(|cell| cell.get().map(Arc::clone))
+    }
+
+    pub(crate) fn vocab_index(
+        &self,
+        fingerprint: u64,
+        q: usize,
+        compute: impl FnOnce() -> VocabIndex,
+    ) -> Arc<VocabIndex> {
+        let cell = self
+            .indexes
+            .lock()
+            .entry((fingerprint, q))
+            .or_default()
+            .clone();
+        let mut computed = false;
+        let out = Arc::clone(cell.get_or_init(|| {
+            computed = true;
+            Arc::new(compute())
+        }));
+        if computed {
+            self.index_misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.index_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        out
+    }
+}
+
+impl Default for EngineCache {
+    fn default() -> Self {
+        EngineCache::new()
+    }
+}
+
+impl std::fmt::Debug for EngineCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineCache")
+            .field("stats", &self.stats())
+            .field("max_pairs", &self.max_pairs)
+            .finish()
+    }
+}
+
+/// A fresh scope no real fingerprint pair will ever equal *within one
+/// private cache* — used by memos that are not bound to a shared cache,
+/// so their entries can never be confused with fingerprint-keyed ones.
+pub(crate) fn private_scope() -> PairScope {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(2, Ordering::Relaxed);
+    (n, n + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coma_graph::{Node, SchemaBuilder};
+
+    fn schema(name: &str, leaves: &[&str]) -> (Schema, PathSet) {
+        let mut b = SchemaBuilder::new(name);
+        let root = b.add_node(Node::new(name));
+        for leaf in leaves {
+            let c = b.add_node(Node::new(*leaf));
+            b.add_child(root, c).unwrap();
+        }
+        let s = b.build().unwrap();
+        let p = PathSet::new(&s).unwrap();
+        (s, p)
+    }
+
+    #[test]
+    fn fingerprint_is_content_keyed() {
+        let (s1, p1) = schema("PO", &["shipTo", "billTo"]);
+        let (s2, p2) = schema("PO", &["shipTo", "billTo"]);
+        assert_eq!(schema_fingerprint(&s1, &p1), schema_fingerprint(&s2, &p2));
+        // Different content, different fingerprint.
+        let (s3, p3) = schema("PO", &["shipTo", "deliverTo"]);
+        assert_ne!(schema_fingerprint(&s1, &p1), schema_fingerprint(&s3, &p3));
+        // Same nodes, different schema name: distinct.
+        let (s4, p4) = schema("PO2", &["shipTo", "billTo"]);
+        assert_ne!(schema_fingerprint(&s1, &p1), schema_fingerprint(&s4, &p4));
+    }
+
+    #[test]
+    fn matrix_hits_are_counted() {
+        let cache = EngineCache::new();
+        let scope = (1, 2);
+        cache.register_scope(scope);
+        cache.matrix(scope, "Name", 7, || SimMatrix::new(2, 2));
+        cache.matrix(scope, "Name", 7, || panic!("must hit"));
+        let stats = cache.stats();
+        assert_eq!(stats.matrix_misses, 1);
+        assert_eq!(stats.matrix_hits, 1);
+        assert_eq!(stats.matrix_entries, 1);
+    }
+
+    #[test]
+    fn scope_eviction_drops_cold_matrices() {
+        let cache = EngineCache::with_capacity(2);
+        for i in 0..3u64 {
+            let scope = (10 + i, 20 + i);
+            cache.register_scope(scope);
+            cache.matrix(scope, "Name", 1, || SimMatrix::new(1, 1));
+            let aux = crate::matchers::Auxiliary::standard();
+            cache.vocab_index(10 + i, 3, || VocabIndex::build(std::iter::empty(), &aux, 3));
+        }
+        // Scope (10, 20) was coldest and is gone; the two recent ones live.
+        assert!(cache.cached_matrix((10, 20), "Name", 1).is_none());
+        assert!(cache.cached_matrix((11, 21), "Name", 1).is_some());
+        assert!(cache.cached_matrix((12, 22), "Name", 1).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.matrix_entries, 2);
+        assert_eq!(stats.index_entries, 2);
+    }
+
+    #[test]
+    fn cross_request_cache_reuses_work_and_preserves_results() {
+        let coma = crate::process::Coma::new();
+        let (s1, _) = schema("PO1", &["shipTo", "billTo", "poNo", "city"]);
+        let (s2, _) = schema("PO2", &["deliverTo", "invoiceTo", "orderNum", "town"]);
+        let plan = crate::engine::MatchPlan::from(&crate::process::MatchStrategy::paper_default());
+        let cfg = crate::engine::EngineConfig::default;
+        let cache = Arc::new(EngineCache::new());
+
+        let uncached = coma.match_plan_with(cfg(), &s1, &s2, &plan).unwrap();
+        let first = coma
+            .match_plan_cached(cfg(), &s1, &s2, &plan, &cache)
+            .unwrap();
+        assert_eq!(
+            first.result, uncached.result,
+            "caching must not change results"
+        );
+        let after_first = cache.stats();
+        assert!(after_first.matrix_misses > 0);
+
+        // A *different allocation* with identical content hits the cache:
+        // no new matrix is ever computed.
+        let (s1b, _) = schema("PO1", &["shipTo", "billTo", "poNo", "city"]);
+        let second = coma
+            .match_plan_cached(cfg(), &s1b, &s2, &plan, &cache)
+            .unwrap();
+        assert_eq!(second.result, first.result);
+        let after_second = cache.stats();
+        assert_eq!(
+            after_second.matrix_misses, after_first.matrix_misses,
+            "repeat request must compute no new matrices"
+        );
+        assert!(after_second.matrix_hits > after_first.matrix_hits);
+    }
+
+    #[test]
+    fn purge_clears_everything() {
+        let cache = EngineCache::new();
+        cache.register_scope((1, 2));
+        cache.matrix((1, 2), "Name", 1, || SimMatrix::new(1, 1));
+        cache.token_set("shipTo", || vec!["ship".into(), "to".into()]);
+        cache.purge();
+        let stats = cache.stats();
+        assert_eq!(stats.matrix_entries, 0);
+        assert_eq!(stats.token_entries, 0);
+    }
+}

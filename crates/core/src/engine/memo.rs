@@ -1,7 +1,7 @@
 //! Shared-work memoization for one plan execution.
 //!
 //! A [`MatchMemo`] lives for the duration of one [`PlanEngine`] run and
-//! caches the kinds of work that hybrid matchers and overlapping
+//! deduplicates the kinds of work that hybrid matchers and overlapping
 //! sub-plans otherwise recompute:
 //!
 //! * **tokenizations** — the abbreviation-expanded token set of a name is
@@ -19,9 +19,21 @@
 //!   structures behind `CandidateIndex` leaves, keyed by (side, gram
 //!   length) so repeated candidate stages build each index once.
 //!
+//! Since PR 8 the memo is a **view over an [`EngineCache`]**: by default
+//! ([`MatchMemo::new`]) the cache is private and dies with the memo —
+//! exactly the old per-execution behavior — but a memo bound to a shared
+//! cache ([`MatchMemo::scoped`], used by
+//! [`PlanEngine::execute_cached`](super::PlanEngine::execute_cached))
+//! reads and writes artifacts keyed by schema fingerprint, so repeat
+//! traffic against a hot schema pair skips recomputation across plan
+//! executions. Matrices of non-[`pure`](crate::Matcher::pure) matchers
+//! (the reuse matchers, which read the repository) stay in a
+//! memo-local store either way, so mutable state never leaks into the
+//! shared cache.
+//!
 //! All caches use interior mutability and are safe to share across the
 //! engine's worker threads; matrix entries are computed at most once even
-//! under concurrency (via [`OnceLock`]).
+//! under concurrency (via `OnceLock`).
 //!
 //! The streaming-fused pruning path (see
 //! [`EngineConfig::fuse_pruning`](super::EngineConfig)) deliberately
@@ -33,41 +45,32 @@
 //! [`PlanEngine`]: super::PlanEngine
 //! [`NameEngine`]: crate::matchers::name_engine::NameEngine
 
+use super::cache::{private_scope, EngineCache, PairScope, PairSims};
 use super::index::VocabIndex;
 use crate::cube::SimMatrix;
 use crate::matchers::name_engine::NameEngine;
 use crate::matchers::Matcher;
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::{Arc, OnceLock};
 
-/// A cache of name-pair similarities for one `NameEngine` configuration.
-type PairSims = Arc<RwLock<HashMap<(String, String), f64>>>;
-
 /// A matrix slot computed at most once, keyed by (matcher name, instance
-/// identity). The inner `Arc` is what [`MatchMemo::matrix`] hands out, so
-/// readers share one allocation instead of cloning a potentially huge
-/// dense matrix per consumer.
-type MatrixSlots = HashMap<(String, usize), Arc<OnceLock<Arc<SimMatrix>>>>;
-
-/// A per-side vocabulary index slot, keyed by (target side?, gram
-/// length) and computed at most once per plan execution, so every
-/// `CandidateIndex` stage of a plan shares the same two indexes.
-type IndexSlots = HashMap<(bool, usize), Arc<OnceLock<Arc<VocabIndex>>>>;
+/// identity) — the memo-local store for non-`pure` matchers.
+type LocalMatrixSlots = HashMap<(String, usize), Arc<OnceLock<Arc<SimMatrix>>>>;
 
 /// Memoized shared work for one match task, shared by all matchers and
 /// stages of a plan execution (attached to the context as
-/// [`MatchContext::memo`](crate::MatchContext)).
-#[derive(Default)]
+/// [`MatchContext::memo`](crate::MatchContext)) — a view over an
+/// [`EngineCache`] scoped to this execution's schema pair.
 pub struct MatchMemo {
-    /// Name → abbreviation-expanded token set (engine-independent).
-    token_sets: RwLock<HashMap<String, Arc<Vec<String>>>>,
-    /// Engine fingerprint → its name-pair similarity cache.
-    name_sims: Mutex<HashMap<String, PairSims>>,
-    /// (matcher name, instance identity) → its full similarity matrix.
-    matrices: Mutex<MatrixSlots>,
-    /// (target side?, q) → that side's vocabulary inverted index.
-    indexes: Mutex<IndexSlots>,
+    /// The backing cache: private by default, shared under
+    /// [`PlanEngine::execute_cached`](super::PlanEngine::execute_cached).
+    cache: Arc<EngineCache>,
+    /// (source fingerprint, target fingerprint) of this execution.
+    scope: PairScope,
+    /// Matrices of matchers whose output depends on state beyond the
+    /// schemas (reuse matchers): valid for this execution only.
+    local_matrices: Mutex<LocalMatrixSlots>,
 }
 
 /// The identity of a matcher instance: the address of its (shared) `Arc`
@@ -78,23 +81,42 @@ pub fn matcher_identity(matcher: &Arc<dyn Matcher>) -> usize {
 }
 
 impl MatchMemo {
-    /// An empty memo.
+    /// An empty memo over its own private cache — per-execution
+    /// memoization only, the default for one-shot [`PlanEngine::execute`]
+    /// runs.
+    ///
+    /// [`PlanEngine::execute`]: super::PlanEngine::execute
     pub fn new() -> MatchMemo {
-        MatchMemo::default()
+        MatchMemo {
+            cache: Arc::new(EngineCache::new()),
+            scope: private_scope(),
+            local_matrices: Mutex::default(),
+        }
+    }
+
+    /// A memo viewing the shared `cache` under the schema-pair scope
+    /// `(source_fp, target_fp)` (see
+    /// [`schema_fingerprint`](super::schema_fingerprint)). Registers the
+    /// scope as most-recently used, which may evict the cache's coldest
+    /// pair.
+    pub fn scoped(cache: &Arc<EngineCache>, source_fp: u64, target_fp: u64) -> MatchMemo {
+        cache.register_scope((source_fp, target_fp));
+        MatchMemo {
+            cache: Arc::clone(cache),
+            scope: (source_fp, target_fp),
+            local_matrices: Mutex::default(),
+        }
+    }
+
+    /// The backing cache this memo is a view over.
+    pub fn cache(&self) -> &Arc<EngineCache> {
+        &self.cache
     }
 
     /// The cached token set for `name`, computing it via `compute` on the
     /// first request.
     pub fn token_set(&self, name: &str, compute: impl FnOnce() -> Vec<String>) -> Arc<Vec<String>> {
-        if let Some(hit) = self.token_sets.read().get(name) {
-            return Arc::clone(hit);
-        }
-        let value = Arc::new(compute());
-        self.token_sets
-            .write()
-            .entry(name.to_string())
-            .or_insert_with(|| Arc::clone(&value))
-            .clone()
+        self.cache.token_set(name, compute)
     }
 
     /// A per-compute name-similarity cache bound to `engine`'s
@@ -102,67 +124,76 @@ impl MatchMemo {
     /// on a local miss.
     pub fn name_sim_cache(&self, engine: &NameEngine) -> NameSimCache {
         let fingerprint = format!("{engine:?}");
-        let shared = self
-            .name_sims
-            .lock()
-            .entry(fingerprint)
-            .or_default()
-            .clone();
         NameSimCache {
-            shared: Some(shared),
+            shared: Some(self.cache.name_sims(fingerprint)),
             local: HashMap::new(),
         }
     }
 
     /// The full similarity matrix of a matcher, computed at most once per
-    /// plan execution (concurrent requests block on the first computation).
+    /// scope (concurrent requests block on the first computation).
     /// Returned as a shared handle: consumers that only read (structural
     /// leaf tables, mask application) never copy the matrix.
+    ///
+    /// `shareable` says whether the matrix may outlive this execution in
+    /// the backing cache — pass [`Matcher::pure`](crate::Matcher::pure).
+    /// Non-shareable matrices are memoized for this execution only.
     pub fn matrix(
         &self,
         name: &str,
         identity: usize,
+        shareable: bool,
         compute: impl FnOnce() -> SimMatrix,
     ) -> Arc<SimMatrix> {
-        let cell = self.matrix_cell(name, identity);
+        if shareable {
+            return self.cache.matrix(self.scope, name, identity, compute);
+        }
+        let cell = self
+            .local_matrices
+            .lock()
+            .entry((name.to_string(), identity))
+            .or_default()
+            .clone();
         Arc::clone(cell.get_or_init(|| Arc::new(compute())))
     }
 
-    /// The cached full matrix of a matcher, if it was already computed.
+    /// The cached full matrix of a matcher, if it was already computed
+    /// (in this execution, or — for shareable matrices — by any earlier
+    /// execution in the same scope).
     pub fn cached_matrix(&self, name: &str, identity: usize) -> Option<Arc<SimMatrix>> {
-        let slot = self
-            .matrices
+        let local = self
+            .local_matrices
             .lock()
             .get(&(name.to_string(), identity))
             .cloned();
-        slot.and_then(|cell| cell.get().map(Arc::clone))
+        if let Some(hit) = local.and_then(|cell| cell.get().map(Arc::clone)) {
+            return Some(hit);
+        }
+        self.cache.cached_matrix(self.scope, name, identity)
     }
 
     /// The vocabulary inverted index of one schema side (`target_side`
-    /// false = source), built at most once per (side, gram length) per
-    /// plan execution — repeated `CandidateIndex` stages (e.g. inside an
-    /// `Iterate` loop) reuse it.
+    /// false = source), built at most once per (schema, gram length) per
+    /// scope — repeated `CandidateIndex` stages (e.g. inside an `Iterate`
+    /// loop, or across requests under a shared cache) reuse it.
     pub fn vocab_index(
         &self,
         target_side: bool,
         q: usize,
         compute: impl FnOnce() -> VocabIndex,
     ) -> Arc<VocabIndex> {
-        let cell = self
-            .indexes
-            .lock()
-            .entry((target_side, q))
-            .or_default()
-            .clone();
-        Arc::clone(cell.get_or_init(|| Arc::new(compute())))
+        let fp = if target_side {
+            self.scope.1
+        } else {
+            self.scope.0
+        };
+        self.cache.vocab_index(fp, q, compute)
     }
+}
 
-    fn matrix_cell(&self, name: &str, identity: usize) -> Arc<OnceLock<Arc<SimMatrix>>> {
-        self.matrices
-            .lock()
-            .entry((name.to_string(), identity))
-            .or_default()
-            .clone()
+impl Default for MatchMemo {
+    fn default() -> Self {
+        MatchMemo::new()
     }
 }
 
@@ -246,12 +277,39 @@ mod tests {
     #[test]
     fn matrices_key_on_name_and_identity() {
         let memo = MatchMemo::new();
-        let m1 = memo.matrix("X", 1, || SimMatrix::new(2, 2));
+        let m1 = memo.matrix("X", 1, true, || SimMatrix::new(2, 2));
         assert_eq!(m1.rows(), 2);
         // Same key: cached, the closure must not run.
-        memo.matrix("X", 1, || panic!("must hit"));
+        memo.matrix("X", 1, true, || panic!("must hit"));
         assert!(memo.cached_matrix("X", 1).is_some());
         // Same name, different instance: a distinct entry.
         assert!(memo.cached_matrix("X", 2).is_none());
+    }
+
+    #[test]
+    fn impure_matrices_stay_local_to_the_memo() {
+        let cache = Arc::new(EngineCache::new());
+        let memo = MatchMemo::scoped(&cache, 100, 200);
+        memo.matrix("SchemaM", 9, false, || SimMatrix::new(1, 1));
+        memo.matrix("Name", 9, true, || SimMatrix::new(1, 1));
+        assert!(memo.cached_matrix("SchemaM", 9).is_some());
+        // A second memo over the same cache and scope sees only the
+        // shareable matrix.
+        let memo2 = MatchMemo::scoped(&cache, 100, 200);
+        assert!(memo2.cached_matrix("SchemaM", 9).is_none());
+        assert!(memo2.cached_matrix("Name", 9).is_some());
+    }
+
+    #[test]
+    fn scoped_memos_share_vocab_indexes_by_fingerprint() {
+        let cache = Arc::new(EngineCache::new());
+        let aux = crate::matchers::Auxiliary::standard();
+        let build = || VocabIndex::build(["ship to"], &aux, 3);
+        let memo = MatchMemo::scoped(&cache, 7, 8);
+        let first = memo.vocab_index(false, 3, build);
+        // Same schema on the *target* side of a later request: same index.
+        let memo2 = MatchMemo::scoped(&cache, 9, 7);
+        let second = memo2.vocab_index(true, 3, || panic!("must hit"));
+        assert!(Arc::ptr_eq(&first, &second));
     }
 }

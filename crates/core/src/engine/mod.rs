@@ -105,11 +105,13 @@
 //! # Ok::<(), coma_core::PlanError>(())
 //! ```
 
+mod cache;
 mod index;
 mod mask;
 mod memo;
 mod plan;
 
+pub use cache::{schema_fingerprint, CacheStats, EngineCache};
 pub use index::{CandidateParams, CandidateScorer, IndexStats, VocabIndex};
 pub use mask::PairMask;
 pub use memo::{matcher_identity, MatchMemo, NameSimCache};
@@ -457,10 +459,46 @@ impl<'l> PlanEngine<'l> {
     /// `k = 0`, `Iterate` with `max_rounds = 0`) fail up front with
     /// [`CoreError::Plan`] instead of panicking mid-execution.
     pub fn execute(&self, ctx: &MatchContext<'_>, plan: &MatchPlan) -> Result<PlanOutcome> {
+        self.execute_with_memo(ctx, plan, &MatchMemo::new())
+    }
+
+    /// Like [`PlanEngine::execute`], but memoizing through a shared
+    /// cross-request [`EngineCache`]: the execution's memo is scoped to
+    /// the [`schema_fingerprint`]s of the two sides, so tokenizations,
+    /// name-pair similarities, pure matcher matrices and vocabulary
+    /// indexes computed by earlier executions against the same schemas
+    /// (by content) are reused, and this execution's artifacts are left
+    /// behind for later ones.
+    ///
+    /// The cache is only coherent for a fixed auxiliary configuration
+    /// and a stable matcher library — see the [`EngineCache`] docs. The
+    /// server keys caches per tenant for this reason.
+    pub fn execute_cached(
+        &self,
+        ctx: &MatchContext<'_>,
+        plan: &MatchPlan,
+        cache: &Arc<EngineCache>,
+    ) -> Result<PlanOutcome> {
+        let memo = MatchMemo::scoped(
+            cache,
+            schema_fingerprint(ctx.source, ctx.source_paths),
+            schema_fingerprint(ctx.target, ctx.target_paths),
+        );
+        self.execute_with_memo(ctx, plan, &memo)
+    }
+
+    /// Executes a plan with an explicit, caller-owned memo — the seam
+    /// under both [`PlanEngine::execute`] (fresh private memo) and
+    /// [`PlanEngine::execute_cached`] (shared-cache view).
+    pub fn execute_with_memo(
+        &self,
+        ctx: &MatchContext<'_>,
+        plan: &MatchPlan,
+        memo: &MatchMemo,
+    ) -> Result<PlanOutcome> {
         plan.validate(self.library)?;
-        let memo = MatchMemo::new();
         let root_mask = ctx.restriction.cloned();
-        let base = ctx.without_restriction().with_memo(&memo);
+        let base = ctx.without_restriction().with_memo(memo);
         // The stage count is only a capacity hint; clamp it so an `Iterate`
         // with a huge (but semantically fine) round budget cannot force an
         // absurd up-front allocation.
@@ -918,7 +956,7 @@ impl<'l> PlanEngine<'l> {
             // Unrestricted: memoize the full matrix across stages and
             // sub-plans — the stage cube shares the memo's allocation.
             (None, Some(memo)) => {
-                let slice = memo.matrix(name, identity, full_compute);
+                let slice = memo.matrix(name, identity, matcher.pure(), full_compute);
                 (slice, sharded.get())
             }
             (None, None) => {
@@ -966,7 +1004,7 @@ impl<'l> PlanEngine<'l> {
                     // full — row-sharded when the matcher supports it —
                     // then mask the copy.
                     let full = match memo {
-                        Some(m) => m.matrix(name, identity, full_compute),
+                        Some(m) => m.matrix(name, identity, matcher.pure(), full_compute),
                         None => Arc::new(full_compute()),
                     };
                     let slice = Arc::new(if sparse_store {
@@ -1961,7 +1999,7 @@ mod tests {
         let p2 = PathSet::new(&s2).unwrap();
         let ctx = MatchContext::new(&s1, &s2, &p1, &p2, c.aux()).with_memo(&memo);
         let poisoned = SimMatrix::new(ctx.rows(), ctx.cols());
-        memo.matrix("TypeName", matcher_identity(&type_name), || {
+        memo.matrix("TypeName", matcher_identity(&type_name), true, || {
             poisoned.clone()
         });
         let children = lib.get("Children").unwrap().compute(&ctx);

@@ -53,6 +53,7 @@ pub mod cube;
 pub mod engine;
 mod error;
 pub mod matchers;
+pub mod plans;
 pub mod process;
 mod result;
 pub mod reuse;
@@ -63,8 +64,9 @@ pub use combine::{
 };
 pub use cube::{SimCube, SimMatrix, SparseBuilder, StorageMode};
 pub use engine::{
-    shard_ranges, CandidateParams, CandidateScorer, EngineConfig, IndexStats, MatchMemo, MatchPlan,
-    PairMask, PlanEngine, PlanError, PlanOutcome, StageOutcome, TopKPer, VocabIndex,
+    schema_fingerprint, shard_ranges, CacheStats, CandidateParams, CandidateScorer, EngineCache,
+    EngineConfig, IndexStats, MatchMemo, MatchPlan, PairMask, PlanEngine, PlanError, PlanOutcome,
+    StageOutcome, TopKPer, VocabIndex,
 };
 pub use error::{CoreError, Result};
 pub use matchers::{Auxiliary, MatchContext, Matcher, MatcherLibrary};

@@ -61,6 +61,20 @@ pub trait Matcher: Send + Sync {
         false
     }
 
+    /// Whether this matcher's output depends only on the two schemas and
+    /// the auxiliary tables — i.e. recomputing it later against the same
+    /// (by content) schemas yields the same matrix. Pure matrices may be
+    /// cached across plan executions by a shared
+    /// [`EngineCache`](crate::engine::EngineCache); matchers that read
+    /// mutable state (the reuse matchers consult the repository, whose
+    /// contents change between executions) must return `false`, which
+    /// keeps their matrices in the per-execution memo only. Defaults to
+    /// `true` — the repository is the only mutable input a stock matcher
+    /// has.
+    fn pure(&self) -> bool {
+        true
+    }
+
     /// Whether each cell `(i, j)` of this matcher's matrix depends only on
     /// the source element `i` and target element `j` (not on other pairs).
     /// Cell-local matchers can honor a search-space restriction

@@ -52,6 +52,7 @@ impl StructuralConfig {
             Some(memo) => memo.matrix(
                 self.leaf_matcher.name(),
                 matcher_identity(&self.leaf_matcher),
+                self.leaf_matcher.pure(),
                 || self.leaf_matcher.compute(&full),
             ),
             None => Arc::new(self.leaf_matcher.compute(&full)),

@@ -1,0 +1,89 @@
+//! Canonical staged match plans shared by the benchmarks, the CI perf
+//! gate, the CLI and the server's wire-level plan specs — so the numbers
+//! humans read, the numbers CI gates, and the plans the service executes
+//! all come from the same constructions.
+
+use crate::combine::{CombinationStrategy, Direction, Selection};
+use crate::engine::{MatchPlan, TopKPer};
+use crate::process::MatchStrategy;
+
+/// The TopK-pruned two-stage plan the sparse execution path is built
+/// for: a liberal `Name` stage pruned to the `k` best candidates per
+/// element, then the paper-default `All` refine on the survivors.
+pub fn topk_pruned_plan(k: usize) -> MatchPlan {
+    MatchPlan::seq(
+        liberal_name_stage()
+            .top_k(k, TopKPer::Both)
+            .expect("k > 0 by construction"),
+        MatchPlan::from(&MatchStrategy::paper_default()),
+    )
+}
+
+/// The liberal `Name` first stage of [`topk_pruned_plan`], standalone:
+/// an unrestricted (dense) full-cross-product computation — exactly the
+/// stage the engine's row-sharded execution targets, and the cheap
+/// filter to put in front of an expensive refine on any large task.
+pub fn liberal_name_stage() -> MatchPlan {
+    let mut liberal = CombinationStrategy::paper_default();
+    liberal.selection = Selection::max_n(10).with_threshold(0.3);
+    MatchPlan::matchers_with(["Name"], liberal)
+}
+
+/// The inverted-index retrieve→rerank→refine plan: candidate generation
+/// from shared token/q-gram postings (capped at `cap` candidates per
+/// element, union over both sides), the masked liberal `Name` re-rank
+/// pruned to the same per-element budget, then the paper-default `All`
+/// refine on the survivors. No stage ever scores the m×n cross product.
+pub fn candidate_index_plan(cap: usize) -> MatchPlan {
+    MatchPlan::seq(
+        candidate_index_stage(cap),
+        MatchPlan::from(&MatchStrategy::paper_default()),
+    )
+}
+
+/// The first stage of [`candidate_index_plan`], standalone: inverted-
+/// index retrieval (capped at `cap` per element) feeding the masked
+/// liberal `Name` re-rank pruned to the `cap` best per element. This is
+/// exactly the candidate set the plan's refine gets to see, which is why
+/// the perf gate's recall check scores this stage against the exact
+/// prefilter.
+pub fn candidate_index_stage(cap: usize) -> MatchPlan {
+    MatchPlan::seq(
+        MatchPlan::candidate_index_with(1, 0.0, 3, Some(cap)).expect("valid parameters"),
+        liberal_name_stage()
+            .top_k(cap, TopKPer::Both)
+            .expect("cap > 0 by construction"),
+    )
+}
+
+/// The streaming-fused pruning plan large-task memory ceilings are
+/// measured on: a liberal `Name` stage whose threshold `Filter` fuses
+/// with the compute, so each row shard is pruned as it is produced and
+/// the full dense matrix is never allocated. A `Filter` (not `TopK`)
+/// deliberately: `TopK` materializes an `m × n` pair-mask bitset, which
+/// at 100k × 100k would itself be > 1 GiB.
+pub fn fused_filter_plan() -> MatchPlan {
+    let mut liberal = CombinationStrategy::paper_default();
+    liberal.selection = Selection::max_n(10).with_threshold(0.3);
+    MatchPlan::matchers_with(["Name"], liberal)
+        .filtered(Direction::Both, Selection::max_n(5).with_threshold(0.3))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_validate_against_the_standard_library() {
+        let lib = crate::matchers::MatcherLibrary::standard();
+        for plan in [
+            topk_pruned_plan(5),
+            liberal_name_stage(),
+            candidate_index_plan(5),
+            candidate_index_stage(5),
+            fused_filter_plan(),
+        ] {
+            plan.validate(&lib).unwrap();
+        }
+    }
+}

@@ -4,7 +4,7 @@
 
 use crate::combine::{CombinationStrategy, DirectedCandidates};
 use crate::cube::SimCube;
-use crate::engine::{EngineConfig, MatchPlan, PlanEngine, PlanOutcome};
+use crate::engine::{EngineCache, EngineConfig, MatchPlan, PlanEngine, PlanOutcome};
 use crate::error::{CoreError, Result};
 use crate::matchers::context::{Auxiliary, MatchContext};
 use crate::matchers::feedback::Feedback;
@@ -203,6 +203,28 @@ impl Coma {
         let ctx = MatchContext::new(source, target, &source_paths, &target_paths, &self.aux)
             .with_repository(&self.repository);
         PlanEngine::with_config(&self.library, cfg).execute(&ctx, plan)
+    }
+
+    /// Like [`Coma::match_plan_with`], but memoizing through a shared
+    /// cross-request [`EngineCache`]
+    /// (see [`PlanEngine::execute_cached`]): repeat calls against the
+    /// same schemas — by content, not allocation — skip tokenization,
+    /// name-pair scoring, pure matcher matrices and vocabulary-index
+    /// builds. The cache must be dedicated to this instance's auxiliary
+    /// configuration and matcher library.
+    pub fn match_plan_cached(
+        &self,
+        cfg: EngineConfig,
+        source: &Schema,
+        target: &Schema,
+        plan: &MatchPlan,
+        cache: &std::sync::Arc<EngineCache>,
+    ) -> Result<PlanOutcome> {
+        let source_paths = PathSet::new(source)?;
+        let target_paths = PathSet::new(target)?;
+        let ctx = MatchContext::new(source, target, &source_paths, &target_paths, &self.aux)
+            .with_repository(&self.repository);
+        PlanEngine::with_config(&self.library, cfg).execute_cached(&ctx, plan, cache)
     }
 
     /// Like [`Coma::match_schemas`], but additionally stores the schemas,

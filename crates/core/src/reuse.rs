@@ -119,6 +119,11 @@ impl Matcher for SchemaMatcher {
         &self.name
     }
 
+    /// Reads the repository: never cached across executions.
+    fn pure(&self) -> bool {
+        false
+    }
+
     fn compute(&self, ctx: &MatchContext<'_>) -> SimMatrix {
         let (rows, cols) = (ctx.rows(), ctx.cols());
         let Some(repo) = ctx.repository else {
@@ -190,6 +195,11 @@ fn suffix(path: &str, k: usize) -> Option<String> {
 impl Matcher for FragmentMatcher {
     fn name(&self) -> &str {
         "Fragment"
+    }
+
+    /// Reads the repository: never cached across executions.
+    fn pure(&self) -> bool {
+        false
     }
 
     fn compute(&self, ctx: &MatchContext<'_>) -> SimMatrix {

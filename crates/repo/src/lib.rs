@@ -17,17 +17,24 @@
 //! Figure 5), and the natural-join primitive [`Mapping::compose`] that
 //! underlies the MatchCompose operation (Section 5.1).
 //!
-//! Persistence is a single human-readable JSON file ([`Repository::save`] /
-//! [`Repository::load`]) — the embedded stand-in for the paper's external
-//! DBMS (see DESIGN.md, substitution 3).
+//! Persistence is pluggable behind [`RepositoryBackend`] — the embedded
+//! stand-in for the paper's external DBMS (see DESIGN.md, substitution 3):
+//! [`MemoryBackend`] for in-process stores, [`FileBackend`] for a single
+//! human-readable JSON file written atomically (temp file + rename), and
+//! [`PersistentRepository`] as the thread-safe write-through handle the
+//! long-running `coma-server` serves requests from. The plain
+//! [`Repository::save`] / [`Repository::load`] convenience pair remains
+//! for one-shot use.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod backend;
 mod cube;
 mod mapping;
 mod store;
 
+pub use backend::{FileBackend, MemoryBackend, PersistentRepository, RepositoryBackend};
 pub use cube::StoredCube;
 pub use mapping::{Correspondence, Mapping, MappingKind};
 pub use store::{shared, Repository, RepositoryError, SharedRepository};

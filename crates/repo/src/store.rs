@@ -80,9 +80,21 @@ impl Repository {
 
     // --- mappings --------------------------------------------------------
 
-    /// Stores a match result.
+    /// Stores a match result, replacing any previously stored mapping for
+    /// the same `(source, target, kind)` key — re-matching a pair updates
+    /// the stored result instead of silently doubling the reuse inputs
+    /// ([`Repository::pivot_pairs`] would otherwise emit duplicate pivot
+    /// chains). Manual and automatic results for the same pair coexist:
+    /// confirming a match never discards the raw automatic one.
     pub fn put_mapping(&mut self, mapping: Mapping) {
-        self.mappings.push(mapping);
+        match self.mappings.iter_mut().find(|m| {
+            m.source_schema == mapping.source_schema
+                && m.target_schema == mapping.target_schema
+                && m.kind == mapping.kind
+        }) {
+            Some(existing) => *existing = mapping,
+            None => self.mappings.push(mapping),
+        }
     }
 
     /// All stored mappings, in insertion order.
@@ -151,10 +163,20 @@ impl Repository {
 
     // --- cubes -----------------------------------------------------------
 
-    /// Stores a similarity cube.
+    /// Stores a similarity cube, replacing any previously stored cube for
+    /// the same `(source, target, matcher set)` key — re-running a
+    /// strategy on a pair updates the stored cube instead of appending a
+    /// duplicate.
     pub fn put_cube(&mut self, cube: StoredCube) {
         debug_assert!(cube.is_consistent());
-        self.cubes.push(cube);
+        match self.cubes.iter_mut().find(|c| {
+            c.source_schema == cube.source_schema
+                && c.target_schema == cube.target_schema
+                && c.matchers == cube.matchers
+        }) {
+            Some(existing) => *existing = cube,
+            None => self.cubes.push(cube),
+        }
     }
 
     /// All cubes for the given schema pair, in insertion order.

@@ -1,0 +1,57 @@
+//! The client half of the wire protocol: a blocking request/response
+//! session over the server's unix socket, used by `coma-cli`'s client
+//! mode, the CI smoke script, the throughput benchmark and the
+//! integration tests.
+
+use crate::protocol::{read_message, write_message, Request, Response};
+use std::io;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+/// A connected client session.
+pub struct Client {
+    stream: UnixStream,
+}
+
+impl Client {
+    /// Connects to a serving socket.
+    pub fn connect(socket_path: impl AsRef<Path>) -> io::Result<Client> {
+        Ok(Client {
+            stream: UnixStream::connect(socket_path)?,
+        })
+    }
+
+    /// Connects, retrying until `timeout` elapses — for callers that
+    /// just spawned the server process and race its bind.
+    pub fn connect_retry(socket_path: impl AsRef<Path>, timeout: Duration) -> io::Result<Client> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match Client::connect(socket_path.as_ref()) {
+                Ok(client) => return Ok(client),
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+
+    /// Sends one request and reads its response.
+    pub fn call(&mut self, request: &Request) -> io::Result<Response> {
+        write_message(&mut self.stream, request)?;
+        read_message(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the session before responding",
+            )
+        })
+    }
+
+    /// Like [`Client::call`], but turning the server's `Error` response
+    /// into an `io::Error` — for callers that only care about success.
+    pub fn call_ok(&mut self, request: &Request) -> io::Result<Response> {
+        match self.call(request)? {
+            Response::Error(message) => Err(io::Error::other(message)),
+            response => Ok(response),
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! The unix-socket server loop.
+//!
+//! One accept loop, one scoped thread per connection, blocking I/O per
+//! session: a session reads length-prefixed requests and writes one
+//! response per request until the peer closes. The listener itself is
+//! non-blocking so the loop can observe a `Shutdown` request between
+//! accepts; [`std::thread::scope`] guarantees every in-flight session
+//! finishes before [`Server::serve`] returns (graceful drain).
+
+use crate::protocol::{read_message, write_message, Request, Response};
+use crate::state::ServerState;
+use parking_lot::Mutex;
+use std::io;
+use std::net::Shutdown;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long the accept loop sleeps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// A bound, not-yet-serving matching service.
+pub struct Server {
+    listener: UnixListener,
+    state: Arc<ServerState>,
+    socket_path: PathBuf,
+}
+
+impl Server {
+    /// Binds the service to a unix socket path, removing a stale socket
+    /// file from a previous process first (connecting to it would fail
+    /// anyway — the listener died with that process).
+    pub fn bind(socket_path: impl AsRef<Path>, state: ServerState) -> io::Result<Server> {
+        let socket_path = socket_path.as_ref().to_path_buf();
+        if socket_path.exists() {
+            std::fs::remove_file(&socket_path)?;
+        }
+        let listener = UnixListener::bind(&socket_path)?;
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            listener,
+            state: Arc::new(state),
+            socket_path,
+        })
+    }
+
+    /// The shared state (for in-process embedding, e.g. the throughput
+    /// benchmark and the integration tests).
+    pub fn state(&self) -> &Arc<ServerState> {
+        &self.state
+    }
+
+    /// The socket path clients connect to.
+    pub fn socket_path(&self) -> &Path {
+        &self.socket_path
+    }
+
+    /// Serves until a `Shutdown` request arrives, then drains in-flight
+    /// sessions and removes the socket file. Accept errors other than
+    /// `WouldBlock` are returned (the loop cannot recover from a dead
+    /// listener).
+    ///
+    /// The drain must not wait on clients that are merely idle: shutdown
+    /// closes the *read* half of every live session, so a session blocked
+    /// waiting for its next request sees EOF and exits, while a session
+    /// mid-request can still write its response (including the
+    /// `ShuttingDown` reply itself) before the scope joins it.
+    pub fn serve(&self) -> io::Result<()> {
+        let live: Mutex<Vec<Arc<UnixStream>>> = Mutex::new(Vec::new());
+        let result = std::thread::scope(|scope| loop {
+            if self.state.shutdown_requested() {
+                for session in live.lock().iter() {
+                    session.shutdown(Shutdown::Read).ok();
+                }
+                return Ok(());
+            }
+            match self.listener.accept() {
+                Ok((stream, _addr)) => {
+                    let stream = Arc::new(stream);
+                    live.lock().push(Arc::clone(&stream));
+                    let state = Arc::clone(&self.state);
+                    let live = &live;
+                    scope.spawn(move || {
+                        handle_connection(&stream, &state);
+                        live.lock().retain(|s| !Arc::ptr_eq(s, &stream));
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(e) => return Err(e),
+            }
+        });
+        std::fs::remove_file(&self.socket_path).ok();
+        result
+    }
+}
+
+/// One session: request frames in, response frames out, until EOF, an
+/// I/O error, or a `Shutdown` request. The stream is switched back to
+/// blocking mode (it inherits non-blocking from the listener on some
+/// platforms).
+fn handle_connection(stream: &UnixStream, state: &ServerState) {
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    let (mut reader, mut writer) = (stream, stream);
+    loop {
+        let request: Request = match read_message(&mut reader) {
+            Ok(Some(req)) => req,
+            Ok(None) => return, // clean EOF
+            Err(_) => return,
+        };
+        let stop = matches!(request, Request::Shutdown);
+        let response: Response = state.handle(request);
+        if write_message(&mut writer, &response).is_err() {
+            return;
+        }
+        if stop {
+            return;
+        }
+    }
+}

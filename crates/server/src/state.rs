@@ -1,0 +1,337 @@
+//! Shared server state and request dispatch.
+//!
+//! One [`ServerState`] serves every connection: the matcher library and
+//! auxiliary tables (shared, immutable for the server's life — the
+//! stability the cross-request caches require), the persistent
+//! repository behind its `RwLock`, a hot working set of `Arc<Schema>`s
+//! so concurrent sessions share one allocation per schema, and one
+//! [`EngineCache`] per tenant. Request dispatch is synchronous: the
+//! connection thread that read the frame runs the match (the plan
+//! engine row-shards big stages across its own scoped threads).
+
+use crate::protocol::{
+    InlineSchema, MatchConfig, MatchRequest, MatchResponse, PlanSpec, RankedCorrespondence,
+    Request, Response, SchemaFormat, SchemaInfo, SchemaRef, ServerStats,
+};
+use coma_core::{
+    plans, Auxiliary, EngineCache, EngineConfig, MatchContext, MatchPlan, MatchStrategy,
+    MatcherLibrary, PlanEngine,
+};
+use coma_graph::{PathSet, Schema};
+use coma_repo::{MappingKind, PersistentRepository, RepositoryBackend};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Per-tenant state: the cross-request cache and a request counter.
+pub struct TenantState {
+    /// The tenant's cross-request engine cache.
+    pub cache: Arc<EngineCache>,
+    requests: AtomicU64,
+}
+
+impl TenantState {
+    fn new(cache_pairs: usize) -> TenantState {
+        TenantState {
+            cache: Arc::new(EngineCache::with_capacity(cache_pairs)),
+            requests: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Everything one server process shares across its sessions.
+pub struct ServerState {
+    library: MatcherLibrary,
+    aux: Auxiliary,
+    repo: PersistentRepository,
+    /// Hot working set: schema name → shared allocation. Concurrent
+    /// sessions matching the same stored schema share one `Arc<Schema>`.
+    schemas: RwLock<HashMap<String, Arc<Schema>>>,
+    tenants: RwLock<HashMap<String, Arc<TenantState>>>,
+    cache_pairs: usize,
+    shutdown: AtomicBool,
+}
+
+impl ServerState {
+    /// State over a repository backend, with the standard matcher
+    /// library and auxiliary tables and per-tenant caches bounded to
+    /// `cache_pairs` schema-pair scopes. Loads the persisted repository
+    /// (so a restarted server resumes where the last one stopped).
+    pub fn open(
+        backend: impl RepositoryBackend + 'static,
+        cache_pairs: usize,
+    ) -> Result<ServerState, coma_repo::RepositoryError> {
+        Ok(ServerState {
+            library: MatcherLibrary::standard(),
+            aux: Auxiliary::standard(),
+            repo: PersistentRepository::open(backend)?,
+            schemas: RwLock::default(),
+            tenants: RwLock::default(),
+            cache_pairs: cache_pairs.max(1),
+            shutdown: AtomicBool::new(false),
+        })
+    }
+
+    /// Whether a `Shutdown` request has been received.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// The persistent repository handle.
+    pub fn repository(&self) -> &PersistentRepository {
+        &self.repo
+    }
+
+    fn tenant(&self, name: &str) -> Arc<TenantState> {
+        if let Some(t) = self.tenants.read().get(name) {
+            return Arc::clone(t);
+        }
+        Arc::clone(
+            self.tenants
+                .write()
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(TenantState::new(self.cache_pairs))),
+        )
+    }
+
+    /// Handles one request. Never panics on malformed input — failures
+    /// become [`Response::Error`] so the session survives.
+    pub fn handle(&self, request: Request) -> Response {
+        match request {
+            Request::Ping => Response::Pong,
+            Request::PutSchema(tenant, schema) => self.put_schema(&tenant, &schema),
+            Request::GetSchema(tenant, name) => self.get_schema(&tenant, &name),
+            Request::ListSchemas(tenant) => {
+                self.tenant(&tenant)
+                    .requests
+                    .fetch_add(1, Ordering::Relaxed);
+                let names = self
+                    .repo
+                    .read()
+                    .schema_names()
+                    .into_iter()
+                    .map(str::to_string)
+                    .collect();
+                Response::Schemas(names)
+            }
+            Request::Match(req) => self.run_match(&req),
+            Request::Stats(tenant) => self.stats(&tenant),
+            Request::Flush => match self.repo.flush() {
+                Ok(()) => Response::Flushed,
+                Err(e) => Response::Error(e.to_string()),
+            },
+            Request::Shutdown => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                Response::ShuttingDown
+            }
+        }
+    }
+
+    fn parse_inline(schema: &InlineSchema) -> Result<Schema, String> {
+        match schema.format {
+            SchemaFormat::Xsd => coma_xml::import_xsd(&schema.text, &schema.name)
+                .map_err(|e| format!("XSD import of {:?} failed: {e}", schema.name)),
+            SchemaFormat::Sql => coma_sql::import_ddl(&schema.text, &schema.name)
+                .map_err(|e| format!("DDL import of {:?} failed: {e}", schema.name)),
+        }
+    }
+
+    fn info(schema: &Schema) -> Result<SchemaInfo, String> {
+        let paths = PathSet::new(schema).map_err(|e| e.to_string())?;
+        Ok(SchemaInfo {
+            name: schema.name().to_string(),
+            nodes: schema.node_count() as u64,
+            paths: paths.len() as u64,
+        })
+    }
+
+    fn put_schema(&self, tenant: &str, inline: &InlineSchema) -> Response {
+        self.tenant(tenant).requests.fetch_add(1, Ordering::Relaxed);
+        let schema = match Self::parse_inline(inline) {
+            Ok(s) => s,
+            Err(e) => return Response::Error(e),
+        };
+        let info = match Self::info(&schema) {
+            Ok(i) => i,
+            Err(e) => return Response::Error(e),
+        };
+        let shared = Arc::new(schema);
+        if let Err(e) = self.repo.mutate(|r| r.put_schema((*shared).clone())) {
+            return Response::Error(e.to_string());
+        }
+        self.schemas
+            .write()
+            .insert(info.name.clone(), Arc::clone(&shared));
+        Response::SchemaStored(info)
+    }
+
+    fn get_schema(&self, tenant: &str, name: &str) -> Response {
+        self.tenant(tenant).requests.fetch_add(1, Ordering::Relaxed);
+        match self.resolve_stored(name) {
+            Ok(schema) => match Self::info(&schema) {
+                Ok(info) => Response::Schema(info),
+                Err(e) => Response::Error(e),
+            },
+            Err(e) => Response::Error(e),
+        }
+    }
+
+    /// A stored schema as a shared allocation, loading it from the
+    /// repository into the hot working set on first use.
+    fn resolve_stored(&self, name: &str) -> Result<Arc<Schema>, String> {
+        if let Some(hit) = self.schemas.read().get(name) {
+            return Ok(Arc::clone(hit));
+        }
+        let loaded = self
+            .repo
+            .read()
+            .schema(name)
+            .cloned()
+            .ok_or_else(|| format!("no stored schema named {name:?}"))?;
+        let shared = Arc::new(loaded);
+        Ok(Arc::clone(
+            self.schemas
+                .write()
+                .entry(name.to_string())
+                .or_insert(shared),
+        ))
+    }
+
+    fn resolve(&self, side: &SchemaRef) -> Result<Arc<Schema>, String> {
+        match side {
+            SchemaRef::Stored(name) => self.resolve_stored(name),
+            SchemaRef::Inline(inline) => Self::parse_inline(inline).map(Arc::new),
+        }
+    }
+
+    fn plan_of(spec: &PlanSpec) -> Result<MatchPlan, String> {
+        match spec {
+            PlanSpec::Default => Ok(MatchPlan::from(&MatchStrategy::paper_default())),
+            PlanSpec::Flat(strategy) => Ok(MatchPlan::from(strategy)),
+            PlanSpec::TopKPruned(k) => {
+                if *k == 0 {
+                    return Err("TopKPruned needs k > 0".to_string());
+                }
+                Ok(plans::topk_pruned_plan(*k))
+            }
+            PlanSpec::CandidateIndex(cap) => {
+                if *cap == 0 {
+                    return Err("CandidateIndex needs cap > 0".to_string());
+                }
+                Ok(plans::candidate_index_plan(*cap))
+            }
+        }
+    }
+
+    fn engine_config(config: &MatchConfig) -> EngineConfig {
+        let mut cfg = EngineConfig::default()
+            .with_parallel(config.parallel)
+            .with_sparse(config.sparse)
+            .with_fuse_pruning(config.fuse_pruning);
+        if let Some(shards) = config.shards {
+            cfg = cfg.with_shards(shards);
+        }
+        cfg
+    }
+
+    fn run_match(&self, req: &MatchRequest) -> Response {
+        let tenant = self.tenant(&req.tenant);
+        tenant.requests.fetch_add(1, Ordering::Relaxed);
+        let (source, target) = match (self.resolve(&req.source), self.resolve(&req.target)) {
+            (Ok(s), Ok(t)) => (s, t),
+            (Err(e), _) | (_, Err(e)) => return Response::Error(e),
+        };
+        let plan = match Self::plan_of(&req.plan) {
+            Ok(p) => p,
+            Err(e) => return Response::Error(e),
+        };
+        let cfg = Self::engine_config(&req.config);
+
+        let started = Instant::now();
+        let (source_paths, target_paths) = match (PathSet::new(&source), PathSet::new(&target)) {
+            (Ok(s), Ok(t)) => (s, t),
+            (Err(e), _) | (_, Err(e)) => return Response::Error(e.to_string()),
+        };
+        // The read guard spans the execution so reuse matchers see a
+        // consistent repository snapshot; writers (PutSchema / store)
+        // wait for in-flight matches, readers do not.
+        let mapping = {
+            let repo = self.repo.read();
+            let ctx = MatchContext::new(&source, &target, &source_paths, &target_paths, &self.aux)
+                .with_repository(&repo);
+            let outcome = match PlanEngine::with_config(&self.library, cfg).execute_cached(
+                &ctx,
+                &plan,
+                &tenant.cache,
+            ) {
+                Ok(o) => o,
+                Err(e) => return Response::Error(e.to_string()),
+            };
+            outcome.result.to_mapping(&ctx, MappingKind::Automatic)
+        };
+        let elapsed_micros = started.elapsed().as_micros() as u64;
+
+        if req.store {
+            let stored = mapping.clone();
+            let source_schema = (*source).clone();
+            let target_schema = (*target).clone();
+            if let Err(e) = self.repo.mutate(move |r| {
+                r.put_schema(source_schema);
+                r.put_schema(target_schema);
+                r.put_mapping(stored);
+            }) {
+                return Response::Error(e.to_string());
+            }
+        }
+
+        let mut correspondences: Vec<RankedCorrespondence> = mapping
+            .correspondences
+            .iter()
+            .map(|c| RankedCorrespondence {
+                source_path: c.source.clone(),
+                target_path: c.target.clone(),
+                similarity: c.similarity,
+            })
+            .collect();
+        correspondences.sort_by(|a, b| {
+            b.similarity
+                .partial_cmp(&a.similarity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.source_path.cmp(&b.source_path))
+                .then_with(|| a.target_path.cmp(&b.target_path))
+        });
+
+        Response::Matched(MatchResponse {
+            source: source.name().to_string(),
+            target: target.name().to_string(),
+            correspondences,
+            elapsed_micros,
+            cache: tenant.cache.stats(),
+        })
+    }
+
+    fn stats(&self, tenant_name: &str) -> Response {
+        let tenant = self.tenant(tenant_name);
+        tenant.requests.fetch_add(1, Ordering::Relaxed);
+        let repo = self.repo.read();
+        Response::Stats(ServerStats {
+            tenant: tenant_name.to_string(),
+            schemas: repo.schema_count() as u64,
+            mappings: repo.mappings().len() as u64,
+            cubes: repo.cube_count() as u64,
+            requests: tenant.requests.load(Ordering::Relaxed),
+            cache: tenant.cache.stats(),
+        })
+    }
+}
+
+impl std::fmt::Debug for ServerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerState")
+            .field("store", &self.repo.location())
+            .field("tenants", &self.tenants.read().len())
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,401 @@
+//! End-to-end tests over a real unix socket: schema storage, matching,
+//! repository persistence across a server restart, the cross-request
+//! memo speedup, and concurrent client sessions.
+
+use coma_repo::FileBackend;
+use coma_server::{
+    Client, InlineSchema, MatchConfig, MatchRequest, PlanSpec, Request, Response, SchemaFormat,
+    SchemaRef, Server, ServerState,
+};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// A unique temp path that does not collide across test binaries.
+fn temp_path(name: &str, ext: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("coma_server_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{}_{}.{ext}", name, std::process::id()));
+    std::fs::remove_file(&path).ok();
+    path
+}
+
+/// A generated DDL schema: `tables` CREATE TABLE statements with
+/// `columns` columns each, names drawn from a fixed vocabulary so two
+/// schemas built with different `variant` values still overlap enough
+/// for name matchers to do real work.
+fn big_ddl(tables: usize, columns: usize, variant: &str) -> String {
+    const STEMS: [&str; 12] = [
+        "customer", "order", "ship", "bill", "product", "price", "city", "street", "phone",
+        "status", "total", "delivery",
+    ];
+    let mut ddl = String::new();
+    for t in 0..tables {
+        ddl.push_str(&format!(
+            "CREATE TABLE {}{}{} (\n",
+            STEMS[t % STEMS.len()],
+            variant,
+            t
+        ));
+        for c in 0..columns {
+            if c > 0 {
+                ddl.push_str(",\n");
+            }
+            ddl.push_str(&format!(
+                "  {}{}{} VARCHAR(200)",
+                STEMS[(t + c) % STEMS.len()],
+                variant,
+                c
+            ));
+        }
+        ddl.push_str("\n);\n");
+    }
+    ddl
+}
+
+fn inline(name: &str, tables: usize, columns: usize, variant: &str) -> InlineSchema {
+    InlineSchema {
+        name: name.to_string(),
+        format: SchemaFormat::Sql,
+        text: big_ddl(tables, columns, variant),
+    }
+}
+
+fn match_request(tenant: &str, source: SchemaRef, target: SchemaRef, store: bool) -> Request {
+    Request::Match(MatchRequest {
+        tenant: tenant.to_string(),
+        source,
+        target,
+        plan: PlanSpec::Default,
+        config: MatchConfig::default(),
+        store,
+    })
+}
+
+/// Serves `state` on a fresh socket in a background thread; returns the
+/// socket path and a join handle that resolves when the server drains.
+fn spawn_server(state: ServerState, tag: &str) -> (PathBuf, std::thread::JoinHandle<()>) {
+    let socket = temp_path(tag, "sock");
+    let server = Server::bind(&socket, state).unwrap();
+    let handle = std::thread::spawn(move || server.serve().unwrap());
+    (socket, handle)
+}
+
+fn connect(socket: &PathBuf) -> Client {
+    Client::connect_retry(socket, Duration::from_secs(5)).unwrap()
+}
+
+#[test]
+fn socket_round_trip_stores_schemas_and_matches() {
+    let store = temp_path("round_trip_store", "json");
+    let state = ServerState::open(FileBackend::new(&store), 8).unwrap();
+    let (socket, handle) = spawn_server(state, "round_trip");
+    let mut client = connect(&socket);
+
+    assert_eq!(client.call(&Request::Ping).unwrap(), Response::Pong);
+
+    let stored = client
+        .call_ok(&Request::PutSchema(
+            "acme".to_string(),
+            inline("PO_src", 4, 6, "A"),
+        ))
+        .unwrap();
+    let Response::SchemaStored(info) = stored else {
+        panic!("expected SchemaStored, got {stored:?}");
+    };
+    assert_eq!(info.name, "PO_src");
+    assert!(info.paths > 0);
+
+    client
+        .call_ok(&Request::PutSchema(
+            "acme".to_string(),
+            inline("PO_tgt", 4, 6, "B"),
+        ))
+        .unwrap();
+
+    let matched = client
+        .call_ok(&match_request(
+            "acme",
+            SchemaRef::Stored("PO_src".to_string()),
+            SchemaRef::Stored("PO_tgt".to_string()),
+            true,
+        ))
+        .unwrap();
+    let Response::Matched(response) = matched else {
+        panic!("expected Matched, got {matched:?}");
+    };
+    assert_eq!(response.source, "PO_src");
+    assert_eq!(response.target, "PO_tgt");
+    assert!(
+        !response.correspondences.is_empty(),
+        "overlapping vocabularies must produce correspondences"
+    );
+    // Ranked: similarities are non-increasing.
+    for pair in response.correspondences.windows(2) {
+        assert!(pair[0].similarity >= pair[1].similarity);
+    }
+
+    let stats = client.call_ok(&Request::Stats("acme".to_string())).unwrap();
+    let Response::Stats(stats) = stats else {
+        panic!("expected Stats, got {stats:?}");
+    };
+    assert_eq!(stats.schemas, 2);
+    assert_eq!(stats.mappings, 1, "store=true must persist the mapping");
+
+    client.call(&Request::Shutdown).unwrap();
+    handle.join().unwrap();
+    std::fs::remove_file(&store).ok();
+}
+
+#[test]
+fn repository_survives_server_restart() {
+    let store = temp_path("restart_store", "json");
+
+    // First server: store two schemas and one mapping, then shut down.
+    {
+        let state = ServerState::open(FileBackend::new(&store), 8).unwrap();
+        let (socket, handle) = spawn_server(state, "restart_a");
+        let mut client = connect(&socket);
+        client
+            .call_ok(&Request::PutSchema(
+                "acme".to_string(),
+                inline("Inv_src", 3, 5, "A"),
+            ))
+            .unwrap();
+        client
+            .call_ok(&Request::PutSchema(
+                "acme".to_string(),
+                inline("Inv_tgt", 3, 5, "B"),
+            ))
+            .unwrap();
+        client
+            .call_ok(&match_request(
+                "acme",
+                SchemaRef::Stored("Inv_src".to_string()),
+                SchemaRef::Stored("Inv_tgt".to_string()),
+                true,
+            ))
+            .unwrap();
+        client.call(&Request::Shutdown).unwrap();
+        handle.join().unwrap();
+    }
+
+    // Second server over the same store file: everything is still there
+    // and stored schemas are matchable without re-uploading.
+    {
+        let state = ServerState::open(FileBackend::new(&store), 8).unwrap();
+        let (socket, handle) = spawn_server(state, "restart_b");
+        let mut client = connect(&socket);
+
+        let listed = client
+            .call_ok(&Request::ListSchemas("acme".to_string()))
+            .unwrap();
+        let Response::Schemas(mut names) = listed else {
+            panic!("expected Schemas, got {listed:?}");
+        };
+        names.sort();
+        assert_eq!(names, vec!["Inv_src".to_string(), "Inv_tgt".to_string()]);
+
+        let fetched = client
+            .call_ok(&Request::GetSchema(
+                "acme".to_string(),
+                "Inv_src".to_string(),
+            ))
+            .unwrap();
+        let Response::Schema(info) = fetched else {
+            panic!("expected Schema, got {fetched:?}");
+        };
+        assert_eq!(info.name, "Inv_src");
+        assert!(info.nodes > 0 && info.paths > 0);
+
+        let matched = client
+            .call_ok(&match_request(
+                "acme",
+                SchemaRef::Stored("Inv_src".to_string()),
+                SchemaRef::Stored("Inv_tgt".to_string()),
+                false,
+            ))
+            .unwrap();
+        let Response::Matched(response) = matched else {
+            panic!("expected Matched, got {matched:?}");
+        };
+        assert!(!response.correspondences.is_empty());
+
+        let stats = client.call_ok(&Request::Stats("acme".to_string())).unwrap();
+        let Response::Stats(stats) = stats else {
+            panic!("expected Stats, got {stats:?}");
+        };
+        assert_eq!(stats.schemas, 2);
+        assert_eq!(stats.mappings, 1);
+
+        client.call(&Request::Shutdown).unwrap();
+        handle.join().unwrap();
+    }
+    std::fs::remove_file(&store).ok();
+}
+
+#[test]
+fn repeated_match_request_hits_the_cross_request_memo() {
+    let state = ServerState::open(coma_repo::MemoryBackend::new(), 8).unwrap();
+    let (socket, handle) = spawn_server(state, "memo");
+    let mut client = connect(&socket);
+
+    // Moderately sized pair so the first request does real work.
+    client
+        .call_ok(&Request::PutSchema(
+            "acme".to_string(),
+            inline("Big_src", 10, 10, "A"),
+        ))
+        .unwrap();
+    client
+        .call_ok(&Request::PutSchema(
+            "acme".to_string(),
+            inline("Big_tgt", 10, 10, "B"),
+        ))
+        .unwrap();
+    let request = match_request(
+        "acme",
+        SchemaRef::Stored("Big_src".to_string()),
+        SchemaRef::Stored("Big_tgt".to_string()),
+        false,
+    );
+
+    let Response::Matched(cold) = client.call_ok(&request).unwrap() else {
+        panic!("expected Matched");
+    };
+    let Response::Matched(warm) = client.call_ok(&request).unwrap() else {
+        panic!("expected Matched");
+    };
+
+    // Identical input must give identical output…
+    assert_eq!(cold.correspondences, warm.correspondences);
+    // …and the repeat request must have hit the shared cache: matrix
+    // misses stop growing while hits keep climbing.
+    assert_eq!(
+        warm.cache.matrix_misses, cold.cache.matrix_misses,
+        "second request recomputed matrices it should have reused"
+    );
+    assert!(
+        warm.cache.matrix_hits > cold.cache.matrix_hits,
+        "second request never touched the cross-request cache"
+    );
+    // Wall time is noisy on a loaded box, so gate loosely: the warm
+    // request must not be dramatically slower, and on a quiet machine
+    // it is typically several times faster.
+    assert!(
+        warm.elapsed_micros <= cold.elapsed_micros.max(1) * 2,
+        "warm request ({} us) slower than 2x cold ({} us)",
+        warm.elapsed_micros,
+        cold.elapsed_micros
+    );
+
+    client.call(&Request::Shutdown).unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn concurrent_clients_share_one_server() {
+    let state = ServerState::open(coma_repo::MemoryBackend::new(), 8).unwrap();
+    let (socket, handle) = spawn_server(state, "concurrent");
+
+    // Deliberately stays connected (and idle) for the whole test: a
+    // graceful shutdown must not wait forever on idle sessions.
+    let mut setup = connect(&socket);
+    setup
+        .call_ok(&Request::PutSchema(
+            "acme".to_string(),
+            inline("Conc_src", 5, 6, "A"),
+        ))
+        .unwrap();
+    setup
+        .call_ok(&Request::PutSchema(
+            "acme".to_string(),
+            inline("Conc_tgt", 5, 6, "B"),
+        ))
+        .unwrap();
+
+    let workers: Vec<_> = (0..4)
+        .map(|_| {
+            let socket = socket.clone();
+            std::thread::spawn(move || {
+                let mut client = connect(&socket);
+                let mut counts = Vec::new();
+                for _ in 0..3 {
+                    let request = match_request(
+                        "acme",
+                        SchemaRef::Stored("Conc_src".to_string()),
+                        SchemaRef::Stored("Conc_tgt".to_string()),
+                        false,
+                    );
+                    let Response::Matched(response) = client.call_ok(&request).unwrap() else {
+                        panic!("expected Matched");
+                    };
+                    counts.push(response.correspondences.len());
+                }
+                counts
+            })
+        })
+        .collect();
+
+    let all: Vec<Vec<usize>> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+    let expected = all[0][0];
+    assert!(expected > 0);
+    for counts in &all {
+        for &count in counts {
+            assert_eq!(count, expected, "all sessions must see identical results");
+        }
+    }
+
+    let mut client = connect(&socket);
+    client.call(&Request::Shutdown).unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn malformed_requests_get_error_responses_not_session_death() {
+    let state = ServerState::open(coma_repo::MemoryBackend::new(), 8).unwrap();
+    let (socket, handle) = spawn_server(state, "errors");
+    let mut client = connect(&socket);
+
+    // Unknown stored schema.
+    let response = client
+        .call(&match_request(
+            "acme",
+            SchemaRef::Stored("nope".to_string()),
+            SchemaRef::Stored("also_nope".to_string()),
+            false,
+        ))
+        .unwrap();
+    assert!(matches!(response, Response::Error(_)));
+
+    // Unparseable inline schema.
+    let response = client
+        .call(&Request::PutSchema(
+            "acme".to_string(),
+            InlineSchema {
+                name: "bad".to_string(),
+                format: SchemaFormat::Sql,
+                text: "this is not DDL".to_string(),
+            },
+        ))
+        .unwrap();
+    assert!(matches!(response, Response::Error(_)));
+
+    // Degenerate plan parameters.
+    let response = client
+        .call(&Request::Match(MatchRequest {
+            tenant: "acme".to_string(),
+            source: SchemaRef::Inline(inline("x", 2, 2, "A")),
+            target: SchemaRef::Inline(inline("y", 2, 2, "B")),
+            plan: PlanSpec::TopKPruned(0),
+            config: MatchConfig::default(),
+            store: false,
+        }))
+        .unwrap();
+    assert!(matches!(response, Response::Error(_)));
+
+    // The session is still alive after all of that.
+    assert_eq!(client.call(&Request::Ping).unwrap(), Response::Pong);
+
+    client.call(&Request::Shutdown).unwrap();
+    handle.join().unwrap();
+}

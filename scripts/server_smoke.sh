@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# CI smoke test of the matching service's persistence path: start
+# coma-server on a temp unix socket with a file-backed store, drive one
+# schema upload + match + store through the coma-cli client, shut the
+# server down, start a *fresh* server process over the same store file,
+# and verify the schemas and the stored mapping survived the restart
+# (fetch + match by name, no re-upload). Any nonzero exit fails the job.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+WORK="$(mktemp -d)"
+SOCKET="$WORK/coma.sock"
+STORE="$WORK/repo.json"
+SERVER_PID=""
+
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+SERVER=target/release/coma-server
+CLI=target/release/coma-cli
+[ -x "$SERVER" ] && [ -x "$CLI" ] || cargo build --release --locked
+
+echo "== generation 1: store, match, persist =="
+"$SERVER" --socket "$SOCKET" --store "$STORE" &
+SERVER_PID=$!
+
+"$CLI" --server "$SOCKET" put crates/eval/assets/cidx.xsd --name cidx
+"$CLI" --server "$SOCKET" put crates/eval/assets/excel.xsd --name excel
+"$CLI" --server "$SOCKET" match cidx excel --top-k 5 --store > "$WORK/first.tsv"
+[ -s "$WORK/first.tsv" ] || { echo "FAIL: first match produced no correspondences"; exit 1; }
+"$CLI" --server "$SOCKET" stats
+"$CLI" --server "$SOCKET" shutdown
+wait "$SERVER_PID"
+SERVER_PID=""
+[ -s "$STORE" ] || { echo "FAIL: store file $STORE is missing or empty"; exit 1; }
+
+echo "== generation 2: reload the store, match by name =="
+"$SERVER" --socket "$SOCKET" --store "$STORE" &
+SERVER_PID=$!
+
+"$CLI" --server "$SOCKET" list | grep -qx cidx || { echo "FAIL: cidx not reloaded"; exit 1; }
+"$CLI" --server "$SOCKET" fetch excel
+"$CLI" --server "$SOCKET" match cidx excel --top-k 5 > "$WORK/second.tsv"
+diff "$WORK/first.tsv" "$WORK/second.tsv" \
+    || { echo "FAIL: restarted server ranks the pair differently"; exit 1; }
+"$CLI" --server "$SOCKET" shutdown
+wait "$SERVER_PID"
+SERVER_PID=""
+
+echo "server smoke passed: persistence survives a restart"

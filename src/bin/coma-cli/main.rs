@@ -1,4 +1,5 @@
-//! `coma-cli` — match two schema files from the command line.
+//! `coma-cli` — match two schema files from the command line, or talk to
+//! a running `coma-server`.
 //!
 //! ```text
 //! coma-cli <source-file> <target-file> [--matchers Name,NamePath,…]
@@ -6,6 +7,18 @@
 //!          [--prefilter M1,M2,…] [--prefilter-threshold T] [--prefilter-max N]
 //!          [--candidate-index] [--min-shared-tokens N] [--min-score S]
 //!          [--top-k K] [--iterate R] [--epsilon E]
+//!
+//! coma-cli --server SOCKET <command> [--tenant T] …
+//!   put <schema-file> [--name NAME]   store a schema in the repository
+//!   match <source> <target> [--store] [--top-k K] [--candidate-cap N] [--json]
+//!                                     match two schemas (each a stored
+//!                                     schema name, or a file to send
+//!                                     inline); --store persists the result
+//!   fetch <NAME>                      show a stored schema's shape
+//!   list                              list stored schema names
+//!   stats                             repository and cache statistics
+//!   ping                              liveness check
+//!   shutdown                          graceful server shutdown
 //! ```
 //!
 //! File formats are detected by extension: `.sql`/`.ddl` are parsed as SQL
@@ -50,6 +63,8 @@ use coma::graph::{PathSet, Schema};
 use coma::repo::MappingKind;
 use std::path::Path;
 use std::process::ExitCode;
+
+mod client_mode;
 
 struct Options {
     source: String,
@@ -185,6 +200,19 @@ fn import(path: &str) -> Result<Schema, String> {
 }
 
 fn main() -> ExitCode {
+    // Client mode: `--server SOCKET <command> …` talks to a running
+    // coma-server instead of matching locally.
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = raw.iter().position(|a| a == "--server") {
+        let Some(socket) = raw.get(pos + 1).cloned() else {
+            eprintln!("error: --server needs a socket path");
+            return ExitCode::from(2);
+        };
+        let mut rest = raw;
+        rest.drain(pos..=pos + 1);
+        return client_mode::run(&socket, rest);
+    }
+
     let opts = match parse_args() {
         Ok(o) => o,
         Err(code) => return code,

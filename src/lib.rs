@@ -15,6 +15,9 @@
 //! * [`core`] — the matcher library, combination framework, match
 //!   processing and the composable match-plan engine (the paper's
 //!   contribution, generalized to staged matching processes),
+//! * [`server`] — matching as a service: a unix-socket server over a
+//!   persistent repository with per-tenant cross-request caches, plus the
+//!   wire protocol and client,
 //! * [`eval`] — quality metrics, the purchase-order evaluation corpus and
 //!   the experiment harness reproducing the paper's study.
 //!
@@ -31,6 +34,7 @@ pub use coma_core as core;
 pub use coma_eval as eval;
 pub use coma_graph as graph;
 pub use coma_repo as repo;
+pub use coma_server as server;
 pub use coma_sql as sql;
 pub use coma_strings as strings;
 pub use coma_xml as xml;

@@ -441,6 +441,34 @@ pub fn generate_schema(spec: &WorkloadSpec) -> Schema {
     render(&proto_tree(spec), &format!("S_{}", spec.label()), None)
 }
 
+/// Generates a *schema family*: `members` near-duplicate renderings of
+/// one prototype — the corpus-scale reuse setting, where many variants
+/// of the same real-world schema accumulate in a repository and new
+/// pairs are answered by composing stored mappings instead of matching
+/// from scratch. Member 0 is the unperturbed rendering; every later
+/// member re-renders the same prototype through its own perturbation
+/// stream (synonym drift, leaf drops/duplicates, datatype shifts), so
+/// members overlap heavily but no two are identical. Member `k` is named
+/// `F{k}_{label}`; the whole family is deterministic in `spec.seed`.
+pub fn generate_family(spec: &WorkloadSpec, members: usize) -> Vec<Schema> {
+    let proto = proto_tree(spec);
+    (0..members)
+        .map(|k| {
+            let name = format!("F{k}_{}", spec.label());
+            if k == 0 {
+                render(&proto, &name, None)
+            } else {
+                let mut rng = SplitMix64::new(
+                    spec.seed
+                        ^ 0x5DEE_CE66_D1CE_4E5B
+                        ^ (k as u64).wrapping_mul(0xA076_1D64_78BD_642F),
+                );
+                render(&proto, &name, Some(&mut rng))
+            }
+        })
+        .collect()
+}
+
 /// Generates a match task: the spec's schema as source, and a renamed,
 /// lightly perturbed variant of the same prototype as target. Both sides
 /// are deterministic in `spec.seed`.
@@ -573,6 +601,38 @@ mod tests {
         for (i, &count) in buckets.iter().enumerate() {
             let dev = (f64::from(count) - mean).abs() / mean;
             assert!(dev < 0.05, "bucket {i}: {count} vs mean {mean:.0}");
+        }
+    }
+
+    #[test]
+    fn family_members_overlap_but_differ_pairwise() {
+        let spec = WorkloadSpec::new(WorkloadShape::Deep, 600, 21);
+        let family = generate_family(&spec, 4);
+        assert_eq!(family.len(), 4);
+        assert_eq!(family, generate_family(&spec, 4), "family is deterministic");
+        // Member 0 is the unperturbed rendering of the prototype.
+        assert_eq!(family[0].name(), &format!("F0_{}", spec.label()));
+        let node_names = |s: &Schema| {
+            let mut names: Vec<String> = s.iter().map(|(_, n)| n.name.clone()).collect();
+            names.sort();
+            names
+        };
+        for (a, member_a) in family.iter().enumerate() {
+            assert_eq!(member_a.name(), &format!("F{a}_{}", spec.label()));
+            for member_b in family.iter().skip(a + 1) {
+                let (na, nb) = (node_names(member_a), node_names(member_b));
+                assert_ne!(na, nb, "{} vs {}", member_a.name(), member_b.name());
+                // Heavy overlap: most node names survive perturbation
+                // unchanged between any two members.
+                let shared = na.iter().filter(|n| nb.binary_search(n).is_ok()).count();
+                assert!(
+                    shared * 2 > na.len(),
+                    "{} and {} share only {shared} of {} names",
+                    member_a.name(),
+                    member_b.name(),
+                    na.len()
+                );
+            }
         }
     }
 

@@ -126,7 +126,7 @@ use crate::matchers::context::MatchContext;
 use crate::matchers::{Matcher, MatcherLibrary};
 use crate::process::{combine_cube_with_feedback, MatchOutcome};
 use crate::result::MatchResult;
-use crate::reuse::SchemaMatcher;
+use crate::reuse::{ReuseResolver, ReuseStats};
 use std::sync::Arc;
 
 /// One materialized stage of a plan execution: the cube of similarity
@@ -159,6 +159,12 @@ pub struct StageOutcome {
     /// [`MatchPlan::CandidateIndex`] leaf (surfaced by
     /// `coma-cli --verbose`); `None` for every other stage kind.
     pub index_stats: Option<IndexStats>,
+    /// Pivot-path diagnostics when this stage was a [`MatchPlan::Reuse`]
+    /// leaf — which chains were found, how they scored, which was chosen
+    /// (surfaced by `coma-cli --verbose`); `None` for every other stage
+    /// kind. Empty `paths` means the repository held no pivot path and
+    /// the stage contributed a zero slice.
+    pub reuse_stats: Option<ReuseStats>,
 }
 
 /// The outcome of executing a plan: the final match result plus every
@@ -529,6 +535,7 @@ impl<'l> PlanEngine<'l> {
                     shards,
                     fused: false,
                     index_stats: None,
+                    reuse_stats: None,
                 });
                 Ok(result)
             }
@@ -571,6 +578,7 @@ impl<'l> PlanEngine<'l> {
                     shards: 1,
                     fused: false,
                     index_stats: None,
+                    reuse_stats: None,
                 });
                 Ok(result)
             }
@@ -600,6 +608,7 @@ impl<'l> PlanEngine<'l> {
                     shards: fused_shards.unwrap_or(1),
                     fused: fused_shards.is_some(),
                     index_stats: None,
+                    reuse_stats: None,
                 });
                 Ok(result)
             }
@@ -646,6 +655,7 @@ impl<'l> PlanEngine<'l> {
                     shards: fused_shards.unwrap_or(1),
                     fused: fused_shards.is_some(),
                     index_stats: None,
+                    reuse_stats: None,
                 });
                 Ok(result)
             }
@@ -688,17 +698,22 @@ impl<'l> PlanEngine<'l> {
                     shards: 1,
                     fused: false,
                     index_stats: None,
+                    reuse_stats: None,
                 });
                 Ok(result)
             }
             MatchPlan::Reuse {
                 kind,
                 compose,
+                max_hops,
                 combination,
             } => {
-                let mut matcher = SchemaMatcher::with_name("Reuse", *kind);
-                matcher.compose = *compose;
-                let mut slice = matcher.compute(&ctx);
+                let resolver = ReuseResolver {
+                    kind_filter: *kind,
+                    compose: *compose,
+                    max_hops: *max_hops,
+                };
+                let (mut slice, reuse_stats) = resolver.compute(&ctx);
                 if let Some(mask) = mask {
                     if self.sparse_storage(mask) {
                         slice = mask.masked_sparse(&slice);
@@ -717,6 +732,7 @@ impl<'l> PlanEngine<'l> {
                     shards: 1,
                     fused: false,
                     index_stats: None,
+                    reuse_stats: Some(reuse_stats),
                 });
                 Ok(result)
             }
@@ -755,6 +771,7 @@ impl<'l> PlanEngine<'l> {
                     shards,
                     fused: false,
                     index_stats: Some(stats),
+                    reuse_stats: None,
                 });
                 Ok(result)
             }

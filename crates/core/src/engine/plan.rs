@@ -12,7 +12,7 @@
 //!        | Filter(plan; direction, selection)      re-select mid-pipeline
 //!        | TopK(plan; k, per)                      top-k pruning
 //!        | Iterate(plan; max_rounds, epsilon)      refine to a fixpoint
-//!        | Reuse(kind; compose; combination)       repository pivots
+//!        | Reuse(kind; compose; max_hops; combination)  repository pivot chains
 //! ```
 //!
 //! Flat strategies convert losslessly: `MatchPlan::from(strategy)` is a
@@ -76,6 +76,9 @@ pub enum PlanError {
     /// A `CandidateIndex` leaf with `per_element == Some(0)`: it would
     /// drop every candidate.
     ZeroCandidateCap,
+    /// A `Reuse` leaf with `max_hops < 2`: a chain needs at least two
+    /// stored mappings (source→pivot→target) to compose anything.
+    InvalidReuseHops,
 }
 
 impl fmt::Display for PlanError {
@@ -97,6 +100,9 @@ impl fmt::Display for PlanError {
             PlanError::ZeroCandidateCap => f.write_str(
                 "`CandidateIndex` leaf has per_element = Some(0) (would drop every candidate)",
             ),
+            PlanError::InvalidReuseHops => {
+                f.write_str("`Reuse` leaf has max_hops < 2 (a chain needs source→pivot→target)")
+            }
         }
     }
 }
@@ -223,6 +229,9 @@ pub enum MatchPlan {
         kind: Option<MappingKind>,
         /// Transitive-similarity combination along `S1↔S↔S2` chains.
         compose: ComposeCombine,
+        /// Maximum stored mappings per pivot chain (≥ 2; 2 = the paper's
+        /// single-pivot `Schema` matcher).
+        max_hops: usize,
         /// The combination applied to the reuse slice.
         combination: CombinationStrategy,
     },
@@ -348,13 +357,33 @@ impl MatchPlan {
     }
 
     /// A reuse leaf with the paper's defaults (Average compose, default
-    /// combination) over mappings of the given kind.
+    /// combination, single-pivot chains) over mappings of the given kind.
     pub fn reuse(kind: Option<MappingKind>) -> MatchPlan {
         MatchPlan::Reuse {
             kind,
             compose: ComposeCombine::Average,
+            max_hops: 2,
             combination: CombinationStrategy::paper_default(),
         }
+    }
+
+    /// A reuse leaf composing stored-mapping chains up to `max_hops`
+    /// mappings long. Fails with [`PlanError::InvalidReuseHops`] for
+    /// `max_hops < 2` (a chain needs at least source→pivot→target).
+    pub fn reuse_chains(
+        kind: Option<MappingKind>,
+        compose: ComposeCombine,
+        max_hops: usize,
+    ) -> std::result::Result<MatchPlan, PlanError> {
+        if max_hops < 2 {
+            return Err(PlanError::InvalidReuseHops);
+        }
+        Ok(MatchPlan::Reuse {
+            kind,
+            compose,
+            max_hops,
+            combination: CombinationStrategy::paper_default(),
+        })
     }
 
     /// The canonical two-stage shape a flat strategy cannot express: a
@@ -471,7 +500,11 @@ impl MatchPlan {
                     return Err(PlanError::ZeroCandidateCap);
                 }
             }
-            MatchPlan::Reuse { .. } => {}
+            MatchPlan::Reuse { max_hops, .. } => {
+                if *max_hops < 2 {
+                    return Err(PlanError::InvalidReuseHops);
+                }
+            }
         }
         Ok(())
     }
@@ -559,9 +592,10 @@ impl MatchPlan {
             MatchPlan::Reuse {
                 kind,
                 compose,
+                max_hops,
                 combination,
             } => format!(
-                "Reuse({}, {:?})[{}]",
+                "Reuse({}, {:?}, {max_hops}hop)[{}]",
                 match kind {
                     Some(MappingKind::Manual) => "Manual",
                     Some(MappingKind::Automatic) => "Automatic",
@@ -787,7 +821,16 @@ mod tests {
         let reuse = MatchPlan::reuse(Some(MappingKind::Manual));
         assert_eq!(
             reuse.label(),
-            "Reuse(Manual, Average)[Average/Both/Thr(0.5)+Delta(0.02)/Average]"
+            "Reuse(Manual, Average, 2hop)[Average/Both/Thr(0.5)+Delta(0.02)/Average]"
+        );
+        let chains = MatchPlan::reuse_chains(None, ComposeCombine::Average, 3).unwrap();
+        assert_eq!(
+            chains.label(),
+            "Reuse(Any, Average, 3hop)[Average/Both/Thr(0.5)+Delta(0.02)/Average]"
+        );
+        assert_eq!(
+            MatchPlan::reuse_chains(None, ComposeCombine::Average, 1),
+            Err(PlanError::InvalidReuseHops)
         );
         // Labels are complete: plans differing only in combination get
         // distinct labels (the engine's Par canonicalization relies on

@@ -75,4 +75,7 @@ pub use process::{
     ALL_HYBRIDS,
 };
 pub use result::{MatchCandidate, MatchResult};
-pub use reuse::{match_compose, ComposeCombine, FragmentMatcher, SchemaMatcher};
+pub use reuse::{
+    match_compose, ComposeCombine, FragmentMatcher, ReusePathStats, ReuseResolution, ReuseResolver,
+    ReuseStats, SchemaMatcher,
+};

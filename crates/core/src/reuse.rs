@@ -1,14 +1,19 @@
 //! Reuse of previous match results (paper, Section 5): the
-//! [`match_compose`] operation and the reuse-oriented matchers
-//! [`SchemaMatcher`] (`SchemaM` / `SchemaA`) and [`FragmentMatcher`].
+//! [`match_compose`] operation, the reuse-oriented matchers
+//! [`SchemaMatcher`] (`SchemaM` / `SchemaA`) and [`FragmentMatcher`], and
+//! the transitive [`ReuseResolver`] that walks stored-mapping *chains*
+//! (`Repository::pivot_chains`) and scores pivot paths.
 
 use crate::combine::Aggregation;
 use crate::cube::{SimCube, SimMatrix};
 use crate::matchers::context::MatchContext;
 use crate::matchers::Matcher;
-use coma_repo::{Mapping, MappingKind};
+use coma_graph::PathSet;
+use coma_repo::{Mapping, MappingKind, PivotChain, Repository};
+use coma_strings::tokenize;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::cmp::Ordering;
+use std::collections::{BTreeSet, HashMap};
 
 /// How the two similarities of a transitive chain `a↔b↔c` are combined by
 /// MatchCompose. The paper (Section 5.1) argues that the common
@@ -91,27 +96,27 @@ impl SchemaMatcher {
             aggregation: Aggregation::Average,
         }
     }
+}
 
-    /// Converts a (full-name keyed) mapping into a matrix for this task.
-    /// Correspondences naming unknown paths are ignored.
-    fn mapping_to_matrix(
-        mapping: &Mapping,
-        src_index: &HashMap<String, usize>,
-        tgt_index: &HashMap<String, usize>,
-        rows: usize,
-        cols: usize,
-    ) -> SimMatrix {
-        let mut m = SimMatrix::new(rows, cols);
-        for c in &mapping.correspondences {
-            if let (Some(&i), Some(&j)) = (src_index.get(&c.source), tgt_index.get(&c.target)) {
-                // Keep the best value if duplicates appear.
-                if c.similarity > m.get(i, j) {
-                    m.set(i, j, c.similarity);
-                }
+/// Converts a (full-name keyed) mapping into a matrix for a task.
+/// Correspondences naming unknown paths are ignored.
+fn mapping_to_matrix(
+    mapping: &Mapping,
+    src_index: &HashMap<String, usize>,
+    tgt_index: &HashMap<String, usize>,
+    rows: usize,
+    cols: usize,
+) -> SimMatrix {
+    let mut m = SimMatrix::new(rows, cols);
+    for c in &mapping.correspondences {
+        if let (Some(&i), Some(&j)) = (src_index.get(&c.source), tgt_index.get(&c.target)) {
+            // Keep the best value if duplicates appear.
+            if c.similarity > m.get(i, j) {
+                m.set(i, j, c.similarity);
             }
         }
-        m
     }
+    m
 }
 
 impl Matcher for SchemaMatcher {
@@ -143,10 +148,274 @@ impl Matcher for SchemaMatcher {
         let mut cube = SimCube::new();
         for (k, (first, second)) in pairs.iter().enumerate() {
             let composed = match_compose(first, second, self.compose);
-            let slice = Self::mapping_to_matrix(&composed, &src_index, &tgt_index, rows, cols);
+            let slice = mapping_to_matrix(&composed, &src_index, &tgt_index, rows, cols);
             cube.push(format!("compose-{k}"), slice);
         }
         self.aggregation.aggregate(&cube)
+    }
+}
+
+/// Why one pivot path was (or was not) preferred by the [`ReuseResolver`]:
+/// the per-path inputs of the selection score, surfaced on the stage
+/// outcome so `coma-cli --verbose` can explain the choice.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReusePathStats {
+    /// Pivot schemas along the path, joined with `->` (e.g. `PO2->PO3`).
+    pub via: String,
+    /// Stored mappings composed along the path (2 = single pivot).
+    pub hops: usize,
+    /// Correspondences surviving the composition.
+    pub correspondences: usize,
+    /// Fraction of the task's elements the composed mapping touches
+    /// (mean of source-side and target-side endpoint coverage).
+    pub coverage: f64,
+    /// Jaccard overlap between the path's vocabulary (pivot names +
+    /// correspondence paths) and the task sides' vocabulary.
+    pub vocab_overlap: f64,
+    /// Selection score: `(2 / hops) · (0.7·coverage + 0.3·vocab_overlap)`.
+    /// Paths are ranked by fewest hops first, then by this score, then by
+    /// the lexicographically smaller `via`.
+    pub score: f64,
+}
+
+/// Diagnostics of one transitive reuse resolution, recorded on the
+/// executing stage's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReuseStats {
+    /// Hop budget the graph walk ran with.
+    pub max_hops: usize,
+    /// Per-path stats, best first — `paths[0]` is the chosen pivot path,
+    /// and every path sharing its (minimal) hop count contributed to the
+    /// merged candidate; longer paths are listed but rejected. Empty when
+    /// the repository holds no path between the task schemas.
+    pub paths: Vec<ReusePathStats>,
+    /// Correspondences in the merged candidate mapping.
+    pub merged_correspondences: usize,
+}
+
+/// A resolved reuse request: the merged candidate mapping plus the path
+/// diagnostics that explain it.
+#[derive(Debug, Clone)]
+pub struct ReuseResolution {
+    /// The candidate mapping, merged across the minimal-hop pivot paths
+    /// (per-pair average over the paths witnessing the pair).
+    pub mapping: Mapping,
+    /// Per-path and aggregate diagnostics.
+    pub stats: ReuseStats,
+}
+
+/// Transitive reuse over stored-mapping chains: walks the repository's
+/// mapping graph ([`Repository::pivot_chains`]), MatchComposes every
+/// pivot path up to [`ReuseResolver::max_hops`] mappings long, scores the
+/// paths (length, coverage, vocabulary overlap), and merges them into one
+/// candidate [`Mapping`] from the minimal-hop paths.
+///
+/// Unlike the single-pivot [`SchemaMatcher`] — which renders every
+/// composed mapping as one cube slice and Average-aggregates with
+/// missing pairs as 0 — the resolver averages only over the chains that
+/// witness a pair, and never merges a longer chain when a shorter path
+/// exists. Longer budgets unlock pivots only reachable through several
+/// stored results (S1↔A ∘ A↔B ∘ B↔S2) without diluting direct pivots.
+pub struct ReuseResolver {
+    /// Restricts which stored mappings qualify (`None` = all).
+    pub kind_filter: Option<MappingKind>,
+    /// Transitive-similarity combination (default Average).
+    pub compose: ComposeCombine,
+    /// Maximum number of stored mappings per chain (≥ 2).
+    pub max_hops: usize,
+}
+
+impl ReuseResolver {
+    /// A resolver with the paper-default Average combination.
+    pub fn new(kind_filter: Option<MappingKind>, max_hops: usize) -> ReuseResolver {
+        ReuseResolver {
+            kind_filter,
+            compose: ComposeCombine::Average,
+            max_hops,
+        }
+    }
+
+    /// Resolves `source ↔ target` from stored mappings alone. Returns an
+    /// empty mapping (and empty `stats.paths`) when the graph holds no
+    /// pivot path — callers use that to decide on fresh-match fallback.
+    pub fn resolve(&self, repo: &Repository, source: &str, target: &str) -> ReuseResolution {
+        let chains = repo.pivot_chains(source, target, self.max_hops, |m| {
+            self.kind_filter.is_none_or(|k| m.kind == k)
+        });
+        let source_vocab = schema_vocabulary(repo, source);
+        let target_vocab = schema_vocabulary(repo, target);
+        let task_vocab: BTreeSet<String> = source_vocab.union(&target_vocab).cloned().collect();
+        let source_universe = schema_path_count(repo, source);
+        let target_universe = schema_path_count(repo, target);
+
+        let mut composed: Vec<(Mapping, ReusePathStats)> = chains
+            .iter()
+            .map(|chain| {
+                let mut acc = chain.hops[0].clone();
+                for hop in &chain.hops[1..] {
+                    acc = match_compose(&acc, hop, self.compose);
+                }
+                let stats = path_stats(chain, &acc, &task_vocab, source_universe, target_universe);
+                (acc, stats)
+            })
+            .collect();
+        // Rank: fewest hops first (every extra hop composes one more
+        // *automatic* result into the chain, compounding its errors — the
+        // degradation the paper's Section 5.1 argument is about), then the
+        // coverage/vocabulary score, then the via label for determinism.
+        composed.sort_by(|a, b| {
+            a.1.hops
+                .cmp(&b.1.hops)
+                .then(b.1.score.partial_cmp(&a.1.score).unwrap_or(Ordering::Equal))
+                .then(a.1.via.cmp(&b.1.via))
+        });
+
+        // Merge the minimal-hop chains into one candidate, per-pair
+        // averaging over the chains that actually witness the pair. Longer
+        // chains are enumerated (and reported in the stats, so `--verbose`
+        // shows what was rejected) but never merged when a shorter path
+        // exists: on the evaluation corpus, folding 3-hop compositions of
+        // automatic results into the merge costs ~0.1 F-measure, and
+        // zero-filling non-witnessing chains (the SchemaMatcher's slice
+        // semantics) drags multi-path merges below the 0.5 selection
+        // threshold. `max_hops` is a search budget for sparse graphs, not
+        // an instruction to dilute short paths with long ones.
+        let min_hops = composed.first().map_or(0, |(_, s)| s.hops);
+        let mut sums: HashMap<(String, String), (f64, f64)> = HashMap::new();
+        let mut order: Vec<(String, String)> = Vec::new();
+        for (m, _) in composed.iter().filter(|(_, s)| s.hops == min_hops) {
+            for c in &m.correspondences {
+                let key = (c.source.clone(), c.target.clone());
+                match sums.get_mut(&key) {
+                    Some(sum) => {
+                        sum.0 += c.similarity;
+                        sum.1 += 1.0;
+                    }
+                    None => {
+                        sums.insert(key.clone(), (c.similarity, 1.0));
+                        order.push(key);
+                    }
+                }
+            }
+        }
+        let mut mapping = Mapping::new(source, target, MappingKind::Automatic);
+        for key in order {
+            let (sum, count) = sums[&key];
+            mapping.push(key.0, key.1, sum / count);
+        }
+        let stats = ReuseStats {
+            max_hops: self.max_hops,
+            paths: composed.into_iter().map(|(_, s)| s).collect(),
+            merged_correspondences: mapping.len(),
+        };
+        ReuseResolution { mapping, stats }
+    }
+
+    /// Resolves the context's task pair and renders the merged candidate
+    /// as a similarity matrix over the task's paths. Without a repository
+    /// the matrix is zero and `stats.paths` is empty.
+    pub fn compute(&self, ctx: &MatchContext<'_>) -> (SimMatrix, ReuseStats) {
+        let (rows, cols) = (ctx.rows(), ctx.cols());
+        let Some(repo) = ctx.repository else {
+            return (
+                SimMatrix::new(rows, cols),
+                ReuseStats {
+                    max_hops: self.max_hops,
+                    paths: Vec::new(),
+                    merged_correspondences: 0,
+                },
+            );
+        };
+        let resolution = self.resolve(repo, ctx.source.name(), ctx.target.name());
+        let src_index: HashMap<String, usize> =
+            (0..rows).map(|i| (ctx.source_full_name(i), i)).collect();
+        let tgt_index: HashMap<String, usize> =
+            (0..cols).map(|j| (ctx.target_full_name(j), j)).collect();
+        let matrix = mapping_to_matrix(&resolution.mapping, &src_index, &tgt_index, rows, cols);
+        (matrix, resolution.stats)
+    }
+}
+
+/// Tokens of a stored schema: its name plus every node name. Schemas not
+/// stored in the repository contribute their name only.
+fn schema_vocabulary(repo: &Repository, name: &str) -> BTreeSet<String> {
+    let mut vocab: BTreeSet<String> = tokenize(name).into_iter().collect();
+    if let Some(schema) = repo.schema(name) {
+        if let Ok(paths) = PathSet::new(schema) {
+            for id in paths.iter() {
+                vocab.extend(tokenize(paths.name(schema, id)));
+            }
+        }
+    }
+    vocab
+}
+
+/// Number of paths in a stored schema (`None` when the schema — or its
+/// unfolding — is unavailable; coverage then falls back to the composed
+/// mapping's own endpoints).
+fn schema_path_count(repo: &Repository, name: &str) -> Option<usize> {
+    repo.schema(name)
+        .and_then(|s| PathSet::new(s).ok())
+        .map(|p| p.len())
+}
+
+/// Scores one composed pivot path.
+fn path_stats(
+    chain: &PivotChain,
+    composed: &Mapping,
+    task_vocab: &BTreeSet<String>,
+    source_universe: Option<usize>,
+    target_universe: Option<usize>,
+) -> ReusePathStats {
+    let hops = chain.hops.len();
+    let src_endpoints: BTreeSet<&str> = composed
+        .correspondences
+        .iter()
+        .map(|c| c.source.as_str())
+        .collect();
+    let tgt_endpoints: BTreeSet<&str> = composed
+        .correspondences
+        .iter()
+        .map(|c| c.target.as_str())
+        .collect();
+    let side = |covered: usize, universe: Option<usize>| {
+        let total = universe.unwrap_or(covered);
+        if total == 0 {
+            0.0
+        } else {
+            covered as f64 / total as f64
+        }
+    };
+    let coverage = (side(src_endpoints.len(), source_universe)
+        + side(tgt_endpoints.len(), target_universe))
+        / 2.0;
+
+    let mut path_vocab: BTreeSet<String> = BTreeSet::new();
+    for pivot in &chain.pivots {
+        path_vocab.extend(tokenize(pivot));
+    }
+    for hop in &chain.hops {
+        for c in &hop.correspondences {
+            path_vocab.extend(tokenize(&c.source));
+            path_vocab.extend(tokenize(&c.target));
+        }
+    }
+    let intersection = path_vocab.intersection(task_vocab).count();
+    let union = path_vocab.union(task_vocab).count();
+    let vocab_overlap = if union == 0 {
+        0.0
+    } else {
+        intersection as f64 / union as f64
+    };
+
+    let score = (2.0 / hops as f64) * (0.7 * coverage + 0.3 * vocab_overlap);
+    ReusePathStats {
+        via: chain.pivots.join("->"),
+        hops,
+        correspondences: composed.len(),
+        coverage,
+        vocab_overlap,
+        score,
     }
 }
 
@@ -377,6 +646,134 @@ mod tests {
         };
         assert_eq!(cell("A.Contact.email", "B.Contact.email"), 1.0);
         assert_eq!(cell("A.Contact.fax", "B.Contact.phone"), 0.5);
+    }
+
+    #[test]
+    fn resolver_with_two_hops_matches_schema_matcher() {
+        let s1 = contact_schema("PO1", &["Name", "Email", "company"]);
+        let s3 = contact_schema("PO3", &["firstName", "lastName", "email", "company"]);
+        let p1 = PathSet::new(&s1).unwrap();
+        let p3 = PathSet::new(&s3).unwrap();
+        let aux = Auxiliary::standard();
+        let repo = figure3_repo();
+        let ctx = MatchContext::new(&s1, &s3, &p1, &p3, &aux).with_repository(&repo);
+        let matcher = SchemaMatcher::manual().compute(&ctx);
+        let resolver = ReuseResolver::new(Some(MappingKind::Manual), 2);
+        let (resolved, stats) = resolver.compute(&ctx);
+        for i in 0..p1.len() {
+            for j in 0..p3.len() {
+                assert!(
+                    (matcher.get(i, j) - resolved.get(i, j)).abs() < 1e-12,
+                    "cell ({i},{j}): matcher {} vs resolver {}",
+                    matcher.get(i, j),
+                    resolved.get(i, j)
+                );
+            }
+        }
+        assert_eq!(stats.paths.len(), 1);
+        assert_eq!(stats.paths[0].via, "PO2");
+        assert_eq!(stats.paths[0].hops, 2);
+        assert_eq!(stats.merged_correspondences, 3);
+    }
+
+    #[test]
+    fn resolver_walks_longer_chains_than_the_schema_matcher() {
+        // PO1↔PO2, PO2↔PO3, PO3↔PO4: reaching PO4 needs a 3-hop chain.
+        let mut repo = figure3_repo();
+        let mut m3 = Mapping::new("PO3", "PO4", MappingKind::Manual);
+        m3.push("PO3.Contact.email", "PO4.Contact.mail", 1.0);
+        repo.put_mapping(m3);
+
+        let s1 = contact_schema("PO1", &["Name", "Email"]);
+        let s4 = contact_schema("PO4", &["mail"]);
+        let p1 = PathSet::new(&s1).unwrap();
+        let p4 = PathSet::new(&s4).unwrap();
+        let aux = Auxiliary::standard();
+        let ctx = MatchContext::new(&s1, &s4, &p1, &p4, &aux).with_repository(&repo);
+
+        // Single-pivot reuse finds nothing: no S with PO1↔S and S↔PO4.
+        let single = SchemaMatcher::manual().compute(&ctx);
+        assert!(single.values().iter().all(|&v| v == 0.0));
+        let two_hop = ReuseResolver::new(Some(MappingKind::Manual), 2);
+        let (m, stats) = two_hop.compute(&ctx);
+        assert!(m.values().iter().all(|&v| v == 0.0));
+        assert!(stats.paths.is_empty());
+
+        // The 3-hop chain PO1→PO2→PO3→PO4 carries Email→mail:
+        // avg(avg(1.0, 1.0), 1.0) = 1.0.
+        let resolver = ReuseResolver::new(Some(MappingKind::Manual), 3);
+        let (m, stats) = resolver.compute(&ctx);
+        let i = p1
+            .find_by_full_name(&s1, "PO1.Contact.Email")
+            .unwrap()
+            .index();
+        let j = p4
+            .find_by_full_name(&s4, "PO4.Contact.mail")
+            .unwrap()
+            .index();
+        assert_eq!(m.get(i, j), 1.0);
+        assert_eq!(stats.paths.len(), 1);
+        assert_eq!(stats.paths[0].via, "PO2->PO3");
+        assert_eq!(stats.paths[0].hops, 3);
+    }
+
+    #[test]
+    fn resolver_ranks_shorter_better_covering_paths_first() {
+        // Two routes A→B: via P (direct pivot, covers both elements) and
+        // via the chain X→Y (covers one element). P must rank first.
+        let mut repo = Repository::new();
+        repo.put_schema(contact_schema("A", &["email", "phone"]));
+        repo.put_schema(contact_schema("B", &["email", "phone"]));
+        let mut m = Mapping::new("A", "P", MappingKind::Manual);
+        m.push("A.Contact.email", "P.Contact.email", 1.0);
+        m.push("A.Contact.phone", "P.Contact.phone", 1.0);
+        repo.put_mapping(m);
+        let mut m = Mapping::new("P", "B", MappingKind::Manual);
+        m.push("P.Contact.email", "B.Contact.email", 1.0);
+        m.push("P.Contact.phone", "B.Contact.phone", 1.0);
+        repo.put_mapping(m);
+        let mut m = Mapping::new("A", "X", MappingKind::Manual);
+        m.push("A.Contact.email", "X.Contact.email", 1.0);
+        repo.put_mapping(m);
+        let mut m = Mapping::new("X", "Y", MappingKind::Manual);
+        m.push("X.Contact.email", "Y.Contact.email", 1.0);
+        repo.put_mapping(m);
+        let mut m = Mapping::new("Y", "B", MappingKind::Manual);
+        m.push("Y.Contact.email", "B.Contact.email", 1.0);
+        repo.put_mapping(m);
+
+        let resolver = ReuseResolver::new(Some(MappingKind::Manual), 3);
+        let resolution = resolver.resolve(&repo, "A", "B");
+        assert_eq!(resolution.stats.paths.len(), 2);
+        let best = &resolution.stats.paths[0];
+        assert_eq!(best.via, "P");
+        assert_eq!(best.hops, 2);
+        assert!(best.score > resolution.stats.paths[1].score);
+        assert!(best.coverage > resolution.stats.paths[1].coverage);
+        // Merged candidate: the minimal-hop path via P alone — the 3-hop
+        // X→Y route is listed in the stats but rejected from the merge,
+        // so phone (witnessed only by P) keeps its full similarity.
+        let sim = |s: &str, t: &str| {
+            resolution
+                .mapping
+                .correspondences
+                .iter()
+                .find(|c| c.source == s && c.target == t)
+                .map(|c| c.similarity)
+        };
+        assert_eq!(sim("A.Contact.email", "B.Contact.email"), Some(1.0));
+        assert_eq!(sim("A.Contact.phone", "B.Contact.phone"), Some(1.0));
+        assert_eq!(resolution.stats.merged_correspondences, 2);
+    }
+
+    #[test]
+    fn resolver_reports_empty_paths_when_graph_is_disconnected() {
+        let repo = Repository::new();
+        let resolver = ReuseResolver::new(None, 4);
+        let resolution = resolver.resolve(&repo, "S1", "S2");
+        assert!(resolution.mapping.is_empty());
+        assert!(resolution.stats.paths.is_empty());
+        assert_eq!(resolution.stats.max_hops, 4);
     }
 
     #[test]

@@ -11,6 +11,8 @@
 pub mod corpus;
 pub mod experiment;
 pub mod metrics;
+pub mod reuse;
 
 pub use corpus::{task_label, Corpus, SCHEMA_NAMES, TASKS};
 pub use metrics::{AverageQuality, MatchQuality};
+pub use reuse::{fresh_task_mappings, reuse_repository};

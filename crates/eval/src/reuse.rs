@@ -1,0 +1,146 @@
+//! Reuse-vs-fresh evaluation setup on the five-schema corpus — the
+//! paper's Table 5 setting: for a given match task, every *other* task's
+//! automatically obtained result is stored in a repository, and the task
+//! itself is answered by transitive composition over the stored-mapping
+//! graph instead of fresh matching.
+//!
+//! This module provides the leave-one-out plumbing; quality comparison
+//! ([`crate::metrics::MatchQuality`]) and wall-time measurement live with
+//! the callers (`perf_smoke` gates both).
+
+use crate::corpus::{Corpus, SCHEMA_NAMES, TASKS};
+use coma_core::{EngineConfig, MatchContext, MatchPlan, MatchStrategy, MatcherLibrary, PlanEngine};
+use coma_repo::{Mapping, MappingKind, Repository};
+
+/// Fresh paper-default match results for every corpus task, in [`TASKS`]
+/// order, as storable automatic mappings. Deterministic: the engine's
+/// execution is bit-stable, so these are the exact mappings a client
+/// running the default operation would have stored.
+pub fn fresh_task_mappings(corpus: &Corpus) -> Vec<Mapping> {
+    let library = MatcherLibrary::standard();
+    let engine = PlanEngine::with_config(&library, EngineConfig::default());
+    let plan = MatchPlan::from(&MatchStrategy::paper_default());
+    TASKS
+        .iter()
+        .map(|&(i, j)| {
+            let ctx = MatchContext::new(
+                corpus.schema(i),
+                corpus.schema(j),
+                corpus.path_set(i),
+                corpus.path_set(j),
+                corpus.aux(),
+            );
+            let outcome = engine
+                .execute(&ctx, &plan)
+                .expect("the paper-default plan executes on the corpus");
+            outcome.result.to_mapping(&ctx, MappingKind::Automatic)
+        })
+        .collect()
+}
+
+/// A repository for the leave-one-out reuse experiment on `exclude`:
+/// all five corpus schemas (so pivot coverage denominators are real) plus
+/// every stored mapping that does **not** relate the excluded pair — the
+/// excluded task must be answerable only transitively, never by looking
+/// its own direct result up.
+pub fn reuse_repository(
+    corpus: &Corpus,
+    mappings: &[Mapping],
+    exclude: (usize, usize),
+) -> Repository {
+    let mut repo = Repository::new();
+    for i in 0..SCHEMA_NAMES.len() {
+        repo.put_schema(corpus.schema(i).clone());
+    }
+    let (a, b) = (SCHEMA_NAMES[exclude.0], SCHEMA_NAMES[exclude.1]);
+    for mapping in mappings {
+        if mapping.relates(a, b) {
+            continue;
+        }
+        repo.put_mapping(mapping.clone());
+    }
+    repo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MatchQuality;
+    use coma_core::ComposeCombine;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn leave_one_out_repository_never_contains_the_excluded_pair() {
+        let corpus = Corpus::load();
+        let mappings = fresh_task_mappings(&corpus);
+        assert_eq!(mappings.len(), TASKS.len());
+        for &(i, j) in &TASKS {
+            let repo = reuse_repository(&corpus, &mappings, (i, j));
+            assert_eq!(repo.schema_count(), SCHEMA_NAMES.len());
+            assert_eq!(repo.mappings().len(), TASKS.len() - 1);
+            assert!(repo
+                .mappings()
+                .iter()
+                .all(|m| !m.relates(SCHEMA_NAMES[i], SCHEMA_NAMES[j])));
+        }
+    }
+
+    /// The Table 5 claim, as a correctness floor: on every corpus task,
+    /// composing the other nine stored results transitively finds pivot
+    /// paths and lands within a loose F-measure band of fresh matching
+    /// (the tight committed tolerance is gated in `perf_smoke`).
+    #[test]
+    fn composed_reuse_rivals_fresh_matching_on_every_task() {
+        let corpus = Corpus::load();
+        let mappings = fresh_task_mappings(&corpus);
+        let library = MatcherLibrary::standard();
+        let engine = PlanEngine::with_config(&library, EngineConfig::default());
+        let reuse_plan =
+            MatchPlan::reuse_chains(None, ComposeCombine::Average, 3).expect("max_hops >= 2");
+        for (t, &(i, j)) in TASKS.iter().enumerate() {
+            let repo = reuse_repository(&corpus, &mappings, (i, j));
+            let ctx = MatchContext::new(
+                corpus.schema(i),
+                corpus.schema(j),
+                corpus.path_set(i),
+                corpus.path_set(j),
+                corpus.aux(),
+            )
+            .with_repository(&repo);
+            let outcome = engine.execute(&ctx, &reuse_plan).expect("reuse executes");
+            let stats = outcome.stages[0]
+                .reuse_stats
+                .as_ref()
+                .expect("reuse stage reports stats");
+            assert!(
+                !stats.paths.is_empty(),
+                "task {i}->{j}: nine stored mappings over five schemas must yield a pivot path"
+            );
+            let names: BTreeSet<(String, String)> = outcome
+                .result
+                .candidates
+                .iter()
+                .map(|c| {
+                    (
+                        ctx.source_full_name(c.source.index()),
+                        ctx.target_full_name(c.target.index()),
+                    )
+                })
+                .collect();
+            let gold = corpus.gold_names(i, j);
+            let fresh_names: BTreeSet<(String, String)> = mappings[t]
+                .correspondences
+                .iter()
+                .map(|c| (c.source.clone(), c.target.clone()))
+                .collect();
+            let reuse_q = MatchQuality::compare(&gold, &names);
+            let fresh_q = MatchQuality::compare(&gold, &fresh_names);
+            assert!(
+                reuse_q.f_measure() >= fresh_q.f_measure() - 0.25,
+                "task {i}->{j}: composed reuse F {:.3} fell far below fresh F {:.3}",
+                reuse_q.f_measure(),
+                fresh_q.f_measure()
+            );
+        }
+    }
+}

@@ -37,4 +37,4 @@ mod store;
 pub use backend::{FileBackend, MemoryBackend, PersistentRepository, RepositoryBackend};
 pub use cube::StoredCube;
 pub use mapping::{Correspondence, Mapping, MappingKind};
-pub use store::{shared, Repository, RepositoryError, SharedRepository};
+pub use store::{shared, PivotChain, Repository, RepositoryError, SharedRepository};

@@ -2,7 +2,7 @@ use crate::{Mapping, StoredCube};
 use coma_graph::Schema;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::path::Path;
 use std::sync::Arc;
@@ -37,6 +37,17 @@ impl From<serde_json::Error> for RepositoryError {
     fn from(e: serde_json::Error) -> Self {
         RepositoryError::Format(e)
     }
+}
+
+/// One transitive reuse path through the stored-mapping graph: a concrete
+/// choice of oriented mappings `source → P1 → … → Pk → target`, ready for
+/// repeated MatchCompose. Produced by [`Repository::pivot_chains`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PivotChain {
+    /// Names of the intermediate pivot schemas, in walk order.
+    pub pivots: Vec<String>,
+    /// The oriented mappings along the path; `hops.len() == pivots.len() + 1`.
+    pub hops: Vec<Mapping>,
 }
 
 /// The COMA repository: schemas, mappings and similarity cubes.
@@ -159,6 +170,133 @@ impl Repository {
             }
         }
         out
+    }
+
+    /// The generalization of [`Repository::pivot_pairs`] to transitive
+    /// *chains*: every simple path `source → P1 → … → Pk → target` through
+    /// the stored-mapping graph with between 2 and `max_hops` mappings,
+    /// each hop oriented forward and ready for repeated MatchCompose.
+    ///
+    /// The walk is over schema *names* (two schemas are adjacent when any
+    /// qualifying stored mapping relates them); for every node path, all
+    /// combinations of qualifying oriented mappings per hop are emitted.
+    /// Paths are simple — no pivot repeats and neither endpoint appears
+    /// as an intermediate — so a direct `source↔target` mapping is never
+    /// part of a chain (that is a stored *result*, not reuse). Adjacency
+    /// is kept in sorted maps, making the enumeration order
+    /// deterministic regardless of mapping insertion order.
+    ///
+    /// With `max_hops = 2` the emitted chains are exactly
+    /// [`Repository::pivot_pairs`]'s single-pivot pairs.
+    pub fn pivot_chains(
+        &self,
+        source: &str,
+        target: &str,
+        max_hops: usize,
+        filter: impl Fn(&Mapping) -> bool,
+    ) -> Vec<PivotChain> {
+        if source == target || max_hops < 2 {
+            return Vec::new();
+        }
+        let mut adjacency: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+        for m in self.mappings.iter().filter(|m| filter(m)) {
+            let (a, b) = (m.source_schema.as_str(), m.target_schema.as_str());
+            if a == b {
+                continue;
+            }
+            adjacency.entry(a).or_default().insert(b);
+            adjacency.entry(b).or_default().insert(a);
+        }
+        let mut chains = Vec::new();
+        let mut path = vec![source];
+        self.chain_walk(
+            target,
+            max_hops,
+            &filter,
+            &adjacency,
+            &mut path,
+            &mut chains,
+        );
+        chains
+    }
+
+    /// Depth-first enumeration of simple pivot paths. `path` holds the
+    /// nodes walked so far (starting at the task source); reaching
+    /// `target` with at least one intermediate pivot emits the chain.
+    fn chain_walk<'a>(
+        &self,
+        target: &'a str,
+        max_hops: usize,
+        filter: &impl Fn(&Mapping) -> bool,
+        adjacency: &BTreeMap<&'a str, BTreeSet<&'a str>>,
+        path: &mut Vec<&'a str>,
+        out: &mut Vec<PivotChain>,
+    ) {
+        let last = *path.last().expect("path starts at the source");
+        let Some(neighbors) = adjacency.get(last) else {
+            return;
+        };
+        for &next in neighbors {
+            if next == target {
+                if path.len() >= 2 {
+                    self.emit_chains(path, target, filter, out);
+                }
+                continue;
+            }
+            // Admitting another pivot means the finished chain will have
+            // at least `path.len() + 1` hops; stay within the budget.
+            if path.len() >= max_hops || path.contains(&next) {
+                continue;
+            }
+            path.push(next);
+            self.chain_walk(target, max_hops, filter, adjacency, path, out);
+            path.pop();
+        }
+    }
+
+    /// Emits every combination of qualifying oriented mappings along one
+    /// node path (`nodes` + the final `target`).
+    fn emit_chains(
+        &self,
+        nodes: &[&str],
+        target: &str,
+        filter: &impl Fn(&Mapping) -> bool,
+        out: &mut Vec<PivotChain>,
+    ) {
+        let mut endpoints: Vec<&str> = nodes.to_vec();
+        endpoints.push(target);
+        let per_hop: Vec<Vec<Mapping>> = endpoints
+            .windows(2)
+            .map(|w| {
+                self.mappings
+                    .iter()
+                    .filter(|m| filter(m))
+                    .filter_map(|m| m.oriented(w[0], w[1]))
+                    .collect()
+            })
+            .collect();
+        if per_hop.iter().any(Vec::is_empty) {
+            return;
+        }
+        let pivots: Vec<String> = nodes[1..].iter().map(|s| (*s).to_string()).collect();
+        let mut combos: Vec<Vec<Mapping>> = vec![Vec::new()];
+        for hop in &per_hop {
+            let mut grown = Vec::with_capacity(combos.len() * hop.len());
+            for combo in &combos {
+                for m in hop {
+                    let mut c = combo.clone();
+                    c.push(m.clone());
+                    grown.push(c);
+                }
+            }
+            combos = grown;
+        }
+        for hops in combos {
+            out.push(PivotChain {
+                pivots: pivots.clone(),
+                hops,
+            });
+        }
     }
 
     // --- cubes -----------------------------------------------------------
@@ -290,6 +428,92 @@ mod tests {
         let mut repo = Repository::new();
         repo.put_mapping(mapping("S1", "S2", MappingKind::Manual));
         assert!(repo.pivot_pairs("S1", "S2", |_| true).is_empty());
+    }
+
+    #[test]
+    fn pivot_chains_with_two_hops_match_pivot_pairs() {
+        let mut repo = Repository::new();
+        repo.put_mapping(mapping("S1", "Si", MappingKind::Manual));
+        repo.put_mapping(mapping("S2", "Si", MappingKind::Manual));
+        repo.put_mapping(mapping("S1", "Sj", MappingKind::Manual));
+        repo.put_mapping(mapping("Sj", "S2", MappingKind::Manual));
+        repo.put_mapping(mapping("Sk", "S1", MappingKind::Manual));
+        repo.put_mapping(mapping("S2", "Sk", MappingKind::Manual));
+        let pairs = repo.pivot_pairs("S1", "S2", |_| true);
+        let chains = repo.pivot_chains("S1", "S2", 2, |_| true);
+        assert_eq!(chains.len(), pairs.len());
+        for chain in &chains {
+            assert_eq!(chain.pivots.len(), 1);
+            assert_eq!(chain.hops.len(), 2);
+            assert!(pairs
+                .iter()
+                .any(|(f, s)| *f == chain.hops[0] && *s == chain.hops[1]));
+        }
+    }
+
+    #[test]
+    fn pivot_chains_find_longer_paths_within_budget() {
+        // Only route S1→S2 is via two pivots: S1↔A↔B↔S2.
+        let mut repo = Repository::new();
+        repo.put_mapping(mapping("S1", "A", MappingKind::Manual));
+        repo.put_mapping(mapping("A", "B", MappingKind::Manual));
+        repo.put_mapping(mapping("B", "S2", MappingKind::Manual));
+        assert!(repo.pivot_chains("S1", "S2", 2, |_| true).is_empty());
+        let chains = repo.pivot_chains("S1", "S2", 3, |_| true);
+        assert_eq!(chains.len(), 1);
+        assert_eq!(chains[0].pivots, vec!["A".to_string(), "B".to_string()]);
+        assert_eq!(chains[0].hops.len(), 3);
+        assert_eq!(chains[0].hops[0].source_schema, "S1");
+        assert_eq!(chains[0].hops[2].target_schema, "S2");
+    }
+
+    #[test]
+    fn pivot_chains_stay_simple_and_skip_direct_mappings() {
+        let mut repo = Repository::new();
+        repo.put_mapping(mapping("S1", "S2", MappingKind::Manual));
+        repo.put_mapping(mapping("S1", "A", MappingKind::Manual));
+        repo.put_mapping(mapping("A", "S2", MappingKind::Manual));
+        // The direct S1↔S2 mapping is never a chain, and raising the hop
+        // budget cannot smuggle it (or a revisit of S1/A) back in.
+        let chains = repo.pivot_chains("S1", "S2", 4, |_| true);
+        assert_eq!(chains.len(), 1);
+        assert_eq!(chains[0].pivots, vec!["A".to_string()]);
+        assert!(repo.pivot_chains("S1", "S1", 4, |_| true).is_empty());
+    }
+
+    #[test]
+    fn pivot_chains_respect_filter_per_hop() {
+        let mut repo = Repository::new();
+        repo.put_mapping(mapping("S1", "A", MappingKind::Manual));
+        repo.put_mapping(mapping("A", "S2", MappingKind::Automatic));
+        let manual_only = repo.pivot_chains("S1", "S2", 3, |m| m.kind == MappingKind::Manual);
+        assert!(manual_only.is_empty());
+        assert_eq!(repo.pivot_chains("S1", "S2", 3, |_| true).len(), 1);
+    }
+
+    #[test]
+    fn pivot_chains_enumerate_deterministically() {
+        // Insertion order differs; sorted adjacency must give one order.
+        let build = |flip: bool| {
+            let mut repo = Repository::new();
+            let mut ms = vec![
+                mapping("S1", "A", MappingKind::Manual),
+                mapping("A", "S2", MappingKind::Manual),
+                mapping("S1", "B", MappingKind::Manual),
+                mapping("B", "S2", MappingKind::Manual),
+            ];
+            if flip {
+                ms.reverse();
+            }
+            for m in ms {
+                repo.put_mapping(m);
+            }
+            repo.pivot_chains("S1", "S2", 2, |_| true)
+                .into_iter()
+                .map(|c| c.pivots.join("->"))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(build(false), build(true));
     }
 
     #[test]

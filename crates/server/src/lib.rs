@@ -38,7 +38,7 @@ mod state;
 pub use client::Client;
 pub use protocol::{
     InlineSchema, MatchConfig, MatchRequest, MatchResponse, PlanSpec, RankedCorrespondence,
-    Request, Response, SchemaFormat, SchemaInfo, SchemaRef, ServerStats,
+    Request, Response, ReuseSpec, SchemaFormat, SchemaInfo, SchemaRef, ServerStats,
 };
 pub use server::Server;
 pub use state::{ServerState, TenantState};

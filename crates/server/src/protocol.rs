@@ -13,7 +13,8 @@
 //! generics), so the whole protocol round-trips through the offline
 //! serde stand-ins.
 
-use coma_core::{CacheStats, MatchStrategy};
+use coma_core::{CacheStats, ComposeCombine, MatchStrategy};
+use coma_repo::MappingKind;
 use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
 
@@ -54,6 +55,29 @@ pub enum SchemaRef {
     Inline(InlineSchema),
 }
 
+/// Parameters of a [`PlanSpec::Reuse`] request: answer the match task
+/// from the server repository's stored mappings by composing pivot
+/// chains, instead of matching fresh.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReuseSpec {
+    /// Restricts which stored mappings qualify (`None` = all).
+    pub kind: Option<MappingKind>,
+    /// Transitive-similarity combination along each chain.
+    pub compose: ComposeCombine,
+    /// Maximum stored mappings per pivot chain (must be ≥ 2).
+    pub max_hops: u64,
+}
+
+impl Default for ReuseSpec {
+    fn default() -> Self {
+        ReuseSpec {
+            kind: None,
+            compose: ComposeCombine::Average,
+            max_hops: 3,
+        }
+    }
+}
+
 /// Which staged plan the engine runs — the wire-level mirror of
 /// [`coma_core::plans`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -67,6 +91,11 @@ pub enum PlanSpec {
     /// Inverted-index retrieval (capped per element) → masked re-rank →
     /// paper-default refine.
     CandidateIndex(usize),
+    /// Pivot-based reuse from the server's stored-mapping graph. When no
+    /// pivot path connects the two sides the server falls back to fresh
+    /// matching with the Default plan and flags it in the response
+    /// (`reused: Some(false)`) — a miss is an answer, not an error.
+    Reuse(ReuseSpec),
 }
 
 /// Engine tuning carried by a match request — the wire-level mirror of
@@ -171,6 +200,14 @@ pub struct MatchResponse {
     /// The tenant cache's counters after this request — lets clients
     /// observe cross-request memo hits.
     pub cache: CacheStats,
+    /// For [`PlanSpec::Reuse`] requests: `Some(true)` when the result
+    /// was composed from stored mappings, `Some(false)` when no pivot
+    /// path existed and the server fell back to fresh matching. `None`
+    /// for every other plan kind.
+    pub reused: Option<bool>,
+    /// The chosen pivot path (`->`-joined pivot names) when
+    /// `reused == Some(true)`; `None` otherwise.
+    pub reuse_path: Option<String>,
 }
 
 /// Tenant statistics.
@@ -303,6 +340,26 @@ mod tests {
             config: MatchConfig::default(),
             store: false,
         }));
+        roundtrip(&Request::Match(MatchRequest {
+            tenant: "acme".into(),
+            source: SchemaRef::Stored("A".into()),
+            target: SchemaRef::Stored("B".into()),
+            plan: PlanSpec::Reuse(ReuseSpec {
+                kind: Some(MappingKind::Manual),
+                compose: ComposeCombine::Average,
+                max_hops: 3,
+            }),
+            config: MatchConfig::default(),
+            store: false,
+        }));
+        roundtrip(&Request::Match(MatchRequest {
+            tenant: "acme".into(),
+            source: SchemaRef::Stored("A".into()),
+            target: SchemaRef::Stored("B".into()),
+            plan: PlanSpec::Reuse(ReuseSpec::default()),
+            config: MatchConfig::default(),
+            store: false,
+        }));
         roundtrip(&Request::Stats("acme".into()));
         roundtrip(&Request::Flush);
         roundtrip(&Request::Shutdown);
@@ -328,6 +385,17 @@ mod tests {
                 }],
                 elapsed_micros: 1234,
                 cache: coma_core::CacheStats::default(),
+                reused: None,
+                reuse_path: None,
+            }),
+            Response::Matched(MatchResponse {
+                source: "A".into(),
+                target: "B".into(),
+                correspondences: Vec::new(),
+                elapsed_micros: 99,
+                cache: coma_core::CacheStats::default(),
+                reused: Some(true),
+                reuse_path: Some("P->Q".into()),
             }),
             Response::Flushed,
             Response::ShuttingDown,

@@ -222,6 +222,10 @@ impl ServerState {
                 }
                 Ok(plans::candidate_index_plan(*cap))
             }
+            PlanSpec::Reuse(spec) => {
+                MatchPlan::reuse_chains(spec.kind, spec.compose, spec.max_hops as usize)
+                    .map_err(|e| e.to_string())
+            }
         }
     }
 
@@ -257,19 +261,53 @@ impl ServerState {
         // The read guard spans the execution so reuse matchers see a
         // consistent repository snapshot; writers (PutSchema / store)
         // wait for in-flight matches, readers do not.
-        let mapping = {
+        let is_reuse = matches!(req.plan, PlanSpec::Reuse(_));
+        let (mapping, reused, reuse_path) = {
             let repo = self.repo.read();
             let ctx = MatchContext::new(&source, &target, &source_paths, &target_paths, &self.aux)
                 .with_repository(&repo);
-            let outcome = match PlanEngine::with_config(&self.library, cfg).execute_cached(
-                &ctx,
-                &plan,
-                &tenant.cache,
-            ) {
+            let engine = PlanEngine::with_config(&self.library, cfg);
+            let outcome = match engine.execute_cached(&ctx, &plan, &tenant.cache) {
                 Ok(o) => o,
                 Err(e) => return Response::Error(e.to_string()),
             };
-            outcome.result.to_mapping(&ctx, MappingKind::Automatic)
+            let chosen_path = outcome
+                .stages
+                .last()
+                .and_then(|s| s.reuse_stats.as_ref())
+                .and_then(|s| s.paths.first())
+                .map(|p| p.via.clone());
+            match (is_reuse, chosen_path) {
+                (true, Some(via)) => (
+                    outcome.result.to_mapping(&ctx, MappingKind::Automatic),
+                    Some(true),
+                    Some(via),
+                ),
+                (true, None) => {
+                    // No pivot path connects the two sides: fall back to
+                    // fresh matching with the Default plan. The response
+                    // flags the miss (`reused: Some(false)`) — it is an
+                    // answer, not an error.
+                    let fallback = match Self::plan_of(&PlanSpec::Default) {
+                        Ok(p) => p,
+                        Err(e) => return Response::Error(e),
+                    };
+                    let outcome = match engine.execute_cached(&ctx, &fallback, &tenant.cache) {
+                        Ok(o) => o,
+                        Err(e) => return Response::Error(e.to_string()),
+                    };
+                    (
+                        outcome.result.to_mapping(&ctx, MappingKind::Automatic),
+                        Some(false),
+                        None,
+                    )
+                }
+                (false, _) => (
+                    outcome.result.to_mapping(&ctx, MappingKind::Automatic),
+                    None,
+                    None,
+                ),
+            }
         };
         let elapsed_micros = started.elapsed().as_micros() as u64;
 
@@ -309,6 +347,8 @@ impl ServerState {
             correspondences,
             elapsed_micros,
             cache: tenant.cache.stats(),
+            reused,
+            reuse_path,
         })
     }
 

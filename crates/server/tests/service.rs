@@ -4,8 +4,8 @@
 
 use coma_repo::FileBackend;
 use coma_server::{
-    Client, InlineSchema, MatchConfig, MatchRequest, PlanSpec, Request, Response, SchemaFormat,
-    SchemaRef, Server, ServerState,
+    Client, InlineSchema, MatchConfig, MatchRequest, PlanSpec, Request, Response, ReuseSpec,
+    SchemaFormat, SchemaRef, Server, ServerState,
 };
 use std::path::PathBuf;
 use std::time::Duration;
@@ -346,6 +346,172 @@ fn concurrent_clients_share_one_server() {
     }
 
     let mut client = connect(&socket);
+    client.call(&Request::Shutdown).unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
+fn reuse_round_trip_composes_stored_mappings_and_falls_back() {
+    use coma_core::{
+        Auxiliary, ComposeCombine, EngineConfig, MatchContext, MatchPlan, MatchStrategy,
+        MatcherLibrary, PlanEngine,
+    };
+    use coma_graph::PathSet;
+    use coma_repo::{MappingKind, Repository};
+
+    let state = ServerState::open(coma_repo::MemoryBackend::new(), 8).unwrap();
+    let (socket, handle) = spawn_server(state, "reuse");
+    let mut client = connect(&socket);
+
+    // Three schemas; S1↔S2 and S2↔S3 matched fresh and stored, so S2 is
+    // the pivot connecting S1 to S3.
+    for (name, variant) in [("S1", "A"), ("S2", "B"), ("S3", "C")] {
+        client
+            .call_ok(&Request::PutSchema(
+                "acme".to_string(),
+                inline(name, 3, 4, variant),
+            ))
+            .unwrap();
+    }
+    for (a, b) in [("S1", "S2"), ("S2", "S3")] {
+        let Response::Matched(r) = client
+            .call_ok(&match_request(
+                "acme",
+                SchemaRef::Stored(a.to_string()),
+                SchemaRef::Stored(b.to_string()),
+                true,
+            ))
+            .unwrap()
+        else {
+            panic!("expected Matched");
+        };
+        assert!(!r.correspondences.is_empty(), "{a}↔{b} must match fresh");
+    }
+
+    // Reuse request S1↔S3: answered from the stored-mapping graph.
+    let Response::Matched(reused) = client
+        .call_ok(&Request::Match(MatchRequest {
+            tenant: "acme".to_string(),
+            source: SchemaRef::Stored("S1".to_string()),
+            target: SchemaRef::Stored("S3".to_string()),
+            plan: PlanSpec::Reuse(ReuseSpec {
+                kind: None,
+                compose: ComposeCombine::Average,
+                max_hops: 3,
+            }),
+            config: MatchConfig::default(),
+            store: false,
+        }))
+        .unwrap()
+    else {
+        panic!("expected Matched");
+    };
+    assert_eq!(reused.reused, Some(true));
+    assert_eq!(reused.reuse_path.as_deref(), Some("S2"));
+    assert!(
+        !reused.correspondences.is_empty(),
+        "composition over the S2 pivot must carry correspondences"
+    );
+
+    // Replicate the whole pipeline in-process — same library, auxiliary
+    // tables, engine defaults and plans — and require the server's reuse
+    // answer bit-identically.
+    let library = MatcherLibrary::standard();
+    let aux = Auxiliary::standard();
+    // The server runs `MatchConfig::default()` through its config
+    // translation, which turns streaming fusion off.
+    let engine_cfg = EngineConfig::default().with_fuse_pruning(false);
+    let parse =
+        |name: &str, variant: &str| coma_sql::import_ddl(&big_ddl(3, 4, variant), name).unwrap();
+    let s1 = parse("S1", "A");
+    let s2 = parse("S2", "B");
+    let s3 = parse("S3", "C");
+    let mut repo = Repository::new();
+    for s in [&s1, &s2, &s3] {
+        repo.put_schema(s.clone());
+    }
+    let fresh_plan = MatchPlan::from(&MatchStrategy::paper_default());
+    for (src, tgt) in [(&s1, &s2), (&s2, &s3)] {
+        let sp = PathSet::new(src).unwrap();
+        let tp = PathSet::new(tgt).unwrap();
+        let ctx = MatchContext::new(src, tgt, &sp, &tp, &aux).with_repository(&repo);
+        let outcome = PlanEngine::with_config(&library, engine_cfg.clone())
+            .execute(&ctx, &fresh_plan)
+            .unwrap();
+        let mapping = outcome.result.to_mapping(&ctx, MappingKind::Automatic);
+        repo.put_mapping(mapping);
+    }
+    let sp = PathSet::new(&s1).unwrap();
+    let tp = PathSet::new(&s3).unwrap();
+    let ctx = MatchContext::new(&s1, &s3, &sp, &tp, &aux).with_repository(&repo);
+    let reuse_plan = MatchPlan::reuse_chains(None, ComposeCombine::Average, 3).unwrap();
+    let outcome = PlanEngine::with_config(&library, engine_cfg.clone())
+        .execute(&ctx, &reuse_plan)
+        .unwrap();
+    let mapping = outcome.result.to_mapping(&ctx, MappingKind::Automatic);
+    let mut local: Vec<(String, String, f64)> = mapping
+        .correspondences
+        .iter()
+        .map(|c| (c.source.clone(), c.target.clone(), c.similarity))
+        .collect();
+    // The server's response ordering: similarity desc, then paths.
+    local.sort_by(|a, b| {
+        b.2.partial_cmp(&a.2)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.0.cmp(&b.0))
+            .then_with(|| a.1.cmp(&b.1))
+    });
+    let wire: Vec<(String, String, f64)> = reused
+        .correspondences
+        .iter()
+        .map(|c| (c.source_path.clone(), c.target_path.clone(), c.similarity))
+        .collect();
+    assert_eq!(local, wire, "server reuse must equal the in-process result");
+
+    // No-path case: two fresh schemas with no stored mappings fall back
+    // to fresh matching, flagged — not an error, not empty.
+    for (name, variant) in [("X1", "A"), ("X2", "B")] {
+        client
+            .call_ok(&Request::PutSchema(
+                "acme".to_string(),
+                inline(name, 3, 4, variant),
+            ))
+            .unwrap();
+    }
+    let Response::Matched(fallback) = client
+        .call_ok(&Request::Match(MatchRequest {
+            tenant: "acme".to_string(),
+            source: SchemaRef::Stored("X1".to_string()),
+            target: SchemaRef::Stored("X2".to_string()),
+            plan: PlanSpec::Reuse(ReuseSpec::default()),
+            config: MatchConfig::default(),
+            store: false,
+        }))
+        .unwrap()
+    else {
+        panic!("expected Matched");
+    };
+    assert_eq!(fallback.reused, Some(false));
+    assert_eq!(fallback.reuse_path, None);
+    assert!(
+        !fallback.correspondences.is_empty(),
+        "fallback must produce the fresh Default-plan result"
+    );
+    // Flagging is per-plan: a plain Default request reports no reuse info.
+    let Response::Matched(plain) = client
+        .call_ok(&match_request(
+            "acme",
+            SchemaRef::Stored("X1".to_string()),
+            SchemaRef::Stored("X2".to_string()),
+            false,
+        ))
+        .unwrap()
+    else {
+        panic!("expected Matched");
+    };
+    assert_eq!(plain.reused, None);
+    assert_eq!(plain.correspondences, fallback.correspondences);
+
     client.call(&Request::Shutdown).unwrap();
     handle.join().unwrap();
 }

@@ -2,8 +2,8 @@
 //! `coma-server` (see the crate docs in `main.rs` for the command list).
 
 use coma::server::{
-    Client, InlineSchema, MatchConfig, MatchRequest, PlanSpec, Request, Response, SchemaFormat,
-    SchemaRef,
+    Client, InlineSchema, MatchConfig, MatchRequest, PlanSpec, Request, Response, ReuseSpec,
+    SchemaFormat, SchemaRef,
 };
 use std::path::Path;
 use std::process::ExitCode;
@@ -23,7 +23,8 @@ fn usage() -> ExitCode {
         "usage: coma-cli --server SOCKET <command> [--tenant T]\n\
          \n\
          put <schema-file> [--name NAME]\n\
-         match <source> <target> [--store] [--top-k K] [--candidate-cap N] [--json]\n\
+         match <source> <target> [--store] [--top-k K] [--candidate-cap N]\n\
+         \x20     [--reuse] [--max-hops N] [--json]\n\
          fetch <NAME>\n\
          list\n\
          stats\n\
@@ -77,6 +78,8 @@ pub fn run(socket: &str, args: Vec<String>) -> ExitCode {
     let mut json = false;
     let mut top_k: Option<usize> = None;
     let mut candidate_cap: Option<usize> = None;
+    let mut reuse = false;
+    let mut max_hops: u64 = 3;
     let mut positional: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -95,6 +98,11 @@ pub fn run(socket: &str, args: Vec<String>) -> ExitCode {
             },
             "--candidate-cap" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(v) => candidate_cap = Some(v),
+                None => return usage(),
+            },
+            "--reuse" => reuse = true,
+            "--max-hops" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => max_hops = v,
                 None => return usage(),
             },
             "--store" => store = true,
@@ -123,10 +131,20 @@ pub fn run(socket: &str, args: Vec<String>) -> ExitCode {
                 (Ok(s), Ok(t)) => (s, t),
                 (Err(e), _) | (_, Err(e)) => return fail(e),
             };
-            let plan = match (top_k, candidate_cap) {
-                (Some(k), _) => PlanSpec::TopKPruned(k),
-                (None, Some(cap)) => PlanSpec::CandidateIndex(cap),
-                (None, None) => PlanSpec::Default,
+            let plan = if reuse {
+                // Pivot-based matching from the server's stored-mapping
+                // graph; the server falls back to fresh matching (and
+                // flags it) when no pivot path exists.
+                PlanSpec::Reuse(ReuseSpec {
+                    max_hops,
+                    ..ReuseSpec::default()
+                })
+            } else {
+                match (top_k, candidate_cap) {
+                    (Some(k), _) => PlanSpec::TopKPruned(k),
+                    (None, Some(cap)) => PlanSpec::CandidateIndex(cap),
+                    (None, None) => PlanSpec::Default,
+                }
             };
             Request::Match(MatchRequest {
                 tenant: tenant.clone(),
@@ -212,6 +230,14 @@ fn print_response(response: Response, json: bool) -> ExitCode {
                 matched.cache.matrix_hits,
                 matched.cache.matrix_misses
             );
+            match (matched.reused, &matched.reuse_path) {
+                (Some(true), Some(via)) => eprintln!("# reused stored mappings via {via}"),
+                (Some(true), None) => eprintln!("# reused stored mappings"),
+                (Some(false), _) => {
+                    eprintln!("# no pivot path in repository; matched fresh instead")
+                }
+                (None, _) => {}
+            }
             for c in &matched.correspondences {
                 println!("{:.3}\t{}\t{}", c.similarity, c.source_path, c.target_path);
             }

@@ -7,6 +7,7 @@
 //!          [--prefilter M1,M2,…] [--prefilter-threshold T] [--prefilter-max N]
 //!          [--candidate-index] [--min-shared-tokens N] [--min-score S]
 //!          [--top-k K] [--iterate R] [--epsilon E]
+//!          [--repository FILE] [--reuse] [--max-hops N]
 //!
 //! coma-cli --server SOCKET <command> [--tenant T] …
 //!   put <schema-file> [--name NAME]   store a schema in the repository
@@ -51,6 +52,16 @@
 //! the previous round's survivors, until the result moves by less than
 //! `--epsilon` (default 1e-6) or `R` rounds have run.
 //!
+//! `--reuse` skips fresh matching entirely and answers from previous
+//! match results: `--repository FILE` loads a repository JSON (the format
+//! `coma-server` persists and `--json` emits), and the engine's `Reuse`
+//! leaf walks its stored-mapping graph for pivot chains
+//! `source → P1 → … → Pk → target` of up to `--max-hops` mappings
+//! (default 3), MatchComposes each chain, and merges the paths into one
+//! candidate mapping. With `--verbose` the stage report explains the
+//! pivot selection: every path's hop count, coverage, vocabulary overlap
+//! and score, best first.
+//!
 //! `--verbose` reports, per executed stage, the similarity-cube shape,
 //! its physical storage (dense, sparse/CSR, or mixed — see
 //! `ARCHITECTURE.md` on how the engine picks per stage) and the number of
@@ -83,6 +94,9 @@ struct Options {
     top_k: Option<usize>,
     iterate: Option<usize>,
     epsilon: f64,
+    repository: Option<String>,
+    reuse: bool,
+    max_hops: usize,
     verbose: bool,
 }
 
@@ -92,7 +106,8 @@ fn usage() -> ExitCode {
          [--matchers M1,M2,…] [--threshold T] [--synonyms FILE] [--dot] [--json] [--verbose] \
          [--prefilter M1,M2,…] [--prefilter-threshold T] [--prefilter-max N] \
          [--candidate-index] [--min-shared-tokens N] [--min-score S] \
-         [--top-k K] [--iterate R] [--epsilon E]"
+         [--top-k K] [--iterate R] [--epsilon E] \
+         [--repository FILE] [--reuse] [--max-hops N]"
     );
     ExitCode::from(2)
 }
@@ -120,6 +135,9 @@ fn parse_args() -> Result<Options, ExitCode> {
         top_k: None,
         iterate: None,
         epsilon: 1e-6,
+        repository: None,
+        reuse: false,
+        max_hops: 3,
         verbose: false,
     };
     while let Some(arg) = args.next() {
@@ -164,6 +182,12 @@ fn parse_args() -> Result<Options, ExitCode> {
             "--epsilon" => {
                 let v = args.next().ok_or_else(usage)?;
                 opts.epsilon = v.parse().map_err(|_| usage())?;
+            }
+            "--repository" => opts.repository = Some(args.next().ok_or_else(usage)?),
+            "--reuse" => opts.reuse = true,
+            "--max-hops" => {
+                let v = args.next().ok_or_else(usage)?;
+                opts.max_hops = v.parse().map_err(|_| usage())?;
             }
             "--synonyms" => opts.synonyms = Some(args.next().ok_or_else(usage)?),
             "--dot" => opts.dot = true,
@@ -251,11 +275,22 @@ fn main() -> ExitCode {
         }
     }
 
+    if let Some(file) = &opts.repository {
+        match coma::repo::Repository::load(file) {
+            Ok(repo) => *coma.repository_mut() = repo,
+            Err(e) => {
+                eprintln!("error: cannot load repository {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     let mut strategy = MatchStrategy::with_matchers(opts.matchers.clone());
     if let Some(t) = opts.threshold {
         strategy.combination.selection.threshold = Some(t);
     }
-    let staged = opts.candidate_index
+    let staged = opts.reuse
+        || opts.candidate_index
         || opts.prefilter.is_some()
         || opts.top_k.is_some()
         || opts.iterate.is_some();
@@ -265,7 +300,19 @@ fn main() -> ExitCode {
         // pruning), refine on the survivors, optionally iterated to a
         // fixpoint.
         let refine = MatchPlan::from(&strategy);
-        let mut plan = if opts.candidate_index {
+        let mut plan = if opts.reuse {
+            // Answer from stored match results alone: the `Reuse` leaf
+            // walks the repository's mapping graph for pivot chains up
+            // to --max-hops mappings long and composes them.
+            match MatchPlan::reuse_chains(None, coma::core::ComposeCombine::Average, opts.max_hops)
+            {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if opts.candidate_index {
             // Inverted-index first stage: candidates come from shared
             // token/q-gram postings, capped per element by
             // --prefilter-max — the m×n cross product is never scored.
@@ -360,6 +407,37 @@ fn main() -> ExitCode {
                                 stats.distinct_grams,
                                 stage.result.len() as f64 / cells as f64,
                             );
+                        }
+                        if let Some(stats) = &stage.reuse_stats {
+                            if stats.paths.is_empty() {
+                                eprintln!(
+                                    "#   reuse: no pivot path in repository \
+                                     (max {} hops)",
+                                    stats.max_hops
+                                );
+                            } else {
+                                eprintln!(
+                                    "#   reuse: {} pivot path(s) within {} hops, \
+                                     merged {} correspondence(s); chose via {}",
+                                    stats.paths.len(),
+                                    stats.max_hops,
+                                    stats.merged_correspondences,
+                                    stats.paths[0].via,
+                                );
+                                for p in &stats.paths {
+                                    eprintln!(
+                                        "#     via {}: score {:.3} ({} hops, \
+                                         {} correspondence(s), coverage {:.2}, \
+                                         vocab overlap {:.2})",
+                                        p.via,
+                                        p.score,
+                                        p.hops,
+                                        p.correspondences,
+                                        p.coverage,
+                                        p.vocab_overlap,
+                                    );
+                                }
+                            }
                         }
                     } else {
                         eprintln!("# stage {} -> {} pair(s)", stage.label, stage.result.len());

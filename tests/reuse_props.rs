@@ -1,0 +1,175 @@
+//! Property tests for the MatchCompose algebra (paper Section 5.1):
+//! composition is insertion-order deterministic, the `ComposeCombine`
+//! variants obey their ordering bounds on `[0, 1]`, chains with an empty
+//! pivot intersection compose to empty mappings without panicking, and
+//! every composed candidate is supported by a pivot path — with exactly
+//! the similarity the combine rule assigns to its best support.
+
+use coma::core::{match_compose, ComposeCombine};
+use coma::repo::{Mapping, MappingKind};
+use proptest::prelude::*;
+
+const COMBINES: [ComposeCombine; 4] = [
+    ComposeCombine::Average,
+    ComposeCombine::Multiply,
+    ComposeCombine::Min,
+    ComposeCombine::Max,
+];
+
+/// Raw correspondence triples: (source element, target element,
+/// similarity). Element universes are small so joins actually happen.
+type Triples = Vec<(usize, usize, f64)>;
+
+/// An `A → B` mapping whose elements are `{prefix}{index}` path names.
+fn mapping(source: &str, target: &str, triples: &Triples) -> Mapping {
+    let mut m = Mapping::new(source, target, MappingKind::Automatic);
+    for &(s, t, sim) in triples {
+        m.push(
+            format!("{source}.e{s}"),
+            format!("{target}.e{t}"),
+            // Quantize so equality comparisons below stay meaningful even
+            // if a future combine reorders floating-point operations.
+            (sim * 64.0).round() / 64.0,
+        );
+    }
+    m
+}
+
+/// A deterministic shuffle of `triples` driven by `seed`.
+fn shuffled(triples: &Triples, seed: u64) -> Triples {
+    let mut out = triples.clone();
+    let mut state = seed | 1;
+    for i in (1..out.len()).rev() {
+        // SplitMix64 step; any well-mixed generator works here.
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        out.swap(i, (z % (i as u64 + 1)) as usize);
+    }
+    out
+}
+
+/// Composed correspondences as a canonically sorted triple list.
+fn canonical(m: &Mapping) -> Vec<(String, String, f64)> {
+    let mut out: Vec<(String, String, f64)> = m
+        .correspondences
+        .iter()
+        .map(|c| (c.source.clone(), c.target.clone(), c.similarity))
+        .collect();
+    out.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+    out
+}
+
+proptest! {
+    #[test]
+    fn compose_ignores_correspondence_insertion_order(
+        first in proptest::collection::vec((0usize..5, 0usize..5, 0.0f64..=1.0), 0..14),
+        second in proptest::collection::vec((0usize..5, 0usize..5, 0.0f64..=1.0), 0..14),
+        seed in 0u64..1_000_000,
+    ) {
+        for combine in COMBINES {
+            let base = match_compose(
+                &mapping("A", "B", &first),
+                &mapping("B", "C", &second),
+                combine,
+            );
+            let permuted = match_compose(
+                &mapping("A", "B", &shuffled(&first, seed)),
+                &mapping("B", "C", &shuffled(&second, seed.rotate_left(17))),
+                combine,
+            );
+            prop_assert_eq!(
+                canonical(&base),
+                canonical(&permuted),
+                "{combine:?} composition must not depend on insertion order"
+            );
+        }
+    }
+
+    #[test]
+    fn combine_rules_obey_their_bounds(a in 0.0f64..=1.0, b in 0.0f64..=1.0) {
+        let mul = ComposeCombine::Multiply.apply(a, b);
+        let min = ComposeCombine::Min.apply(a, b);
+        let avg = ComposeCombine::Average.apply(a, b);
+        let max = ComposeCombine::Max.apply(a, b);
+        prop_assert_eq!(min, a.min(b));
+        prop_assert_eq!(max, a.max(b));
+        prop_assert_eq!(avg, (a + b) / 2.0);
+        // On [0, 1]: s1·s2 ≤ min ≤ average ≤ max, all within [0, 1] —
+        // the degradation ordering the paper argues from (Section 5.1).
+        prop_assert!((0.0..=1.0).contains(&mul));
+        prop_assert!(mul <= min + 1e-15);
+        prop_assert!(min <= avg && avg <= max);
+        prop_assert!((0.0..=1.0).contains(&max));
+        // Symmetry: every rule is commutative in its arguments.
+        for combine in COMBINES {
+            prop_assert_eq!(combine.apply(a, b), combine.apply(b, a));
+        }
+    }
+
+    #[test]
+    fn disjoint_pivot_vocabularies_compose_to_empty(
+        first in proptest::collection::vec((0usize..6, 0usize..3, 0.0f64..=1.0), 0..10),
+        second in proptest::collection::vec((3usize..6, 0usize..6, 0.0f64..=1.0), 0..10),
+    ) {
+        // `first` lands in B.e0..e2, `second` departs from B.e3..e5:
+        // the natural join over the pivot's elements is provably empty.
+        for combine in COMBINES {
+            let composed = match_compose(
+                &mapping("A", "B", &first),
+                &mapping("B", "C", &second),
+                combine,
+            );
+            prop_assert!(composed.is_empty());
+            prop_assert_eq!(composed.source_schema.as_str(), "A");
+            prop_assert_eq!(composed.target_schema.as_str(), "C");
+            // An empty hop anywhere collapses the rest of the chain too.
+            let extended = match_compose(&composed, &mapping("C", "D", &first), combine);
+            prop_assert!(extended.is_empty());
+        }
+    }
+
+    #[test]
+    fn composed_candidates_are_exactly_the_supported_pairs(
+        first in proptest::collection::vec((0usize..4, 0usize..4, 0.0f64..=1.0), 0..12),
+        second in proptest::collection::vec((0usize..4, 0usize..4, 0.0f64..=1.0), 0..12),
+    ) {
+        let m1 = mapping("A", "B", &first);
+        let m2 = mapping("B", "C", &second);
+        for combine in COMBINES {
+            let composed = match_compose(&m1, &m2, combine);
+            // Brute-force the join: for each (s, t), the best combined
+            // similarity over every pivot element connecting them.
+            let mut expected: std::collections::BTreeMap<(String, String), f64> =
+                std::collections::BTreeMap::new();
+            for c1 in &m1.correspondences {
+                for c2 in &m2.correspondences {
+                    if c1.target == c2.source {
+                        let sim = combine.apply(c1.similarity, c2.similarity);
+                        let slot = expected
+                            .entry((c1.source.clone(), c2.target.clone()))
+                            .or_insert(f64::NEG_INFINITY);
+                        *slot = slot.max(sim);
+                    }
+                }
+            }
+            let got: std::collections::BTreeMap<(String, String), f64> = composed
+                .correspondences
+                .iter()
+                .map(|c| ((c.source.clone(), c.target.clone()), c.similarity))
+                .collect();
+            prop_assert_eq!(
+                got.len(),
+                composed.len(),
+                "composition must not emit duplicate (source, target) pairs"
+            );
+            prop_assert_eq!(
+                got,
+                expected,
+                "{combine:?} candidates must be exactly the pivot-supported pairs"
+            );
+        }
+    }
+}

@@ -2,10 +2,10 @@
 //!
 //! Runs a quick, deterministic benchmark suite over the evaluation corpus,
 //! the generated large-schema workloads and the `coma-server` service
-//! loop, emits a `BENCH_PR9.json` trajectory file (task, wall-ms,
+//! loop, emits a `BENCH_PR10.json` trajectory file (task, wall-ms,
 //! candidates, dense/sparse speedups, peak allocations, fused peak
-//! ceilings, service throughput) and optionally compares it against a
-//! committed baseline:
+//! ceilings, service throughput, static-analysis prediction bounds) and
+//! optionally compares it against a committed baseline:
 //!
 //! ```text
 //! perf_smoke [--quick] [--out FILE] [--check BASELINE]
@@ -22,7 +22,7 @@
 //!   exact-two-stage plan comparison, and the generated-family
 //!   reuse-vs-fresh comparison below).
 //! * `--out FILE` — where to write the fresh numbers (default
-//!   `BENCH_PR9.json` in the current directory).
+//!   `BENCH_PR10.json` in the current directory).
 //! * `--check BASELINE` — compare against a baseline JSON and exit
 //!   nonzero if any tracked number regresses: candidate counts must match
 //!   exactly (the workloads are seeded, so counts are machine-independent),
@@ -35,11 +35,17 @@
 //!   carrying `ceilings` entries a streaming-fused execution's absolute
 //!   peak may not exceed the baseline's committed ceiling (fused peaks
 //!   *are* machine-comparable: the engine budget-caps its in-flight
-//!   memory instead of scaling it with the core count), and — for
-//!   version-4 baselines carrying `throughput` entries — the service
-//!   loop's calibration-normalized tasks/sec may not drop by more than
-//!   25%. Older baselines (`BENCH_PR3.json`, `BENCH_PR5.json`) parse
-//!   fine — they simply carry fewer entry kinds to gate.
+//!   memory instead of scaling it with the core count), for version-4
+//!   baselines carrying `throughput` entries the service loop's
+//!   calibration-normalized tasks/sec may not drop by more than 25%,
+//!   and — for version-5 baselines carrying `predictions` entries — a
+//!   measured execution peak may not exceed the *baseline's* committed
+//!   static-analysis bound, nor may the freshly predicted bound grow
+//!   past the committed one (the bound is a pure function of the seeded
+//!   task statistics and the engine configuration, so both sides of the
+//!   rule are machine-independent). Older baselines (`BENCH_PR3.json`,
+//!   `BENCH_PR5.json`) parse fine — they simply carry fewer entry kinds
+//!   to gate.
 //! * `--calibrate-baseline GIT-REF|BIN` — re-measure the baseline *code*
 //!   on this machine, in this run, and gate every wall-clock-shaped rule
 //!   (wall times, service throughput, within-run speedup ratios,
@@ -93,7 +99,7 @@ use coma_bench::{
 };
 use coma_core::{
     shard_ranges, Coma, ComposeCombine, EngineConfig, MatchContext, MatchPlan, MatchResult,
-    MatchStrategy, PlanEngine, PlanOutcome,
+    MatchStrategy, PlanAnalyzer, PlanEngine, PlanOutcome, TaskStats,
 };
 use coma_eval::{fresh_task_mappings, reuse_repository, Corpus, MatchQuality, TASKS};
 use coma_graph::PathSet;
@@ -164,6 +170,24 @@ struct ThroughputEntry {
     tasks_per_sec: f64,
 }
 
+/// A static-analysis prediction checked against one tracked execution:
+/// the `PlanAnalyzer`'s pre-execution peak-allocation upper bound next
+/// to the peak the counting allocator then measured. The per-stage
+/// storage/fusion agreement is gated in-process during measurement (a
+/// disagreement fails the run outright); what the trajectory carries is
+/// the memory bound, because it is the one prediction with a committed
+/// cross-run contract: `predicted_bytes` depends only on the seeded task
+/// statistics and the engine configuration, so a future run's measured
+/// peak exceeding a *committed* bound is a soundness break, not noise.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct PredictionEntry {
+    task: String,
+    /// The analyzer's pre-execution upper bound.
+    predicted_bytes: u64,
+    /// What the counting allocator measured for the gated execution.
+    measured_bytes: u64,
+}
+
 /// The emitted/compared report.
 #[derive(Debug, Clone, Serialize)]
 struct BenchReport {
@@ -180,11 +204,15 @@ struct BenchReport {
     ceilings: Vec<CeilingEntry>,
     /// Service throughput (version-4 reports; absent in older baselines).
     throughput: Vec<ThroughputEntry>,
+    /// Static-analysis prediction bounds (version-5 reports; absent in
+    /// older baselines). Gated both in-process and across runs.
+    predictions: Vec<PredictionEntry>,
 }
 
 /// Hand-written so older baselines still parse: pre-sparse-storage
 /// reports carry no `allocs` key, pre-fusion (version ≤ 2) reports no
-/// `ceilings` key, pre-service (version ≤ 3) reports no `throughput` key.
+/// `ceilings` key, pre-service (version ≤ 3) reports no `throughput`
+/// key, pre-analyzer (version ≤ 4) reports no `predictions` key.
 impl Deserialize for BenchReport {
     fn from_value(value: &Value) -> Result<BenchReport, DeError> {
         let entries = value
@@ -208,6 +236,11 @@ impl Deserialize for BenchReport {
             },
             throughput: if has("throughput") {
                 serde::field(entries, "throughput")?
+            } else {
+                Vec::new()
+            },
+            predictions: if has("predictions") {
+                serde::field(entries, "predictions")?
             } else {
                 Vec::new()
             },
@@ -248,7 +281,7 @@ struct Options {
 fn parse_args() -> Result<Options, ExitCode> {
     let mut opts = Options {
         quick: false,
-        out: "BENCH_PR9.json".to_string(),
+        out: "BENCH_PR10.json".to_string(),
         check: None,
         calibrate: None,
         runs: 3,
@@ -313,16 +346,89 @@ enum Mode {
     Fused,
 }
 
-/// Executes `plan` on a prepared context in the given execution mode.
-fn run_plan(coma: &Coma, ctx: &MatchContext<'_>, plan: &MatchPlan, mode: Mode) -> PlanOutcome {
-    let cfg = match mode {
+/// The engine configuration of one execution mode — shared between
+/// [`run_plan`] and the static analysis gated against it, so the
+/// analyzer predicts exactly the configuration that then runs.
+fn mode_config(mode: Mode) -> EngineConfig {
+    match mode {
         Mode::Dense => EngineConfig::default().with_sparse(false),
         Mode::Sparse => EngineConfig::default().with_fuse_pruning(false),
         Mode::Fused => EngineConfig::default(),
-    };
-    PlanEngine::with_config(coma.library(), cfg)
+    }
+}
+
+/// Executes `plan` on a prepared context in the given execution mode.
+fn run_plan(coma: &Coma, ctx: &MatchContext<'_>, plan: &MatchPlan, mode: Mode) -> PlanOutcome {
+    PlanEngine::with_config(coma.library(), mode_config(mode))
         .execute(ctx, plan)
         .expect("plan executes")
+}
+
+/// The static-analysis soundness gate: analyzes `plan` under the mode's
+/// engine configuration and checks every definite prediction against an
+/// execution that actually ran — per-stage storage and fusion decisions
+/// must agree with the `StageOutcome`s (`Maybe` predictions are
+/// compatible with either outcome; that is the lattice's job), and the
+/// measured peak must stay under the predicted upper bound. Any
+/// violation fails the whole suite; on success the bound/measurement
+/// pair is returned for the trajectory file, where future runs gate
+/// against the committed bound.
+fn gate_predictions(
+    coma: &Coma,
+    stats: &TaskStats,
+    plan: &MatchPlan,
+    mode: Mode,
+    task: &str,
+    outcome: &PlanOutcome,
+    measured_peak: u64,
+) -> Result<PredictionEntry, String> {
+    let analysis = PlanAnalyzer::new(coma.library(), mode_config(mode)).analyze(plan, stats);
+    if analysis.has_errors() {
+        let first = analysis
+            .diagnostics
+            .first()
+            .map(|d| d.to_string())
+            .unwrap_or_default();
+        return Err(format!(
+            "{task}: the analyzer rejected a valid plan: {first}"
+        ));
+    }
+    for stage in &outcome.stages {
+        let storage = analysis.storage_prediction(&stage.label);
+        if !storage.agrees_with(stage.cube.all_sparse()) {
+            return Err(format!(
+                "{task}: stage `{}` was predicted storage_sparse={storage} but executed \
+                 all_sparse={}",
+                stage.label,
+                stage.cube.all_sparse()
+            ));
+        }
+        let fused = analysis.fused_prediction(&stage.label);
+        if !fused.agrees_with(stage.fused) {
+            return Err(format!(
+                "{task}: stage `{}` was predicted fused={fused} but executed fused={}",
+                stage.label, stage.fused
+            ));
+        }
+    }
+    if measured_peak > analysis.peak_bytes {
+        return Err(format!(
+            "{task}: measured peak {measured_peak} bytes exceeds the analyzer's predicted \
+             bound of {} bytes",
+            analysis.peak_bytes
+        ));
+    }
+    eprintln!(
+        "# {task}: predicted peak <= {:.1} MiB, measured {:.1} MiB ({:.1}x headroom)",
+        analysis.peak_bytes as f64 / (1 << 20) as f64,
+        measured_peak as f64 / (1 << 20) as f64,
+        analysis.peak_bytes as f64 / (measured_peak as f64).max(1.0),
+    );
+    Ok(PredictionEntry {
+        task: task.to_string(),
+        predicted_bytes: analysis.peak_bytes,
+        measured_bytes: measured_peak,
+    })
 }
 
 /// The fixed calibration workload: a pure integer/memory kernel that is
@@ -513,6 +619,7 @@ fn measure(opts: &Options) -> Result<BenchReport, String> {
     let mut speedups = Vec::new();
     let mut allocs = Vec::new();
     let mut ceilings = Vec::new();
+    let mut predictions = Vec::new();
     let runs = opts.runs;
 
     eprintln!("# calibrating …");
@@ -553,6 +660,23 @@ fn measure(opts: &Options) -> Result<BenchReport, String> {
         wall_ms: ms,
         candidates: outcome.result.len() as u64,
     });
+
+    // Static-analysis soundness on the corpus: one tracked default-mode
+    // execution of the pruned plan on the largest task, gated against
+    // the pre-execution analysis (storage/fusion agreement in-process,
+    // the memory bound also committed to the trajectory).
+    let largest_stats = TaskStats::gather(&largest);
+    let (peak, outcome) =
+        alloc_track::measure_peak(|| run_plan(&coma, &largest, &pruned, Mode::Fused));
+    predictions.push(gate_predictions(
+        &coma,
+        &largest_stats,
+        &pruned,
+        Mode::Fused,
+        "eval/predict_topk_largest",
+        &outcome,
+        peak as u64,
+    )?);
 
     let iterated = flat.clone().iterate(4, 1e-6).expect("max_rounds > 0");
     let (ms, outcome) = time_best(runs, || run_plan(&coma, &largest, &iterated, Mode::Sparse));
@@ -796,7 +920,11 @@ fn measure(opts: &Options) -> Result<BenchReport, String> {
         // then the timed best-of-N runs. The streaming-fused third mode
         // is checked for identity and recorded under its own `_fused`
         // entries — the dense/sparse entries keep measuring the storage
-        // paths they always measured.
+        // paths they always measured. Each tracked run doubles as the
+        // static-analysis soundness gate for its mode: predicted
+        // storage/fusion per stage must agree with what executed, and
+        // the measured peak must stay under the predicted bound.
+        let gen_stats = TaskStats::gather(&ctx);
         let (sparse_peak, sparse) =
             alloc_track::measure_peak(|| run_plan(&gen_coma, &ctx, &pruned, Mode::Sparse));
         let (dense_peak, dense) =
@@ -804,6 +932,15 @@ fn measure(opts: &Options) -> Result<BenchReport, String> {
         if sparse.result != dense.result {
             return Err(format!("sparse and dense results diverge on {label}"));
         }
+        predictions.push(gate_predictions(
+            &gen_coma,
+            &gen_stats,
+            &pruned,
+            Mode::Dense,
+            &format!("{label}_predict_topk_dense"),
+            &dense,
+            dense_peak as u64,
+        )?);
         drop(dense);
         let (fused_peak, fused) =
             alloc_track::measure_peak(|| run_plan(&gen_coma, &ctx, &pruned, Mode::Fused));
@@ -811,6 +948,24 @@ fn measure(opts: &Options) -> Result<BenchReport, String> {
             return Err(format!("fused and unfused results diverge on {label}"));
         }
         let alloc_ratio = dense_peak as f64 / (sparse_peak as f64).max(1.0);
+        predictions.push(gate_predictions(
+            &gen_coma,
+            &gen_stats,
+            &pruned,
+            Mode::Sparse,
+            &format!("{label}_predict_topk_sparse"),
+            &sparse,
+            sparse_peak as u64,
+        )?);
+        predictions.push(gate_predictions(
+            &gen_coma,
+            &gen_stats,
+            &pruned,
+            Mode::Fused,
+            &format!("{label}_predict_topk_fused"),
+            &fused,
+            fused_peak as u64,
+        )?);
         drop((sparse, fused));
 
         let (sparse_ms, sparse) = time_best(spec_runs, || {
@@ -1221,13 +1376,14 @@ fn measure(opts: &Options) -> Result<BenchReport, String> {
     let throughput = service_throughput(runs)?;
 
     Ok(BenchReport {
-        version: 4,
+        version: 5,
         calibration_ms: calibration,
         tasks,
         speedups,
         allocs,
         ceilings,
         throughput,
+        predictions,
     })
 }
 
@@ -1404,6 +1560,31 @@ fn compare(
             failures.push(format!(
                 "{}: fused peak {} bytes exceeds the baseline ceiling {} bytes",
                 base.task, cur.peak_bytes, base.ceiling_bytes
+            ));
+        }
+    }
+    // Version-5 baselines carry static-analysis prediction bounds. The
+    // bound is a pure function of the seeded task statistics and the
+    // engine configuration — machine-independent, like the candidate
+    // counts — so it is a committed contract: a measured peak above the
+    // *baseline's* bound means the analyzer's promise broke between the
+    // commits, and a freshly predicted bound above the committed one
+    // means the promise was quietly loosened (a deliberate cost-model
+    // change rolls the baseline, exactly like a candidate-count change).
+    for base in &baseline.predictions {
+        let Some(cur) = current.predictions.iter().find(|p| p.task == base.task) else {
+            continue; // quick mode measures a subset of the baseline
+        };
+        if cur.measured_bytes > base.predicted_bytes {
+            failures.push(format!(
+                "{}: measured peak {} bytes exceeds the committed prediction bound {} bytes",
+                base.task, cur.measured_bytes, base.predicted_bytes
+            ));
+        }
+        if cur.predicted_bytes > base.predicted_bytes {
+            failures.push(format!(
+                "{}: predicted bound loosened {} -> {} bytes",
+                base.task, base.predicted_bytes, cur.predicted_bytes
             ));
         }
     }

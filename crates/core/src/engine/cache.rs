@@ -139,6 +139,16 @@ pub struct CacheStats {
     pub index_entries: u64,
 }
 
+/// How warm an [`EngineCache`] is for one schema-pair scope (see
+/// [`EngineCache::scope_warmth`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScopeWarmth {
+    /// Computed stage matrices cached under the scope.
+    pub matrices: usize,
+    /// Vocabulary indexes cached for either side of the scope.
+    pub indexes: usize,
+}
+
 /// The shared cross-request cache (module docs above). Create one per
 /// (auxiliary configuration, matcher library) — e.g. per server tenant —
 /// and pass it to [`PlanEngine::execute_cached`] on every request.
@@ -200,6 +210,29 @@ impl EngineCache {
             matrix_entries: self.matrices.lock().len() as u64,
             index_entries: self.indexes.lock().len() as u64,
         }
+    }
+
+    /// How warm this cache is for the `(source, target)` fingerprint
+    /// scope: the number of fully computed stage matrices cached under
+    /// that scope and the number of vocabulary indexes cached for either
+    /// side. A pure query — hit/miss counters and the LRU order are
+    /// untouched. The [`PlanAnalyzer`](super::PlanAnalyzer) uses this for
+    /// its expected-cache-warmth facts.
+    pub fn scope_warmth(&self, source: u64, target: u64) -> ScopeWarmth {
+        let scope: PairScope = (source, target);
+        let matrices = self
+            .matrices
+            .lock()
+            .iter()
+            .filter(|((s, _, _), cell)| *s == scope && cell.get().is_some())
+            .count();
+        let indexes = self
+            .indexes
+            .lock()
+            .iter()
+            .filter(|((fp, _), cell)| (*fp == source || *fp == target) && cell.get().is_some())
+            .count();
+        ScopeWarmth { matrices, indexes }
     }
 
     /// Drops every cached artifact (counters are kept). For callers that
@@ -299,6 +332,15 @@ impl EngineCache {
             .get(&(scope, name.to_string(), identity))
             .cloned();
         slot.and_then(|cell| cell.get().map(Arc::clone))
+    }
+
+    /// Whether a built vocabulary index is already cached for the given
+    /// schema fingerprint and gram length. Pure query: never builds.
+    pub(crate) fn has_vocab_index(&self, fingerprint: u64, q: usize) -> bool {
+        self.indexes
+            .lock()
+            .get(&(fingerprint, q))
+            .is_some_and(|cell| cell.get().is_some())
     }
 
     pub(crate) fn vocab_index(

@@ -105,17 +105,21 @@
 //! # Ok::<(), coma_core::PlanError>(())
 //! ```
 
+mod analyze;
 mod cache;
 mod index;
 mod mask;
 mod memo;
 mod plan;
 
-pub use cache::{schema_fingerprint, CacheStats, EngineCache};
+pub use analyze::{
+    human_bytes, NodeFacts, PlanAnalysis, PlanAnalyzer, PlanDiagnostic, Severity, TaskStats, Tri,
+};
+pub use cache::{schema_fingerprint, CacheStats, EngineCache, ScopeWarmth};
 pub use index::{CandidateParams, CandidateScorer, IndexStats, VocabIndex};
 pub use mask::PairMask;
 pub use memo::{matcher_identity, MatchMemo, NameSimCache};
-pub use plan::{MatchPlan, PlanError, TopKPer};
+pub use plan::{MatchPlan, PlanError, PlanErrorKind, TopKPer};
 
 use crate::combine::{
     directional_wants, rank_entries, sort_desc, CombinationStrategy, DirectedCandidates,
@@ -1813,7 +1817,7 @@ mod tests {
     /// of panicking mid-execution.
     #[test]
     fn degenerate_plans_fail_fast() {
-        use crate::engine::plan::{PlanError, TopKPer};
+        use crate::engine::plan::{PlanErrorKind, TopKPer};
         let c = coma();
         let (s1, s2) = (po1(), po2());
         let p1 = PathSet::new(&s1).unwrap();
@@ -1824,13 +1828,13 @@ mod tests {
         let empty_matchers = MatchPlan::matchers(Vec::<String>::new());
         assert!(matches!(
             engine.execute(&ctx, &empty_matchers),
-            Err(CoreError::Plan(PlanError::EmptyMatchers))
+            Err(CoreError::Plan(e)) if e.kind() == PlanErrorKind::EmptyMatchers
         ));
 
         let empty_par = MatchPlan::par([], CombinationStrategy::paper_default());
         assert!(matches!(
             engine.execute(&ctx, &empty_par),
-            Err(CoreError::Plan(PlanError::EmptyPar))
+            Err(CoreError::Plan(e)) if e.kind() == PlanErrorKind::EmptyPar
         ));
 
         // Hand-assembled degenerate nodes (bypassing the constructors).
@@ -1841,7 +1845,7 @@ mod tests {
         };
         assert!(matches!(
             engine.execute(&ctx, &zero_k),
-            Err(CoreError::Plan(PlanError::ZeroTopK))
+            Err(CoreError::Plan(e)) if e.kind() == PlanErrorKind::ZeroTopK && e.path() == "TopK"
         ));
 
         let zero_rounds = MatchPlan::Iterate {
@@ -1851,7 +1855,7 @@ mod tests {
         };
         assert!(matches!(
             engine.execute(&ctx, &zero_rounds),
-            Err(CoreError::Plan(PlanError::ZeroIterations))
+            Err(CoreError::Plan(e)) if e.kind() == PlanErrorKind::ZeroIterations
         ));
     }
 

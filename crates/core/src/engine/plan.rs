@@ -50,11 +50,9 @@ impl fmt::Display for TopKPer {
     }
 }
 
-/// A structurally degenerate plan shape, rejected at construction /
-/// validation time instead of panicking or silently no-op'ing inside
-/// [`PlanEngine::execute`](super::PlanEngine::execute).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum PlanError {
+/// The kind of structural defect a [`PlanError`] reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlanErrorKind {
     /// A `Matchers` leaf with an empty matcher list: no cube to aggregate.
     EmptyMatchers,
     /// A `Par` node with no sub-plans: no slices to aggregate.
@@ -81,29 +79,96 @@ pub enum PlanError {
     InvalidReuseHops,
 }
 
-impl fmt::Display for PlanError {
+impl PlanErrorKind {
+    /// Stable diagnostic code, shared with the analyzer's
+    /// [`PlanDiagnostic`](super::PlanDiagnostic)s and the server's wire
+    /// frames.
+    pub fn code(self) -> &'static str {
+        match self {
+            PlanErrorKind::EmptyMatchers => "E_EMPTY_MATCHERS",
+            PlanErrorKind::EmptyPar => "E_EMPTY_PAR",
+            PlanErrorKind::ZeroTopK => "E_TOPK_ZERO",
+            PlanErrorKind::ZeroIterations => "E_ITERATE_ZERO_ROUNDS",
+            PlanErrorKind::InvalidEpsilon => "E_ITERATE_EPSILON",
+            PlanErrorKind::ZeroMinSharedTokens => "E_CIDX_MIN_TOKENS",
+            PlanErrorKind::InvalidMinScore => "E_CIDX_MIN_SCORE",
+            PlanErrorKind::ZeroCandidateCap => "E_CIDX_ZERO_CAP",
+            PlanErrorKind::InvalidReuseHops => "E_REUSE_HOPS",
+        }
+    }
+}
+
+impl fmt::Display for PlanErrorKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PlanError::EmptyMatchers => f.write_str("`Matchers` node has an empty matcher list"),
-            PlanError::EmptyPar => f.write_str("`Par` node has no sub-plans"),
-            PlanError::ZeroTopK => f.write_str("`TopK` node has k = 0 (would drop every pair)"),
-            PlanError::ZeroIterations => f.write_str("`Iterate` node has max_rounds = 0"),
-            PlanError::InvalidEpsilon => {
+            PlanErrorKind::EmptyMatchers => {
+                f.write_str("`Matchers` node has an empty matcher list")
+            }
+            PlanErrorKind::EmptyPar => f.write_str("`Par` node has no sub-plans"),
+            PlanErrorKind::ZeroTopK => f.write_str("`TopK` node has k = 0 (would drop every pair)"),
+            PlanErrorKind::ZeroIterations => f.write_str("`Iterate` node has max_rounds = 0"),
+            PlanErrorKind::InvalidEpsilon => {
                 f.write_str("`Iterate` node has a negative or non-finite epsilon")
             }
-            PlanError::ZeroMinSharedTokens => f.write_str(
+            PlanErrorKind::ZeroMinSharedTokens => f.write_str(
                 "`CandidateIndex` leaf has min_shared_tokens = 0 (would admit every pair)",
             ),
-            PlanError::InvalidMinScore => {
+            PlanErrorKind::InvalidMinScore => {
                 f.write_str("`CandidateIndex` leaf has a min_score outside [0, 1]")
             }
-            PlanError::ZeroCandidateCap => f.write_str(
+            PlanErrorKind::ZeroCandidateCap => f.write_str(
                 "`CandidateIndex` leaf has per_element = Some(0) (would drop every candidate)",
             ),
-            PlanError::InvalidReuseHops => {
+            PlanErrorKind::InvalidReuseHops => {
                 f.write_str("`Reuse` leaf has max_hops < 2 (a chain needs source→pivot→target)")
             }
         }
+    }
+}
+
+/// A structurally degenerate plan shape, rejected at construction /
+/// validation time instead of panicking or silently no-op'ing inside
+/// [`PlanEngine::execute`](super::PlanEngine::execute).
+///
+/// Every error carries the **path** of the offending node in the tree
+/// (e.g. `Seq[1].TopK`: the `TopK` node that is child 1 of the root
+/// `Seq`), so CLI and server diagnostics point at the node, not just the
+/// kind. Errors produced by the builder constructors use the node's own
+/// kind as the path (the node is the root of what was being built).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanError {
+    kind: PlanErrorKind,
+    path: String,
+}
+
+impl PlanError {
+    /// An error of `kind` located at `path` in the plan tree.
+    pub fn new(kind: PlanErrorKind, path: impl Into<String>) -> PlanError {
+        PlanError {
+            kind,
+            path: path.into(),
+        }
+    }
+
+    /// What is wrong.
+    pub fn kind(&self) -> PlanErrorKind {
+        self.kind
+    }
+
+    /// Where in the tree, e.g. `Seq[1].TopK` (root node: its bare kind).
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Stable diagnostic code (delegates to [`PlanErrorKind::code`]).
+    pub fn code(&self) -> &'static str {
+        self.kind.code()
+    }
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "at `{}`: {}", self.path, self.kind)
     }
 }
 
@@ -259,8 +324,8 @@ impl MatchPlan {
 
     /// An inverted-index candidate-generation leaf with the recall-safe
     /// defaults: trigram fuzzy channel (`q = 3`), no per-element cap.
-    /// Fails with [`PlanError::ZeroMinSharedTokens`] for
-    /// `min_shared_tokens == 0` and [`PlanError::InvalidMinScore`] for a
+    /// Fails with [`PlanErrorKind::ZeroMinSharedTokens`] for
+    /// `min_shared_tokens == 0` and [`PlanErrorKind::InvalidMinScore`] for a
     /// `min_score` outside `[0, 1]`.
     pub fn candidate_index(
         min_shared_tokens: usize,
@@ -319,11 +384,11 @@ impl MatchPlan {
 
     /// Wraps a plan in a top-k pruning step: every source/target element
     /// (per `per`) keeps only its `k` best candidates. Fails with
-    /// [`PlanError::ZeroTopK`] for `k == 0` — a plan that drops every
+    /// [`PlanErrorKind::ZeroTopK`] for `k == 0` — a plan that drops every
     /// pair is a construction bug, not a useful pipeline.
     pub fn top_k(self, k: usize, per: TopKPer) -> std::result::Result<MatchPlan, PlanError> {
         if k == 0 {
-            return Err(PlanError::ZeroTopK);
+            return Err(PlanError::new(PlanErrorKind::ZeroTopK, "TopK"));
         }
         Ok(MatchPlan::TopK {
             input: Box::new(self),
@@ -335,8 +400,8 @@ impl MatchPlan {
     /// Wraps a plan in an iterate-until-stable loop: re-run it (each round
     /// restricted to the previous round's survivors) until the result
     /// matrix moves by less than `epsilon` or `max_rounds` rounds have
-    /// run. Fails with [`PlanError::ZeroIterations`] for `max_rounds == 0`
-    /// and [`PlanError::InvalidEpsilon`] for a negative or non-finite
+    /// run. Fails with [`PlanErrorKind::ZeroIterations`] for `max_rounds == 0`
+    /// and [`PlanErrorKind::InvalidEpsilon`] for a negative or non-finite
     /// tolerance.
     pub fn iterate(
         self,
@@ -344,10 +409,10 @@ impl MatchPlan {
         epsilon: f64,
     ) -> std::result::Result<MatchPlan, PlanError> {
         if max_rounds == 0 {
-            return Err(PlanError::ZeroIterations);
+            return Err(PlanError::new(PlanErrorKind::ZeroIterations, "Iterate"));
         }
         if !epsilon.is_finite() || epsilon < 0.0 {
-            return Err(PlanError::InvalidEpsilon);
+            return Err(PlanError::new(PlanErrorKind::InvalidEpsilon, "Iterate"));
         }
         Ok(MatchPlan::Iterate {
             plan: Box::new(self),
@@ -368,7 +433,7 @@ impl MatchPlan {
     }
 
     /// A reuse leaf composing stored-mapping chains up to `max_hops`
-    /// mappings long. Fails with [`PlanError::InvalidReuseHops`] for
+    /// mappings long. Fails with [`PlanErrorKind::InvalidReuseHops`] for
     /// `max_hops < 2` (a chain needs at least source→pivot→target).
     pub fn reuse_chains(
         kind: Option<MappingKind>,
@@ -376,7 +441,7 @@ impl MatchPlan {
         max_hops: usize,
     ) -> std::result::Result<MatchPlan, PlanError> {
         if max_hops < 2 {
-            return Err(PlanError::InvalidReuseHops);
+            return Err(PlanError::new(PlanErrorKind::InvalidReuseHops, "Reuse"));
         }
         Ok(MatchPlan::Reuse {
             kind,
@@ -439,72 +504,88 @@ impl MatchPlan {
         }
     }
 
+    /// The node's operator kind, as used in error/diagnostic node paths.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            MatchPlan::Matchers { .. } => "Matchers",
+            MatchPlan::CandidateIndex { .. } => "CandidateIndex",
+            MatchPlan::Seq { .. } => "Seq",
+            MatchPlan::Par { .. } => "Par",
+            MatchPlan::Filter { .. } => "Filter",
+            MatchPlan::TopK { .. } => "TopK",
+            MatchPlan::Iterate { .. } => "Iterate",
+            MatchPlan::Reuse { .. } => "Reuse",
+        }
+    }
+
+    /// The node's direct sub-plans, in child-index order (`Seq` = `[filter,
+    /// refine]`). Node paths index into this order: `Seq[1].TopK` is the
+    /// `TopK` node at `self.children()[1]` of a root `Seq`.
+    pub fn children(&self) -> Vec<&MatchPlan> {
+        match self {
+            MatchPlan::Matchers { .. }
+            | MatchPlan::CandidateIndex { .. }
+            | MatchPlan::Reuse { .. } => Vec::new(),
+            MatchPlan::Seq { filter, refine } => vec![filter, refine],
+            MatchPlan::Par { plans, .. } => plans.iter().collect(),
+            MatchPlan::Filter { input, .. } => vec![input],
+            MatchPlan::TopK { input, .. } => vec![input],
+            MatchPlan::Iterate { plan, .. } => vec![plan],
+        }
+    }
+
+    /// The node-local shape defect, if any — the single-node check behind
+    /// [`MatchPlan::validate_shape`] and the analyzer's error diagnostics
+    /// (which keep walking to report *every* defect, not just the first).
+    pub fn local_shape_defect(&self) -> Option<PlanErrorKind> {
+        match self {
+            MatchPlan::Matchers { matchers, .. } if matchers.is_empty() => {
+                Some(PlanErrorKind::EmptyMatchers)
+            }
+            MatchPlan::Par { plans, .. } if plans.is_empty() => Some(PlanErrorKind::EmptyPar),
+            MatchPlan::TopK { k: 0, .. } => Some(PlanErrorKind::ZeroTopK),
+            MatchPlan::Iterate { max_rounds: 0, .. } => Some(PlanErrorKind::ZeroIterations),
+            MatchPlan::Iterate { epsilon, .. } if !epsilon.is_finite() || *epsilon < 0.0 => {
+                Some(PlanErrorKind::InvalidEpsilon)
+            }
+            MatchPlan::CandidateIndex {
+                min_shared_tokens: 0,
+                ..
+            } => Some(PlanErrorKind::ZeroMinSharedTokens),
+            MatchPlan::CandidateIndex { min_score, .. }
+                if !min_score.is_finite() || *min_score < 0.0 || *min_score > 1.0 =>
+            {
+                Some(PlanErrorKind::InvalidMinScore)
+            }
+            MatchPlan::CandidateIndex {
+                per_element: Some(0),
+                ..
+            } => Some(PlanErrorKind::ZeroCandidateCap),
+            MatchPlan::Reuse { max_hops, .. } if *max_hops < 2 => {
+                Some(PlanErrorKind::InvalidReuseHops)
+            }
+            _ => None,
+        }
+    }
+
     /// Checks the tree for degenerate shapes (empty `Matchers`/`Par`
     /// nodes, `TopK` with `k = 0`, `Iterate` with `max_rounds = 0` or a
     /// bad epsilon). The builder constructors reject these up front;
     /// hand-assembled trees are caught here — and by
     /// [`PlanEngine::execute`](super::PlanEngine::execute), which
-    /// validates before running — instead of panicking mid-execution.
+    /// validates before running — instead of panicking mid-execution. The
+    /// first defect found (preorder) is returned, with the offending
+    /// node's path.
     pub fn validate_shape(&self) -> std::result::Result<(), PlanError> {
-        match self {
-            MatchPlan::Matchers { matchers, .. } => {
-                if matchers.is_empty() {
-                    return Err(PlanError::EmptyMatchers);
-                }
-            }
-            MatchPlan::Seq { filter, refine } => {
-                filter.validate_shape()?;
-                refine.validate_shape()?;
-            }
-            MatchPlan::Par { plans, .. } => {
-                if plans.is_empty() {
-                    return Err(PlanError::EmptyPar);
-                }
-                for p in plans {
-                    p.validate_shape()?;
-                }
-            }
-            MatchPlan::Filter { input, .. } => input.validate_shape()?,
-            MatchPlan::TopK { input, k, .. } => {
-                if *k == 0 {
-                    return Err(PlanError::ZeroTopK);
-                }
-                input.validate_shape()?;
-            }
-            MatchPlan::Iterate {
-                plan,
-                max_rounds,
-                epsilon,
-            } => {
-                if *max_rounds == 0 {
-                    return Err(PlanError::ZeroIterations);
-                }
-                if !epsilon.is_finite() || *epsilon < 0.0 {
-                    return Err(PlanError::InvalidEpsilon);
-                }
-                plan.validate_shape()?;
-            }
-            MatchPlan::CandidateIndex {
-                min_shared_tokens,
-                min_score,
-                per_element,
-                ..
-            } => {
-                if *min_shared_tokens == 0 {
-                    return Err(PlanError::ZeroMinSharedTokens);
-                }
-                if !min_score.is_finite() || *min_score < 0.0 || *min_score > 1.0 {
-                    return Err(PlanError::InvalidMinScore);
-                }
-                if *per_element == Some(0) {
-                    return Err(PlanError::ZeroCandidateCap);
-                }
-            }
-            MatchPlan::Reuse { max_hops, .. } => {
-                if *max_hops < 2 {
-                    return Err(PlanError::InvalidReuseHops);
-                }
-            }
+        self.validate_shape_at(self.kind_name())
+    }
+
+    fn validate_shape_at(&self, path: &str) -> std::result::Result<(), PlanError> {
+        if let Some(kind) = self.local_shape_defect() {
+            return Err(PlanError::new(kind, path));
+        }
+        for (i, child) in self.children().into_iter().enumerate() {
+            child.validate_shape_at(&format!("{path}[{i}].{}", child.kind_name()))?;
         }
         Ok(())
     }
@@ -666,21 +747,21 @@ mod tests {
     #[test]
     fn constructors_reject_degenerate_shapes() {
         let base = MatchPlan::matchers(["Name"]);
+        let err = base.clone().top_k(0, TopKPer::Row).unwrap_err();
+        assert_eq!(err.kind(), PlanErrorKind::ZeroTopK);
+        assert_eq!(err.path(), "TopK");
+        assert_eq!(err.code(), "E_TOPK_ZERO");
         assert_eq!(
-            base.clone().top_k(0, TopKPer::Row).unwrap_err(),
-            PlanError::ZeroTopK
+            base.clone().iterate(0, 0.01).unwrap_err().kind(),
+            PlanErrorKind::ZeroIterations
         );
         assert_eq!(
-            base.clone().iterate(0, 0.01).unwrap_err(),
-            PlanError::ZeroIterations
+            base.clone().iterate(3, -0.5).unwrap_err().kind(),
+            PlanErrorKind::InvalidEpsilon
         );
         assert_eq!(
-            base.clone().iterate(3, -0.5).unwrap_err(),
-            PlanError::InvalidEpsilon
-        );
-        assert_eq!(
-            base.clone().iterate(3, f64::NAN).unwrap_err(),
-            PlanError::InvalidEpsilon
+            base.clone().iterate(3, f64::NAN).unwrap_err().kind(),
+            PlanErrorKind::InvalidEpsilon
         );
         assert!(base.clone().top_k(1, TopKPer::Both).is_ok());
         assert!(base.iterate(1, 0.0).is_ok());
@@ -689,24 +770,26 @@ mod tests {
     #[test]
     fn candidate_index_constructors_enforce_their_domain() {
         assert_eq!(
-            MatchPlan::candidate_index(0, 0.0).unwrap_err(),
-            PlanError::ZeroMinSharedTokens
+            MatchPlan::candidate_index(0, 0.0).unwrap_err().kind(),
+            PlanErrorKind::ZeroMinSharedTokens
         );
         assert_eq!(
-            MatchPlan::candidate_index(1, -0.1).unwrap_err(),
-            PlanError::InvalidMinScore
+            MatchPlan::candidate_index(1, -0.1).unwrap_err().kind(),
+            PlanErrorKind::InvalidMinScore
         );
         assert_eq!(
-            MatchPlan::candidate_index(1, f64::NAN).unwrap_err(),
-            PlanError::InvalidMinScore
+            MatchPlan::candidate_index(1, f64::NAN).unwrap_err().kind(),
+            PlanErrorKind::InvalidMinScore
         );
         assert_eq!(
-            MatchPlan::candidate_index(1, 1.5).unwrap_err(),
-            PlanError::InvalidMinScore
+            MatchPlan::candidate_index(1, 1.5).unwrap_err().kind(),
+            PlanErrorKind::InvalidMinScore
         );
         assert_eq!(
-            MatchPlan::candidate_index_with(1, 0.0, 3, Some(0)).unwrap_err(),
-            PlanError::ZeroCandidateCap
+            MatchPlan::candidate_index_with(1, 0.0, 3, Some(0))
+                .unwrap_err()
+                .kind(),
+            PlanErrorKind::ZeroCandidateCap
         );
         let ok = MatchPlan::candidate_index(1, 0.0).unwrap();
         assert!(ok.validate_shape().is_ok());
@@ -719,7 +802,13 @@ mod tests {
             q: 3,
             per_element: None,
         };
-        assert_eq!(bad.validate_shape(), Err(PlanError::ZeroMinSharedTokens));
+        assert_eq!(
+            bad.validate_shape(),
+            Err(PlanError::new(
+                PlanErrorKind::ZeroMinSharedTokens,
+                "CandidateIndex"
+            ))
+        );
     }
 
     #[test]
@@ -755,10 +844,18 @@ mod tests {
                 CombinationStrategy::paper_default(),
             ),
         );
-        assert_eq!(buried.validate_shape(), Err(PlanError::EmptyMatchers));
+        let err = buried.validate_shape().unwrap_err();
+        assert_eq!(err.kind(), PlanErrorKind::EmptyMatchers);
+        // The path pins the defect to the node: child 1 of the root Seq is
+        // the Par, whose child 1 is the empty Matchers leaf.
+        assert_eq!(err.path(), "Seq[1].Par[1].Matchers");
+        assert_eq!(
+            err.to_string(),
+            "at `Seq[1].Par[1].Matchers`: `Matchers` node has an empty matcher list"
+        );
         assert!(matches!(
             buried.validate(&lib),
-            Err(CoreError::Plan(PlanError::EmptyMatchers))
+            Err(CoreError::Plan(e)) if e.kind() == PlanErrorKind::EmptyMatchers
         ));
         // Healthy trees with the new operators pass.
         let healthy = MatchPlan::matchers(["Name"])
@@ -829,8 +926,10 @@ mod tests {
             "Reuse(Any, Average, 3hop)[Average/Both/Thr(0.5)+Delta(0.02)/Average]"
         );
         assert_eq!(
-            MatchPlan::reuse_chains(None, ComposeCombine::Average, 1),
-            Err(PlanError::InvalidReuseHops)
+            MatchPlan::reuse_chains(None, ComposeCombine::Average, 1)
+                .unwrap_err()
+                .kind(),
+            PlanErrorKind::InvalidReuseHops
         );
         // Labels are complete: plans differing only in combination get
         // distinct labels (the engine's Par canonicalization relies on

@@ -64,9 +64,10 @@ pub use combine::{
 };
 pub use cube::{SimCube, SimMatrix, SparseBuilder, StorageMode};
 pub use engine::{
-    schema_fingerprint, shard_ranges, CacheStats, CandidateParams, CandidateScorer, EngineCache,
-    EngineConfig, IndexStats, MatchMemo, MatchPlan, PairMask, PlanEngine, PlanError, PlanOutcome,
-    StageOutcome, TopKPer, VocabIndex,
+    human_bytes, schema_fingerprint, shard_ranges, CacheStats, CandidateParams, CandidateScorer,
+    EngineCache, EngineConfig, IndexStats, MatchMemo, MatchPlan, NodeFacts, PairMask, PlanAnalysis,
+    PlanAnalyzer, PlanDiagnostic, PlanEngine, PlanError, PlanErrorKind, PlanOutcome, ScopeWarmth,
+    Severity, StageOutcome, TaskStats, TopKPer, Tri, VocabIndex,
 };
 pub use error::{CoreError, Result};
 pub use matchers::{Auxiliary, MatchContext, Matcher, MatcherLibrary};

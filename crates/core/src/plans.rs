@@ -56,6 +56,45 @@ pub fn candidate_index_stage(cap: usize) -> MatchPlan {
     )
 }
 
+/// Like [`topk_pruned_plan`], but skipping constructor validation:
+/// degenerate parameters (`k == 0`) survive construction, so a
+/// pre-execution analyzer can report them as structured diagnostics with
+/// real node paths (`Seq[0].TopK`) instead of a constructor error losing
+/// the position. Never execute an unvalidated plan directly.
+pub fn topk_pruned_plan_raw(k: usize) -> MatchPlan {
+    MatchPlan::seq(
+        MatchPlan::TopK {
+            input: Box::new(liberal_name_stage()),
+            k,
+            per: TopKPer::Both,
+        },
+        MatchPlan::from(&MatchStrategy::paper_default()),
+    )
+}
+
+/// Like [`candidate_index_plan`], but skipping constructor validation —
+/// see [`topk_pruned_plan_raw`] for why. A `cap == 0` flows through as
+/// both a zero index cap (`Seq[0].Seq[0].CandidateIndex`) and a zero
+/// `TopK` (`Seq[0].Seq[1].TopK`).
+pub fn candidate_index_plan_raw(cap: usize) -> MatchPlan {
+    MatchPlan::seq(
+        MatchPlan::seq(
+            MatchPlan::CandidateIndex {
+                min_shared_tokens: 1,
+                min_score: 0.0,
+                q: 3,
+                per_element: Some(cap),
+            },
+            MatchPlan::TopK {
+                input: Box::new(liberal_name_stage()),
+                k: cap,
+                per: TopKPer::Both,
+            },
+        ),
+        MatchPlan::from(&MatchStrategy::paper_default()),
+    )
+}
+
 /// The streaming-fused pruning plan large-task memory ceilings are
 /// measured on: a liberal `Name` stage whose threshold `Filter` fuses
 /// with the compute, so each row shard is pruned as it is produced and
@@ -85,5 +124,15 @@ mod tests {
         ] {
             plan.validate(&lib).unwrap();
         }
+    }
+
+    #[test]
+    fn raw_plans_let_defects_through_to_validation() {
+        assert!(topk_pruned_plan_raw(5).validate_shape().is_ok());
+        let err = topk_pruned_plan_raw(0).validate_shape().unwrap_err();
+        assert_eq!(err.path(), "Seq[0].TopK");
+        assert!(candidate_index_plan_raw(5).validate_shape().is_ok());
+        let err = candidate_index_plan_raw(0).validate_shape().unwrap_err();
+        assert_eq!(err.path(), "Seq[0].Seq[0].CandidateIndex");
     }
 }

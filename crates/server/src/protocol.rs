@@ -175,6 +175,34 @@ pub struct SchemaInfo {
     pub paths: u64,
 }
 
+/// One static plan-analysis finding, on the wire. Mirrors
+/// [`coma_core::PlanDiagnostic`] with the severity as a plain string
+/// (`"error"` / `"warn"` / `"note"`) so the frame stays readable without
+/// the core crate's enums.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireDiagnostic {
+    /// `"error"`, `"warn"` or `"note"`.
+    pub severity: String,
+    /// Stable machine-readable code (`E_*` / `W_*` / `N_*`).
+    pub code: String,
+    /// Node path in the plan tree, e.g. `Seq[1].TopK`.
+    pub node_path: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl WireDiagnostic {
+    /// Converts a core diagnostic to its wire form.
+    pub fn from_core(d: &coma_core::PlanDiagnostic) -> WireDiagnostic {
+        WireDiagnostic {
+            severity: d.severity.to_string(),
+            code: d.code.clone(),
+            node_path: d.node_path.clone(),
+            message: d.message.clone(),
+        }
+    }
+}
+
 /// One ranked correspondence of a match response.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RankedCorrespondence {
@@ -208,6 +236,10 @@ pub struct MatchResponse {
     /// The chosen pivot path (`->`-joined pivot names) when
     /// `reused == Some(true)`; `None` otherwise.
     pub reuse_path: Option<String>,
+    /// Non-fatal findings of the pre-execution plan analysis (warnings
+    /// and notes; a plan with errors is rejected with
+    /// [`Response::InvalidPlan`] instead and never executes).
+    pub diagnostics: Vec<WireDiagnostic>,
 }
 
 /// Tenant statistics.
@@ -248,6 +280,10 @@ pub enum Response {
     ShuttingDown,
     /// The request failed; the payload says why.
     Error(String),
+    /// The match request's plan failed static analysis and was not
+    /// executed; the payload carries every diagnostic (at least one of
+    /// severity `"error"`), each pinned to a plan node path.
+    InvalidPlan(Vec<WireDiagnostic>),
 }
 
 /// Writes one length-prefixed JSON frame.
@@ -387,6 +423,7 @@ mod tests {
                 cache: coma_core::CacheStats::default(),
                 reused: None,
                 reuse_path: None,
+                diagnostics: Vec::new(),
             }),
             Response::Matched(MatchResponse {
                 source: "A".into(),
@@ -396,7 +433,19 @@ mod tests {
                 cache: coma_core::CacheStats::default(),
                 reused: Some(true),
                 reuse_path: Some("P->Q".into()),
+                diagnostics: vec![WireDiagnostic {
+                    severity: "warn".into(),
+                    code: "W_REUSE_NO_PATH".into(),
+                    node_path: "Reuse".into(),
+                    message: "no pivot chain".into(),
+                }],
             }),
+            Response::InvalidPlan(vec![WireDiagnostic {
+                severity: "error".into(),
+                code: "E_TOPK_ZERO".into(),
+                node_path: "Seq[0].TopK".into(),
+                message: "`TopK` with k = 0 drops every pair".into(),
+            }]),
             Response::Flushed,
             Response::ShuttingDown,
             Response::Error("boom".into()),

@@ -11,11 +11,11 @@
 
 use crate::protocol::{
     InlineSchema, MatchConfig, MatchRequest, MatchResponse, PlanSpec, RankedCorrespondence,
-    Request, Response, SchemaFormat, SchemaInfo, SchemaRef, ServerStats,
+    Request, Response, SchemaFormat, SchemaInfo, SchemaRef, ServerStats, WireDiagnostic,
 };
 use coma_core::{
-    plans, Auxiliary, EngineCache, EngineConfig, MatchContext, MatchPlan, MatchStrategy,
-    MatcherLibrary, PlanEngine,
+    plans, schema_fingerprint, Auxiliary, EngineCache, EngineConfig, MatchContext, MatchPlan,
+    MatchStrategy, MatcherLibrary, PlanAnalyzer, PlanEngine, TaskStats,
 };
 use coma_graph::{PathSet, Schema};
 use coma_repo::{MappingKind, PersistentRepository, RepositoryBackend};
@@ -206,26 +206,23 @@ impl ServerState {
         }
     }
 
-    fn plan_of(spec: &PlanSpec) -> Result<MatchPlan, String> {
+    /// Builds the plan a spec describes *without* validating its shape:
+    /// degenerate parameters (`TopKPruned(0)`, a too-short reuse hop
+    /// budget) survive construction so the pre-execution analyzer can
+    /// reject them with structured diagnostics carrying real node paths,
+    /// instead of a flat error string losing the position.
+    fn plan_of(spec: &PlanSpec) -> MatchPlan {
         match spec {
-            PlanSpec::Default => Ok(MatchPlan::from(&MatchStrategy::paper_default())),
-            PlanSpec::Flat(strategy) => Ok(MatchPlan::from(strategy)),
-            PlanSpec::TopKPruned(k) => {
-                if *k == 0 {
-                    return Err("TopKPruned needs k > 0".to_string());
-                }
-                Ok(plans::topk_pruned_plan(*k))
-            }
-            PlanSpec::CandidateIndex(cap) => {
-                if *cap == 0 {
-                    return Err("CandidateIndex needs cap > 0".to_string());
-                }
-                Ok(plans::candidate_index_plan(*cap))
-            }
-            PlanSpec::Reuse(spec) => {
-                MatchPlan::reuse_chains(spec.kind, spec.compose, spec.max_hops as usize)
-                    .map_err(|e| e.to_string())
-            }
+            PlanSpec::Default => MatchPlan::from(&MatchStrategy::paper_default()),
+            PlanSpec::Flat(strategy) => MatchPlan::from(strategy),
+            PlanSpec::TopKPruned(k) => plans::topk_pruned_plan_raw(*k),
+            PlanSpec::CandidateIndex(cap) => plans::candidate_index_plan_raw(*cap),
+            PlanSpec::Reuse(spec) => MatchPlan::Reuse {
+                kind: spec.kind,
+                compose: spec.compose,
+                max_hops: spec.max_hops as usize,
+                combination: coma_core::CombinationStrategy::paper_default(),
+            },
         }
     }
 
@@ -247,10 +244,7 @@ impl ServerState {
             (Ok(s), Ok(t)) => (s, t),
             (Err(e), _) | (_, Err(e)) => return Response::Error(e),
         };
-        let plan = match Self::plan_of(&req.plan) {
-            Ok(p) => p,
-            Err(e) => return Response::Error(e),
-        };
+        let plan = Self::plan_of(&req.plan);
         let cfg = Self::engine_config(&req.config);
 
         let started = Instant::now();
@@ -262,10 +256,36 @@ impl ServerState {
         // consistent repository snapshot; writers (PutSchema / store)
         // wait for in-flight matches, readers do not.
         let is_reuse = matches!(req.plan, PlanSpec::Reuse(_));
-        let (mapping, reused, reuse_path) = {
+        let (mapping, reused, reuse_path, diagnostics) = {
             let repo = self.repo.read();
             let ctx = MatchContext::new(&source, &target, &source_paths, &target_paths, &self.aux)
                 .with_repository(&repo);
+            // Pre-execution static analysis against the resolved engine
+            // config and the tenant's cross-request cache: a plan with
+            // error diagnostics never executes; warnings and notes ride
+            // along in the response.
+            let task_stats = TaskStats::gather(&ctx);
+            let analysis = PlanAnalyzer::new(&self.library, cfg.clone()).analyze_with_cache(
+                &plan,
+                &task_stats,
+                &tenant.cache,
+                schema_fingerprint(&source, &source_paths),
+                schema_fingerprint(&target, &target_paths),
+            );
+            if analysis.has_errors() {
+                return Response::InvalidPlan(
+                    analysis
+                        .diagnostics
+                        .iter()
+                        .map(WireDiagnostic::from_core)
+                        .collect(),
+                );
+            }
+            let diagnostics: Vec<WireDiagnostic> = analysis
+                .diagnostics
+                .iter()
+                .map(WireDiagnostic::from_core)
+                .collect();
             let engine = PlanEngine::with_config(&self.library, cfg);
             let outcome = match engine.execute_cached(&ctx, &plan, &tenant.cache) {
                 Ok(o) => o,
@@ -282,16 +302,14 @@ impl ServerState {
                     outcome.result.to_mapping(&ctx, MappingKind::Automatic),
                     Some(true),
                     Some(via),
+                    diagnostics,
                 ),
                 (true, None) => {
                     // No pivot path connects the two sides: fall back to
                     // fresh matching with the Default plan. The response
                     // flags the miss (`reused: Some(false)`) — it is an
                     // answer, not an error.
-                    let fallback = match Self::plan_of(&PlanSpec::Default) {
-                        Ok(p) => p,
-                        Err(e) => return Response::Error(e),
-                    };
+                    let fallback = Self::plan_of(&PlanSpec::Default);
                     let outcome = match engine.execute_cached(&ctx, &fallback, &tenant.cache) {
                         Ok(o) => o,
                         Err(e) => return Response::Error(e.to_string()),
@@ -300,12 +318,14 @@ impl ServerState {
                         outcome.result.to_mapping(&ctx, MappingKind::Automatic),
                         Some(false),
                         None,
+                        diagnostics,
                     )
                 }
                 (false, _) => (
                     outcome.result.to_mapping(&ctx, MappingKind::Automatic),
                     None,
                     None,
+                    diagnostics,
                 ),
             }
         };
@@ -349,6 +369,7 @@ impl ServerState {
             cache: tenant.cache.stats(),
             reused,
             reuse_path,
+            diagnostics,
         })
     }
 

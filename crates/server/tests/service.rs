@@ -546,7 +546,9 @@ fn malformed_requests_get_error_responses_not_session_death() {
         .unwrap();
     assert!(matches!(response, Response::Error(_)));
 
-    // Degenerate plan parameters.
+    // Degenerate plan parameters are rejected by the pre-execution
+    // analyzer with a structured frame pinning the offending node — the
+    // plan never executes.
     let response = client
         .call(&Request::Match(MatchRequest {
             tenant: "acme".to_string(),
@@ -557,7 +559,15 @@ fn malformed_requests_get_error_responses_not_session_death() {
             store: false,
         }))
         .unwrap();
-    assert!(matches!(response, Response::Error(_)));
+    let Response::InvalidPlan(diagnostics) = response else {
+        panic!("expected InvalidPlan, got {response:?}");
+    };
+    assert!(
+        diagnostics.iter().any(|d| d.severity == "error"
+            && d.code == "E_TOPK_ZERO"
+            && d.node_path.contains("TopK")),
+        "expected an E_TOPK_ZERO error diagnostic, got {diagnostics:?}"
+    );
 
     // The session is still alive after all of that.
     assert_eq!(client.call(&Request::Ping).unwrap(), Response::Pong);

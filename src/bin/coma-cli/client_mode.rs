@@ -172,6 +172,16 @@ pub fn run(socket: &str, args: Vec<String>) -> ExitCode {
 fn print_response(response: Response, json: bool) -> ExitCode {
     match response {
         Response::Error(message) => fail(message),
+        Response::InvalidPlan(diagnostics) => {
+            eprintln!("error: the server rejected the plan before execution:");
+            for d in &diagnostics {
+                eprintln!(
+                    "  {} {} at `{}`: {}",
+                    d.severity, d.code, d.node_path, d.message
+                );
+            }
+            ExitCode::FAILURE
+        }
         Response::Pong => {
             println!("pong");
             ExitCode::SUCCESS
@@ -237,6 +247,12 @@ fn print_response(response: Response, json: bool) -> ExitCode {
                     eprintln!("# no pivot path in repository; matched fresh instead")
                 }
                 (None, _) => {}
+            }
+            for d in &matched.diagnostics {
+                eprintln!(
+                    "# {} {} at `{}`: {}",
+                    d.severity, d.code, d.node_path, d.message
+                );
             }
             for c in &matched.correspondences {
                 println!("{:.3}\t{}\t{}", c.similarity, c.source_path, c.target_path);

@@ -62,6 +62,14 @@
 //! pivot selection: every path's hop count, coverage, vocabulary overlap
 //! and score, best first.
 //!
+//! `--explain` runs the static plan analyzer instead of matching: it
+//! prints the predicted per-node facts (storage mode, fusion, shard
+//! counts, a peak-allocation upper bound) and every diagnostic, then
+//! exits without executing (nonzero when the plan has errors).
+//! `--deny-plan-warnings` runs the same analysis before matching and
+//! refuses to execute a plan with any warning — for scripts that want
+//! statically-clean plans only.
+//!
 //! `--verbose` reports, per executed stage, the similarity-cube shape,
 //! its physical storage (dense, sparse/CSR, or mixed — see
 //! `ARCHITECTURE.md` on how the engine picks per stage) and the number of
@@ -69,7 +77,10 @@
 //! storage engages. For a `CandidateIndex` stage it additionally prints
 //! the index build time, posting counts and candidate-mask density.
 
-use coma::core::{Coma, EngineConfig, MatchContext, MatchPlan, MatchStrategy, Selection, TopKPer};
+use coma::core::{
+    Coma, EngineConfig, MatchContext, MatchPlan, MatchStrategy, PlanAnalyzer, Selection, TaskStats,
+    TopKPer,
+};
 use coma::graph::{PathSet, Schema};
 use coma::repo::MappingKind;
 use std::path::Path;
@@ -98,6 +109,8 @@ struct Options {
     reuse: bool,
     max_hops: usize,
     verbose: bool,
+    explain: bool,
+    deny_plan_warnings: bool,
 }
 
 fn usage() -> ExitCode {
@@ -107,7 +120,8 @@ fn usage() -> ExitCode {
          [--prefilter M1,M2,…] [--prefilter-threshold T] [--prefilter-max N] \
          [--candidate-index] [--min-shared-tokens N] [--min-score S] \
          [--top-k K] [--iterate R] [--epsilon E] \
-         [--repository FILE] [--reuse] [--max-hops N]"
+         [--repository FILE] [--reuse] [--max-hops N] \
+         [--explain] [--deny-plan-warnings]"
     );
     ExitCode::from(2)
 }
@@ -139,6 +153,8 @@ fn parse_args() -> Result<Options, ExitCode> {
         reuse: false,
         max_hops: 3,
         verbose: false,
+        explain: false,
+        deny_plan_warnings: false,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -189,6 +205,8 @@ fn parse_args() -> Result<Options, ExitCode> {
                 let v = args.next().ok_or_else(usage)?;
                 opts.max_hops = v.parse().map_err(|_| usage())?;
             }
+            "--explain" => opts.explain = true,
+            "--deny-plan-warnings" => opts.deny_plan_warnings = true,
             "--synonyms" => opts.synonyms = Some(args.next().ok_or_else(usage)?),
             "--dot" => opts.dot = true,
             "--json" => opts.json = true,
@@ -203,6 +221,58 @@ fn parse_args() -> Result<Options, ExitCode> {
     opts.source = positional.remove(0);
     opts.target = positional.remove(0);
     Ok(opts)
+}
+
+/// Builds the staged plan the CLI flags describe: optional prefilter
+/// (inverted-index candidate generation or a cheap matcher stage, with
+/// optional TopK pruning), refine on the survivors, optionally iterated
+/// to a fixpoint.
+fn build_staged_plan(opts: &Options, strategy: &MatchStrategy) -> Result<MatchPlan, String> {
+    let refine = MatchPlan::from(strategy);
+    let mut plan = if opts.reuse {
+        // Answer from stored match results alone: the `Reuse` leaf walks
+        // the repository's mapping graph for pivot chains up to
+        // --max-hops mappings long and composes them.
+        MatchPlan::reuse_chains(None, coma::core::ComposeCombine::Average, opts.max_hops)
+            .map_err(|e| e.to_string())?
+    } else if opts.candidate_index {
+        // Inverted-index first stage: candidates come from shared
+        // token/q-gram postings, capped per element by --prefilter-max —
+        // the m×n cross product is never scored.
+        let mut filter = MatchPlan::candidate_index_with(
+            opts.min_shared_tokens,
+            opts.min_score,
+            3,
+            Some(opts.prefilter_max),
+        )
+        .map_err(|e| e.to_string())?;
+        if let Some(k) = opts.top_k {
+            filter = filter.top_k(k, TopKPer::Both).map_err(|e| e.to_string())?;
+        }
+        MatchPlan::seq(filter, refine)
+    } else if opts.prefilter.is_some() || opts.top_k.is_some() {
+        // `--top-k` without `--prefilter` implies a cheap Name filter.
+        let filter_matchers = opts
+            .prefilter
+            .clone()
+            .unwrap_or_else(|| vec!["Name".to_string()]);
+        let pool = opts.prefilter_max.max(opts.top_k.unwrap_or(0));
+        let mut combination = strategy.combination.clone();
+        combination.selection = Selection::max_n(pool).with_threshold(opts.prefilter_threshold);
+        let mut filter = MatchPlan::matchers_with(filter_matchers, combination);
+        if let Some(k) = opts.top_k {
+            filter = filter.top_k(k, TopKPer::Both).map_err(|e| e.to_string())?;
+        }
+        MatchPlan::seq(filter, refine)
+    } else {
+        refine
+    };
+    if let Some(rounds) = opts.iterate {
+        plan = plan
+            .iterate(rounds, opts.epsilon)
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(plan)
 }
 
 fn import(path: &str) -> Result<Schema, String> {
@@ -294,82 +364,48 @@ fn main() -> ExitCode {
         || opts.prefilter.is_some()
         || opts.top_k.is_some()
         || opts.iterate.is_some();
-    let result = if staged {
-        // Staged plan: optional prefilter (inverted-index candidate
-        // generation or a cheap matcher stage, with optional TopK
-        // pruning), refine on the survivors, optionally iterated to a
-        // fixpoint.
-        let refine = MatchPlan::from(&strategy);
-        let mut plan = if opts.reuse {
-            // Answer from stored match results alone: the `Reuse` leaf
-            // walks the repository's mapping graph for pivot chains up
-            // to --max-hops mappings long and composes them.
-            match MatchPlan::reuse_chains(None, coma::core::ComposeCombine::Average, opts.max_hops)
-            {
-                Ok(p) => p,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return ExitCode::FAILURE;
-                }
+    // The plan the engine would execute — a flat strategy converts to a
+    // single Matchers leaf. Built up front so static analysis
+    // (--explain / --deny-plan-warnings) sees exactly what would run.
+    let plan = if staged {
+        match build_staged_plan(&opts, &strategy) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
             }
-        } else if opts.candidate_index {
-            // Inverted-index first stage: candidates come from shared
-            // token/q-gram postings, capped per element by
-            // --prefilter-max — the m×n cross product is never scored.
-            let mut filter = match MatchPlan::candidate_index_with(
-                opts.min_shared_tokens,
-                opts.min_score,
-                3,
-                Some(opts.prefilter_max),
-            ) {
-                Ok(p) => p,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
-            if let Some(k) = opts.top_k {
-                filter = match filter.top_k(k, TopKPer::Both) {
-                    Ok(p) => p,
-                    Err(e) => {
-                        eprintln!("error: {e}");
-                        return ExitCode::FAILURE;
-                    }
-                };
-            }
-            MatchPlan::seq(filter, refine)
-        } else if opts.prefilter.is_some() || opts.top_k.is_some() {
-            // `--top-k` without `--prefilter` implies a cheap Name filter.
-            let filter_matchers = opts
-                .prefilter
-                .clone()
-                .unwrap_or_else(|| vec!["Name".to_string()]);
-            let pool = opts.prefilter_max.max(opts.top_k.unwrap_or(0));
-            let mut combination = strategy.combination.clone();
-            combination.selection = Selection::max_n(pool).with_threshold(opts.prefilter_threshold);
-            let mut filter = MatchPlan::matchers_with(filter_matchers, combination);
-            if let Some(k) = opts.top_k {
-                filter = match filter.top_k(k, TopKPer::Both) {
-                    Ok(p) => p,
-                    Err(e) => {
-                        eprintln!("error: {e}");
-                        return ExitCode::FAILURE;
-                    }
-                };
-            }
-            MatchPlan::seq(filter, refine)
-        } else {
-            refine
-        };
-        if let Some(rounds) = opts.iterate {
-            plan = match plan.iterate(rounds, opts.epsilon) {
-                Ok(p) => p,
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return ExitCode::FAILURE;
-                }
+        }
+    } else {
+        MatchPlan::from(&strategy)
+    };
+
+    if opts.explain || opts.deny_plan_warnings {
+        let sp = PathSet::new(&source).expect("validated on import");
+        let tp = PathSet::new(&target).expect("validated on import");
+        let ctx = MatchContext::new(&source, &target, &sp, &tp, coma.aux())
+            .with_repository(coma.repository());
+        let stats = TaskStats::gather(&ctx);
+        let analysis =
+            PlanAnalyzer::new(coma.library(), EngineConfig::default()).analyze(&plan, &stats);
+        if opts.explain {
+            // Report only — nothing executes.
+            print!("{}", analysis.render());
+            return if analysis.has_errors() {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
             };
         }
+        if analysis.has_errors() || analysis.has_warnings() {
+            for d in &analysis.diagnostics {
+                eprintln!("# {d}");
+            }
+            eprintln!("error: plan analysis reported problems (--deny-plan-warnings)");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let result = if staged {
         match coma.match_plan_with(EngineConfig::default(), &source, &target, &plan) {
             Ok(outcome) => {
                 for stage in &outcome.stages {

@@ -40,6 +40,7 @@ pub use coma_strings as strings;
 pub use coma_xml as xml;
 
 pub use coma_core::{
-    Coma, EngineConfig, IndexStats, MatchPlan, MatchResult, MatchStrategy, PlanEngine, PlanError,
-    PlanOutcome, StageOutcome, TopKPer, VocabIndex,
+    Coma, EngineConfig, IndexStats, MatchPlan, MatchResult, MatchStrategy, PlanAnalysis,
+    PlanAnalyzer, PlanDiagnostic, PlanEngine, PlanError, PlanErrorKind, PlanOutcome, Severity,
+    StageOutcome, TaskStats, TopKPer, Tri, VocabIndex,
 };

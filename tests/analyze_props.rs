@@ -1,0 +1,202 @@
+//! Soundness properties of the static plan analyzer
+//! ([`coma::core::PlanAnalyzer`]): across seeded generated workloads and
+//! engine configurations, every definite (`Yes`/`No`) prediction the
+//! pre-execution analysis makes must agree with what the engine then
+//! actually does —
+//!
+//! * a stage predicted sparse executes with CSR storage (and one
+//!   predicted dense stays dense),
+//! * a stage predicted fusable lands with `StageOutcome::fused == true`
+//!   (and a predicted-unfusable one materializes),
+//! * the measured peak allocation of the execution (counting global
+//!   allocator, the same instrument the perf gate uses) never exceeds
+//!   the predicted `peak_bytes` upper bound.
+//!
+//! `Maybe` predictions are vacuously compatible — the lattice exists so
+//! the analyzer can decline to guess — so these tests also assert the
+//! canonical plans produce *definite* predictions where the engine's
+//! decision is statically known.
+
+use coma::core::plans::{candidate_index_plan, fused_filter_plan, topk_pruned_plan};
+use coma::core::{
+    Coma, EngineConfig, MatchContext, MatchPlan, PlanAnalyzer, PlanEngine, TaskStats, Tri,
+};
+use coma::graph::PathSet;
+use coma_bench::alloc_track::{measure_peak, CountingAllocator};
+use coma_bench::workload::{generate_task, WorkloadShape, WorkloadSpec};
+
+/// Register the counting allocator so [`measure_peak`] reports real
+/// numbers (without it every window reads 0 and the peak-bound property
+/// would pass vacuously).
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// `measure_peak` windows must not overlap across threads, and the test
+/// harness runs sibling `#[test]`s concurrently — every test holding a
+/// window takes this lock first.
+static WINDOW: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// One analyzed-then-executed configuration point.
+struct Executed {
+    analysis: coma::core::PlanAnalysis,
+    outcome: coma::core::PlanOutcome,
+    measured_peak: usize,
+}
+
+/// Analyzes `plan` for the workload, executes it under `cfg`, and
+/// returns both sides plus the measured peak of the execution window.
+/// The context, path sets and analysis are built *outside* the
+/// measurement window: the predicted bound covers one plan execution,
+/// not task preparation.
+fn analyze_and_execute(spec: &WorkloadSpec, plan: &MatchPlan, cfg: EngineConfig) -> Executed {
+    let (source, target) = generate_task(spec);
+    let coma = Coma::new();
+    let source_paths = PathSet::new(&source).expect("generated schema is well-formed");
+    let target_paths = PathSet::new(&target).expect("generated schema is well-formed");
+    let ctx = MatchContext::new(&source, &target, &source_paths, &target_paths, coma.aux())
+        .with_repository(coma.repository());
+    let stats = TaskStats::gather(&ctx);
+    let analysis = PlanAnalyzer::new(coma.library(), cfg.clone()).analyze(plan, &stats);
+    assert!(
+        !analysis.has_errors(),
+        "{}: canonical plan must analyze clean, got:\n{}",
+        spec.label(),
+        analysis.render()
+    );
+    let engine = PlanEngine::with_config(coma.library(), cfg);
+    let (measured_peak, outcome) = measure_peak(|| engine.execute(&ctx, plan));
+    let outcome = outcome.expect("canonical plan executes");
+    Executed {
+        analysis,
+        outcome,
+        measured_peak,
+    }
+}
+
+/// Asserts every definite prediction against the executed stages and the
+/// measured peak. Returns the stage labels seen, so callers can make
+/// definiteness assertions on specific stages.
+fn assert_sound(which: &str, run: &Executed) {
+    for stage in &run.outcome.stages {
+        let storage = run.analysis.storage_prediction(&stage.label);
+        assert!(
+            storage.agrees_with(stage.cube.all_sparse()),
+            "{which}: stage `{}` predicted storage {storage:?} but all_sparse = {}",
+            stage.label,
+            stage.cube.all_sparse()
+        );
+        let fused = run.analysis.fused_prediction(&stage.label);
+        assert!(
+            fused.agrees_with(stage.fused),
+            "{which}: stage `{}` predicted fused {fused:?} but fused = {}",
+            stage.label,
+            stage.fused
+        );
+    }
+    assert!(
+        (run.measured_peak as u64) <= run.analysis.peak_bytes,
+        "{which}: measured peak {} exceeds predicted bound {}",
+        run.measured_peak,
+        run.analysis.peak_bytes
+    );
+}
+
+/// The workload × configuration × plan sweep. One `#[test]` on purpose:
+/// `measure_peak` windows must not overlap across threads, and the test
+/// harness runs sibling tests concurrently.
+#[test]
+fn predictions_agree_with_execution_across_workloads_and_configs() {
+    let _window = WINDOW.lock().unwrap();
+    let specs = [
+        WorkloadSpec::new(WorkloadShape::Star, 160, 11),
+        WorkloadSpec::new(WorkloadShape::Deep, 200, 23),
+        WorkloadSpec::new(WorkloadShape::Wide, 160, 37),
+    ];
+    let configs: [(&str, EngineConfig); 4] = [
+        ("default", EngineConfig::default()),
+        ("sharded", EngineConfig::default().with_shards(2)),
+        ("serial", EngineConfig::default().with_parallel(false)),
+        ("dense", EngineConfig::default().with_sparse(false)),
+    ];
+    let plans = [
+        ("topk_pruned", topk_pruned_plan(5)),
+        ("candidate_index", candidate_index_plan(5)),
+        ("fused_filter", fused_filter_plan()),
+    ];
+    for spec in &specs {
+        for (cfg_name, cfg) in &configs {
+            for (plan_name, plan) in &plans {
+                let which = format!("{}/{cfg_name}/{plan_name}", spec.label());
+                let run = analyze_and_execute(spec, plan, cfg.clone());
+                assert_sound(&which, &run);
+
+                // Where the engine's decision is statically known the
+                // analyzer must commit, not hide behind `Maybe`:
+                // * under `with_sparse(false)` nothing stores sparse and
+                //   nothing fuses — every materialized stage is a
+                //   definite `No` on both axes;
+                // * under any sparse config the two pruning plans'
+                //   prune-over-Matchers stage is definitely fused.
+                if *cfg_name == "dense" {
+                    for stage in &run.outcome.stages {
+                        assert_eq!(
+                            run.analysis.storage_prediction(&stage.label),
+                            Tri::No,
+                            "{which}: stage `{}`",
+                            stage.label
+                        );
+                        assert_eq!(
+                            run.analysis.fused_prediction(&stage.label),
+                            Tri::No,
+                            "{which}: stage `{}`",
+                            stage.label
+                        );
+                    }
+                } else if *plan_name != "candidate_index" {
+                    let fused_stage = run
+                        .outcome
+                        .stages
+                        .iter()
+                        .find(|s| s.fused)
+                        .unwrap_or_else(|| panic!("{which}: no fused stage"));
+                    assert_eq!(
+                        run.analysis.fused_prediction(&fused_stage.label),
+                        Tri::Yes,
+                        "{which}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The predicted peak bound stays sound when the measurement window
+/// *includes* repeated executions — the bound is per execution, and
+/// repeated runs free their buffers, so even N sequential executions
+/// must stay under the single-execution bound plus nothing.
+#[test]
+fn peak_bound_covers_repeated_execution() {
+    let _window = WINDOW.lock().unwrap();
+    let spec = WorkloadSpec::new(WorkloadShape::Deep, 200, 5);
+    let (source, target) = generate_task(&spec);
+    let coma = Coma::new();
+    let source_paths = PathSet::new(&source).unwrap();
+    let target_paths = PathSet::new(&target).unwrap();
+    let ctx = MatchContext::new(&source, &target, &source_paths, &target_paths, coma.aux())
+        .with_repository(coma.repository());
+    let stats = TaskStats::gather(&ctx);
+    let plan = topk_pruned_plan(5);
+    let analysis =
+        PlanAnalyzer::new(coma.library(), EngineConfig::default()).analyze(&plan, &stats);
+    let engine = PlanEngine::new(coma.library());
+    for round in 0..3 {
+        let (peak, outcome) = measure_peak(|| engine.execute(&ctx, &plan));
+        outcome.unwrap();
+        assert!(
+            (peak as u64) <= analysis.peak_bytes,
+            "round {round}: measured {} > predicted {}",
+            peak,
+            analysis.peak_bytes
+        );
+    }
+}
